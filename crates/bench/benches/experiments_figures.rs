@@ -1,0 +1,170 @@
+//! Regeneration benchmarks for the paper's figures.
+//!
+//! One bench target per figure of the evaluation. Simulation-backed
+//! figures run at a reduced cluster scale (20–30 servers) so Criterion
+//! can sample them; the `vmt-experiments` CLI regenerates the full-scale
+//! versions (100 or 1,000 servers, per the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vmt_experiments::heatmaps::HeatmapFigure;
+
+const BENCH_SERVERS: usize = 20;
+
+fn fig1_mix_regions(c: &mut Criterion) {
+    c.bench_function("fig1_mix_regions", |b| {
+        b.iter(|| black_box(vmt_experiments::fig1::fig1()))
+    });
+}
+
+fn fig2_tts_concept(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_tts_concept");
+    g.sample_size(10);
+    g.bench_function("one_server_two_days", |b| {
+        b.iter(|| black_box(vmt_experiments::fig2::fig2()))
+    });
+    g.finish();
+}
+
+fn fig6_qos(c: &mut Criterion) {
+    c.bench_function("fig6_qos_panels", |b| {
+        b.iter(|| {
+            black_box((
+                vmt_experiments::fig6::caching_panel(),
+                vmt_experiments::fig6::search_panel(),
+            ))
+        })
+    });
+}
+
+fn fig7_reliability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_reliability");
+    g.sample_size(10);
+    g.bench_function("measured_temps", |b| {
+        b.iter(|| black_box(vmt_experiments::fig7::fig7(BENCH_SERVERS)))
+    });
+    g.finish();
+}
+
+fn fig8_trace(c: &mut Criterion) {
+    c.bench_function("fig8_two_day_trace", |b| {
+        b.iter(|| black_box(vmt_experiments::fig8::fig8(10)))
+    });
+}
+
+fn figs_9_10_11_14_heatmaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heatmap_figures");
+    g.sample_size(10);
+    for figure in [
+        HeatmapFigure::Fig9RoundRobin,
+        HeatmapFigure::Fig10CoolestFirst,
+        HeatmapFigure::Fig11VmtTa,
+        HeatmapFigure::Fig14VmtWa,
+    ] {
+        g.bench_function(figure.label(), |b| {
+            b.iter(|| black_box(vmt_experiments::heatmaps::heatmap(figure, BENCH_SERVERS)))
+        });
+    }
+    g.finish();
+}
+
+fn figs_12_15_hot_group(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_group_temperature_figures");
+    g.sample_size(10);
+    g.bench_function("fig12_vmt_ta", |b| {
+        b.iter(|| {
+            black_box(vmt_experiments::hot_group::hot_group_temps(
+                false,
+                &[21.0, 22.0],
+                BENCH_SERVERS,
+            ))
+        })
+    });
+    g.bench_function("fig15_vmt_wa", |b| {
+        b.iter(|| {
+            black_box(vmt_experiments::hot_group::hot_group_temps(
+                true,
+                &[20.0, 22.0],
+                BENCH_SERVERS,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn figs_13_16_cooling_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cooling_load_figures");
+    g.sample_size(10);
+    g.bench_function("fig13_vmt_ta", |b| {
+        b.iter(|| black_box(vmt_experiments::cooling_load::fig13(BENCH_SERVERS)))
+    });
+    g.bench_function("fig16_vmt_wa", |b| {
+        b.iter(|| black_box(vmt_experiments::cooling_load::fig16(BENCH_SERVERS)))
+    });
+    g.finish();
+}
+
+fn fig17_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_wax_threshold_sweep");
+    g.sample_size(10);
+    g.bench_function("six_thresholds", |b| {
+        b.iter(|| black_box(vmt_experiments::threshold::fig17(BENCH_SERVERS)))
+    });
+    g.finish();
+}
+
+fn fig18_gv_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_gv_sweep");
+    g.sample_size(10);
+    g.bench_function("five_gvs_both_algorithms", |b| {
+        b.iter(|| {
+            black_box(vmt_experiments::gv_sweep::gv_sweep(
+                &[18.0, 20.0, 22.0, 24.0, 26.0],
+                BENCH_SERVERS,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn figs_19_20_inlet_variation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inlet_variation_figures");
+    g.sample_size(10);
+    g.bench_function("fig19_vmt_ta", |b| {
+        b.iter(|| {
+            black_box(vmt_experiments::inlet_variation::inlet_variation(
+                false,
+                &[20.0, 22.0],
+                BENCH_SERVERS,
+                1,
+            ))
+        })
+    });
+    g.bench_function("fig20_vmt_wa", |b| {
+        b.iter(|| {
+            black_box(vmt_experiments::inlet_variation::inlet_variation(
+                true,
+                &[20.0, 22.0],
+                BENCH_SERVERS,
+                1,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_mix_regions,
+    fig2_tts_concept,
+    fig6_qos,
+    fig7_reliability,
+    fig8_trace,
+    figs_9_10_11_14_heatmaps,
+    figs_12_15_hot_group,
+    figs_13_16_cooling_load,
+    fig17_threshold,
+    fig18_gv_sweep,
+    figs_19_20_inlet_variation,
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regeneration benchmarks for the paper's tables and the TCO analysis.
+//!
+//! Each bench target regenerates one table of the paper (at a reduced
+//! cluster scale where a simulation is involved, so Criterion can sample
+//! it); the `vmt-experiments` CLI produces the full-scale versions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Table I — workload catalog with derived classes.
+fn table1(c: &mut Criterion) {
+    c.bench_function("table1_workload_catalog", |b| {
+        b.iter(|| black_box(vmt_experiments::table1::table1()))
+    });
+}
+
+/// Table II — the GV → VMT equivalence search (reduced scale: 20
+/// servers, coarse GV grid).
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_gv_to_vmt_mapping");
+    group.sample_size(10);
+    group.bench_function("20_servers", |b| {
+        b.iter(|| black_box(vmt_experiments::table2::table2_with_grid(20, 20.0, 30.0, 2.0)))
+    });
+    group.finish();
+}
+
+/// §V-E — the TCO summary from a given reduction (pure arithmetic).
+fn tco(c: &mut Criterion) {
+    c.bench_function("tco_summary_from_reduction", |b| {
+        b.iter(|| black_box(vmt_experiments::tco_summary::tco_summary(0.128)))
+    });
+}
+
+criterion_group!(benches, table1, table2, tco);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Simulator micro- and macro-benchmarks: per-server physics tick, full
+//! engine throughput, and scaling in cluster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vmt_core::PolicyKind;
+use vmt_dcsim::{ClusterConfig, Server, ServerId, Simulation};
+use vmt_units::{Hours, Seconds};
+use vmt_workload::{DiurnalTrace, Job, JobId, TraceConfig, WorkloadKind};
+
+/// One physics tick of a loaded, wax-equipped server.
+fn server_tick(c: &mut Criterion) {
+    let config = ClusterConfig::paper_default(1);
+    let mut server = Server::from_config(ServerId(0), &config);
+    for i in 0..24 {
+        server.start_job(&Job::new(
+            JobId(i),
+            WorkloadKind::ALL[i as usize % 5],
+            Seconds::new(600.0),
+        ));
+    }
+    c.bench_function("server_tick_one_minute", |b| {
+        b.iter(|| black_box(server.tick(Seconds::new(60.0))))
+    });
+}
+
+/// Full two-day simulation throughput at increasing cluster sizes.
+fn engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_two_day_run");
+    group.sample_size(10);
+    for servers in [10usize, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(servers),
+            &servers,
+            |b, &servers| {
+                b.iter(|| {
+                    let cluster = ClusterConfig::paper_default(servers);
+                    let sched = PolicyKind::VmtTa { gv: 22.0 }.build(&cluster);
+                    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+                    black_box(Simulation::new(cluster, trace, sched).run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A short run at several heatmap strides, isolating metrics overhead.
+fn metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_stride");
+    group.sample_size(10);
+    for stride in [1usize, 5, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut cluster = ClusterConfig::paper_default(20);
+                cluster.heatmap_stride = stride;
+                let mut trace = TraceConfig::paper_default();
+                trace.horizon = Hours::new(12.0);
+                let sched = PolicyKind::RoundRobin.build(&cluster);
+                black_box(Simulation::new(cluster, DiurnalTrace::new(trace), sched).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, server_tick, engine_scaling, metrics_overhead);
+criterion_main!(benches);

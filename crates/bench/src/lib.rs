@@ -1,0 +1,7 @@
+//! Benchmark-only crate. See `benches/`:
+//!
+//! * `simulator` — engine and per-server physics throughput.
+//! * `schedulers` — placement cost per policy.
+//! * `experiments_tables` — regenerates the paper's tables.
+//! * `experiments_figures` — regenerates the paper's figures (reduced
+//!   scale; the `vmt-experiments` CLI produces the full-scale runs).

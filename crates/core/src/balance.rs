@@ -1,0 +1,265 @@
+//! Projected-temperature load balancing within a set of servers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vmt_dcsim::Server;
+
+/// Balances placements across a set of servers by *projected
+/// steady-state temperature*.
+///
+/// Each member's key starts at the steady-state temperature its current
+/// power draw is heading toward (`inlet + P/(ṁ·c_p)`); every placement
+/// bumps the chosen member's key by the temperature rise one more core
+/// of that power will eventually produce. Placing on the minimum key
+/// therefore equalizes *temperatures*, not job counts — which is what
+/// "distribute jobs evenly" has to mean once server inlet temperatures
+/// vary (a server fed 2 °C warmer air gets proportionally less load).
+///
+/// Used by [`crate::CoolestFirst`] over the whole cluster and by the VMT
+/// policies within each group.
+#[derive(Debug, Clone, Default)]
+pub struct ThermalBalancer {
+    /// Min-heap of (projected temperature as total-order bits, server).
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Projected temperature per server id (°C); only members' entries
+    /// are meaningful.
+    projected: Vec<f64>,
+    /// Inverse of the air stream's capacity rate (K/W).
+    kelvin_per_watt: f64,
+}
+
+/// Occupancy penalty added to the balancing key per used core (kelvin).
+///
+/// Pure temperature keys have a failure mode at high utilization: a
+/// low-power (cold) job barely moves the projection, so the momentarily
+/// coolest server swallows an entire batch of cold jobs until its cores
+/// run out — after which hot jobs have nowhere to go but the remaining
+/// (hot) servers, and the cluster bifurcates. A small per-core penalty
+/// makes the key "temperature plus a whiff of occupancy", spreading
+/// same-temperature placements across members while leaving real
+/// temperature differences (≥ a few tenths of a kelvin) decisive.
+const CORE_PENALTY_K: f64 = 0.05;
+
+/// Amplitude of the static per-server key bias (kelvin).
+///
+/// Perfect balancing has a second failure mode: every member of a group
+/// melts its wax at exactly the same time, so the whole group saturates
+/// in one tick and the cluster's absorption collapses as a step. Real
+/// servers are never bit-identical — component tolerances and airflow
+/// give each a slightly different thermal operating point — which
+/// staggers saturation. A deterministic ±0.4 K bias derived from the
+/// server id reproduces that spread.
+const STATIC_BIAS_K: f64 = 0.4;
+
+/// Deterministic per-server bias in `[-STATIC_BIAS_K, +STATIC_BIAS_K]`.
+fn static_bias(idx: usize) -> f64 {
+    // splitmix64 of the index → uniform in [0,1).
+    let mut z = (idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z % 10_000) as f64 / 10_000.0 - 0.5) * 2.0 * STATIC_BIAS_K
+}
+
+/// Orders f64 values as u64 keys (standard sign-flip trick; total order
+/// for all non-NaN values).
+fn order_bits(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if value >= 0.0 {
+        bits | 0x8000_0000_0000_0000
+    } else {
+        !bits
+    }
+}
+
+impl ThermalBalancer {
+    /// Creates an empty balancer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the balancer over `members` (server ids) for the current
+    /// tick.
+    pub fn rebuild(&mut self, members: impl IntoIterator<Item = usize>, servers: &[Server]) {
+        self.rebuild_biased(members.into_iter().map(|idx| (idx, 0.0)), servers);
+    }
+
+    /// Rebuilds over `(member, extra_bias_kelvin)` pairs. A positive bias
+    /// makes a member systematically less attractive, shifting its
+    /// equilibrium share of the load down without ever removing it —
+    /// VMT-WA uses this to bleed load off saturated servers gradually.
+    pub fn rebuild_biased(
+        &mut self,
+        members: impl IntoIterator<Item = (usize, f64)>,
+        servers: &[Server],
+    ) {
+        if self.projected.len() != servers.len() {
+            self.projected = vec![0.0; servers.len()];
+        }
+        self.kelvin_per_watt = 1.0
+            / servers
+                .first()
+                .map(|s| s.air().capacity_rate().get())
+                .unwrap_or(1.0);
+        self.heap.clear();
+        for (idx, extra) in members {
+            self.insert(idx, extra, servers);
+        }
+    }
+
+    /// Adds a member mid-tick (VMT-WA's hot-group growth).
+    pub fn add_member(&mut self, idx: usize, servers: &[Server]) {
+        self.insert(idx, 0.0, servers);
+    }
+
+    fn insert(&mut self, idx: usize, extra: f64, servers: &[Server]) {
+        let s = &servers[idx];
+        self.projected[idx] = s.inlet().get()
+            + s.power().get() * self.kelvin_per_watt
+            + f64::from(s.used_cores()) * CORE_PENALTY_K
+            + static_bias(idx)
+            + extra;
+        if s.free_cores() > 0 {
+            self.heap
+                .push(Reverse((order_bits(self.projected[idx]), idx)));
+        }
+    }
+
+    /// Places one job drawing `core_power_w` on the coolest-projected
+    /// member with a free core, or returns `None` when every member is
+    /// full.
+    pub fn place(&mut self, servers: &[Server], core_power_w: f64) -> Option<usize> {
+        while let Some(Reverse((key, idx))) = self.heap.pop() {
+            // Skip entries whose projection moved since they were pushed.
+            if key != order_bits(self.projected[idx]) {
+                continue;
+            }
+            if servers[idx].free_cores() == 0 {
+                continue;
+            }
+            self.projected[idx] += core_power_w * self.kelvin_per_watt + CORE_PENALTY_K;
+            // One core is consumed by this placement; re-enter only if
+            // capacity remains afterwards.
+            if servers[idx].free_cores() > 1 {
+                self.heap
+                    .push(Reverse((order_bits(self.projected[idx]), idx)));
+            }
+            return Some(idx);
+        }
+        None
+    }
+
+    /// Accounts for a placement made *outside* the balancer (e.g.
+    /// VMT-WA's keep-warm priority path), so the member's projection
+    /// stays truthful for subsequent balanced placements.
+    pub fn account_external(&mut self, idx: usize, core_power_w: f64, servers: &[Server]) {
+        if idx >= self.projected.len() {
+            return;
+        }
+        self.projected[idx] += core_power_w * self.kelvin_per_watt + CORE_PENALTY_K;
+        if servers[idx].free_cores() > 1 {
+            self.heap
+                .push(Reverse((order_bits(self.projected[idx]), idx)));
+        }
+    }
+
+    /// True when no member can take another job this tick.
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_dcsim::{ClusterConfig, ServerId};
+    use vmt_thermal::InletModel;
+    use vmt_units::{Celsius, DegC, Seconds};
+    use vmt_workload::{Job, JobId, WorkloadKind};
+
+    fn servers(n: usize, inlet: InletModel) -> Vec<Server> {
+        let mut config = ClusterConfig::paper_default(n);
+        config.inlet = inlet;
+        (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect()
+    }
+
+    #[test]
+    fn order_bits_is_monotone() {
+        let values = [-5.0, -0.5, 0.0, 0.5, 22.0, 35.7, 50.0];
+        for pair in values.windows(2) {
+            assert!(order_bits(pair[0]) < order_bits(pair[1]), "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn equal_servers_get_equal_shares() {
+        let servers = servers(4, InletModel::uniform(Celsius::new(22.0)));
+        let mut b = ThermalBalancer::new();
+        b.rebuild(0..4, &servers);
+        let mut counts = [0usize; 4];
+        for _ in 0..40 {
+            counts[b.place(&servers, 7.6).unwrap()] += 1;
+        }
+        // The static anti-synchronization bias allows a ±1 skew.
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+        assert!(counts.iter().all(|&c| (9..=11).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn warmer_inlet_gets_less_load() {
+        // Server 0 breathes hotter air; the balancer compensates with
+        // fewer jobs.
+        let list = servers(2, InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 3));
+        let hot_idx = if list[0].inlet() > list[1].inlet() { 0 } else { 1 };
+        let mut b = ThermalBalancer::new();
+        b.rebuild(0..2, &list);
+        let mut counts = [0usize; 2];
+        for _ in 0..30 {
+            counts[b.place(&list, 6.0).unwrap()] += 1;
+        }
+        assert!(
+            counts[hot_idx] < counts[1 - hot_idx],
+            "hot server got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn respects_membership() {
+        let servers = servers(4, InletModel::uniform(Celsius::new(22.0)));
+        let mut b = ThermalBalancer::new();
+        b.rebuild([1, 3], &servers);
+        for _ in 0..20 {
+            let idx = b.place(&servers, 5.0).unwrap();
+            assert!(idx == 1 || idx == 3);
+        }
+    }
+
+    #[test]
+    fn full_members_are_skipped_until_exhausted() {
+        let mut list = servers(1, InletModel::uniform(Celsius::new(22.0)));
+        for i in 0..31 {
+            list[0].start_job(&Job::new(JobId(i), WorkloadKind::VirusScan, Seconds::new(60.0)));
+        }
+        let mut b = ThermalBalancer::new();
+        b.rebuild(0..1, &list);
+        assert_eq!(b.place(&list, 5.0), Some(0));
+        // The single core was consumed; the balancer reports exhaustion.
+        assert_eq!(b.place(&list, 5.0), None);
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn add_member_mid_tick() {
+        let servers = servers(2, InletModel::uniform(Celsius::new(22.0)));
+        let mut b = ThermalBalancer::new();
+        b.rebuild(0..1, &servers);
+        b.add_member(1, &servers);
+        let mut seen = [false; 2];
+        for _ in 0..4 {
+            seen[b.place(&servers, 6.0).unwrap()] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,110 @@
+//! The coolest-first baseline: a thermal-aware load *balancer*.
+
+use crate::balance::ThermalBalancer;
+use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_units::Seconds;
+use vmt_workload::Job;
+
+/// Coolest-first placement: each job goes to the server with the most
+/// thermal headroom.
+///
+/// Implemented with a [`ThermalBalancer`] over the whole cluster:
+/// projections start from each server's steady-state temperature and are
+/// bumped per placement, which is what a production coolest-first
+/// balancer with a power model does. The result is the tight temperature
+/// distribution of the paper's Figure 10 — and, like round robin, no
+/// melted wax, because equalized temperatures sit at the cluster average
+/// and the average never crosses the melt line.
+#[derive(Debug, Clone, Default)]
+pub struct CoolestFirst {
+    balancer: ThermalBalancer,
+    initialized: bool,
+}
+
+impl CoolestFirst {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for CoolestFirst {
+    fn name(&self) -> &str {
+        "coolest-first"
+    }
+
+    fn on_tick(&mut self, servers: &[Server], _now: Seconds) {
+        self.balancer.rebuild(0..servers.len(), servers);
+        self.initialized = true;
+    }
+
+    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+        if !self.initialized {
+            self.balancer.rebuild(0..servers.len(), servers);
+            self.initialized = true;
+        }
+        self.balancer
+            .place(servers, job.core_power().get())
+            .map(ServerId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_dcsim::ClusterConfig;
+    use vmt_workload::{JobId, WorkloadKind};
+
+    fn servers(n: usize) -> Vec<Server> {
+        let config = ClusterConfig::paper_default(n);
+        (0..n).map(|i| Server::from_config(ServerId(i), &config)).collect()
+    }
+
+    fn job(id: u64, kind: WorkloadKind) -> Job {
+        Job::new(JobId(id), kind, Seconds::new(300.0))
+    }
+
+    #[test]
+    fn picks_the_cooler_server() {
+        let mut servers = servers(2);
+        // Load server 0; its projected steady temperature rises.
+        for i in 0..16 {
+            servers[0].start_job(&job(100 + i, WorkloadKind::Clustering));
+        }
+        let mut cf = CoolestFirst::new();
+        cf.on_tick(&servers, Seconds::ZERO);
+        assert_eq!(
+            cf.place(&job(0, WorkloadKind::WebSearch), &servers),
+            Some(ServerId(1))
+        );
+    }
+
+    #[test]
+    fn spreads_burst_across_equally_cool_servers() {
+        let servers = servers(4);
+        let mut cf = CoolestFirst::new();
+        cf.on_tick(&servers, Seconds::ZERO);
+        let mut counts = [0usize; 4];
+        for i in 0..40 {
+            let sid = cf
+                .place(&job(i, WorkloadKind::VideoEncoding), &servers)
+                .unwrap();
+            counts[sid.0] += 1;
+        }
+        // The static anti-synchronization bias allows a ±1 skew.
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+        assert!(counts.iter().all(|&c| (9..=11).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn none_when_cluster_full() {
+        let mut servers = servers(1);
+        for i in 0..32 {
+            servers[0].start_job(&job(i, WorkloadKind::VirusScan));
+        }
+        let mut cf = CoolestFirst::new();
+        cf.on_tick(&servers, Seconds::ZERO);
+        assert_eq!(cf.place(&job(99, WorkloadKind::WebSearch), &servers), None);
+        assert!(cf.hot_group_size().is_none());
+    }
+}

@@ -1,0 +1,138 @@
+//! Policy selection by name/kind — convenience for experiments and CLIs.
+
+use crate::{CoolestFirst, GroupingValue, RoundRobin, VmtConfig, VmtTa, VmtWa};
+use vmt_dcsim::{ClusterConfig, Scheduler};
+
+/// The four placement policies of the paper's evaluation, as data.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_core::PolicyKind;
+/// use vmt_dcsim::ClusterConfig;
+///
+/// let cluster = ClusterConfig::paper_default(100);
+/// let scheduler = PolicyKind::VmtTa { gv: 22.0 }.build(&cluster);
+/// assert_eq!(scheduler.name(), "vmt-ta");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PolicyKind {
+    /// Prior TTS work's baseline.
+    RoundRobin,
+    /// Thermal-aware load balancer baseline.
+    CoolestFirst,
+    /// VMT with thermal-aware placement at a grouping value.
+    VmtTa {
+        /// The grouping value.
+        gv: f64,
+    },
+    /// VMT with wax-aware placement at a grouping value and wax
+    /// threshold.
+    VmtWa {
+        /// The grouping value.
+        gv: f64,
+        /// The wax threshold (fraction melted that counts as "full").
+        wax_threshold: f64,
+    },
+    /// Day-over-day self-tuning VMT-WA (beyond the paper, §V-C remark).
+    AdaptiveGv {
+        /// The starting grouping value.
+        start_gv: f64,
+    },
+    /// Wax-preserving VMT that engages at an hour-of-day (beyond the
+    /// paper, §III remark on raising the melting temperature).
+    Preserve {
+        /// The grouping value used once engaged.
+        gv: f64,
+        /// Hour-of-day at which VMT engages.
+        engage_hour: f64,
+    },
+}
+
+impl PolicyKind {
+    /// The paper's default wax-aware configuration at a GV.
+    pub fn vmt_wa(gv: f64) -> Self {
+        PolicyKind::VmtWa {
+            gv,
+            wax_threshold: 0.98,
+        }
+    }
+
+    /// Instantiates the scheduler for a cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VMT policy is requested for a cluster without wax.
+    pub fn build(self, cluster: &ClusterConfig) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobin::new()),
+            PolicyKind::CoolestFirst => Box::new(CoolestFirst::new()),
+            PolicyKind::VmtTa { gv } => {
+                Box::new(VmtTa::new(VmtConfig::new(GroupingValue::new(gv), cluster)))
+            }
+            PolicyKind::VmtWa { gv, wax_threshold } => Box::new(VmtWa::new(
+                VmtConfig::new(GroupingValue::new(gv), cluster).with_wax_threshold(wax_threshold),
+            )),
+            PolicyKind::AdaptiveGv { start_gv } => Box::new(crate::AdaptiveGv::new(
+                VmtConfig::new(GroupingValue::new(start_gv), cluster),
+                ((start_gv - 8.0).max(10.0), start_gv + 8.0),
+            )),
+            PolicyKind::Preserve { gv, engage_hour } => Box::new(crate::VmtPreserve::new(
+                VmtConfig::new(GroupingValue::new(gv), cluster),
+                vmt_units::Hours::new(engage_hour),
+            )),
+        }
+    }
+
+    /// Short display label (used in experiment tables).
+    pub fn label(self) -> String {
+        match self {
+            PolicyKind::RoundRobin => "Round Robin".to_owned(),
+            PolicyKind::CoolestFirst => "Coolest First".to_owned(),
+            PolicyKind::VmtTa { gv } => format!("VMT-TA GV={gv}"),
+            PolicyKind::VmtWa { gv, .. } => format!("VMT-WA GV={gv}"),
+            PolicyKind::AdaptiveGv { start_gv } => format!("Adaptive GV from {start_gv}"),
+            PolicyKind::Preserve { gv, engage_hour } => {
+                format!("VMT-Preserve GV={gv} @{engage_hour}h")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_policies() {
+        let cluster = ClusterConfig::paper_default(10);
+        for (kind, name) in [
+            (PolicyKind::RoundRobin, "round-robin"),
+            (PolicyKind::CoolestFirst, "coolest-first"),
+            (PolicyKind::VmtTa { gv: 22.0 }, "vmt-ta"),
+            (PolicyKind::vmt_wa(22.0), "vmt-wa"),
+            (PolicyKind::AdaptiveGv { start_gv: 22.0 }, "adaptive-gv"),
+            (
+                PolicyKind::Preserve {
+                    gv: 22.0,
+                    engage_hour: 16.0,
+                },
+                "vmt-preserve",
+            ),
+        ] {
+            assert_eq!(kind.build(&cluster).name(), name);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PolicyKind::VmtTa { gv: 22.0 }.label(), "VMT-TA GV=22");
+        assert_eq!(PolicyKind::RoundRobin.label(), "Round Robin");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a wax deployment")]
+    fn vmt_requires_wax() {
+        PolicyKind::VmtTa { gv: 22.0 }.build(&ClusterConfig::without_wax(5));
+    }
+}

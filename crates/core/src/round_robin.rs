@@ -1,0 +1,94 @@
+//! The round-robin baseline (prior TTS work's scheduler).
+
+use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_workload::Job;
+
+/// Round-robin placement: each job goes to the next server in id order
+/// with a free core, wrapping around.
+///
+/// This is the baseline the original TTS paper evaluated with. It spreads
+/// load (and therefore heat) evenly, which is exactly why it cannot melt
+/// wax in the mixes VMT targets: every server converges to the cluster
+/// *average* thermal profile, and the average sits below the melt point.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn place(&mut self, _job: &Job, servers: &[Server]) -> Option<ServerId> {
+        let n = servers.len();
+        for offset in 0..n {
+            let idx = (self.cursor + offset) % n;
+            if servers[idx].free_cores() > 0 {
+                self.cursor = (idx + 1) % n;
+                return Some(ServerId(idx));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_dcsim::ClusterConfig;
+    use vmt_units::Seconds;
+    use vmt_workload::{JobId, WorkloadKind};
+
+    fn servers(n: usize) -> Vec<Server> {
+        let config = ClusterConfig::paper_default(n);
+        (0..n).map(|i| Server::from_config(ServerId(i), &config)).collect()
+    }
+
+    fn job(id: u64) -> Job {
+        Job::new(JobId(id), WorkloadKind::WebSearch, Seconds::new(300.0))
+    }
+
+    #[test]
+    fn cycles_through_servers() {
+        let mut servers = servers(3);
+        let mut rr = RoundRobin::new();
+        for (i, expect) in [0, 1, 2, 0, 1].into_iter().enumerate() {
+            let sid = rr.place(&job(i as u64), &servers).unwrap();
+            assert_eq!(sid, ServerId(expect));
+            servers[sid.0].start_job(&job(1000 + i as u64));
+        }
+    }
+
+    #[test]
+    fn skips_full_servers() {
+        let mut servers = servers(2);
+        for i in 0..32 {
+            servers[0].start_job(&job(100 + i));
+        }
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.place(&job(0), &servers), Some(ServerId(1)));
+    }
+
+    #[test]
+    fn none_when_cluster_full() {
+        let mut servers = servers(1);
+        for i in 0..32 {
+            servers[0].start_job(&job(i));
+        }
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.place(&job(99), &servers), None);
+    }
+
+    #[test]
+    fn no_hot_group() {
+        assert!(RoundRobin::new().hot_group_size().is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! VMT with thermal-aware job placement (VMT-TA, paper §III-A).
+
+use crate::balance::ThermalBalancer;
+use crate::grouping::VmtConfig;
+use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_workload::{Job, VmtClass};
+
+/// VMT-TA: static hot/cold groups, hot jobs concentrated in the hot
+/// group.
+///
+/// The cluster is split by Equation 1 into a hot group (server ids
+/// `0..hot_size`) and a cold group (the rest). Hot-classified jobs
+/// (Table I) go to the hot group, cold jobs to the cold group; within
+/// each group jobs are "distributed evenly among the servers", realized
+/// as temperature balancing ([`ThermalBalancer`]) so that uneven inlet
+/// temperatures are compensated rather than amplified. If a job's home
+/// group is full it spills into the other group — the paper's overflow
+/// rule — so VMT-TA only fails to place a job when the whole cluster is
+/// out of cores.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_core::{GroupingValue, VmtConfig, VmtTa};
+/// use vmt_dcsim::{ClusterConfig, Scheduler};
+///
+/// let cluster = ClusterConfig::paper_default(1000);
+/// let ta = VmtTa::new(VmtConfig::new(GroupingValue::new(22.0), &cluster));
+/// assert_eq!(ta.name(), "vmt-ta");
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmtTa {
+    config: VmtConfig,
+    /// Hot-group size; resolved from the cluster on the first tick.
+    hot_size: usize,
+    hot: ThermalBalancer,
+    cold: ThermalBalancer,
+    initialized: bool,
+}
+
+impl VmtTa {
+    /// Creates the policy.
+    pub fn new(config: VmtConfig) -> Self {
+        Self {
+            config,
+            hot_size: 0,
+            hot: ThermalBalancer::new(),
+            cold: ThermalBalancer::new(),
+            initialized: false,
+        }
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &VmtConfig {
+        &self.config
+    }
+
+    fn refresh(&mut self, servers: &[Server]) {
+        if self.hot_size == 0 {
+            self.hot_size = self.config.hot_group_size(servers.len());
+        }
+        self.hot.rebuild(0..self.hot_size, servers);
+        self.cold.rebuild(self.hot_size..servers.len(), servers);
+        self.initialized = true;
+    }
+}
+
+impl Scheduler for VmtTa {
+    fn name(&self) -> &str {
+        "vmt-ta"
+    }
+
+    fn on_tick(&mut self, servers: &[Server], _now: vmt_units::Seconds) {
+        self.refresh(servers);
+    }
+
+    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+        if !self.initialized {
+            self.refresh(servers);
+        }
+        let power = job.core_power().get();
+        // Home group first; spill into the other group when full.
+        let idx = match job.kind().vmt_class() {
+            VmtClass::Hot => self
+                .hot
+                .place(servers, power)
+                .or_else(|| self.cold.place(servers, power)),
+            VmtClass::Cold => self
+                .cold
+                .place(servers, power)
+                .or_else(|| self.hot.place(servers, power)),
+        };
+        idx.map(ServerId)
+    }
+
+    fn hot_group_size(&self) -> Option<usize> {
+        Some(self.hot_size.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupingValue;
+    use vmt_dcsim::ClusterConfig;
+    use vmt_units::Seconds;
+    use vmt_workload::{JobId, WorkloadKind};
+
+    fn setup(n: usize, gv: f64) -> (Vec<Server>, VmtTa) {
+        let config = ClusterConfig::paper_default(n);
+        let servers: Vec<Server> = (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let mut ta = VmtTa::new(VmtConfig::new(GroupingValue::new(gv), &config));
+        ta.refresh(&servers);
+        (servers, ta)
+    }
+
+    fn job(id: u64, kind: WorkloadKind) -> Job {
+        Job::new(JobId(id), kind, Seconds::new(300.0))
+    }
+
+    #[test]
+    fn group_sizing_matches_equation_one() {
+        let (_, ta) = setup(100, 22.0);
+        assert_eq!(ta.hot_group_size(), Some(62));
+    }
+
+    #[test]
+    fn hot_jobs_go_to_hot_group_cold_to_cold() {
+        let (mut servers, mut ta) = setup(10, 22.0);
+        let hot = ta.hot_group_size().unwrap();
+        for i in 0..20 {
+            let sid = ta.place(&job(i, WorkloadKind::Clustering), &servers).unwrap();
+            assert!(sid.0 < hot, "hot job landed on {sid}");
+            servers[sid.0].start_job(&job(1000 + i, WorkloadKind::Clustering));
+        }
+        for i in 0..20 {
+            let sid = ta
+                .place(&job(100 + i, WorkloadKind::DataCaching), &servers)
+                .unwrap();
+            assert!(sid.0 >= hot, "cold job landed on {sid}");
+            servers[sid.0].start_job(&job(2000 + i, WorkloadKind::DataCaching));
+        }
+    }
+
+    #[test]
+    fn distributes_evenly_within_group() {
+        let (mut servers, mut ta) = setup(10, 22.0);
+        let hot = ta.hot_group_size().unwrap();
+        let mut counts = vec![0usize; 10];
+        for i in 0..(hot as u64 * 3) {
+            let sid = ta.place(&job(i, WorkloadKind::WebSearch), &servers).unwrap();
+            counts[sid.0] += 1;
+            servers[sid.0].start_job(&job(5000 + i, WorkloadKind::WebSearch));
+        }
+        let total: usize = counts[..hot].iter().sum();
+        assert_eq!(total, hot * 3);
+        for idx in 0..hot {
+            // The static anti-synchronization bias allows a ±1 skew.
+            assert!((2..=4).contains(&counts[idx]), "server {idx}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn spills_when_home_group_full() {
+        let (mut servers, mut ta) = setup(4, 22.0);
+        let hot = ta.hot_group_size().unwrap();
+        assert_eq!(hot, 2);
+        for (s, server) in servers.iter_mut().enumerate().take(hot) {
+            for c in 0..32 {
+                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::WebSearch));
+            }
+        }
+        // Rebuild so the balancer sees the filled hot group.
+        ta.refresh(&servers);
+        let sid = ta.place(&job(9999, WorkloadKind::WebSearch), &servers).unwrap();
+        assert!(sid.0 >= hot, "expected spill into the cold group, got {sid}");
+    }
+
+    #[test]
+    fn none_when_cluster_full() {
+        let (mut servers, mut ta) = setup(2, 22.0);
+        for (s, server) in servers.iter_mut().enumerate().take(2) {
+            for c in 0..32 {
+                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VirusScan));
+            }
+        }
+        ta.refresh(&servers);
+        assert_eq!(ta.place(&job(9999, WorkloadKind::WebSearch), &servers), None);
+    }
+
+    #[test]
+    fn compensates_uneven_inlets_within_group() {
+        // With a 2 °C inlet spread, the warmest hot-group server gets
+        // the least load.
+        let mut config = ClusterConfig::paper_default(6);
+        config.inlet = vmt_thermal::InletModel::normal(
+            vmt_units::Celsius::new(22.0),
+            vmt_units::DegC::new(2.0),
+            9,
+        );
+        let servers: Vec<Server> = (0..6)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let mut ta = VmtTa::new(VmtConfig::new(GroupingValue::new(22.0), &config));
+        ta.refresh(&servers);
+        let hot = ta.hot_group_size().unwrap();
+        let mut counts = vec![0usize; 6];
+        let mut servers = servers;
+        for i in 0..((hot * 8) as u64) {
+            let sid = ta.place(&job(i, WorkloadKind::WebSearch), &servers).unwrap();
+            counts[sid.0] += 1;
+            servers[sid.0].start_job(&job(5000 + i, WorkloadKind::WebSearch));
+        }
+        let warmest = (0..hot)
+            .max_by(|&a, &b| servers[a].inlet().partial_cmp(&servers[b].inlet()).unwrap())
+            .unwrap();
+        let coolest = (0..hot)
+            .min_by(|&a, &b| servers[a].inlet().partial_cmp(&servers[b].inlet()).unwrap())
+            .unwrap();
+        assert!(
+            counts[warmest] < counts[coolest],
+            "warmest {warmest} got {counts:?}"
+        );
+    }
+}

@@ -1,0 +1,541 @@
+//! VMT with wax-aware job placement (VMT-WA, paper §III-B).
+
+use crate::grouping::VmtConfig;
+use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_units::{Celsius, Seconds};
+use vmt_workload::{Job, VmtClass};
+
+/// Margin above the melting temperature at which a melted server counts
+/// as "warm enough": keep-warm placement tops a melted server up only
+/// until its projected steady-state temperature clears this line, so it
+/// receives "just enough load to keep the wax melted" and no more.
+const KEEP_WARM_MARGIN_K: f64 = 0.5;
+
+/// Reported melt fraction below which a trailing hot-group server counts
+/// as refrozen and may be returned to the cold group (off-peak shrink).
+const REFREEZE_FRACTION: f64 = 0.05;
+
+/// Cluster utilization above which the wax-aware machinery (keep-warm,
+/// saturation penalties, hot-group growth) engages. Measured at the
+/// start of a tick, after departures and before arrivals, so the
+/// threshold sits ≈12% below the plateau's nominal occupancy. The paper's VMT-WA
+/// acts only "if all of the wax melts before the end of the load peak" —
+/// there is peak left to shave. When wax saturates on the peak's falling
+/// edge instead, the correct reaction is none: behave exactly like
+/// VMT-TA and let thermal time shifting release the heat into the
+/// growing cooling headroom.
+const KEEP_WARM_MIN_UTILIZATION: f64 = 0.82;
+
+/// Cluster utilization below which the hot group may shrink back toward
+/// its Equation-1 base. Deliberately below the keep-warm threshold so a
+/// dusk-time utilization wobble cannot dump dozens of still-warm servers
+/// back into the cold group while the load is still high.
+const SHRINK_MAX_UTILIZATION: f64 = 0.60;
+
+/// Optional aggressiveness knobs for [`VmtWa`]'s saturation reaction.
+///
+/// The default tuning reacts to saturation with two mechanisms that can
+/// only help: the keep-warm safety net (top up a cooling melted server
+/// before it releases stored heat) and growth when the hot group runs
+/// out of cores. Two further mechanisms redirect load away from
+/// saturated servers *proactively*; on clusters running near their
+/// computational capacity they can displace more load than the cold
+/// group has room for and end up releasing stored heat into the peak,
+/// so they default off. The `ablations` experiment quantifies each.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaTuning {
+    /// Top up melted servers that are about to dip below the melt line.
+    pub keep_warm: bool,
+    /// Balancer key penalty (kelvin) on saturated servers: bleeds load
+    /// toward unmelted servers gradually. 0 disables.
+    pub melted_penalty_k: f64,
+    /// Servers added to the hot group per tick from the paper's
+    /// "base + melted count" rule. 0 disables (growth then happens only
+    /// when the group is computationally full).
+    pub count_growth_per_tick: usize,
+}
+
+impl Default for WaTuning {
+    fn default() -> Self {
+        Self {
+            keep_warm: true,
+            melted_penalty_k: 0.0,
+            count_growth_per_tick: 0,
+        }
+    }
+}
+
+/// VMT-WA: VMT-TA plus wax-state feedback.
+///
+/// Starts from the same Equation-1 hot group as [`crate::VmtTa`] but
+/// watches every server's *reported* melt state (the on-server estimator,
+/// not ground truth) and adapts:
+///
+/// * **Keep-warm first.** A fully melted server whose projected
+///   steady-state temperature has fallen below the melt line is topped up
+///   with hot jobs before anything else — cooling a melted server would
+///   release its stored heat back into the peak. Topping up stops as soon
+///   as the server's projected temperature clears the melt line plus a
+///   small margin, so melted servers hold "just enough load to keep the
+///   wax melted".
+/// * **Melt new wax second.** Remaining hot jobs round-robin across the
+///   hot group's unmelted servers.
+/// * **Grow on saturation.** When no hot-group server qualifies (all
+///   melted and warm), the hot group grows into the cold group one server
+///   at a time; the excess load concentrates on each newly added server
+///   in turn, melting its wax at full rate — the paper's "moves the
+///   additional load to the newly added server".
+/// * **Never shrink during the peak.** Servers leave the hot group only
+///   after their wax has refrozen (trailing servers, off-peak); pulling a
+///   molten server into the cold group would dump its stored energy into
+///   the cooling load.
+///
+/// Cold jobs go to the cold group; when it is full they prefer hot-group
+/// servers that are already melted *and* above the melting temperature
+/// (minimal thermal impact), then any remaining server. The paper notes
+/// this ladder "will only fail to schedule a job in the case where a
+/// thermally unconstrained datacenter would also run out of computational
+/// space".
+#[derive(Debug, Clone)]
+pub struct VmtWa {
+    config: VmtConfig,
+    tuning: WaTuning,
+    base_hot: usize,
+    hot_size: usize,
+    /// Melted hot-group servers currently below the keep-warm line, in
+    /// need of topping up (rebuilt per tick, consumed during placement).
+    keep_warm: Vec<usize>,
+    /// Temperature balancer over the hot group (saturated members carry
+    /// a key penalty; grown servers are appended).
+    hot: crate::balance::ThermalBalancer,
+    /// Temperature balancer over the cold group.
+    cold: crate::balance::ThermalBalancer,
+    /// Per-server "reported melt ≥ threshold" flags, refreshed per tick.
+    melted: Vec<bool>,
+    /// Per-server "air below melt temperature" flags, refreshed per tick.
+    below_melt: Vec<bool>,
+}
+
+impl VmtWa {
+    /// Creates the policy.
+    pub fn new(config: VmtConfig) -> Self {
+        Self::with_tuning(config, WaTuning::default())
+    }
+
+    /// Creates the policy with explicit saturation-reaction tuning.
+    pub fn with_tuning(config: VmtConfig, tuning: WaTuning) -> Self {
+        Self {
+            config,
+            tuning,
+            base_hot: 0,
+            hot_size: 0,
+            keep_warm: Vec::new(),
+            hot: crate::balance::ThermalBalancer::new(),
+            cold: crate::balance::ThermalBalancer::new(),
+            melted: Vec::new(),
+            below_melt: Vec::new(),
+        }
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &VmtConfig {
+        &self.config
+    }
+
+    /// Steady-state air temperature this server is heading toward at its
+    /// current (intra-tick) power draw.
+    fn projected_temp(server: &Server) -> Celsius {
+        server.inlet()
+            + vmt_units::DegC::new(server.power().get() / server.air().capacity_rate().get())
+    }
+
+    /// The temperature a melted server must project to count as warm.
+    fn warm_line(&self) -> Celsius {
+        self.config.pmt + vmt_units::DegC::new(KEEP_WARM_MARGIN_K)
+    }
+
+    /// Refreshes per-tick state: wax flags, group shrink, placement
+    /// lists.
+    fn refresh(&mut self, servers: &[Server]) {
+        let n = servers.len();
+        if self.base_hot == 0 {
+            self.base_hot = self.config.hot_group_size(n);
+            self.hot_size = self.base_hot;
+        }
+        self.melted.clear();
+        self.below_melt.clear();
+        for s in servers {
+            self.melted
+                .push(s.reported_melt_fraction().get() >= self.config.wax_threshold);
+            self.below_melt.push(s.air_at_wax() < self.config.pmt);
+        }
+        // Keep-warm (and the no-shrink rule) only make sense near the
+        // peak: off-peak the wax is supposed to refreeze and release its
+        // heat into the cooling system's idle headroom.
+        let used: u32 = servers.iter().map(Server::used_cores).sum();
+        let total: u32 = servers.iter().map(Server::cores).sum();
+        let utilization = f64::from(used) / f64::from(total);
+        let near_peak = utilization >= KEEP_WARM_MIN_UTILIZATION;
+        // Off-peak shrink: release trailing servers whose wax refroze.
+        // Never during the peak — "we do not transition servers from the
+        // hot group to the cold group during the peak".
+        while utilization < SHRINK_MAX_UTILIZATION && self.hot_size > self.base_hot {
+            let idx = self.hot_size - 1;
+            let refrozen = servers[idx].reported_melt_fraction().get() < REFREEZE_FRACTION
+                && self.below_melt[idx];
+            if refrozen {
+                self.hot_size -= 1;
+            } else {
+                break;
+            }
+        }
+        // Grow by the saturated count ("the scheduler restarts from the
+        // minimum hot group size and adds servers in order"). Growth is
+        // gentle because grown servers merely become the coolest members
+        // of the balancer and attract the churned load over minutes.
+        if near_peak && self.tuning.count_growth_per_tick > 0 {
+            let melted_count = self.melted[..self.hot_size].iter().filter(|&&m| m).count();
+            let target = (self.base_hot + melted_count).clamp(self.hot_size, n);
+            self.hot_size = target.min(self.hot_size + self.tuning.count_growth_per_tick);
+        }
+        let warm_line = self.warm_line();
+        self.keep_warm.clear();
+        let mut members = Vec::with_capacity(self.hot_size);
+        #[allow(clippy::needless_range_loop)] // indices double as balancer keys
+        for idx in 0..self.hot_size {
+            if near_peak && self.melted[idx] {
+                // Safety net: a saturated server about to dip below the
+                // melt line gets topped up with priority.
+                if self.tuning.keep_warm && Self::projected_temp(&servers[idx]) < warm_line {
+                    self.keep_warm.push(idx);
+                }
+                members.push((idx, self.tuning.melted_penalty_k));
+            } else {
+                // Off-peak, melted servers take hot jobs like anyone else
+                // (VMT-TA behavior); the trough load is too light to keep
+                // them above the melt line, so the wax refreezes anyway.
+                members.push((idx, 0.0));
+            }
+        }
+        self.hot.rebuild_biased(members, servers);
+        self.cold.rebuild(self.hot_size..n, servers);
+    }
+
+    fn place_hot(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
+        let n = servers.len();
+        // 1. Keep-warm: top up melted servers that are about to dip below
+        //    the melt line. Placing here both prevents heat release and
+        //    frees the rest of the load for unmelted wax.
+        while let Some(&idx) = self.keep_warm.last() {
+            if servers[idx].free_cores() > 0 && Self::projected_temp(&servers[idx]) < self.warm_line()
+            {
+                // Keep the balancer's projection truthful about this
+                // out-of-band placement.
+                self.hot.account_external(idx, core_power_w, servers);
+                return Some(ServerId(idx));
+            }
+            // Topped up (or full): done with this server for the tick.
+            self.keep_warm.pop();
+        }
+        // 2. Temperature-balanced placement across the hot group
+        //    (saturated members carry a key penalty, so new wax melts
+        //    preferentially without abandoning molten servers).
+        if let Some(idx) = self.hot.place(servers, core_power_w) {
+            return Some(ServerId(idx));
+        }
+        // 3. The whole group is out of cores: grow one server at a time;
+        //    the next cold-group server has unmelted wax by construction.
+        while self.hot_size < n {
+            let idx = self.hot_size;
+            self.hot_size += 1;
+            self.hot.add_member(idx, servers);
+            if let Some(found) = self.hot.place(servers, core_power_w) {
+                return Some(ServerId(found));
+            }
+        }
+        // 4. Corner case: the whole cluster is the hot group. Any server
+        //    below the melted threshold, then any server at all.
+        (0..n)
+            .find(|&i| !self.melted[i] && servers[i].free_cores() > 0)
+            .or_else(|| (0..n).find(|&i| servers[i].free_cores() > 0))
+            .map(ServerId)
+    }
+
+    fn place_cold(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
+        // 1. The cold group, temperature balanced.
+        if let Some(idx) = self.cold.place(servers, core_power_w) {
+            return Some(ServerId(idx));
+        }
+        // 2. A hot-group server already melted and above the melting
+        //    temperature — placing a cold job there has minimal thermal
+        //    impact.
+        (0..self.hot_size)
+            .find(|&i| self.melted[i] && !self.below_melt[i] && servers[i].free_cores() > 0)
+            // 3. Any remaining hot-group server.
+            .or_else(|| (0..self.hot_size).find(|&i| servers[i].free_cores() > 0))
+            .map(ServerId)
+    }
+}
+
+impl Scheduler for VmtWa {
+    fn name(&self) -> &str {
+        "vmt-wa"
+    }
+
+    fn on_tick(&mut self, servers: &[Server], _now: Seconds) {
+        self.refresh(servers);
+    }
+
+    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+        if self.melted.len() != servers.len() {
+            self.refresh(servers);
+        }
+        match job.kind().vmt_class() {
+            VmtClass::Hot => self.place_hot(servers, job.core_power().get()),
+            VmtClass::Cold => self.place_cold(servers, job.core_power().get()),
+        }
+    }
+
+    fn hot_group_size(&self) -> Option<usize> {
+        Some(self.hot_size.max(self.base_hot).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupingValue;
+    use vmt_dcsim::ClusterConfig;
+    use vmt_workload::{JobId, WorkloadKind};
+
+    fn setup(n: usize, gv: f64) -> (Vec<Server>, VmtWa) {
+        let config = ClusterConfig::paper_default(n);
+        let servers: Vec<Server> = (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let mut wa = VmtWa::new(VmtConfig::new(GroupingValue::new(gv), &config));
+        wa.refresh(&servers);
+        (servers, wa)
+    }
+
+    fn setup_with_threshold(n: usize, gv: f64, threshold: f64) -> (Vec<Server>, VmtWa) {
+        let config = ClusterConfig::paper_default(n);
+        let servers: Vec<Server> = (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let mut wa = VmtWa::new(
+            VmtConfig::new(GroupingValue::new(gv), &config).with_wax_threshold(threshold),
+        );
+        wa.refresh(&servers);
+        (servers, wa)
+    }
+
+    fn job(id: u64, kind: WorkloadKind) -> Job {
+        Job::new(JobId(id), kind, Seconds::new(300.0))
+    }
+
+    /// Saturates the first `count` servers with hot load and ticks until
+    /// their wax (and estimators) report fully melted.
+    fn melt_servers(servers: &mut [Server], count: usize) {
+        for (s, server) in servers.iter_mut().enumerate().take(count) {
+            for c in 0..32 {
+                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VideoEncoding));
+            }
+        }
+        for _ in 0..(24 * 60) {
+            for s in servers.iter_mut() {
+                s.tick(Seconds::new(60.0));
+            }
+        }
+    }
+
+    #[test]
+    fn starts_at_equation_one_size() {
+        let (_, wa) = setup(100, 22.0);
+        assert_eq!(wa.hot_group_size(), Some(62));
+    }
+
+    #[test]
+    fn behaves_like_ta_while_unmelted() {
+        let (mut servers, mut wa) = setup(10, 22.0);
+        let hot = wa.hot_group_size().unwrap();
+        for i in 0..12 {
+            let sid = wa.place(&job(i, WorkloadKind::Clustering), &servers).unwrap();
+            assert!(sid.0 < hot);
+            servers[sid.0].start_job(&job(1000 + i, WorkloadKind::Clustering));
+        }
+        for i in 0..12 {
+            let sid = wa
+                .place(&job(100 + i, WorkloadKind::DataCaching), &servers)
+                .unwrap();
+            assert!(sid.0 >= hot);
+            servers[sid.0].start_job(&job(2000 + i, WorkloadKind::DataCaching));
+        }
+    }
+
+    #[test]
+    fn grows_hot_group_when_wax_saturates() {
+        let (mut servers, mut wa) = setup(6, 22.0);
+        let base = wa.hot_group_size().unwrap();
+        assert_eq!(base, 4);
+        melt_servers(&mut servers, base);
+        wa.refresh(&servers);
+        // Melted servers are still fully loaded (above the warm line), so
+        // an arriving hot job saturates the group and grows it.
+        let sid = wa.place(&job(9000, WorkloadKind::WebSearch), &servers).unwrap();
+        assert!(sid.0 >= base, "expected placement on an added server, got {sid}");
+        assert!(wa.hot_group_size().unwrap() > base);
+    }
+
+    /// Fills the cold group with enough cold jobs that the cluster is
+    /// "near peak" (≥75% utilized), activating keep-warm.
+    fn load_cold_group(servers: &mut [Server], fills: &[(usize, u64)]) {
+        for &(s, cores) in fills {
+            for c in 0..cores {
+                servers[s].start_job(&job(90_000 + s as u64 * 100 + c, WorkloadKind::DataCaching));
+            }
+        }
+    }
+
+    /// Shared scenario for the keep-warm tests: an 8-server cluster
+    /// (hot group = 5) where servers 0–3 are fully melted and loaded,
+    /// server 4 is unmelted with headroom, server 0 has been partially
+    /// drained and cooled below the melt line, and the cold group is
+    /// loaded enough that the cluster is near peak (≥88% utilized).
+    fn keep_warm_scenario() -> (Vec<Server>, VmtWa) {
+        let (mut servers, mut wa) = setup_with_threshold(8, 22.0, 0.85);
+        assert_eq!(wa.hot_group_size(), Some(5));
+        // Servers 0-3: full hot load, melted.
+        for (s, server) in servers.iter_mut().enumerate().take(4) {
+            for c in 0..32 {
+                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VideoEncoding));
+            }
+        }
+        // Server 4: light mixed load — stays below the melt line.
+        for c in 0..12 {
+            servers[4].start_job(&job((400 + c) as u64, WorkloadKind::VideoEncoding));
+        }
+        for c in 12..24 {
+            servers[4].start_job(&job((400 + c) as u64, WorkloadKind::DataCaching));
+        }
+        for _ in 0..(24 * 60) {
+            for s in servers.iter_mut() {
+                s.tick(Seconds::new(60.0));
+            }
+        }
+        // Drain server 0 to 12 jobs and let it cool below the melt line.
+        for c in 0..20 {
+            servers[0].end_job(JobId(c));
+        }
+        for _ in 0..20 {
+            for s in servers.iter_mut() {
+                s.tick(Seconds::new(60.0));
+            }
+        }
+        // Cold group load brings the cluster near peak.
+        load_cold_group(&mut servers, &[(5, 32), (6, 32), (7, 32)]);
+        wa.refresh(&servers);
+        assert!(servers[0].air_at_wax() < Celsius::new(35.7));
+        assert!(servers[0].reported_melt_fraction().get() >= 0.85);
+        (servers, wa)
+    }
+
+    #[test]
+    fn keep_warm_takes_priority_when_melted_servers_cool() {
+        let (servers, mut wa) = keep_warm_scenario();
+        // The next hot job must go to server 0 to keep its wax molten.
+        let sid = wa.place(&job(9000, WorkloadKind::WebSearch), &servers).unwrap();
+        assert_eq!(sid, ServerId(0));
+    }
+
+    #[test]
+    fn keep_warm_stops_at_just_enough_load() {
+        let (mut servers, mut wa) = keep_warm_scenario();
+        // Feed hot jobs; count how many go to server 0 before the policy
+        // decides it is warm enough and routes the rest to the unmelted
+        // server 4.
+        let mut to_zero = 0;
+        for i in 0..16 {
+            let sid = wa.place(&job(9000 + i, WorkloadKind::Clustering), &servers).unwrap();
+            servers[sid.0].start_job(&job(9000 + i, WorkloadKind::Clustering));
+            if sid.0 == 0 {
+                to_zero += 1;
+            }
+        }
+        // Holding 35.7+0.5 °C steady state needs ≈(36.2−22)×17.5 ≈ 249 W
+        // → ≈8 more clustering cores on top of the 12 it kept.
+        assert!(to_zero >= 4, "server 0 got only {to_zero} jobs");
+        assert!(to_zero <= 12, "server 0 got {to_zero} jobs — keep-warm did not stop");
+    }
+
+    #[test]
+    fn never_shrinks_during_the_peak() {
+        let (mut servers, mut wa) = setup(6, 22.0);
+        let base = wa.hot_group_size().unwrap();
+        melt_servers(&mut servers, base);
+        load_cold_group(&mut servers, &[(5, 32)]);
+        wa.refresh(&servers);
+        // Force growth: the melted group is warm and full, so a hot job
+        // extends the group onto server 4.
+        let sid = wa.place(&job(1, WorkloadKind::WebSearch), &servers).unwrap();
+        servers[sid.0].start_job(&job(1, WorkloadKind::WebSearch));
+        let grown = wa.hot_group_size().unwrap();
+        assert!(grown > base);
+        // Near peak → refresh must not shrink, even though the grown
+        // server's wax is unmelted.
+        wa.refresh(&servers);
+        assert_eq!(wa.hot_group_size().unwrap(), grown);
+    }
+
+    #[test]
+    fn shrinks_after_offpeak_refreeze() {
+        let (mut servers, mut wa) = setup(6, 22.0);
+        let base = wa.hot_group_size().unwrap();
+        melt_servers(&mut servers, base);
+        load_cold_group(&mut servers, &[(5, 32)]);
+        wa.refresh(&servers);
+        let sid = wa.place(&job(1, WorkloadKind::WebSearch), &servers).unwrap();
+        servers[sid.0].start_job(&job(1, WorkloadKind::WebSearch));
+        assert!(wa.hot_group_size().unwrap() > base);
+        // Drain everything and cool until the wax refreezes; off-peak
+        // the group returns to its Equation-1 base.
+        for (s, server) in servers.iter_mut().enumerate().take(base) {
+            for c in 0..32 {
+                server.end_job(JobId((s * 100 + c) as u64));
+            }
+        }
+        servers[sid.0].end_job(JobId(1));
+        for c in 0..32 {
+            servers[5].end_job(JobId(90_000 + 500 + c));
+        }
+        for _ in 0..(48 * 60) {
+            for s in servers.iter_mut() {
+                s.tick(Seconds::new(60.0));
+            }
+        }
+        wa.refresh(&servers);
+        assert_eq!(wa.hot_group_size().unwrap(), base);
+    }
+
+    #[test]
+    fn cold_jobs_prefer_cold_group() {
+        let (mut servers, mut wa) = setup(10, 22.0);
+        let hot = wa.hot_group_size().unwrap();
+        let sid = wa.place(&job(0, WorkloadKind::VirusScan), &servers).unwrap();
+        assert!(sid.0 >= hot);
+        servers[sid.0].start_job(&job(0, WorkloadKind::VirusScan));
+    }
+
+    #[test]
+    fn none_only_when_cluster_full() {
+        let (mut servers, mut wa) = setup(2, 22.0);
+        for (s, server) in servers.iter_mut().enumerate().take(2) {
+            for c in 0..32 {
+                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VirusScan));
+            }
+        }
+        wa.refresh(&servers);
+        assert_eq!(wa.place(&job(999, WorkloadKind::WebSearch), &servers), None);
+        assert_eq!(wa.place(&job(998, WorkloadKind::VirusScan), &servers), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Cluster configuration.
+
+use vmt_pcm::{PcmMaterial, ServerWaxConfig};
+use vmt_power::ServerPowerModel;
+use vmt_thermal::{AirStream, InletModel};
+use vmt_units::{Celsius, Seconds, WattsPerKelvin};
+
+/// Wax deployment parameters shared by every server in a cluster.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaxSpec {
+    /// The deployed material.
+    pub material: PcmMaterial,
+    /// How much wax each server carries.
+    pub sizing: ServerWaxConfig,
+    /// Air-to-wax exchanger conductance (un-tapered).
+    pub exchanger_ua: WattsPerKelvin,
+    /// Phase-interface taper coefficient `b` (see
+    /// [`vmt_pcm::HeatExchanger::with_taper`]).
+    pub interface_taper: f64,
+}
+
+impl WaxSpec {
+    /// The paper's deployment: 4.0 L of 35.7 °C commercial paraffin with
+    /// the calibrated ≈17.5 W/K exchanger, no interface taper.
+    pub fn paper_default() -> Self {
+        Self {
+            material: PcmMaterial::deployed_paraffin(),
+            sizing: ServerWaxConfig::default(),
+            exchanger_ua: WattsPerKelvin::new(17.5),
+            interface_taper: 0.0,
+        }
+    }
+}
+
+/// Static description of a homogeneous cluster.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_dcsim::ClusterConfig;
+///
+/// let config = ClusterConfig::paper_default(1000);
+/// assert_eq!(config.num_servers, 1000);
+/// assert_eq!(config.total_cores(), 32_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterConfig {
+    /// Number of servers in the cluster.
+    pub num_servers: usize,
+    /// Per-server power model.
+    pub power: ServerPowerModel,
+    /// Per-server cooling air stream.
+    pub air: AirStream,
+    /// Inlet temperature distribution across servers.
+    pub inlet: InletModel,
+    /// First-order lag of the CPU-to-air path.
+    pub thermal_time_constant: Seconds,
+    /// Wax deployment; `None` simulates a conventional (waxless) cluster.
+    pub wax: Option<WaxSpec>,
+    /// Simulation tick (the paper updates wax state once per minute).
+    pub tick: Seconds,
+    /// How often the per-server heatmap rows are sampled, in ticks.
+    pub heatmap_stride: usize,
+    /// Seed for the arrival planner's duration jitter.
+    pub seed: u64,
+    /// When true, schedulers read the *physical* wax state instead of
+    /// the on-server estimator's report — an oracle used by ablation
+    /// studies to price the estimator's error.
+    pub oracle_wax_state: bool,
+    /// How job durations scatter around each workload's typical
+    /// duration.
+    pub duration_model: vmt_workload::DurationModel,
+}
+
+impl ClusterConfig {
+    /// The paper's test cluster scaled to `num_servers`: 32-core 100/500 W
+    /// servers, 22 °C uniform inlet, 4.0 L of 35.7 °C paraffin each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_servers` is zero.
+    pub fn paper_default(num_servers: usize) -> Self {
+        assert!(num_servers > 0, "cluster must have at least one server");
+        Self {
+            num_servers,
+            power: ServerPowerModel::paper_default(),
+            air: AirStream::paper_default(),
+            inlet: InletModel::uniform(Celsius::new(22.0)),
+            thermal_time_constant: Seconds::new(300.0),
+            wax: Some(WaxSpec::paper_default()),
+            tick: Seconds::new(60.0),
+            heatmap_stride: 5,
+            seed: 0xD15EA5E,
+            oracle_wax_state: false,
+            duration_model: vmt_workload::DurationModel::default(),
+        }
+    }
+
+    /// Same cluster without wax (the "thermally unconstrained" baseline).
+    pub fn without_wax(num_servers: usize) -> Self {
+        Self {
+            wax: None,
+            ..Self::paper_default(num_servers)
+        }
+    }
+
+    /// Total cores in the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.num_servers * self.power.cores() as usize
+    }
+
+    /// Number of ticks needed to cover `horizon`.
+    pub fn ticks_for(&self, horizon: vmt_units::Hours) -> usize {
+        (horizon.to_seconds().get() / self.tick.get()).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_units::Hours;
+
+    #[test]
+    fn paper_default_dimensions() {
+        let c = ClusterConfig::paper_default(100);
+        assert_eq!(c.total_cores(), 3200);
+        assert_eq!(c.ticks_for(Hours::new(48.0)), 2880);
+        assert!(c.wax.is_some());
+    }
+
+    #[test]
+    fn waxless_variant() {
+        assert!(ClusterConfig::without_wax(10).wax.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        ClusterConfig::paper_default(0);
+    }
+}

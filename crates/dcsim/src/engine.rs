@@ -1,0 +1,399 @@
+//! The simulation main loop.
+
+use crate::config::ClusterConfig;
+use crate::metrics::{Heatmap, SimulationResult};
+use crate::scheduler::Scheduler;
+use crate::server::{Server, ServerId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use vmt_thermal::{CoolingLoad, CoolingLoadSeries};
+use vmt_units::{Celsius, Hours, Joules};
+use vmt_workload::{ArrivalPlanner, Job, JobId, LoadTrace, WorkloadKind};
+
+/// A configured simulation, ready to run.
+///
+/// Couples a cluster ([`ClusterConfig`]), a load trace
+/// ([`LoadTrace`]), and a placement policy ([`Scheduler`]). The run is
+/// fully deterministic: all randomness flows from the seeds in the
+/// configuration and trace.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_dcsim::{ClusterConfig, FirstFit, Simulation};
+/// use vmt_workload::{DiurnalTrace, TraceConfig};
+///
+/// let result = Simulation::new(
+///     ClusterConfig::paper_default(5),
+///     DiurnalTrace::new(TraceConfig::paper_default()),
+///     Box::new(FirstFit::new()),
+/// )
+/// .run();
+/// assert!(result.peak_cooling().get() > 0.0);
+/// ```
+pub struct Simulation {
+    config: ClusterConfig,
+    trace: Box<dyn LoadTrace>,
+    scheduler: Box<dyn Scheduler>,
+    servers: Vec<Server>,
+    planner: ArrivalPlanner,
+    /// Occupied cores per workload, indexed by [`WorkloadKind::index`].
+    occupancy: [usize; 5],
+    /// Where each running job lives.
+    job_locations: HashMap<JobId, ServerId>,
+    /// Departures ordered by tick.
+    departures: BinaryHeap<Reverse<(u64, JobId)>>,
+    next_job_id: u64,
+    /// Shuffles each tick's arrival order (seeded; deterministic).
+    arrival_rng: rand::rngs::SmallRng,
+}
+
+impl Simulation {
+    /// Builds a simulation from any [`LoadTrace`] source (the synthetic
+    /// [`DiurnalTrace`](vmt_workload::DiurnalTrace) and the replayed
+    /// [`RecordedTrace`](vmt_workload::RecordedTrace) convert
+    /// implicitly).
+    pub fn new(
+        config: ClusterConfig,
+        trace: impl Into<Box<dyn LoadTrace>>,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Self {
+        let trace = trace.into();
+        let servers = (0..config.num_servers)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let planner = ArrivalPlanner::with_model(config.seed, config.duration_model);
+        let arrival_rng = rand::rngs::SmallRng::seed_from_u64(config.seed ^ 0xA11C_E5ED);
+        Self {
+            config,
+            trace,
+            scheduler,
+            servers,
+            planner,
+            occupancy: [0; 5],
+            job_locations: HashMap::new(),
+            departures: BinaryHeap::new(),
+            next_job_id: 0,
+            arrival_rng,
+        }
+    }
+
+    /// Read access to the servers (e.g. for custom probes between manual
+    /// steps).
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// The policy driving placement.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Runs the simulation over the trace's full horizon.
+    pub fn run(self) -> SimulationResult {
+        self.run_returning_servers().0
+    }
+
+    /// Runs the simulation and also returns the servers' final state —
+    /// useful for post-mortem inspection (rack power balance, wax state)
+    /// at the exact moment the trace ends.
+    pub fn run_returning_servers(mut self) -> (SimulationResult, Vec<Server>) {
+        let ticks = self.config.ticks_for(self.trace.horizon());
+        let dt = self.config.tick;
+        let mut cooling = CoolingLoadSeries::new(dt);
+        let mut electrical = CoolingLoadSeries::new(dt);
+        let mut avg_temp = Vec::with_capacity(ticks);
+        let mut hot_group_temp = Vec::new();
+        let mut hot_group_sizes = Vec::new();
+        let mut stored_energy = Vec::with_capacity(ticks);
+        let mut temp_heatmap = Heatmap {
+            row_interval: dt.get() * self.config.heatmap_stride as f64,
+            rows: Vec::new(),
+        };
+        let mut melt_heatmap = temp_heatmap.clone();
+        let mut dropped_jobs = 0u64;
+        let mut placements = 0u64;
+
+        for t in 0..ticks {
+            let now = dt * t as f64;
+            let now_hours = Hours::new(now.get() / 3600.0);
+
+            if self.config.inlet.is_time_varying() {
+                for (i, server) in self.servers.iter_mut().enumerate() {
+                    server.set_inlet(self.config.inlet.inlet_at(i, now_hours.get()));
+                }
+            }
+            self.process_departures(t as u64);
+            self.scheduler.on_tick(&self.servers, now);
+            self.plan_and_place(t as u64, now_hours, &mut placements, &mut dropped_jobs);
+
+            // Physics tick and metric accumulation.
+            let mut total = CoolingLoad {
+                electrical: vmt_units::Watts::ZERO,
+                into_wax: vmt_units::Watts::ZERO,
+            };
+            let mut temp_sum = 0.0;
+            let mut energy = Joules::ZERO;
+            for server in &mut self.servers {
+                total = total + server.tick(dt);
+                temp_sum += server.air_at_wax().get();
+                energy += server.stored_latent_energy();
+            }
+            cooling.push(total.rejected());
+            electrical.push(total.electrical);
+            avg_temp.push(Celsius::new(temp_sum / self.servers.len() as f64));
+            stored_energy.push(energy);
+
+            if let Some(size) = self.scheduler.hot_group_size() {
+                let size = size.clamp(1, self.servers.len());
+                let mean = self.servers[..size]
+                    .iter()
+                    .map(|s| s.air_at_wax().get())
+                    .sum::<f64>()
+                    / size as f64;
+                hot_group_temp.push(Celsius::new(mean));
+                hot_group_sizes.push(size);
+            }
+
+            if t % self.config.heatmap_stride == 0 {
+                temp_heatmap
+                    .rows
+                    .push(self.servers.iter().map(|s| s.air_at_wax().get()).collect());
+                melt_heatmap.rows.push(
+                    self.servers
+                        .iter()
+                        .map(|s| s.melt_fraction().get())
+                        .collect(),
+                );
+            }
+        }
+
+        let result = SimulationResult {
+            scheduler_name: self.scheduler.name().to_owned(),
+            cooling,
+            electrical,
+            avg_temp,
+            hot_group_temp,
+            hot_group_sizes,
+            stored_energy,
+            temp_heatmap,
+            melt_heatmap,
+            dropped_jobs,
+            placements,
+            tick: dt,
+        };
+        (result, self.servers)
+    }
+
+    /// Ends every job whose departure tick has arrived.
+    fn process_departures(&mut self, tick: u64) {
+        while let Some(&Reverse((when, job))) = self.departures.peek() {
+            if when > tick {
+                break;
+            }
+            self.departures.pop();
+            let sid = self
+                .job_locations
+                .remove(&job)
+                .expect("departing job has a location");
+            let kind = self.servers[sid.0].end_job(job);
+            self.occupancy[kind.index()] -= 1;
+        }
+    }
+
+    /// Plans this tick's arrivals from the trace and places each job.
+    fn plan_and_place(
+        &mut self,
+        tick: u64,
+        now_hours: Hours,
+        placements: &mut u64,
+        dropped: &mut u64,
+    ) {
+        let total_cores = self.config.total_cores();
+        // Plan all workloads first, then interleave the batches so that
+        // placement sees a realistic arrival mix — a long run of one
+        // kind would let composition clump on whichever servers happen
+        // to be preferred this tick.
+        let mut per_kind: Vec<std::collections::VecDeque<vmt_workload::JobSpec>> = Vec::new();
+        for kind in WorkloadKind::ALL {
+            let target = self.trace.target_cores(kind, now_hours, total_cores);
+            let current = self.occupancy[kind.index()];
+            per_kind.push(self.planner.plan(kind, target, current).into());
+        }
+        let mut interleaved = Vec::with_capacity(per_kind.iter().map(|q| q.len()).sum());
+        while per_kind.iter().any(|q| !q.is_empty()) {
+            for queue in &mut per_kind {
+                if let Some(spec) = queue.pop_front() {
+                    interleaved.push(spec);
+                }
+            }
+        }
+        // A strict cyclic interleave aliases with count-based policies
+        // (e.g. round robin over a server count divisible by the number
+        // of workloads would stripe kinds across servers); a seeded
+        // shuffle models the real, unordered arrival stream.
+        interleaved.shuffle(&mut self.arrival_rng);
+        for spec in interleaved {
+            let id = JobId(self.next_job_id);
+            self.next_job_id += 1;
+            let job = Job::new(id, spec.kind, spec.duration);
+            match self.scheduler.place(&job, &self.servers) {
+                Some(sid) => {
+                    self.servers[sid.0].start_job(&job);
+                    self.job_locations.insert(id, sid);
+                    self.occupancy[spec.kind.index()] += 1;
+                    let duration_ticks =
+                        (spec.duration.get() / self.config.tick.get()).round().max(1.0) as u64;
+                    self.departures.push(Reverse((tick + duration_ticks, id)));
+                    *placements += 1;
+                }
+                None => *dropped += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FirstFit;
+    use vmt_workload::{DiurnalTrace, TraceConfig};
+
+    fn small_run(servers: usize) -> SimulationResult {
+        let mut trace_cfg = TraceConfig::paper_default();
+        trace_cfg.horizon = Hours::new(6.0);
+        Simulation::new(
+            ClusterConfig::paper_default(servers),
+            DiurnalTrace::new(trace_cfg),
+            Box::new(FirstFit::new()),
+        )
+        .run()
+    }
+
+    #[test]
+    fn runs_expected_tick_count() {
+        let r = small_run(4);
+        assert_eq!(r.cooling.len(), 6 * 60);
+        assert_eq!(r.avg_temp.len(), 6 * 60);
+        assert_eq!(r.temp_heatmap.len(), 6 * 60 / 5);
+    }
+
+    #[test]
+    fn no_drops_at_paper_load_levels() {
+        let r = small_run(4);
+        assert_eq!(r.dropped_jobs, 0);
+        assert!(r.placements > 0);
+    }
+
+    #[test]
+    fn cooling_load_tracks_electrical_scale() {
+        let r = small_run(4);
+        // Rejected heat never exceeds electrical + max possible wax
+        // release; sanity-band the peak between idle and nameplate.
+        let peak = r.peak_cooling().get();
+        assert!(peak > 4.0 * 100.0, "peak {peak}");
+        assert!(peak < 4.0 * 520.0, "peak {peak}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = small_run(3);
+        let b = small_run(3);
+        assert_eq!(a.cooling, b.cooling);
+        assert_eq!(a.placements, b.placements);
+    }
+
+    #[test]
+    fn time_varying_inlet_is_applied() {
+        let mut config = ClusterConfig::paper_default(3);
+        config.inlet = vmt_thermal::InletModel::diurnal_ambient(
+            vmt_units::Celsius::new(21.0),
+            vmt_units::DegC::new(2.0),
+            15.0,
+        );
+        let mut trace_cfg = TraceConfig::paper_default();
+        trace_cfg.horizon = Hours::new(16.0);
+        let (_, servers) = Simulation::new(
+            config,
+            DiurnalTrace::new(trace_cfg),
+            Box::new(FirstFit::new()),
+        )
+        .run_returning_servers();
+        // At the end of the run (hour 16, one tick past the 15:00
+        // ambient peak) every server's inlet sits near the top of the
+        // swing.
+        for s in &servers {
+            assert!(
+                (s.inlet().get() - 22.93).abs() < 0.05,
+                "inlet {} should track ambient",
+                s.inlet()
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(6))]
+
+            /// Engine bookkeeping invariant: across any short run, every
+            /// placement is eventually matched by a departure or still
+            /// running at the end, and the occupancy implied by the
+            /// final electrical power is consistent with that.
+            #[test]
+            fn placements_balance_departures(
+                servers in 2usize..8,
+                horizon_h in 2.0f64..12.0,
+                seed in 0u64..1000,
+            ) {
+                let mut config = ClusterConfig::paper_default(servers);
+                config.seed = seed;
+                let mut trace_cfg = TraceConfig::paper_default();
+                trace_cfg.horizon = Hours::new(horizon_h);
+                let (result, final_servers) = Simulation::new(
+                    config,
+                    DiurnalTrace::new(trace_cfg),
+                    Box::new(FirstFit::new()),
+                )
+                .run_returning_servers();
+                prop_assert_eq!(result.dropped_jobs, 0);
+                let running: u32 = final_servers.iter().map(Server::used_cores).sum();
+                prop_assert!(u64::from(running) <= result.placements);
+                // Electrical floor: idle power of every server.
+                let idle_floor = servers as f64 * 100.0;
+                for w in result.electrical.samples() {
+                    prop_assert!(w.get() >= idle_floor - 1e-6);
+                    prop_assert!(w.get() <= servers as f64 * 500.0 + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_is_conserved() {
+        // Over a short run, placements = departures + still-running jobs;
+        // indirectly validated by zero drops plus the engine not
+        // panicking on end_job bookkeeping; spot-check electrical power
+        // returns near idle at the trough.
+        let mut trace_cfg = TraceConfig::paper_default();
+        trace_cfg.horizon = Hours::new(10.0); // covers the hour-8 trough
+        let r = Simulation::new(
+            ClusterConfig::paper_default(4),
+            DiurnalTrace::new(trace_cfg),
+            Box::new(FirstFit::new()),
+        )
+        .run();
+        // At the trough (hour 8) utilization ≈35%: electrical well below
+        // the peak.
+        let trough_tick = 8 * 60;
+        let peak_tick = r.electrical.len() - 1; // hour 10 on the rise
+        let _ = peak_tick;
+        let trough = r.electrical.samples()[trough_tick].get();
+        let peak = r.electrical.peak().get();
+        assert!(trough < peak, "trough {trough} peak {peak}");
+    }
+}

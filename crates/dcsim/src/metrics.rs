@@ -1,0 +1,188 @@
+//! Recorded simulation outputs.
+
+use vmt_thermal::{CoolingLoadSeries, PeakComparison};
+use vmt_units::{Celsius, Joules, Seconds};
+
+/// A per-server time-sampled field (air temperature or melt fraction) —
+/// the data behind the paper's Figures 9–11 and 14 heatmaps.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Heatmap {
+    /// Seconds between rows.
+    pub row_interval: f64,
+    /// `rows[t][server]` samples.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Maximum value across the whole map (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-row mean values (one per sampled tick).
+    pub fn row_means(&self) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|r| {
+                if r.is_empty() {
+                    0.0
+                } else {
+                    r.iter().sum::<f64>() / r.len() as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Everything a simulation run records.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimulationResult {
+    /// Which policy produced this run.
+    pub scheduler_name: String,
+    /// Cluster cooling load (heat rejected to the room) per tick.
+    pub cooling: CoolingLoadSeries,
+    /// Cluster electrical power per tick (what the cooling load would be
+    /// without wax).
+    pub electrical: CoolingLoadSeries,
+    /// Mean air-at-wax temperature across all servers, per tick.
+    pub avg_temp: Vec<Celsius>,
+    /// Mean air-at-wax temperature across the scheduler's hot group, per
+    /// tick (empty when the policy has no hot group).
+    pub hot_group_temp: Vec<Celsius>,
+    /// Hot-group size per tick (empty when the policy has no hot group).
+    pub hot_group_sizes: Vec<usize>,
+    /// Cluster-total stored latent energy per tick.
+    pub stored_energy: Vec<Joules>,
+    /// Sampled per-server air temperatures.
+    pub temp_heatmap: Heatmap,
+    /// Sampled per-server melt fractions (physical truth).
+    pub melt_heatmap: Heatmap,
+    /// Jobs that could not be placed anywhere.
+    pub dropped_jobs: u64,
+    /// Total successful placements.
+    pub placements: u64,
+    /// Simulation tick length.
+    pub tick: Seconds,
+}
+
+impl SimulationResult {
+    /// Peak cooling load over the run.
+    pub fn peak_cooling(&self) -> vmt_units::Watts {
+        self.cooling.peak()
+    }
+
+    /// Serializes the cluster-level time series as CSV
+    /// (`minute,cooling_w,electrical_w,avg_temp_c,stored_j[,hot_group_temp_c,hot_group_size]`),
+    /// ready for external plotting.
+    pub fn series_csv(&self) -> String {
+        let has_group = !self.hot_group_temp.is_empty();
+        let mut out = String::from("minute,cooling_w,electrical_w,avg_temp_c,stored_j");
+        if has_group {
+            out.push_str(",hot_group_temp_c,hot_group_size");
+        }
+        out.push('\n');
+        for i in 0..self.cooling.len() {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{:.3},{:.0}",
+                i,
+                self.cooling.samples()[i].get(),
+                self.electrical.samples()[i].get(),
+                self.avg_temp[i].get(),
+                self.stored_energy[i].get(),
+            ));
+            if has_group {
+                out.push_str(&format!(
+                    ",{:.3},{}",
+                    self.hot_group_temp[i].get(),
+                    self.hot_group_sizes[i]
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Peak-cooling comparison against a baseline run.
+    pub fn compare_peak(&self, baseline: &SimulationResult) -> PeakComparison {
+        self.cooling.compare_peak(&baseline.cooling)
+    }
+
+    /// Largest cluster-total stored latent energy reached during the run.
+    pub fn max_stored_energy(&self) -> Joules {
+        self.stored_energy
+            .iter()
+            .copied()
+            .fold(Joules::ZERO, Joules::max)
+    }
+
+    /// Largest melt fraction any server reached (from the heatmap).
+    pub fn max_melt_fraction(&self) -> f64 {
+        self.melt_heatmap.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_statistics() {
+        let map = Heatmap {
+            row_interval: 300.0,
+            rows: vec![vec![1.0, 3.0], vec![2.0, 4.0]],
+        };
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.max(), 4.0);
+        assert_eq!(map.row_means(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn series_csv_shape() {
+        use vmt_thermal::CoolingLoadSeries;
+        use vmt_units::{Celsius, Joules, Seconds, Watts};
+        let mut cooling = CoolingLoadSeries::new(Seconds::new(60.0));
+        cooling.push(Watts::new(100.0));
+        cooling.push(Watts::new(200.0));
+        let result = SimulationResult {
+            scheduler_name: "test".into(),
+            electrical: cooling.clone(),
+            cooling,
+            avg_temp: vec![Celsius::new(30.0); 2],
+            hot_group_temp: vec![Celsius::new(38.0); 2],
+            hot_group_sizes: vec![6; 2],
+            stored_energy: vec![Joules::new(1.0); 2],
+            temp_heatmap: Heatmap::default(),
+            melt_heatmap: Heatmap::default(),
+            dropped_jobs: 0,
+            placements: 2,
+            tick: Seconds::new(60.0),
+        };
+        let csv = result.series_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("hot_group_temp_c"));
+        assert!(lines[1].starts_with("0,100.0,100.0,30.000,1"));
+        assert_eq!(lines[2].split(',').count(), 7);
+    }
+
+    #[test]
+    fn empty_heatmap() {
+        let map = Heatmap::default();
+        assert!(map.is_empty());
+        assert_eq!(map.max(), 0.0);
+        assert!(map.row_means().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! The placement-policy interface.
+
+use crate::server::{Server, ServerId};
+use vmt_units::Seconds;
+use vmt_workload::Job;
+
+/// A cluster-level job placement policy.
+///
+/// The engine calls [`Scheduler::on_tick`] once per simulated minute
+/// (after departures, before arrivals) so policies can refresh any
+/// derived state — sorted orders, group sizes, wax scans — and then calls
+/// [`Scheduler::place`] once per arriving job. Policies should do their
+/// per-tick work in `on_tick` and keep `place` amortized O(1); at cluster
+/// scale the engine performs millions of placements per simulated day.
+///
+/// Schedulers observe servers only through `&[Server]`'s public
+/// accessors; in particular the wax state they can see is the *estimator's
+/// report* ([`Server::reported_melt_fraction`]), matching the paper's
+/// deployment where each server runs a lightweight wax model and reports
+/// once per minute.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports and plots).
+    fn name(&self) -> &str;
+
+    /// Called at the start of every tick, before any placements.
+    fn on_tick(&mut self, servers: &[Server], now: Seconds) {
+        let _ = (servers, now);
+    }
+
+    /// Chooses a server for `job`, or `None` if the cluster cannot hold
+    /// it (the job is dropped and counted).
+    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId>;
+
+    /// Size of the policy's current hot group, if it maintains one.
+    ///
+    /// By convention a policy's hot group is the servers with ids
+    /// `0..size` — the paper notes hot/cold servers need not be physically
+    /// adjacent, so using index order costs no generality and makes the
+    /// heatmap figures directly comparable to the paper's.
+    fn hot_group_size(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Trivial first-fit policy: the lowest-indexed server with a free core.
+///
+/// Not part of the paper's evaluation — useful as a smoke-test policy and
+/// as the simplest possible [`Scheduler`] example.
+#[derive(Debug, Clone, Default)]
+pub struct FirstFit {
+    _private: (),
+}
+
+impl FirstFit {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FirstFit {
+    fn name(&self) -> &str {
+        "first-fit"
+    }
+
+    fn place(&mut self, _job: &Job, servers: &[Server]) -> Option<ServerId> {
+        servers.iter().find(|s| s.free_cores() > 0).map(Server::id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use vmt_units::Seconds;
+    use vmt_workload::{JobId, WorkloadKind};
+
+    #[test]
+    fn first_fit_picks_lowest_free_server() {
+        let config = ClusterConfig::paper_default(3);
+        let mut servers: Vec<Server> = (0..3)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let mut policy = FirstFit::new();
+        let job = Job::new(JobId(0), WorkloadKind::WebSearch, Seconds::new(60.0));
+        assert_eq!(policy.place(&job, &servers), Some(ServerId(0)));
+        // Fill server 0 completely; placement moves to server 1.
+        for i in 0..32 {
+            servers[0].start_job(&Job::new(
+                JobId(100 + i),
+                WorkloadKind::VirusScan,
+                Seconds::new(60.0),
+            ));
+        }
+        assert_eq!(policy.place(&job, &servers), Some(ServerId(1)));
+    }
+
+    #[test]
+    fn first_fit_returns_none_when_full() {
+        let config = ClusterConfig::paper_default(1);
+        let mut servers = vec![Server::from_config(ServerId(0), &config)];
+        for i in 0..32 {
+            servers[0].start_job(&Job::new(
+                JobId(i),
+                WorkloadKind::VirusScan,
+                Seconds::new(60.0),
+            ));
+        }
+        let mut policy = FirstFit::new();
+        let job = Job::new(JobId(99), WorkloadKind::WebSearch, Seconds::new(60.0));
+        assert_eq!(policy.place(&job, &servers), None);
+        assert!(policy.hot_group_size().is_none());
+    }
+}

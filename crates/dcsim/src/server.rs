@@ -1,0 +1,365 @@
+//! One simulated server: cores, power, thermals, wax.
+
+use crate::config::{ClusterConfig, WaxSpec};
+use std::collections::HashMap;
+use vmt_pcm::{HeatExchanger, SensorReading, WaxPack, WaxStateEstimator};
+use vmt_power::ServerPowerModel;
+use vmt_thermal::{CoolingLoad, ServerThermalModel};
+use vmt_units::{Celsius, Fraction, Seconds, Watts};
+use vmt_workload::{Job, JobId, VmtClass, WorkloadKind};
+
+/// Index of a server within its cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct ServerId(pub usize);
+
+impl core::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "server#{}", self.0)
+    }
+}
+
+/// The wax subsystem of one server: physical truth plus the estimator the
+/// scheduler actually reads.
+#[derive(Debug, Clone)]
+struct ServerWax {
+    pack: WaxPack,
+    exchanger: HeatExchanger,
+    estimator: WaxStateEstimator,
+}
+
+/// One simulated server.
+///
+/// The server owns its physical state (running jobs, thermal model, wax)
+/// and exposes the two views the rest of the system needs: *physical*
+/// accessors used by the engine's metrics, and *sensor* accessors
+/// ([`Server::reported_melt_fraction`]) that go through the quantized
+/// estimator, because that is all a real cluster scheduler would see.
+#[derive(Debug, Clone)]
+pub struct Server {
+    id: ServerId,
+    power_model: ServerPowerModel,
+    thermal: ServerThermalModel,
+    wax: Option<ServerWax>,
+    jobs: HashMap<JobId, WorkloadKind>,
+    /// Sum of per-core powers of running jobs, maintained incrementally.
+    active_core_power: Watts,
+    /// Report physical wax state instead of the estimator's (ablation).
+    oracle_wax_state: bool,
+}
+
+impl Server {
+    /// Builds server `id` from the cluster configuration.
+    pub fn from_config(id: ServerId, config: &ClusterConfig) -> Self {
+        let inlet = config.inlet.inlet_for(id.0);
+        let mut thermal = ServerThermalModel::with_time_constant(
+            inlet,
+            config.air,
+            config.thermal_time_constant,
+        );
+        thermal.settle(config.power.idle());
+        let wax = config.wax.as_ref().map(|spec: &WaxSpec| {
+            let mass = spec.sizing.mass_of(&spec.material);
+            let pack = WaxPack::new(spec.material.clone(), mass, thermal.air_at_wax());
+            let mut estimator =
+                WaxStateEstimator::new(spec.material.clone(), mass, spec.exchanger_ua)
+                    .with_taper(spec.interface_taper);
+            estimator.reset(thermal.air_at_wax(), Fraction::ZERO);
+            ServerWax {
+                pack,
+                exchanger: HeatExchanger::with_taper(spec.exchanger_ua, spec.interface_taper),
+                estimator,
+            }
+        });
+        Self {
+            id,
+            power_model: config.power,
+            thermal,
+            wax,
+            jobs: HashMap::new(),
+            active_core_power: Watts::ZERO,
+            oracle_wax_state: config.oracle_wax_state,
+        }
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Total cores.
+    pub fn cores(&self) -> u32 {
+        self.power_model.cores()
+    }
+
+    /// Cores currently running jobs.
+    pub fn used_cores(&self) -> u32 {
+        self.jobs.len() as u32
+    }
+
+    /// Cores available for placement.
+    pub fn free_cores(&self) -> u32 {
+        self.cores() - self.used_cores()
+    }
+
+    /// Current electrical power draw.
+    pub fn power(&self) -> Watts {
+        self.power_model.idle() + self.active_core_power
+    }
+
+    /// Current air temperature at the wax containers.
+    pub fn air_at_wax(&self) -> Celsius {
+        self.thermal.air_at_wax()
+    }
+
+    /// The server's inlet temperature.
+    pub fn inlet(&self) -> Celsius {
+        self.thermal.inlet()
+    }
+
+    /// The server's cooling air stream.
+    pub fn air(&self) -> vmt_thermal::AirStream {
+        self.thermal.air()
+    }
+
+    /// Updates the inlet temperature (time-varying ambient models).
+    pub fn set_inlet(&mut self, inlet: Celsius) {
+        self.thermal.set_inlet(inlet);
+    }
+
+    /// Physical (ground-truth) wax melt fraction; zero for waxless
+    /// servers.
+    pub fn melt_fraction(&self) -> Fraction {
+        self.wax
+            .as_ref()
+            .map(|w| w.pack.melt_fraction())
+            .unwrap_or(Fraction::ZERO)
+    }
+
+    /// Melt fraction as reported by the on-server estimator — what the
+    /// cluster scheduler sees. Zero for waxless servers. With the
+    /// cluster's `oracle_wax_state` ablation flag set, this returns the
+    /// physical state instead.
+    pub fn reported_melt_fraction(&self) -> Fraction {
+        if self.oracle_wax_state {
+            return self.melt_fraction();
+        }
+        self.wax
+            .as_ref()
+            .map(|w| w.estimator.melt_fraction())
+            .unwrap_or(Fraction::ZERO)
+    }
+
+    /// Physical latent energy currently stored in the wax.
+    pub fn stored_latent_energy(&self) -> vmt_units::Joules {
+        self.wax
+            .as_ref()
+            .map(|w| w.pack.stored_latent_energy())
+            .unwrap_or(vmt_units::Joules::ZERO)
+    }
+
+    /// The wax melting temperature, if wax is deployed.
+    pub fn melt_temperature(&self) -> Option<Celsius> {
+        self.wax.as_ref().map(|w| w.pack.material().melt_temperature())
+    }
+
+    /// Number of running jobs of each workload, indexed by
+    /// [`WorkloadKind::index`].
+    pub fn kind_counts(&self) -> [u32; 5] {
+        let mut counts = [0u32; 5];
+        for kind in self.jobs.values() {
+            counts[kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Number of running jobs of each VMT class `(hot, cold)`.
+    pub fn class_counts(&self) -> (u32, u32) {
+        let mut hot = 0;
+        let mut cold = 0;
+        for kind in self.jobs.values() {
+            match kind.vmt_class() {
+                VmtClass::Hot => hot += 1,
+                VmtClass::Cold => cold += 1,
+            }
+        }
+        (hot, cold)
+    }
+
+    /// Starts a job on a free core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is full or the job id is already running here
+    /// — both indicate an engine bug, not a recoverable condition.
+    pub fn start_job(&mut self, job: &Job) {
+        assert!(self.free_cores() > 0, "placement on a full {}", self.id);
+        let prev = self.jobs.insert(job.id(), job.kind());
+        assert!(prev.is_none(), "duplicate {} on {}", job.id(), self.id);
+        self.active_core_power += job.core_power();
+    }
+
+    /// Ends a job, freeing its core. Returns the job's workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not running on this server.
+    pub fn end_job(&mut self, id: JobId) -> WorkloadKind {
+        let kind = self
+            .jobs
+            .remove(&id)
+            .unwrap_or_else(|| panic!("{id} not running on {}", self.id));
+        self.active_core_power -= kind.core_power();
+        // Guard against f64 drift accumulating into a negative draw.
+        if self.jobs.is_empty() {
+            self.active_core_power = Watts::ZERO;
+        }
+        kind
+    }
+
+    /// Advances physics by `dt`: thermal response to the current power
+    /// draw, then wax exchange, then the estimator's sensor update.
+    /// Returns this server's cooling-load contribution.
+    pub fn tick(&mut self, dt: Seconds) -> CoolingLoad {
+        let electrical = self.power();
+        let air = self.thermal.step(electrical, dt);
+        let into_wax = match &mut self.wax {
+            Some(w) => {
+                let step = w.exchanger.step(&mut w.pack, air, dt);
+                w.estimator.update(
+                    SensorReading {
+                        container_air: air,
+                        cpu_power: electrical,
+                    },
+                    dt,
+                );
+                step.average_power
+            }
+            None => Watts::ZERO,
+        };
+        CoolingLoad {
+            electrical,
+            into_wax,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_workload::JobId;
+
+    fn server() -> Server {
+        Server::from_config(ServerId(0), &ClusterConfig::paper_default(1))
+    }
+
+    fn job(id: u64, kind: WorkloadKind) -> Job {
+        Job::new(JobId(id), kind, Seconds::new(300.0))
+    }
+
+    #[test]
+    fn starts_idle_at_inlet_equilibrium() {
+        let s = server();
+        assert_eq!(s.used_cores(), 0);
+        assert_eq!(s.power(), Watts::new(100.0));
+        // Idle equilibrium: inlet + 100/17.5 ≈ 27.7 °C.
+        assert!((s.air_at_wax().get() - 27.71).abs() < 0.05);
+        assert!(s.melt_fraction().is_zero());
+    }
+
+    #[test]
+    fn job_lifecycle_updates_power() {
+        let mut s = server();
+        s.start_job(&job(1, WorkloadKind::VideoEncoding));
+        s.start_job(&job(2, WorkloadKind::VirusScan));
+        assert_eq!(s.used_cores(), 2);
+        let expect = 100.0 + 60.9 / 8.0 + 3.4 / 8.0;
+        assert!((s.power().get() - expect).abs() < 1e-9);
+        assert_eq!(s.end_job(JobId(1)), WorkloadKind::VideoEncoding);
+        assert_eq!(s.used_cores(), 1);
+        s.end_job(JobId(2));
+        assert_eq!(s.power(), Watts::new(100.0));
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut s = server();
+        s.start_job(&job(1, WorkloadKind::WebSearch));
+        s.start_job(&job(2, WorkloadKind::Clustering));
+        s.start_job(&job(3, WorkloadKind::DataCaching));
+        assert_eq!(s.class_counts(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn ending_unknown_job_panics() {
+        let mut s = server();
+        s.end_job(JobId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overfilling_panics() {
+        let mut s = server();
+        for i in 0..=32 {
+            s.start_job(&job(i, WorkloadKind::VirusScan));
+        }
+    }
+
+    #[test]
+    fn fully_loaded_hot_server_melts_wax() {
+        let mut s = server();
+        for i in 0..32 {
+            s.start_job(&job(i, WorkloadKind::VideoEncoding));
+        }
+        // 8 hours at full video-encoding load (343 W → ≈42 °C at the wax).
+        for _ in 0..480 {
+            s.tick(Seconds::new(60.0));
+        }
+        assert!(s.melt_fraction().get() > 0.5, "melt {}", s.melt_fraction());
+        // The estimator tracks the physical state.
+        let err = (s.melt_fraction().get() - s.reported_melt_fraction().get()).abs();
+        assert!(err < 0.1, "estimator error {err}");
+    }
+
+    #[test]
+    fn cold_server_never_melts() {
+        let mut s = server();
+        for i in 0..32 {
+            s.start_job(&job(i, WorkloadKind::DataCaching));
+        }
+        for _ in 0..480 {
+            s.tick(Seconds::new(60.0));
+        }
+        assert!(s.melt_fraction().is_zero());
+    }
+
+    #[test]
+    fn cooling_load_identity_holds_per_tick() {
+        let mut s = server();
+        for i in 0..32 {
+            s.start_job(&job(i, WorkloadKind::Clustering));
+        }
+        for _ in 0..240 {
+            let load = s.tick(Seconds::new(60.0));
+            assert!(load.rejected() <= load.electrical + Watts::new(1e-9));
+            assert!(load.rejected().get() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn waxless_server_rejects_all_heat() {
+        let config = ClusterConfig::without_wax(1);
+        let mut s = Server::from_config(ServerId(0), &config);
+        for i in 0..32 {
+            s.start_job(&job(i, WorkloadKind::VideoEncoding));
+        }
+        for _ in 0..60 {
+            let load = s.tick(Seconds::new(60.0));
+            assert_eq!(load.into_wax, Watts::ZERO);
+            assert_eq!(load.rejected(), load.electrical);
+        }
+        assert!(s.melt_temperature().is_none());
+    }
+}

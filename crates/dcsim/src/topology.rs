@@ -1,0 +1,221 @@
+//! Physical rack topology and power-distribution balance.
+//!
+//! VMT's hot/cold groups are *logical*: the paper notes the hot group's
+//! servers "do not need to be physically clustered: they can be
+//! distributed throughout the datacenter to maintain the same …
+//! temperature distributions" and "balanced power distribution". This
+//! module makes that remark checkable: it maps logical server ids to
+//! physical rack slots and reports per-rack power statistics, so a
+//! deployment can verify that striping the hot group across racks keeps
+//! every rack's feed within its budget.
+
+use crate::Server;
+use vmt_units::Watts;
+
+/// Index of a rack within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RackId(pub usize);
+
+/// How logical server ids are assigned to physical rack slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMap {
+    /// Logical id order fills rack 0 first, then rack 1, … — the naive
+    /// layout that physically clusters VMT's hot group.
+    Contiguous,
+    /// Logical ids stripe round-robin across racks — the paper's
+    /// recommendation, spreading the hot group over every rack.
+    Striped,
+}
+
+/// A cluster's rack layout.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_dcsim::{PlacementMap, RackLayout};
+///
+/// // The paper's form factor: ≈20 2U servers per rack.
+/// let layout = RackLayout::paper_default(100);
+/// assert_eq!(layout.racks(), 5);
+/// // Striping sends consecutive logical servers to different racks.
+/// assert_ne!(
+///     layout.rack_of(0, PlacementMap::Striped),
+///     layout.rack_of(1, PlacementMap::Striped)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RackLayout {
+    num_servers: usize,
+    servers_per_rack: usize,
+}
+
+impl RackLayout {
+    /// The paper's layout: 20 servers per rack (50 racks per
+    /// 1,000-server cluster).
+    pub fn paper_default(num_servers: usize) -> Self {
+        Self::new(num_servers, 20)
+    }
+
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(num_servers: usize, servers_per_rack: usize) -> Self {
+        assert!(num_servers > 0, "cluster must have servers");
+        assert!(servers_per_rack > 0, "racks must hold servers");
+        Self {
+            num_servers,
+            servers_per_rack,
+        }
+    }
+
+    /// Number of racks (last rack may be partial).
+    pub fn racks(&self) -> usize {
+        self.num_servers.div_ceil(self.servers_per_rack)
+    }
+
+    /// Servers per rack.
+    pub fn servers_per_rack(&self) -> usize {
+        self.servers_per_rack
+    }
+
+    /// The rack hosting logical server `id` under a placement map.
+    pub fn rack_of(&self, id: usize, map: PlacementMap) -> RackId {
+        debug_assert!(id < self.num_servers, "server id out of range");
+        match map {
+            PlacementMap::Contiguous => RackId(id / self.servers_per_rack),
+            PlacementMap::Striped => RackId(id % self.racks()),
+        }
+    }
+
+    /// Per-rack total electrical power for the cluster's current state.
+    pub fn rack_powers(&self, servers: &[Server], map: PlacementMap) -> Vec<Watts> {
+        let mut powers = vec![Watts::ZERO; self.racks()];
+        for (id, server) in servers.iter().enumerate() {
+            powers[self.rack_of(id, map).0] += server.power();
+        }
+        powers
+    }
+
+    /// Summary of the rack power distribution.
+    pub fn power_stats(&self, servers: &[Server], map: PlacementMap) -> RackPowerStats {
+        let powers = self.rack_powers(servers, map);
+        RackPowerStats::from_powers(&powers)
+    }
+}
+
+/// Per-rack power distribution statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RackPowerStats {
+    /// Hottest rack's power.
+    pub max: Watts,
+    /// Coolest rack's power.
+    pub min: Watts,
+    /// Mean rack power.
+    pub mean: Watts,
+}
+
+impl RackPowerStats {
+    fn from_powers(powers: &[Watts]) -> Self {
+        let max = powers.iter().copied().fold(Watts::ZERO, Watts::max);
+        let min = powers
+            .iter()
+            .copied()
+            .fold(Watts::new(f64::INFINITY), Watts::min);
+        let mean = powers.iter().copied().sum::<Watts>() / powers.len().max(1) as f64;
+        Self { max, min, mean }
+    }
+
+    /// Peak-to-mean imbalance: how much head-room the worst rack's power
+    /// feed needs beyond an even split (0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.mean.get() == 0.0 {
+            return 0.0;
+        }
+        self.max / self.mean - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterConfig, ServerId};
+    use vmt_units::Seconds;
+    use vmt_workload::{Job, JobId, WorkloadKind};
+
+    fn hot_and_cold_cluster(n: usize, hot: usize) -> Vec<Server> {
+        let config = ClusterConfig::paper_default(n);
+        let mut servers: Vec<Server> = (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let mut id = 0u64;
+        for (i, s) in servers.iter_mut().enumerate() {
+            let (kind, count) = if i < hot {
+                (WorkloadKind::VideoEncoding, 30)
+            } else {
+                (WorkloadKind::VirusScan, 30)
+            };
+            for _ in 0..count {
+                s.start_job(&Job::new(JobId(id), kind, Seconds::new(600.0)));
+                id += 1;
+            }
+        }
+        servers
+    }
+
+    #[test]
+    fn layout_geometry() {
+        let layout = RackLayout::paper_default(1000);
+        assert_eq!(layout.racks(), 50);
+        let partial = RackLayout::new(101, 20);
+        assert_eq!(partial.racks(), 6);
+    }
+
+    #[test]
+    fn contiguous_concentrates_the_hot_group() {
+        // 100 servers, hot group = first 60 (VMT's id-ordered group):
+        // contiguous placement puts 3 full racks of hot servers together.
+        let servers = hot_and_cold_cluster(100, 60);
+        let layout = RackLayout::paper_default(100);
+        let contiguous = layout.power_stats(&servers, PlacementMap::Contiguous);
+        let striped = layout.power_stats(&servers, PlacementMap::Striped);
+        assert!(
+            contiguous.imbalance() > 0.2,
+            "contiguous should be imbalanced, got {:.3}",
+            contiguous.imbalance()
+        );
+        assert!(
+            striped.imbalance() < 0.02,
+            "striping should balance racks, got {:.3}",
+            striped.imbalance()
+        );
+    }
+
+    #[test]
+    fn total_power_is_placement_invariant() {
+        let servers = hot_and_cold_cluster(60, 30);
+        let layout = RackLayout::new(60, 10);
+        let a: Watts = layout
+            .rack_powers(&servers, PlacementMap::Contiguous)
+            .into_iter()
+            .sum();
+        let b: Watts = layout
+            .rack_powers(&servers, PlacementMap::Striped)
+            .into_iter()
+            .sum();
+        assert!((a - b).get().abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_cluster_is_balanced_either_way() {
+        let config = ClusterConfig::paper_default(40);
+        let servers: Vec<Server> = (0..40)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        let layout = RackLayout::paper_default(40);
+        for map in [PlacementMap::Contiguous, PlacementMap::Striped] {
+            assert!(layout.power_stats(&servers, map).imbalance() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `vmt-experiments` — regenerate any table or figure of the VMT paper.
+//!
+//! ```text
+//! vmt-experiments <id> [--servers N] [--seeds K]
+//! vmt-experiments all [--servers N]
+//! ```
+//!
+//! IDs: `table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 tco`.
+//!
+//! `--servers` overrides the cluster size (paper defaults: 1,000 for
+//! fig12/13/15/16 and tco, 100 for everything simulation-backed).
+
+use vmt_experiments::heatmaps::HeatmapFigure;
+use vmt_experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(id) = args.first() else {
+        eprintln!("usage: vmt-experiments <id|all> [--servers N] [--seeds K]");
+        eprintln!("ids: table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11");
+        eprintln!("     fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 tco");
+        eprintln!("     ablations emergency bound qos preserve estimator");
+        std::process::exit(2);
+    };
+    let servers = flag(&args, "--servers");
+    let seeds = flag(&args, "--seeds").unwrap_or(5);
+
+    if id == "all" {
+        for id in [
+            "table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "tco",
+            "ablations", "emergency", "bound", "qos", "preserve", "estimator",
+        ] {
+            println!("==================== {id} ====================");
+            run_one(id, servers, seeds);
+        }
+        return;
+    }
+    run_one(id, servers, seeds);
+}
+
+/// When `VMT_CSV_DIR` is set, drops each run's time series there as
+/// `<figure>_<policy>.csv` for external plotting.
+fn write_series_csv(figure: &vmt_experiments::cooling_load::CoolingLoadFigure, name: &str) {
+    let Ok(dir) = std::env::var("VMT_CSV_DIR") else {
+        return;
+    };
+    for result in &figure.results {
+        let path = std::path::Path::new(&dir)
+            .join(format!("{name}_{}.csv", result.scheduler_name.replace(' ', "_")));
+        if let Err(err) = std::fs::write(&path, result.series_csv()) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("flag takes an integer"))
+}
+
+fn run_one(id: &str, servers: Option<usize>, seeds: usize) {
+    // Paper sizes: 1,000 servers for the headline cluster experiments,
+    // 100 for the parameter sweeps.
+    let large = servers.unwrap_or(1000);
+    let sweep = servers.unwrap_or(100);
+    match id {
+        "table1" => print!("{}", table1::render()),
+        "table2" => print!("{}", table2::render(sweep)),
+        "fig1" => print!("{}", fig1::render()),
+        "fig2" => print!("{}", fig2::render()),
+        "fig6" => print!("{}", fig6::render()),
+        "fig7" => print!("{}", fig7::render(sweep)),
+        "fig8" => print!("{}", fig8::render()),
+        "fig9" => print!("{}", heatmaps::render(HeatmapFigure::Fig9RoundRobin, sweep)),
+        "fig10" => print!("{}", heatmaps::render(HeatmapFigure::Fig10CoolestFirst, sweep)),
+        "fig11" => print!("{}", heatmaps::render(HeatmapFigure::Fig11VmtTa, sweep)),
+        "fig12" => print!("{}", hot_group::render(&hot_group::fig12(large))),
+        "fig13" => {
+            let figure = cooling_load::fig13(large);
+            write_series_csv(&figure, "fig13");
+            print!("{}", cooling_load::render(&figure));
+        }
+        "fig14" => print!("{}", heatmaps::render(HeatmapFigure::Fig14VmtWa, sweep)),
+        "fig15" => print!("{}", hot_group::render(&hot_group::fig15(large))),
+        "fig16" => {
+            let figure = cooling_load::fig16(large);
+            write_series_csv(&figure, "fig16");
+            print!("{}", cooling_load::render(&figure));
+        }
+        "fig17" => print!("{}", threshold::render(sweep)),
+        "fig18" => print!("{}", gv_sweep::render(sweep)),
+        "fig19" => print!("{}", inlet_variation::render(&inlet_variation::fig19(sweep, seeds))),
+        "fig20" => print!("{}", inlet_variation::render(&inlet_variation::fig20(sweep, seeds))),
+        "ablations" => print!("{}", ablations::render(sweep)),
+        "emergency" => print!("{}", emergency::render(sweep)),
+        "bound" => print!("{}", storage_bound::render(sweep)),
+        "qos" => print!("{}", qos_check::render(sweep)),
+        "preserve" => print!("{}", preserve::render(sweep)),
+        "estimator" => print!("{}", estimator_validation::render()),
+        "tco" => {
+            let (reduction, summary) = tco_summary::measured(large);
+            println!("measured best peak reduction: {:.1}%", reduction * 100.0);
+            print!("{}", tco_summary::render(&summary));
+        }
+        other => {
+            eprintln!("unknown experiment id: {other}");
+            std::process::exit(2);
+        }
+    }
+}

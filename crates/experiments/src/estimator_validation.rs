@@ -1,0 +1,131 @@
+//! Validation of the on-server wax-state estimator.
+//!
+//! The paper's wax-state model (its reference \[24\]) was validated
+//! against hardware; ours is validated against the simulator's physical
+//! truth across a grid of air-temperature profiles. The estimator reads
+//! only what a real server has — a quantized container-air sensor, once
+//! per minute — so its error bounds what VMT-WA's wax threshold can
+//! resolve.
+
+use vmt_pcm::{
+    estimation_error, HeatExchanger, PcmMaterial, ServerWaxConfig, WaxPack, WaxStateEstimator,
+};
+use vmt_units::{Celsius, Fraction, Seconds, WattsPerKelvin};
+
+/// One validation scenario's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationPoint {
+    /// Scenario label.
+    pub label: String,
+    /// Final absolute melt-fraction error |physical − estimated|.
+    pub final_error: f64,
+}
+
+/// An air-temperature profile: minute index → container-air temperature.
+type AirProfile = Box<dyn Fn(usize) -> Celsius>;
+
+/// The scenario grid: a label and the air-temperature profile as a
+/// function of the minute index.
+fn scenarios() -> Vec<(&'static str, AirProfile)> {
+    vec![
+        (
+            "constant hot (41 °C, 8 h)",
+            Box::new(|_| Celsius::new(41.0)) as AirProfile,
+        ),
+        (
+            "melt then freeze (42/26 °C)",
+            Box::new(|m| Celsius::new(if m < 360 { 42.0 } else { 26.0 })),
+        ),
+        (
+            "diurnal sinusoid (33 ± 7 °C)",
+            Box::new(|m| {
+                let phase = m as f64 / 1440.0 * std::f64::consts::TAU;
+                Celsius::new(33.0 + 7.0 * (phase - std::f64::consts::FRAC_PI_2).sin())
+            }),
+        ),
+        (
+            "plateau grazing (35.2–36.2 °C)",
+            Box::new(|m| Celsius::new(35.7 + 0.5 * (m as f64 / 90.0).sin())),
+        ),
+        (
+            "step bursts (30/40 °C, 2 h period)",
+            Box::new(|m| Celsius::new(if (m / 120) % 2 == 0 { 40.0 } else { 30.0 })),
+        ),
+    ]
+}
+
+/// Runs the validation grid for `hours` per scenario.
+pub fn validate(hours: usize) -> Vec<ValidationPoint> {
+    let material = PcmMaterial::deployed_paraffin();
+    let mass = ServerWaxConfig::default().mass();
+    let ua = WattsPerKelvin::new(17.5);
+    scenarios()
+        .into_iter()
+        .map(|(label, profile)| {
+            let mut pack = WaxPack::new(material.clone(), mass, Celsius::new(25.0));
+            let exchanger = HeatExchanger::new(ua);
+            let mut estimator = WaxStateEstimator::new(material.clone(), mass, ua);
+            estimator.reset(Celsius::new(25.0), Fraction::ZERO);
+            let air = (0..hours * 60).map(profile);
+            let final_error = estimation_error(
+                &mut pack,
+                &exchanger,
+                &mut estimator,
+                air,
+                Seconds::new(60.0),
+            );
+            ValidationPoint {
+                label: label.to_owned(),
+                final_error,
+            }
+        })
+        .collect()
+}
+
+/// Renders the validation table.
+pub fn render() -> String {
+    let mut out = String::from(
+        "wax-state estimator vs physical truth (24 h per scenario)\n\
+         scenario                              final |error|\n",
+    );
+    for p in validate(24) {
+        out.push_str(&format!("  {:36} {:.3}\n", p.label, p.final_error));
+    }
+    out.push_str(
+        "(scheduler-relevant scenarios — ΔT ≥ 2 K while melting — track within a few\n         percent; grazing the melt point inside the sensor's 0.5 °C quantum is the\n         estimator's documented worst case.)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_within_threshold_resolution() {
+        for p in validate(24) {
+            // The grazing scenario oscillates within the sensor's 0.5 °C
+            // quantum of the melt point, the estimator's documented
+            // worst case; every scenario the schedulers actually create
+            // (ΔT ≥ 2 K while melting) stays within a few percent.
+            let bound = if p.label.starts_with("plateau grazing") {
+                0.35
+            } else {
+                0.10
+            };
+            assert!(
+                p.final_error < bound,
+                "{}: error {:.3} above bound {bound}",
+                p.label,
+                p.final_error
+            );
+        }
+    }
+
+    #[test]
+    fn grid_is_non_trivial() {
+        let points = validate(12);
+        assert_eq!(points.len(), 5);
+        assert!(points.iter().any(|p| p.final_error > 0.0));
+    }
+}

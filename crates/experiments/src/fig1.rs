@@ -1,0 +1,222 @@
+//! Figure 1 — which workload mixes need VMT.
+//!
+//! For six pairwise workload mixes the paper sweeps the work ratio and
+//! classifies each point into three regions:
+//!
+//! * **VMT/TTS** — the uniformly mixed exhaust temperature already
+//!   exceeds the wax melting point: passive TTS works.
+//! * **Needs VMT** — the average is too cool, but concentrating the hot
+//!   component on a subset of servers can still melt wax: only VMT
+//!   extracts value from the PCM.
+//! * **Neither** — even the hot component alone cannot cross the melt
+//!   line; no placement policy can melt wax.
+
+use vmt_units::{Celsius, Watts};
+use vmt_workload::{WorkloadKind, WorkloadMix};
+
+/// Region classification of one mix point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Passive TTS already works.
+    VmtTts,
+    /// Only VMT can melt wax here.
+    NeedsVmt,
+    /// No placement can melt wax.
+    Neither,
+}
+
+impl core::fmt::Display for Region {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Region::VmtTts => "VMT/TTS",
+            Region::NeedsVmt => "Needs VMT",
+            Region::Neither => "Neither",
+        })
+    }
+}
+
+/// One point of a Figure 1 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixPoint {
+    /// Share of the first-named workload, in percent.
+    pub work_ratio_percent: f64,
+    /// Exhaust temperature of a uniformly loaded server at peak.
+    pub exhaust: Celsius,
+    /// Region classification.
+    pub region: Region,
+}
+
+/// One panel: a workload pair and its swept points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixPanel {
+    /// The pair, first-named workload first.
+    pub pair: (WorkloadKind, WorkloadKind),
+    /// Points for work ratios 0–100%.
+    pub points: Vec<MixPoint>,
+}
+
+/// The six mixes of Figure 1 (first-named workload is the ratio axis).
+pub const PAIRS: [(WorkloadKind, WorkloadKind); 6] = [
+    (WorkloadKind::DataCaching, WorkloadKind::WebSearch),
+    (WorkloadKind::VirusScan, WorkloadKind::Clustering),
+    (WorkloadKind::Clustering, WorkloadKind::VideoEncoding),
+    (WorkloadKind::VirusScan, WorkloadKind::VideoEncoding),
+    (WorkloadKind::VirusScan, WorkloadKind::WebSearch),
+    (WorkloadKind::WebSearch, WorkloadKind::Clustering),
+];
+
+/// Peak per-server core occupancy (95% of 32 cores).
+const PEAK_OCCUPANCY: f64 = 0.95 * 32.0;
+/// Cluster thermal constants (paper defaults).
+const INLET_C: f64 = 22.0;
+const CAPACITY_W_PER_K: f64 = 17.5;
+const IDLE_W: f64 = 100.0;
+const MELT_C: f64 = 35.7;
+
+/// Steady exhaust temperature of a server whose occupied cores draw
+/// `core_power` each at peak occupancy.
+fn exhaust_at_peak(core_power: Watts) -> Celsius {
+    Celsius::new(INLET_C + (IDLE_W + PEAK_OCCUPANCY * core_power.get()) / CAPACITY_W_PER_K)
+}
+
+/// Classifies one (pair, ratio) point.
+fn classify(pair: (WorkloadKind, WorkloadKind), ratio: f64) -> MixPoint {
+    let mix = match ratio {
+        r if r <= 0.0 => WorkloadMix::pair(pair.0, pair.1, 0.0),
+        r if r >= 1.0 => WorkloadMix::pair(pair.0, pair.1, 1.0),
+        r => WorkloadMix::pair(pair.0, pair.1, r),
+    };
+    let exhaust = exhaust_at_peak(mix.mean_core_power());
+    let melt = Celsius::new(MELT_C);
+    let region = if exhaust >= melt {
+        Region::VmtTts
+    } else {
+        // Can the hotter component, concentrated by VMT, melt wax?
+        let (hot_kind, hot_share) = if pair.0.core_power() >= pair.1.core_power() {
+            (pair.0, ratio)
+        } else {
+            (pair.1, 1.0 - ratio)
+        };
+        let concentrated = exhaust_at_peak(hot_kind.core_power());
+        if hot_share > 0.0 && concentrated >= melt {
+            Region::NeedsVmt
+        } else {
+            Region::Neither
+        }
+    };
+    MixPoint {
+        work_ratio_percent: ratio * 100.0,
+        exhaust,
+        region,
+    }
+}
+
+/// Computes all six panels at 5% ratio steps.
+pub fn fig1() -> Vec<MixPanel> {
+    PAIRS
+        .iter()
+        .map(|&pair| MixPanel {
+            pair,
+            points: (0..=20)
+                .map(|i| classify(pair, i as f64 * 0.05))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the six panels.
+pub fn render() -> String {
+    let mut out = String::new();
+    for panel in fig1() {
+        out.push_str(&format!(
+            "\n{}-{} Mix (ratio = % {})\n ratio%  exhaust  region\n",
+            panel.pair.0, panel.pair.1, panel.pair.0
+        ));
+        for p in panel.points.iter().step_by(2) {
+            out.push_str(&format!(
+                "{:6.0}  {:6.1}  {}\n",
+                p.work_ratio_percent,
+                p.exhaust.get(),
+                p.region
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(a: WorkloadKind, b: WorkloadKind) -> MixPanel {
+        fig1()
+            .into_iter()
+            .find(|p| p.pair == (a, b))
+            .expect("pair exists")
+    }
+
+    #[test]
+    fn six_panels_of_21_points() {
+        let panels = fig1();
+        assert_eq!(panels.len(), 6);
+        for p in &panels {
+            assert_eq!(p.points.len(), 21);
+        }
+    }
+
+    #[test]
+    fn pure_video_is_tts_territory() {
+        // 0% VirusScan in the Scanning–Video mix = all video: hot enough
+        // for plain TTS.
+        let p = panel(WorkloadKind::VirusScan, WorkloadKind::VideoEncoding);
+        assert_eq!(p.points[0].region, Region::VmtTts);
+        // 100% VirusScan: nothing can melt wax.
+        assert_eq!(p.points[20].region, Region::Neither);
+        // In between there must be a Needs-VMT band.
+        assert!(p.points.iter().any(|q| q.region == Region::NeedsVmt));
+    }
+
+    #[test]
+    fn caching_search_mix_needs_vmt_in_the_middle() {
+        let p = panel(WorkloadKind::DataCaching, WorkloadKind::WebSearch);
+        // All search (ratio 0) exceeds the melt line on its own.
+        assert_eq!(p.points[0].region, Region::VmtTts);
+        // Mid-range mixes are too cool on average but rescued by VMT.
+        assert!(p.points.iter().any(|q| q.region == Region::NeedsVmt));
+    }
+
+    #[test]
+    fn regions_are_ordered_along_the_sweep() {
+        // Along each sweep from hot-pure to cold-pure, the region can
+        // only go VMT/TTS → Needs VMT → Neither (monotone cooling).
+        for panel in fig1() {
+            let (first, second) = panel.pair;
+            // Orient the sweep from hot end to cold end.
+            let points: Vec<&MixPoint> = if first.core_power() > second.core_power() {
+                panel.points.iter().rev().collect()
+            } else {
+                panel.points.iter().collect()
+            };
+            let mut rank = 0;
+            for p in points {
+                let r = match p.region {
+                    Region::VmtTts => 0,
+                    Region::NeedsVmt => 1,
+                    Region::Neither => 2,
+                };
+                assert!(r >= rank, "region regressed in {:?}", panel.pair);
+                rank = rank.max(r);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaust_range_matches_figure_axis() {
+        // Figure 1's y-axis spans 20–50 °C; our curves stay within it.
+        for panel in fig1() {
+            for p in &panel.points {
+                assert!(p.exhaust.get() > 20.0 && p.exhaust.get() < 50.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 2 — the thermal time shifting concept.
+//!
+//! Figure 2 in the paper is a conceptual diagram: during peak hours the
+//! wax melts and absorbs heat ("thermal load decreased"), during off
+//! hours it refreezes and releases it ("thermal load increased"),
+//! flattening the cooling load. This module realizes the concept as data:
+//! a single always-hot-enough server driven through a diurnal cycle, with
+//! and without wax.
+
+use vmt_dcsim::{ClusterConfig, Server, ServerId};
+use vmt_units::{Hours, Seconds, Watts};
+use vmt_workload::{DiurnalTrace, Job, JobId, TraceConfig, WorkloadKind};
+
+/// One sample of the TTS concept experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtsPoint {
+    /// Time since start.
+    pub hour: f64,
+    /// Electrical power of the server (identical with/without wax).
+    pub electrical_w: f64,
+    /// Cooling load with wax installed.
+    pub with_wax_w: f64,
+    /// Cooling load without wax (equals the electrical power).
+    pub without_wax_w: f64,
+    /// Wax melt fraction.
+    pub melt_fraction: f64,
+}
+
+/// Runs one server, fully loaded with a hot workload scaled by the
+/// diurnal envelope, with and without wax, and returns both cooling-load
+/// series.
+pub fn fig2() -> Vec<TtsPoint> {
+    let config = ClusterConfig::paper_default(1);
+    let waxless = ClusterConfig::without_wax(1);
+    let mut with_wax = Server::from_config(ServerId(0), &config);
+    let mut without_wax = Server::from_config(ServerId(0), &waxless);
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+
+    let mut points = Vec::new();
+    let mut next_job = 0u64;
+    let mut running: Vec<JobId> = Vec::new();
+    let minutes = (trace.horizon().get() * 60.0) as usize;
+    for m in 0..minutes {
+        let hour = m as f64 / 60.0;
+        // Track the envelope with a hot workload budgeted so the server
+        // is "hot enough for TTS" at the peak without exhausting its wax
+        // before the peak — Figure 2's premise.
+        let target = (trace.envelope(Hours::new(hour)).get() * 26.0).round() as usize;
+        while running.len() < target {
+            let job = Job::new(
+                JobId(next_job),
+                WorkloadKind::VideoEncoding,
+                Seconds::new(600.0),
+            );
+            next_job += 1;
+            with_wax.start_job(&job);
+            without_wax.start_job(&job);
+            running.push(job.id());
+        }
+        while running.len() > target {
+            let id = running.pop().expect("non-empty");
+            with_wax.end_job(id);
+            without_wax.end_job(id);
+        }
+        let a = with_wax.tick(Seconds::new(60.0));
+        let b = without_wax.tick(Seconds::new(60.0));
+        points.push(TtsPoint {
+            hour,
+            electrical_w: a.electrical.get(),
+            with_wax_w: a.rejected().get(),
+            without_wax_w: b.rejected().get(),
+            melt_fraction: with_wax.melt_fraction().get(),
+        });
+    }
+    points
+}
+
+/// Peak cooling loads `(with_wax, without_wax)` of the concept run.
+pub fn peaks(points: &[TtsPoint]) -> (Watts, Watts) {
+    let with_wax = points.iter().map(|p| p.with_wax_w).fold(0.0, f64::max);
+    let without = points.iter().map(|p| p.without_wax_w).fold(0.0, f64::max);
+    (Watts::new(with_wax), Watts::new(without))
+}
+
+/// Renders the concept series.
+pub fn render() -> String {
+    let points = fig2();
+    let (with_wax, without) = peaks(&points);
+    let mut out = format!(
+        "TTS concept (1 hot server): peak {:.1} with wax vs {:.1} without ({:.1}% lower)\n\
+         hour   electrical  with-wax  without-wax  melt\n",
+        with_wax,
+        without,
+        (1.0 - with_wax / without) * 100.0
+    );
+    for p in points.iter().step_by(30) {
+        out.push_str(&format!(
+            "{:5.1}  {:9.1}  {:8.1}  {:11.1}  {:.2}\n",
+            p.hour, p.electrical_w, p.with_wax_w, p.without_wax_w, p.melt_fraction
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wax_flattens_the_peak() {
+        let points = fig2();
+        let (with_wax, without) = peaks(&points);
+        assert!(
+            with_wax.get() < without.get() * 0.95,
+            "with {with_wax} vs without {without}"
+        );
+    }
+
+    #[test]
+    fn wax_melts_at_peak_and_refreezes_overnight() {
+        let points = fig2();
+        let at_peak = &points[21 * 60];
+        assert!(at_peak.melt_fraction > 0.5, "peak melt {}", at_peak.melt_fraction);
+        let next_morning = &points[32 * 60];
+        assert!(
+            next_morning.melt_fraction < at_peak.melt_fraction,
+            "overnight refreeze missing"
+        );
+    }
+
+    #[test]
+    fn off_hours_load_is_raised() {
+        // Released heat raises the overnight cooling load above the
+        // waxless one somewhere in the night.
+        let points = fig2();
+        let raised = points[currently_night_range()]
+            .iter()
+            .any(|p| p.with_wax_w > p.without_wax_w + 5.0);
+        assert!(raised, "no overnight heat release observed");
+    }
+
+    fn currently_night_range() -> std::ops::Range<usize> {
+        (24 * 60)..(34 * 60)
+    }
+
+    #[test]
+    fn electrical_identical_with_and_without_wax() {
+        for p in fig2().iter().step_by(60) {
+            assert_eq!(p.electrical_w, p.without_wax_w);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 6 — latency scaling with load and cores for colocated Web
+//! Search and Data Caching.
+//!
+//! Four panels: Data Caching mean and 90th-percentile latency vs
+//! requests/s per core (25k–60k), and Web Search mean and 90th-percentile
+//! latency vs clients per core (10–50); each panel compares two mixed
+//! allocations against the homogeneous six-core one.
+
+use vmt_workload::qos::{caching_latency, search_latency, Colocation};
+
+/// One point of a Figure 6 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosPoint {
+    /// Load level (RPS per core for caching, clients per core for
+    /// search).
+    pub load: f64,
+    /// Mean latency in seconds per allocation: `[2C mix, 4C mix, 6C]`.
+    pub mean_s: [f64; 3],
+    /// 90th-percentile latency in seconds per allocation.
+    pub p90_s: [f64; 3],
+}
+
+/// The caching panels: RPS per core swept 25k–60k.
+pub fn caching_panel() -> Vec<QosPoint> {
+    (25..=60)
+        .map(|k| {
+            let rps = k as f64 * 1000.0;
+            let allocs = [
+                Colocation::CACHING_2C_SEARCH,
+                Colocation::CACHING_4C_SEARCH,
+                Colocation::CACHING_6C,
+            ];
+            let lat = allocs.map(|a| caching_latency(rps, a));
+            QosPoint {
+                load: rps,
+                mean_s: lat.map(|l| l.mean.get()),
+                p90_s: lat.map(|l| l.p90.get()),
+            }
+        })
+        .collect()
+}
+
+/// The search panels: clients per core swept 10–50.
+pub fn search_panel() -> Vec<QosPoint> {
+    (10..=50)
+        .step_by(2)
+        .map(|c| {
+            let clients = c as f64;
+            let allocs = [
+                Colocation::SEARCH_2C_CACHING,
+                Colocation::SEARCH_4C_CACHING,
+                Colocation::SEARCH_6C,
+            ];
+            let lat = allocs.map(|a| search_latency(clients, a));
+            QosPoint {
+                load: clients,
+                mean_s: lat.map(|l| l.mean.get()),
+                p90_s: lat.map(|l| l.p90.get()),
+            }
+        })
+        .collect()
+}
+
+/// Renders all four panels.
+pub fn render() -> String {
+    let mut out = String::from(
+        "Data Caching (latency ms) vs RPS/core\n\
+         rps      2C+Search(mean/p90)  4C+Search(mean/p90)  6C(mean/p90)\n",
+    );
+    for p in caching_panel().iter().step_by(5) {
+        out.push_str(&format!(
+            "{:6.0}   {:6.2} / {:6.2}      {:6.2} / {:6.2}      {:6.2} / {:6.2}\n",
+            p.load,
+            p.mean_s[0] * 1e3,
+            p.p90_s[0] * 1e3,
+            p.mean_s[1] * 1e3,
+            p.p90_s[1] * 1e3,
+            p.mean_s[2] * 1e3,
+            p.p90_s[2] * 1e3,
+        ));
+    }
+    out.push_str(
+        "\nWeb Search (latency s) vs clients/core\n\
+         clients  2C+Caching(mean/p90) 4C+Caching(mean/p90) 6C(mean/p90)\n",
+    );
+    for p in search_panel().iter().step_by(4) {
+        out.push_str(&format!(
+            "{:6.1}   {:6.3} / {:6.3}     {:6.3} / {:6.3}     {:6.3} / {:6.3}\n",
+            p.load, p.mean_s[0], p.p90_s[0], p.mean_s[1], p.p90_s[1], p.mean_s[2], p.p90_s[2],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_mid_range_mix_competitive() {
+        // At 45k RPS the 2C mix is at or below homogeneous latency.
+        let p = caching_panel()
+            .into_iter()
+            .find(|p| p.load == 45_000.0)
+            .unwrap();
+        assert!(p.mean_s[0] <= p.mean_s[2] * 1.02);
+    }
+
+    #[test]
+    fn search_mixes_worse_everywhere() {
+        for p in search_panel() {
+            assert!(p.mean_s[0] > p.mean_s[2], "clients {}", p.load);
+            assert!(p.mean_s[1] > p.mean_s[2], "clients {}", p.load);
+        }
+    }
+
+    #[test]
+    fn panel_sizes() {
+        assert_eq!(caching_panel().len(), 36);
+        assert_eq!(search_panel().len(), 21);
+    }
+
+    #[test]
+    fn render_mentions_all_allocations() {
+        let s = render();
+        assert!(s.contains("2C+Search"));
+        assert!(s.contains("4C+Caching"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 8 — the normalized two-day datacenter load trace.
+//!
+//! The paper plots the cumulative (stacked) per-workload load for 100
+//! servers over two days. This module samples the same stacked series
+//! from the synthetic trace.
+
+use vmt_units::Hours;
+use vmt_workload::{DiurnalTrace, TraceConfig, WorkloadKind};
+
+/// One sample of the stacked load trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePoint {
+    /// Time since trace start.
+    pub hour: f64,
+    /// Per-workload utilization (fraction of cluster cores), indexed by
+    /// [`WorkloadKind::index`].
+    pub by_workload: [f64; 5],
+    /// Total utilization.
+    pub total: f64,
+}
+
+/// Samples the paper-default two-day trace every `step_minutes`.
+///
+/// # Panics
+///
+/// Panics if `step_minutes` is zero.
+pub fn fig8(step_minutes: usize) -> Vec<TracePoint> {
+    assert!(step_minutes > 0, "step must be non-zero");
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let total_minutes = (trace.horizon().get() * 60.0) as usize;
+    (0..total_minutes)
+        .step_by(step_minutes)
+        .map(|m| {
+            let hour = m as f64 / 60.0;
+            let t = Hours::new(hour);
+            let mut by_workload = [0.0; 5];
+            for kind in WorkloadKind::ALL {
+                by_workload[kind.index()] = trace.utilization(kind, t).get();
+            }
+            TracePoint {
+                hour,
+                by_workload,
+                total: by_workload.iter().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the stacked series as text (one line per sample).
+pub fn render() -> String {
+    let mut out = String::from(
+        "hour    Clustering DataCaching VideoEncoding VirusScan WebSearch  total(%)\n",
+    );
+    for p in fig8(30) {
+        out.push_str(&format!(
+            "{:5.1}   {:.3}      {:.3}       {:.3}         {:.3}     {:.3}      {:5.1}\n",
+            p.hour,
+            p.by_workload[WorkloadKind::Clustering.index()],
+            p.by_workload[WorkloadKind::DataCaching.index()],
+            p.by_workload[WorkloadKind::VideoEncoding.index()],
+            p.by_workload[WorkloadKind::VirusScan.index()],
+            p.by_workload[WorkloadKind::WebSearch.index()],
+            p.total * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_two_days() {
+        let points = fig8(30);
+        assert_eq!(points.len(), 96);
+        assert!((points.last().unwrap().hour - 47.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peaks_reach_95_percent() {
+        let points = fig8(10);
+        let max = points.iter().map(|p| p.total).fold(0.0, f64::max);
+        assert!((max - 0.95).abs() < 0.03, "max {max}");
+    }
+
+    #[test]
+    fn stacked_components_sum_to_total() {
+        for p in fig8(60) {
+            let sum: f64 = p.by_workload.iter().sum();
+            assert!((sum - p.total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hot_cold_split_is_sixty_forty() {
+        // Integrated over the whole trace, hot workloads carry ≈60% of
+        // the load.
+        let points = fig8(10);
+        let hot: f64 = points
+            .iter()
+            .map(|p| {
+                p.by_workload[WorkloadKind::WebSearch.index()]
+                    + p.by_workload[WorkloadKind::VideoEncoding.index()]
+                    + p.by_workload[WorkloadKind::Clustering.index()]
+            })
+            .sum();
+        let total: f64 = points.iter().map(|p| p.total).sum();
+        assert!((hot / total - 0.6).abs() < 0.02, "hot share {}", hot / total);
+    }
+}

@@ -1,0 +1,202 @@
+//! Figures 9, 10, 11, 14 — per-server air-temperature and wax-melt
+//! heatmaps.
+//!
+//! The paper plots 100-server heatmaps for round robin (Fig 9, no melt),
+//! coolest first (Fig 10, tight distribution, no melt), VMT-TA at GV=22
+//! (Fig 11, hot group melts) and VMT-WA at GV=20 (Fig 14, hot group
+//! extension). This module runs the corresponding simulation and reduces
+//! the heatmaps to the statistics those figures exist to show.
+
+use crate::runner::Run;
+use vmt_core::PolicyKind;
+use vmt_dcsim::{Heatmap, SimulationResult};
+
+/// Which figure to reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeatmapFigure {
+    /// Figure 9: round robin.
+    Fig9RoundRobin,
+    /// Figure 10: coolest first.
+    Fig10CoolestFirst,
+    /// Figure 11: VMT-TA, GV=22.
+    Fig11VmtTa,
+    /// Figure 14: VMT-WA, GV=20.
+    Fig14VmtWa,
+}
+
+impl HeatmapFigure {
+    /// The policy behind the figure.
+    pub fn policy(self) -> PolicyKind {
+        match self {
+            HeatmapFigure::Fig9RoundRobin => PolicyKind::RoundRobin,
+            HeatmapFigure::Fig10CoolestFirst => PolicyKind::CoolestFirst,
+            HeatmapFigure::Fig11VmtTa => PolicyKind::VmtTa { gv: 22.0 },
+            HeatmapFigure::Fig14VmtWa => PolicyKind::vmt_wa(20.0),
+        }
+    }
+
+    /// Paper figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeatmapFigure::Fig9RoundRobin => "Figure 9 (round robin)",
+            HeatmapFigure::Fig10CoolestFirst => "Figure 10 (coolest first)",
+            HeatmapFigure::Fig11VmtTa => "Figure 11 (VMT-TA, GV=22)",
+            HeatmapFigure::Fig14VmtWa => "Figure 14 (VMT-WA, GV=20)",
+        }
+    }
+}
+
+/// The heatmap run plus derived statistics.
+#[derive(Debug, Clone)]
+pub struct HeatmapResult {
+    /// Which figure this is.
+    pub figure: HeatmapFigure,
+    /// The full simulation output (contains both heatmaps).
+    pub result: SimulationResult,
+}
+
+impl HeatmapResult {
+    /// The temperature heatmap.
+    pub fn temps(&self) -> &Heatmap {
+        &self.result.temp_heatmap
+    }
+
+    /// The melt heatmap.
+    pub fn melt(&self) -> &Heatmap {
+        &self.result.melt_heatmap
+    }
+
+    /// Largest across-server temperature spread (max − min) at any
+    /// sampled tick — Figure 10's point is that coolest-first keeps this
+    /// small.
+    pub fn max_temperature_spread(&self) -> f64 {
+        self.temps()
+            .rows
+            .iter()
+            .map(|row| {
+                let max = row.iter().copied().fold(f64::MIN, f64::max);
+                let min = row.iter().copied().fold(f64::MAX, f64::min);
+                max - min
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of the cluster's total wax that melted at the point of
+    /// maximum storage.
+    pub fn peak_melted_fraction(&self) -> f64 {
+        self.melt()
+            .rows
+            .iter()
+            .map(|row| row.iter().sum::<f64>() / row.len() as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs one heatmap figure on a cluster of `servers` servers.
+pub fn heatmap(figure: HeatmapFigure, servers: usize) -> HeatmapResult {
+    let result = Run::new(servers, figure.policy()).execute();
+    HeatmapResult { figure, result }
+}
+
+/// Renders an ASCII version of both heatmaps plus the headline
+/// statistics.
+pub fn render(figure: HeatmapFigure, servers: usize) -> String {
+    let h = heatmap(figure, servers);
+    let mut out = format!(
+        "{} — {} servers\n\
+         max across-server temperature spread: {:.1} K\n\
+         peak melted fraction of cluster wax: {:.1}%\n\n",
+        figure.label(),
+        servers,
+        h.max_temperature_spread(),
+        h.peak_melted_fraction() * 100.0
+    );
+    out.push_str("Air temperature at the wax (rows = hours, cols = servers; '.'<30, ':'30-33, '+'33-35.7, '#'>35.7 °C)\n");
+    out.push_str(&ascii_map(h.temps(), &[30.0, 33.0, 35.7]));
+    out.push_str("\nWax melted ('.'<5%, ':'5-50%, '+'50-95%, '#'>95%)\n");
+    out.push_str(&ascii_map(h.melt(), &[0.05, 0.5, 0.95]));
+    out
+}
+
+/// Down-samples a heatmap to an ASCII picture with three thresholds.
+fn ascii_map(map: &Heatmap, thresholds: &[f64; 3]) -> String {
+    let row_stride = (map.rows.len() / 24).max(1);
+    let mut out = String::new();
+    for row in map.rows.iter().step_by(row_stride) {
+        let col_stride = (row.len() / 50).max(1);
+        for v in row.iter().step_by(col_stride) {
+            out.push(match v {
+                v if *v >= thresholds[2] => '#',
+                v if *v >= thresholds[1] => '+',
+                v if *v >= thresholds[0] => ':',
+                _ => '.',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SERVERS: usize = 30;
+
+    #[test]
+    fn round_robin_melts_nothing() {
+        let h = heatmap(HeatmapFigure::Fig9RoundRobin, TEST_SERVERS);
+        assert!(h.peak_melted_fraction() < 0.1, "{}", h.peak_melted_fraction());
+    }
+
+    #[test]
+    fn coolest_first_has_tighter_spread_than_round_robin() {
+        let rr = heatmap(HeatmapFigure::Fig9RoundRobin, TEST_SERVERS);
+        let cf = heatmap(HeatmapFigure::Fig10CoolestFirst, TEST_SERVERS);
+        assert!(
+            cf.max_temperature_spread() < rr.max_temperature_spread(),
+            "cf {} vs rr {}",
+            cf.max_temperature_spread(),
+            rr.max_temperature_spread()
+        );
+        assert!(cf.peak_melted_fraction() < 0.1);
+    }
+
+    #[test]
+    fn vmt_ta_melts_only_the_hot_group() {
+        let h = heatmap(HeatmapFigure::Fig11VmtTa, TEST_SERVERS);
+        assert!(h.peak_melted_fraction() > 0.3, "{}", h.peak_melted_fraction());
+        // The melt is concentrated in the hot group (low server ids):
+        // find the most-melted sampled row and compare halves.
+        let hot = h.result.hot_group_sizes[0];
+        let row = h
+            .melt()
+            .rows
+            .iter()
+            .max_by(|a, b| {
+                let sa: f64 = a.iter().sum();
+                let sb: f64 = b.iter().sum();
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .unwrap();
+        let hot_mean: f64 = row[..hot].iter().sum::<f64>() / hot as f64;
+        let cold_mean: f64 = row[hot..].iter().sum::<f64>() / (row.len() - hot) as f64;
+        assert!(hot_mean > 0.9, "hot group melt {hot_mean}");
+        assert!(cold_mean < 0.1, "cold group melt {cold_mean}");
+    }
+
+    #[test]
+    fn vmt_wa_extends_the_hot_group() {
+        let h = heatmap(HeatmapFigure::Fig14VmtWa, TEST_SERVERS);
+        let base = h.result.hot_group_sizes[0];
+        let max = h.result.hot_group_sizes.iter().copied().max().unwrap();
+        assert!(max > base, "hot group never grew past {base}");
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let s = render(HeatmapFigure::Fig9RoundRobin, 10);
+        assert!(s.contains("Figure 9"));
+        assert!(s.lines().count() > 20);
+    }
+}

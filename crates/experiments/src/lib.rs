@@ -1,0 +1,57 @@
+//! Reproduction harness for every table and figure of the VMT paper
+//! (Skach et al., ISCA 2018).
+//!
+//! Each module reproduces one artifact of the paper's evaluation and
+//! returns typed series; the `vmt-experiments` binary prints them in the
+//! same rows/series the paper reports. `EXPERIMENTS.md` at the repository
+//! root records paper-vs-measured values for each.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — workload power and VMT classes |
+//! | [`table2`] | Table II — GV → virtual melting temperature mapping |
+//! | [`fig1`] | Figure 1 — workload-mix region maps |
+//! | [`fig2`] | Figure 2 — TTS load-flattening concept |
+//! | [`fig6`] | Figure 6 — colocation QoS curves |
+//! | [`fig7`] | Figure 7 — reliability, round robin vs VMT-WA |
+//! | [`fig8`] | Figure 8 — two-day stacked load trace |
+//! | [`heatmaps`] | Figures 9, 10, 11, 14 — per-server temperature/melt heatmaps |
+//! | [`hot_group`] | Figures 12, 15 — hot-group temperature vs GV |
+//! | [`cooling_load`] | Figures 13, 16 — cooling-load series + reduction bars |
+//! | [`threshold`] | Figure 17 — wax-threshold sweep |
+//! | [`gv_sweep`] | Figure 18 — GV sweep, VMT-TA vs VMT-WA |
+//! | [`inlet_variation`] | Figures 19, 20 — inlet-temperature variation |
+//! | [`tco_summary`] | §V-E — cost savings and added servers |
+//! | [`ablations`] | design-choice ablations (beyond the paper) |
+//! | [`emergency`] | PCM as an emergency-cooling buffer (beyond the paper) |
+//! | [`storage_bound`] | VMT vs the ideal plant-level store (beyond the paper) |
+//! | [`qos_check`] | QoS under VMT's placements (closes §IV-C's loop) |
+//! | [`preserve`] | raising the virtual melting temperature (§III remark) |
+//! | [`estimator_validation`] | on-server wax-state model vs physical truth |
+//!
+//! Cluster sizes default to the paper's (1,000 servers for the headline
+//! experiments, 100 for parameter sweeps) but every entry point takes a
+//! `servers` argument so tests and benches can run scaled-down versions.
+
+pub mod ablations;
+pub mod emergency;
+pub mod estimator_validation;
+pub mod cooling_load;
+pub mod fig1;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod gv_sweep;
+pub mod heatmaps;
+pub mod preserve;
+pub mod qos_check;
+pub mod hot_group;
+pub mod inlet_variation;
+pub mod report;
+pub mod runner;
+pub mod storage_bound;
+pub mod table1;
+pub mod table2;
+pub mod tco_summary;
+pub mod threshold;

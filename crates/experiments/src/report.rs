@@ -1,0 +1,217 @@
+//! Plain-text table rendering for experiment output.
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_experiments::report::TextTable;
+///
+/// let mut table = TextTable::new(vec!["Workload", "CPU Power", "Class"]);
+/// table.row(vec!["WebSearch".into(), "37.2 W".into(), "hot".into()]);
+/// let rendered = table.render();
+/// assert!(rendered.contains("WebSearch"));
+/// assert!(rendered.starts_with("Workload"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Self {
+            headers: headers.into_iter().map(str::to_owned).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(cell);
+                if i + 1 < cols {
+                    for _ in 0..(widths[i].saturating_sub(cell.chars().count()) + 2) {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders one or more series as a compact ASCII line chart, one column
+/// per sampled point, sharing a common y-scale. Intended for terminal
+/// inspection of a figure's *shape*; exact values come from the CSV
+/// export.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_experiments::report::ascii_chart;
+///
+/// let chart = ascii_chart(
+///     &[("a", &[0.0, 1.0, 2.0][..]), ("b", &[2.0, 1.0, 0.0][..])],
+///     40,
+///     8,
+/// );
+/// assert!(chart.contains('a'));
+/// assert!(chart.lines().count() >= 8);
+/// ```
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    let width = width.max(2);
+    let height = height.max(2);
+    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+    for (_, values) in series {
+        for &v in *values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !(lo.is_finite() && hi.is_finite()) || series.iter().all(|(_, v)| v.is_empty()) {
+        return String::from("(no data)
+");
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (idx, (_, values)) in series.iter().enumerate() {
+        let marker = char::from(b'a' + (idx % 26) as u8);
+        #[allow(clippy::needless_range_loop)] // col drives both sampling and placement
+        for col in 0..width {
+            let pos = col as f64 / (width - 1) as f64 * (values.len() - 1) as f64;
+            let v = values[pos.round() as usize];
+            let row = ((v - lo) / (hi - lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col] = marker;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:9.1} |")
+        } else if r == height - 1 {
+            format!("{lo:9.1} |")
+        } else {
+            "          |".to_owned()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    for (idx, (name, _)) in series.iter().enumerate() {
+        let marker = char::from(b'a' + (idx % 26) as u8);
+        out.push_str(&format!("  {marker} = {name}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats a time series as `hour value` lines, down-sampled to roughly
+/// `max_points` rows — enough to plot the figure's shape in a terminal
+/// or spreadsheet.
+pub fn series_lines(dt_hours: f64, values: &[f64], max_points: usize) -> String {
+    let stride = (values.len() / max_points.max(1)).max(1);
+    values
+        .iter()
+        .enumerate()
+        .step_by(stride)
+        .map(|(i, v)| format!("{:6.2}  {:.3}\n", i as f64 * dt_hours, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["A", "Long header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with('-'));
+        // Columns align: "1" and "2" start at the same offset.
+        let c1 = lines[2].find('1').unwrap();
+        let c2 = lines[3].find('2').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["A"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn ascii_chart_shape_and_scale() {
+        let chart = ascii_chart(&[("x", &[0.0, 5.0, 10.0][..])], 30, 6);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].trim_start().starts_with("10.0"));
+        assert!(lines[5].trim_start().starts_with("0.0"));
+        assert!(lines[6].contains("x = x") || lines[6].contains("a = x"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_degenerate_input() {
+        assert_eq!(ascii_chart(&[("e", &[][..])], 10, 4), "(no data)\n");
+        let flat = ascii_chart(&[("f", &[3.0, 3.0][..])], 10, 4);
+        assert!(flat.lines().count() >= 4);
+    }
+
+    #[test]
+    fn series_downsampling() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let s = series_lines(1.0 / 60.0, &values, 10);
+        assert_eq!(s.lines().count(), 10);
+    }
+}

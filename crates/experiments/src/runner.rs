@@ -1,0 +1,99 @@
+//! Shared simulation plumbing for the experiment modules.
+
+use vmt_core::PolicyKind;
+use vmt_dcsim::{ClusterConfig, Simulation, SimulationResult};
+use vmt_workload::{DiurnalTrace, TraceConfig};
+
+/// A fully specified experiment run: cluster + trace + policy.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_core::PolicyKind;
+/// use vmt_experiments::runner::Run;
+///
+/// let result = Run::new(20, PolicyKind::RoundRobin).execute();
+/// assert_eq!(result.scheduler_name, "round-robin");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Trace configuration.
+    pub trace: TraceConfig,
+    /// Placement policy.
+    pub policy: PolicyKind,
+}
+
+impl Run {
+    /// A paper-default run of `servers` servers under `policy`.
+    pub fn new(servers: usize, policy: PolicyKind) -> Self {
+        Self {
+            cluster: ClusterConfig::paper_default(servers),
+            trace: TraceConfig::paper_default(),
+            policy,
+        }
+    }
+
+    /// Executes the run.
+    pub fn execute(&self) -> SimulationResult {
+        let scheduler = self.policy.build(&self.cluster);
+        Simulation::new(
+            self.cluster.clone(),
+            DiurnalTrace::new(self.trace.clone()),
+            scheduler,
+        )
+        .run()
+    }
+}
+
+/// Executes several runs concurrently (one OS thread each) and returns
+/// the results in input order.
+///
+/// Parameter sweeps dominate the harness's wall-clock; the runs are
+/// independent and deterministic, so scoped threads give a linear
+/// speedup without any change in output.
+pub fn execute_all(runs: &[Run]) -> Vec<SimulationResult> {
+    let mut results: Vec<Option<SimulationResult>> = (0..runs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (run, out) in runs.iter().zip(results.iter_mut()) {
+            scope.spawn(move |_| {
+                *out = Some(run.execute());
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("all runs executed"))
+        .collect()
+}
+
+/// Peak cooling-load reduction of `subject` relative to `baseline`, in
+/// percent (the paper's headline metric).
+pub fn reduction_percent(subject: &SimulationResult, baseline: &SimulationResult) -> f64 {
+    subject.compare_peak(baseline).reduction_percent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let runs = vec![
+            Run::new(4, PolicyKind::RoundRobin),
+            Run::new(4, PolicyKind::CoolestFirst),
+        ];
+        let parallel = execute_all(&runs);
+        let serial: Vec<_> = runs.iter().map(Run::execute).collect();
+        assert_eq!(parallel[0].cooling, serial[0].cooling);
+        assert_eq!(parallel[1].cooling, serial[1].cooling);
+    }
+
+    #[test]
+    fn reduction_vs_self_is_zero() {
+        let r = Run::new(4, PolicyKind::RoundRobin).execute();
+        assert_eq!(reduction_percent(&r, &r), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Table I — workloads considered for the scale-out study.
+//!
+//! Reproduces the paper's Table I and cross-checks the published hot/cold
+//! classes against the [`ThermalClassifier`]'s derivation from the
+//! cluster's thermal constants.
+//!
+//! [`ThermalClassifier`]: vmt_workload::ThermalClassifier
+
+use crate::report::TextTable;
+use vmt_units::Watts;
+use vmt_workload::{ThermalClassifier, VmtClass, WorkloadKind};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The workload.
+    pub workload: WorkloadKind,
+    /// CPU power (per 8-core package).
+    pub cpu_power: Watts,
+    /// The class printed in the paper's table.
+    pub published_class: VmtClass,
+    /// The class our thermal classifier derives.
+    pub derived_class: VmtClass,
+}
+
+/// Computes Table I.
+pub fn table1() -> Vec<Table1Row> {
+    let classifier = ThermalClassifier::paper_default();
+    WorkloadKind::ALL
+        .iter()
+        .map(|&workload| Table1Row {
+            workload,
+            cpu_power: workload.cpu_power(),
+            published_class: workload.vmt_class(),
+            derived_class: classifier.classify(workload),
+        })
+        .collect()
+}
+
+/// Renders Table I in the paper's layout.
+pub fn render() -> String {
+    let mut table = TextTable::new(vec!["Workload", "CPU Power", "VMT Class", "Derived"]);
+    for row in table1() {
+        table.row(vec![
+            row.workload.to_string(),
+            format!("{:.1}", row.cpu_power),
+            row.published_class.to_string(),
+            row.derived_class.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_classes_match_published() {
+        for row in table1() {
+            assert_eq!(row.derived_class, row.published_class, "{}", row.workload);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render();
+        for kind in WorkloadKind::ALL {
+            assert!(s.contains(kind.name()), "{kind} missing");
+        }
+        assert!(s.contains("37.2 W"));
+    }
+}

@@ -1,0 +1,149 @@
+//! §V-E — TCO benefits of VMT.
+//!
+//! Converts the measured peak cooling-load reduction into the paper's
+//! dollar and server-count headlines for the 25 MW datacenter: a
+//! ≈$2.69M smaller cooling system (or ≈7,339 extra servers) at the full
+//! 12.8% reduction, and ≈$1.26M (≈3,191 servers) at the conservative 6%
+//! — against a commercial-wax deployment cost of only ≈$174k and an
+//! n-paraffin alternative that would cost ≈$13M.
+
+use vmt_pcm::{PcmMaterial, ServerWaxConfig};
+use vmt_tco::{CoolingCostModel, OversubscriptionPlan, WaxDeployment};
+use vmt_units::{Celsius, Dollars, Kilowatts, Watts};
+
+/// The paper's datacenter: 25 MW critical power of 500 W servers in
+/// 1,000-server clusters.
+pub const DATACENTER_KW: f64 = 25_000.0;
+/// Nameplate server power.
+pub const SERVER_PEAK_W: f64 = 500.0;
+/// Servers per cluster.
+pub const CLUSTER_SIZE: usize = 1000;
+
+/// One row of the §V-E summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoScenario {
+    /// Scenario label.
+    pub label: String,
+    /// Peak cooling-load reduction applied.
+    pub reduction_percent: f64,
+    /// Lifetime cooling-capex savings.
+    pub cooling_savings: Dollars,
+    /// Additional servers fleet-wide under the original cooling system.
+    pub additional_servers: u64,
+    /// Additional servers per 1,000-server cluster.
+    pub additional_per_cluster: u64,
+}
+
+/// The full summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcoSummary {
+    /// Measured/assumed scenarios (full reduction + conservative 6%).
+    pub scenarios: Vec<TcoScenario>,
+    /// Commercial wax deployment cost for the whole datacenter.
+    pub commercial_wax_cost: Dollars,
+    /// What n-paraffin at a ≈30 °C melt point would have cost instead.
+    pub n_paraffin_cost: Dollars,
+}
+
+/// Builds the summary from a measured peak reduction (fraction, e.g.
+/// `0.128`).
+///
+/// # Panics
+///
+/// Panics if `measured_reduction` is outside `[0, 1)`.
+pub fn tco_summary(measured_reduction: f64) -> TcoSummary {
+    let cost_model = CoolingCostModel::paper_default();
+    let scenario = |label: &str, reduction: f64| {
+        let plan = OversubscriptionPlan::new(
+            Kilowatts::new(DATACENTER_KW),
+            Watts::new(SERVER_PEAK_W),
+            reduction,
+        );
+        TcoScenario {
+            label: label.to_owned(),
+            reduction_percent: reduction * 100.0,
+            cooling_savings: plan.cooling_savings(&cost_model),
+            additional_servers: plan.additional_servers(),
+            additional_per_cluster: plan.additional_servers_per_cluster(CLUSTER_SIZE),
+        }
+    };
+    let servers = (DATACENTER_KW * 1000.0 / SERVER_PEAK_W) as u64;
+    TcoSummary {
+        scenarios: vec![
+            scenario("measured best (VMT-TA/WA)", measured_reduction),
+            scenario("conservative (VMT-WA)", 0.06),
+        ],
+        commercial_wax_cost: WaxDeployment::new(
+            PcmMaterial::deployed_paraffin(),
+            ServerWaxConfig::default(),
+            servers,
+        )
+        .total_cost(),
+        n_paraffin_cost: WaxDeployment::new(
+            PcmMaterial::n_paraffin(Celsius::new(29.7)).expect("valid n-paraffin"),
+            ServerWaxConfig::default(),
+            servers,
+        )
+        .total_cost(),
+    }
+}
+
+/// Runs the cluster simulation to measure the reduction, then builds the
+/// summary (the full §V-E pipeline).
+pub fn measured(servers: usize) -> (f64, TcoSummary) {
+    let figure = crate::cooling_load::fig13(servers);
+    let reduction = figure.best_reduction() / 100.0;
+    (reduction, tco_summary(reduction.clamp(0.0, 0.99)))
+}
+
+/// Renders the summary.
+pub fn render(summary: &TcoSummary) -> String {
+    let mut out = String::from("TCO benefits (25 MW datacenter, 10-year cooling life)\n");
+    for s in &summary.scenarios {
+        out.push_str(&format!(
+            "  {}: {:.1}% reduction → {} cooling capex saved, or +{} servers ({}/cluster)\n",
+            s.label,
+            s.reduction_percent,
+            s.cooling_savings.display_rounded(),
+            s.additional_servers,
+            s.additional_per_cluster
+        ));
+    }
+    out.push_str(&format!(
+        "  commercial wax deployment: {}\n  n-paraffin alternative:    {}\n",
+        summary.commercial_wax_cost.display_rounded(),
+        summary.n_paraffin_cost.display_rounded()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_at_published_reduction() {
+        let s = tco_summary(0.128);
+        let best = &s.scenarios[0];
+        assert_eq!(best.cooling_savings.display_rounded(), "$2,688,000");
+        assert_eq!(best.additional_servers, 7_339);
+        assert_eq!(best.additional_per_cluster, 146);
+        let conservative = &s.scenarios[1];
+        assert_eq!(conservative.cooling_savings.display_rounded(), "$1,260,000");
+        assert_eq!(conservative.additional_servers, 3_191);
+    }
+
+    #[test]
+    fn wax_cost_comparison() {
+        let s = tco_summary(0.128);
+        assert!(s.commercial_wax_cost.get() < 200_000.0);
+        assert!(s.n_paraffin_cost.get() > 10_000_000.0);
+    }
+
+    #[test]
+    fn render_mentions_the_headlines() {
+        let out = render(&tco_summary(0.128));
+        assert!(out.contains("$2,688,000"));
+        assert!(out.contains("7339") || out.contains("7,339") || out.contains("+7339"));
+    }
+}

@@ -1,0 +1,267 @@
+//! A discretized (multi-shell) wax pack: the reference model behind the
+//! lumped approximation.
+//!
+//! The paper reduces a CFD model to lumped per-server parameters; this
+//! module keeps one more level of fidelity available inside the library.
+//! The wax is split into `N` concentric shells between the heat-exchange
+//! wall and the container core. The wall shell exchanges with the air
+//! (`UA` split per unit area); neighboring shells conduct with a
+//! conductance derived from the wax's own conductivity. Each shell is a
+//! small enthalpy-method pack, so the melt front *emerges*: the wall
+//! shell melts first, the liquid layer's extra thermal path slows the
+//! shells behind it — the behavior the lumped model's optional
+//! `interface taper` coefficient approximates with a single knob.
+//!
+//! Use [`ShellPack`] directly for validation studies (see the
+//! `lumped_vs_discretized` test) or wherever per-server fidelity matters
+//! more than simulation speed: stepping `N` shells costs `N×` the lumped
+//! pack.
+
+use crate::{PcmMaterial, WaxPack};
+use vmt_units::{Celsius, Fraction, Joules, Kilograms, Seconds, Watts, WattsPerKelvin};
+
+/// A wax pack discretized into conduction-coupled shells.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::{PcmMaterial, ShellPack};
+/// use vmt_units::{Celsius, Kilograms, Seconds, WattsPerKelvin};
+///
+/// let mut pack = ShellPack::new(
+///     PcmMaterial::deployed_paraffin(),
+///     Kilograms::new(3.48),
+///     Celsius::new(25.0),
+///     8,
+///     WattsPerKelvin::new(17.5),
+/// );
+/// // Hot air melts the wall shell first.
+/// for _ in 0..120 {
+///     pack.step(Celsius::new(42.0), Seconds::new(60.0));
+/// }
+/// assert!(pack.shell_melt_fraction(0).get() > pack.shell_melt_fraction(7).get());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShellPack {
+    shells: Vec<WaxPack>,
+    /// Wall-to-first-shell conductance.
+    wall_ua: WattsPerKelvin,
+    /// Shell-to-shell conductance.
+    inter_ua: WattsPerKelvin,
+}
+
+/// Paraffin thermal conductivity (W/m·K), low — the reason melt fronts
+/// matter.
+const PARAFFIN_K: f64 = 0.24;
+/// Effective exchange area of the paper's four containers (m²).
+const EXCHANGE_AREA_M2: f64 = 0.30;
+/// Effective wax slab thickness (m): volume / area.
+const SLAB_THICKNESS_M: f64 = 0.004 / EXCHANGE_AREA_M2;
+
+impl ShellPack {
+    /// Creates a pack of `mass` split into `shells` equal shells,
+    /// equilibrated at `initial`, with `wall_ua` between the air and the
+    /// wall shell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shells` is zero or `mass` is not positive (the
+    /// underlying [`WaxPack`] validates the rest).
+    pub fn new(
+        material: PcmMaterial,
+        mass: Kilograms,
+        initial: Celsius,
+        shells: usize,
+        wall_ua: WattsPerKelvin,
+    ) -> Self {
+        assert!(shells > 0, "at least one shell");
+        let per_shell = mass / shells as f64;
+        let packs = (0..shells)
+            .map(|_| WaxPack::new(material.clone(), per_shell, initial))
+            .collect();
+        // Conduction between shell centers: k·A / Δx with Δx = one shell
+        // thickness of the slab.
+        let dx = SLAB_THICKNESS_M / shells as f64;
+        let inter_ua = WattsPerKelvin::new(PARAFFIN_K * EXCHANGE_AREA_M2 / dx);
+        Self {
+            shells: packs,
+            wall_ua,
+            inter_ua,
+        }
+    }
+
+    /// Number of shells.
+    pub fn shells(&self) -> usize {
+        self.shells.len()
+    }
+
+    /// Melt fraction of one shell (0 = wall, last = core).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shell` is out of range.
+    pub fn shell_melt_fraction(&self, shell: usize) -> Fraction {
+        self.shells[shell].melt_fraction()
+    }
+
+    /// Mass-weighted melt fraction of the whole pack.
+    pub fn melt_fraction(&self) -> Fraction {
+        let sum: f64 = self.shells.iter().map(|s| s.melt_fraction().get()).sum();
+        Fraction::saturating(sum / self.shells.len() as f64)
+    }
+
+    /// Total enthalpy relative to solid at 0 °C.
+    pub fn enthalpy(&self) -> Joules {
+        self.shells.iter().map(WaxPack::enthalpy).sum()
+    }
+
+    /// Total latent energy currently stored.
+    pub fn stored_latent_energy(&self) -> Joules {
+        self.shells.iter().map(WaxPack::stored_latent_energy).sum()
+    }
+
+    /// Advances the pack by `dt` with the air at `air`, returning the
+    /// average heat-flow rate into the pack (positive = absorbing).
+    pub fn step(&mut self, air: Celsius, dt: Seconds) -> Watts {
+        // Sub-step for stability of the explicit conduction update: the
+        // smallest shell time constant bounds the step.
+        let shell_capacity = self.shells[0].mass().get()
+            * self.shells[0].material().specific_heat_solid().get();
+        let fastest_ua = self.wall_ua.get().max(2.0 * self.inter_ua.get());
+        let tau = shell_capacity / fastest_ua;
+        let substeps = (dt.get() / (tau / 4.0)).ceil().max(1.0) as usize;
+        let sub_dt = dt.get() / substeps as f64;
+
+        let mut absorbed = 0.0;
+        for _ in 0..substeps {
+            // Heat flows computed from the start-of-substep temperatures.
+            let temps: Vec<f64> = self.shells.iter().map(|s| s.temperature().get()).collect();
+            // Air → wall shell.
+            let q_wall = self.wall_ua.get() * (air.get() - temps[0]);
+            self.shells[0].add_heat(Joules::new(q_wall * sub_dt));
+            absorbed += q_wall * sub_dt;
+            // Shell i → shell i+1 conduction.
+            for i in 0..self.shells.len() - 1 {
+                let q = self.inter_ua.get() * (temps[i] - temps[i + 1]);
+                self.shells[i].add_heat(Joules::new(-q * sub_dt));
+                self.shells[i + 1].add_heat(Joules::new(q * sub_dt));
+            }
+        }
+        Watts::new(absorbed / dt.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeatExchanger, ServerWaxConfig};
+
+    fn pack(shells: usize) -> ShellPack {
+        ShellPack::new(
+            PcmMaterial::deployed_paraffin(),
+            ServerWaxConfig::default().mass(),
+            Celsius::new(25.0),
+            shells,
+            WattsPerKelvin::new(17.5),
+        )
+    }
+
+    #[test]
+    fn melt_front_moves_inward() {
+        let mut p = pack(8);
+        for _ in 0..180 {
+            p.step(Celsius::new(42.0), Seconds::new(60.0));
+        }
+        // Monotone front: each shell at least as melted as the one
+        // behind it.
+        let fractions: Vec<f64> = (0..8).map(|i| p.shell_melt_fraction(i).get()).collect();
+        for w in fractions.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "front not monotone: {fractions:?}");
+        }
+        assert!(fractions[0] > 0.5, "wall shell should be melting: {fractions:?}");
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        let mut p = pack(6);
+        let h0 = p.enthalpy();
+        let mut absorbed = 0.0;
+        for i in 0..240 {
+            let air = if i < 120 { 42.0 } else { 24.0 };
+            absorbed += p.step(Celsius::new(air), Seconds::new(60.0)).get() * 60.0;
+        }
+        let dh = (p.enthalpy() - h0).get();
+        assert!(
+            (dh - absorbed).abs() < 1.0,
+            "conservation violated: Δh {dh:.1} vs absorbed {absorbed:.1}"
+        );
+    }
+
+    #[test]
+    fn discretization_shows_emergent_taper() {
+        // The discretized pack's absorption falls off as the front
+        // recedes, like the lumped model with a positive taper and
+        // unlike the taper-free lumped model.
+        let mass = ServerWaxConfig::default().mass();
+        let mut shell = pack(8);
+        let mut lumped = WaxPack::new(PcmMaterial::deployed_paraffin(), mass, Celsius::new(25.0));
+        let hx = HeatExchanger::new(WattsPerKelvin::new(17.5));
+
+        // Drive both to ~70% melt, then compare instantaneous absorption.
+        let air = Celsius::new(42.0);
+        while shell.melt_fraction().get() < 0.7 {
+            shell.step(air, Seconds::new(60.0));
+        }
+        while lumped.melt_fraction().get() < 0.7 {
+            hx.step(&mut lumped, air, Seconds::new(60.0));
+        }
+        let shell_rate = shell.step(air, Seconds::new(60.0)).get();
+        let lumped_rate = hx.step(&mut lumped, air, Seconds::new(60.0)).heat_to_wax.get() / 60.0;
+        assert!(
+            shell_rate < lumped_rate * 0.9,
+            "discretized rate {shell_rate:.1} W should taper below lumped {lumped_rate:.1} W"
+        );
+    }
+
+    #[test]
+    fn single_shell_matches_lumped_pack() {
+        let mass = ServerWaxConfig::default().mass();
+        let mut shell = pack(1);
+        let mut lumped = WaxPack::new(PcmMaterial::deployed_paraffin(), mass, Celsius::new(25.0));
+        let hx = HeatExchanger::new(WattsPerKelvin::new(17.5));
+        for _ in 0..240 {
+            shell.step(Celsius::new(40.0), Seconds::new(60.0));
+            hx.step(&mut lumped, Celsius::new(40.0), Seconds::new(60.0));
+        }
+        let d = (shell.melt_fraction().get() - lumped.melt_fraction().get()).abs();
+        assert!(d < 0.02, "single shell should track the lumped pack, Δ={d:.3}");
+    }
+
+    #[test]
+    fn refreezes_from_the_wall_inward() {
+        let mut p = pack(6);
+        // Melt fully, then cool.
+        for _ in 0..(20 * 60) {
+            p.step(Celsius::new(45.0), Seconds::new(60.0));
+        }
+        assert!(p.melt_fraction().get() > 0.95);
+        for _ in 0..240 {
+            p.step(Celsius::new(20.0), Seconds::new(60.0));
+        }
+        // The wall shell refreezes first.
+        assert!(p.shell_melt_fraction(0) <= p.shell_melt_fraction(5));
+        assert!(p.melt_fraction().get() < 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shell")]
+    fn zero_shells_rejected() {
+        ShellPack::new(
+            PcmMaterial::deployed_paraffin(),
+            Kilograms::new(1.0),
+            Celsius::new(25.0),
+            0,
+            WattsPerKelvin::new(10.0),
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for PCM model construction and validation.
+
+use core::fmt;
+use vmt_units::Celsius;
+
+/// Errors produced when constructing or configuring PCM models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PcmError {
+    /// Requested a commercial paraffin melting temperature outside the
+    /// commercially available range (the paper's 35.7–60 °C window).
+    MeltTemperatureUnavailable {
+        /// The requested melting temperature.
+        requested: Celsius,
+        /// The lowest commercially available melting temperature.
+        lo: Celsius,
+        /// The highest commercially available melting temperature.
+        hi: Celsius,
+    },
+    /// A material property that must be strictly positive was not.
+    NonPositiveProperty {
+        /// Name of the offending property.
+        property: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Requested more wax volume than the server chassis can hold.
+    VolumeExceedsChassis {
+        /// The requested volume in liters.
+        requested_liters: f64,
+        /// The maximum volume the chassis can hold in liters.
+        max_liters: f64,
+    },
+}
+
+impl fmt::Display for PcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcmError::MeltTemperatureUnavailable { requested, lo, hi } => write!(
+                f,
+                "melting temperature {requested:.1} is outside the commercial paraffin range \
+                 [{lo:.1}, {hi:.1}]"
+            ),
+            PcmError::NonPositiveProperty { property, value } => {
+                write!(f, "material property {property} must be positive, got {value}")
+            }
+            PcmError::VolumeExceedsChassis {
+                requested_liters,
+                max_liters,
+            } => write!(
+                f,
+                "requested wax volume {requested_liters} L exceeds the chassis limit of \
+                 {max_liters} L"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PcmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = PcmError::MeltTemperatureUnavailable {
+            requested: Celsius::new(30.0),
+            lo: Celsius::new(35.7),
+            hi: Celsius::new(60.0),
+        };
+        assert!(err.to_string().contains("30.0"));
+        assert!(err.to_string().contains("35.7"));
+
+        let err = PcmError::NonPositiveProperty {
+            property: "latent_heat",
+            value: -1.0,
+        };
+        assert!(err.to_string().contains("latent_heat"));
+
+        let err = PcmError::VolumeExceedsChassis {
+            requested_liters: 9.0,
+            max_liters: 4.0,
+        };
+        assert!(err.to_string().contains("9 L"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The lightweight per-server wax-state model.
+//!
+//! VMT-WA needs to know how melted each server's wax is, but the wax has no
+//! internal instrumentation. The paper (and its reference \[24\]) runs a
+//! small model on every server: a temperature sensor on the exterior of the
+//! wax container says when melting/freezing starts, and a lookup table
+//! driven by the existing CPU power/temperature sensors integrates the
+//! melt fraction between those anchor points, reporting to the cluster
+//! scheduler once per minute.
+//!
+//! [`WaxStateEstimator`] reproduces that design: it quantizes its sensor
+//! inputs (real sensors are coarse), looks up the melt rate in a
+//! precomputed table instead of evaluating the physics, and snaps to
+//! known-solid/known-liquid states when the container temperature says the
+//! wax cannot be on the plateau.
+
+use crate::{HeatExchanger, WaxPack};
+use vmt_units::{Celsius, Fraction, Seconds, Watts};
+
+/// One sensor sample fed to the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SensorReading {
+    /// Air temperature at the wax container exterior.
+    pub container_air: Celsius,
+    /// Total CPU power draw of the server (used only as a plausibility
+    /// signal here; kept because real deployments fuse both sensors).
+    pub cpu_power: Watts,
+}
+
+/// A lookup-table wax-state estimator.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::{PcmMaterial, SensorReading, ServerWaxConfig, WaxStateEstimator};
+/// use vmt_units::{Celsius, Seconds, Watts, WattsPerKelvin};
+///
+/// let mut est = WaxStateEstimator::new(
+///     PcmMaterial::deployed_paraffin(),
+///     ServerWaxConfig::default().mass(),
+///     WattsPerKelvin::new(15.0),
+/// );
+/// // An hour of 40 °C air melts a few percent of the pack.
+/// for _ in 0..60 {
+///     est.update(
+///         SensorReading { container_air: Celsius::new(40.0), cpu_power: Watts::new(300.0) },
+///         Seconds::new(60.0),
+///     );
+/// }
+/// assert!(est.melt_fraction().get() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WaxStateEstimator {
+    /// Melt-rate lookup table: fraction/second for each quantized ΔT
+    /// bucket from `DELTA_MIN` to `DELTA_MAX` in steps of `DELTA_STEP`.
+    rate_table: Vec<f64>,
+    melt_temperature: Celsius,
+    /// Estimated wax temperature while off the plateau (sensible phase),
+    /// integrated with the same table resolution.
+    sensible_rate_per_watt: f64,
+    ua_w_per_k: f64,
+    /// Phase-interface taper coefficient `b` mirrored from the physical
+    /// exchanger (see [`crate::HeatExchanger::with_taper`]).
+    taper: f64,
+    estimate_temp: Celsius,
+    estimate_fraction: Fraction,
+}
+
+/// Coldest ΔT bucket (container air − wax), kelvin.
+const DELTA_MIN: f64 = -25.0;
+/// Hottest ΔT bucket, kelvin.
+const DELTA_MAX: f64 = 25.0;
+/// ΔT quantization, kelvin (matches a cheap 0.5 °C sensor).
+const DELTA_STEP: f64 = 0.5;
+/// Temperature sensor quantization, °C.
+const SENSOR_QUANTUM: f64 = 0.5;
+
+impl WaxStateEstimator {
+    /// Builds the estimator (and its lookup table) for a wax pack with the
+    /// given material, mass, and exchanger conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` or `ua` is not strictly positive.
+    pub fn new(
+        material: crate::PcmMaterial,
+        mass: vmt_units::Kilograms,
+        ua: vmt_units::WattsPerKelvin,
+    ) -> Self {
+        assert!(mass.get() > 0.0, "mass must be positive");
+        assert!(ua.get() > 0.0, "UA must be positive");
+        let latent_capacity = (mass * material.latent_heat()).get();
+        let buckets = ((DELTA_MAX - DELTA_MIN) / DELTA_STEP).round() as usize + 1;
+        let rate_table = (0..buckets)
+            .map(|i| {
+                let delta = DELTA_MIN + i as f64 * DELTA_STEP;
+                ua.get() * delta / latent_capacity
+            })
+            .collect();
+        let sensible_heat_capacity = mass.get() * material.specific_heat_solid().get();
+        Self {
+            rate_table,
+            melt_temperature: material.melt_temperature(),
+            sensible_rate_per_watt: 1.0 / sensible_heat_capacity,
+            ua_w_per_k: ua.get(),
+            taper: 0.0,
+            estimate_temp: material.melt_temperature(),
+            estimate_fraction: Fraction::ZERO,
+        }
+    }
+
+    /// Mirrors the physical exchanger's interface-taper coefficient so
+    /// the estimate tracks the tapered melt rate.
+    #[must_use]
+    pub fn with_taper(mut self, taper: f64) -> Self {
+        assert!(taper >= 0.0 && taper.is_finite(), "taper must be non-negative");
+        self.taper = taper;
+        self
+    }
+
+    /// Resets the estimate to a known state (e.g. after maintenance).
+    pub fn reset(&mut self, temperature: Celsius, fraction: Fraction) {
+        self.estimate_temp = temperature;
+        self.estimate_fraction = fraction;
+    }
+
+    /// Current melt-fraction estimate.
+    pub fn melt_fraction(&self) -> Fraction {
+        self.estimate_fraction
+    }
+
+    /// Current wax-temperature estimate.
+    pub fn temperature(&self) -> Celsius {
+        self.estimate_temp
+    }
+
+    /// Ingests one sensor sample covering `dt` and advances the estimate.
+    pub fn update(&mut self, reading: SensorReading, dt: Seconds) {
+        let air = quantize(reading.container_air);
+        let on_plateau = !self.estimate_fraction.is_zero() || self.estimate_temp >= self.melt_temperature;
+
+        if on_plateau || self.estimate_fraction.get() > 0.0 {
+            self.estimate_temp = self.estimate_temp.min(self.melt_temperature);
+        }
+
+        if self.estimate_temp >= self.melt_temperature || self.estimate_fraction.get() > 0.0 {
+            // Plateau: advance the melt fraction via the lookup table.
+            let delta = air - self.melt_temperature;
+            let f0 = self.estimate_fraction.get();
+            let receded = if delta.get() > 0.0 { f0 } else { 1.0 - f0 };
+            let rate = self.lookup(delta.get()) / (1.0 + self.taper * receded);
+            let f = f0 + rate * dt.get();
+            if f < 0.0 {
+                // Fully frozen: drop off the plateau and resume sensible
+                // cooling from the melt temperature.
+                self.estimate_fraction = Fraction::ZERO;
+                self.estimate_temp = self.melt_temperature - vmt_units::DegC::new(1e-6);
+            } else {
+                self.estimate_fraction = Fraction::saturating(f);
+                self.estimate_temp = self.melt_temperature;
+            }
+        } else {
+            // Sensible phase: integrate the wax temperature toward the air.
+            let q = self.ua_w_per_k * (air - self.estimate_temp).get();
+            let dtemp = q * self.sensible_rate_per_watt * dt.get();
+            let next = self.estimate_temp + vmt_units::DegC::new(dtemp);
+            // Never integrate past the air temperature.
+            self.estimate_temp = if self.estimate_temp <= air {
+                next.min(air)
+            } else {
+                next.max(air)
+            };
+            if self.estimate_temp >= self.melt_temperature {
+                self.estimate_temp = self.melt_temperature;
+            }
+        }
+
+        // Anchor corrections from the container sensor: if the air has
+        // been below the melt point and our estimate says barely melted,
+        // freezing has begun; the sensor cannot distinguish more than
+        // this, so only hard anchors are applied.
+        if air.get() < self.melt_temperature.get() - 10.0 {
+            // Far below melt: the plateau cannot be sustained.
+            if self.estimate_fraction.get() < 0.02 {
+                self.estimate_fraction = Fraction::ZERO;
+            }
+        }
+    }
+
+    /// Looks up the melt rate (fraction/s) for a ΔT, clamping to the
+    /// table's range.
+    fn lookup(&self, delta_k: f64) -> f64 {
+        let idx = ((delta_k - DELTA_MIN) / DELTA_STEP).round();
+        let idx = idx.clamp(0.0, (self.rate_table.len() - 1) as f64) as usize;
+        self.rate_table[idx]
+    }
+}
+
+/// Quantizes a temperature to the sensor's resolution.
+fn quantize(t: Celsius) -> Celsius {
+    Celsius::new((t.get() / SENSOR_QUANTUM).round() * SENSOR_QUANTUM)
+}
+
+/// Runs ground truth and estimator side by side for validation studies,
+/// returning the final absolute melt-fraction error.
+///
+/// Drives `pack` through `air_series` with `exchanger` (the physical
+/// truth) while feeding the same, sensor-quantized readings to
+/// `estimator`, then reports how far the estimator's final melt fraction
+/// is from reality.
+pub fn estimation_error(
+    pack: &mut WaxPack,
+    exchanger: &HeatExchanger,
+    estimator: &mut WaxStateEstimator,
+    air_series: impl Iterator<Item = Celsius>,
+    dt: Seconds,
+) -> f64 {
+    for air in air_series {
+        exchanger.step(pack, air, dt);
+        estimator.update(
+            SensorReading {
+                container_air: air,
+                cpu_power: Watts::ZERO,
+            },
+            dt,
+        );
+    }
+    (pack.melt_fraction().get() - estimator.melt_fraction().get()).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PcmMaterial, ServerWaxConfig};
+    use vmt_units::WattsPerKelvin;
+
+    fn setup() -> (WaxPack, HeatExchanger, WaxStateEstimator) {
+        let material = PcmMaterial::deployed_paraffin();
+        let mass = ServerWaxConfig::default().mass();
+        let pack = WaxPack::new(material.clone(), mass, Celsius::new(25.0));
+        let hx = HeatExchanger::new(WattsPerKelvin::new(15.0));
+        let mut est = WaxStateEstimator::new(material, mass, WattsPerKelvin::new(15.0));
+        est.reset(Celsius::new(25.0), Fraction::ZERO);
+        (pack, hx, est)
+    }
+
+    #[test]
+    fn tracks_constant_hot_air() {
+        let (mut pack, hx, mut est) = setup();
+        let air = std::iter::repeat_n(Celsius::new(41.0), 480);
+        let err = estimation_error(&mut pack, &hx, &mut est, air, Seconds::new(60.0));
+        assert!(err < 0.05, "estimation error {err}");
+        assert!(est.melt_fraction().get() > 0.5);
+    }
+
+    #[test]
+    fn tracks_melt_then_freeze_cycle() {
+        let (mut pack, hx, mut est) = setup();
+        // 6 h hot, 6 h cool.
+        let air = (0..720).map(|i| {
+            if i < 360 {
+                Celsius::new(42.0)
+            } else {
+                Celsius::new(26.0)
+            }
+        });
+        let err = estimation_error(&mut pack, &hx, &mut est, air, Seconds::new(60.0));
+        assert!(err < 0.05, "estimation error {err}");
+    }
+
+    #[test]
+    fn tracks_diurnal_sinusoid() {
+        let (mut pack, hx, mut est) = setup();
+        // 48 h sinusoid peaking at 40 °C.
+        let air = (0..2880).map(|i| {
+            let phase = i as f64 / 1440.0 * std::f64::consts::TAU;
+            Celsius::new(33.0 + 7.0 * (phase - std::f64::consts::FRAC_PI_2).sin())
+        });
+        let err = estimation_error(&mut pack, &hx, &mut est, air, Seconds::new(60.0));
+        assert!(err < 0.08, "estimation error {err}");
+    }
+
+    #[test]
+    fn estimate_stays_in_bounds() {
+        let (_, _, mut est) = setup();
+        for i in 0..5000 {
+            let air = Celsius::new(20.0 + (i % 40) as f64);
+            est.update(
+                SensorReading {
+                    container_air: air,
+                    cpu_power: Watts::new(250.0),
+                },
+                Seconds::new(60.0),
+            );
+            let f = est.melt_fraction().get();
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn reset_applies() {
+        let (_, _, mut est) = setup();
+        est.reset(Celsius::new(35.7), Fraction::saturating(0.4));
+        assert!((est.melt_fraction().get() - 0.4).abs() < 1e-12);
+        assert_eq!(est.temperature(), Celsius::new(35.7));
+    }
+
+    #[test]
+    fn quantization_is_half_degree() {
+        assert_eq!(quantize(Celsius::new(35.74)).get(), 35.5);
+        assert_eq!(quantize(Celsius::new(35.76)).get(), 36.0);
+    }
+}

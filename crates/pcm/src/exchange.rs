@@ -1,0 +1,266 @@
+//! Finite-rate heat exchange between a server's air stream and its wax
+//! pack.
+
+use crate::WaxPack;
+use vmt_units::{Celsius, Joules, Seconds, Watts, WattsPerKelvin};
+
+/// Result of one exchange step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeStep {
+    /// Heat moved from the air into the wax over the step (negative when
+    /// the wax released heat back into the air, i.e. while freezing).
+    pub heat_to_wax: Joules,
+    /// Average heat-flow rate over the step (positive into the wax).
+    pub average_power: Watts,
+}
+
+impl ExchangeStep {
+    /// A step in which no heat moved.
+    pub const NONE: Self = Self {
+        heat_to_wax: Joules::ZERO,
+        average_power: Watts::ZERO,
+    };
+}
+
+/// An air-to-wax heat exchanger characterized by a single `UA` conductance.
+///
+/// The paper's aluminum wax containers present a fixed surface area to the
+/// air stream behind the CPUs; lumping convection and conduction into one
+/// `UA` value gives the standard reduced-order exchanger model
+/// `Q̇ = UA · (T_air − T_wax)`.
+///
+/// Integration uses sub-stepping: the explicit update is only accurate when
+/// the step is small relative to the wax's sensible time constant
+/// `τ = m·c_p / UA`, so [`HeatExchanger::step`] internally subdivides the
+/// requested step to keep each sub-step below `τ/4`. At the simulator's
+/// one-minute tick and the calibrated `UA ≈ 15 W/K` (τ ≈ 8 min) this uses a
+/// single sub-step; the sub-stepping matters for coarse ticks and
+/// sensitivity sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::{HeatExchanger, PcmMaterial, WaxPack};
+/// use vmt_units::{Celsius, Kilograms, Seconds, WattsPerKelvin};
+///
+/// let mut pack = WaxPack::new(PcmMaterial::deployed_paraffin(), Kilograms::new(3.48), Celsius::new(34.0));
+/// let hx = HeatExchanger::new(WattsPerKelvin::new(15.0));
+/// let step = hx.step(&mut pack, Celsius::new(39.0), Seconds::new(60.0));
+/// assert!(step.heat_to_wax.get() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HeatExchanger {
+    ua: WattsPerKelvin,
+    taper: f64,
+}
+
+impl HeatExchanger {
+    /// Creates an ideal exchanger (no phase-interface taper) with the
+    /// given `UA` conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ua` is not strictly positive and finite.
+    pub fn new(ua: WattsPerKelvin) -> Self {
+        Self::with_taper(ua, 0.0)
+    }
+
+    /// Creates an exchanger whose conductance tapers as the phase
+    /// interface recedes.
+    ///
+    /// In a real wax container the melt front moves away from the heat
+    /// exchange surface: while melting, a growing liquid layer separates
+    /// the air-side wall from the remaining solid; while freezing, a
+    /// growing solid crust does. Both add thermal resistance, so the
+    /// effective conductance is `UA / (1 + b·x)` where `x` is the
+    /// receded-phase thickness fraction (the melt fraction while
+    /// melting, its complement while freezing). This is the standard
+    /// reduced-order treatment of the Stefan interface and is what makes
+    /// a pack's absorption *taper off* near full melt instead of
+    /// stopping as a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ua` is not strictly positive and finite, or `taper` is
+    /// negative or non-finite.
+    pub fn with_taper(ua: WattsPerKelvin, taper: f64) -> Self {
+        assert!(
+            ua.get() > 0.0 && ua.get().is_finite(),
+            "UA must be positive and finite, got {ua}"
+        );
+        assert!(
+            taper >= 0.0 && taper.is_finite(),
+            "taper must be non-negative and finite, got {taper}"
+        );
+        Self { ua, taper }
+    }
+
+    /// The exchanger's (un-tapered) `UA` conductance.
+    pub fn ua(&self) -> WattsPerKelvin {
+        self.ua
+    }
+
+    /// The interface-taper coefficient `b`.
+    pub fn taper(&self) -> f64 {
+        self.taper
+    }
+
+    /// Effective conductance at a melt fraction, for a given flow
+    /// direction (positive delta = heat flowing into the wax).
+    fn effective_ua(&self, melt_fraction: f64, into_wax: bool) -> f64 {
+        let receded = if into_wax {
+            melt_fraction
+        } else {
+            1.0 - melt_fraction
+        };
+        self.ua.get() / (1.0 + self.taper * receded)
+    }
+
+    /// Advances the wax state by `dt` with the air at `air_temp`,
+    /// returning the heat moved.
+    ///
+    /// Positive `heat_to_wax` means the wax absorbed heat from the air
+    /// (reducing the heat the cooling system must remove *now*); negative
+    /// means the wax released stored heat back into the air stream
+    /// (typically at night, while refreezing).
+    pub fn step(&self, pack: &mut WaxPack, air_temp: Celsius, dt: Seconds) -> ExchangeStep {
+        debug_assert!(dt.get() > 0.0, "dt must be positive");
+        // Sensible time constant of the pack; the plateau is even stiffer
+        // (infinite capacity), so the solid-phase τ is the binding one.
+        let heat_capacity =
+            pack.mass().get() * pack.material().specific_heat_solid().get().min(
+                pack.material().specific_heat_liquid().get(),
+            );
+        let tau = heat_capacity / self.ua.get();
+        let substeps = (dt.get() / (tau / 4.0)).ceil().max(1.0) as usize;
+        let sub_dt = dt / substeps as f64;
+
+        let mut total = Joules::ZERO;
+        for _ in 0..substeps {
+            let delta = air_temp - pack.temperature();
+            let ua = self.effective_ua(pack.melt_fraction().get(), delta.get() > 0.0);
+            let q = Joules::new(ua * delta.get() * sub_dt.get());
+            pack.add_heat(q);
+            total += q;
+        }
+        ExchangeStep {
+            heat_to_wax: total,
+            average_power: total / dt,
+        }
+    }
+
+    /// Steady-state heat-flow rate at a given air/wax temperature pair
+    /// (no state change).
+    pub fn flow(&self, air_temp: Celsius, wax_temp: Celsius) -> Watts {
+        self.ua * (air_temp - wax_temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PcmMaterial;
+    use proptest::prelude::*;
+    use vmt_units::Kilograms;
+
+    fn pack_at(temp_c: f64) -> WaxPack {
+        WaxPack::new(
+            PcmMaterial::deployed_paraffin(),
+            Kilograms::new(3.48),
+            Celsius::new(temp_c),
+        )
+    }
+
+    fn hx() -> HeatExchanger {
+        HeatExchanger::new(WattsPerKelvin::new(15.0))
+    }
+
+    #[test]
+    fn hot_air_melts_wax() {
+        let mut pack = pack_at(25.0);
+        // 8 hours of 40 °C air at UA=15: plateau ΔT=4.3 K → ~64 W → melts
+        // most of the ~787 kJ latent capacity.
+        for _ in 0..480 {
+            hx().step(&mut pack, Celsius::new(40.0), Seconds::new(60.0));
+        }
+        assert!(pack.melt_fraction().get() > 0.9, "melt fraction {}", pack.melt_fraction());
+    }
+
+    #[test]
+    fn cool_air_freezes_wax_and_releases_heat() {
+        let mut pack = pack_at(35.7);
+        pack.set_melt_fraction(vmt_units::Fraction::ONE);
+        let step = hx().step(&mut pack, Celsius::new(25.0), Seconds::new(3600.0));
+        assert!(step.heat_to_wax.get() < 0.0);
+        assert!(pack.melt_fraction().get() < 1.0);
+    }
+
+    #[test]
+    fn no_flow_at_equilibrium() {
+        let mut pack = pack_at(30.0);
+        let step = hx().step(&mut pack, Celsius::new(30.0), Seconds::new(60.0));
+        assert_eq!(step, ExchangeStep::NONE);
+    }
+
+    #[test]
+    fn wax_never_overshoots_air_temperature() {
+        let mut pack = pack_at(20.0);
+        // Very long step relative to τ: without sub-stepping this would
+        // oscillate/overshoot; with it the wax asymptotes to the air temp.
+        hx().step(&mut pack, Celsius::new(30.0), Seconds::new(7200.0));
+        assert!(pack.temperature() <= Celsius::new(30.0) + vmt_units::DegC::new(1e-9));
+        assert!(pack.temperature().get() > 29.0);
+    }
+
+    #[test]
+    fn flow_is_linear_in_delta() {
+        let h = hx();
+        let q1 = h.flow(Celsius::new(40.0), Celsius::new(35.7));
+        let q2 = h.flow(Celsius::new(44.3), Celsius::new(35.7));
+        assert!((q2.get() - 2.0 * q1.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "UA must be positive")]
+    fn non_positive_ua_rejected() {
+        HeatExchanger::new(WattsPerKelvin::new(-1.0));
+    }
+
+    proptest! {
+        /// Energy moved into the wax equals the wax's enthalpy change
+        /// (the exchanger neither creates nor destroys heat).
+        #[test]
+        fn exchange_conserves_energy(
+            wax0 in 20.0f64..50.0,
+            air in 15.0f64..55.0,
+            dt in 1.0f64..7200.0,
+        ) {
+            let mut pack = pack_at(wax0);
+            let h0 = pack.enthalpy();
+            let step = hx().step(&mut pack, Celsius::new(air), Seconds::new(dt));
+            prop_assert!(((pack.enthalpy() - h0) - step.heat_to_wax).get().abs() < 1e-6);
+        }
+
+        /// The wax temperature always moves toward the air temperature and
+        /// never crosses it within a step.
+        #[test]
+        fn no_overshoot(
+            wax0 in 20.0f64..50.0,
+            air in 15.0f64..55.0,
+            dt in 1.0f64..7200.0,
+        ) {
+            let mut pack = pack_at(wax0);
+            let before = pack.temperature();
+            hx().step(&mut pack, Celsius::new(air), Seconds::new(dt));
+            let after = pack.temperature();
+            let air = Celsius::new(air);
+            if before <= air {
+                prop_assert!(after >= before - vmt_units::DegC::new(1e-9));
+                prop_assert!(after <= air + vmt_units::DegC::new(1e-9));
+            } else {
+                prop_assert!(after <= before + vmt_units::DegC::new(1e-9));
+                prop_assert!(after >= air - vmt_units::DegC::new(1e-9));
+            }
+        }
+    }
+}

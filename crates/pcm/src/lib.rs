@@ -1,0 +1,63 @@
+//! Phase change material (PCM) thermal-storage models for datacenter
+//! servers.
+//!
+//! This crate is the wax substrate of the VMT reproduction (Skach et al.,
+//! ISCA 2018). It models the commercial paraffin wax that Thermal Time
+//! Shifting (TTS) places behind the CPU heat sinks of a server:
+//!
+//! * [`PcmMaterial`] — thermophysical properties and procurement cost of a
+//!   phase change material (commercial paraffin grades, molecularly pure
+//!   n-paraffin, water/ice for comparison).
+//! * [`WaxPack`] — the melt state of a quantity of PCM inside one server,
+//!   tracked by enthalpy so that sensible heating (solid and liquid) and
+//!   the latent plateau are handled uniformly.
+//! * [`HeatExchanger`] — finite-rate `Q̇ = UA·ΔT` coupling between the
+//!   server's air stream and the wax, integrated with sub-stepping so the
+//!   model stays stable at the simulator's one-minute tick.
+//! * [`WaxStateEstimator`] — the lightweight per-server wax-state model the
+//!   paper runs on every server (its reference \[24\]): a lookup-table
+//!   integrator driven by quantized power/temperature sensor readings.
+//! * [`ServerWaxConfig`] — wax sizing for one server (the paper's 4.0 L in
+//!   four aluminum containers).
+//! * [`ShellPack`] — a discretized multi-shell reference model in which
+//!   the melt front (and the absorption taper it causes) *emerges* from
+//!   conduction, used to validate the lumped pack.
+//!
+//! # Examples
+//!
+//! Melt a pack of the paper's 35.7 °C commercial paraffin with hot air:
+//!
+//! ```
+//! # fn main() -> Result<(), vmt_pcm::PcmError> {
+//! use vmt_pcm::{HeatExchanger, PcmMaterial, ServerWaxConfig, WaxPack};
+//! use vmt_units::{Celsius, Seconds, WattsPerKelvin};
+//!
+//! let material = PcmMaterial::commercial_paraffin(Celsius::new(35.7))?;
+//! let mut pack = WaxPack::new(material, ServerWaxConfig::default().mass(), Celsius::new(25.0));
+//! let exchanger = HeatExchanger::new(WattsPerKelvin::new(15.0));
+//!
+//! // Two hours of 40 °C air: the wax warms to the melt point and melts.
+//! for _ in 0..120 {
+//!     exchanger.step(&mut pack, Celsius::new(40.0), Seconds::new(60.0));
+//! }
+//! assert!(pack.melt_fraction().get() > 0.0);
+//! assert_eq!(pack.temperature(), Celsius::new(35.7));
+//! # Ok(())
+//! # }
+//! ```
+
+mod discretized;
+mod error;
+mod estimator;
+mod exchange;
+mod material;
+mod pack;
+mod sizing;
+
+pub use discretized::ShellPack;
+pub use error::PcmError;
+pub use estimator::{estimation_error, SensorReading, WaxStateEstimator};
+pub use exchange::{ExchangeStep, HeatExchanger};
+pub use material::{MaterialClass, PcmMaterial};
+pub use pack::WaxPack;
+pub use sizing::ServerWaxConfig;

@@ -1,0 +1,443 @@
+//! Thermophysical properties and procurement cost of phase change
+//! materials.
+//!
+//! The paper's economics hinge on the difference between *commercial*
+//! paraffin (≈ $1,000/ton, melting temperatures only available between
+//! 35.7 °C and 60 °C) and molecularly pure *n-paraffin* (arbitrary melting
+//! temperatures, but > $75,000/ton — cost prohibitive at datacenter scale).
+//! VMT exists precisely because a datacenter stuck with the 35.7 °C floor
+//! can *virtually* lower it via job placement instead of buying n-paraffin.
+
+use crate::PcmError;
+use vmt_units::{Celsius, Dollars, JoulesPerKg, JoulesPerKgKelvin, Kilograms, KilogramsPerCubicMeter};
+
+/// Procurement class of a PCM, which determines cost and the available
+/// melting-temperature range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MaterialClass {
+    /// Commercial-grade paraffin wax: cheap, melting temperatures limited
+    /// to the 35.7–60 °C window.
+    CommercialParaffin,
+    /// Molecularly pure n-paraffin: any melting temperature, but roughly
+    /// 75× the cost of commercial wax.
+    PureNParaffin,
+    /// Water/ice — included for comparison with sensible/latent storage
+    /// literature; not deployable behind CPU heat sinks.
+    Water,
+    /// A custom material supplied by the user.
+    Custom,
+}
+
+impl core::fmt::Display for MaterialClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            MaterialClass::CommercialParaffin => "commercial paraffin",
+            MaterialClass::PureNParaffin => "pure n-paraffin",
+            MaterialClass::Water => "water",
+            MaterialClass::Custom => "custom",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A phase change material: melt point, latent heat, specific heats,
+/// density, and procurement cost.
+///
+/// Construct via [`PcmMaterial::commercial_paraffin`],
+/// [`PcmMaterial::n_paraffin`], [`PcmMaterial::water`], or
+/// [`PcmMaterial::custom`].
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::PcmMaterial;
+/// use vmt_units::Celsius;
+///
+/// // The paper's deployed wax: the lowest commercially available melt point.
+/// let wax = PcmMaterial::commercial_paraffin(Celsius::new(35.7)).unwrap();
+/// assert_eq!(wax.melt_temperature(), Celsius::new(35.7));
+///
+/// // Anything below the commercial floor requires n-paraffin.
+/// assert!(PcmMaterial::commercial_paraffin(Celsius::new(29.7)).is_err());
+/// let pure = PcmMaterial::n_paraffin(Celsius::new(29.7)).unwrap();
+/// assert!(pure.cost_per_ton() > wax.cost_per_ton());
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PcmMaterial {
+    name: String,
+    class: MaterialClass,
+    melt_temperature: Celsius,
+    latent_heat: JoulesPerKg,
+    specific_heat_solid: JoulesPerKgKelvin,
+    specific_heat_liquid: JoulesPerKgKelvin,
+    density_solid: KilogramsPerCubicMeter,
+    cost_per_ton: Dollars,
+}
+
+/// Lowest commercially available paraffin melting temperature (°C).
+pub(crate) const COMMERCIAL_MELT_LO_C: f64 = 35.7;
+/// Highest commercially available paraffin melting temperature (°C).
+pub(crate) const COMMERCIAL_MELT_HI_C: f64 = 60.0;
+
+/// Paraffin latent heat of fusion (J/kg), mid-range for commercial grades.
+const PARAFFIN_LATENT_J_PER_KG: f64 = 226_000.0;
+/// Paraffin solid specific heat (J/kg·K).
+const PARAFFIN_CP_SOLID: f64 = 2_100.0;
+/// Paraffin liquid specific heat (J/kg·K).
+const PARAFFIN_CP_LIQUID: f64 = 2_400.0;
+/// Paraffin solid density (kg/m³).
+const PARAFFIN_DENSITY_SOLID: f64 = 870.0;
+/// Commercial paraffin cost (USD per metric ton), per the paper.
+const PARAFFIN_COST_PER_TON: f64 = 1_000.0;
+/// Pure n-paraffin cost (USD per metric ton), per the paper ("in excess of
+/// $75,000 per ton").
+const N_PARAFFIN_COST_PER_TON: f64 = 75_000.0;
+
+impl PcmMaterial {
+    /// Commercial-grade paraffin with the given melting temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::MeltTemperatureUnavailable`] if `melt` lies
+    /// outside the commercially available 35.7–60 °C window.
+    pub fn commercial_paraffin(melt: Celsius) -> Result<Self, PcmError> {
+        if !(COMMERCIAL_MELT_LO_C..=COMMERCIAL_MELT_HI_C).contains(&melt.get()) {
+            return Err(PcmError::MeltTemperatureUnavailable {
+                requested: melt,
+                lo: Celsius::new(COMMERCIAL_MELT_LO_C),
+                hi: Celsius::new(COMMERCIAL_MELT_HI_C),
+            });
+        }
+        Ok(Self {
+            name: format!("commercial paraffin ({:.1})", melt),
+            class: MaterialClass::CommercialParaffin,
+            melt_temperature: melt,
+            latent_heat: JoulesPerKg::new(PARAFFIN_LATENT_J_PER_KG),
+            specific_heat_solid: JoulesPerKgKelvin::new(PARAFFIN_CP_SOLID),
+            specific_heat_liquid: JoulesPerKgKelvin::new(PARAFFIN_CP_LIQUID),
+            density_solid: KilogramsPerCubicMeter::new(PARAFFIN_DENSITY_SOLID),
+            cost_per_ton: Dollars::new(PARAFFIN_COST_PER_TON),
+        })
+    }
+
+    /// The paper's deployed wax: commercial paraffin at the lowest
+    /// commercially available melting temperature, 35.7 °C.
+    pub fn deployed_paraffin() -> Self {
+        Self::commercial_paraffin(Celsius::new(COMMERCIAL_MELT_LO_C))
+            .expect("35.7 °C is within the commercial range")
+    }
+
+    /// Molecularly pure n-paraffin with an arbitrary melting temperature
+    /// (10–70 °C), at n-paraffin prices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::MeltTemperatureUnavailable`] for melting
+    /// temperatures outside the physically sensible 10–70 °C alkane range.
+    pub fn n_paraffin(melt: Celsius) -> Result<Self, PcmError> {
+        if !(10.0..=70.0).contains(&melt.get()) {
+            return Err(PcmError::MeltTemperatureUnavailable {
+                requested: melt,
+                lo: Celsius::new(10.0),
+                hi: Celsius::new(70.0),
+            });
+        }
+        Ok(Self {
+            name: format!("pure n-paraffin ({:.1})", melt),
+            class: MaterialClass::PureNParaffin,
+            melt_temperature: melt,
+            latent_heat: JoulesPerKg::new(PARAFFIN_LATENT_J_PER_KG),
+            specific_heat_solid: JoulesPerKgKelvin::new(PARAFFIN_CP_SOLID),
+            specific_heat_liquid: JoulesPerKgKelvin::new(PARAFFIN_CP_LIQUID),
+            density_solid: KilogramsPerCubicMeter::new(PARAFFIN_DENSITY_SOLID),
+            cost_per_ton: Dollars::new(N_PARAFFIN_COST_PER_TON),
+        })
+    }
+
+    /// Water/ice, for comparison with sensible/latent-storage literature.
+    pub fn water() -> Self {
+        Self {
+            name: "water".to_owned(),
+            class: MaterialClass::Water,
+            melt_temperature: Celsius::new(0.0),
+            latent_heat: JoulesPerKg::new(334_000.0),
+            specific_heat_solid: JoulesPerKgKelvin::new(2_108.0),
+            specific_heat_liquid: JoulesPerKgKelvin::new(4_186.0),
+            density_solid: KilogramsPerCubicMeter::new(917.0),
+            cost_per_ton: Dollars::new(1.0),
+        }
+    }
+
+    /// A fully custom material.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::NonPositiveProperty`] if any of the latent heat,
+    /// specific heats, density, or cost is not strictly positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        name: impl Into<String>,
+        melt: Celsius,
+        latent_heat: JoulesPerKg,
+        specific_heat_solid: JoulesPerKgKelvin,
+        specific_heat_liquid: JoulesPerKgKelvin,
+        density_solid: KilogramsPerCubicMeter,
+        cost_per_ton: Dollars,
+    ) -> Result<Self, PcmError> {
+        fn positive(property: &'static str, value: f64) -> Result<(), PcmError> {
+            if value > 0.0 && value.is_finite() {
+                Ok(())
+            } else {
+                Err(PcmError::NonPositiveProperty { property, value })
+            }
+        }
+        positive("latent_heat", latent_heat.get())?;
+        positive("specific_heat_solid", specific_heat_solid.get())?;
+        positive("specific_heat_liquid", specific_heat_liquid.get())?;
+        positive("density_solid", density_solid.get())?;
+        positive("cost_per_ton", cost_per_ton.get())?;
+        Ok(Self {
+            name: name.into(),
+            class: MaterialClass::Custom,
+            melt_temperature: melt,
+            latent_heat,
+            specific_heat_solid,
+            specific_heat_liquid,
+            density_solid,
+            cost_per_ton,
+        })
+    }
+
+    /// Returns a copy of this material with a scaled latent heat of fusion.
+    ///
+    /// Table II of the paper derives the GV → VMT mapping by "modifying the
+    /// wax heat of fusion to match the available thermal energy storage in
+    /// the hot group"; this method is that knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn with_latent_heat_scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "latent heat scale factor must be positive and finite, got {factor}"
+        );
+        Self {
+            latent_heat: self.latent_heat * factor,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy of this material with a different melting
+    /// temperature, preserving every other property.
+    ///
+    /// Used by the Table II equivalence search, which sweeps a *physical*
+    /// melting temperature to find the one that matches VMT's behavior.
+    pub fn with_melt_temperature(&self, melt: Celsius) -> Self {
+        Self {
+            melt_temperature: melt,
+            ..self.clone()
+        }
+    }
+
+    /// Human-readable material name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Procurement class.
+    pub fn class(&self) -> MaterialClass {
+        self.class
+    }
+
+    /// Melting (phase transition) temperature.
+    pub fn melt_temperature(&self) -> Celsius {
+        self.melt_temperature
+    }
+
+    /// Latent heat of fusion.
+    pub fn latent_heat(&self) -> JoulesPerKg {
+        self.latent_heat
+    }
+
+    /// Specific heat of the solid phase.
+    pub fn specific_heat_solid(&self) -> JoulesPerKgKelvin {
+        self.specific_heat_solid
+    }
+
+    /// Specific heat of the liquid phase.
+    pub fn specific_heat_liquid(&self) -> JoulesPerKgKelvin {
+        self.specific_heat_liquid
+    }
+
+    /// Density of the solid phase (packs are filled with solid wax).
+    pub fn density_solid(&self) -> KilogramsPerCubicMeter {
+        self.density_solid
+    }
+
+    /// Procurement cost per metric ton.
+    pub fn cost_per_ton(&self) -> Dollars {
+        self.cost_per_ton
+    }
+
+    /// A small catalog of representative commercial paraffin grades
+    /// (named after their nominal melting temperatures), spanning the
+    /// commercially available window the paper describes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vmt_pcm::PcmMaterial;
+    ///
+    /// let catalog = PcmMaterial::commercial_catalog();
+    /// assert!(catalog.len() >= 5);
+    /// // Grades are sorted by melting temperature, coolest first.
+    /// assert!(catalog.windows(2).all(|w| {
+    ///     w[0].melt_temperature() <= w[1].melt_temperature()
+    /// }));
+    /// ```
+    pub fn commercial_catalog() -> Vec<Self> {
+        [35.7, 38.0, 42.0, 46.0, 50.0, 55.0, 60.0]
+            .into_iter()
+            .map(|melt| {
+                Self::commercial_paraffin(Celsius::new(melt))
+                    .expect("catalog grades are within the commercial window")
+            })
+            .collect()
+    }
+
+    /// The coolest commercial grade whose melting temperature is at or
+    /// above `minimum` — the procurement question TTS deployments
+    /// actually ask ("what is the lowest melt point I can buy that still
+    /// clears my off-hours temperature?").
+    pub fn coolest_commercial_at_least(minimum: Celsius) -> Option<Self> {
+        Self::commercial_catalog()
+            .into_iter()
+            .find(|m| m.melt_temperature() >= minimum)
+    }
+
+    /// Procurement cost for a given mass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vmt_pcm::PcmMaterial;
+    /// use vmt_units::Kilograms;
+    ///
+    /// let wax = PcmMaterial::deployed_paraffin();
+    /// // 3.48 kg/server × $1000/ton ≈ $3.48/server — "less than 0.5% of
+    /// // the purchase cost per server".
+    /// let per_server = wax.cost_for(Kilograms::new(3.48));
+    /// assert!((per_server.get() - 3.48).abs() < 1e-9);
+    /// ```
+    pub fn cost_for(&self, mass: Kilograms) -> Dollars {
+        self.cost_per_ton * mass.to_tons()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commercial_range_is_enforced() {
+        assert!(PcmMaterial::commercial_paraffin(Celsius::new(35.7)).is_ok());
+        assert!(PcmMaterial::commercial_paraffin(Celsius::new(60.0)).is_ok());
+        assert!(PcmMaterial::commercial_paraffin(Celsius::new(35.6)).is_err());
+        assert!(PcmMaterial::commercial_paraffin(Celsius::new(60.1)).is_err());
+    }
+
+    #[test]
+    fn deployed_paraffin_matches_paper() {
+        let wax = PcmMaterial::deployed_paraffin();
+        assert_eq!(wax.melt_temperature(), Celsius::new(35.7));
+        assert_eq!(wax.class(), MaterialClass::CommercialParaffin);
+        assert_eq!(wax.cost_per_ton(), Dollars::new(1000.0));
+    }
+
+    #[test]
+    fn n_paraffin_reaches_below_commercial_floor() {
+        let pure = PcmMaterial::n_paraffin(Celsius::new(29.7)).unwrap();
+        assert_eq!(pure.melt_temperature(), Celsius::new(29.7));
+        assert_eq!(pure.cost_per_ton(), Dollars::new(75_000.0));
+        assert!(PcmMaterial::n_paraffin(Celsius::new(5.0)).is_err());
+    }
+
+    #[test]
+    fn custom_rejects_non_positive_properties() {
+        let err = PcmMaterial::custom(
+            "bad",
+            Celsius::new(40.0),
+            JoulesPerKg::new(0.0),
+            JoulesPerKgKelvin::new(2000.0),
+            JoulesPerKgKelvin::new(2000.0),
+            KilogramsPerCubicMeter::new(900.0),
+            Dollars::new(100.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PcmError::NonPositiveProperty { property: "latent_heat", .. }));
+    }
+
+    #[test]
+    fn latent_heat_scaling() {
+        let wax = PcmMaterial::deployed_paraffin();
+        let scaled = wax.with_latent_heat_scaled(0.5);
+        assert!((scaled.latent_heat().get() - wax.latent_heat().get() * 0.5).abs() < 1e-9);
+        assert_eq!(scaled.melt_temperature(), wax.melt_temperature());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn latent_heat_scaling_rejects_zero() {
+        PcmMaterial::deployed_paraffin().with_latent_heat_scaled(0.0);
+    }
+
+    #[test]
+    fn melt_temperature_override() {
+        let wax = PcmMaterial::deployed_paraffin();
+        let moved = wax.with_melt_temperature(Celsius::new(30.7));
+        assert_eq!(moved.melt_temperature(), Celsius::new(30.7));
+        assert_eq!(moved.latent_heat(), wax.latent_heat());
+    }
+
+    #[test]
+    fn water_properties() {
+        let water = PcmMaterial::water();
+        assert_eq!(water.melt_temperature(), Celsius::new(0.0));
+        assert!(water.latent_heat().get() > 300_000.0);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(MaterialClass::CommercialParaffin.to_string(), "commercial paraffin");
+        assert_eq!(MaterialClass::PureNParaffin.to_string(), "pure n-paraffin");
+    }
+
+    #[test]
+    fn catalog_spans_the_commercial_window() {
+        let catalog = PcmMaterial::commercial_catalog();
+        assert_eq!(catalog.first().unwrap().melt_temperature(), Celsius::new(35.7));
+        assert_eq!(catalog.last().unwrap().melt_temperature(), Celsius::new(60.0));
+        assert!(catalog
+            .iter()
+            .all(|m| m.class() == MaterialClass::CommercialParaffin));
+    }
+
+    #[test]
+    fn coolest_grade_selection() {
+        let m = PcmMaterial::coolest_commercial_at_least(Celsius::new(40.0)).unwrap();
+        assert_eq!(m.melt_temperature(), Celsius::new(42.0));
+        assert!(PcmMaterial::coolest_commercial_at_least(Celsius::new(61.0)).is_none());
+        // The paper's deployment is the catalog's floor.
+        let floor = PcmMaterial::coolest_commercial_at_least(Celsius::new(0.0)).unwrap();
+        assert_eq!(floor.melt_temperature(), Celsius::new(35.7));
+    }
+
+    #[test]
+    fn mass_cost() {
+        let wax = PcmMaterial::deployed_paraffin();
+        let dc_cost = wax.cost_for(Kilograms::new(3.48 * 50_000.0));
+        // Waxing all 50k servers of the 25 MW datacenter ≈ $174k.
+        assert!((dc_cost.get() - 174_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The melt state of a quantity of PCM inside one server.
+
+use crate::PcmMaterial;
+use vmt_units::{Celsius, Fraction, Joules, Kilograms};
+
+/// A pack of phase change material with its current thermal state.
+///
+/// The state is tracked as a single *enthalpy* value relative to solid
+/// material at 0 °C, which makes heat addition/removal a single addition
+/// and lets temperature and melt fraction be derived consistently:
+///
+/// * below the melt point the pack is solid and warms sensibly
+///   (`c_p,solid`);
+/// * across the latent plateau the temperature is pinned at the melt point
+///   while the melt fraction advances from 0 to 1;
+/// * above the plateau the pack is liquid and warms sensibly
+///   (`c_p,liquid`).
+///
+/// This is the classic enthalpy method for Stefan problems, collapsed to a
+/// single lumped node — the same reduction the paper makes when it distills
+/// its CFD model into per-server DCsim parameters.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::{PcmMaterial, WaxPack};
+/// use vmt_units::{Celsius, Joules, Kilograms};
+///
+/// let mut pack = WaxPack::new(PcmMaterial::deployed_paraffin(), Kilograms::new(3.48), Celsius::new(25.0));
+/// assert!(pack.melt_fraction().is_zero());
+///
+/// // Pump in more than enough heat to reach the plateau and half-melt.
+/// let to_melt_start = pack.heat_to_reach(Celsius::new(35.7));
+/// pack.add_heat(to_melt_start + pack.latent_capacity() * 0.5);
+/// assert!((pack.melt_fraction().get() - 0.5).abs() < 1e-9);
+/// assert_eq!(pack.temperature(), Celsius::new(35.7));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaxPack {
+    material: PcmMaterial,
+    mass: Kilograms,
+    /// Enthalpy relative to solid material at 0 °C.
+    enthalpy: Joules,
+}
+
+impl WaxPack {
+    /// Creates a pack of `mass` of `material` equilibrated at `initial`
+    /// temperature (fully solid if below the melt point, fully liquid if
+    /// above).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is not strictly positive.
+    pub fn new(material: PcmMaterial, mass: Kilograms, initial: Celsius) -> Self {
+        assert!(
+            mass.get() > 0.0 && mass.get().is_finite(),
+            "wax mass must be positive, got {mass}"
+        );
+        let mut pack = Self {
+            material,
+            mass,
+            enthalpy: Joules::ZERO,
+        };
+        pack.set_temperature(initial);
+        pack
+    }
+
+    /// The material in the pack.
+    pub fn material(&self) -> &PcmMaterial {
+        &self.material
+    }
+
+    /// Mass of PCM in the pack.
+    pub fn mass(&self) -> Kilograms {
+        self.mass
+    }
+
+    /// Current enthalpy relative to solid material at 0 °C.
+    pub fn enthalpy(&self) -> Joules {
+        self.enthalpy
+    }
+
+    /// Enthalpy at which melting begins (solid at the melt point).
+    fn plateau_start(&self) -> Joules {
+        self.material
+            .specific_heat_solid()
+            .sensible_heat(self.mass, self.material.melt_temperature() - Celsius::new(0.0))
+    }
+
+    /// Total latent storage capacity of the pack (`m · L`).
+    pub fn latent_capacity(&self) -> Joules {
+        self.mass * self.material.latent_heat()
+    }
+
+    /// Current temperature of the (lumped) pack.
+    ///
+    /// During the phase transition this is pinned at the material's melting
+    /// temperature, which is exactly the "temperature held stable while the
+    /// material melts" behavior TTS exploits.
+    pub fn temperature(&self) -> Celsius {
+        let start = self.plateau_start();
+        let end = start + self.latent_capacity();
+        if self.enthalpy <= start {
+            Celsius::new(
+                self.enthalpy.get() / (self.mass.get() * self.material.specific_heat_solid().get()),
+            )
+        } else if self.enthalpy >= end {
+            let above = self.enthalpy - end;
+            self.material.melt_temperature()
+                + vmt_units::DegC::new(
+                    above.get() / (self.mass.get() * self.material.specific_heat_liquid().get()),
+                )
+        } else {
+            self.material.melt_temperature()
+        }
+    }
+
+    /// Fraction of the pack's latent capacity currently melted.
+    pub fn melt_fraction(&self) -> Fraction {
+        let start = self.plateau_start();
+        Fraction::saturating((self.enthalpy - start).get() / self.latent_capacity().get())
+    }
+
+    /// Latent energy currently stored (melted portion only).
+    pub fn stored_latent_energy(&self) -> Joules {
+        self.latent_capacity() * self.melt_fraction().get()
+    }
+
+    /// Adds (positive) or removes (negative) heat.
+    pub fn add_heat(&mut self, heat: Joules) {
+        debug_assert!(heat.is_finite(), "heat must be finite");
+        self.enthalpy += heat;
+    }
+
+    /// Heat required to bring the pack from its current state to sensible
+    /// equilibrium at `target` (not including any latent melting at the
+    /// target temperature itself). Negative when the pack must cool.
+    pub fn heat_to_reach(&self, target: Celsius) -> Joules {
+        self.enthalpy_at(target) - self.enthalpy
+    }
+
+    /// Resets the pack to equilibrium at `temperature` (solid below the
+    /// melt point, liquid above, unmelted at exactly the melt point).
+    pub fn set_temperature(&mut self, temperature: Celsius) {
+        self.enthalpy = self.enthalpy_at(temperature);
+    }
+
+    /// Forces the melt fraction, keeping the pack on the latent plateau.
+    ///
+    /// Intended for constructing test scenarios and estimator corrections.
+    pub fn set_melt_fraction(&mut self, fraction: Fraction) {
+        self.enthalpy = self.plateau_start() + self.latent_capacity() * fraction.get();
+    }
+
+    /// Enthalpy of this pack equilibrated at `temperature`.
+    fn enthalpy_at(&self, temperature: Celsius) -> Joules {
+        let melt = self.material.melt_temperature();
+        if temperature <= melt {
+            self.material
+                .specific_heat_solid()
+                .sensible_heat(self.mass, temperature - Celsius::new(0.0))
+        } else {
+            self.plateau_start()
+                + self.latent_capacity()
+                + self
+                    .material
+                    .specific_heat_liquid()
+                    .sensible_heat(self.mass, temperature - melt)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pack_at(temp_c: f64) -> WaxPack {
+        WaxPack::new(
+            PcmMaterial::deployed_paraffin(),
+            Kilograms::new(3.48),
+            Celsius::new(temp_c),
+        )
+    }
+
+    #[test]
+    fn initial_state_below_melt_is_solid() {
+        let pack = pack_at(25.0);
+        assert!(pack.melt_fraction().is_zero());
+        assert!((pack.temperature().get() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_state_above_melt_is_liquid() {
+        let pack = pack_at(40.0);
+        assert!(pack.melt_fraction().is_one());
+        assert!((pack.temperature().get() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_pinned_during_melt() {
+        let mut pack = pack_at(35.7);
+        pack.add_heat(pack.latent_capacity() * 0.3);
+        assert_eq!(pack.temperature(), Celsius::new(35.7));
+        assert!((pack.melt_fraction().get() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latent_capacity_matches_paper_scale() {
+        // 3.48 kg × 226 kJ/kg ≈ 787 kJ per server.
+        let pack = pack_at(25.0);
+        assert!((pack.latent_capacity().to_megajoules() - 0.78648).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heat_to_reach_is_signed() {
+        let pack = pack_at(25.0);
+        assert!(pack.heat_to_reach(Celsius::new(30.0)).get() > 0.0);
+        assert!(pack.heat_to_reach(Celsius::new(20.0)).get() < 0.0);
+        assert_eq!(pack.heat_to_reach(Celsius::new(25.0)).get(), 0.0);
+    }
+
+    #[test]
+    fn melt_then_freeze_round_trip() {
+        let mut pack = pack_at(30.0);
+        let melt_heat = pack.heat_to_reach(Celsius::new(35.7)) + pack.latent_capacity();
+        pack.add_heat(melt_heat);
+        assert!(pack.melt_fraction().is_one());
+        pack.add_heat(-melt_heat);
+        assert!(pack.melt_fraction().is_zero());
+        assert!((pack.temperature().get() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stored_latent_energy_tracks_fraction() {
+        let mut pack = pack_at(35.7);
+        pack.set_melt_fraction(Fraction::saturating(0.25));
+        assert!(
+            (pack.stored_latent_energy().get() - pack.latent_capacity().get() * 0.25).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wax mass must be positive")]
+    fn zero_mass_rejected() {
+        WaxPack::new(
+            PcmMaterial::deployed_paraffin(),
+            Kilograms::new(0.0),
+            Celsius::new(25.0),
+        );
+    }
+
+    proptest! {
+        /// Enthalpy ↔ temperature is monotone: more heat never lowers the
+        /// temperature, and never lowers the melt fraction.
+        #[test]
+        fn heating_is_monotone(start in 0.0f64..60.0, heat in 0.0f64..2e6) {
+            let mut pack = pack_at(start);
+            let t0 = pack.temperature();
+            let f0 = pack.melt_fraction();
+            pack.add_heat(Joules::new(heat));
+            prop_assert!(pack.temperature() >= t0);
+            prop_assert!(pack.melt_fraction() >= f0);
+        }
+
+        /// set_temperature/temperature round-trips away from the plateau.
+        #[test]
+        fn temperature_round_trip(temp in 0.0f64..70.0) {
+            let pack = pack_at(temp);
+            if (temp - 35.7).abs() > 1e-9 {
+                prop_assert!((pack.temperature().get() - temp).abs() < 1e-9);
+            }
+        }
+
+        /// Adding heat and removing the same heat restores the state
+        /// exactly (the model has no hysteresis).
+        #[test]
+        fn energy_conservation(start in 0.0f64..60.0, heat in -1e6f64..1e6) {
+            let mut pack = pack_at(start);
+            let h0 = pack.enthalpy();
+            pack.add_heat(Joules::new(heat));
+            pack.add_heat(Joules::new(-heat));
+            prop_assert!((pack.enthalpy() - h0).get().abs() < 1e-6);
+        }
+
+        /// Melt fraction is always a valid fraction.
+        #[test]
+        fn melt_fraction_in_bounds(start in -10.0f64..80.0, heat in -5e6f64..5e6) {
+            let mut pack = pack_at(start.max(0.0));
+            pack.add_heat(Joules::new(heat));
+            let f = pack.melt_fraction().get();
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

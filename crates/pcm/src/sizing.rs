@@ -1,0 +1,150 @@
+//! Wax sizing for one server.
+
+use crate::{PcmError, PcmMaterial};
+use vmt_units::{Joules, Kilograms, KilogramsPerCubicMeter, Liters};
+
+/// Wax placement inside one server chassis.
+///
+/// The paper's CFD design-space exploration found that its 2U high
+/// throughput server (Sun Fire X4470 layout, 4× Xeon E7-4809 v4) holds
+/// **4.0 liters** of wax behind the CPU heat sinks, split across **four
+/// aluminum containers**, without exceeding CPU thermal limits. Those are
+/// the defaults here; the chassis limit is enforced at construction.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::ServerWaxConfig;
+///
+/// let config = ServerWaxConfig::default();
+/// assert_eq!(config.volume().get(), 4.0);
+/// assert_eq!(config.containers(), 4);
+/// // 4.0 L of solid paraffin ≈ 3.48 kg.
+/// assert!((config.mass().get() - 3.48).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServerWaxConfig {
+    volume: Liters,
+    containers: u32,
+    chassis_limit: Liters,
+}
+
+/// Paraffin solid density used for the default mass conversion (kg/m³).
+const DEFAULT_DENSITY: f64 = 870.0;
+
+impl ServerWaxConfig {
+    /// The paper's CFD-derived chassis limit for the 2U test server.
+    pub const CHASSIS_LIMIT: Liters = Liters::new(4.0);
+
+    /// Creates a wax configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::VolumeExceedsChassis`] if `volume` exceeds the
+    /// chassis limit, and [`PcmError::NonPositiveProperty`] if `volume` is
+    /// not strictly positive or `containers` is zero.
+    pub fn new(volume: Liters, containers: u32) -> Result<Self, PcmError> {
+        if !(volume.get() > 0.0 && volume.get().is_finite()) {
+            return Err(PcmError::NonPositiveProperty {
+                property: "volume",
+                value: volume.get(),
+            });
+        }
+        if containers == 0 {
+            return Err(PcmError::NonPositiveProperty {
+                property: "containers",
+                value: 0.0,
+            });
+        }
+        if volume > Self::CHASSIS_LIMIT {
+            return Err(PcmError::VolumeExceedsChassis {
+                requested_liters: volume.get(),
+                max_liters: Self::CHASSIS_LIMIT.get(),
+            });
+        }
+        Ok(Self {
+            volume,
+            containers,
+            chassis_limit: Self::CHASSIS_LIMIT,
+        })
+    }
+
+    /// Total wax volume in the server.
+    pub fn volume(&self) -> Liters {
+        self.volume
+    }
+
+    /// Number of aluminum containers the wax is split across.
+    pub fn containers(&self) -> u32 {
+        self.containers
+    }
+
+    /// Volume per container.
+    pub fn volume_per_container(&self) -> Liters {
+        self.volume / self.containers as f64
+    }
+
+    /// Wax mass assuming solid commercial paraffin (870 kg/m³).
+    ///
+    /// Use [`ServerWaxConfig::mass_of`] when the material differs.
+    pub fn mass(&self) -> Kilograms {
+        self.volume
+            .mass_at(KilogramsPerCubicMeter::new(DEFAULT_DENSITY))
+    }
+
+    /// Wax mass for a specific material.
+    pub fn mass_of(&self, material: &PcmMaterial) -> Kilograms {
+        self.volume.mass_at(material.density_solid())
+    }
+
+    /// Latent storage capacity of this configuration for a material.
+    pub fn latent_capacity_of(&self, material: &PcmMaterial) -> Joules {
+        self.mass_of(material) * material.latent_heat()
+    }
+}
+
+impl Default for ServerWaxConfig {
+    /// The paper's deployment: 4.0 L across 4 containers.
+    fn default() -> Self {
+        Self::new(Liters::new(4.0), 4).expect("paper defaults are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ServerWaxConfig::default();
+        assert_eq!(c.volume(), Liters::new(4.0));
+        assert_eq!(c.containers(), 4);
+        assert_eq!(c.volume_per_container(), Liters::new(1.0));
+    }
+
+    #[test]
+    fn chassis_limit_enforced() {
+        assert!(ServerWaxConfig::new(Liters::new(4.0), 4).is_ok());
+        let err = ServerWaxConfig::new(Liters::new(4.1), 4).unwrap_err();
+        assert!(matches!(err, PcmError::VolumeExceedsChassis { .. }));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ServerWaxConfig::new(Liters::new(0.0), 4).is_err());
+        assert!(ServerWaxConfig::new(Liters::new(-1.0), 4).is_err());
+        assert!(ServerWaxConfig::new(Liters::new(2.0), 0).is_err());
+    }
+
+    #[test]
+    fn latent_capacity_scales_with_volume() {
+        let wax = PcmMaterial::deployed_paraffin();
+        let full = ServerWaxConfig::default().latent_capacity_of(&wax);
+        let half = ServerWaxConfig::new(Liters::new(2.0), 2)
+            .unwrap()
+            .latent_capacity_of(&wax);
+        assert!((full.get() - 2.0 * half.get()).abs() < 1e-6);
+        // ≈ 787 kJ per server for the paper configuration.
+        assert!((full.to_megajoules() - 0.786).abs() < 0.01);
+    }
+}

@@ -1,0 +1,36 @@
+//! Server power models and power-sensor emulation.
+//!
+//! The VMT paper approximates per-core power with a linear model (its
+//! reference \[14\], Kontorinis et al.) on a 2U server with 4× Xeon
+//! E7-4809 v4 CPUs (32 cores), a 100 W idle floor, and a 500 W nameplate
+//! peak. This crate provides:
+//!
+//! * [`ServerPowerModel`] — the linear per-core power model: server power
+//!   is the idle floor plus the sum of the active cores' per-job draws.
+//! * [`LinearUtilizationPower`] — the coarser utilization-proportional
+//!   form `P(u) = P_idle + (P_peak − P_idle)·u` used for whole-cluster
+//!   sanity checks and TCO sizing.
+//! * [`PowerSensor`] — a RAPL-style sensor: a wrapping energy counter
+//!   sampled at a fixed resolution, from which average power over a window
+//!   is recovered. VMT's job classifier and the wax-state estimator read
+//!   power through this interface rather than from the model directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmt_power::ServerPowerModel;
+//! use vmt_units::Watts;
+//!
+//! let model = ServerPowerModel::paper_default();
+//! // An idle server draws the floor.
+//! assert_eq!(model.power([]), Watts::new(100.0));
+//! // Eight web-search cores at 4.65 W each.
+//! let p = model.power(std::iter::repeat(Watts::new(4.65)).take(8));
+//! assert!((p.get() - 137.2).abs() < 1e-9);
+//! ```
+
+mod model;
+mod sensor;
+
+pub use model::{LinearUtilizationPower, PowerModelError, ServerPowerModel};
+pub use sensor::PowerSensor;

@@ -1,0 +1,248 @@
+//! Linear server power models.
+
+use core::fmt;
+use vmt_units::{Fraction, Watts};
+
+/// Error type for power-model construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PowerModelError {
+    /// The idle power exceeded the peak power.
+    IdleAbovePeak {
+        /// Configured idle power.
+        idle: Watts,
+        /// Configured peak power.
+        peak: Watts,
+    },
+    /// A power value was negative or non-finite.
+    InvalidPower {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value in watts.
+        value: f64,
+    },
+    /// The core count was zero.
+    ZeroCores,
+}
+
+impl fmt::Display for PowerModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerModelError::IdleAbovePeak { idle, peak } => {
+                write!(f, "idle power {idle} exceeds peak power {peak}")
+            }
+            PowerModelError::InvalidPower { parameter, value } => {
+                write!(f, "power parameter {parameter} must be non-negative and finite, got {value}")
+            }
+            PowerModelError::ZeroCores => write!(f, "server must have at least one core"),
+        }
+    }
+}
+
+impl std::error::Error for PowerModelError {}
+
+/// Per-core linear server power model: `P = P_idle + Σ p_core`.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_power::ServerPowerModel;
+/// use vmt_units::Watts;
+///
+/// let model = ServerPowerModel::new(Watts::new(100.0), Watts::new(500.0), 32)?;
+/// let busy = model.power(std::iter::repeat(Watts::new(7.44)).take(32));
+/// assert!(busy <= model.nameplate_peak());
+/// # Ok::<(), vmt_power::PowerModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServerPowerModel {
+    idle: Watts,
+    nameplate_peak: Watts,
+    cores: u32,
+}
+
+impl ServerPowerModel {
+    /// Creates a model with the given idle floor, nameplate peak, and core
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if idle exceeds peak, either power is negative or
+    /// non-finite, or `cores` is zero.
+    pub fn new(idle: Watts, nameplate_peak: Watts, cores: u32) -> Result<Self, PowerModelError> {
+        for (name, value) in [("idle", idle), ("nameplate_peak", nameplate_peak)] {
+            if !(value.get() >= 0.0 && value.get().is_finite()) {
+                return Err(PowerModelError::InvalidPower {
+                    parameter: name,
+                    value: value.get(),
+                });
+            }
+        }
+        if idle > nameplate_peak {
+            return Err(PowerModelError::IdleAbovePeak {
+                idle,
+                peak: nameplate_peak,
+            });
+        }
+        if cores == 0 {
+            return Err(PowerModelError::ZeroCores);
+        }
+        Ok(Self {
+            idle,
+            nameplate_peak,
+            cores,
+        })
+    }
+
+    /// The paper's test server: 100 W idle, 500 W peak, 32 cores
+    /// (4× 8-core Xeon E7-4809 v4).
+    pub fn paper_default() -> Self {
+        Self::new(Watts::new(100.0), Watts::new(500.0), 32).expect("paper defaults are valid")
+    }
+
+    /// Idle (zero-load) power.
+    pub fn idle(&self) -> Watts {
+        self.idle
+    }
+
+    /// Nameplate peak power.
+    pub fn nameplate_peak(&self) -> Watts {
+        self.nameplate_peak
+    }
+
+    /// Number of physical cores.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Server power for a set of active-core draws: the idle floor plus
+    /// the sum of per-core powers.
+    ///
+    /// The caller is responsible for passing at most [`cores`] draws; the
+    /// model sums whatever it is given (debug builds assert the bound).
+    ///
+    /// [`cores`]: ServerPowerModel::cores
+    pub fn power(&self, core_draws: impl IntoIterator<Item = Watts>) -> Watts {
+        let mut count = 0u32;
+        let total: Watts = core_draws
+            .into_iter()
+            .inspect(|_| count += 1)
+            .sum();
+        debug_assert!(
+            count <= self.cores,
+            "{count} core draws exceed the server's {} cores",
+            self.cores
+        );
+        self.idle + total
+    }
+}
+
+/// Utilization-proportional power: `P(u) = P_idle + (P_peak − P_idle)·u`.
+///
+/// The coarse form used when only an aggregate utilization is known — e.g.
+/// cluster-level sanity checks and cooling-system sizing.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinearUtilizationPower {
+    idle: Watts,
+    peak: Watts,
+}
+
+impl LinearUtilizationPower {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if idle exceeds peak or either power is invalid.
+    pub fn new(idle: Watts, peak: Watts) -> Result<Self, PowerModelError> {
+        let probe = ServerPowerModel::new(idle, peak, 1)?;
+        Ok(Self {
+            idle: probe.idle(),
+            peak: probe.nameplate_peak(),
+        })
+    }
+
+    /// The paper's server envelope: 100 W idle, 500 W peak.
+    pub fn paper_default() -> Self {
+        Self::new(Watts::new(100.0), Watts::new(500.0)).expect("paper defaults are valid")
+    }
+
+    /// Power at a given utilization.
+    pub fn power_at(&self, utilization: Fraction) -> Watts {
+        self.idle + (self.peak - self.idle) * utilization.get()
+    }
+
+    /// Utilization implied by a power draw (the inverse map), clamped to
+    /// `[0, 1]`.
+    pub fn utilization_of(&self, power: Watts) -> Fraction {
+        Fraction::saturating((power - self.idle) / (self.peak - self.idle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(ServerPowerModel::new(Watts::new(600.0), Watts::new(500.0), 32).is_err());
+        assert!(ServerPowerModel::new(Watts::new(-1.0), Watts::new(500.0), 32).is_err());
+        assert!(ServerPowerModel::new(Watts::new(100.0), Watts::new(f64::NAN), 32).is_err());
+        assert!(ServerPowerModel::new(Watts::new(100.0), Watts::new(500.0), 0).is_err());
+    }
+
+    #[test]
+    fn idle_floor() {
+        let m = ServerPowerModel::paper_default();
+        assert_eq!(m.power([]), Watts::new(100.0));
+    }
+
+    #[test]
+    fn sums_core_draws() {
+        let m = ServerPowerModel::paper_default();
+        let p = m.power([Watts::new(4.65), Watts::new(7.44), Watts::new(1.69)]);
+        assert!((p.get() - 113.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_model_endpoints() {
+        let m = LinearUtilizationPower::paper_default();
+        assert_eq!(m.power_at(Fraction::ZERO), Watts::new(100.0));
+        assert_eq!(m.power_at(Fraction::ONE), Watts::new(500.0));
+        assert_eq!(m.power_at(Fraction::saturating(0.5)), Watts::new(300.0));
+    }
+
+    #[test]
+    fn utilization_inverse() {
+        let m = LinearUtilizationPower::paper_default();
+        let u = m.utilization_of(Watts::new(300.0));
+        assert!((u.get() - 0.5).abs() < 1e-12);
+        assert_eq!(m.utilization_of(Watts::new(50.0)), Fraction::ZERO);
+        assert_eq!(m.utilization_of(Watts::new(900.0)), Fraction::ONE);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = ServerPowerModel::new(Watts::new(600.0), Watts::new(500.0), 1).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    proptest! {
+        /// Round trip power ↔ utilization inside the envelope.
+        #[test]
+        fn utilization_round_trip(u in 0.0f64..=1.0) {
+            let m = LinearUtilizationPower::paper_default();
+            let p = m.power_at(Fraction::saturating(u));
+            prop_assert!((m.utilization_of(p).get() - u).abs() < 1e-12);
+        }
+
+        /// Power is monotone in the number of equally loaded cores.
+        #[test]
+        fn monotone_in_core_count(n in 0usize..32, draw in 0.0f64..12.5) {
+            let m = ServerPowerModel::paper_default();
+            let p1 = m.power(std::iter::repeat_n(Watts::new(draw), n));
+            let p2 = m.power(std::iter::repeat_n(Watts::new(draw), n + 1));
+            prop_assert!(p2 >= p1);
+        }
+    }
+}

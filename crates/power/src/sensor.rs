@@ -1,0 +1,148 @@
+//! RAPL-style power sensor emulation.
+
+use vmt_units::{Joules, Seconds, Watts};
+
+/// A RAPL-style energy-counter power sensor.
+///
+/// Real servers do not expose instantaneous power; they expose a wrapping
+/// energy counter with a fixed resolution, and software recovers average
+/// power by differencing two counter reads over a window. VMT's job
+/// classifier and the wax-state estimator consume power through this
+/// interface so that sensor quantization is part of the evaluated system,
+/// not an idealization.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_power::PowerSensor;
+/// use vmt_units::{Seconds, Watts};
+///
+/// let mut sensor = PowerSensor::rapl_like();
+/// sensor.accumulate(Watts::new(250.0), Seconds::new(60.0));
+/// let avg = sensor.window_average(Seconds::new(60.0));
+/// assert!((avg.get() - 250.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PowerSensor {
+    /// Energy counter in resolution units.
+    counter: u64,
+    /// Counter value at the start of the current window.
+    window_start: u64,
+    /// Joules per counter unit.
+    resolution: f64,
+    /// Counter wrap modulus, in units.
+    wrap: u64,
+    /// Sub-unit energy not yet accumulated into the counter.
+    residual_joules: f64,
+}
+
+impl PowerSensor {
+    /// A sensor with RAPL-like characteristics: 15.3 µJ resolution and a
+    /// 32-bit wrapping counter.
+    pub fn rapl_like() -> Self {
+        Self::new(1.0 / 65_536.0, u64::from(u32::MAX) + 1)
+    }
+
+    /// Creates a sensor with `resolution` joules per counter unit and a
+    /// counter that wraps at `wrap` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not strictly positive or `wrap` is zero.
+    pub fn new(resolution: f64, wrap: u64) -> Self {
+        assert!(resolution > 0.0 && resolution.is_finite(), "resolution must be positive");
+        assert!(wrap > 0, "wrap modulus must be non-zero");
+        Self {
+            counter: 0,
+            window_start: 0,
+            resolution,
+            wrap,
+            residual_joules: 0.0,
+        }
+    }
+
+    /// Feeds energy into the counter (called by the simulator each tick).
+    pub fn accumulate(&mut self, power: Watts, dt: Seconds) {
+        let energy = (power * dt).get() + self.residual_joules;
+        let units = (energy / self.resolution).floor();
+        self.residual_joules = energy - units * self.resolution;
+        self.counter = (self.counter + units as u64) % self.wrap;
+    }
+
+    /// Raw counter value, as software would read it.
+    pub fn raw(&self) -> u64 {
+        self.counter
+    }
+
+    /// Energy accumulated since the start of the current window, handling
+    /// a single counter wrap (windows must be short enough that the
+    /// counter cannot wrap twice, as with real RAPL).
+    pub fn window_energy(&self) -> Joules {
+        let delta = if self.counter >= self.window_start {
+            self.counter - self.window_start
+        } else {
+            self.wrap - self.window_start + self.counter
+        };
+        Joules::new(delta as f64 * self.resolution)
+    }
+
+    /// Average power over the current window, then restarts the window.
+    pub fn window_average(&mut self, window: Seconds) -> Watts {
+        let avg = self.window_energy() / window;
+        self.window_start = self.counter;
+        avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_average_power() {
+        let mut s = PowerSensor::rapl_like();
+        for _ in 0..60 {
+            s.accumulate(Watts::new(137.2), Seconds::new(1.0));
+        }
+        let avg = s.window_average(Seconds::new(60.0));
+        assert!((avg.get() - 137.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn window_restarts() {
+        let mut s = PowerSensor::rapl_like();
+        s.accumulate(Watts::new(100.0), Seconds::new(10.0));
+        s.window_average(Seconds::new(10.0));
+        s.accumulate(Watts::new(400.0), Seconds::new(10.0));
+        let avg = s.window_average(Seconds::new(10.0));
+        assert!((avg.get() - 400.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn survives_counter_wrap() {
+        // Tiny wrap so a single window wraps once.
+        let mut s = PowerSensor::new(1.0, 1000);
+        s.accumulate(Watts::new(150.0), Seconds::new(4.0)); // 600 units
+        s.window_average(Seconds::new(4.0));
+        s.accumulate(Watts::new(150.0), Seconds::new(4.0)); // wraps past 1000
+        let avg = s.window_average(Seconds::new(4.0));
+        assert!((avg.get() - 150.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn residual_energy_not_lost() {
+        // Resolution of 10 J; 1 W for 1 s leaves sub-unit residue each call.
+        let mut s = PowerSensor::new(10.0, 1_000_000);
+        for _ in 0..100 {
+            s.accumulate(Watts::new(1.0), Seconds::new(1.0));
+        }
+        // 100 J total → 10 units.
+        assert_eq!(s.raw(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_rejected() {
+        PowerSensor::new(0.0, 100);
+    }
+}

@@ -1,0 +1,131 @@
+//! The temperature-dependent failure-rate law.
+
+use vmt_units::Celsius;
+
+/// Hours in a month (365.25/12 days).
+pub(crate) const HOURS_PER_MONTH: f64 = 730.5;
+
+/// An exponential failure model with Arrhenius-style temperature scaling.
+///
+/// `λ(T) = λ₀ · 2^((T − T₀) / 10 °C)` with `λ₀ = 1 / MTBF₀`: the failure
+/// rate doubles for every 10 °C above the reference temperature (and
+/// halves below it).
+///
+/// # Examples
+///
+/// ```
+/// use vmt_reliability::FailureModel;
+/// use vmt_units::Celsius;
+///
+/// let model = FailureModel::paper_default();
+/// let base = model.failure_rate_per_hour(Celsius::new(30.0));
+/// let hot = model.failure_rate_per_hour(Celsius::new(40.0));
+/// assert!((hot / base - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FailureModel {
+    mtbf_hours: f64,
+    reference: Celsius,
+    doubling_interval_k: f64,
+}
+
+impl FailureModel {
+    /// The paper's model: 70,000 h MTBF at 30 °C, rate doubling every
+    /// +10 °C.
+    pub fn paper_default() -> Self {
+        Self::new(70_000.0, Celsius::new(30.0), 10.0)
+            .expect("paper constants are valid")
+    }
+
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `mtbf_hours` or `doubling_interval_k` is not
+    /// strictly positive and finite.
+    pub fn new(
+        mtbf_hours: f64,
+        reference: Celsius,
+        doubling_interval_k: f64,
+    ) -> Result<Self, String> {
+        if !(mtbf_hours > 0.0 && mtbf_hours.is_finite()) {
+            return Err(format!("MTBF must be positive, got {mtbf_hours}"));
+        }
+        if !(doubling_interval_k > 0.0 && doubling_interval_k.is_finite()) {
+            return Err(format!(
+                "doubling interval must be positive, got {doubling_interval_k}"
+            ));
+        }
+        Ok(Self {
+            mtbf_hours,
+            reference,
+            doubling_interval_k,
+        })
+    }
+
+    /// Reference-temperature MTBF in hours.
+    pub fn mtbf_hours(&self) -> f64 {
+        self.mtbf_hours
+    }
+
+    /// Failure rate (per hour) at an operating temperature.
+    pub fn failure_rate_per_hour(&self, temperature: Celsius) -> f64 {
+        let exponent = (temperature - self.reference).get() / self.doubling_interval_k;
+        (1.0 / self.mtbf_hours) * exponent.exp2()
+    }
+
+    /// Probability that a server operating at `temperature` fails within
+    /// `hours` (exponential model: `1 − e^(−λ·t)`).
+    pub fn failure_probability(&self, temperature: Celsius, hours: f64) -> f64 {
+        debug_assert!(hours >= 0.0, "hours must be non-negative");
+        1.0 - (-self.failure_rate_per_hour(temperature) * hours).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_rate() {
+        let m = FailureModel::paper_default();
+        assert!((m.failure_rate_per_hour(Celsius::new(30.0)) - 1.0 / 70_000.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn doubling_per_ten_degrees() {
+        let m = FailureModel::paper_default();
+        let r30 = m.failure_rate_per_hour(Celsius::new(30.0));
+        assert!((m.failure_rate_per_hour(Celsius::new(40.0)) / r30 - 2.0).abs() < 1e-12);
+        assert!((m.failure_rate_per_hour(Celsius::new(50.0)) / r30 - 4.0).abs() < 1e-12);
+        assert!((m.failure_rate_per_hour(Celsius::new(20.0)) / r30 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_year_scale_matches_figure_seven() {
+        // Figure 7's 3-year cumulative failure is in the ~25–35% band.
+        let m = FailureModel::paper_default();
+        let p = m.failure_probability(Celsius::new(32.0), 36.0 * HOURS_PER_MONTH);
+        assert!((0.2..0.5).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(FailureModel::new(0.0, Celsius::new(30.0), 10.0).is_err());
+        assert!(FailureModel::new(70_000.0, Celsius::new(30.0), 0.0).is_err());
+    }
+
+    proptest! {
+        /// Failure probability is a valid probability, increasing in both
+        /// temperature and time.
+        #[test]
+        fn probability_is_monotone(t in 10.0f64..60.0, h in 0.0f64..100_000.0) {
+            let m = FailureModel::paper_default();
+            let p = m.failure_probability(Celsius::new(t), h);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(m.failure_probability(Celsius::new(t + 1.0), h) >= p);
+            prop_assert!(m.failure_probability(Celsius::new(t), h + 1.0) >= p);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Hot/cold group rotation for wear leveling.
+
+/// A wear-leveling rotation between the hot and cold groups.
+///
+/// VMT's hot-group servers run hotter and would fail sooner, so the
+/// paper rotates 20% of servers between the groups every month. With a
+/// ≈60/40 hot/cold split this puts each server on a repeating cycle of
+/// `hot_months` in the hot group followed by `cold_months` in the cold
+/// group (the paper's 3 + 2 cycle).
+///
+/// # Examples
+///
+/// ```
+/// use vmt_reliability::RotationPolicy;
+///
+/// let rotation = RotationPolicy::paper_default();
+/// // Months 0,1,2 hot; months 3,4 cold; repeat.
+/// assert!(rotation.is_hot_in_month(0));
+/// assert!(rotation.is_hot_in_month(2));
+/// assert!(!rotation.is_hot_in_month(3));
+/// assert!(rotation.is_hot_in_month(5));
+/// assert!((rotation.hot_duty_cycle() - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RotationPolicy {
+    hot_months: u32,
+    cold_months: u32,
+}
+
+impl RotationPolicy {
+    /// The paper's rotation: 3 months hot, 2 months cold (20% rotated
+    /// per month at a 60/40 split).
+    pub fn paper_default() -> Self {
+        Self::new(3, 2).expect("paper rotation is valid")
+    }
+
+    /// A degenerate policy that never rotates (always hot) — the
+    /// worst-case comparison.
+    pub fn always_hot() -> Self {
+        Self {
+            hot_months: 1,
+            cold_months: 0,
+        }
+    }
+
+    /// Creates a policy cycling `hot_months` hot then `cold_months`
+    /// cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the cycle is empty or has no hot phase.
+    pub fn new(hot_months: u32, cold_months: u32) -> Result<Self, String> {
+        if hot_months == 0 {
+            return Err("rotation must include at least one hot month".to_owned());
+        }
+        Ok(Self {
+            hot_months,
+            cold_months,
+        })
+    }
+
+    /// Months per full cycle.
+    pub fn cycle_months(&self) -> u32 {
+        self.hot_months + self.cold_months
+    }
+
+    /// Fraction of time spent in the hot group.
+    pub fn hot_duty_cycle(&self) -> f64 {
+        f64::from(self.hot_months) / f64::from(self.cycle_months())
+    }
+
+    /// Whether a server following this rotation is in the hot group
+    /// during calendar month `month` (0-based).
+    pub fn is_hot_in_month(&self, month: u32) -> bool {
+        month % self.cycle_months() < self.hot_months
+    }
+
+    /// The fraction of servers rotated at each month boundary (the
+    /// paper quotes 20% for the 3+2 cycle).
+    pub fn monthly_rotation_fraction(&self) -> f64 {
+        1.0 / f64::from(self.cycle_months())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cycle() {
+        let r = RotationPolicy::paper_default();
+        assert_eq!(r.cycle_months(), 5);
+        assert!((r.monthly_rotation_fraction() - 0.2).abs() < 1e-12);
+        let pattern: Vec<bool> = (0..10).map(|m| r.is_hot_in_month(m)).collect();
+        assert_eq!(
+            pattern,
+            [true, true, true, false, false, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn always_hot() {
+        let r = RotationPolicy::always_hot();
+        assert!((0..24).all(|m| r.is_hot_in_month(m)));
+        assert_eq!(r.hot_duty_cycle(), 1.0);
+    }
+
+    #[test]
+    fn rejects_no_hot_phase() {
+        assert!(RotationPolicy::new(0, 5).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Cooling-system depreciation and lifetime cost.
+
+use vmt_units::{Dollars, Kilowatts};
+
+/// The cooling-system cost model (Kontorinis et al., the paper's \[14\]).
+///
+/// # Examples
+///
+/// ```
+/// use vmt_tco::CoolingCostModel;
+/// use vmt_units::Kilowatts;
+///
+/// let model = CoolingCostModel::paper_default();
+/// // $21M lifetime cooling cost for a 25 MW datacenter.
+/// let lifetime = model.lifetime_cost(Kilowatts::new(25_000.0));
+/// assert_eq!(lifetime.display_rounded(), "$21,000,000");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoolingCostModel {
+    depreciation_per_kw_month: Dollars,
+    lifetime_years: f64,
+}
+
+impl CoolingCostModel {
+    /// The paper's model: $7.00 per kW of critical power per month,
+    /// 10-year linear depreciation.
+    pub fn paper_default() -> Self {
+        Self::new(Dollars::new(7.0), 10.0).expect("paper constants are valid")
+    }
+
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if either parameter is not strictly positive
+    /// and finite.
+    pub fn new(depreciation_per_kw_month: Dollars, lifetime_years: f64) -> Result<Self, String> {
+        if !(depreciation_per_kw_month.get() > 0.0 && depreciation_per_kw_month.is_finite()) {
+            return Err(format!(
+                "depreciation must be positive, got {depreciation_per_kw_month}"
+            ));
+        }
+        if !(lifetime_years > 0.0 && lifetime_years.is_finite()) {
+            return Err(format!("lifetime must be positive, got {lifetime_years} years"));
+        }
+        Ok(Self {
+            depreciation_per_kw_month,
+            lifetime_years,
+        })
+    }
+
+    /// Monthly depreciation per kW of critical power.
+    pub fn depreciation_per_kw_month(&self) -> Dollars {
+        self.depreciation_per_kw_month
+    }
+
+    /// Cooling-system depreciation lifetime in years.
+    pub fn lifetime_years(&self) -> f64 {
+        self.lifetime_years
+    }
+
+    /// Annual cost of cooling a given critical power.
+    pub fn annual_cost(&self, capacity: Kilowatts) -> Dollars {
+        self.depreciation_per_kw_month * capacity.get() * 12.0
+    }
+
+    /// Lifetime (fully depreciated) cost of cooling a given critical
+    /// power.
+    pub fn lifetime_cost(&self, capacity: Kilowatts) -> Dollars {
+        self.annual_cost(capacity) * self.lifetime_years
+    }
+
+    /// Lifetime savings from reducing the cooling system by
+    /// `reduction` (a fraction of `capacity`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduction` is outside `[0, 1]`.
+    pub fn lifetime_savings(&self, capacity: Kilowatts, reduction: f64) -> Dollars {
+        assert!(
+            (0.0..=1.0).contains(&reduction),
+            "reduction must be a fraction, got {reduction}"
+        );
+        self.lifetime_cost(capacity) * reduction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arithmetic() {
+        let m = CoolingCostModel::paper_default();
+        // $84k per MW-year.
+        assert!((m.annual_cost(Kilowatts::new(1000.0)).get() - 84_000.0).abs() < 1e-9);
+        // 12.8% of a 25 MW system over 10 years ≈ $2.69M.
+        let savings = m.lifetime_savings(Kilowatts::new(25_000.0), 0.128);
+        assert!((savings.get() - 2_688_000.0).abs() < 1.0);
+        // Conservative 6% ≈ $1.26M.
+        let conservative = m.lifetime_savings(Kilowatts::new(25_000.0), 0.06);
+        assert!((conservative.get() - 1_260_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CoolingCostModel::new(Dollars::new(0.0), 10.0).is_err());
+        assert!(CoolingCostModel::new(Dollars::new(7.0), -1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction must be a fraction")]
+    fn rejects_out_of_range_reduction() {
+        CoolingCostModel::paper_default().lifetime_savings(Kilowatts::new(1.0), 1.5);
+    }
+}

@@ -1,0 +1,172 @@
+//! Time-of-use energy pricing for shifted cooling energy.
+//!
+//! The paper's §V-E notes that beyond cooling capex, VMT's ability to
+//! shift cooling energy in time can "leverage less expensive off-peak
+//! power". This module prices a cooling-load time series under a
+//! peak/off-peak tariff, so the capex analysis of
+//! [`crate::CoolingCostModel`] can be complemented with an opex delta.
+
+use vmt_units::{Dollars, Hours, Seconds};
+
+/// A two-rate time-of-use tariff.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_tco::TimeOfUseTariff;
+/// use vmt_units::Hours;
+///
+/// let tariff = TimeOfUseTariff::us_commercial_default();
+/// assert!(tariff.rate_at(Hours::new(20.0)) > tariff.rate_at(Hours::new(3.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimeOfUseTariff {
+    /// $/kWh during peak hours.
+    peak_rate: f64,
+    /// $/kWh off peak.
+    off_peak_rate: f64,
+    /// Hour-of-day when the peak window opens.
+    peak_start_hour: f64,
+    /// Hour-of-day when the peak window closes.
+    peak_end_hour: f64,
+}
+
+impl TimeOfUseTariff {
+    /// A representative US commercial tariff: $0.18/kWh from noon to
+    /// 22:00, $0.09/kWh otherwise.
+    pub fn us_commercial_default() -> Self {
+        Self::new(0.18, 0.09, 12.0, 22.0).expect("defaults are valid")
+    }
+
+    /// Creates a tariff.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if rates are not positive/finite or the window
+    /// is not within a day.
+    pub fn new(
+        peak_rate: f64,
+        off_peak_rate: f64,
+        peak_start_hour: f64,
+        peak_end_hour: f64,
+    ) -> Result<Self, String> {
+        if !(peak_rate > 0.0 && peak_rate.is_finite() && off_peak_rate > 0.0 && off_peak_rate.is_finite())
+        {
+            return Err("rates must be positive and finite".to_owned());
+        }
+        if !(0.0..=24.0).contains(&peak_start_hour)
+            || !(0.0..=24.0).contains(&peak_end_hour)
+            || peak_end_hour <= peak_start_hour
+        {
+            return Err("peak window must satisfy 0 ≤ start < end ≤ 24".to_owned());
+        }
+        Ok(Self {
+            peak_rate,
+            off_peak_rate,
+            peak_start_hour,
+            peak_end_hour,
+        })
+    }
+
+    /// The $/kWh rate at an absolute simulation time (wraps daily).
+    pub fn rate_at(&self, t: Hours) -> f64 {
+        let hour_of_day = t.get().rem_euclid(24.0);
+        if (self.peak_start_hour..self.peak_end_hour).contains(&hour_of_day) {
+            self.peak_rate
+        } else {
+            self.off_peak_rate
+        }
+    }
+
+    /// Prices a cooling-energy series sampled every `dt` (watts of heat
+    /// rejected, one sample per tick), assuming the cooling plant spends
+    /// `cop_inverse` watt-electric per watt-thermal removed (1/COP;
+    /// ≈0.3 for a chiller plant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cop_inverse` is not positive and finite.
+    pub fn cooling_energy_cost(&self, watts: &[f64], dt: Seconds, cop_inverse: f64) -> Dollars {
+        assert!(
+            cop_inverse > 0.0 && cop_inverse.is_finite(),
+            "1/COP must be positive and finite, got {cop_inverse}"
+        );
+        let mut total = 0.0;
+        for (i, &w) in watts.iter().enumerate() {
+            let t = Hours::new(i as f64 * dt.get() / 3600.0);
+            let kwh = w * cop_inverse * dt.get() / 3.6e6;
+            total += kwh * self.rate_at(t);
+        }
+        Dollars::new(total)
+    }
+
+    /// Cost difference `subject − baseline` for two cooling series under
+    /// this tariff (negative = the subject is cheaper to run).
+    pub fn cost_delta(
+        &self,
+        subject: &[f64],
+        baseline: &[f64],
+        dt: Seconds,
+        cop_inverse: f64,
+    ) -> Dollars {
+        self.cooling_energy_cost(subject, dt, cop_inverse)
+            - self.cooling_energy_cost(baseline, dt, cop_inverse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_and_wrap() {
+        let t = TimeOfUseTariff::us_commercial_default();
+        assert_eq!(t.rate_at(Hours::new(13.0)), 0.18);
+        assert_eq!(t.rate_at(Hours::new(23.0)), 0.09);
+        // Day two, 13:00.
+        assert_eq!(t.rate_at(Hours::new(37.0)), 0.18);
+    }
+
+    #[test]
+    fn constant_load_costs_blend_of_rates() {
+        let t = TimeOfUseTariff::us_commercial_default();
+        // 1 kW thermal for 24 h at 1/COP = 0.3 → 7.2 kWh electric.
+        let watts = vec![1000.0; 24 * 60];
+        let cost = t.cooling_energy_cost(&watts, Seconds::new(60.0), 0.3);
+        // 10 peak hours at 0.18 + 14 off-peak at 0.09, times 0.3 kW.
+        let expect = 0.3 * (10.0 * 0.18 + 14.0 * 0.09);
+        assert!((cost.get() - expect).abs() < 1e-9, "{cost} vs {expect}");
+    }
+
+    #[test]
+    fn shifting_heat_off_peak_saves_money() {
+        let t = TimeOfUseTariff::us_commercial_default();
+        // Baseline: all heat at 14:00–15:00 (peak). Shifted: same energy
+        // at 02:00–03:00 (off-peak).
+        let mut baseline = vec![0.0; 24 * 60];
+        let mut shifted = vec![0.0; 24 * 60];
+        for m in 0..60 {
+            baseline[14 * 60 + m] = 10_000.0;
+            shifted[2 * 60 + m] = 10_000.0;
+        }
+        let delta = t.cost_delta(&shifted, &baseline, Seconds::new(60.0), 0.3);
+        assert!(delta.get() < 0.0, "shifting should be cheaper, got {delta}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(TimeOfUseTariff::new(0.0, 0.09, 12.0, 22.0).is_err());
+        assert!(TimeOfUseTariff::new(0.18, 0.09, 22.0, 12.0).is_err());
+        assert!(TimeOfUseTariff::new(0.18, 0.09, -1.0, 22.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "1/COP must be positive")]
+    fn invalid_cop_rejected() {
+        TimeOfUseTariff::us_commercial_default().cooling_energy_cost(
+            &[1.0],
+            Seconds::new(60.0),
+            0.0,
+        );
+    }
+}

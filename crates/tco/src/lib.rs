@@ -1,0 +1,30 @@
+//! Datacenter cooling-system TCO and oversubscription models.
+//!
+//! The VMT paper converts peak-cooling-load reductions into money using
+//! the cost model of Kontorinis et al. (its reference \[14\]): cooling
+//! infrastructure depreciates at **$7 per kW of critical power per
+//! month** over a **10-year** life, i.e. $840 per kW over the system's
+//! lifetime. A 12.8% reduction on a 25 MW datacenter is then worth
+//! ≈$2.69M in avoided cooling capex — or, held the other way, lets the
+//! operator add ≈14.6% more servers (7,339 at 500 W each) under the same
+//! cooling budget.
+//!
+//! * [`CoolingCostModel`] — depreciation and lifetime cost of cooling
+//!   capacity.
+//! * [`OversubscriptionPlan`] — both ways to monetize a reduction:
+//!   a smaller cooling system, or more servers.
+//! * [`WaxDeployment`] — what the wax itself costs (and why n-paraffin
+//!   is not an option).
+//! * [`TimeOfUseTariff`] — prices the *shifted* cooling energy under a
+//!   peak/off-peak tariff (the §V-E "less expensive off-peak power"
+//!   remark, made quantitative).
+
+mod cooling;
+mod energy;
+mod oversubscription;
+mod wax;
+
+pub use cooling::CoolingCostModel;
+pub use energy::TimeOfUseTariff;
+pub use oversubscription::OversubscriptionPlan;
+pub use wax::WaxDeployment;

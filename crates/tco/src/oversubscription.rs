@@ -1,0 +1,133 @@
+//! Monetizing a peak-cooling reduction.
+
+use crate::CoolingCostModel;
+use vmt_units::{Dollars, Kilowatts, Watts};
+
+/// The two ways to exploit a peak-cooling-load reduction in a datacenter
+/// of fixed critical power (the paper's §V-E):
+///
+/// 1. **Shrink the cooling system** by the reduction and pocket the
+///    capex.
+/// 2. **Add servers** until the (reduced) per-server cooling demand
+///    fills the original cooling system again.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_tco::OversubscriptionPlan;
+/// use vmt_units::{Kilowatts, Watts};
+///
+/// // The paper's 25 MW datacenter of 500 W servers at a 12.8% reduction.
+/// let plan = OversubscriptionPlan::new(Kilowatts::new(25_000.0), Watts::new(500.0), 0.128);
+/// assert_eq!(plan.baseline_servers(), 50_000);
+/// assert_eq!(plan.additional_servers(), 7_339);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OversubscriptionPlan {
+    critical_power: Kilowatts,
+    server_peak: Watts,
+    reduction: f64,
+}
+
+impl OversubscriptionPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduction` is outside `[0, 1)` or either power is not
+    /// strictly positive.
+    pub fn new(critical_power: Kilowatts, server_peak: Watts, reduction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&reduction),
+            "reduction must be in [0, 1), got {reduction}"
+        );
+        assert!(critical_power.get() > 0.0, "critical power must be positive");
+        assert!(server_peak.get() > 0.0, "server peak must be positive");
+        Self {
+            critical_power,
+            server_peak,
+            reduction,
+        }
+    }
+
+    /// The peak-cooling-load reduction the plan is built on.
+    pub fn reduction(&self) -> f64 {
+        self.reduction
+    }
+
+    /// Number of servers the datacenter holds before oversubscription.
+    pub fn baseline_servers(&self) -> u64 {
+        (self.critical_power.to_watts() / self.server_peak).floor() as u64
+    }
+
+    /// Option 1: cooling capacity that can be removed.
+    pub fn cooling_capacity_saved(&self) -> Kilowatts {
+        self.critical_power * self.reduction
+    }
+
+    /// Option 1: lifetime capex saved by installing the smaller cooling
+    /// system.
+    pub fn cooling_savings(&self, model: &CoolingCostModel) -> Dollars {
+        model.lifetime_savings(self.critical_power, self.reduction)
+    }
+
+    /// Option 2: fraction of additional servers supportable under the
+    /// original cooling system (`1/(1−r) − 1`; 12.8% → 14.6%).
+    pub fn additional_server_fraction(&self) -> f64 {
+        1.0 / (1.0 - self.reduction) - 1.0
+    }
+
+    /// Option 2: number of additional servers in the whole datacenter.
+    pub fn additional_servers(&self) -> u64 {
+        (self.baseline_servers() as f64 * self.additional_server_fraction()).floor() as u64
+    }
+
+    /// Option 2: additional servers per cluster of `cluster_size`.
+    pub fn additional_servers_per_cluster(&self, cluster_size: usize) -> u64 {
+        (cluster_size as f64 * self.additional_server_fraction()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_plan(reduction: f64) -> OversubscriptionPlan {
+        OversubscriptionPlan::new(Kilowatts::new(25_000.0), Watts::new(500.0), reduction)
+    }
+
+    #[test]
+    fn paper_headline_numbers() {
+        let plan = paper_plan(0.128);
+        assert_eq!(plan.baseline_servers(), 50_000);
+        assert!((plan.additional_server_fraction() - 0.1468).abs() < 0.0002);
+        assert_eq!(plan.additional_servers(), 7_339);
+        assert_eq!(plan.additional_servers_per_cluster(1000), 146);
+        assert!((plan.cooling_capacity_saved().get() - 3200.0).abs() < 1e-9);
+        let savings = plan.cooling_savings(&CoolingCostModel::paper_default());
+        assert_eq!(savings.display_rounded(), "$2,688,000");
+    }
+
+    #[test]
+    fn paper_conservative_numbers() {
+        let plan = paper_plan(0.06);
+        assert!((plan.additional_server_fraction() - 0.0638).abs() < 0.0002);
+        assert_eq!(plan.additional_servers(), 3_191);
+        assert_eq!(plan.additional_servers_per_cluster(1000), 63);
+        let savings = plan.cooling_savings(&CoolingCostModel::paper_default());
+        assert_eq!(savings.display_rounded(), "$1,260,000");
+    }
+
+    #[test]
+    fn zero_reduction_changes_nothing() {
+        let plan = paper_plan(0.0);
+        assert_eq!(plan.additional_servers(), 0);
+        assert_eq!(plan.cooling_capacity_saved(), Kilowatts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduction must be in")]
+    fn full_reduction_rejected() {
+        paper_plan(1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cost of deploying wax across a datacenter.
+
+use vmt_pcm::{PcmMaterial, ServerWaxConfig};
+use vmt_units::{Dollars, Kilograms};
+
+/// A datacenter-wide wax deployment: a material, a per-server quantity,
+/// and a server count.
+///
+/// Used to check the paper's procurement claims: commercial paraffin for
+/// a 50,000-server datacenter costs on the order of $100–200k ("less
+/// than 0.5% of the purchase cost per server"), while the molecularly
+/// pure n-paraffin needed to *physically* lower the melting point costs
+/// on the order of $10M — which is why VMT lowers it *virtually*
+/// instead.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_pcm::{PcmMaterial, ServerWaxConfig};
+/// use vmt_tco::WaxDeployment;
+/// use vmt_units::Celsius;
+///
+/// let commercial = WaxDeployment::new(
+///     PcmMaterial::deployed_paraffin(), ServerWaxConfig::default(), 50_000);
+/// let pure = WaxDeployment::new(
+///     PcmMaterial::n_paraffin(Celsius::new(29.7)).unwrap(),
+///     ServerWaxConfig::default(), 50_000);
+/// assert!(pure.total_cost().get() / commercial.total_cost().get() > 70.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WaxDeployment {
+    material: PcmMaterial,
+    per_server: ServerWaxConfig,
+    servers: u64,
+}
+
+impl WaxDeployment {
+    /// Creates a deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(material: PcmMaterial, per_server: ServerWaxConfig, servers: u64) -> Self {
+        assert!(servers > 0, "deployment must cover at least one server");
+        Self {
+            material,
+            per_server,
+            servers,
+        }
+    }
+
+    /// The deployed material.
+    pub fn material(&self) -> &PcmMaterial {
+        &self.material
+    }
+
+    /// Number of servers covered.
+    pub fn servers(&self) -> u64 {
+        self.servers
+    }
+
+    /// Wax mass per server.
+    pub fn mass_per_server(&self) -> Kilograms {
+        self.per_server.mass_of(&self.material)
+    }
+
+    /// Total wax mass across the deployment.
+    pub fn total_mass(&self) -> Kilograms {
+        self.mass_per_server() * self.servers as f64
+    }
+
+    /// Procurement cost per server.
+    pub fn cost_per_server(&self) -> Dollars {
+        self.material.cost_for(self.mass_per_server())
+    }
+
+    /// Total procurement cost.
+    pub fn total_cost(&self) -> Dollars {
+        self.material.cost_for(self.total_mass())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_units::Celsius;
+
+    #[test]
+    fn commercial_deployment_is_cheap() {
+        let d = WaxDeployment::new(
+            PcmMaterial::deployed_paraffin(),
+            ServerWaxConfig::default(),
+            50_000,
+        );
+        // ≈3.48 kg/server → ≈174 t → ≈$174k total, ≈$3.5/server.
+        assert!((d.total_mass().to_tons() - 174.0).abs() < 1.0);
+        assert!((d.total_cost().get() - 174_000.0).abs() < 1000.0);
+        assert!(d.cost_per_server().get() < 5.0);
+    }
+
+    #[test]
+    fn n_paraffin_deployment_is_prohibitive() {
+        let d = WaxDeployment::new(
+            PcmMaterial::n_paraffin(Celsius::new(29.7)).unwrap(),
+            ServerWaxConfig::default(),
+            50_000,
+        );
+        // "On the order of $10 million" per the paper.
+        assert!(d.total_cost().get() > 10_000_000.0, "{}", d.total_cost());
+        assert!(d.total_cost().get() < 20_000_000.0, "{}", d.total_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        WaxDeployment::new(
+            PcmMaterial::deployed_paraffin(),
+            ServerWaxConfig::default(),
+            0,
+        );
+    }
+}

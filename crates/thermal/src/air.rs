@@ -1,0 +1,114 @@
+//! The server's cooling air stream.
+
+use vmt_units::{DegC, Watts, WattsPerKelvin};
+
+/// A forced-air cooling stream characterized by its heat capacity rate
+/// `ṁ·c_p` (W/K).
+///
+/// A heat source of power `P` upwind raises the downwind air temperature
+/// by `ΔT = P / (ṁ·c_p)`. The paper's 2U server moves roughly 30 CFM
+/// through the CPU/wax duct; at air density ≈1.15 kg/m³ and
+/// c_p ≈ 1005 J/(kg·K) that is ≈17 W/K, which reproduces the paper's
+/// operating points (a ≈232 W mixed-load server sits just below the
+/// 35.7 °C melt line at a 22 °C inlet).
+///
+/// # Examples
+///
+/// ```
+/// use vmt_thermal::AirStream;
+/// use vmt_units::Watts;
+///
+/// let air = AirStream::paper_default();
+/// let rise = air.temperature_rise(Watts::new(232.0));
+/// assert!((rise.get() - 13.3).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AirStream {
+    capacity_rate: WattsPerKelvin,
+}
+
+/// Air density at typical server inlet conditions (kg/m³).
+const AIR_DENSITY: f64 = 1.15;
+/// Specific heat of air (J/kg·K).
+const AIR_CP: f64 = 1005.0;
+
+impl AirStream {
+    /// Creates a stream with the given heat capacity rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_rate` is not strictly positive and finite.
+    pub fn new(capacity_rate: WattsPerKelvin) -> Self {
+        assert!(
+            capacity_rate.get() > 0.0 && capacity_rate.get().is_finite(),
+            "capacity rate must be positive and finite, got {capacity_rate}"
+        );
+        Self { capacity_rate }
+    }
+
+    /// Creates a stream from a volumetric flow in cubic feet per minute,
+    /// the unit server fans are specified in.
+    pub fn from_cfm(cfm: f64) -> Self {
+        assert!(cfm > 0.0 && cfm.is_finite(), "CFM must be positive, got {cfm}");
+        let m3_per_s = cfm * 0.000_471_947;
+        Self::new(WattsPerKelvin::new(m3_per_s * AIR_DENSITY * AIR_CP))
+    }
+
+    /// The calibrated stream for the paper's 2U test server (≈17.5 W/K,
+    /// ≈30 CFM through the CPU/wax duct).
+    pub fn paper_default() -> Self {
+        Self::new(WattsPerKelvin::new(17.5))
+    }
+
+    /// Heat capacity rate `ṁ·c_p`.
+    pub fn capacity_rate(&self) -> WattsPerKelvin {
+        self.capacity_rate
+    }
+
+    /// Downwind temperature rise produced by a heat source of `power`.
+    pub fn temperature_rise(&self, power: Watts) -> DegC {
+        DegC::new(power.get() / self.capacity_rate.get())
+    }
+
+    /// Heat carried by a downwind temperature rise (the inverse map).
+    pub fn heat_for_rise(&self, rise: DegC) -> Watts {
+        self.capacity_rate * rise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rise_is_linear_in_power() {
+        let air = AirStream::paper_default();
+        let r1 = air.temperature_rise(Watts::new(100.0));
+        let r2 = air.temperature_rise(Watts::new(200.0));
+        assert!((r2.get() - 2.0 * r1.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfm_conversion_magnitude() {
+        // 30 CFM ≈ 16.4 W/K.
+        let air = AirStream::from_cfm(30.0);
+        assert!((air.capacity_rate().get() - 16.37).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity rate must be positive")]
+    fn zero_capacity_rejected() {
+        AirStream::new(WattsPerKelvin::new(0.0));
+    }
+
+    proptest! {
+        /// rise ↔ heat round-trips.
+        #[test]
+        fn rise_heat_round_trip(p in 0.0f64..1000.0) {
+            let air = AirStream::paper_default();
+            let rise = air.temperature_rise(Watts::new(p));
+            prop_assert!((air.heat_for_rise(rise).get() - p).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Cluster cooling-load accounting.
+
+use vmt_units::{Joules, Seconds, Watts};
+
+/// The instantaneous heat a server (or cluster) asks the cooling system to
+/// remove.
+///
+/// The accounting identity behind TTS and VMT: electrical power becomes
+/// heat, but the portion absorbed by melting wax is *deferred* —
+/// `cooling load = P − Q̇_wax` — and returned later while the wax
+/// refreezes (`Q̇_wax` negative). Wax never destroys heat; it time-shifts
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoolingLoad {
+    /// Electrical power converted to heat.
+    pub electrical: Watts,
+    /// Heat-flow into the wax (positive while melting, negative while
+    /// freezing).
+    pub into_wax: Watts,
+}
+
+impl CoolingLoad {
+    /// Heat rejected to the room right now.
+    pub fn rejected(&self) -> Watts {
+        self.electrical - self.into_wax
+    }
+}
+
+impl core::ops::Add for CoolingLoad {
+    type Output = CoolingLoad;
+    fn add(self, rhs: Self) -> Self {
+        CoolingLoad {
+            electrical: self.electrical + rhs.electrical,
+            into_wax: self.into_wax + rhs.into_wax,
+        }
+    }
+}
+
+impl core::iter::Sum for CoolingLoad {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(
+            CoolingLoad {
+                electrical: Watts::ZERO,
+                into_wax: Watts::ZERO,
+            },
+            |a, b| a + b,
+        )
+    }
+}
+
+/// A recorded time series of cluster cooling load.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_thermal::CoolingLoadSeries;
+/// use vmt_units::{Seconds, Watts};
+///
+/// let mut series = CoolingLoadSeries::new(Seconds::new(60.0));
+/// series.push(Watts::new(200_000.0));
+/// series.push(Watts::new(232_000.0));
+/// series.push(Watts::new(210_000.0));
+/// assert_eq!(series.peak(), Watts::new(232_000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct CoolingLoadSeries {
+    dt: Seconds,
+    samples: Vec<Watts>,
+}
+
+impl CoolingLoadSeries {
+    /// Creates an empty series sampled every `dt`.
+    pub fn new(dt: Seconds) -> Self {
+        Self {
+            dt,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sampling interval.
+    pub fn dt(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, load: Watts) {
+        self.samples.push(load);
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[Watts] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Peak (maximum) cooling load over the series; zero for an empty
+    /// series.
+    pub fn peak(&self) -> Watts {
+        self.samples
+            .iter()
+            .copied()
+            .fold(Watts::ZERO, Watts::max)
+    }
+
+    /// Time (from the start of the series) at which the peak occurs.
+    pub fn peak_time(&self) -> Seconds {
+        let idx = self
+            .samples
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.dt * idx as f64
+    }
+
+    /// Mean cooling load; zero for an empty series.
+    pub fn mean(&self) -> Watts {
+        if self.samples.is_empty() {
+            return Watts::ZERO;
+        }
+        self.samples.iter().copied().sum::<Watts>() / self.samples.len() as f64
+    }
+
+    /// Total heat removed across the series (`Σ load·dt`).
+    pub fn total_heat(&self) -> Joules {
+        self.samples
+            .iter()
+            .map(|&w| w * self.dt)
+            .sum()
+    }
+
+    /// Compares this series' peak against a baseline's.
+    pub fn compare_peak(&self, baseline: &CoolingLoadSeries) -> PeakComparison {
+        PeakComparison::new(baseline.peak(), self.peak())
+    }
+}
+
+/// Peak-cooling-load comparison against a baseline — the paper's headline
+/// metric ("peak cooling load reduction").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PeakComparison {
+    baseline: Watts,
+    subject: Watts,
+}
+
+impl PeakComparison {
+    /// Creates a comparison from two peaks.
+    pub fn new(baseline: Watts, subject: Watts) -> Self {
+        Self { baseline, subject }
+    }
+
+    /// The baseline peak.
+    pub fn baseline(&self) -> Watts {
+        self.baseline
+    }
+
+    /// The subject peak.
+    pub fn subject(&self) -> Watts {
+        self.subject
+    }
+
+    /// Peak reduction as a fraction of the baseline peak (positive = the
+    /// subject peaks lower). The paper reports this as a percentage, e.g.
+    /// −12.8%.
+    pub fn reduction(&self) -> f64 {
+        if self.baseline.get() == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.subject / self.baseline
+    }
+
+    /// Peak reduction in percent.
+    pub fn reduction_percent(&self) -> f64 {
+        self.reduction() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejected_heat_identity() {
+        let load = CoolingLoad {
+            electrical: Watts::new(300.0),
+            into_wax: Watts::new(48.0),
+        };
+        assert_eq!(load.rejected(), Watts::new(252.0));
+        // Freezing wax adds heat back.
+        let releasing = CoolingLoad {
+            electrical: Watts::new(150.0),
+            into_wax: Watts::new(-30.0),
+        };
+        assert_eq!(releasing.rejected(), Watts::new(180.0));
+    }
+
+    #[test]
+    fn cooling_loads_sum() {
+        let total: CoolingLoad = [
+            CoolingLoad {
+                electrical: Watts::new(100.0),
+                into_wax: Watts::new(10.0),
+            },
+            CoolingLoad {
+                electrical: Watts::new(200.0),
+                into_wax: Watts::new(-5.0),
+            },
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total.electrical, Watts::new(300.0));
+        assert_eq!(total.into_wax, Watts::new(5.0));
+        assert_eq!(total.rejected(), Watts::new(295.0));
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = CoolingLoadSeries::new(Seconds::new(60.0));
+        for w in [100.0, 300.0, 200.0] {
+            s.push(Watts::new(w));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.peak(), Watts::new(300.0));
+        assert_eq!(s.peak_time(), Seconds::new(60.0));
+        assert_eq!(s.mean(), Watts::new(200.0));
+        assert_eq!(s.total_heat(), Joules::new(600.0 * 60.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = CoolingLoadSeries::new(Seconds::new(60.0));
+        assert!(s.is_empty());
+        assert_eq!(s.peak(), Watts::ZERO);
+        assert_eq!(s.mean(), Watts::ZERO);
+    }
+
+    #[test]
+    fn peak_comparison_matches_paper_arithmetic() {
+        // 25 MW baseline reduced 12.8% → 21.8 MW.
+        let cmp = PeakComparison::new(Watts::new(25e6), Watts::new(21.8e6));
+        assert!((cmp.reduction_percent() - 12.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_baseline_reduction_is_zero() {
+        let cmp = PeakComparison::new(Watts::ZERO, Watts::new(1.0));
+        assert_eq!(cmp.reduction(), 0.0);
+    }
+
+    #[test]
+    fn compare_peak_of_series() {
+        let mut base = CoolingLoadSeries::new(Seconds::new(60.0));
+        base.push(Watts::new(1000.0));
+        let mut subject = CoolingLoadSeries::new(Seconds::new(60.0));
+        subject.push(Watts::new(872.0));
+        let cmp = subject.compare_peak(&base);
+        assert!((cmp.reduction_percent() - 12.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-server inlet temperature models.
+
+use rand::{Rng, SeedableRng};
+use vmt_units::{Celsius, DegC};
+
+/// How server inlet temperatures are distributed across a cluster.
+///
+/// Real datacenters have spatial inlet variation from uneven room airflow
+/// (the paper's §V-D studies σ of 0, 1, and 2 °C). Variation is *spatial*,
+/// not temporal: each server's inlet is drawn once, deterministically from
+/// the seed and the server index, so repeated queries and repeated runs
+/// agree.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_thermal::InletModel;
+/// use vmt_units::{Celsius, DegC};
+///
+/// let uniform = InletModel::uniform(Celsius::new(22.0));
+/// assert_eq!(uniform.inlet_for(17), Celsius::new(22.0));
+///
+/// let varied = InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 42);
+/// // Deterministic per server:
+/// assert_eq!(varied.inlet_for(3), varied.inlet_for(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum InletModel {
+    /// Every server sees the same inlet temperature.
+    Uniform {
+        /// The common inlet temperature.
+        temperature: Celsius,
+    },
+    /// Inlets are normally distributed across servers.
+    Normal {
+        /// Mean inlet temperature.
+        mean: Celsius,
+        /// Standard deviation of the per-server draw.
+        stdev: DegC,
+        /// Seed making the spatial pattern reproducible.
+        seed: u64,
+    },
+    /// The inlet follows the outdoor day: a sinusoid peaking in the
+    /// afternoon, as in economizer ("free cooling") datacenters whose
+    /// supply air tracks ambient. Spatially uniform; the daily swing is
+    /// the paper's "day to day" environmental variability made
+    /// continuous.
+    DiurnalAmbient {
+        /// Daily mean inlet temperature.
+        mean: Celsius,
+        /// Half-amplitude of the daily swing.
+        swing: DegC,
+        /// Hour-of-day of the warmest inlet.
+        peak_hour: f64,
+    },
+}
+
+impl InletModel {
+    /// A uniform inlet field.
+    pub fn uniform(temperature: Celsius) -> Self {
+        InletModel::Uniform { temperature }
+    }
+
+    /// A normally distributed inlet field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stdev` is negative or non-finite.
+    pub fn normal(mean: Celsius, stdev: DegC, seed: u64) -> Self {
+        assert!(
+            stdev.get() >= 0.0 && stdev.get().is_finite(),
+            "stdev must be non-negative and finite, got {stdev}"
+        );
+        InletModel::Normal { mean, stdev, seed }
+    }
+
+    /// A diurnal-ambient field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `swing` is negative/non-finite or `peak_hour` is
+    /// outside a day.
+    pub fn diurnal_ambient(mean: Celsius, swing: DegC, peak_hour: f64) -> Self {
+        assert!(
+            swing.get() >= 0.0 && swing.get().is_finite(),
+            "swing must be non-negative and finite, got {swing}"
+        );
+        assert!(
+            (0.0..24.0).contains(&peak_hour),
+            "peak hour must be within a day, got {peak_hour}"
+        );
+        InletModel::DiurnalAmbient {
+            mean,
+            swing,
+            peak_hour,
+        }
+    }
+
+    /// Mean inlet temperature of the field.
+    pub fn mean(&self) -> Celsius {
+        match *self {
+            InletModel::Uniform { temperature } => temperature,
+            InletModel::Normal { mean, .. } => mean,
+            InletModel::DiurnalAmbient { mean, .. } => mean,
+        }
+    }
+
+    /// Whether the field changes over time (the simulator then refreshes
+    /// server inlets every tick).
+    pub fn is_time_varying(&self) -> bool {
+        matches!(self, InletModel::DiurnalAmbient { .. })
+    }
+
+    /// The inlet temperature of server `index` at absolute simulation
+    /// time `hours`. Static fields ignore the time.
+    pub fn inlet_at(&self, index: usize, hours: f64) -> Celsius {
+        match *self {
+            InletModel::DiurnalAmbient {
+                mean,
+                swing,
+                peak_hour,
+            } => {
+                let phase =
+                    std::f64::consts::TAU * (hours.rem_euclid(24.0) - peak_hour) / 24.0;
+                mean + swing * phase.cos()
+            }
+            _ => self.inlet_for(index),
+        }
+    }
+
+    /// The inlet temperature of server `index`.
+    ///
+    /// Deterministic: the same `(model, index)` pair always produces the
+    /// same temperature. Draws are clipped to ±3σ so a tail sample cannot
+    /// produce a physically absurd inlet.
+    pub fn inlet_for(&self, index: usize) -> Celsius {
+        match *self {
+            InletModel::Uniform { temperature } => temperature,
+            InletModel::DiurnalAmbient { mean, .. } => mean,
+            InletModel::Normal { mean, stdev, seed } => {
+                if stdev.get() == 0.0 {
+                    return mean;
+                }
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                // Box–Muller from two uniform draws.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let z = z.clamp(-3.0, 3.0);
+                mean + stdev * z
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ignores_index() {
+        let m = InletModel::uniform(Celsius::new(22.0));
+        assert_eq!(m.inlet_for(0), m.inlet_for(999));
+    }
+
+    #[test]
+    fn normal_is_deterministic() {
+        let m = InletModel::normal(Celsius::new(22.0), DegC::new(1.0), 7);
+        assert_eq!(m.inlet_for(5), m.inlet_for(5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InletModel::normal(Celsius::new(22.0), DegC::new(1.0), 1);
+        let b = InletModel::normal(Celsius::new(22.0), DegC::new(1.0), 2);
+        let differs = (0..100).any(|i| a.inlet_for(i) != b.inlet_for(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn zero_stdev_collapses_to_mean() {
+        let m = InletModel::normal(Celsius::new(22.0), DegC::new(0.0), 1);
+        assert_eq!(m.inlet_for(42), Celsius::new(22.0));
+    }
+
+    #[test]
+    fn sample_statistics_match() {
+        let m = InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|i| m.inlet_for(i).get()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 22.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "stdev {}", var.sqrt());
+    }
+
+    #[test]
+    fn draws_clipped_to_three_sigma() {
+        let m = InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 3);
+        for i in 0..50_000 {
+            let t = m.inlet_for(i).get();
+            assert!((16.0..=28.0).contains(&t), "inlet {t} outside ±3σ");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stdev must be non-negative")]
+    fn negative_stdev_rejected() {
+        InletModel::normal(Celsius::new(22.0), DegC::new(-1.0), 0);
+    }
+
+    #[test]
+    fn diurnal_ambient_peaks_at_the_configured_hour() {
+        let m = InletModel::diurnal_ambient(Celsius::new(22.0), DegC::new(3.0), 15.0);
+        assert!(m.is_time_varying());
+        assert_eq!(m.inlet_at(0, 15.0), Celsius::new(25.0));
+        assert_eq!(m.inlet_at(0, 3.0), Celsius::new(19.0));
+        // Next day, same hour.
+        assert_eq!(m.inlet_at(7, 39.0), Celsius::new(25.0));
+        // Static query falls back to the mean.
+        assert_eq!(m.inlet_for(3), Celsius::new(22.0));
+    }
+
+    #[test]
+    fn static_fields_ignore_time() {
+        let m = InletModel::uniform(Celsius::new(22.0));
+        assert!(!m.is_time_varying());
+        assert_eq!(m.inlet_at(5, 13.0), Celsius::new(22.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "peak hour")]
+    fn diurnal_peak_hour_validated() {
+        InletModel::diurnal_ambient(Celsius::new(22.0), DegC::new(1.0), 25.0);
+    }
+}

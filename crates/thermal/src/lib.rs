@@ -1,0 +1,55 @@
+//! Server air-path and cooling-load thermal models.
+//!
+//! The VMT paper evaluates on a cluster simulator whose per-server thermal
+//! behavior was distilled from a CFD model validated against a real,
+//! wax-filled test server (its reference \[19\]). This crate is that
+//! reduced-order substrate:
+//!
+//! * [`AirStream`] — the server's cooling air: a mass flow with a heat
+//!   capacity rate `ṁ·c_p` (W/K), so a power draw upwind produces a
+//!   temperature rise `ΔT = P / (ṁ·c_p)` downwind.
+//! * [`ServerThermalModel`] — the air temperature *at the wax containers*
+//!   (downwind of the CPU sockets): steady state `T_inlet + P/(ṁ·c_p)`
+//!   approached with a first-order lag for the server's thermal mass.
+//! * [`InletModel`] — per-server inlet temperatures: uniform, or normally
+//!   distributed across servers to model uneven room airflow (Figures 19
+//!   and 20 of the paper).
+//! * [`CoolingLoad`] — the accounting identity the whole evaluation rests
+//!   on: heat rejected to the room = electrical power − heat stored in wax
+//!   (+ heat released while the wax refreezes).
+//! * [`RoomModel`] — room-level dynamics under a capacity-limited
+//!   cooling plant (what happens when the offered heat exceeds what the
+//!   plant can remove).
+//! * [`calibration`] — derives the model constants from target operating
+//!   points, standing in for the paper's CFD design-space exploration.
+//!
+//! # Examples
+//!
+//! ```
+//! use vmt_thermal::{AirStream, ServerThermalModel};
+//! use vmt_units::{Celsius, Seconds, Watts};
+//!
+//! let air = AirStream::paper_default();
+//! let mut server = ServerThermalModel::new(Celsius::new(22.0), air);
+//! // Step an hour at a mixed-load power draw.
+//! for _ in 0..60 {
+//!     server.step(Watts::new(232.0), Seconds::new(60.0));
+//! }
+//! // Settles just below the 35.7 °C wax melt point — the paper's
+//! // round-robin operating point.
+//! assert!(server.air_at_wax() > Celsius::new(35.0));
+//! assert!(server.air_at_wax() < Celsius::new(35.7));
+//! ```
+
+mod air;
+pub mod calibration;
+mod cooling;
+mod inlet;
+mod room;
+mod server;
+
+pub use air::AirStream;
+pub use cooling::{CoolingLoad, CoolingLoadSeries, PeakComparison};
+pub use inlet::InletModel;
+pub use room::RoomModel;
+pub use server::ServerThermalModel;

@@ -1,0 +1,156 @@
+//! Room-level thermal dynamics under a finite cooling plant.
+//!
+//! The cluster experiments measure the heat *offered* to the cooling
+//! system; this model answers the follow-on question: if the plant can
+//! only remove `capacity` watts, what happens to the room? Heat beyond
+//! the plant's capacity accumulates in the room's thermal mass and the
+//! supply-air temperature rises — the quantity that ultimately causes
+//! thermal throttling and emergency shutdowns.
+
+use vmt_units::{Celsius, DegC, Joules, Seconds, Watts};
+
+/// A lumped room-air model with a capacity-limited cooling plant.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_thermal::RoomModel;
+/// use vmt_units::{Celsius, Seconds, Watts};
+///
+/// let mut room = RoomModel::paper_default(Watts::new(25_000.0));
+/// // Offered heat above capacity warms the room.
+/// room.step(Watts::new(30_000.0), Seconds::new(600.0));
+/// assert!(room.temperature() > Celsius::new(22.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoomModel {
+    /// Plant's maximum removable power.
+    capacity: Watts,
+    /// Supply-air setpoint the plant regulates toward.
+    setpoint: Celsius,
+    /// Thermal capacitance of the room air + near-term mass (J/K).
+    capacitance_j_per_k: f64,
+    temperature: Celsius,
+}
+
+impl RoomModel {
+    /// A room sized for the paper's cluster scale: 22 °C setpoint and a
+    /// thermal capacitance of ≈2 MJ/K per 25 kW of plant capacity
+    /// (air plus the first few minutes of rack/floor mass).
+    pub fn paper_default(capacity: Watts) -> Self {
+        Self::new(capacity, Celsius::new(22.0), 2.0e6 * capacity.get() / 25_000.0)
+    }
+
+    /// Creates a room model at its setpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or capacitance is not strictly positive.
+    pub fn new(capacity: Watts, setpoint: Celsius, capacitance_j_per_k: f64) -> Self {
+        assert!(capacity.get() > 0.0, "capacity must be positive");
+        assert!(
+            capacitance_j_per_k > 0.0 && capacitance_j_per_k.is_finite(),
+            "capacitance must be positive"
+        );
+        Self {
+            capacity,
+            setpoint,
+            capacitance_j_per_k,
+            temperature: setpoint,
+        }
+    }
+
+    /// Current supply-air temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// Degrees above the setpoint.
+    pub fn excursion(&self) -> DegC {
+        self.temperature - self.setpoint
+    }
+
+    /// The plant's capacity.
+    pub fn capacity(&self) -> Watts {
+        self.capacity
+    }
+
+    /// Derates the plant (emergency scenarios).
+    pub fn set_capacity(&mut self, capacity: Watts) {
+        assert!(capacity.get() > 0.0, "capacity must be positive");
+        self.capacity = capacity;
+    }
+
+    /// Advances the room by `dt` with `offered` heat arriving from the
+    /// IT load. Returns the unremoved energy added to the room this step
+    /// (zero when the plant keeps up).
+    pub fn step(&mut self, offered: Watts, dt: Seconds) -> Joules {
+        // The plant removes up to its capacity; when the room is above
+        // setpoint it runs flat out, below setpoint it only matches the
+        // offered load (no sub-cooling).
+        let removal = if self.temperature > self.setpoint {
+            self.capacity
+        } else {
+            Watts::new(offered.get().min(self.capacity.get()))
+        };
+        let net = offered - removal;
+        let delta = DegC::new(net.get() * dt.get() / self.capacitance_j_per_k);
+        self.temperature += delta;
+        // The plant never cools below its setpoint.
+        if self.temperature < self.setpoint {
+            self.temperature = self.setpoint;
+        }
+        Joules::new((net.get() * dt.get()).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_setpoint_when_capacity_suffices() {
+        let mut room = RoomModel::paper_default(Watts::new(25_000.0));
+        for _ in 0..60 {
+            let overflow = room.step(Watts::new(20_000.0), Seconds::new(60.0));
+            assert_eq!(overflow.get(), 0.0);
+        }
+        assert_eq!(room.temperature(), Celsius::new(22.0));
+    }
+
+    #[test]
+    fn overload_warms_the_room_then_recovers() {
+        let mut room = RoomModel::paper_default(Watts::new(25_000.0));
+        // 30 minutes of 20% overload.
+        for _ in 0..30 {
+            room.step(Watts::new(30_000.0), Seconds::new(60.0));
+        }
+        let peak = room.excursion();
+        // 5 kW × 1800 s / 2 MJ/K = 4.5 K.
+        assert!((peak.get() - 4.5).abs() < 0.01, "excursion {peak}");
+        // Load drops; the plant pulls the room back to setpoint.
+        for _ in 0..60 {
+            room.step(Watts::new(15_000.0), Seconds::new(60.0));
+        }
+        assert_eq!(room.temperature(), Celsius::new(22.0));
+    }
+
+    #[test]
+    fn excursion_scales_with_unremoved_energy() {
+        let mut a = RoomModel::paper_default(Watts::new(25_000.0));
+        let mut b = RoomModel::paper_default(Watts::new(25_000.0));
+        for _ in 0..30 {
+            a.step(Watts::new(27_500.0), Seconds::new(60.0));
+            b.step(Watts::new(30_000.0), Seconds::new(60.0));
+        }
+        assert!((b.excursion().get() / a.excursion().get() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn derating_mid_run() {
+        let mut room = RoomModel::paper_default(Watts::new(25_000.0));
+        room.set_capacity(Watts::new(20_000.0));
+        room.step(Watts::new(25_000.0), Seconds::new(600.0));
+        assert!(room.excursion().get() > 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Air temperature at the wax containers of one server.
+
+use crate::AirStream;
+use vmt_units::{Celsius, Seconds, Watts};
+
+/// First-order model of the air temperature at a server's wax containers.
+///
+/// The wax sits directly downwind of the CPU sockets, so in steady state
+/// the air reaching it is `T_inlet + P / (ṁ·c_p)`. The server's heat
+/// sinks, chassis, and boards add thermal mass, so a step in power is
+/// seen at the wax with a first-order lag (time constant ≈5 minutes for
+/// the paper's 2U server — heat sinks dominate).
+///
+/// Note an important asymmetry the model preserves: the *wax state does
+/// not affect the air temperature at the wax* (the wax is downwind of the
+/// CPUs), but the wax does change the *exhaust* temperature and therefore
+/// the room-level cooling load. That accounting lives in
+/// [`crate::CoolingLoad`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServerThermalModel {
+    inlet: Celsius,
+    air: AirStream,
+    /// Lag time constant of the CPU-to-air path.
+    time_constant: Seconds,
+    /// Current air temperature at the wax.
+    at_wax: Celsius,
+}
+
+/// Default lag time constant (seconds).
+const DEFAULT_TAU_S: f64 = 300.0;
+
+impl ServerThermalModel {
+    /// Creates a model at thermal equilibrium with zero power draw.
+    pub fn new(inlet: Celsius, air: AirStream) -> Self {
+        Self::with_time_constant(inlet, air, Seconds::new(DEFAULT_TAU_S))
+    }
+
+    /// Creates a model with an explicit lag time constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_constant` is not strictly positive and finite.
+    pub fn with_time_constant(inlet: Celsius, air: AirStream, time_constant: Seconds) -> Self {
+        assert!(
+            time_constant.get() > 0.0 && time_constant.get().is_finite(),
+            "time constant must be positive and finite, got {time_constant}"
+        );
+        Self {
+            inlet,
+            air,
+            time_constant,
+            at_wax: inlet,
+        }
+    }
+
+    /// The server's inlet temperature.
+    pub fn inlet(&self) -> Celsius {
+        self.inlet
+    }
+
+    /// Changes the inlet temperature (e.g. seasonal or per-server
+    /// variation studies).
+    pub fn set_inlet(&mut self, inlet: Celsius) {
+        self.inlet = inlet;
+    }
+
+    /// The cooling air stream.
+    pub fn air(&self) -> AirStream {
+        self.air
+    }
+
+    /// Current air temperature at the wax containers.
+    pub fn air_at_wax(&self) -> Celsius {
+        self.at_wax
+    }
+
+    /// Steady-state air temperature at the wax for a power draw.
+    pub fn steady_state(&self, power: Watts) -> Celsius {
+        self.inlet + self.air.temperature_rise(power)
+    }
+
+    /// Advances the model by `dt` at the given power draw and returns the
+    /// new air temperature at the wax.
+    ///
+    /// Uses the exact first-order response
+    /// `T' = T_ss + (T − T_ss)·e^(−dt/τ)`, so any `dt` is stable.
+    pub fn step(&mut self, power: Watts, dt: Seconds) -> Celsius {
+        debug_assert!(dt.get() > 0.0, "dt must be positive");
+        let ss = self.steady_state(power);
+        let decay = (-dt.get() / self.time_constant.get()).exp();
+        self.at_wax = ss + (self.at_wax - ss) * decay;
+        self.at_wax
+    }
+
+    /// Forces the model to equilibrium at a power draw (initialization).
+    pub fn settle(&mut self, power: Watts) {
+        self.at_wax = self.steady_state(power);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> ServerThermalModel {
+        ServerThermalModel::new(Celsius::new(22.0), AirStream::paper_default())
+    }
+
+    #[test]
+    fn starts_at_inlet() {
+        assert_eq!(model().air_at_wax(), Celsius::new(22.0));
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let mut m = model();
+        for _ in 0..120 {
+            m.step(Watts::new(300.0), Seconds::new(60.0));
+        }
+        let ss = m.steady_state(Watts::new(300.0));
+        assert!((m.air_at_wax() - ss).get().abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_operating_points() {
+        let m = model();
+        // Round-robin mixed load (~232 W) sits just below the melt point.
+        let rr = m.steady_state(Watts::new(232.0));
+        assert!(rr > Celsius::new(35.0) && rr < Celsius::new(35.7), "rr={rr}");
+        // A GV=22 hot-group server (~290 W) sits clearly above it.
+        let hot = m.steady_state(Watts::new(290.0));
+        assert!(hot > Celsius::new(38.0), "hot={hot}");
+        // A nameplate-peak server is within the paper's 50 °C color scale.
+        let peak = m.steady_state(Watts::new(500.0));
+        assert!(peak < Celsius::new(52.0), "peak={peak}");
+    }
+
+    #[test]
+    fn lag_slows_response() {
+        let mut fast = ServerThermalModel::with_time_constant(
+            Celsius::new(22.0),
+            AirStream::paper_default(),
+            Seconds::new(60.0),
+        );
+        let mut slow = ServerThermalModel::with_time_constant(
+            Celsius::new(22.0),
+            AirStream::paper_default(),
+            Seconds::new(1200.0),
+        );
+        fast.step(Watts::new(400.0), Seconds::new(60.0));
+        slow.step(Watts::new(400.0), Seconds::new(60.0));
+        assert!(fast.air_at_wax() > slow.air_at_wax());
+    }
+
+    #[test]
+    fn settle_jumps_to_equilibrium() {
+        let mut m = model();
+        m.settle(Watts::new(250.0));
+        assert_eq!(m.air_at_wax(), m.steady_state(Watts::new(250.0)));
+    }
+
+    #[test]
+    fn inlet_shift_moves_operating_point() {
+        let mut m = model();
+        m.settle(Watts::new(232.0));
+        let before = m.air_at_wax();
+        m.set_inlet(Celsius::new(24.0));
+        m.settle(Watts::new(232.0));
+        assert!(((m.air_at_wax() - before).get() - 2.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// The temperature always moves monotonically toward steady state
+        /// and never crosses it.
+        #[test]
+        fn no_overshoot(p in 0.0f64..500.0, dt in 1.0f64..3600.0, start in 15.0f64..55.0) {
+            let mut m = model();
+            m.at_wax = Celsius::new(start);
+            let ss = m.steady_state(Watts::new(p));
+            let before = m.air_at_wax();
+            m.step(Watts::new(p), Seconds::new(dt));
+            let after = m.air_at_wax();
+            if before <= ss {
+                prop_assert!(after >= before && after <= ss + vmt_units::DegC::new(1e-9));
+            } else {
+                prop_assert!(after <= before && after >= ss - vmt_units::DegC::new(1e-9));
+            }
+        }
+    }
+}

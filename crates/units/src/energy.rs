@@ -1,0 +1,127 @@
+//! Energy ([`Joules`]) and the specific-energy quantities used by the PCM
+//! model: latent heat ([`JoulesPerKg`]) and specific heat
+//! ([`JoulesPerKgKelvin`]).
+
+use crate::{linear_quantity, DegC, Kilograms, Seconds, Watts};
+
+linear_quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+linear_quantity!(
+    /// Specific (per-mass) energy in joules per kilogram — e.g. a latent
+    /// heat of fusion.
+    JoulesPerKg,
+    "J/kg"
+);
+
+linear_quantity!(
+    /// Specific heat capacity in joules per kilogram-kelvin.
+    JoulesPerKgKelvin,
+    "J/(kg·K)"
+);
+
+impl Joules {
+    /// Converts to kilowatt-hours.
+    #[inline]
+    pub fn to_kilowatt_hours(self) -> f64 {
+        self.get() / 3.6e6
+    }
+
+    /// Converts to megajoules.
+    #[inline]
+    pub fn to_megajoules(self) -> f64 {
+        self.get() / 1e6
+    }
+
+    /// Average power when this energy is spread over a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `duration` is zero.
+    #[inline]
+    pub fn over(self, duration: Seconds) -> Watts {
+        debug_assert!(duration.get() != 0.0, "duration must be non-zero");
+        Watts::new(self.get() / duration.get())
+    }
+}
+
+impl core::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Energy per time is power.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Div<Watts> for Joules {
+    type Output = Seconds;
+    /// How long a power level takes to accumulate this energy.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Mul<Kilograms> for JoulesPerKg {
+    type Output = Joules;
+    /// Latent heat × mass is an energy.
+    #[inline]
+    fn mul(self, rhs: Kilograms) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<JoulesPerKg> for Kilograms {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: JoulesPerKg) -> Joules {
+        rhs * self
+    }
+}
+
+impl JoulesPerKgKelvin {
+    /// Sensible heat for warming `mass` by `delta`: `E = m · c_p · ΔT`.
+    #[inline]
+    pub fn sensible_heat(self, mass: Kilograms, delta: DegC) -> Joules {
+        Joules::new(self.get() * mass.get() * delta.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_time_power_relations() {
+        let e = Joules::new(7200.0);
+        assert_eq!(e / Seconds::new(3600.0), Watts::new(2.0));
+        assert_eq!(e / Watts::new(2.0), Seconds::new(3600.0));
+        assert_eq!(e.over(Seconds::new(60.0)), Watts::new(120.0));
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        assert!((Joules::new(3.6e6).to_kilowatt_hours() - 1.0).abs() < 1e-12);
+        assert!((Joules::new(7.87e5).to_megajoules() - 0.787).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latent_heat_times_mass() {
+        let latent = JoulesPerKg::new(226_000.0);
+        let mass = Kilograms::new(3.48);
+        let e = latent * mass;
+        assert!((e.get() - 786_480.0).abs() < 1e-6);
+        assert_eq!(mass * latent, e);
+    }
+
+    #[test]
+    fn sensible_heat() {
+        let cp = JoulesPerKgKelvin::new(2100.0);
+        let e = cp.sensible_heat(Kilograms::new(2.0), DegC::new(5.0));
+        assert_eq!(e, Joules::new(21_000.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! A validated dimensionless fraction in `[0, 1]`.
+
+use core::fmt;
+
+/// A dimensionless value guaranteed to lie in `[0, 1]`.
+///
+/// Used for wax melt fraction, server utilization, trace load level, and
+/// similar quantities where a value outside `[0, 1]` indicates a modeling
+/// bug rather than valid data.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_units::Fraction;
+///
+/// let melted = Fraction::new(0.98).unwrap();
+/// assert!(melted >= Fraction::new(0.95).unwrap());
+/// assert_eq!(Fraction::saturating(1.7), Fraction::ONE);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Fraction(f64);
+
+/// Error returned by [`Fraction::new`] when the input lies outside `[0, 1]`
+/// or is not finite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FractionRangeError(f64);
+
+impl fmt::Display for FractionRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} is not a fraction in [0, 1]", self.0)
+    }
+}
+
+impl std::error::Error for FractionRangeError {}
+
+impl Fraction {
+    /// The fraction 0.
+    pub const ZERO: Self = Self(0.0);
+    /// The fraction 1.
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a fraction, rejecting values outside `[0, 1]` and non-finite
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FractionRangeError`] if `value` is NaN, infinite, negative,
+    /// or greater than one.
+    pub fn new(value: f64) -> Result<Self, FractionRangeError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Self(value))
+        } else {
+            Err(FractionRangeError(value))
+        }
+    }
+
+    /// Creates a fraction by clamping into `[0, 1]` (NaN becomes 0).
+    #[inline]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the raw value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The complementary fraction `1 − self`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+
+    /// True when the fraction is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// True when the fraction is exactly one.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self.0 == 1.0
+    }
+}
+
+impl fmt::Display for Fraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prec = f.precision().unwrap_or(1);
+        write!(f, "{:.*}%", prec, self.0 * 100.0)
+    }
+}
+
+impl TryFrom<f64> for Fraction {
+    type Error = FractionRangeError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<Fraction> for f64 {
+    fn from(value: Fraction) -> Self {
+        value.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_in_range() {
+        assert_eq!(Fraction::new(0.0).unwrap(), Fraction::ZERO);
+        assert_eq!(Fraction::new(1.0).unwrap(), Fraction::ONE);
+        assert!((Fraction::new(0.98).unwrap().get() - 0.98).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Fraction::new(-0.001).is_err());
+        assert!(Fraction::new(1.001).is_err());
+        assert!(Fraction::new(f64::NAN).is_err());
+        assert!(Fraction::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Fraction::saturating(-3.0), Fraction::ZERO);
+        assert_eq!(Fraction::saturating(2.0), Fraction::ONE);
+        assert_eq!(Fraction::saturating(f64::NAN), Fraction::ZERO);
+        assert_eq!(Fraction::saturating(0.5).get(), 0.5);
+    }
+
+    #[test]
+    fn complement() {
+        assert!((Fraction::saturating(0.3).complement().get() - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_as_percent() {
+        assert_eq!(format!("{}", Fraction::saturating(0.128)), "12.8%");
+        assert_eq!(format!("{:.0}", Fraction::saturating(0.95)), "95%");
+    }
+
+    #[test]
+    fn error_display() {
+        let err = Fraction::new(1.5).unwrap_err();
+        assert_eq!(err.to_string(), "value 1.5 is not a fraction in [0, 1]");
+    }
+}

@@ -1,0 +1,222 @@
+//! Physical quantity newtypes shared by the VMT simulator workspace.
+//!
+//! Every quantity that crosses a crate boundary in the simulator — a
+//! temperature, a power draw, an amount of stored heat — is wrapped in a
+//! newtype so that the compiler rejects unit confusion (e.g. passing a
+//! power where an energy is expected, or a temperature *difference* where
+//! an absolute temperature is expected).
+//!
+//! The types are thin wrappers around `f64` with the arithmetic that is
+//! physically meaningful:
+//!
+//! * [`Celsius`] − [`Celsius`] → [`DegC`] (a temperature difference)
+//! * [`Watts`] × [`Seconds`] → [`Joules`]
+//! * [`Joules`] ÷ [`Seconds`] → [`Watts`]
+//! * [`WattsPerKelvin`] × [`DegC`] → [`Watts`] (conductance × ΔT)
+//! * [`Kilograms`] × [`JoulesPerKg`] → [`Joules`] (mass × latent heat)
+//!
+//! # Examples
+//!
+//! ```
+//! use vmt_units::{Celsius, Joules, Seconds, Watts};
+//!
+//! let inlet = Celsius::new(22.0);
+//! let exhaust = Celsius::new(38.5);
+//! let rise = exhaust - inlet;
+//! assert!((rise.get() - 16.5).abs() < 1e-12);
+//!
+//! let heat: Joules = Watts::new(250.0) * Seconds::new(60.0);
+//! assert_eq!(heat, Joules::new(15_000.0));
+//! ```
+
+mod energy;
+mod fraction;
+mod mass;
+mod money;
+mod power;
+mod temperature;
+mod time;
+
+pub use energy::{Joules, JoulesPerKg, JoulesPerKgKelvin};
+pub use fraction::{Fraction, FractionRangeError};
+pub use mass::{Kilograms, KilogramsPerCubicMeter, Liters};
+pub use money::Dollars;
+pub use power::{Kilowatts, Megawatts, Watts, WattsPerKelvin};
+pub use temperature::{Celsius, DegC};
+pub use time::{Hours, Minutes, Seconds};
+
+/// Implements the linear-quantity boilerplate (ordering, arithmetic with
+/// itself and with bare `f64` scale factors) for a `f64` newtype.
+macro_rules! linear_quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value expressed in the unit named by the type.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// A zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Returns the raw value in the unit named by the type.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the quantity into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True when the underlying value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use linear_quantity;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Watts::new(250.0)), "250 W");
+        assert_eq!(format!("{:.1}", Joules::new(1.25)), "1.2 J");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Watts = [Watts::new(1.0), Watts::new(2.5)].iter().sum();
+        assert_eq!(total, Watts::new(3.5));
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        let ratio = Joules::new(50.0) / Joules::new(200.0);
+        assert!((ratio - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Mass and volume quantities: [`Kilograms`], [`Liters`], and density
+//! ([`KilogramsPerCubicMeter`]).
+
+use crate::linear_quantity;
+
+linear_quantity!(
+    /// Mass in kilograms.
+    Kilograms,
+    "kg"
+);
+
+linear_quantity!(
+    /// Volume in liters.
+    Liters,
+    "L"
+);
+
+linear_quantity!(
+    /// Density in kilograms per cubic meter.
+    KilogramsPerCubicMeter,
+    "kg/m³"
+);
+
+impl Liters {
+    /// Converts to cubic meters.
+    #[inline]
+    pub fn to_cubic_meters(self) -> f64 {
+        self.get() / 1000.0
+    }
+
+    /// Mass of this volume at the given density.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vmt_units::{Kilograms, KilogramsPerCubicMeter, Liters};
+    ///
+    /// // 4.0 L of solid paraffin at 870 kg/m³ ≈ 3.48 kg.
+    /// let mass = Liters::new(4.0).mass_at(KilogramsPerCubicMeter::new(870.0));
+    /// assert!((mass.get() - 3.48).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn mass_at(self, density: KilogramsPerCubicMeter) -> Kilograms {
+        Kilograms::new(self.to_cubic_meters() * density.get())
+    }
+}
+
+impl Kilograms {
+    /// Converts to metric tons.
+    #[inline]
+    pub fn to_tons(self) -> f64 {
+        self.get() / 1000.0
+    }
+
+    /// Volume this mass occupies at the given density.
+    #[inline]
+    pub fn volume_at(self, density: KilogramsPerCubicMeter) -> Liters {
+        Liters::new(self.get() / density.get() * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_mass_round_trip() {
+        let density = KilogramsPerCubicMeter::new(870.0);
+        let volume = Liters::new(4.0);
+        let mass = volume.mass_at(density);
+        let back = mass.volume_at(density);
+        assert!((back.get() - volume.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tons() {
+        assert!((Kilograms::new(3480.0).to_tons() - 3.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_meters() {
+        assert!((Liters::new(250.0).to_cubic_meters() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Monetary quantity ([`Dollars`]) used by the TCO model.
+
+use crate::linear_quantity;
+
+linear_quantity!(
+    /// US dollars.
+    Dollars,
+    "USD"
+);
+
+impl Dollars {
+    /// Formats with thousands separators, e.g. `$2,690,000`.
+    ///
+    /// Rounds to the nearest whole dollar; intended for report output, not
+    /// accounting.
+    pub fn display_rounded(self) -> String {
+        let negative = self.get() < 0.0;
+        let cents = self.get().abs().round() as u64;
+        let digits = cents.to_string();
+        let mut grouped = String::with_capacity(digits.len() + digits.len() / 3 + 2);
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+                grouped.push(',');
+            }
+            grouped.push(ch);
+        }
+        if negative {
+            format!("-${grouped}")
+        } else {
+            format!("${grouped}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping() {
+        assert_eq!(Dollars::new(2_690_000.0).display_rounded(), "$2,690,000");
+        assert_eq!(Dollars::new(999.4).display_rounded(), "$999");
+        assert_eq!(Dollars::new(1000.0).display_rounded(), "$1,000");
+        assert_eq!(Dollars::new(0.0).display_rounded(), "$0");
+        assert_eq!(Dollars::new(-1234.0).display_rounded(), "-$1,234");
+    }
+}

@@ -1,0 +1,166 @@
+//! Power quantities: [`Watts`], [`Kilowatts`], [`Megawatts`], and the
+//! thermal conductance [`WattsPerKelvin`].
+
+use crate::{linear_quantity, DegC, Joules, Seconds};
+
+linear_quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+
+linear_quantity!(
+    /// Power in kilowatts.
+    Kilowatts,
+    "kW"
+);
+
+linear_quantity!(
+    /// Power in megawatts.
+    Megawatts,
+    "MW"
+);
+
+linear_quantity!(
+    /// A thermal conductance (`UA` value) in watts per kelvin.
+    ///
+    /// Multiplying by a temperature difference yields a heat flow:
+    /// `Q̇ = UA · ΔT`.
+    WattsPerKelvin,
+    "W/K"
+);
+
+impl Watts {
+    /// Converts to kilowatts.
+    #[inline]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts::new(self.get() / 1e3)
+    }
+
+    /// Converts to megawatts.
+    #[inline]
+    pub fn to_megawatts(self) -> Megawatts {
+        Megawatts::new(self.get() / 1e6)
+    }
+}
+
+impl Kilowatts {
+    /// Converts to watts.
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts::new(self.get() * 1e3)
+    }
+
+    /// Converts to megawatts.
+    #[inline]
+    pub fn to_megawatts(self) -> Megawatts {
+        Megawatts::new(self.get() / 1e3)
+    }
+}
+
+impl Megawatts {
+    /// Converts to watts.
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts::new(self.get() * 1e6)
+    }
+
+    /// Converts to kilowatts.
+    #[inline]
+    pub fn to_kilowatts(self) -> Kilowatts {
+        Kilowatts::new(self.get() * 1e3)
+    }
+}
+
+impl From<Kilowatts> for Watts {
+    fn from(value: Kilowatts) -> Self {
+        value.to_watts()
+    }
+}
+
+impl From<Megawatts> for Watts {
+    fn from(value: Megawatts) -> Self {
+        value.to_watts()
+    }
+}
+
+impl From<Watts> for Kilowatts {
+    fn from(value: Watts) -> Self {
+        value.to_kilowatts()
+    }
+}
+
+impl From<Watts> for Megawatts {
+    fn from(value: Watts) -> Self {
+        value.to_megawatts()
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Power sustained for a duration is an energy: `E = P · t`.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl core::ops::Mul<DegC> for WattsPerKelvin {
+    type Output = Watts;
+    /// Conductance × temperature difference is a heat flow: `Q̇ = UA · ΔT`.
+    #[inline]
+    fn mul(self, rhs: DegC) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<WattsPerKelvin> for DegC {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: WattsPerKelvin) -> Watts {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let p = Watts::new(250_000.0);
+        assert_eq!(p.to_kilowatts(), Kilowatts::new(250.0));
+        assert_eq!(p.to_megawatts(), Megawatts::new(0.25));
+        assert_eq!(p.to_kilowatts().to_watts(), p);
+        assert_eq!(Megawatts::new(25.0).to_kilowatts(), Kilowatts::new(25_000.0));
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(500.0) * Seconds::new(3600.0);
+        assert_eq!(e, Joules::new(1_800_000.0));
+        assert_eq!(Seconds::new(3600.0) * Watts::new(500.0), e);
+    }
+
+    #[test]
+    fn conductance_times_delta_is_heat_flow() {
+        let ua = WattsPerKelvin::new(15.0);
+        let q = ua * DegC::new(3.2);
+        assert!((q.get() - 48.0).abs() < 1e-12);
+        assert_eq!(DegC::new(3.2) * ua, q);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Watts::from(Kilowatts::new(1.5)), Watts::new(1500.0));
+        assert_eq!(Megawatts::from(Watts::new(2e6)), Megawatts::new(2.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Absolute temperature ([`Celsius`]) and temperature difference ([`DegC`]).
+//!
+//! Keeping the two distinct prevents the classic modeling bug of adding two
+//! absolute temperatures: only `Celsius ± DegC` and `Celsius − Celsius` are
+//! defined.
+
+use crate::linear_quantity;
+
+linear_quantity!(
+    /// A temperature *difference* in kelvin / degrees Celsius.
+    ///
+    /// Produced by subtracting two [`Celsius`] values; scales linearly.
+    DegC,
+    "K"
+);
+
+/// An absolute temperature on the Celsius scale.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_units::{Celsius, DegC};
+///
+/// let melt = Celsius::new(35.7);
+/// let air = Celsius::new(38.9);
+/// assert!(((air - melt).get() - 3.2).abs() < 1e-12);
+/// assert_eq!(melt + DegC::new(1.0), Celsius::new(36.7));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Wraps a temperature expressed in degrees Celsius.
+    #[inline]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the temperature in kelvin.
+    #[inline]
+    pub fn kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Returns the warmer of two temperatures.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// Returns the cooler of two temperatures.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Clamps the temperature into `[lo, hi]`.
+    #[inline]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Self(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True when the underlying value is finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl core::ops::Sub for Celsius {
+    type Output = DegC;
+    #[inline]
+    fn sub(self, rhs: Self) -> DegC {
+        DegC::new(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add<DegC> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn add(self, rhs: DegC) -> Celsius {
+        Celsius(self.0 + rhs.get())
+    }
+}
+
+impl core::ops::AddAssign<DegC> for Celsius {
+    #[inline]
+    fn add_assign(&mut self, rhs: DegC) {
+        self.0 += rhs.get();
+    }
+}
+
+impl core::ops::Sub<DegC> for Celsius {
+    type Output = Celsius;
+    #[inline]
+    fn sub(self, rhs: DegC) -> Celsius {
+        Celsius(self.0 - rhs.get())
+    }
+}
+
+impl core::ops::SubAssign<DegC> for Celsius {
+    #[inline]
+    fn sub_assign(&mut self, rhs: DegC) {
+        self.0 -= rhs.get();
+    }
+}
+
+impl core::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} °C", prec, self.0)
+        } else {
+            write!(f, "{} °C", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_and_offset_round_trip() {
+        let a = Celsius::new(40.0);
+        let b = Celsius::new(22.5);
+        let d = a - b;
+        assert_eq!(b + d, a);
+        assert_eq!(a - d, b);
+    }
+
+    #[test]
+    fn kelvin_conversion() {
+        assert!((Celsius::new(0.0).kelvin() - 273.15).abs() < 1e-12);
+        assert!((Celsius::new(35.7).kelvin() - 308.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Celsius::new(35.7) < Celsius::new(38.0));
+        assert_eq!(
+            Celsius::new(30.0).max(Celsius::new(31.0)),
+            Celsius::new(31.0)
+        );
+        assert_eq!(
+            Celsius::new(30.0).min(Celsius::new(31.0)),
+            Celsius::new(30.0)
+        );
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut t = Celsius::new(20.0);
+        t += DegC::new(5.0);
+        t -= DegC::new(2.5);
+        assert_eq!(t, Celsius::new(22.5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.1}", Celsius::new(35.71)), "35.7 °C");
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulation time quantities: [`Seconds`], [`Minutes`], [`Hours`].
+//!
+//! The simulator's native clock is [`Seconds`]; the coarser units exist for
+//! configuration ergonomics (traces are diurnal, wax-model updates are
+//! per-minute) and convert explicitly.
+
+use crate::linear_quantity;
+
+linear_quantity!(
+    /// A duration (or simulation timestamp) in seconds.
+    Seconds,
+    "s"
+);
+
+linear_quantity!(
+    /// A duration in minutes.
+    Minutes,
+    "min"
+);
+
+linear_quantity!(
+    /// A duration in hours.
+    Hours,
+    "h"
+);
+
+impl Seconds {
+    /// Converts to minutes.
+    #[inline]
+    pub fn to_minutes(self) -> Minutes {
+        Minutes::new(self.get() / 60.0)
+    }
+
+    /// Converts to hours.
+    #[inline]
+    pub fn to_hours(self) -> Hours {
+        Hours::new(self.get() / 3600.0)
+    }
+}
+
+impl Minutes {
+    /// Converts to seconds.
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.get() * 60.0)
+    }
+
+    /// Converts to hours.
+    #[inline]
+    pub fn to_hours(self) -> Hours {
+        Hours::new(self.get() / 60.0)
+    }
+}
+
+impl Hours {
+    /// Converts to seconds.
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.get() * 3600.0)
+    }
+
+    /// Converts to minutes.
+    #[inline]
+    pub fn to_minutes(self) -> Minutes {
+        Minutes::new(self.get() * 60.0)
+    }
+}
+
+impl From<Minutes> for Seconds {
+    fn from(value: Minutes) -> Self {
+        value.to_seconds()
+    }
+}
+
+impl From<Hours> for Seconds {
+    fn from(value: Hours) -> Self {
+        value.to_seconds()
+    }
+}
+
+impl From<Hours> for Minutes {
+    fn from(value: Hours) -> Self {
+        value.to_minutes()
+    }
+}
+
+impl From<core::time::Duration> for Seconds {
+    fn from(value: core::time::Duration) -> Self {
+        Seconds::new(value.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Hours::new(2.0).to_seconds(), Seconds::new(7200.0));
+        assert_eq!(Seconds::new(7200.0).to_hours(), Hours::new(2.0));
+        assert_eq!(Minutes::new(90.0).to_hours(), Hours::new(1.5));
+        assert_eq!(Hours::new(1.5).to_minutes(), Minutes::new(90.0));
+        assert_eq!(Seconds::new(120.0).to_minutes(), Minutes::new(2.0));
+    }
+
+    #[test]
+    fn from_std_duration() {
+        let d = core::time::Duration::from_millis(1500);
+        assert_eq!(Seconds::from(d), Seconds::new(1.5));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Seconds::from(Minutes::new(3.0)), Seconds::new(180.0));
+        assert_eq!(Seconds::from(Hours::new(1.0)), Seconds::new(3600.0));
+        assert_eq!(Minutes::from(Hours::new(0.5)), Minutes::new(30.0));
+    }
+}

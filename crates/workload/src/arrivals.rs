@@ -1,0 +1,188 @@
+//! Turning a load target into concrete job arrivals.
+
+use crate::WorkloadKind;
+use rand::{Rng, SeedableRng};
+use vmt_units::Seconds;
+
+/// How job durations scatter around each workload's typical duration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DurationModel {
+    /// Uniform ±fraction jitter around the typical duration — tight,
+    /// lease-like lifetimes.
+    UniformJitter {
+        /// Jitter fraction (e.g. 0.25 = ±25%).
+        fraction: f64,
+    },
+    /// Exponentially distributed durations with the typical duration as
+    /// the mean, clamped to `[0.1, 6]×` typical — the classic
+    /// service-time model, with a heavier tail.
+    Exponential,
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel::UniformJitter { fraction: 0.25 }
+    }
+}
+
+/// A planned job arrival: which workload and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobSpec {
+    /// The workload the job belongs to.
+    pub kind: WorkloadKind,
+    /// How long the job will occupy its core.
+    pub duration: Seconds,
+}
+
+/// Plans job arrivals so that per-workload core occupancy tracks the
+/// trace.
+///
+/// Each scheduling tick the simulator asks: the trace wants `target`
+/// cores of workload W busy, `current` are busy — the planner emits
+/// `max(0, target − current)` new jobs with jittered durations. Durations
+/// are short (minutes) relative to the diurnal cycle (hours), so occupancy
+/// tracks the rising edge tightly and lags the falling edge by at most one
+/// job duration, mirroring how request-driven services drain.
+///
+/// All jitter comes from a seeded RNG owned by the planner, so a
+/// simulation is reproducible end to end.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{ArrivalPlanner, WorkloadKind};
+///
+/// let mut planner = ArrivalPlanner::new(7);
+/// let jobs = planner.plan(WorkloadKind::WebSearch, 10, 4);
+/// assert_eq!(jobs.len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalPlanner {
+    rng: rand::rngs::SmallRng,
+    model: DurationModel,
+}
+
+impl ArrivalPlanner {
+    /// Creates a planner with the default duration model (±25% uniform
+    /// jitter).
+    pub fn new(seed: u64) -> Self {
+        Self::with_model(seed, DurationModel::default())
+    }
+
+    /// Creates a planner with a custom uniform jitter fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ jitter < 1`.
+    pub fn with_jitter(seed: u64, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        Self::with_model(seed, DurationModel::UniformJitter { fraction: jitter })
+    }
+
+    /// Creates a planner with an explicit duration model.
+    pub fn with_model(seed: u64, model: DurationModel) -> Self {
+        if let DurationModel::UniformJitter { fraction } = model {
+            assert!((0.0..1.0).contains(&fraction), "jitter must be in [0, 1)");
+        }
+        Self {
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+            model,
+        }
+    }
+
+    /// Draws one duration for `kind` from the configured model.
+    fn draw_duration(&mut self, kind: WorkloadKind) -> Seconds {
+        let typical = kind.typical_duration_minutes() * 60.0;
+        let factor = match self.model {
+            DurationModel::UniformJitter { fraction } => {
+                1.0 + self.rng.gen_range(-fraction..=fraction)
+            }
+            DurationModel::Exponential => {
+                // Inverse-CDF sampling, clamped against degenerate tails.
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                (-u.ln()).clamp(0.1, 6.0)
+            }
+        };
+        Seconds::new(typical * factor)
+    }
+
+    /// Plans the arrivals needed to bring `current` occupied cores of
+    /// `kind` up to `target`. Returns an empty vector when already at or
+    /// above target.
+    pub fn plan(&mut self, kind: WorkloadKind, target: usize, current: usize) -> Vec<JobSpec> {
+        let deficit = target.saturating_sub(current);
+        (0..deficit)
+            .map(|_| JobSpec {
+                kind,
+                duration: self.draw_duration(kind),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_the_deficit_exactly() {
+        let mut p = ArrivalPlanner::new(1);
+        assert_eq!(p.plan(WorkloadKind::VirusScan, 12, 5).len(), 7);
+        assert!(p.plan(WorkloadKind::VirusScan, 5, 5).is_empty());
+        assert!(p.plan(WorkloadKind::VirusScan, 3, 5).is_empty());
+    }
+
+    #[test]
+    fn durations_are_jittered_around_typical() {
+        let mut p = ArrivalPlanner::new(2);
+        let jobs = p.plan(WorkloadKind::WebSearch, 1000, 0);
+        let typical = WorkloadKind::WebSearch.typical_duration_minutes() * 60.0;
+        let mean: f64 = jobs.iter().map(|j| j.duration.get()).sum::<f64>() / jobs.len() as f64;
+        assert!((mean - typical).abs() < typical * 0.05, "mean {mean}");
+        for j in &jobs {
+            let d = j.duration.get();
+            assert!(d >= typical * 0.74 && d <= typical * 1.26, "duration {d}");
+        }
+    }
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut a = ArrivalPlanner::new(3);
+        let mut b = ArrivalPlanner::new(3);
+        assert_eq!(
+            a.plan(WorkloadKind::Clustering, 10, 0),
+            b.plan(WorkloadKind::Clustering, 10, 0)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ArrivalPlanner::new(4);
+        let mut b = ArrivalPlanner::new(5);
+        assert_ne!(
+            a.plan(WorkloadKind::Clustering, 10, 0),
+            b.plan(WorkloadKind::Clustering, 10, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be in")]
+    fn invalid_jitter_rejected() {
+        ArrivalPlanner::with_jitter(0, 1.0);
+    }
+
+    #[test]
+    fn exponential_durations_have_the_right_mean_and_tail() {
+        let mut p = ArrivalPlanner::with_model(9, DurationModel::Exponential);
+        let jobs = p.plan(WorkloadKind::DataCaching, 5000, 0);
+        let typical = WorkloadKind::DataCaching.typical_duration_minutes() * 60.0;
+        let mean: f64 = jobs.iter().map(|j| j.duration.get()).sum::<f64>() / jobs.len() as f64;
+        assert!((mean - typical).abs() < typical * 0.06, "mean {mean}");
+        // A genuine tail: some jobs run more than twice the typical.
+        let long = jobs.iter().filter(|j| j.duration.get() > 2.0 * typical).count();
+        assert!(long > jobs.len() / 40, "tail too thin: {long}");
+        // ... but the clamp holds.
+        assert!(jobs.iter().all(|j| j.duration.get() <= 6.0 * typical + 1e-9));
+        assert!(jobs.iter().all(|j| j.duration.get() >= 0.1 * typical - 1e-9));
+    }
+}

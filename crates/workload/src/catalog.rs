@@ -1,0 +1,221 @@
+//! The five workloads of the paper's Table I.
+
+use vmt_units::Watts;
+
+/// VMT thermal class of a workload: can a server filled with only this
+/// workload melt significant wax over a peak load cycle?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum VmtClass {
+    /// Hot: concentrate these jobs in the hot group to melt wax.
+    Hot,
+    /// Cold: schedule in the cold group.
+    Cold,
+}
+
+impl core::fmt::Display for VmtClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            VmtClass::Hot => "hot",
+            VmtClass::Cold => "cold",
+        })
+    }
+}
+
+/// Latency class of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum QosClass {
+    /// Millisecond/microsecond deadlines (web search, data caching).
+    LatencyCritical,
+    /// User-facing but tolerant of seconds of delay (encoding, scanning,
+    /// clustering) — *not* batch: cannot be deferred to off hours.
+    Elastic,
+}
+
+/// One of the five datacenter workloads the paper evaluates (Table I).
+///
+/// Power values are per 8-core Xeon E7-4809 v4 CPU as the paper reports
+/// them; [`WorkloadKind::core_power`] divides by 8 for the per-core linear
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{VmtClass, WorkloadKind};
+///
+/// assert_eq!(WorkloadKind::WebSearch.vmt_class(), VmtClass::Hot);
+/// assert_eq!(WorkloadKind::DataCaching.vmt_class(), VmtClass::Cold);
+/// assert!((WorkloadKind::VideoEncoding.cpu_power().get() - 60.9).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum WorkloadKind {
+    /// CloudSuite Web Search: latency-critical index serving.
+    WebSearch,
+    /// CloudSuite Data Caching (Memcached): latency-critical, low CPU
+    /// power.
+    DataCaching,
+    /// SPEC 2006 h264 video encoding (e.g. YouTube re-encoding).
+    VideoEncoding,
+    /// Virus scanning of freshly uploaded files (e.g. Google Drive).
+    VirusScan,
+    /// Kernel-based clustering for ad targeting.
+    Clustering,
+}
+
+/// Cores per CPU package in the paper's server (Xeon E7-4809 v4).
+pub(crate) const CORES_PER_CPU: u32 = 8;
+
+impl WorkloadKind {
+    /// All five workloads, in the paper's Table I order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::WebSearch,
+        WorkloadKind::DataCaching,
+        WorkloadKind::VideoEncoding,
+        WorkloadKind::VirusScan,
+        WorkloadKind::Clustering,
+    ];
+
+    /// Measured CPU power (per 8-core package), from Table I.
+    pub fn cpu_power(self) -> Watts {
+        let w = match self {
+            WorkloadKind::WebSearch => 37.2,
+            WorkloadKind::DataCaching => 13.5,
+            WorkloadKind::VideoEncoding => 60.9,
+            WorkloadKind::VirusScan => 3.4,
+            WorkloadKind::Clustering => 59.5,
+        };
+        Watts::new(w)
+    }
+
+    /// Per-core power under the linear model (CPU power / 8 cores).
+    pub fn core_power(self) -> Watts {
+        self.cpu_power() / f64::from(CORES_PER_CPU)
+    }
+
+    /// VMT class, as the paper assigns it in Table I.
+    ///
+    /// [`crate::ThermalClassifier`] re-derives these from the thermal
+    /// model; this accessor is the published ground truth.
+    pub fn vmt_class(self) -> VmtClass {
+        match self {
+            WorkloadKind::WebSearch | WorkloadKind::VideoEncoding | WorkloadKind::Clustering => {
+                VmtClass::Hot
+            }
+            WorkloadKind::DataCaching | WorkloadKind::VirusScan => VmtClass::Cold,
+        }
+    }
+
+    /// Latency class.
+    pub fn qos_class(self) -> QosClass {
+        match self {
+            WorkloadKind::WebSearch | WorkloadKind::DataCaching => QosClass::LatencyCritical,
+            _ => QosClass::Elastic,
+        }
+    }
+
+    /// Table I display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::WebSearch => "WebSearch",
+            WorkloadKind::DataCaching => "DataCaching",
+            WorkloadKind::VideoEncoding => "VideoEncoding",
+            WorkloadKind::VirusScan => "VirusScan",
+            WorkloadKind::Clustering => "Clustering",
+        }
+    }
+
+    /// Stable dense index (0..5) for per-workload arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WorkloadKind::WebSearch => 0,
+            WorkloadKind::DataCaching => 1,
+            WorkloadKind::VideoEncoding => 2,
+            WorkloadKind::VirusScan => 3,
+            WorkloadKind::Clustering => 4,
+        }
+    }
+
+    /// Inverse of [`WorkloadKind::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 5`.
+    pub fn from_index(index: usize) -> Self {
+        Self::ALL[index]
+    }
+
+    /// Typical job duration in minutes, used by the arrival planner.
+    ///
+    /// Chosen to be short relative to the diurnal cycle so occupancy
+    /// tracks the trace: queries/cache sessions are modeled as short
+    /// leases; encodes and clustering runs are longer.
+    pub fn typical_duration_minutes(self) -> f64 {
+        match self {
+            WorkloadKind::WebSearch => 5.0,
+            WorkloadKind::DataCaching => 10.0,
+            WorkloadKind::VideoEncoding => 8.0,
+            WorkloadKind::VirusScan => 4.0,
+            WorkloadKind::Clustering => 12.0,
+        }
+    }
+}
+
+impl core::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_power_values() {
+        let expect = [
+            (WorkloadKind::WebSearch, 37.2),
+            (WorkloadKind::DataCaching, 13.5),
+            (WorkloadKind::VideoEncoding, 60.9),
+            (WorkloadKind::VirusScan, 3.4),
+            (WorkloadKind::Clustering, 59.5),
+        ];
+        for (kind, w) in expect {
+            assert!((kind.cpu_power().get() - w).abs() < 1e-12, "{kind}");
+            assert!((kind.core_power().get() - w / 8.0).abs() < 1e-12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn table_one_classes() {
+        use VmtClass::*;
+        let expect = [
+            (WorkloadKind::WebSearch, Hot),
+            (WorkloadKind::DataCaching, Cold),
+            (WorkloadKind::VideoEncoding, Hot),
+            (WorkloadKind::VirusScan, Cold),
+            (WorkloadKind::Clustering, Hot),
+        ];
+        for (kind, class) in expect {
+            assert_eq!(kind.vmt_class(), class, "{kind}");
+        }
+    }
+
+    #[test]
+    fn qos_classes() {
+        assert_eq!(WorkloadKind::WebSearch.qos_class(), QosClass::LatencyCritical);
+        assert_eq!(WorkloadKind::DataCaching.qos_class(), QosClass::LatencyCritical);
+        assert_eq!(WorkloadKind::VideoEncoding.qos_class(), QosClass::Elastic);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for kind in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::from_index(kind.index()), kind);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WorkloadKind::WebSearch.to_string(), "WebSearch");
+        assert_eq!(VmtClass::Hot.to_string(), "hot");
+    }
+}

@@ -1,0 +1,165 @@
+//! Deriving hot/cold classes from the thermal model.
+
+use crate::{VmtClass, WorkloadKind};
+use vmt_units::{Celsius, Watts, WattsPerKelvin};
+
+/// Classifies workloads as hot or cold the way the paper does: a workload
+/// is *hot* if "a server filled with only \[that\] workload can melt
+/// significant wax over a peak load cycle".
+///
+/// Operationally: fill every core with the workload, compute the
+/// steady-state air temperature at the wax, and compare against the wax
+/// melting temperature (plus a small margin — "significant" wax requires
+/// actually holding the plateau, not grazing it).
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{ThermalClassifier, VmtClass, WorkloadKind};
+///
+/// let classifier = ThermalClassifier::paper_default();
+/// // Reproduces Table I for all five workloads.
+/// for kind in WorkloadKind::ALL {
+///     assert_eq!(classifier.classify(kind), kind.vmt_class());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermalClassifier {
+    inlet: Celsius,
+    capacity_rate: WattsPerKelvin,
+    idle_power: Watts,
+    cores: u32,
+    melt_temperature: Celsius,
+    margin: vmt_units::DegC,
+}
+
+impl ThermalClassifier {
+    /// Creates a classifier from the cluster's thermal constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_rate` is not strictly positive or `cores` is
+    /// zero.
+    pub fn new(
+        inlet: Celsius,
+        capacity_rate: WattsPerKelvin,
+        idle_power: Watts,
+        cores: u32,
+        melt_temperature: Celsius,
+    ) -> Self {
+        assert!(capacity_rate.get() > 0.0, "capacity rate must be positive");
+        assert!(cores > 0, "cores must be non-zero");
+        Self {
+            inlet,
+            capacity_rate,
+            idle_power,
+            cores,
+            melt_temperature,
+            margin: vmt_units::DegC::new(0.0),
+        }
+    }
+
+    /// The paper's cluster constants: 22 °C inlet, 17.5 W/K air stream,
+    /// 100 W idle, 32 cores, 35.7 °C wax.
+    pub fn paper_default() -> Self {
+        Self::new(
+            Celsius::new(22.0),
+            WattsPerKelvin::new(17.5),
+            Watts::new(100.0),
+            32,
+            Celsius::new(35.7),
+        )
+    }
+
+    /// Adds a margin above the melt point that the filled server must
+    /// reach to count as hot.
+    #[must_use]
+    pub fn with_margin(mut self, margin: vmt_units::DegC) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Steady-state air-at-wax temperature of a server filled with only
+    /// `kind` on every core.
+    pub fn filled_server_temperature(&self, kind: WorkloadKind) -> Celsius {
+        let power = self.idle_power + kind.core_power() * f64::from(self.cores);
+        self.inlet + vmt_units::DegC::new(power.get() / self.capacity_rate.get())
+    }
+
+    /// Per-core power above which a workload classifies as hot under this
+    /// configuration (the decision boundary).
+    pub fn hot_core_power_threshold(&self) -> Watts {
+        let needed_rise = (self.melt_temperature + self.margin) - self.inlet;
+        let needed_power = Watts::new(needed_rise.get() * self.capacity_rate.get());
+        (needed_power - self.idle_power) / f64::from(self.cores)
+    }
+
+    /// Classifies one workload.
+    pub fn classify(&self, kind: WorkloadKind) -> VmtClass {
+        if self.filled_server_temperature(kind) >= self.melt_temperature + self.margin {
+            VmtClass::Hot
+        } else {
+            VmtClass::Cold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_one() {
+        let c = ThermalClassifier::paper_default();
+        for kind in WorkloadKind::ALL {
+            assert_eq!(c.classify(kind), kind.vmt_class(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn threshold_separates_the_catalog() {
+        let c = ThermalClassifier::paper_default();
+        let threshold = c.hot_core_power_threshold();
+        // The decision boundary falls between caching (1.69 W/core) and
+        // search (4.65 W/core).
+        assert!(threshold > WorkloadKind::DataCaching.core_power());
+        assert!(threshold < WorkloadKind::WebSearch.core_power());
+    }
+
+    #[test]
+    fn hotter_inlet_reclassifies_borderline_workloads() {
+        // At a 26 °C inlet even caching-class power profiles approach the
+        // melt point; search is hot with margin to spare.
+        let warm = ThermalClassifier::new(
+            Celsius::new(30.0),
+            WattsPerKelvin::new(17.5),
+            Watts::new(100.0),
+            32,
+            Celsius::new(35.7),
+        );
+        assert_eq!(warm.classify(WorkloadKind::DataCaching), VmtClass::Hot);
+    }
+
+    #[test]
+    fn margin_raises_the_bar() {
+        let strict =
+            ThermalClassifier::paper_default().with_margin(vmt_units::DegC::new(10.0));
+        // With a 10 K margin nothing in the catalog qualifies.
+        for kind in WorkloadKind::ALL {
+            assert_eq!(strict.classify(kind), VmtClass::Cold, "{kind}");
+        }
+    }
+
+    #[test]
+    fn filled_server_temperatures_are_ordered_by_power() {
+        let c = ThermalClassifier::paper_default();
+        assert!(
+            c.filled_server_temperature(WorkloadKind::VideoEncoding)
+                > c.filled_server_temperature(WorkloadKind::WebSearch)
+        );
+        assert!(
+            c.filled_server_temperature(WorkloadKind::WebSearch)
+                > c.filled_server_temperature(WorkloadKind::VirusScan)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Jobs: the unit of placement.
+
+use crate::WorkloadKind;
+use vmt_units::{Seconds, Watts};
+
+/// Unique identifier of a job within one simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct JobId(pub u64);
+
+impl core::fmt::Display for JobId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// A schedulable unit of work occupying one core for a bounded duration.
+///
+/// The paper's jobs "are assigned separate physical cores and never share
+/// SMT contexts", so one job = one core is the natural granularity; a
+/// request stream that needs N cores appears as N concurrent jobs.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{Job, JobId, WorkloadKind};
+/// use vmt_units::Seconds;
+///
+/// let job = Job::new(JobId(1), WorkloadKind::WebSearch, Seconds::new(300.0));
+/// assert!(job.core_power().get() > 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Job {
+    id: JobId,
+    kind: WorkloadKind,
+    duration: Seconds,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not strictly positive and finite.
+    pub fn new(id: JobId, kind: WorkloadKind, duration: Seconds) -> Self {
+        assert!(
+            duration.get() > 0.0 && duration.get().is_finite(),
+            "job duration must be positive and finite, got {duration}"
+        );
+        Self { id, kind, duration }
+    }
+
+    /// The job's identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The workload the job belongs to.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// How long the job occupies its core.
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// The job's per-core power draw while running.
+    pub fn core_power(&self) -> Watts {
+        self.kind.core_power()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let job = Job::new(JobId(7), WorkloadKind::Clustering, Seconds::new(720.0));
+        assert_eq!(job.id(), JobId(7));
+        assert_eq!(job.kind(), WorkloadKind::Clustering);
+        assert_eq!(job.duration(), Seconds::new(720.0));
+        assert_eq!(job.core_power(), WorkloadKind::Clustering.core_power());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        Job::new(JobId(0), WorkloadKind::VirusScan, Seconds::new(0.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(JobId(42).to_string(), "job#42");
+    }
+}

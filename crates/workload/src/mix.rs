@@ -1,0 +1,248 @@
+//! How cluster load is split across the workload catalog.
+
+use crate::{VmtClass, WorkloadKind};
+use core::fmt;
+
+/// Error returned when constructing an invalid [`WorkloadMix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum MixError {
+    /// The shares did not sum to 1 (within tolerance).
+    SharesNotNormalized {
+        /// The actual sum of the provided shares.
+        sum: f64,
+    },
+    /// A share was negative or non-finite.
+    InvalidShare {
+        /// The workload with the bad share.
+        kind: WorkloadKind,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixError::SharesNotNormalized { sum } => {
+                write!(f, "workload shares must sum to 1, got {sum}")
+            }
+            MixError::InvalidShare { kind, value } => {
+                write!(f, "share for {kind} must be a non-negative finite number, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MixError {}
+
+/// A split of total cluster core-load across the five workloads.
+///
+/// Shares are fractions of occupied cores (not of power), and must sum
+/// to 1.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{WorkloadKind, WorkloadMix};
+///
+/// let mix = WorkloadMix::paper_default();
+/// assert!((mix.share(WorkloadKind::DataCaching) - 0.30).abs() < 1e-12);
+/// // Per-core power of the blended load:
+/// assert!((mix.mean_core_power().get() - 4.34).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadMix {
+    /// Shares indexed by [`WorkloadKind::index`].
+    shares: [f64; 5],
+}
+
+impl WorkloadMix {
+    /// Creates a mix from per-workload shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixError`] if any share is negative/non-finite or the
+    /// shares do not sum to 1 within `1e-9`.
+    pub fn new(shares: [(WorkloadKind, f64); 5]) -> Result<Self, MixError> {
+        let mut dense = [f64::NAN; 5];
+        for (kind, share) in shares {
+            if !(share.is_finite() && share >= 0.0) {
+                return Err(MixError::InvalidShare { kind, value: share });
+            }
+            dense[kind.index()] = share;
+        }
+        let sum: f64 = dense.iter().sum();
+        if !(sum.is_finite() && (sum - 1.0).abs() < 1e-9) {
+            return Err(MixError::SharesNotNormalized { sum });
+        }
+        Ok(Self { shares: dense })
+    }
+
+    /// A mix of exactly two workloads at a given ratio of the first.
+    ///
+    /// Used by the paper's Figure 1, which sweeps pairwise mixes across
+    /// the full work-ratio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `[0, 1]` or the two kinds are equal.
+    pub fn pair(a: WorkloadKind, b: WorkloadKind, ratio_of_a: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio_of_a), "ratio must be in [0,1]");
+        assert!(a != b, "pair requires two distinct workloads");
+        let mut shares = [0.0; 5];
+        shares[a.index()] = ratio_of_a;
+        shares[b.index()] = 1.0 - ratio_of_a;
+        Self { shares }
+    }
+
+    /// The paper's evaluation mix: a ≈60/40 hot/cold split of core-load.
+    ///
+    /// Shares: WebSearch 25%, DataCaching 30%, VideoEncoding 15%,
+    /// VirusScan 10%, Clustering 20% → hot (search+video+clustering) = 60%.
+    pub fn paper_default() -> Self {
+        Self::new([
+            (WorkloadKind::WebSearch, 0.25),
+            (WorkloadKind::DataCaching, 0.30),
+            (WorkloadKind::VideoEncoding, 0.15),
+            (WorkloadKind::VirusScan, 0.10),
+            (WorkloadKind::Clustering, 0.20),
+        ])
+        .expect("paper mix is normalized")
+    }
+
+    /// Share of total core-load belonging to `kind`.
+    pub fn share(&self, kind: WorkloadKind) -> f64 {
+        self.shares[kind.index()]
+    }
+
+    /// Iterates `(kind, share)` pairs in Table I order.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkloadKind, f64)> + '_ {
+        WorkloadKind::ALL.iter().map(|&k| (k, self.share(k)))
+    }
+
+    /// Fraction of core-load classified hot (Table I classes).
+    pub fn hot_fraction(&self) -> f64 {
+        self.iter()
+            .filter(|(k, _)| k.vmt_class() == VmtClass::Hot)
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    /// Mean per-core power of the blended load.
+    pub fn mean_core_power(&self) -> vmt_units::Watts {
+        self.iter()
+            .map(|(k, s)| k.core_power() * s)
+            .sum()
+    }
+
+    /// Mean per-core power of only the hot (or only the cold) component,
+    /// normalized within that component. Returns zero power when the
+    /// component has no share.
+    pub fn component_core_power(&self, class: VmtClass) -> vmt_units::Watts {
+        let total: f64 = self
+            .iter()
+            .filter(|(k, _)| k.vmt_class() == class)
+            .map(|(_, s)| s)
+            .sum();
+        if total == 0.0 {
+            return vmt_units::Watts::ZERO;
+        }
+        self.iter()
+            .filter(|(k, _)| k.vmt_class() == class)
+            .map(|(k, s)| k.core_power() * (s / total))
+            .sum()
+    }
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_mix_is_sixty_forty() {
+        let mix = WorkloadMix::paper_default();
+        assert!((mix.hot_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_core_power_matches_hand_calculation() {
+        let mix = WorkloadMix::paper_default();
+        let expect = 0.25 * 4.65 + 0.30 * 1.6875 + 0.15 * 7.6125 + 0.10 * 0.425 + 0.20 * 7.4375;
+        assert!((mix.mean_core_power().get() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_powers() {
+        let mix = WorkloadMix::paper_default();
+        let hot = mix.component_core_power(VmtClass::Hot);
+        let cold = mix.component_core_power(VmtClass::Cold);
+        assert!((hot.get() - 6.3198).abs() < 0.001, "hot {hot}");
+        assert!((cold.get() - 1.3719).abs() < 0.001, "cold {cold}");
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn rejects_unnormalized() {
+        let err = WorkloadMix::new([
+            (WorkloadKind::WebSearch, 0.5),
+            (WorkloadKind::DataCaching, 0.5),
+            (WorkloadKind::VideoEncoding, 0.5),
+            (WorkloadKind::VirusScan, 0.0),
+            (WorkloadKind::Clustering, 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, MixError::SharesNotNormalized { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_share() {
+        let err = WorkloadMix::new([
+            (WorkloadKind::WebSearch, -0.1),
+            (WorkloadKind::DataCaching, 0.5),
+            (WorkloadKind::VideoEncoding, 0.6),
+            (WorkloadKind::VirusScan, 0.0),
+            (WorkloadKind::Clustering, 0.0),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, MixError::InvalidShare { .. }));
+    }
+
+    #[test]
+    fn pair_mix() {
+        let mix = WorkloadMix::pair(WorkloadKind::DataCaching, WorkloadKind::WebSearch, 0.7);
+        assert!((mix.share(WorkloadKind::DataCaching) - 0.7).abs() < 1e-12);
+        assert!((mix.share(WorkloadKind::WebSearch) - 0.3).abs() < 1e-12);
+        assert_eq!(mix.share(WorkloadKind::Clustering), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct workloads")]
+    fn pair_rejects_same_kind() {
+        WorkloadMix::pair(WorkloadKind::WebSearch, WorkloadKind::WebSearch, 0.5);
+    }
+
+    #[test]
+    fn component_power_of_empty_component_is_zero() {
+        let mix = WorkloadMix::pair(WorkloadKind::WebSearch, WorkloadKind::Clustering, 0.5);
+        assert_eq!(mix.component_core_power(VmtClass::Cold), vmt_units::Watts::ZERO);
+    }
+
+    proptest! {
+        /// Pairwise mixes interpolate the mean core power linearly.
+        #[test]
+        fn pair_power_interpolates(r in 0.0f64..=1.0) {
+            let mix = WorkloadMix::pair(WorkloadKind::VirusScan, WorkloadKind::Clustering, r);
+            let expect = r * WorkloadKind::VirusScan.core_power().get()
+                + (1.0 - r) * WorkloadKind::Clustering.core_power().get();
+            prop_assert!((mix.mean_core_power().get() - expect).abs() < 1e-9);
+        }
+    }
+}

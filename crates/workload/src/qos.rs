@@ -1,0 +1,222 @@
+//! Colocation QoS model (the paper's Figure 6).
+//!
+//! Figure 6 answers a prerequisite question for VMT: can the two
+//! latency-critical workloads (Web Search, Data Caching) share a server at
+//! all? The paper measured CloudSuite on a 6-core Xeon E5-2420; we do not
+//! have that testbed, so this module provides a synthetic
+//! queueing-plus-contention model calibrated to reproduce the figure's
+//! qualitative conclusions (see `DESIGN.md` §4):
+//!
+//! * **Data Caching**: at low load homogeneous (6 cores of caching) is
+//!   best; in the mid range a mix with Web Search is similar or better
+//!   (memory resources split between a memory-bound and a compute-bound
+//!   tenant); at saturation homogeneous is again slightly better.
+//! * **Web Search**: colocation with caching degrades latency across the
+//!   whole load range (LLC interference) — the effect BubbleUp/Protean
+//!   Code style contention mitigation is cited to manage.
+//!
+//! The model is an M/M/1-style queueing term per core plus two
+//! interference terms: self-interference (neighbors of the same workload
+//! thrashing the shared LLC) and cross-interference (the colocated
+//! workload's footprint).
+
+use vmt_units::Seconds;
+
+/// A mean/90th-percentile latency pair.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Latency {
+    /// Mean latency.
+    pub mean: Seconds,
+    /// 90th-percentile latency.
+    pub p90: Seconds,
+}
+
+/// Core allocation on the 6-core test box of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Colocation {
+    /// Cores running Data Caching.
+    pub caching_cores: u32,
+    /// Cores running Web Search.
+    pub search_cores: u32,
+}
+
+impl Colocation {
+    /// Homogeneous caching: all six cores run Data Caching.
+    pub const CACHING_6C: Self = Self {
+        caching_cores: 6,
+        search_cores: 0,
+    };
+    /// Two caching cores alongside four search cores.
+    pub const CACHING_2C_SEARCH: Self = Self {
+        caching_cores: 2,
+        search_cores: 4,
+    };
+    /// Four caching cores alongside two search cores.
+    pub const CACHING_4C_SEARCH: Self = Self {
+        caching_cores: 4,
+        search_cores: 2,
+    };
+    /// Homogeneous search: all six cores run Web Search.
+    pub const SEARCH_6C: Self = Self {
+        caching_cores: 0,
+        search_cores: 6,
+    };
+    /// Two search cores alongside four caching cores.
+    pub const SEARCH_2C_CACHING: Self = Self {
+        caching_cores: 4,
+        search_cores: 2,
+    };
+    /// Four search cores alongside two caching cores.
+    pub const SEARCH_4C_CACHING: Self = Self {
+        caching_cores: 2,
+        search_cores: 4,
+    };
+}
+
+/// Caching per-core saturation capacity (requests/s).
+const CACHING_CAPACITY_RPS: f64 = 65_000.0;
+/// Search per-core saturation (clients).
+const SEARCH_CAPACITY_CLIENTS: f64 = 60.0;
+
+/// Data Caching latency at `rps_per_core` under a core allocation.
+///
+/// # Panics
+///
+/// Panics if `rps_per_core` is negative or the allocation has no caching
+/// cores.
+pub fn caching_latency(rps_per_core: f64, alloc: Colocation) -> Latency {
+    assert!(rps_per_core >= 0.0, "rps must be non-negative");
+    assert!(alloc.caching_cores > 0, "allocation has no caching cores");
+    let u = (rps_per_core / CACHING_CAPACITY_RPS).min(0.985);
+    // Per-core queueing delay (ms).
+    let queueing = 1.2 * u / (1.0 - u);
+    // Same-workload LLC thrashing grows with caching neighbors.
+    let self_interference = 2.2 * f64::from(alloc.caching_cores.saturating_sub(1)) / 5.0 * u * u;
+    // Colocated search: a constant footprint plus a sharp saturation term.
+    let cross = f64::from(alloc.search_cores) / 4.0 * (0.55 + 7.0 * u.powi(10));
+    let mean_ms = 0.5 + queueing + self_interference + cross;
+    let p90_ms = mean_ms * 1.4 + cross * 0.8;
+    Latency {
+        mean: Seconds::new(mean_ms / 1e3),
+        p90: Seconds::new(p90_ms / 1e3),
+    }
+}
+
+/// Web Search latency at `clients_per_core` under a core allocation.
+///
+/// # Panics
+///
+/// Panics if `clients_per_core` is negative or the allocation has no
+/// search cores.
+pub fn search_latency(clients_per_core: f64, alloc: Colocation) -> Latency {
+    assert!(clients_per_core >= 0.0, "clients must be non-negative");
+    assert!(alloc.search_cores > 0, "allocation has no search cores");
+    let u = (clients_per_core / SEARCH_CAPACITY_CLIENTS).min(0.985);
+    let queueing = 0.0025 * clients_per_core / (1.0 - u);
+    // Search neighbors contend mildly for LLC.
+    let self_interference = 0.01 * f64::from(alloc.search_cores.saturating_sub(1)) / 5.0 * u;
+    // Colocated caching degrades search across the whole range.
+    let cross =
+        f64::from(alloc.caching_cores) / 4.0 * (0.02 + 0.0015 * clients_per_core);
+    let mean_s = 0.05 + queueing + self_interference + cross;
+    let p90_s = mean_s * 1.35 + cross * 0.5;
+    Latency {
+        mean: Seconds::new(mean_s),
+        p90: Seconds::new(p90_s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_low_load_homogeneous_wins() {
+        // "At very low loads … 6 cores running together provides the best
+        // latency."
+        let rps = 25_000.0;
+        let six = caching_latency(rps, Colocation::CACHING_6C);
+        let mixed2 = caching_latency(rps, Colocation::CACHING_2C_SEARCH);
+        let mixed4 = caching_latency(rps, Colocation::CACHING_4C_SEARCH);
+        assert!(six.mean < mixed2.mean);
+        assert!(six.mean < mixed4.mean);
+    }
+
+    #[test]
+    fn caching_mid_range_mix_is_similar_or_better() {
+        // "In the middle range … a mixture provides similar or better
+        // performance than homogeneous workloads."
+        let rps = 45_000.0;
+        let six = caching_latency(rps, Colocation::CACHING_6C);
+        let mixed = caching_latency(rps, Colocation::CACHING_2C_SEARCH);
+        assert!(
+            mixed.mean.get() <= six.mean.get() * 1.02,
+            "mixed {} vs six {}",
+            mixed.mean.get(),
+            six.mean.get()
+        );
+    }
+
+    #[test]
+    fn caching_saturation_homogeneous_slightly_better() {
+        let rps = 59_000.0;
+        let six = caching_latency(rps, Colocation::CACHING_6C);
+        let mixed = caching_latency(rps, Colocation::CACHING_2C_SEARCH);
+        assert!(six.mean < mixed.mean);
+    }
+
+    #[test]
+    fn caching_latency_is_monotone_in_load() {
+        let mut last = 0.0;
+        for rps in (25..=60).map(|k| k as f64 * 1000.0) {
+            let l = caching_latency(rps, Colocation::CACHING_6C).mean.get();
+            assert!(l >= last);
+            last = l;
+        }
+    }
+
+    #[test]
+    fn caching_range_matches_figure_scale() {
+        // Figure 6's caching panel spans ~1–16 ms.
+        let lo = caching_latency(25_000.0, Colocation::CACHING_6C);
+        let hi = caching_latency(60_000.0, Colocation::CACHING_6C);
+        assert!(lo.mean.get() * 1e3 < 3.0);
+        assert!(hi.mean.get() * 1e3 > 10.0 && hi.mean.get() * 1e3 < 25.0);
+    }
+
+    #[test]
+    fn search_colocation_hurts_everywhere() {
+        // "We observe decreased performance across the whole range of
+        // clients per core."
+        for clients in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            let six = search_latency(clients, Colocation::SEARCH_6C);
+            let mixed2 = search_latency(clients, Colocation::SEARCH_2C_CACHING);
+            let mixed4 = search_latency(clients, Colocation::SEARCH_4C_CACHING);
+            assert!(six.mean < mixed2.mean, "clients {clients}");
+            assert!(six.mean < mixed4.mean, "clients {clients}");
+        }
+    }
+
+    #[test]
+    fn search_range_matches_figure_scale() {
+        // Figure 6's search panel spans ~0.05–0.4 s.
+        let lo = search_latency(10.0, Colocation::SEARCH_6C);
+        let hi = search_latency(50.0, Colocation::SEARCH_6C);
+        assert!(lo.mean.get() < 0.15);
+        assert!(hi.mean.get() > 0.2 && hi.mean.get() < 0.9);
+    }
+
+    #[test]
+    fn p90_exceeds_mean() {
+        let l = caching_latency(45_000.0, Colocation::CACHING_2C_SEARCH);
+        assert!(l.p90 > l.mean);
+        let s = search_latency(37.5, Colocation::SEARCH_2C_CACHING);
+        assert!(s.p90 > s.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "no caching cores")]
+    fn caching_requires_caching_cores() {
+        caching_latency(1000.0, Colocation::SEARCH_6C);
+    }
+}

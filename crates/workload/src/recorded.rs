@@ -1,0 +1,270 @@
+//! Recorded load traces: replaying measured per-workload utilization.
+//!
+//! The synthetic [`DiurnalTrace`](crate::DiurnalTrace) stands in for the
+//! paper's Google trace; a deployment that *has* a measured trace should
+//! replay it instead. [`RecordedTrace`] holds per-workload utilization
+//! samples at a fixed interval, linearly interpolated between samples,
+//! and round-trips through a simple CSV format
+//! (`hour,webtsearch,datacaching,videoencoding,virusscan,clustering` —
+//! fractions of total cluster cores).
+
+use crate::{LoadTrace, WorkloadKind};
+use core::fmt;
+use vmt_units::{Fraction, Hours, Minutes};
+
+/// Error produced when parsing a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// A measured per-workload utilization trace sampled at a fixed step.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{LoadTrace, RecordedTrace, WorkloadKind};
+/// use vmt_units::{Hours, Minutes};
+///
+/// let trace = RecordedTrace::from_samples(
+///     Minutes::new(30.0),
+///     vec![[0.1, 0.1, 0.05, 0.02, 0.08], [0.2, 0.2, 0.1, 0.04, 0.16]],
+/// )
+/// .unwrap();
+/// // Interpolated halfway between the two samples.
+/// let u = trace.utilization(WorkloadKind::WebSearch, Hours::new(0.25));
+/// assert!((u.get() - 0.15).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RecordedTrace {
+    step: Minutes,
+    /// `rows[i][k]` = utilization of workload `k` at sample `i`.
+    rows: Vec<[f64; 5]>,
+}
+
+impl RecordedTrace {
+    /// Creates a trace from samples at a fixed `step`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if fewer than two samples are given, the step is
+    /// not positive, or any utilization is outside `[0, 1]` (including a
+    /// row sum above 1).
+    pub fn from_samples(step: Minutes, rows: Vec<[f64; 5]>) -> Result<Self, String> {
+        if !(step.get() > 0.0 && step.get().is_finite()) {
+            return Err(format!("step must be positive, got {step}"));
+        }
+        if rows.len() < 2 {
+            return Err("a trace needs at least two samples".to_owned());
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            if row.iter().any(|u| !(0.0..=1.0).contains(u)) || sum > 1.0 + 1e-9 {
+                return Err(format!("sample {i} is not a valid utilization row: {row:?}"));
+            }
+        }
+        Ok(Self { step, rows })
+    }
+
+    /// Parses the CSV format written by [`RecordedTrace::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] pointing at the first malformed line.
+    pub fn from_csv_str(csv: &str) -> Result<Self, ParseTraceError> {
+        let mut rows = Vec::new();
+        let mut hours = Vec::new();
+        for (idx, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("hour") {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            if fields.len() != 6 {
+                return Err(ParseTraceError {
+                    line: idx + 1,
+                    reason: format!("expected 6 comma-separated fields, got {}", fields.len()),
+                });
+            }
+            let parse = |s: &str| -> Result<f64, ParseTraceError> {
+                s.parse().map_err(|_| ParseTraceError {
+                    line: idx + 1,
+                    reason: format!("not a number: {s:?}"),
+                })
+            };
+            hours.push(parse(fields[0])?);
+            let mut row = [0.0; 5];
+            for (k, field) in fields[1..].iter().enumerate() {
+                row[k] = parse(field)?;
+            }
+            rows.push(row);
+        }
+        if hours.len() < 2 {
+            return Err(ParseTraceError {
+                line: 0,
+                reason: "a trace needs at least two samples".to_owned(),
+            });
+        }
+        let step_h = hours[1] - hours[0];
+        for (i, pair) in hours.windows(2).enumerate() {
+            // Tolerate the rounding of serialized hour stamps (≤3.6 s).
+            if (pair[1] - pair[0] - step_h).abs() > 1e-3 {
+                return Err(ParseTraceError {
+                    line: i + 2,
+                    reason: "samples must be evenly spaced".to_owned(),
+                });
+            }
+        }
+        Self::from_samples(Minutes::new(step_h * 60.0), rows)
+            .map_err(|reason| ParseTraceError { line: 0, reason })
+    }
+
+    /// Serializes to the CSV format accepted by
+    /// [`RecordedTrace::from_csv_str`].
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("hour,websearch,datacaching,videoencoding,virusscan,clustering\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let hour = i as f64 * self.step.get() / 60.0;
+            out.push_str(&format!(
+                "{:.4},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                hour, row[0], row[1], row[2], row[3], row[4]
+            ));
+        }
+        out
+    }
+
+    /// Samples another trace into a recorded one (e.g. to snapshot the
+    /// synthetic generator for external tooling).
+    pub fn sample_from(trace: &dyn LoadTrace, step: Minutes) -> Self {
+        let samples = (trace.horizon().to_minutes().get() / step.get()).ceil() as usize + 1;
+        let rows = (0..samples)
+            .map(|i| {
+                let t = Hours::new(i as f64 * step.get() / 60.0);
+                let mut row = [0.0; 5];
+                for kind in WorkloadKind::ALL {
+                    row[kind.index()] = trace.utilization(kind, t).get();
+                }
+                row
+            })
+            .collect();
+        Self::from_samples(step, rows).expect("sampled rows are valid")
+    }
+
+    /// Sampling interval.
+    pub fn step(&self) -> Minutes {
+        self.step
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the trace holds no samples (unreachable for validated
+    /// traces, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl LoadTrace for RecordedTrace {
+    fn utilization(&self, kind: WorkloadKind, t: Hours) -> Fraction {
+        let pos = (t.get() * 60.0 / self.step.get()).max(0.0);
+        let i = (pos.floor() as usize).min(self.rows.len() - 1);
+        let j = (i + 1).min(self.rows.len() - 1);
+        let frac = pos - pos.floor();
+        let k = kind.index();
+        let u = self.rows[i][k] * (1.0 - frac) + self.rows[j][k] * frac;
+        Fraction::saturating(u)
+    }
+
+    fn horizon(&self) -> Hours {
+        Hours::new((self.rows.len() - 1) as f64 * self.step.get() / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiurnalTrace, TraceConfig};
+
+    fn two_row() -> RecordedTrace {
+        RecordedTrace::from_samples(
+            Minutes::new(60.0),
+            vec![[0.1, 0.2, 0.0, 0.0, 0.0], [0.3, 0.4, 0.0, 0.0, 0.0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let t = two_row();
+        let u = t.utilization(WorkloadKind::WebSearch, Hours::new(0.5));
+        assert!((u.get() - 0.2).abs() < 1e-12);
+        // Clamps past the end.
+        let u = t.utilization(WorkloadKind::DataCaching, Hours::new(5.0));
+        assert!((u.get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = two_row();
+        let parsed = RecordedTrace::from_csv_str(&t.to_csv()).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        for h in [0.0, 0.25, 0.5, 1.0] {
+            for kind in WorkloadKind::ALL {
+                let a = t.utilization(kind, Hours::new(h)).get();
+                let b = parsed.utilization(kind, Hours::new(h)).get();
+                assert!((a - b).abs() < 1e-5, "{kind} at {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_the_synthetic_trace_replays_faithfully() {
+        let synthetic = DiurnalTrace::new(TraceConfig::paper_default());
+        let recorded = RecordedTrace::sample_from(&synthetic, Minutes::new(5.0));
+        assert_eq!(recorded.horizon(), synthetic.horizon());
+        for h in [0.0, 7.9, 16.3, 20.0, 33.4, 47.0] {
+            let a = synthetic.total_utilization(Hours::new(h)).get();
+            let b: f64 = WorkloadKind::ALL
+                .iter()
+                .map(|&k| recorded.utilization(k, Hours::new(h)).get())
+                .sum();
+            assert!((a - b).abs() < 0.01, "hour {h}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(RecordedTrace::from_samples(Minutes::new(0.0), vec![[0.0; 5]; 2]).is_err());
+        assert!(RecordedTrace::from_samples(Minutes::new(1.0), vec![[0.0; 5]]).is_err());
+        assert!(
+            RecordedTrace::from_samples(Minutes::new(1.0), vec![[0.5; 5], [0.0; 5]]).is_err(),
+            "row summing to 2.5 must be rejected"
+        );
+        let err = RecordedTrace::from_csv_str("hour,a,b,c,d,e\n0.0,1,2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = RecordedTrace::from_csv_str("0.0,0.1,0.1,0.1,0.1,x\n0.5,0,0,0,0,0\n").unwrap_err();
+        assert!(err.reason.contains("not a number"));
+    }
+
+    #[test]
+    fn uneven_spacing_rejected() {
+        let csv = "0.0,0,0,0,0,0\n1.0,0,0,0,0,0\n3.0,0,0,0,0,0\n";
+        let err = RecordedTrace::from_csv_str(csv).unwrap_err();
+        assert!(err.reason.contains("evenly spaced"));
+    }
+}

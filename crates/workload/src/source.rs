@@ -1,0 +1,75 @@
+//! The trace-source abstraction.
+
+use crate::WorkloadKind;
+use vmt_units::{Fraction, Hours};
+
+/// A source of per-workload cluster utilization over time.
+///
+/// The simulator asks a trace two questions: how long is it, and what
+/// fraction of the cluster's cores should workload `k` occupy at time
+/// `t`. The synthetic [`DiurnalTrace`](crate::DiurnalTrace) and the
+/// replayed [`RecordedTrace`](crate::RecordedTrace) both implement this;
+/// downstream users can drive the simulator with their own sources
+/// (live feeds, other generators) by implementing it too.
+pub trait LoadTrace: core::fmt::Debug + Send {
+    /// Utilization contributed by one workload at time `t` (fraction of
+    /// total cluster cores occupied by that workload).
+    fn utilization(&self, kind: WorkloadKind, t: Hours) -> Fraction;
+
+    /// Trace length.
+    fn horizon(&self) -> Hours;
+
+    /// Target number of occupied cores for `kind` at `t` in a cluster
+    /// with `total_cores` cores.
+    fn target_cores(&self, kind: WorkloadKind, t: Hours, total_cores: usize) -> usize {
+        (self.utilization(kind, t).get() * total_cores as f64).round() as usize
+    }
+}
+
+impl LoadTrace for crate::DiurnalTrace {
+    fn utilization(&self, kind: WorkloadKind, t: Hours) -> Fraction {
+        crate::DiurnalTrace::utilization(self, kind, t)
+    }
+
+    fn horizon(&self) -> Hours {
+        crate::DiurnalTrace::horizon(self)
+    }
+}
+
+impl From<crate::DiurnalTrace> for Box<dyn LoadTrace> {
+    fn from(trace: crate::DiurnalTrace) -> Self {
+        Box::new(trace)
+    }
+}
+
+impl From<crate::RecordedTrace> for Box<dyn LoadTrace> {
+    fn from(trace: crate::RecordedTrace) -> Self {
+        Box::new(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiurnalTrace, TraceConfig};
+
+    #[test]
+    fn trait_and_inherent_methods_agree() {
+        let trace = DiurnalTrace::new(TraceConfig::paper_default());
+        let boxed: Box<dyn LoadTrace> = trace.clone().into();
+        for h in [0.0, 12.5, 20.0, 40.0] {
+            let t = Hours::new(h);
+            assert_eq!(boxed.horizon(), trace.horizon());
+            for kind in WorkloadKind::ALL {
+                assert_eq!(
+                    boxed.utilization(kind, t),
+                    DiurnalTrace::utilization(&trace, kind, t)
+                );
+                assert_eq!(
+                    boxed.target_cores(kind, t, 3200),
+                    trace.target_cores(kind, t, 3200)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The two-day diurnal load trace.
+//!
+//! The paper drives its evaluation with a two-day Google production trace
+//! (its reference \[46\]), normalized following Kontorinis et al. That
+//! trace is not public, so this module generates a parametric equivalent
+//! with the properties the evaluation actually depends on (see
+//! `DESIGN.md` §4): a diurnal double-peak reaching 95% utilization
+//! ("atypically high, worst case for the cooling system"), deep overnight
+//! troughs, the ≈60/40 hot/cold workload split, and small short-period
+//! fluctuations. All randomness is seeded and evaluated functionally
+//! (deterministic sinusoidal noise), so any `(config, t)` pair always
+//! yields the same load.
+
+use crate::{WorkloadKind, WorkloadMix};
+use vmt_units::{Fraction, Hours};
+
+/// Configuration of the synthetic diurnal trace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceConfig {
+    /// Trace length.
+    pub horizon: Hours,
+    /// Utilization at the diurnal peak.
+    pub peak_utilization: Fraction,
+    /// Utilization at the overnight trough.
+    pub trough_utilization: Fraction,
+    /// Hour-of-day at which load peaks (the paper's peaks sit around
+    /// hour 20 of each day).
+    pub peak_hour: f64,
+    /// Exponent sharpening the peak: 1 is a plain raised cosine; larger
+    /// values narrow the top of the peak (production diurnal curves have
+    /// narrower tops than a sine).
+    pub peak_sharpness: f64,
+    /// Width of the flat top of the peak, in hours. Production diurnal
+    /// curves hold near their maximum for a few hours (users stay online
+    /// through the evening); the cosine is rescaled so the envelope
+    /// saturates at the peak level across this window.
+    pub plateau_hours: f64,
+    /// Per-day amplitude scaling, cycled over days (day-to-day load
+    /// variation).
+    pub day_scale: Vec<f64>,
+    /// Relative amplitude of short-period load fluctuation per workload.
+    pub noise_amplitude: f64,
+    /// Seed for the (deterministic) fluctuation phases.
+    pub seed: u64,
+    /// How core-load is split across workloads.
+    pub mix: WorkloadMix,
+    /// Optional secondary intra-day load bump (e.g. a morning batch
+    /// window before the evening peak) — the scenario in which
+    /// *preserving* wax for the later, hotter peak matters.
+    pub second_peak: Option<SecondPeak>,
+}
+
+/// A secondary intra-day load bump added to the envelope.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SecondPeak {
+    /// Hour-of-day of the bump's center.
+    pub hour: f64,
+    /// Utilization at the bump's top (fraction of cluster cores).
+    pub utilization: f64,
+    /// Half-width of the bump in hours.
+    pub width_hours: f64,
+}
+
+impl TraceConfig {
+    /// The paper's evaluation trace: 48 h, 95% peak, 35% trough, peak at
+    /// hour 20, day-two peak slightly lower.
+    pub fn paper_default() -> Self {
+        Self {
+            horizon: Hours::new(48.0),
+            peak_utilization: Fraction::saturating(0.95),
+            trough_utilization: Fraction::saturating(0.35),
+            peak_hour: 20.0,
+            peak_sharpness: 4.5,
+            plateau_hours: 3.0,
+            day_scale: vec![1.0, 0.98],
+            noise_amplitude: 0.015,
+            seed: 0x5CA1_AB1E,
+            mix: WorkloadMix::paper_default(),
+            second_peak: None,
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A generated two-day diurnal trace.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_workload::{DiurnalTrace, TraceConfig, WorkloadKind};
+/// use vmt_units::Hours;
+///
+/// let trace = DiurnalTrace::new(TraceConfig::paper_default());
+/// let u = trace.utilization(WorkloadKind::WebSearch, Hours::new(20.0));
+/// // WebSearch holds 25% of a ~95% peak.
+/// assert!((u.get() - 0.95 * 0.25).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiurnalTrace {
+    config: TraceConfig,
+    /// Per-workload fluctuation phases (radians), derived from the seed.
+    phases: [f64; 5],
+    /// Per-workload fluctuation periods (hours), derived from the seed.
+    periods: [f64; 5],
+}
+
+impl DiurnalTrace {
+    /// Builds the trace from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (empty `day_scale`,
+    /// trough above peak, or non-positive sharpness/horizon).
+    pub fn new(config: TraceConfig) -> Self {
+        assert!(!config.day_scale.is_empty(), "day_scale must not be empty");
+        assert!(
+            config.trough_utilization <= config.peak_utilization,
+            "trough must not exceed peak"
+        );
+        assert!(config.peak_sharpness > 0.0, "sharpness must be positive");
+        assert!(
+            (0.0..24.0).contains(&config.plateau_hours),
+            "plateau must be in [0, 24) hours"
+        );
+        assert!(config.horizon.get() > 0.0, "horizon must be positive");
+        // Cheap seeded hash → per-workload phases/periods. splitmix64.
+        let mut state = config.seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut phases = [0.0; 5];
+        let mut periods = [0.0; 5];
+        for i in 0..5 {
+            phases[i] = (next() % 10_000) as f64 / 10_000.0 * std::f64::consts::TAU;
+            // Fluctuation periods between 1.5 and 3.5 hours.
+            periods[i] = 1.5 + (next() % 10_000) as f64 / 10_000.0 * 2.0;
+        }
+        Self {
+            config,
+            phases,
+            periods,
+        }
+    }
+
+    /// The trace configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Trace length.
+    pub fn horizon(&self) -> Hours {
+        self.config.horizon
+    }
+
+    /// The smooth diurnal envelope (before noise), as a fraction of total
+    /// cluster cores.
+    pub fn envelope(&self, t: Hours) -> Fraction {
+        let h = t.get();
+        let day = (h / 24.0).floor() as usize;
+        let scale = self.config.day_scale[day % self.config.day_scale.len()];
+        let phase = std::f64::consts::TAU * (h - self.config.peak_hour) / 24.0;
+        let s = (0.5 * (1.0 + phase.cos())).powf(self.config.peak_sharpness);
+        // Rescale so the envelope saturates at 1 across the plateau.
+        let edge_phase = std::f64::consts::PI * self.config.plateau_hours / 24.0;
+        let edge = (0.5 * (1.0 + edge_phase.cos())).powf(self.config.peak_sharpness);
+        let s = (s / edge).min(1.0);
+        let lo = self.config.trough_utilization.get();
+        let hi = self.config.peak_utilization.get() * scale;
+        let mut u = lo + (hi - lo).max(0.0) * s;
+        if let Some(bump) = self.config.second_peak {
+            let hour_of_day = h.rem_euclid(24.0);
+            let offset = (hour_of_day - bump.hour).abs();
+            if offset < bump.width_hours {
+                // Raised-cosine bump; the envelope takes the larger of
+                // the diurnal curve and the bump.
+                let shape = 0.5
+                    * (1.0 + (core::f64::consts::PI * offset / bump.width_hours).cos());
+                u = u.max(lo + (bump.utilization - lo).max(0.0) * shape);
+            }
+        }
+        Fraction::saturating(u)
+    }
+
+    /// Utilization contributed by one workload at time `t` (fraction of
+    /// total cluster cores occupied by that workload).
+    pub fn utilization(&self, kind: WorkloadKind, t: Hours) -> Fraction {
+        let base = self.envelope(t).get() * self.config.mix.share(kind);
+        let i = kind.index();
+        let noise = 1.0
+            + self.config.noise_amplitude
+                * (std::f64::consts::TAU * t.get() / self.periods[i] + self.phases[i]).sin();
+        Fraction::saturating(base * noise)
+    }
+
+    /// Total cluster utilization at time `t` (sum over workloads).
+    pub fn total_utilization(&self, t: Hours) -> Fraction {
+        Fraction::saturating(
+            WorkloadKind::ALL
+                .iter()
+                .map(|&k| self.utilization(k, t).get())
+                .sum(),
+        )
+    }
+
+    /// Target number of occupied cores for `kind` at `t` in a cluster
+    /// with `total_cores` cores.
+    pub fn target_cores(&self, kind: WorkloadKind, t: Hours, total_cores: usize) -> usize {
+        (self.utilization(kind, t).get() * total_cores as f64).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn trace() -> DiurnalTrace {
+        DiurnalTrace::new(TraceConfig::paper_default())
+    }
+
+    #[test]
+    fn peak_and_trough_levels() {
+        let t = trace();
+        let peak = t.total_utilization(Hours::new(20.0));
+        assert!((peak.get() - 0.95).abs() < 0.03, "peak {peak}");
+        let trough = t.total_utilization(Hours::new(8.0));
+        assert!((trough.get() - 0.35).abs() < 0.03, "trough {trough}");
+    }
+
+    #[test]
+    fn second_day_peak_is_scaled() {
+        let t = trace();
+        let peak1 = t.envelope(Hours::new(20.0));
+        let peak2 = t.envelope(Hours::new(44.0));
+        assert!(peak2 < peak1);
+        assert!((peak2.get() / peak1.get() - 0.98 / 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn peak_is_at_configured_hour() {
+        let t = trace();
+        let at_peak = t.envelope(Hours::new(20.0)).get();
+        for h in [16.0, 18.0, 22.0, 24.0] {
+            assert!(t.envelope(Hours::new(h)).get() <= at_peak, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn shares_respected_at_peak() {
+        let t = trace();
+        let total = t.total_utilization(Hours::new(20.0)).get();
+        let search = t.utilization(WorkloadKind::WebSearch, Hours::new(20.0)).get();
+        assert!((search / total - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = trace();
+        let b = trace();
+        for i in 0..100 {
+            let t = Hours::new(i as f64 * 0.48);
+            assert_eq!(a.total_utilization(t), b.total_utilization(t));
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_noise_only_slightly() {
+        let mut cfg = TraceConfig::paper_default();
+        cfg.seed = 999;
+        let a = trace();
+        let b = DiurnalTrace::new(cfg);
+        let t = Hours::new(20.0);
+        let diff = (a.total_utilization(t).get() - b.total_utilization(t).get()).abs();
+        assert!(diff < 2.0 * 0.015 + 1e-6, "noise-level difference, got {diff}");
+    }
+
+    #[test]
+    fn target_cores_scales() {
+        let t = trace();
+        let cores = t.target_cores(WorkloadKind::DataCaching, Hours::new(20.0), 3200);
+        // 30% share of ~95% of 3200 cores ≈ 912.
+        assert!((cores as f64 - 912.0).abs() < 60.0, "cores {cores}");
+    }
+
+    #[test]
+    #[should_panic(expected = "day_scale must not be empty")]
+    fn empty_day_scale_rejected() {
+        let mut cfg = TraceConfig::paper_default();
+        cfg.day_scale.clear();
+        DiurnalTrace::new(cfg);
+    }
+
+    proptest! {
+        /// Utilization is always a valid fraction everywhere on the trace.
+        #[test]
+        fn utilization_in_bounds(h in 0.0f64..48.0) {
+            let t = trace();
+            for kind in WorkloadKind::ALL {
+                let u = t.utilization(kind, Hours::new(h)).get();
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+            prop_assert!(t.total_utilization(Hours::new(h)).get() <= 1.0);
+        }
+
+        /// The envelope stays between trough and peak levels.
+        #[test]
+        fn envelope_bounded(h in 0.0f64..48.0) {
+            let t = trace();
+            let e = t.envelope(Hours::new(h)).get();
+            prop_assert!(e >= 0.35 - 1e-9);
+            prop_assert!(e <= 0.95 + 1e-9);
+        }
+    }
+}

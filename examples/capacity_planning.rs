@@ -1,0 +1,80 @@
+//! Capacity planning: translate a measured peak cooling-load reduction
+//! into datacenter-level decisions.
+//!
+//! Walks the paper's §V-E analysis: a planner measures VMT's reduction on
+//! one cluster, then asks what it buys for a 25 MW datacenter — a smaller
+//! cooling system, or more servers under the existing one — and what the
+//! wax itself costs.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use vmt::core::PolicyKind;
+use vmt::dcsim::{ClusterConfig, Simulation};
+use vmt::pcm::{PcmMaterial, ServerWaxConfig};
+use vmt::tco::{CoolingCostModel, OversubscriptionPlan, WaxDeployment};
+use vmt::units::{Celsius, Kilowatts, Watts};
+use vmt::workload::{DiurnalTrace, TraceConfig};
+
+fn main() {
+    // 1. Measure the reduction on a representative cluster.
+    let cluster = ClusterConfig::paper_default(100);
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let baseline = Simulation::new(
+        cluster.clone(),
+        trace.clone(),
+        PolicyKind::RoundRobin.build(&cluster),
+    )
+    .run();
+    let vmt = Simulation::new(
+        cluster.clone(),
+        trace,
+        PolicyKind::VmtTa { gv: 22.0 }.build(&cluster),
+    )
+    .run();
+    let reduction = vmt.compare_peak(&baseline).reduction();
+    println!("measured peak cooling-load reduction: {:.1}%\n", reduction * 100.0);
+
+    // 2. Scale to the paper's 25 MW datacenter of 500 W servers.
+    let plan = OversubscriptionPlan::new(
+        Kilowatts::new(25_000.0),
+        Watts::new(500.0),
+        reduction,
+    );
+    let costs = CoolingCostModel::paper_default();
+    println!("option A — install a smaller cooling system:");
+    println!(
+        "  {:.1} MW less cooling capacity → {} saved over the system's 10-year life",
+        plan.cooling_capacity_saved().get() / 1e3,
+        plan.cooling_savings(&costs).display_rounded()
+    );
+    println!("option B — add servers under the existing cooling system:");
+    println!(
+        "  +{:.1}% servers → {} more servers datacenter-wide ({} per 1,000-server cluster)\n",
+        plan.additional_server_fraction() * 100.0,
+        plan.additional_servers(),
+        plan.additional_servers_per_cluster(1000)
+    );
+
+    // 3. What the wax costs — and why the *virtual* melting temperature
+    //    matters: physically lowering the melt point needs n-paraffin.
+    let servers = plan.baseline_servers();
+    let commercial = WaxDeployment::new(
+        PcmMaterial::deployed_paraffin(),
+        ServerWaxConfig::default(),
+        servers,
+    );
+    let pure = WaxDeployment::new(
+        PcmMaterial::n_paraffin(Celsius::new(29.7)).expect("valid melt point"),
+        ServerWaxConfig::default(),
+        servers,
+    );
+    println!(
+        "wax bill of materials ({} t total):\n  commercial paraffin (35.7 °C): {}\n  \
+         n-paraffin (29.7 °C, the physical alternative to VMT): {}",
+        commercial.total_mass().to_tons().round(),
+        commercial.total_cost().display_rounded(),
+        pure.total_cost().display_rounded()
+    );
+}

@@ -1,0 +1,123 @@
+//! Daily operations: a self-tuning VMT deployment over a week.
+//!
+//! An operator does not know the optimal grouping value on day one, and
+//! the workload mix drifts. This example runs the [`AdaptiveGv`]
+//! controller — VMT-WA plus the paper's §V-C "change the GV each day"
+//! idea — over a seven-day trace with day-to-day load variation,
+//! starting from a deliberately bad guess, and prints its decision log.
+//!
+//! ```text
+//! cargo run --release --example daily_operations
+//! ```
+//!
+//! [`AdaptiveGv`]: vmt::core::AdaptiveGv
+
+use vmt::core::{AdaptiveGv, GroupingValue, PolicyKind, VmtConfig};
+use vmt::dcsim::{ClusterConfig, Scheduler, Simulation};
+use vmt::units::{Hours, Seconds};
+use vmt::workload::{DiurnalTrace, Job, TraceConfig};
+
+/// Wraps the controller so its decision history survives the run (the
+/// simulation consumes its scheduler).
+#[derive(Debug)]
+struct LoggingAdaptive {
+    inner: AdaptiveGv,
+    log: std::sync::Arc<std::sync::Mutex<Vec<(i64, f64)>>>,
+}
+
+impl Scheduler for LoggingAdaptive {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn on_tick(&mut self, servers: &[vmt::dcsim::Server], now: Seconds) {
+        self.inner.on_tick(servers, now);
+        *self.log.lock().expect("log lock") = self.inner.history().to_vec();
+    }
+    fn place(&mut self, job: &Job, servers: &[vmt::dcsim::Server]) -> Option<vmt::dcsim::ServerId> {
+        self.inner.place(job, servers)
+    }
+    fn hot_group_size(&self) -> Option<usize> {
+        self.inner.hot_group_size()
+    }
+}
+
+fn main() {
+    let cluster = ClusterConfig::paper_default(100);
+    let mut trace_cfg = TraceConfig::paper_default();
+    trace_cfg.horizon = Hours::new(7.0 * 24.0);
+    trace_cfg.day_scale = vec![1.0, 0.98, 1.01, 0.99, 1.0, 0.97, 1.0];
+    let trace = DiurnalTrace::new(trace_cfg);
+
+    let baseline = Simulation::new(
+        cluster.clone(),
+        trace.clone(),
+        PolicyKind::RoundRobin.build(&cluster),
+    )
+    .run();
+
+    // The operator guessed low: GV=20 (hot group too small and hot).
+    let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let controller = LoggingAdaptive {
+        inner: AdaptiveGv::new(
+            VmtConfig::new(GroupingValue::new(20.0), &cluster),
+            (14.0, 30.0),
+        ),
+        log: log.clone(),
+    };
+    let adaptive = Simulation::new(cluster.clone(), trace.clone(), Box::new(controller)).run();
+
+    let fixed_bad = Simulation::new(
+        cluster.clone(),
+        trace.clone(),
+        PolicyKind::vmt_wa(20.0).build(&cluster),
+    )
+    .run();
+    let fixed_good = Simulation::new(
+        cluster.clone(),
+        trace,
+        PolicyKind::vmt_wa(22.0).build(&cluster),
+    )
+    .run();
+
+    println!("controller decision log (day, GV):");
+    for (day, gv) in log.lock().expect("log lock").iter() {
+        println!("  day {day}: GV = {gv}");
+    }
+    println!("\nweek-long peak cooling-load reduction vs round robin:");
+    for (label, r) in [
+        ("fixed GV=20 (the bad guess)", &fixed_bad),
+        ("adaptive from GV=20", &adaptive),
+        ("fixed GV=22 (oracle tuning)", &fixed_good),
+    ] {
+        println!(
+            "  {:28} {:5.1}%",
+            label,
+            r.compare_peak(&baseline).reduction_percent()
+        );
+    }
+    // Day-by-day reductions show the trajectory the weekly peak hides.
+    println!("\nper-day peak reduction vs round robin:");
+    println!("  day    fixed GV=20    adaptive");
+    let day_peak = |r: &vmt::dcsim::SimulationResult, day: usize| -> f64 {
+        let from = day * 24 * 60;
+        let to = from + 24 * 60;
+        r.cooling.samples()[from..to]
+            .iter()
+            .map(|w| w.get())
+            .fold(0.0, f64::max)
+    };
+    for day in 0..7 {
+        let base = day_peak(&baseline, day);
+        println!(
+            "  {:3}    {:10.1}%    {:7.1}%",
+            day,
+            (1.0 - day_peak(&fixed_bad, day) / base) * 100.0,
+            (1.0 - day_peak(&adaptive, day) / base) * 100.0,
+        );
+    }
+    println!(
+        "\nthe controller walks toward the optimum within a few days; its weekly\n\
+         peak is set by the early mis-tuned days, so tune early or seed from a\n\
+         neighbor cluster's GV."
+    );
+}

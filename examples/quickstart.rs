@@ -1,0 +1,55 @@
+//! Quickstart: simulate a PCM-equipped cluster under VMT and measure the
+//! peak cooling-load reduction.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vmt::core::PolicyKind;
+use vmt::dcsim::{ClusterConfig, Simulation};
+use vmt::workload::{DiurnalTrace, TraceConfig};
+
+fn main() {
+    // A 100-server cluster with the paper's configuration: 32-core
+    // 100/500 W servers, each carrying 4.0 L of 35.7 °C paraffin wax.
+    let cluster = ClusterConfig::paper_default(100);
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+
+    println!("simulating two days of a 100-server cluster, three policies…\n");
+
+    let mut results = Vec::new();
+    for policy in [
+        PolicyKind::RoundRobin,
+        PolicyKind::CoolestFirst,
+        PolicyKind::VmtTa { gv: 22.0 },
+        PolicyKind::vmt_wa(22.0),
+    ] {
+        let sim = Simulation::new(cluster.clone(), trace.clone(), policy.build(&cluster));
+        let result = sim.run();
+        println!(
+            "{:14}  peak cooling {:6.1} kW   wax melted {:5.1}%   stored {:5.1} MJ",
+            result.scheduler_name,
+            result.peak_cooling().get() / 1e3,
+            result.max_melt_fraction() * 100.0,
+            result.max_stored_energy().to_megajoules(),
+        );
+        results.push(result);
+    }
+
+    let baseline = &results[0];
+    println!();
+    for result in &results[1..] {
+        let cmp = result.compare_peak(baseline);
+        println!(
+            "{:14}  peak cooling load reduction vs round robin: {:.1}%",
+            result.scheduler_name,
+            cmp.reduction_percent()
+        );
+    }
+    println!(
+        "\nThe baselines cannot melt wax (the cluster average stays below the\n\
+         35.7 °C melt line); VMT concentrates hot jobs to push a subset of\n\
+         servers past it, storing heat at the peak — the paper's headline\n\
+         ≈12.8% reduction at GV=22."
+    );
+}

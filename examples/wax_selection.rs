@@ -1,0 +1,76 @@
+//! Wax selection: which workload mixes does a PCM deployment help, and
+//! when is VMT required?
+//!
+//! Sweeps pairwise workload mixes (the paper's Figure 1) to show where
+//! passive TTS already works, where only VMT extracts value from the
+//! wax, and where no placement policy can melt it — then prices the
+//! alternatives.
+//!
+//! ```text
+//! cargo run --release --example wax_selection
+//! ```
+
+use vmt::experiments::fig1::{fig1, Region};
+use vmt::pcm::PcmMaterial;
+use vmt::units::Celsius;
+use vmt::workload::{ThermalClassifier, WorkloadKind};
+
+fn main() {
+    // 1. Classify the catalog: which workloads can melt wax on their own?
+    let classifier = ThermalClassifier::paper_default();
+    println!("workload thermal classes (filled-server steady temperature):");
+    for kind in WorkloadKind::ALL {
+        println!(
+            "  {:14} {:5.1}  → {}",
+            kind.name(),
+            classifier.filled_server_temperature(kind),
+            kind.vmt_class()
+        );
+    }
+    println!(
+        "  (wax melts at 35.7 °C; hot-class threshold ≈ {:.2}/core)\n",
+        classifier.hot_core_power_threshold()
+    );
+
+    // 2. Figure 1: region maps over pairwise mixes.
+    println!("mix region maps (ratio of the first-named workload):");
+    for panel in fig1() {
+        let band = |region: Region| -> String {
+            let ratios: Vec<f64> = panel
+                .points
+                .iter()
+                .filter(|p| p.region == region)
+                .map(|p| p.work_ratio_percent)
+                .collect();
+            match (ratios.first(), ratios.last()) {
+                (Some(lo), Some(hi)) => format!("{lo:.0}–{hi:.0}%"),
+                _ => "—".to_owned(),
+            }
+        };
+        println!(
+            "  {:12}-{:14} TTS works: {:9}  needs VMT: {:9}  neither: {:9}",
+            panel.pair.0.name(),
+            panel.pair.1.name(),
+            band(Region::VmtTts),
+            band(Region::NeedsVmt),
+            band(Region::Neither),
+        );
+    }
+
+    // 3. The procurement angle: the commercial floor is 35.7 °C; below
+    //    that, the physical options get expensive fast — VMT is a
+    //    placement-policy substitute for an exotic material.
+    println!("\nmaterial options for lowering the effective melting temperature:");
+    for target in [35.7, 33.7, 31.7, 29.7] {
+        let material = PcmMaterial::commercial_paraffin(Celsius::new(target))
+            .or_else(|_| PcmMaterial::n_paraffin(Celsius::new(target)))
+            .expect("within n-paraffin range");
+        println!(
+            "  melt {:4.1} °C: {:22} at {:>7}/ton",
+            target,
+            material.class().to_string(),
+            format!("${:.0}", material.cost_per_ton().get()),
+        );
+    }
+    println!("  …or keep the $1,000/ton wax and lower the melting point *virtually* with VMT.");
+}

@@ -1,0 +1,59 @@
+//! # vmt — Virtual Melting Temperature
+//!
+//! A full reproduction of *"Virtual Melting Temperature: Managing Server
+//! Load to Minimize Cooling Overhead with Phase Change Materials"*
+//! (Skach, Arora, Tullsen, Tang, Mars — ISCA 2018), built as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! * [`core`] — the paper's contribution: the VMT-TA and VMT-WA
+//!   placement algorithms plus the round-robin and coolest-first
+//!   baselines.
+//! * [`dcsim`] — the event-driven cluster simulator.
+//! * [`pcm`] — paraffin-wax phase-change models.
+//! * [`thermal`] — server air-path and cooling-load models.
+//! * [`power`] — linear server power models.
+//! * [`workload`] — the five-workload catalog, diurnal traces, QoS.
+//! * [`reliability`] — temperature-scaled failure models.
+//! * [`tco`] — cooling-system cost and oversubscription models.
+//! * [`experiments`] — regenerates every table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! Simulate two days of a wax-equipped cluster under VMT-TA and compare
+//! its peak cooling load against round robin:
+//!
+//! ```
+//! use vmt::core::{GroupingValue, PolicyKind, VmtConfig, VmtTa};
+//! use vmt::dcsim::{ClusterConfig, Simulation};
+//! use vmt::workload::{DiurnalTrace, TraceConfig};
+//!
+//! let cluster = ClusterConfig::paper_default(25);
+//! let trace = DiurnalTrace::new(TraceConfig::paper_default());
+//!
+//! let baseline = Simulation::new(
+//!     cluster.clone(),
+//!     trace.clone(),
+//!     PolicyKind::RoundRobin.build(&cluster),
+//! )
+//! .run();
+//! let vmt = Simulation::new(
+//!     cluster.clone(),
+//!     trace,
+//!     PolicyKind::VmtTa { gv: 22.0 }.build(&cluster),
+//! )
+//! .run();
+//!
+//! let reduction = vmt.compare_peak(&baseline).reduction_percent();
+//! assert!(reduction > 5.0, "VMT should shave the peak, got {reduction}%");
+//! ```
+
+pub use vmt_core as core;
+pub use vmt_dcsim as dcsim;
+pub use vmt_experiments as experiments;
+pub use vmt_pcm as pcm;
+pub use vmt_power as power;
+pub use vmt_reliability as reliability;
+pub use vmt_tco as tco;
+pub use vmt_thermal as thermal;
+pub use vmt_units as units;
+pub use vmt_workload as workload;
