@@ -1,0 +1,153 @@
+//! Engine throughput: optimized hot path vs the naive-scan baseline.
+//!
+//! Runs the paper's two-day diurnal scenario under each scheduler twice —
+//! once with the production implementation (incremental `ClusterIndex`,
+//! heap balancer, scan cursors, allocation-free tick loop) and once with
+//! the retained naive-scan references from `vmt_core::reference` — and
+//! reports ticks/second and jobs-placed/second for both, plus the
+//! speedup. Results land in `BENCH_engine.json` at the workspace root.
+//!
+//! The differential tests (`tests/differential.rs`) prove the two
+//! implementations produce bit-identical `SimulationResult`s, so this
+//! comparison is pure like-for-like throughput.
+//!
+//! Invocation:
+//! * `cargo bench -p vmt-bench --bench engine_baseline` — full
+//!   measurement (100 and 1000 servers, two days; the naive 1000-server
+//!   runs dominate, expect around a minute), rewrites the JSON.
+//! * `cargo bench -p vmt-bench --bench engine_baseline -- --smoke` — a
+//!   20-server sanity pass that exercises both paths without writing the
+//!   JSON (what CI runs).
+
+use std::time::Instant;
+use vmt_core::{
+    CoolestFirst, GroupingValue, NaiveCoolestFirst, NaiveVmtTa, NaiveVmtWa, VmtConfig, VmtTa, VmtWa,
+};
+use vmt_dcsim::{ClusterConfig, Scheduler, Simulation};
+use vmt_workload::{DiurnalTrace, TraceConfig};
+
+const SCHEDULERS: [&str; 3] = ["coolest-first", "vmt-ta", "vmt-wa"];
+
+#[derive(Debug, serde::Serialize)]
+struct Measurement {
+    scheduler: String,
+    implementation: String,
+    servers: usize,
+    ticks: usize,
+    elapsed_s: f64,
+    ticks_per_sec: f64,
+    placements: u64,
+    jobs_placed_per_sec: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Speedup {
+    scheduler: String,
+    servers: usize,
+    ticks_per_sec_indexed: f64,
+    ticks_per_sec_naive: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct Report {
+    description: String,
+    scenario: String,
+    measurements: Vec<Measurement>,
+    speedups: Vec<Speedup>,
+}
+
+fn scheduler_for(name: &str, cluster: &ClusterConfig, naive: bool) -> Box<dyn Scheduler> {
+    let vmt = VmtConfig::new(GroupingValue::new(22.0), cluster);
+    match (name, naive) {
+        ("coolest-first", false) => Box::new(CoolestFirst::new()),
+        ("coolest-first", true) => Box::new(NaiveCoolestFirst::new()),
+        ("vmt-ta", false) => Box::new(VmtTa::new(vmt)),
+        ("vmt-ta", true) => Box::new(NaiveVmtTa::new(vmt)),
+        ("vmt-wa", false) => Box::new(VmtWa::new(vmt)),
+        ("vmt-wa", true) => Box::new(NaiveVmtWa::new(vmt)),
+        _ => unreachable!("unknown scheduler {name}"),
+    }
+}
+
+fn measure(name: &str, servers: usize, naive: bool) -> Measurement {
+    let cluster = ClusterConfig::paper_default(servers);
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let ticks = cluster.ticks_for(trace.horizon());
+    let scheduler = scheduler_for(name, &cluster, naive);
+    let start = Instant::now();
+    let result = Simulation::new(cluster, trace, scheduler).run();
+    let elapsed = start.elapsed().as_secs_f64();
+    Measurement {
+        scheduler: name.to_string(),
+        implementation: if naive { "naive-scan" } else { "indexed" }.to_string(),
+        servers,
+        ticks,
+        elapsed_s: elapsed,
+        ticks_per_sec: ticks as f64 / elapsed,
+        placements: result.placements,
+        jobs_placed_per_sec: result.placements as f64 / elapsed,
+    }
+}
+
+fn main() {
+    // `cargo bench` hands harness=false targets a `--bench` argument;
+    // `-- --smoke` (used by CI) forces the quick pass anyway.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = !smoke
+        && (std::env::args().any(|a| a == "--bench")
+            || std::env::var("VMT_BENCH_FULL").is_ok_and(|v| v == "1"));
+    if !full {
+        // Smoke pass: prove both paths run; no JSON output.
+        for name in SCHEDULERS {
+            for naive in [false, true] {
+                let m = measure(name, 20, naive);
+                println!(
+                    "smoke {name} ({}): {:.0} ticks/s",
+                    m.implementation, m.ticks_per_sec
+                );
+            }
+        }
+        return;
+    }
+
+    let mut measurements = Vec::new();
+    let mut speedups = Vec::new();
+    for servers in [100usize, 1000] {
+        for name in SCHEDULERS {
+            let indexed = measure(name, servers, false);
+            let naive = measure(name, servers, true);
+            println!(
+                "{name} @ {servers}: indexed {:.0} ticks/s ({:.0} jobs/s), naive {:.0} ticks/s ({:.0} jobs/s) -> {:.2}x",
+                indexed.ticks_per_sec,
+                indexed.jobs_placed_per_sec,
+                naive.ticks_per_sec,
+                naive.jobs_placed_per_sec,
+                indexed.ticks_per_sec / naive.ticks_per_sec,
+            );
+            speedups.push(Speedup {
+                scheduler: name.to_string(),
+                servers,
+                ticks_per_sec_indexed: indexed.ticks_per_sec,
+                ticks_per_sec_naive: naive.ticks_per_sec,
+                speedup: indexed.ticks_per_sec / naive.ticks_per_sec,
+            });
+            measurements.push(indexed);
+            measurements.push(naive);
+        }
+    }
+    let report = Report {
+        description: "Simulation engine throughput: incremental-index hot path vs retained \
+                      naive-scan baseline (bit-identical results; see tests/differential.rs)"
+            .to_string(),
+        scenario: "ClusterConfig::paper_default, TraceConfig::paper_default (48 h diurnal trace, \
+                   one tick per simulated minute)"
+            .to_string(),
+        measurements,
+        speedups,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

@@ -20,7 +20,11 @@ fn table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_gv_to_vmt_mapping");
     group.sample_size(10);
     group.bench_function("20_servers", |b| {
-        b.iter(|| black_box(vmt_experiments::table2::table2_with_grid(20, 20.0, 30.0, 2.0)))
+        b.iter(|| {
+            black_box(vmt_experiments::table2::table2_with_grid(
+                20, 20.0, 30.0, 2.0,
+            ))
+        })
     });
     group.finish();
 }

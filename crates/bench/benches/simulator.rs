@@ -50,16 +50,20 @@ fn metrics_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics_stride");
     group.sample_size(10);
     for stride in [1usize, 5, 30] {
-        group.bench_with_input(BenchmarkId::from_parameter(stride), &stride, |b, &stride| {
-            b.iter(|| {
-                let mut cluster = ClusterConfig::paper_default(20);
-                cluster.heatmap_stride = stride;
-                let mut trace = TraceConfig::paper_default();
-                trace.horizon = Hours::new(12.0);
-                let sched = PolicyKind::RoundRobin.build(&cluster);
-                black_box(Simulation::new(cluster, DiurnalTrace::new(trace), sched).run())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let mut cluster = ClusterConfig::paper_default(20);
+                    cluster.heatmap_stride = stride;
+                    let mut trace = TraceConfig::paper_default();
+                    trace.horizon = Hours::new(12.0);
+                    let sched = PolicyKind::RoundRobin.build(&cluster);
+                    black_box(Simulation::new(cluster, DiurnalTrace::new(trace), sched).run())
+                })
+            },
+        );
     }
     group.finish();
 }

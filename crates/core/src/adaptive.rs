@@ -213,7 +213,10 @@ mod tests {
         DiurnalTrace::new(config)
     }
 
-    fn run_adaptive(start_gv: f64, servers: usize) -> (vmt_dcsim::SimulationResult, Vec<(i64, f64)>) {
+    fn run_adaptive(
+        start_gv: f64,
+        servers: usize,
+    ) -> (vmt_dcsim::SimulationResult, Vec<(i64, f64)>) {
         // The history lives inside the scheduler, which the simulation
         // consumes; track it through a probe wrapper.
         #[derive(Debug)]

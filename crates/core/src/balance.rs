@@ -2,7 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use vmt_dcsim::Server;
+use vmt_dcsim::{ClusterIndex, Server};
 
 /// Balances placements across a set of servers by *projected
 /// steady-state temperature*.
@@ -52,7 +52,7 @@ const CORE_PENALTY_K: f64 = 0.05;
 const STATIC_BIAS_K: f64 = 0.4;
 
 /// Deterministic per-server bias in `[-STATIC_BIAS_K, +STATIC_BIAS_K]`.
-fn static_bias(idx: usize) -> f64 {
+pub(crate) fn static_bias(idx: usize) -> f64 {
     // splitmix64 of the index → uniform in [0,1).
     let mut z = (idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -63,13 +63,44 @@ fn static_bias(idx: usize) -> f64 {
 
 /// Orders f64 values as u64 keys (standard sign-flip trick; total order
 /// for all non-NaN values).
-fn order_bits(value: f64) -> u64 {
+pub(crate) fn order_bits(value: f64) -> u64 {
     let bits = value.to_bits();
     if value >= 0.0 {
         bits | 0x8000_0000_0000_0000
     } else {
         !bits
     }
+}
+
+/// Inverse of the air stream's capacity rate (K/W), taken from the first
+/// server — the fleet is homogeneous in the paper's configuration.
+pub(crate) fn kelvin_per_watt(servers: &[Server]) -> f64 {
+    1.0 / servers
+        .first()
+        .map(|s| s.air().capacity_rate().get())
+        .unwrap_or(1.0)
+}
+
+/// The balancing key a member starts the tick with: projected
+/// steady-state temperature plus occupancy penalty, anti-synchronization
+/// bias, and any caller-supplied extra bias.
+///
+/// Shared between [`ThermalBalancer`] and the naive-scan reference
+/// schedulers (`crate::reference`) so both compute byte-identical keys —
+/// the differential tests compare full `SimulationResult`s, so even a
+/// one-ULP divergence from reassociated arithmetic would show up.
+pub(crate) fn fresh_key(idx: usize, extra: f64, kpw: f64, server: &Server) -> f64 {
+    server.inlet().get()
+        + server.power().get() * kpw
+        + f64::from(server.used_cores()) * CORE_PENALTY_K
+        + static_bias(idx)
+        + extra
+}
+
+/// Key increase from placing one job drawing `core_power_w` — shared with
+/// the naive references for the same reason as [`fresh_key`].
+pub(crate) fn bump(core_power_w: f64, kpw: f64) -> f64 {
+    core_power_w * kpw + CORE_PENALTY_K
 }
 
 impl ThermalBalancer {
@@ -96,11 +127,7 @@ impl ThermalBalancer {
         if self.projected.len() != servers.len() {
             self.projected = vec![0.0; servers.len()];
         }
-        self.kelvin_per_watt = 1.0
-            / servers
-                .first()
-                .map(|s| s.air().capacity_rate().get())
-                .unwrap_or(1.0);
+        self.kelvin_per_watt = kelvin_per_watt(servers);
         self.heap.clear();
         for (idx, extra) in members {
             self.insert(idx, extra, servers);
@@ -114,11 +141,7 @@ impl ThermalBalancer {
 
     fn insert(&mut self, idx: usize, extra: f64, servers: &[Server]) {
         let s = &servers[idx];
-        self.projected[idx] = s.inlet().get()
-            + s.power().get() * self.kelvin_per_watt
-            + f64::from(s.used_cores()) * CORE_PENALTY_K
-            + static_bias(idx)
-            + extra;
+        self.projected[idx] = fresh_key(idx, extra, self.kelvin_per_watt, s);
         if s.free_cores() > 0 {
             self.heap
                 .push(Reverse((order_bits(self.projected[idx]), idx)));
@@ -127,20 +150,24 @@ impl ThermalBalancer {
 
     /// Places one job drawing `core_power_w` on the coolest-projected
     /// member with a free core, or returns `None` when every member is
-    /// full.
-    pub fn place(&mut self, servers: &[Server], core_power_w: f64) -> Option<usize> {
+    /// full. `free` reports a member's currently free cores; the popped
+    /// winner is the member minimizing `(key, idx)` among those with
+    /// `free > 0`, because stale heap entries always carry a key strictly
+    /// below their member's current key (bumps are positive) and are
+    /// skipped on pop.
+    fn place_by(&mut self, free: impl Fn(usize) -> u32, core_power_w: f64) -> Option<usize> {
         while let Some(Reverse((key, idx))) = self.heap.pop() {
             // Skip entries whose projection moved since they were pushed.
             if key != order_bits(self.projected[idx]) {
                 continue;
             }
-            if servers[idx].free_cores() == 0 {
+            if free(idx) == 0 {
                 continue;
             }
-            self.projected[idx] += core_power_w * self.kelvin_per_watt + CORE_PENALTY_K;
+            self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
             // One core is consumed by this placement; re-enter only if
             // capacity remains afterwards.
-            if servers[idx].free_cores() > 1 {
+            if free(idx) > 1 {
                 self.heap
                     .push(Reverse((order_bits(self.projected[idx]), idx)));
             }
@@ -149,15 +176,44 @@ impl ThermalBalancer {
         None
     }
 
+    /// [`ThermalBalancer::place_by`] reading free cores from the server
+    /// slice.
+    pub fn place(&mut self, servers: &[Server], core_power_w: f64) -> Option<usize> {
+        self.place_by(|idx| servers[idx].free_cores(), core_power_w)
+    }
+
+    /// [`ThermalBalancer::place_by`] reading free cores from the engine's
+    /// [`ClusterIndex`] — a flat array probe instead of chasing through
+    /// `Server`'s substructures, for the indexed scheduler fast path.
+    pub fn place_indexed(&mut self, index: &ClusterIndex, core_power_w: f64) -> Option<usize> {
+        let free = index.free_cores();
+        self.place_by(|idx| free[idx], core_power_w)
+    }
+
     /// Accounts for a placement made *outside* the balancer (e.g.
     /// VMT-WA's keep-warm priority path), so the member's projection
     /// stays truthful for subsequent balanced placements.
     pub fn account_external(&mut self, idx: usize, core_power_w: f64, servers: &[Server]) {
+        self.account_external_by(idx, core_power_w, servers[idx].free_cores());
+    }
+
+    /// [`ThermalBalancer::account_external`] with free cores read from the
+    /// engine's [`ClusterIndex`].
+    pub fn account_external_indexed(
+        &mut self,
+        idx: usize,
+        core_power_w: f64,
+        index: &ClusterIndex,
+    ) {
+        self.account_external_by(idx, core_power_w, index.free_cores()[idx]);
+    }
+
+    fn account_external_by(&mut self, idx: usize, core_power_w: f64, free: u32) {
         if idx >= self.projected.len() {
             return;
         }
-        self.projected[idx] += core_power_w * self.kelvin_per_watt + CORE_PENALTY_K;
-        if servers[idx].free_cores() > 1 {
+        self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
+        if free > 1 {
             self.heap
                 .push(Reverse((order_bits(self.projected[idx]), idx)));
         }
@@ -212,7 +268,11 @@ mod tests {
         // Server 0 breathes hotter air; the balancer compensates with
         // fewer jobs.
         let list = servers(2, InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 3));
-        let hot_idx = if list[0].inlet() > list[1].inlet() { 0 } else { 1 };
+        let hot_idx = if list[0].inlet() > list[1].inlet() {
+            0
+        } else {
+            1
+        };
         let mut b = ThermalBalancer::new();
         b.rebuild(0..2, &list);
         let mut counts = [0usize; 2];
@@ -240,7 +300,11 @@ mod tests {
     fn full_members_are_skipped_until_exhausted() {
         let mut list = servers(1, InletModel::uniform(Celsius::new(22.0)));
         for i in 0..31 {
-            list[0].start_job(&Job::new(JobId(i), WorkloadKind::VirusScan, Seconds::new(60.0)));
+            list[0].start_job(&Job::new(
+                JobId(i),
+                WorkloadKind::VirusScan,
+                Seconds::new(60.0),
+            ));
         }
         let mut b = ThermalBalancer::new();
         b.rebuild(0..1, &list);

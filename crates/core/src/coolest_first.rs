@@ -1,7 +1,7 @@
 //! The coolest-first baseline: a thermal-aware load *balancer*.
 
 use crate::balance::ThermalBalancer;
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{ClusterIndex, Scheduler, Server, ServerId};
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -47,6 +47,25 @@ impl Scheduler for CoolestFirst {
             .place(servers, job.core_power().get())
             .map(ServerId)
     }
+
+    fn place_indexed(
+        &mut self,
+        job: &Job,
+        servers: &[Server],
+        index: &ClusterIndex,
+    ) -> Option<ServerId> {
+        if !self.initialized {
+            self.balancer.rebuild(0..servers.len(), servers);
+            self.initialized = true;
+        }
+        // The balancer's heap is the ordered index: it persists across
+        // ticks (buffers recycled by `rebuild`) and placements pop/push
+        // it in O(log n) with free cores probed from the flat
+        // `ClusterIndex` array rather than the server structs.
+        self.balancer
+            .place_indexed(index, job.core_power().get())
+            .map(ServerId)
+    }
 }
 
 #[cfg(test)]
@@ -57,7 +76,9 @@ mod tests {
 
     fn servers(n: usize) -> Vec<Server> {
         let config = ClusterConfig::paper_default(n);
-        (0..n).map(|i| Server::from_config(ServerId(i), &config)).collect()
+        (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect()
     }
 
     fn job(id: u64, kind: WorkloadKind) -> Job {

@@ -52,6 +52,7 @@ mod balance;
 mod coolest_first;
 mod grouping;
 mod policy;
+mod reference;
 mod round_robin;
 mod vmt_preserve;
 mod vmt_ta;
@@ -62,6 +63,7 @@ pub use balance::ThermalBalancer;
 pub use coolest_first::CoolestFirst;
 pub use grouping::{GroupingValue, VmtConfig};
 pub use policy::PolicyKind;
+pub use reference::{NaiveBalancer, NaiveCoolestFirst, NaiveVmtTa, NaiveVmtWa};
 pub use round_robin::RoundRobin;
 pub use vmt_preserve::VmtPreserve;
 pub use vmt_ta::VmtTa;

@@ -49,7 +49,9 @@ mod tests {
 
     fn servers(n: usize) -> Vec<Server> {
         let config = ClusterConfig::paper_default(n);
-        (0..n).map(|i| Server::from_config(ServerId(i), &config)).collect()
+        (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect()
     }
 
     fn job(id: u64) -> Job {

@@ -163,7 +163,12 @@ mod tests {
     }
 
     fn run(policy: Box<dyn Scheduler>, servers: usize) -> vmt_dcsim::SimulationResult {
-        Simulation::new(ClusterConfig::paper_default(servers), bumped_trace(), policy).run()
+        Simulation::new(
+            ClusterConfig::paper_default(servers),
+            bumped_trace(),
+            policy,
+        )
+        .run()
     }
 
     #[test]
@@ -204,7 +209,10 @@ mod tests {
         let late = |r: &vmt_dcsim::SimulationResult| -> f64 {
             let from = (20.5 * 60.0) as usize;
             let to = (21.5 * 60.0) as usize;
-            r.cooling.samples()[from..to].iter().map(|w| w.get()).sum::<f64>()
+            r.cooling.samples()[from..to]
+                .iter()
+                .map(|w| w.get())
+                .sum::<f64>()
                 / (to - from) as f64
         };
         let plain_late = late(&plain);

@@ -2,7 +2,7 @@
 
 use crate::balance::ThermalBalancer;
 use crate::grouping::VmtConfig;
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{ClusterIndex, Scheduler, Server, ServerId};
 use vmt_workload::{Job, VmtClass};
 
 /// VMT-TA: static hot/cold groups, hot jobs concentrated in the hot
@@ -93,6 +93,31 @@ impl Scheduler for VmtTa {
         idx.map(ServerId)
     }
 
+    fn place_indexed(
+        &mut self,
+        job: &Job,
+        servers: &[Server],
+        index: &ClusterIndex,
+    ) -> Option<ServerId> {
+        if !self.initialized {
+            self.refresh(servers);
+        }
+        let power = job.core_power().get();
+        // Same home-group-then-spill ladder as `place`, with free cores
+        // probed from the engine's flat index.
+        let idx = match job.kind().vmt_class() {
+            VmtClass::Hot => self
+                .hot
+                .place_indexed(index, power)
+                .or_else(|| self.cold.place_indexed(index, power)),
+            VmtClass::Cold => self
+                .cold
+                .place_indexed(index, power)
+                .or_else(|| self.hot.place_indexed(index, power)),
+        };
+        idx.map(ServerId)
+    }
+
     fn hot_group_size(&self) -> Option<usize> {
         Some(self.hot_size.max(1))
     }
@@ -131,7 +156,9 @@ mod tests {
         let (mut servers, mut ta) = setup(10, 22.0);
         let hot = ta.hot_group_size().unwrap();
         for i in 0..20 {
-            let sid = ta.place(&job(i, WorkloadKind::Clustering), &servers).unwrap();
+            let sid = ta
+                .place(&job(i, WorkloadKind::Clustering), &servers)
+                .unwrap();
             assert!(sid.0 < hot, "hot job landed on {sid}");
             servers[sid.0].start_job(&job(1000 + i, WorkloadKind::Clustering));
         }
@@ -150,7 +177,9 @@ mod tests {
         let hot = ta.hot_group_size().unwrap();
         let mut counts = vec![0usize; 10];
         for i in 0..(hot as u64 * 3) {
-            let sid = ta.place(&job(i, WorkloadKind::WebSearch), &servers).unwrap();
+            let sid = ta
+                .place(&job(i, WorkloadKind::WebSearch), &servers)
+                .unwrap();
             counts[sid.0] += 1;
             servers[sid.0].start_job(&job(5000 + i, WorkloadKind::WebSearch));
         }
@@ -174,8 +203,13 @@ mod tests {
         }
         // Rebuild so the balancer sees the filled hot group.
         ta.refresh(&servers);
-        let sid = ta.place(&job(9999, WorkloadKind::WebSearch), &servers).unwrap();
-        assert!(sid.0 >= hot, "expected spill into the cold group, got {sid}");
+        let sid = ta
+            .place(&job(9999, WorkloadKind::WebSearch), &servers)
+            .unwrap();
+        assert!(
+            sid.0 >= hot,
+            "expected spill into the cold group, got {sid}"
+        );
     }
 
     #[test]
@@ -187,7 +221,10 @@ mod tests {
             }
         }
         ta.refresh(&servers);
-        assert_eq!(ta.place(&job(9999, WorkloadKind::WebSearch), &servers), None);
+        assert_eq!(
+            ta.place(&job(9999, WorkloadKind::WebSearch), &servers),
+            None
+        );
     }
 
     #[test]
@@ -209,7 +246,9 @@ mod tests {
         let mut counts = vec![0usize; 6];
         let mut servers = servers;
         for i in 0..((hot * 8) as u64) {
-            let sid = ta.place(&job(i, WorkloadKind::WebSearch), &servers).unwrap();
+            let sid = ta
+                .place(&job(i, WorkloadKind::WebSearch), &servers)
+                .unwrap();
             counts[sid.0] += 1;
             servers[sid.0].start_job(&job(5000 + i, WorkloadKind::WebSearch));
         }

@@ -1,7 +1,7 @@
 //! VMT with wax-aware job placement (VMT-WA, paper §III-B).
 
 use crate::grouping::VmtConfig;
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{ClusterIndex, Scheduler, Server, ServerId};
 use vmt_units::{Celsius, Seconds};
 use vmt_workload::{Job, VmtClass};
 
@@ -9,11 +9,11 @@ use vmt_workload::{Job, VmtClass};
 /// as "warm enough": keep-warm placement tops a melted server up only
 /// until its projected steady-state temperature clears this line, so it
 /// receives "just enough load to keep the wax melted" and no more.
-const KEEP_WARM_MARGIN_K: f64 = 0.5;
+pub(crate) const KEEP_WARM_MARGIN_K: f64 = 0.5;
 
 /// Reported melt fraction below which a trailing hot-group server counts
 /// as refrozen and may be returned to the cold group (off-peak shrink).
-const REFREEZE_FRACTION: f64 = 0.05;
+pub(crate) const REFREEZE_FRACTION: f64 = 0.05;
 
 /// Cluster utilization above which the wax-aware machinery (keep-warm,
 /// saturation penalties, hot-group growth) engages. Measured at the
@@ -24,13 +24,13 @@ const REFREEZE_FRACTION: f64 = 0.05;
 /// edge instead, the correct reaction is none: behave exactly like
 /// VMT-TA and let thermal time shifting release the heat into the
 /// growing cooling headroom.
-const KEEP_WARM_MIN_UTILIZATION: f64 = 0.82;
+pub(crate) const KEEP_WARM_MIN_UTILIZATION: f64 = 0.82;
 
 /// Cluster utilization below which the hot group may shrink back toward
 /// its Equation-1 base. Deliberately below the keep-warm threshold so a
 /// dusk-time utilization wobble cannot dump dozens of still-warm servers
 /// back into the cold group while the load is still high.
-const SHRINK_MAX_UTILIZATION: f64 = 0.60;
+pub(crate) const SHRINK_MAX_UTILIZATION: f64 = 0.60;
 
 /// Optional aggressiveness knobs for [`VmtWa`]'s saturation reaction.
 ///
@@ -114,6 +114,19 @@ pub struct VmtWa {
     melted: Vec<bool>,
     /// Per-server "air below melt temperature" flags, refreshed per tick.
     below_melt: Vec<bool>,
+    /// Scratch for the hot balancer's `(member, bias)` list, recycled
+    /// across ticks so refresh allocates nothing in steady state.
+    members: Vec<(usize, f64)>,
+    /// Resume points for the fallback scans in `place_hot_indexed` /
+    /// `place_cold_indexed`, reset each tick. Within a tick free cores
+    /// only shrink and the wax flags are frozen, so once an index fails a
+    /// fallback predicate it fails it for the rest of the tick — each
+    /// scan can resume where the previous one stopped instead of
+    /// rescanning `0..hot_size` per job.
+    cursor_hot_unmelted: usize,
+    cursor_hot_any: usize,
+    cursor_cold_melted_warm: usize,
+    cursor_cold_any: usize,
 }
 
 impl VmtWa {
@@ -134,6 +147,11 @@ impl VmtWa {
             cold: crate::balance::ThermalBalancer::new(),
             melted: Vec::new(),
             below_melt: Vec::new(),
+            members: Vec::new(),
+            cursor_hot_unmelted: 0,
+            cursor_hot_any: 0,
+            cursor_cold_melted_warm: 0,
+            cursor_cold_any: 0,
         }
     }
 
@@ -155,13 +173,9 @@ impl VmtWa {
     }
 
     /// Refreshes per-tick state: wax flags, group shrink, placement
-    /// lists.
+    /// lists. Reads everything from the server slice — the reference
+    /// (index-free) path.
     fn refresh(&mut self, servers: &[Server]) {
-        let n = servers.len();
-        if self.base_hot == 0 {
-            self.base_hot = self.config.hot_group_size(n);
-            self.hot_size = self.base_hot;
-        }
         self.melted.clear();
         self.below_melt.clear();
         for s in servers {
@@ -169,20 +183,57 @@ impl VmtWa {
                 .push(s.reported_melt_fraction().get() >= self.config.wax_threshold);
             self.below_melt.push(s.air_at_wax() < self.config.pmt);
         }
-        // Keep-warm (and the no-shrink rule) only make sense near the
-        // peak: off-peak the wax is supposed to refreeze and release its
-        // heat into the cooling system's idle headroom.
         let used: u32 = servers.iter().map(Server::used_cores).sum();
         let total: u32 = servers.iter().map(Server::cores).sum();
         let utilization = f64::from(used) / f64::from(total);
+        self.refresh_groups(servers, utilization, None);
+    }
+
+    /// [`VmtWa::refresh`] with the wax flags and cluster utilization read
+    /// from the engine's [`ClusterIndex`]: two contiguous f64 slices and
+    /// an O(1) utilization, instead of an O(n·cores) core-count sum and a
+    /// pointer chase through every server's wax substructures. The values
+    /// are bit-identical to what the accessors would return, so both
+    /// refresh paths compute the same flags and groups.
+    fn refresh_indexed_impl(&mut self, servers: &[Server], index: &ClusterIndex) {
+        self.melted.clear();
+        self.below_melt.clear();
+        let pmt = self.config.pmt.get();
+        for (&melt, &air) in index.reported_melt().iter().zip(index.air_c()) {
+            self.melted.push(melt >= self.config.wax_threshold);
+            self.below_melt.push(air < pmt);
+        }
+        self.refresh_groups(servers, index.utilization(), Some(index));
+    }
+
+    /// Shared tail of the two refresh paths: shrink/grow the hot group,
+    /// rebuild the keep-warm list and both balancers, reset the fallback
+    /// cursors.
+    fn refresh_groups(
+        &mut self,
+        servers: &[Server],
+        utilization: f64,
+        index: Option<&ClusterIndex>,
+    ) {
+        let n = servers.len();
+        if self.base_hot == 0 {
+            self.base_hot = self.config.hot_group_size(n);
+            self.hot_size = self.base_hot;
+        }
+        // Keep-warm (and the no-shrink rule) only make sense near the
+        // peak: off-peak the wax is supposed to refreeze and release its
+        // heat into the cooling system's idle headroom.
         let near_peak = utilization >= KEEP_WARM_MIN_UTILIZATION;
         // Off-peak shrink: release trailing servers whose wax refroze.
         // Never during the peak — "we do not transition servers from the
         // hot group to the cold group during the peak".
         while utilization < SHRINK_MAX_UTILIZATION && self.hot_size > self.base_hot {
             let idx = self.hot_size - 1;
-            let refrozen = servers[idx].reported_melt_fraction().get() < REFREEZE_FRACTION
-                && self.below_melt[idx];
+            let report = match index {
+                Some(ix) => ix.reported_melt()[idx],
+                None => servers[idx].reported_melt_fraction().get(),
+            };
+            let refrozen = report < REFREEZE_FRACTION && self.below_melt[idx];
             if refrozen {
                 self.hot_size -= 1;
             } else {
@@ -200,7 +251,8 @@ impl VmtWa {
         }
         let warm_line = self.warm_line();
         self.keep_warm.clear();
-        let mut members = Vec::with_capacity(self.hot_size);
+        self.members.clear();
+        self.members.reserve(self.hot_size);
         #[allow(clippy::needless_range_loop)] // indices double as balancer keys
         for idx in 0..self.hot_size {
             if near_peak && self.melted[idx] {
@@ -209,16 +261,21 @@ impl VmtWa {
                 if self.tuning.keep_warm && Self::projected_temp(&servers[idx]) < warm_line {
                     self.keep_warm.push(idx);
                 }
-                members.push((idx, self.tuning.melted_penalty_k));
+                self.members.push((idx, self.tuning.melted_penalty_k));
             } else {
                 // Off-peak, melted servers take hot jobs like anyone else
                 // (VMT-TA behavior); the trough load is too light to keep
                 // them above the melt line, so the wax refreezes anyway.
-                members.push((idx, 0.0));
+                self.members.push((idx, 0.0));
             }
         }
-        self.hot.rebuild_biased(members, servers);
+        self.hot
+            .rebuild_biased(self.members.iter().copied(), servers);
         self.cold.rebuild(self.hot_size..n, servers);
+        self.cursor_hot_unmelted = 0;
+        self.cursor_hot_any = 0;
+        self.cursor_cold_melted_warm = 0;
+        self.cursor_cold_any = 0;
     }
 
     fn place_hot(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
@@ -227,7 +284,8 @@ impl VmtWa {
         //    the melt line. Placing here both prevents heat release and
         //    frees the rest of the load for unmelted wax.
         while let Some(&idx) = self.keep_warm.last() {
-            if servers[idx].free_cores() > 0 && Self::projected_temp(&servers[idx]) < self.warm_line()
+            if servers[idx].free_cores() > 0
+                && Self::projected_temp(&servers[idx]) < self.warm_line()
             {
                 // Keep the balancer's projection truthful about this
                 // out-of-band placement.
@@ -275,6 +333,88 @@ impl VmtWa {
             .or_else(|| (0..self.hot_size).find(|&i| servers[i].free_cores() > 0))
             .map(ServerId)
     }
+
+    /// [`VmtWa::place_hot`] on the engine's index: the same four-rung
+    /// ladder, with free cores probed from the flat index array and the
+    /// rung-4 linear fallbacks resuming from per-tick cursors instead of
+    /// rescanning from zero for every job.
+    fn place_hot_indexed(
+        &mut self,
+        servers: &[Server],
+        index: &ClusterIndex,
+        core_power_w: f64,
+    ) -> Option<ServerId> {
+        let n = servers.len();
+        // 1. Keep-warm.
+        while let Some(&idx) = self.keep_warm.last() {
+            if index.free_cores()[idx] > 0 && Self::projected_temp(&servers[idx]) < self.warm_line()
+            {
+                self.hot.account_external_indexed(idx, core_power_w, index);
+                return Some(ServerId(idx));
+            }
+            self.keep_warm.pop();
+        }
+        // 2. Temperature-balanced placement across the hot group.
+        if let Some(idx) = self.hot.place_indexed(index, core_power_w) {
+            return Some(ServerId(idx));
+        }
+        // 3. Grow one server at a time.
+        while self.hot_size < n {
+            let idx = self.hot_size;
+            self.hot_size += 1;
+            self.hot.add_member(idx, servers);
+            if let Some(found) = self.hot.place_indexed(index, core_power_w) {
+                return Some(ServerId(found));
+            }
+        }
+        // 4. Whole-cluster fallbacks, cursor-resumed: a cursor only skips
+        //    indices that already failed the predicate this tick, and
+        //    both failure causes (melted flag set, no free cores) are
+        //    permanent until the next refresh.
+        let free = index.free_cores();
+        let mut cursor = self.cursor_hot_unmelted;
+        while cursor < n && (self.melted[cursor] || free[cursor] == 0) {
+            cursor += 1;
+        }
+        self.cursor_hot_unmelted = cursor;
+        if cursor < n {
+            return Some(ServerId(cursor));
+        }
+        let mut cursor = self.cursor_hot_any;
+        while cursor < n && free[cursor] == 0 {
+            cursor += 1;
+        }
+        self.cursor_hot_any = cursor;
+        (cursor < n).then_some(ServerId(cursor))
+    }
+
+    /// [`VmtWa::place_cold`] on the engine's index; see
+    /// [`VmtWa::place_hot_indexed`] for the cursor argument.
+    fn place_cold_indexed(&mut self, index: &ClusterIndex, core_power_w: f64) -> Option<ServerId> {
+        // 1. The cold group, temperature balanced.
+        if let Some(idx) = self.cold.place_indexed(index, core_power_w) {
+            return Some(ServerId(idx));
+        }
+        // 2. Melted-and-warm hot-group servers, cursor-resumed.
+        let free = index.free_cores();
+        let mut cursor = self.cursor_cold_melted_warm;
+        while cursor < self.hot_size
+            && !(self.melted[cursor] && !self.below_melt[cursor] && free[cursor] > 0)
+        {
+            cursor += 1;
+        }
+        self.cursor_cold_melted_warm = cursor;
+        if cursor < self.hot_size {
+            return Some(ServerId(cursor));
+        }
+        // 3. Any remaining hot-group server.
+        let mut cursor = self.cursor_cold_any;
+        while cursor < self.hot_size && free[cursor] == 0 {
+            cursor += 1;
+        }
+        self.cursor_cold_any = cursor;
+        (cursor < self.hot_size).then_some(ServerId(cursor))
+    }
 }
 
 impl Scheduler for VmtWa {
@@ -293,6 +433,25 @@ impl Scheduler for VmtWa {
         match job.kind().vmt_class() {
             VmtClass::Hot => self.place_hot(servers, job.core_power().get()),
             VmtClass::Cold => self.place_cold(servers, job.core_power().get()),
+        }
+    }
+
+    fn on_tick_indexed(&mut self, servers: &[Server], index: &ClusterIndex, _now: Seconds) {
+        self.refresh_indexed_impl(servers, index);
+    }
+
+    fn place_indexed(
+        &mut self,
+        job: &Job,
+        servers: &[Server],
+        index: &ClusterIndex,
+    ) -> Option<ServerId> {
+        if self.melted.len() != servers.len() {
+            self.refresh_indexed_impl(servers, index);
+        }
+        match job.kind().vmt_class() {
+            VmtClass::Hot => self.place_hot_indexed(servers, index, job.core_power().get()),
+            VmtClass::Cold => self.place_cold_indexed(index, job.core_power().get()),
         }
     }
 
@@ -360,7 +519,9 @@ mod tests {
         let (mut servers, mut wa) = setup(10, 22.0);
         let hot = wa.hot_group_size().unwrap();
         for i in 0..12 {
-            let sid = wa.place(&job(i, WorkloadKind::Clustering), &servers).unwrap();
+            let sid = wa
+                .place(&job(i, WorkloadKind::Clustering), &servers)
+                .unwrap();
             assert!(sid.0 < hot);
             servers[sid.0].start_job(&job(1000 + i, WorkloadKind::Clustering));
         }
@@ -382,8 +543,13 @@ mod tests {
         wa.refresh(&servers);
         // Melted servers are still fully loaded (above the warm line), so
         // an arriving hot job saturates the group and grows it.
-        let sid = wa.place(&job(9000, WorkloadKind::WebSearch), &servers).unwrap();
-        assert!(sid.0 >= base, "expected placement on an added server, got {sid}");
+        let sid = wa
+            .place(&job(9000, WorkloadKind::WebSearch), &servers)
+            .unwrap();
+        assert!(
+            sid.0 >= base,
+            "expected placement on an added server, got {sid}"
+        );
         assert!(wa.hot_group_size().unwrap() > base);
     }
 
@@ -444,7 +610,9 @@ mod tests {
     fn keep_warm_takes_priority_when_melted_servers_cool() {
         let (servers, mut wa) = keep_warm_scenario();
         // The next hot job must go to server 0 to keep its wax molten.
-        let sid = wa.place(&job(9000, WorkloadKind::WebSearch), &servers).unwrap();
+        let sid = wa
+            .place(&job(9000, WorkloadKind::WebSearch), &servers)
+            .unwrap();
         assert_eq!(sid, ServerId(0));
     }
 
@@ -456,7 +624,9 @@ mod tests {
         // server 4.
         let mut to_zero = 0;
         for i in 0..16 {
-            let sid = wa.place(&job(9000 + i, WorkloadKind::Clustering), &servers).unwrap();
+            let sid = wa
+                .place(&job(9000 + i, WorkloadKind::Clustering), &servers)
+                .unwrap();
             servers[sid.0].start_job(&job(9000 + i, WorkloadKind::Clustering));
             if sid.0 == 0 {
                 to_zero += 1;
@@ -465,7 +635,10 @@ mod tests {
         // Holding 35.7+0.5 °C steady state needs ≈(36.2−22)×17.5 ≈ 249 W
         // → ≈8 more clustering cores on top of the 12 it kept.
         assert!(to_zero >= 4, "server 0 got only {to_zero} jobs");
-        assert!(to_zero <= 12, "server 0 got {to_zero} jobs — keep-warm did not stop");
+        assert!(
+            to_zero <= 12,
+            "server 0 got {to_zero} jobs — keep-warm did not stop"
+        );
     }
 
     #[test]
@@ -477,7 +650,9 @@ mod tests {
         wa.refresh(&servers);
         // Force growth: the melted group is warm and full, so a hot job
         // extends the group onto server 4.
-        let sid = wa.place(&job(1, WorkloadKind::WebSearch), &servers).unwrap();
+        let sid = wa
+            .place(&job(1, WorkloadKind::WebSearch), &servers)
+            .unwrap();
         servers[sid.0].start_job(&job(1, WorkloadKind::WebSearch));
         let grown = wa.hot_group_size().unwrap();
         assert!(grown > base);
@@ -494,7 +669,9 @@ mod tests {
         melt_servers(&mut servers, base);
         load_cold_group(&mut servers, &[(5, 32)]);
         wa.refresh(&servers);
-        let sid = wa.place(&job(1, WorkloadKind::WebSearch), &servers).unwrap();
+        let sid = wa
+            .place(&job(1, WorkloadKind::WebSearch), &servers)
+            .unwrap();
         servers[sid.0].start_job(&job(1, WorkloadKind::WebSearch));
         assert!(wa.hot_group_size().unwrap() > base);
         // Drain everything and cool until the wax refreezes; off-peak
@@ -521,7 +698,9 @@ mod tests {
     fn cold_jobs_prefer_cold_group() {
         let (mut servers, mut wa) = setup(10, 22.0);
         let hot = wa.hot_group_size().unwrap();
-        let sid = wa.place(&job(0, WorkloadKind::VirusScan), &servers).unwrap();
+        let sid = wa
+            .place(&job(0, WorkloadKind::VirusScan), &servers)
+            .unwrap();
         assert!(sid.0 >= hot);
         servers[sid.0].start_job(&job(0, WorkloadKind::VirusScan));
     }

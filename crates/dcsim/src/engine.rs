@@ -1,6 +1,7 @@
 //! The simulation main loop.
 
 use crate::config::ClusterConfig;
+use crate::index::ClusterIndex;
 use crate::metrics::{Heatmap, SimulationResult};
 use crate::scheduler::Scheduler;
 use crate::server::{Server, ServerId};
@@ -10,7 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use vmt_thermal::{CoolingLoad, CoolingLoadSeries};
 use vmt_units::{Celsius, Hours, Joules};
-use vmt_workload::{ArrivalPlanner, Job, JobId, LoadTrace, WorkloadKind};
+use vmt_workload::{ArrivalPlanner, Job, JobId, JobSpec, LoadTrace, WorkloadKind};
 
 /// A configured simulation, ready to run.
 ///
@@ -48,6 +49,12 @@ pub struct Simulation {
     next_job_id: u64,
     /// Shuffles each tick's arrival order (seeded; deterministic).
     arrival_rng: rand::rngs::SmallRng,
+    /// Incremental per-server state handed to the scheduler.
+    index: ClusterIndex,
+    /// Per-workload arrival staging, reused across ticks.
+    per_kind: [Vec<JobSpec>; 5],
+    /// Interleaved arrival batch, reused across ticks.
+    interleaved: Vec<JobSpec>,
 }
 
 impl Simulation {
@@ -61,11 +68,12 @@ impl Simulation {
         scheduler: Box<dyn Scheduler>,
     ) -> Self {
         let trace = trace.into();
-        let servers = (0..config.num_servers)
+        let servers: Vec<Server> = (0..config.num_servers)
             .map(|i| Server::from_config(ServerId(i), &config))
             .collect();
         let planner = ArrivalPlanner::with_model(config.seed, config.duration_model);
         let arrival_rng = rand::rngs::SmallRng::seed_from_u64(config.seed ^ 0xA11C_E5ED);
+        let index = ClusterIndex::new(&servers);
         Self {
             config,
             trace,
@@ -77,6 +85,9 @@ impl Simulation {
             departures: BinaryHeap::new(),
             next_job_id: 0,
             arrival_rng,
+            index,
+            per_kind: std::array::from_fn(|_| Vec::new()),
+            interleaved: Vec::new(),
         }
     }
 
@@ -102,15 +113,17 @@ impl Simulation {
     pub fn run_returning_servers(mut self) -> (SimulationResult, Vec<Server>) {
         let ticks = self.config.ticks_for(self.trace.horizon());
         let dt = self.config.tick;
+        let num_servers = self.servers.len();
+        let heatmap_rows = ticks.div_ceil(self.config.heatmap_stride.max(1));
         let mut cooling = CoolingLoadSeries::new(dt);
         let mut electrical = CoolingLoadSeries::new(dt);
         let mut avg_temp = Vec::with_capacity(ticks);
-        let mut hot_group_temp = Vec::new();
-        let mut hot_group_sizes = Vec::new();
+        let mut hot_group_temp = Vec::with_capacity(ticks);
+        let mut hot_group_sizes = Vec::with_capacity(ticks);
         let mut stored_energy = Vec::with_capacity(ticks);
         let mut temp_heatmap = Heatmap {
             row_interval: dt.get() * self.config.heatmap_stride as f64,
-            rows: Vec::new(),
+            rows: Vec::with_capacity(heatmap_rows),
         };
         let mut melt_heatmap = temp_heatmap.clone();
         let mut dropped_jobs = 0u64;
@@ -126,47 +139,65 @@ impl Simulation {
                 }
             }
             self.process_departures(t as u64);
-            self.scheduler.on_tick(&self.servers, now);
+            self.scheduler
+                .on_tick_indexed(&self.servers, &self.index, now);
             self.plan_and_place(t as u64, now_hours, &mut placements, &mut dropped_jobs);
 
-            // Physics tick and metric accumulation.
+            // Physics tick and metric accumulation, fused into a single
+            // pass: per-server results (tick totals, temperature sums,
+            // hot-group mean, heatmap rows, index refresh) are all
+            // functions of the server's own post-tick state, so one walk
+            // over the cluster produces every per-tick metric the old
+            // multi-pass loop did — in the same accumulation order,
+            // which keeps the floating-point results bit-identical.
+            let hot_size = self
+                .scheduler
+                .hot_group_size()
+                .map(|size| size.clamp(1, num_servers));
+            let sample_heatmaps = t % self.config.heatmap_stride == 0;
+            let mut temp_row = if sample_heatmaps {
+                Vec::with_capacity(num_servers)
+            } else {
+                Vec::new()
+            };
+            let mut melt_row = if sample_heatmaps {
+                Vec::with_capacity(num_servers)
+            } else {
+                Vec::new()
+            };
             let mut total = CoolingLoad {
                 electrical: vmt_units::Watts::ZERO,
                 into_wax: vmt_units::Watts::ZERO,
             };
             let mut temp_sum = 0.0;
+            let mut hot_sum = 0.0;
             let mut energy = Joules::ZERO;
-            for server in &mut self.servers {
+            for (i, server) in self.servers.iter_mut().enumerate() {
                 total = total + server.tick(dt);
-                temp_sum += server.air_at_wax().get();
+                let air = server.air_at_wax().get();
+                temp_sum += air;
                 energy += server.stored_latent_energy();
+                if hot_size.is_some_and(|size| i < size) {
+                    hot_sum += air;
+                }
+                if sample_heatmaps {
+                    temp_row.push(air);
+                    melt_row.push(server.melt_fraction().get());
+                }
+                self.index
+                    .record_physics(i, air, server.reported_melt_fraction().get());
             }
             cooling.push(total.rejected());
             electrical.push(total.electrical);
-            avg_temp.push(Celsius::new(temp_sum / self.servers.len() as f64));
+            avg_temp.push(Celsius::new(temp_sum / num_servers as f64));
             stored_energy.push(energy);
-
-            if let Some(size) = self.scheduler.hot_group_size() {
-                let size = size.clamp(1, self.servers.len());
-                let mean = self.servers[..size]
-                    .iter()
-                    .map(|s| s.air_at_wax().get())
-                    .sum::<f64>()
-                    / size as f64;
-                hot_group_temp.push(Celsius::new(mean));
+            if let Some(size) = hot_size {
+                hot_group_temp.push(Celsius::new(hot_sum / size as f64));
                 hot_group_sizes.push(size);
             }
-
-            if t % self.config.heatmap_stride == 0 {
-                temp_heatmap
-                    .rows
-                    .push(self.servers.iter().map(|s| s.air_at_wax().get()).collect());
-                melt_heatmap.rows.push(
-                    self.servers
-                        .iter()
-                        .map(|s| s.melt_fraction().get())
-                        .collect(),
-                );
+            if sample_heatmaps {
+                temp_heatmap.rows.push(temp_row);
+                melt_heatmap.rows.push(melt_row);
             }
         }
 
@@ -200,6 +231,7 @@ impl Simulation {
                 .expect("departing job has a location");
             let kind = self.servers[sid.0].end_job(job);
             self.occupancy[kind.index()] -= 1;
+            self.index.record_end(sid.0);
         }
     }
 
@@ -215,17 +247,22 @@ impl Simulation {
         // Plan all workloads first, then interleave the batches so that
         // placement sees a realistic arrival mix — a long run of one
         // kind would let composition clump on whichever servers happen
-        // to be preferred this tick.
-        let mut per_kind: Vec<std::collections::VecDeque<vmt_workload::JobSpec>> = Vec::new();
-        for kind in WorkloadKind::ALL {
+        // to be preferred this tick. All staging buffers live on the
+        // simulation and are recycled, so the steady-state hot loop
+        // performs no per-tick allocations here.
+        for (kind, queue) in WorkloadKind::ALL.into_iter().zip(self.per_kind.iter_mut()) {
+            queue.clear();
             let target = self.trace.target_cores(kind, now_hours, total_cores);
             let current = self.occupancy[kind.index()];
-            per_kind.push(self.planner.plan(kind, target, current).into());
+            self.planner.plan_into(kind, target, current, queue);
         }
-        let mut interleaved = Vec::with_capacity(per_kind.iter().map(|q| q.len()).sum());
-        while per_kind.iter().any(|q| !q.is_empty()) {
-            for queue in &mut per_kind {
-                if let Some(spec) = queue.pop_front() {
+        let mut interleaved = std::mem::take(&mut self.interleaved);
+        interleaved.clear();
+        interleaved.reserve(self.per_kind.iter().map(Vec::len).sum());
+        let longest = self.per_kind.iter().map(Vec::len).max().unwrap_or(0);
+        for position in 0..longest {
+            for queue in &self.per_kind {
+                if let Some(&spec) = queue.get(position) {
                     interleaved.push(spec);
                 }
             }
@@ -235,23 +272,29 @@ impl Simulation {
         // of workloads would stripe kinds across servers); a seeded
         // shuffle models the real, unordered arrival stream.
         interleaved.shuffle(&mut self.arrival_rng);
-        for spec in interleaved {
+        for &spec in &interleaved {
             let id = JobId(self.next_job_id);
             self.next_job_id += 1;
             let job = Job::new(id, spec.kind, spec.duration);
-            match self.scheduler.place(&job, &self.servers) {
+            match self
+                .scheduler
+                .place_indexed(&job, &self.servers, &self.index)
+            {
                 Some(sid) => {
                     self.servers[sid.0].start_job(&job);
+                    self.index.record_start(sid.0);
                     self.job_locations.insert(id, sid);
                     self.occupancy[spec.kind.index()] += 1;
-                    let duration_ticks =
-                        (spec.duration.get() / self.config.tick.get()).round().max(1.0) as u64;
+                    let duration_ticks = (spec.duration.get() / self.config.tick.get())
+                        .round()
+                        .max(1.0) as u64;
                     self.departures.push(Reverse((tick + duration_ticks, id)));
                     *placements += 1;
                 }
                 None => *dropped += 1,
             }
         }
+        self.interleaved = interleaved;
     }
 }
 

@@ -1,0 +1,182 @@
+//! Incrementally maintained cluster state for schedulers.
+
+use crate::server::Server;
+
+/// Flat per-server state the engine keeps current so schedulers can
+/// query the cluster without rescanning `&[Server]`.
+///
+/// The engine updates the index at the moments the underlying state
+/// changes — thermal fields during the physics pass, core counts on
+/// every job start/end — so at the points where schedulers run
+/// ([`Scheduler::on_tick_indexed`] and [`Scheduler::place_indexed`])
+/// each field is exactly the value the corresponding [`Server`] accessor
+/// would return. That makes the index a pure read-path optimization:
+/// policies written against it are observationally identical to policies
+/// that walk the server slice, just without the per-job O(n) scans and
+/// pointer-chasing through per-server substructures.
+///
+/// [`Scheduler::on_tick_indexed`]: crate::Scheduler::on_tick_indexed
+/// [`Scheduler::place_indexed`]: crate::Scheduler::place_indexed
+#[derive(Debug, Clone)]
+pub struct ClusterIndex {
+    /// Air temperature at the wax exchanger per server (°C); equals
+    /// [`Server::air_at_wax`] as of the last physics tick.
+    air_c: Vec<f64>,
+    /// Estimator-reported melt fraction per server; equals
+    /// [`Server::reported_melt_fraction`] as of the last physics tick.
+    reported_melt: Vec<f64>,
+    /// Free cores per server, updated on every job start/end.
+    free_cores: Vec<u32>,
+    /// Cluster-wide occupied cores.
+    used_total: u64,
+    /// Cluster-wide core count (fixed).
+    total_cores: u64,
+}
+
+impl ClusterIndex {
+    /// Builds the index from the servers' current state.
+    pub fn new(servers: &[Server]) -> Self {
+        Self {
+            air_c: servers.iter().map(|s| s.air_at_wax().get()).collect(),
+            reported_melt: servers
+                .iter()
+                .map(|s| s.reported_melt_fraction().get())
+                .collect(),
+            free_cores: servers.iter().map(Server::free_cores).collect(),
+            used_total: servers.iter().map(|s| u64::from(s.used_cores())).sum(),
+            total_cores: servers.iter().map(|s| u64::from(s.cores())).sum(),
+        }
+    }
+
+    /// Number of indexed servers.
+    pub fn len(&self) -> usize {
+        self.air_c.len()
+    }
+
+    /// True when the index covers no servers.
+    pub fn is_empty(&self) -> bool {
+        self.air_c.is_empty()
+    }
+
+    /// Per-server air temperature at the wax exchanger (°C).
+    pub fn air_c(&self) -> &[f64] {
+        &self.air_c
+    }
+
+    /// Per-server estimator-reported melt fraction.
+    pub fn reported_melt(&self) -> &[f64] {
+        &self.reported_melt
+    }
+
+    /// Per-server free cores.
+    pub fn free_cores(&self) -> &[u32] {
+        &self.free_cores
+    }
+
+    /// Cluster-wide occupied cores.
+    pub fn used_cores_total(&self) -> u64 {
+        self.used_total
+    }
+
+    /// Cluster-wide core count.
+    pub fn total_cores(&self) -> u64 {
+        self.total_cores
+    }
+
+    /// Fraction of the cluster's cores occupied, in O(1).
+    pub fn utilization(&self) -> f64 {
+        if self.total_cores == 0 {
+            return 0.0;
+        }
+        self.used_total as f64 / self.total_cores as f64
+    }
+
+    /// Records the post-physics thermal state of server `idx`.
+    pub(crate) fn record_physics(&mut self, idx: usize, air_c: f64, reported_melt: f64) {
+        self.air_c[idx] = air_c;
+        self.reported_melt[idx] = reported_melt;
+    }
+
+    /// Records a job start on server `idx`.
+    pub(crate) fn record_start(&mut self, idx: usize) {
+        self.free_cores[idx] -= 1;
+        self.used_total += 1;
+    }
+
+    /// Records a job end on server `idx`.
+    pub(crate) fn record_end(&mut self, idx: usize) {
+        self.free_cores[idx] += 1;
+        self.used_total -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::server::ServerId;
+    use vmt_units::Seconds;
+    use vmt_workload::{Job, JobId, WorkloadKind};
+
+    fn servers(n: usize) -> Vec<Server> {
+        let config = ClusterConfig::paper_default(n);
+        (0..n)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect()
+    }
+
+    #[test]
+    fn mirrors_initial_server_state() {
+        let list = servers(3);
+        let index = ClusterIndex::new(&list);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.total_cores(), 96);
+        assert_eq!(index.used_cores_total(), 0);
+        assert_eq!(index.utilization(), 0.0);
+        for (i, s) in list.iter().enumerate() {
+            assert_eq!(index.air_c()[i], s.air_at_wax().get());
+            assert_eq!(index.reported_melt()[i], s.reported_melt_fraction().get());
+            assert_eq!(index.free_cores()[i], s.free_cores());
+        }
+    }
+
+    #[test]
+    fn tracks_job_lifecycle() {
+        let mut list = servers(2);
+        let mut index = ClusterIndex::new(&list);
+        let job = Job::new(JobId(1), WorkloadKind::WebSearch, Seconds::new(300.0));
+        list[0].start_job(&job);
+        index.record_start(0);
+        assert_eq!(index.free_cores()[0], list[0].free_cores());
+        assert_eq!(index.used_cores_total(), 1);
+        assert_eq!(index.utilization(), 1.0 / 64.0);
+        list[0].end_job(JobId(1));
+        index.record_end(0);
+        assert_eq!(index.free_cores()[0], list[0].free_cores());
+        assert_eq!(index.used_cores_total(), 0);
+    }
+
+    #[test]
+    fn tracks_physics_state() {
+        let mut list = servers(1);
+        let mut index = ClusterIndex::new(&list);
+        for i in 0..8 {
+            list[0].start_job(&Job::new(
+                JobId(i),
+                WorkloadKind::VideoEncoding,
+                Seconds::new(3600.0),
+            ));
+            index.record_start(0);
+        }
+        for _ in 0..60 {
+            list[0].tick(Seconds::new(60.0));
+        }
+        index.record_physics(
+            0,
+            list[0].air_at_wax().get(),
+            list[0].reported_melt_fraction().get(),
+        );
+        assert_eq!(index.air_c()[0], list[0].air_at_wax().get());
+        assert!(index.air_c()[0] > 22.0);
+    }
+}

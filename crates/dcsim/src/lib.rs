@@ -44,6 +44,7 @@
 
 mod config;
 mod engine;
+mod index;
 mod metrics;
 mod scheduler;
 mod server;
@@ -51,6 +52,7 @@ mod topology;
 
 pub use config::{ClusterConfig, WaxSpec};
 pub use engine::Simulation;
+pub use index::ClusterIndex;
 pub use metrics::{Heatmap, SimulationResult};
 pub use scheduler::{FirstFit, Scheduler};
 pub use server::{Server, ServerId};

@@ -1,5 +1,6 @@
 //! The placement-policy interface.
 
+use crate::index::ClusterIndex;
 use crate::server::{Server, ServerId};
 use vmt_units::Seconds;
 use vmt_workload::Job;
@@ -30,6 +31,32 @@ pub trait Scheduler {
     /// Chooses a server for `job`, or `None` if the cluster cannot hold
     /// it (the job is dropped and counted).
     fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId>;
+
+    /// Index-aware variant of [`Scheduler::on_tick`].
+    ///
+    /// The engine maintains a [`ClusterIndex`] — flat per-server
+    /// temperature, melt, and core-count arrays updated incrementally as
+    /// jobs start/end and physics ticks — and calls this instead of
+    /// `on_tick`. Policies that can exploit the index (O(1) cluster
+    /// utilization, cache-friendly flag scans) override it; the default
+    /// ignores the index and delegates, so legacy policies and direct
+    /// test harnesses keep working unchanged.
+    fn on_tick_indexed(&mut self, servers: &[Server], index: &ClusterIndex, now: Seconds) {
+        let _ = index;
+        self.on_tick(servers, now);
+    }
+
+    /// Index-aware variant of [`Scheduler::place`]; see
+    /// [`Scheduler::on_tick_indexed`]. The default delegates to `place`.
+    fn place_indexed(
+        &mut self,
+        job: &Job,
+        servers: &[Server],
+        index: &ClusterIndex,
+    ) -> Option<ServerId> {
+        let _ = index;
+        self.place(job, servers)
+    }
 
     /// Size of the policy's current hot group, if it maintains one.
     ///

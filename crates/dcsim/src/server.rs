@@ -53,11 +53,8 @@ impl Server {
     /// Builds server `id` from the cluster configuration.
     pub fn from_config(id: ServerId, config: &ClusterConfig) -> Self {
         let inlet = config.inlet.inlet_for(id.0);
-        let mut thermal = ServerThermalModel::with_time_constant(
-            inlet,
-            config.air,
-            config.thermal_time_constant,
-        );
+        let mut thermal =
+            ServerThermalModel::with_time_constant(inlet, config.air, config.thermal_time_constant);
         thermal.settle(config.power.idle());
         let wax = config.wax.as_ref().map(|spec: &WaxSpec| {
             let mass = spec.sizing.mass_of(&spec.material);
@@ -161,7 +158,9 @@ impl Server {
 
     /// The wax melting temperature, if wax is deployed.
     pub fn melt_temperature(&self) -> Option<Celsius> {
-        self.wax.as_ref().map(|w| w.pack.material().melt_temperature())
+        self.wax
+            .as_ref()
+            .map(|w| w.pack.material().melt_temperature())
     }
 
     /// Number of running jobs of each workload, indexed by

@@ -1,0 +1,98 @@
+//! Property tests for [`Server`]'s physical invariants.
+//!
+//! Whatever the load, inlet temperature, or run length, a server's wax
+//! bookkeeping must stay physical: melt fractions in `[0, 1]`, stored
+//! latent energy non-negative, bounded by the pack's latent capacity,
+//! and consistent with the melt fraction it reports.
+
+use proptest::prelude::*;
+use vmt_dcsim::{ClusterConfig, Server, ServerId};
+use vmt_units::{Celsius, Seconds};
+use vmt_workload::{Job, JobId, WorkloadKind};
+
+const KINDS: [WorkloadKind; 5] = WorkloadKind::ALL;
+
+fn loaded_server(config: &ClusterConfig, jobs: u32, kind_pick: usize) -> Server {
+    let mut server = Server::from_config(ServerId(0), config);
+    let kind = KINDS[kind_pick % KINDS.len()];
+    for i in 0..jobs {
+        server.start_job(&Job::new(JobId(u64::from(i)), kind, Seconds::new(3600.0)));
+    }
+    server
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Melt fraction and reported melt fraction stay in `[0, 1]`, stored
+    /// latent energy stays within `[0, latent_capacity]`, and the stored
+    /// energy always equals `melt_fraction × latent_capacity` — the
+    /// conservation identity `Server::tick` must maintain no matter how
+    /// the heat flows.
+    #[test]
+    fn wax_state_stays_physical_across_ticks(
+        jobs in 0u32..=32,
+        kind_pick in 0usize..5,
+        inlet_c in 16.0f64..32.0,
+        minutes in 1usize..360,
+    ) {
+        let mut config = ClusterConfig::paper_default(1);
+        config.inlet = vmt_thermal::InletModel::uniform(Celsius::new(inlet_c));
+        let wax = config.wax.clone().expect("paper default carries wax");
+        let capacity = wax.sizing.latent_capacity_of(&wax.material).get();
+        let mut server = loaded_server(&config, jobs, kind_pick);
+        for _ in 0..minutes {
+            let load = server.tick(Seconds::new(60.0));
+            prop_assert!(load.rejected().get().is_finite());
+            let melt = server.melt_fraction().get();
+            let reported = server.reported_melt_fraction().get();
+            let stored = server.stored_latent_energy().get();
+            prop_assert!((0.0..=1.0).contains(&melt), "melt {melt}");
+            prop_assert!((0.0..=1.0).contains(&reported), "reported {reported}");
+            prop_assert!(stored >= 0.0, "stored {stored}");
+            prop_assert!(stored <= capacity * (1.0 + 1e-9), "stored {stored} > capacity {capacity}");
+            prop_assert!(
+                (stored - melt * capacity).abs() <= capacity * 1e-9,
+                "stored {stored} inconsistent with melt {melt} × capacity {capacity}"
+            );
+            prop_assert!(server.air_at_wax().get().is_finite());
+        }
+    }
+
+    /// Once a drained server's air has fallen below the wax's melt
+    /// temperature, `Server::tick` can only move latent energy *out* of
+    /// the pack: stored energy must be non-increasing from then on.
+    /// (Immediately after the drain the air still lags hot — the 300 s
+    /// thermal time constant — so a brief continued melt is physical and
+    /// exempt.)
+    #[test]
+    fn stored_energy_never_grows_below_the_melt_line(
+        inlet_c in 16.0f64..30.0,
+        minutes in 1usize..240,
+    ) {
+        let mut config = ClusterConfig::paper_default(1);
+        config.inlet = vmt_thermal::InletModel::uniform(Celsius::new(inlet_c));
+        // Melt some wax first under full load, then drain completely.
+        let mut server = loaded_server(&config, 32, 1);
+        for _ in 0..(12 * 60) {
+            server.tick(Seconds::new(60.0));
+        }
+        for i in 0u64..32 {
+            server.end_job(JobId(i));
+        }
+        let melt_temp = server.melt_temperature().expect("wax pack present");
+        let mut previous = server.stored_latent_energy().get();
+        for _ in 0..minutes {
+            let below_before = server.air_at_wax() < melt_temp;
+            server.tick(Seconds::new(60.0));
+            let now = server.stored_latent_energy().get();
+            if below_before {
+                prop_assert!(
+                    now <= previous * (1.0 + 1e-12) + 1e-9,
+                    "stored energy rose {previous} -> {now} below the melt line"
+                );
+            }
+            previous = now;
+        }
+    }
+}

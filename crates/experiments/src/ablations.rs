@@ -90,19 +90,22 @@ pub fn wa_tuning(servers: usize) -> Vec<AblationPoint> {
 /// state, at the optimal GV.
 pub fn oracle_vs_estimator(servers: usize) -> Vec<AblationPoint> {
     let base = baseline(servers);
-    [("estimator (deployable)", false), ("oracle (physical state)", true)]
-        .into_iter()
-        .map(|(label, oracle)| {
-            let mut cluster = ClusterConfig::paper_default(servers);
-            cluster.oracle_wax_state = oracle;
-            let sched = PolicyKind::vmt_wa(22.0).build(&cluster);
-            let r = run_with(cluster, sched);
-            AblationPoint {
-                label: label.to_owned(),
-                reduction_percent: reduction_percent(&r, &base),
-            }
-        })
-        .collect()
+    [
+        ("estimator (deployable)", false),
+        ("oracle (physical state)", true),
+    ]
+    .into_iter()
+    .map(|(label, oracle)| {
+        let mut cluster = ClusterConfig::paper_default(servers);
+        cluster.oracle_wax_state = oracle;
+        let sched = PolicyKind::vmt_wa(22.0).build(&cluster);
+        let r = run_with(cluster, sched);
+        AblationPoint {
+            label: label.to_owned(),
+            reduction_percent: reduction_percent(&r, &base),
+        }
+    })
+    .collect()
 }
 
 /// Phase-interface taper coefficient sweep at the optimal GV.
@@ -196,11 +199,23 @@ pub fn render(servers: usize) -> String {
     let mut out = String::new();
     let sections: [(&str, Vec<AblationPoint>); 6] = [
         ("VMT-WA saturation reaction (GV=20)", wa_tuning(servers)),
-        ("wax-state source (VMT-WA, GV=22)", oracle_vs_estimator(servers)),
-        ("exchanger interface taper (VMT-TA, GV=22)", taper_sweep(servers)),
+        (
+            "wax-state source (VMT-WA, GV=22)",
+            oracle_vs_estimator(servers),
+        ),
+        (
+            "exchanger interface taper (VMT-TA, GV=22)",
+            taper_sweep(servers),
+        ),
         ("wax volume (VMT-TA, GV=22)", wax_volume_sweep(servers)),
-        ("server thermal lag (VMT-TA, GV=22)", time_constant_sweep(servers)),
-        ("job-duration distribution (VMT-TA, GV=22)", duration_model(servers)),
+        (
+            "server thermal lag (VMT-TA, GV=22)",
+            time_constant_sweep(servers),
+        ),
+        (
+            "job-duration distribution (VMT-TA, GV=22)",
+            duration_model(servers),
+        ),
     ];
     for (title, points) in sections {
         out.push_str(&format!("{title}\n"));

@@ -28,9 +28,32 @@ fn main() {
 
     if id == "all" {
         for id in [
-            "table1", "table2", "fig1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "tco",
-            "ablations", "emergency", "bound", "qos", "preserve", "estimator",
+            "table1",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "tco",
+            "ablations",
+            "emergency",
+            "bound",
+            "qos",
+            "preserve",
+            "estimator",
         ] {
             println!("==================== {id} ====================");
             run_one(id, servers, seeds);
@@ -47,8 +70,10 @@ fn write_series_csv(figure: &vmt_experiments::cooling_load::CoolingLoadFigure, n
         return;
     };
     for result in &figure.results {
-        let path = std::path::Path::new(&dir)
-            .join(format!("{name}_{}.csv", result.scheduler_name.replace(' ', "_")));
+        let path = std::path::Path::new(&dir).join(format!(
+            "{name}_{}.csv",
+            result.scheduler_name.replace(' ', "_")
+        ));
         if let Err(err) = std::fs::write(&path, result.series_csv()) {
             eprintln!("warning: could not write {}: {err}", path.display());
         }
@@ -76,7 +101,10 @@ fn run_one(id: &str, servers: Option<usize>, seeds: usize) {
         "fig7" => print!("{}", fig7::render(sweep)),
         "fig8" => print!("{}", fig8::render()),
         "fig9" => print!("{}", heatmaps::render(HeatmapFigure::Fig9RoundRobin, sweep)),
-        "fig10" => print!("{}", heatmaps::render(HeatmapFigure::Fig10CoolestFirst, sweep)),
+        "fig10" => print!(
+            "{}",
+            heatmaps::render(HeatmapFigure::Fig10CoolestFirst, sweep)
+        ),
         "fig11" => print!("{}", heatmaps::render(HeatmapFigure::Fig11VmtTa, sweep)),
         "fig12" => print!("{}", hot_group::render(&hot_group::fig12(large))),
         "fig13" => {
@@ -93,8 +121,14 @@ fn run_one(id: &str, servers: Option<usize>, seeds: usize) {
         }
         "fig17" => print!("{}", threshold::render(sweep)),
         "fig18" => print!("{}", gv_sweep::render(sweep)),
-        "fig19" => print!("{}", inlet_variation::render(&inlet_variation::fig19(sweep, seeds))),
-        "fig20" => print!("{}", inlet_variation::render(&inlet_variation::fig20(sweep, seeds))),
+        "fig19" => print!(
+            "{}",
+            inlet_variation::render(&inlet_variation::fig19(sweep, seeds))
+        ),
+        "fig20" => print!(
+            "{}",
+            inlet_variation::render(&inlet_variation::fig20(sweep, seeds))
+        ),
         "ablations" => print!("{}", ablations::render(sweep)),
         "emergency" => print!("{}", emergency::render(sweep)),
         "bound" => print!("{}", storage_bound::render(sweep)),

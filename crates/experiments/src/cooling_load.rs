@@ -114,7 +114,11 @@ pub fn fig16(servers: usize) -> CoolingLoadFigure {
 pub fn render(figure: &CoolingLoadFigure) -> String {
     let mut out = format!(
         "Peak cooling load for {} (kW)\nhour   ",
-        if figure.wax_aware { "VMT-WA (Fig 16)" } else { "VMT-TA (Fig 13)" }
+        if figure.wax_aware {
+            "VMT-WA (Fig 16)"
+        } else {
+            "VMT-TA (Fig 13)"
+        }
     );
     for s in &figure.series {
         out.push_str(&format!("{:>9}", s.label));
@@ -162,7 +166,11 @@ mod tests {
         assert!(g22 > 9.0, "GV=22 {g22}");
         assert!(g22 >= f.reduction_at_gv(24.0), "22 vs 24");
         // GV=20 melts out too early and provides little at the peak.
-        assert!(f.reduction_at_gv(20.0) < g22 * 0.5, "GV=20 {}", f.reduction_at_gv(20.0));
+        assert!(
+            f.reduction_at_gv(20.0) < g22 * 0.5,
+            "GV=20 {}",
+            f.reduction_at_gv(20.0)
+        );
     }
 
     #[test]

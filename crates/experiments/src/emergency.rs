@@ -146,7 +146,10 @@ mod tests {
         let points = emergency(50, Outage::at_peak());
         let rr = &points[0];
         let ta = &points[1];
-        assert!(rr.exposure.get() > 0.0, "the outage should bite the baseline");
+        assert!(
+            rr.exposure.get() > 0.0,
+            "the outage should bite the baseline"
+        );
         assert!(
             ta.exposure.get() < rr.exposure.get() * 0.5,
             "VMT should absorb most of the exposure: {ta:?} vs {rr:?}"

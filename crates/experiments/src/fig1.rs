@@ -117,9 +117,7 @@ pub fn fig1() -> Vec<MixPanel> {
         .iter()
         .map(|&pair| MixPanel {
             pair,
-            points: (0..=20)
-                .map(|i| classify(pair, i as f64 * 0.05))
-                .collect(),
+            points: (0..=20).map(|i| classify(pair, i as f64 * 0.05)).collect(),
         })
         .collect()
 }

@@ -120,7 +120,11 @@ mod tests {
     fn wax_melts_at_peak_and_refreezes_overnight() {
         let points = fig2();
         let at_peak = &points[21 * 60];
-        assert!(at_peak.melt_fraction > 0.5, "peak melt {}", at_peak.melt_fraction);
+        assert!(
+            at_peak.melt_fraction > 0.5,
+            "peak melt {}",
+            at_peak.melt_fraction
+        );
         let next_morning = &points[32 * 60];
         assert!(
             next_morning.melt_fraction < at_peak.melt_fraction,

@@ -106,6 +106,10 @@ mod tests {
             })
             .sum();
         let total: f64 = points.iter().map(|p| p.total).sum();
-        assert!((hot / total - 0.6).abs() < 0.02, "hot share {}", hot / total);
+        assert!(
+            (hot / total - 0.6).abs() < 0.02,
+            "hot share {}",
+            hot / total
+        );
     }
 }

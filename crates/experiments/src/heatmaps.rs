@@ -146,7 +146,11 @@ mod tests {
     #[test]
     fn round_robin_melts_nothing() {
         let h = heatmap(HeatmapFigure::Fig9RoundRobin, TEST_SERVERS);
-        assert!(h.peak_melted_fraction() < 0.1, "{}", h.peak_melted_fraction());
+        assert!(
+            h.peak_melted_fraction() < 0.1,
+            "{}",
+            h.peak_melted_fraction()
+        );
     }
 
     #[test]
@@ -165,7 +169,11 @@ mod tests {
     #[test]
     fn vmt_ta_melts_only_the_hot_group() {
         let h = heatmap(HeatmapFigure::Fig11VmtTa, TEST_SERVERS);
-        assert!(h.peak_melted_fraction() > 0.3, "{}", h.peak_melted_fraction());
+        assert!(
+            h.peak_melted_fraction() > 0.3,
+            "{}",
+            h.peak_melted_fraction()
+        );
         // The melt is concentrated in the hot group (low server ids):
         // find the most-melted sampled row and compare halves.
         let hot = h.result.hot_group_sizes[0];

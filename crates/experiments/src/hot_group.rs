@@ -92,7 +92,11 @@ pub fn render(figure: &HotGroupFigure) -> String {
     out.push_str(&format!("(melt {:.1} °C)\n", figure.melt_line));
     let hours = figure.round_robin_avg.len() / 60;
     for h in (0..hours).step_by(2) {
-        out.push_str(&format!("{:4}   {:6.1}  ", h, figure.round_robin_avg[h * 60]));
+        out.push_str(&format!(
+            "{:4}   {:6.1}  ",
+            h,
+            figure.round_robin_avg[h * 60]
+        ));
         for s in &figure.series {
             out.push_str(&format!("{:6.1} ", s.temps[h * 60]));
         }

@@ -129,7 +129,11 @@ pub fn render(figure: &VariationFigure) -> String {
     let mut out = format!(
         "{}: peak cooling load reduction (%) with inlet temperature variation\n\
          GV     σ=0     σ=1     σ=2\n",
-        if figure.wax_aware { "VMT-WA (Fig 20)" } else { "VMT-TA (Fig 19)" }
+        if figure.wax_aware {
+            "VMT-WA (Fig 20)"
+        } else {
+            "VMT-TA (Fig 19)"
+        }
     );
     let first_stdev = figure.points.first().map(|p| p.stdev).unwrap_or(0.0);
     let gvs: Vec<f64> = figure

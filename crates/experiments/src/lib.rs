@@ -34,9 +34,9 @@
 //! `servers` argument so tests and benches can run scaled-down versions.
 
 pub mod ablations;
+pub mod cooling_load;
 pub mod emergency;
 pub mod estimator_validation;
-pub mod cooling_load;
 pub mod fig1;
 pub mod fig2;
 pub mod fig6;
@@ -44,10 +44,10 @@ pub mod fig7;
 pub mod fig8;
 pub mod gv_sweep;
 pub mod heatmaps;
-pub mod preserve;
-pub mod qos_check;
 pub mod hot_group;
 pub mod inlet_variation;
+pub mod preserve;
+pub mod qos_check;
 pub mod report;
 pub mod runner;
 pub mod storage_bound;

@@ -113,8 +113,10 @@ pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> St
         }
     }
     if !(lo.is_finite() && hi.is_finite()) || series.iter().all(|(_, v)| v.is_empty()) {
-        return String::from("(no data)
-");
+        return String::from(
+            "(no data)
+",
+        );
     }
     if hi - lo < 1e-12 {
         hi = lo + 1.0;

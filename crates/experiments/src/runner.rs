@@ -47,25 +47,52 @@ impl Run {
     }
 }
 
-/// Executes several runs concurrently (one OS thread each) and returns
-/// the results in input order.
+/// Executes several runs on a bounded worker pool and returns the
+/// results in input order.
 ///
 /// Parameter sweeps dominate the harness's wall-clock; the runs are
-/// independent and deterministic, so scoped threads give a linear
-/// speedup without any change in output.
+/// independent and deterministic, so parallel execution changes nothing
+/// in the output. Unlike a thread-per-run scheme, the pool is bounded
+/// by the machine's core count: a 50-run sweep on an 8-core box starts
+/// 8 OS threads, not 50, so memory stays proportional to parallelism
+/// and the threads never oversubscribe the CPU.
 pub fn execute_all(runs: &[Run]) -> Vec<SimulationResult> {
-    let mut results: Vec<Option<SimulationResult>> = (0..runs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (run, out) in runs.iter().zip(results.iter_mut()) {
-            scope.spawn(move |_| {
-                *out = Some(run.execute());
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(runs.len());
+    if workers <= 1 {
+        return runs.iter().map(Run::execute).collect();
+    }
+
+    // Work-stealing by index claim: each worker grabs the next
+    // unclaimed run and writes its result into that run's slot, so the
+    // output order is the input order regardless of completion order.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimulationResult>>> =
+        (0..runs.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(run) = runs.get(i) else { break };
+                *slots[i].lock().expect("result slot poisoned") = Some(run.execute());
             });
         }
-    })
-    .expect("simulation worker panicked");
-    results
+    });
+    slots
         .into_iter()
-        .map(|r| r.expect("all runs executed"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("all runs executed")
+        })
         .collect()
 }
 

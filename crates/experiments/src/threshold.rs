@@ -48,7 +48,10 @@ pub fn fig17(servers: usize) -> Vec<ThresholdPoint> {
 pub fn render(servers: usize) -> String {
     let mut out = String::from("Wax threshold  Peak cooling load reduction (%)\n");
     for p in fig17(servers) {
-        out.push_str(&format!("{:13.2}  {:.1}\n", p.threshold, p.reduction_percent));
+        out.push_str(&format!(
+            "{:13.2}  {:.1}\n",
+            p.threshold, p.reduction_percent
+        ));
     }
     out
 }

@@ -125,8 +125,8 @@ impl ShellPack {
     pub fn step(&mut self, air: Celsius, dt: Seconds) -> Watts {
         // Sub-step for stability of the explicit conduction update: the
         // smallest shell time constant bounds the step.
-        let shell_capacity = self.shells[0].mass().get()
-            * self.shells[0].material().specific_heat_solid().get();
+        let shell_capacity =
+            self.shells[0].mass().get() * self.shells[0].material().specific_heat_solid().get();
         let fastest_ua = self.wall_ua.get().max(2.0 * self.inter_ua.get());
         let tau = shell_capacity / fastest_ua;
         let substeps = (dt.get() / (tau / 4.0)).ceil().max(1.0) as usize;
@@ -178,7 +178,10 @@ mod tests {
         for w in fractions.windows(2) {
             assert!(w[0] >= w[1] - 1e-9, "front not monotone: {fractions:?}");
         }
-        assert!(fractions[0] > 0.5, "wall shell should be melting: {fractions:?}");
+        assert!(
+            fractions[0] > 0.5,
+            "wall shell should be melting: {fractions:?}"
+        );
     }
 
     #[test]
@@ -216,7 +219,11 @@ mod tests {
             hx.step(&mut lumped, air, Seconds::new(60.0));
         }
         let shell_rate = shell.step(air, Seconds::new(60.0)).get();
-        let lumped_rate = hx.step(&mut lumped, air, Seconds::new(60.0)).heat_to_wax.get() / 60.0;
+        let lumped_rate = hx
+            .step(&mut lumped, air, Seconds::new(60.0))
+            .heat_to_wax
+            .get()
+            / 60.0;
         assert!(
             shell_rate < lumped_rate * 0.9,
             "discretized rate {shell_rate:.1} W should taper below lumped {lumped_rate:.1} W"
@@ -234,7 +241,10 @@ mod tests {
             hx.step(&mut lumped, Celsius::new(40.0), Seconds::new(60.0));
         }
         let d = (shell.melt_fraction().get() - lumped.melt_fraction().get()).abs();
-        assert!(d < 0.02, "single shell should track the lumped pack, Δ={d:.3}");
+        assert!(
+            d < 0.02,
+            "single shell should track the lumped pack, Δ={d:.3}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl fmt::Display for PcmError {
                  [{lo:.1}, {hi:.1}]"
             ),
             PcmError::NonPositiveProperty { property, value } => {
-                write!(f, "material property {property} must be positive, got {value}")
+                write!(
+                    f,
+                    "material property {property} must be positive, got {value}"
+                )
             }
             PcmError::VolumeExceedsChassis {
                 requested_liters,

@@ -113,7 +113,10 @@ impl WaxStateEstimator {
     /// the estimate tracks the tapered melt rate.
     #[must_use]
     pub fn with_taper(mut self, taper: f64) -> Self {
-        assert!(taper >= 0.0 && taper.is_finite(), "taper must be non-negative");
+        assert!(
+            taper >= 0.0 && taper.is_finite(),
+            "taper must be non-negative"
+        );
         self.taper = taper;
         self
     }
@@ -137,7 +140,8 @@ impl WaxStateEstimator {
     /// Ingests one sensor sample covering `dt` and advances the estimate.
     pub fn update(&mut self, reading: SensorReading, dt: Seconds) {
         let air = quantize(reading.container_air);
-        let on_plateau = !self.estimate_fraction.is_zero() || self.estimate_temp >= self.melt_temperature;
+        let on_plateau =
+            !self.estimate_fraction.is_zero() || self.estimate_temp >= self.melt_temperature;
 
         if on_plateau || self.estimate_fraction.get() > 0.0 {
             self.estimate_temp = self.estimate_temp.min(self.melt_temperature);

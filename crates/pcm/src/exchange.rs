@@ -127,10 +127,12 @@ impl HeatExchanger {
         debug_assert!(dt.get() > 0.0, "dt must be positive");
         // Sensible time constant of the pack; the plateau is even stiffer
         // (infinite capacity), so the solid-phase τ is the binding one.
-        let heat_capacity =
-            pack.mass().get() * pack.material().specific_heat_solid().get().min(
-                pack.material().specific_heat_liquid().get(),
-            );
+        let heat_capacity = pack.mass().get()
+            * pack
+                .material()
+                .specific_heat_solid()
+                .get()
+                .min(pack.material().specific_heat_liquid().get());
         let tau = heat_capacity / self.ua.get();
         let substeps = (dt.get() / (tau / 4.0)).ceil().max(1.0) as usize;
         let sub_dt = dt / substeps as f64;
@@ -183,7 +185,11 @@ mod tests {
         for _ in 0..480 {
             hx().step(&mut pack, Celsius::new(40.0), Seconds::new(60.0));
         }
-        assert!(pack.melt_fraction().get() > 0.9, "melt fraction {}", pack.melt_fraction());
+        assert!(
+            pack.melt_fraction().get() > 0.9,
+            "melt fraction {}",
+            pack.melt_fraction()
+        );
     }
 
     #[test]

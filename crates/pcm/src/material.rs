@@ -9,7 +9,9 @@
 //! can *virtually* lower it via job placement instead of buying n-paraffin.
 
 use crate::PcmError;
-use vmt_units::{Celsius, Dollars, JoulesPerKg, JoulesPerKgKelvin, Kilograms, KilogramsPerCubicMeter};
+use vmt_units::{
+    Celsius, Dollars, JoulesPerKg, JoulesPerKgKelvin, Kilograms, KilogramsPerCubicMeter,
+};
 
 /// Procurement class of a PCM, which determines cost and the available
 /// melting-temperature range.
@@ -375,7 +377,13 @@ mod tests {
             Dollars::new(100.0),
         )
         .unwrap_err();
-        assert!(matches!(err, PcmError::NonPositiveProperty { property: "latent_heat", .. }));
+        assert!(matches!(
+            err,
+            PcmError::NonPositiveProperty {
+                property: "latent_heat",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -409,15 +417,24 @@ mod tests {
 
     #[test]
     fn class_display() {
-        assert_eq!(MaterialClass::CommercialParaffin.to_string(), "commercial paraffin");
+        assert_eq!(
+            MaterialClass::CommercialParaffin.to_string(),
+            "commercial paraffin"
+        );
         assert_eq!(MaterialClass::PureNParaffin.to_string(), "pure n-paraffin");
     }
 
     #[test]
     fn catalog_spans_the_commercial_window() {
         let catalog = PcmMaterial::commercial_catalog();
-        assert_eq!(catalog.first().unwrap().melt_temperature(), Celsius::new(35.7));
-        assert_eq!(catalog.last().unwrap().melt_temperature(), Celsius::new(60.0));
+        assert_eq!(
+            catalog.first().unwrap().melt_temperature(),
+            Celsius::new(35.7)
+        );
+        assert_eq!(
+            catalog.last().unwrap().melt_temperature(),
+            Celsius::new(60.0)
+        );
         assert!(catalog
             .iter()
             .all(|m| m.class() == MaterialClass::CommercialParaffin));

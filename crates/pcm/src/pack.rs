@@ -82,9 +82,10 @@ impl WaxPack {
 
     /// Enthalpy at which melting begins (solid at the melt point).
     fn plateau_start(&self) -> Joules {
-        self.material
-            .specific_heat_solid()
-            .sensible_heat(self.mass, self.material.melt_temperature() - Celsius::new(0.0))
+        self.material.specific_heat_solid().sensible_heat(
+            self.mass,
+            self.material.melt_temperature() - Celsius::new(0.0),
+        )
     }
 
     /// Total latent storage capacity of the pack (`m · L`).

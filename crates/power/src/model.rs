@@ -32,7 +32,10 @@ impl fmt::Display for PowerModelError {
                 write!(f, "idle power {idle} exceeds peak power {peak}")
             }
             PowerModelError::InvalidPower { parameter, value } => {
-                write!(f, "power parameter {parameter} must be non-negative and finite, got {value}")
+                write!(
+                    f,
+                    "power parameter {parameter} must be non-negative and finite, got {value}"
+                )
             }
             PowerModelError::ZeroCores => write!(f, "server must have at least one core"),
         }
@@ -124,10 +127,7 @@ impl ServerPowerModel {
     /// [`cores`]: ServerPowerModel::cores
     pub fn power(&self, core_draws: impl IntoIterator<Item = Watts>) -> Watts {
         let mut count = 0u32;
-        let total: Watts = core_draws
-            .into_iter()
-            .inspect(|_| count += 1)
-            .sum();
+        let total: Watts = core_draws.into_iter().inspect(|_| count += 1).sum();
         debug_assert!(
             count <= self.cores,
             "{count} core draws exceed the server's {} cores",

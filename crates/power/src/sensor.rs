@@ -50,7 +50,10 @@ impl PowerSensor {
     ///
     /// Panics if `resolution` is not strictly positive or `wrap` is zero.
     pub fn new(resolution: f64, wrap: u64) -> Self {
-        assert!(resolution > 0.0 && resolution.is_finite(), "resolution must be positive");
+        assert!(
+            resolution > 0.0 && resolution.is_finite(),
+            "resolution must be positive"
+        );
         assert!(wrap > 0, "wrap modulus must be non-zero");
         Self {
             counter: 0,

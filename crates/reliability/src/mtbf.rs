@@ -33,8 +33,7 @@ impl FailureModel {
     /// The paper's model: 70,000 h MTBF at 30 °C, rate doubling every
     /// +10 °C.
     pub fn paper_default() -> Self {
-        Self::new(70_000.0, Celsius::new(30.0), 10.0)
-            .expect("paper constants are valid")
+        Self::new(70_000.0, Celsius::new(30.0), 10.0).expect("paper constants are valid")
     }
 
     /// Creates a model.

@@ -41,7 +41,9 @@ impl CoolingCostModel {
             ));
         }
         if !(lifetime_years > 0.0 && lifetime_years.is_finite()) {
-            return Err(format!("lifetime must be positive, got {lifetime_years} years"));
+            return Err(format!(
+                "lifetime must be positive, got {lifetime_years} years"
+            ));
         }
         Ok(Self {
             depreciation_per_kw_month,

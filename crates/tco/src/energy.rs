@@ -50,7 +50,10 @@ impl TimeOfUseTariff {
         peak_start_hour: f64,
         peak_end_hour: f64,
     ) -> Result<Self, String> {
-        if !(peak_rate > 0.0 && peak_rate.is_finite() && off_peak_rate > 0.0 && off_peak_rate.is_finite())
+        if !(peak_rate > 0.0
+            && peak_rate.is_finite()
+            && off_peak_rate > 0.0
+            && off_peak_rate.is_finite())
         {
             return Err("rates must be positive and finite".to_owned());
         }

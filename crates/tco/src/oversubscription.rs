@@ -41,7 +41,10 @@ impl OversubscriptionPlan {
             (0.0..1.0).contains(&reduction),
             "reduction must be in [0, 1), got {reduction}"
         );
-        assert!(critical_power.get() > 0.0, "critical power must be positive");
+        assert!(
+            critical_power.get() > 0.0,
+            "critical power must be positive"
+        );
         assert!(server_peak.get() > 0.0, "server peak must be positive");
         Self {
             critical_power,

@@ -49,7 +49,10 @@ impl AirStream {
     /// Creates a stream from a volumetric flow in cubic feet per minute,
     /// the unit server fans are specified in.
     pub fn from_cfm(cfm: f64) -> Self {
-        assert!(cfm > 0.0 && cfm.is_finite(), "CFM must be positive, got {cfm}");
+        assert!(
+            cfm > 0.0 && cfm.is_finite(),
+            "CFM must be positive, got {cfm}"
+        );
         let m3_per_s = cfm * 0.000_471_947;
         Self::new(WattsPerKelvin::new(m3_per_s * AIR_DENSITY * AIR_CP))
     }

@@ -31,10 +31,7 @@ pub fn capacity_rate_for_operating_point(
     inlet: Celsius,
     target: Celsius,
 ) -> WattsPerKelvin {
-    assert!(
-        target > inlet,
-        "target {target} must exceed inlet {inlet}"
-    );
+    assert!(target > inlet, "target {target} must exceed inlet {inlet}");
     assert!(power.get() > 0.0, "power must be positive, got {power}");
     WattsPerKelvin::new(power.get() / (target - inlet).get())
 }
@@ -107,6 +104,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must exceed inlet")]
     fn rejects_inverted_operating_point() {
-        capacity_rate_for_operating_point(Watts::new(100.0), Celsius::new(30.0), Celsius::new(25.0));
+        capacity_rate_for_operating_point(
+            Watts::new(100.0),
+            Celsius::new(30.0),
+            Celsius::new(25.0),
+        );
     }
 }

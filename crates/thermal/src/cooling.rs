@@ -105,10 +105,7 @@ impl CoolingLoadSeries {
     /// Peak (maximum) cooling load over the series; zero for an empty
     /// series.
     pub fn peak(&self) -> Watts {
-        self.samples
-            .iter()
-            .copied()
-            .fold(Watts::ZERO, Watts::max)
+        self.samples.iter().copied().fold(Watts::ZERO, Watts::max)
     }
 
     /// Time (from the start of the series) at which the peak occurs.
@@ -133,10 +130,7 @@ impl CoolingLoadSeries {
 
     /// Total heat removed across the series (`Σ load·dt`).
     pub fn total_heat(&self) -> Joules {
-        self.samples
-            .iter()
-            .map(|&w| w * self.dt)
-            .sum()
+        self.samples.iter().map(|&w| w * self.dt).sum()
     }
 
     /// Compares this series' peak against a baseline's.

@@ -120,8 +120,7 @@ impl InletModel {
                 swing,
                 peak_hour,
             } => {
-                let phase =
-                    std::f64::consts::TAU * (hours.rem_euclid(24.0) - peak_hour) / 24.0;
+                let phase = std::f64::consts::TAU * (hours.rem_euclid(24.0) - peak_hour) / 24.0;
                 mean + swing * phase.cos()
             }
             _ => self.inlet_for(index),

@@ -38,7 +38,11 @@ impl RoomModel {
     /// thermal capacitance of ≈2 MJ/K per 25 kW of plant capacity
     /// (air plus the first few minutes of rack/floor mass).
     pub fn paper_default(capacity: Watts) -> Self {
-        Self::new(capacity, Celsius::new(22.0), 2.0e6 * capacity.get() / 25_000.0)
+        Self::new(
+            capacity,
+            Celsius::new(22.0),
+            2.0e6 * capacity.get() / 25_000.0,
+        )
     }
 
     /// Creates a room model at its setpoint.

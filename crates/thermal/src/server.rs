@@ -127,7 +127,10 @@ mod tests {
         let m = model();
         // Round-robin mixed load (~232 W) sits just below the melt point.
         let rr = m.steady_state(Watts::new(232.0));
-        assert!(rr > Celsius::new(35.0) && rr < Celsius::new(35.7), "rr={rr}");
+        assert!(
+            rr > Celsius::new(35.0) && rr < Celsius::new(35.7),
+            "rr={rr}"
+        );
         // A GV=22 hot-group server (~290 W) sits clearly above it.
         let hot = m.steady_state(Watts::new(290.0));
         assert!(hot > Celsius::new(38.0), "hot={hot}");

@@ -17,7 +17,9 @@ use core::fmt;
 /// assert!(melted >= Fraction::new(0.95).unwrap());
 /// assert_eq!(Fraction::saturating(1.7), Fraction::ONE);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Fraction(f64);
 

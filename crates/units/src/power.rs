@@ -140,7 +140,10 @@ mod tests {
         assert_eq!(p.to_kilowatts(), Kilowatts::new(250.0));
         assert_eq!(p.to_megawatts(), Megawatts::new(0.25));
         assert_eq!(p.to_kilowatts().to_watts(), p);
-        assert_eq!(Megawatts::new(25.0).to_kilowatts(), Kilowatts::new(25_000.0));
+        assert_eq!(
+            Megawatts::new(25.0).to_kilowatts(),
+            Kilowatts::new(25_000.0)
+        );
     }
 
     #[test]

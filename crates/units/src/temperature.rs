@@ -26,7 +26,9 @@ linear_quantity!(
 /// assert!(((air - melt).get() - 3.2).abs() < 1e-12);
 /// assert_eq!(melt + DegC::new(1.0), Celsius::new(36.7));
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct Celsius(f64);
 

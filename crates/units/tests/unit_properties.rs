@@ -1,0 +1,74 @@
+//! Property tests for the unit newtypes: arithmetic round-trips, no NaN
+//! from finite inputs, exact serde round-trips.
+
+use proptest::prelude::*;
+use vmt_units::{Celsius, DegC, Fraction, Hours, Joules, Minutes, Seconds, Watts};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Temperature arithmetic round-trips: adding and subtracting the
+    /// same delta returns within one ULP-scale epsilon, and finite
+    /// inputs never produce NaN.
+    #[test]
+    fn temperature_add_sub_round_trips(c in -50.0f64..120.0, d in -40.0f64..40.0) {
+        let base = Celsius::new(c);
+        let delta = DegC::new(d);
+        let back = (base + delta) - delta;
+        prop_assert!(back.get().is_finite());
+        prop_assert!((back.get() - c).abs() <= 1e-9 * (1.0 + c.abs()), "{c} vs {back}");
+        prop_assert!((base + delta).get().is_finite());
+        prop_assert!(((base + delta) - base).get().is_finite());
+    }
+
+    /// Time conversions round-trip across all three units.
+    #[test]
+    fn time_conversions_round_trip(s in 1e-3f64..1e7) {
+        let seconds = Seconds::new(s);
+        let via_minutes = seconds.to_minutes().to_seconds().get();
+        let via_hours = seconds.to_hours().to_seconds().get();
+        let via_both = Hours::new(s / 3600.0).to_minutes().to_seconds().get();
+        prop_assert!((via_minutes - s).abs() <= 1e-9 * s);
+        prop_assert!((via_hours - s).abs() <= 1e-9 * s);
+        prop_assert!((via_both - s).abs() <= 1e-6 * s);
+        prop_assert!(Minutes::new(s).to_hours().get().is_finite());
+    }
+
+    /// Energy over time round-trips with power: `(P × t) / t = P` and
+    /// `(P × t) / P = t`, NaN-free for positive finite inputs.
+    #[test]
+    fn power_energy_round_trips(p in 1e-3f64..1e7, t in 1e-3f64..1e6) {
+        let power = Watts::new(p);
+        let dt = Seconds::new(t);
+        let energy: Joules = power * dt;
+        prop_assert!(energy.get().is_finite());
+        let p_back = energy.over(dt).get();
+        let t_back = (energy / power).get();
+        prop_assert!((p_back - p).abs() <= 1e-9 * p, "{p} vs {p_back}");
+        prop_assert!((t_back - t).abs() <= 1e-9 * t, "{t} vs {t_back}");
+    }
+
+    /// `Fraction::saturating` always lands in `[0, 1]` and never emits
+    /// NaN for non-NaN input, however extreme.
+    #[test]
+    fn fraction_saturating_stays_in_range(x in -1e12f64..1e12) {
+        let f = Fraction::saturating(x);
+        prop_assert!((0.0..=1.0).contains(&f.get()), "{x} -> {}", f.get());
+        let c = f.complement();
+        prop_assert!((0.0..=1.0).contains(&c.get()));
+        prop_assert!((f.get() + c.get() - 1.0).abs() <= 1e-12);
+    }
+
+    /// Unit newtypes survive a JSON round-trip *exactly* — the
+    /// `float_roundtrip` contract the sweep-result files rely on.
+    #[test]
+    fn serde_round_trip_is_exact(x in -1e9f64..1e9) {
+        let w = Watts::new(x);
+        let json = serde_json::to_string(&w).expect("serializes");
+        let back: Watts = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back.get().to_bits(), x.to_bits());
+        let c = Celsius::new(x);
+        let back: Celsius = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        prop_assert_eq!(back.get().to_bits(), x.to_bits());
+    }
+}

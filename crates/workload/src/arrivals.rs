@@ -110,13 +110,30 @@ impl ArrivalPlanner {
     /// `kind` up to `target`. Returns an empty vector when already at or
     /// above target.
     pub fn plan(&mut self, kind: WorkloadKind, target: usize, current: usize) -> Vec<JobSpec> {
+        let mut out = Vec::new();
+        self.plan_into(kind, target, current, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ArrivalPlanner::plan`]: appends the
+    /// planned arrivals to `out` (which the caller typically recycles
+    /// across ticks). Draws from the RNG exactly as `plan` does, so the
+    /// two are interchangeable without perturbing the jitter stream.
+    pub fn plan_into(
+        &mut self,
+        kind: WorkloadKind,
+        target: usize,
+        current: usize,
+        out: &mut Vec<JobSpec>,
+    ) {
         let deficit = target.saturating_sub(current);
-        (0..deficit)
-            .map(|_| JobSpec {
+        out.reserve(deficit);
+        for _ in 0..deficit {
+            out.push(JobSpec {
                 kind,
                 duration: self.draw_duration(kind),
-            })
-            .collect()
+            });
+        }
     }
 }
 
@@ -179,10 +196,17 @@ mod tests {
         let mean: f64 = jobs.iter().map(|j| j.duration.get()).sum::<f64>() / jobs.len() as f64;
         assert!((mean - typical).abs() < typical * 0.06, "mean {mean}");
         // A genuine tail: some jobs run more than twice the typical.
-        let long = jobs.iter().filter(|j| j.duration.get() > 2.0 * typical).count();
+        let long = jobs
+            .iter()
+            .filter(|j| j.duration.get() > 2.0 * typical)
+            .count();
         assert!(long > jobs.len() / 40, "tail too thin: {long}");
         // ... but the clamp holds.
-        assert!(jobs.iter().all(|j| j.duration.get() <= 6.0 * typical + 1e-9));
-        assert!(jobs.iter().all(|j| j.duration.get() >= 0.1 * typical - 1e-9));
+        assert!(jobs
+            .iter()
+            .all(|j| j.duration.get() <= 6.0 * typical + 1e-9));
+        assert!(jobs
+            .iter()
+            .all(|j| j.duration.get() >= 0.1 * typical - 1e-9));
     }
 }

@@ -201,8 +201,14 @@ mod tests {
 
     #[test]
     fn qos_classes() {
-        assert_eq!(WorkloadKind::WebSearch.qos_class(), QosClass::LatencyCritical);
-        assert_eq!(WorkloadKind::DataCaching.qos_class(), QosClass::LatencyCritical);
+        assert_eq!(
+            WorkloadKind::WebSearch.qos_class(),
+            QosClass::LatencyCritical
+        );
+        assert_eq!(
+            WorkloadKind::DataCaching.qos_class(),
+            QosClass::LatencyCritical
+        );
         assert_eq!(WorkloadKind::VideoEncoding.qos_class(), QosClass::Elastic);
     }
 

@@ -142,8 +142,7 @@ mod tests {
 
     #[test]
     fn margin_raises_the_bar() {
-        let strict =
-            ThermalClassifier::paper_default().with_margin(vmt_units::DegC::new(10.0));
+        let strict = ThermalClassifier::paper_default().with_margin(vmt_units::DegC::new(10.0));
         // With a 10 K margin nothing in the catalog qualifies.
         for kind in WorkloadKind::ALL {
             assert_eq!(strict.classify(kind), VmtClass::Cold, "{kind}");

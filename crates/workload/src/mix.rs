@@ -28,7 +28,10 @@ impl fmt::Display for MixError {
                 write!(f, "workload shares must sum to 1, got {sum}")
             }
             MixError::InvalidShare { kind, value } => {
-                write!(f, "share for {kind} must be a non-negative finite number, got {value}")
+                write!(
+                    f,
+                    "share for {kind} must be a non-negative finite number, got {value}"
+                )
             }
         }
     }
@@ -131,9 +134,7 @@ impl WorkloadMix {
 
     /// Mean per-core power of the blended load.
     pub fn mean_core_power(&self) -> vmt_units::Watts {
-        self.iter()
-            .map(|(k, s)| k.core_power() * s)
-            .sum()
+        self.iter().map(|(k, s)| k.core_power() * s).sum()
     }
 
     /// Mean per-core power of only the hot (or only the cold) component,
@@ -232,7 +233,10 @@ mod tests {
     #[test]
     fn component_power_of_empty_component_is_zero() {
         let mix = WorkloadMix::pair(WorkloadKind::WebSearch, WorkloadKind::Clustering, 0.5);
-        assert_eq!(mix.component_core_power(VmtClass::Cold), vmt_units::Watts::ZERO);
+        assert_eq!(
+            mix.component_core_power(VmtClass::Cold),
+            vmt_units::Watts::ZERO
+        );
     }
 
     proptest! {

@@ -116,8 +116,7 @@ pub fn search_latency(clients_per_core: f64, alloc: Colocation) -> Latency {
     // Search neighbors contend mildly for LLC.
     let self_interference = 0.01 * f64::from(alloc.search_cores.saturating_sub(1)) / 5.0 * u;
     // Colocated caching degrades search across the whole range.
-    let cross =
-        f64::from(alloc.caching_cores) / 4.0 * (0.02 + 0.0015 * clients_per_core);
+    let cross = f64::from(alloc.caching_cores) / 4.0 * (0.02 + 0.0015 * clients_per_core);
     let mean_s = 0.05 + queueing + self_interference + cross;
     let p90_s = mean_s * 1.35 + cross * 0.5;
     Latency {

@@ -71,7 +71,9 @@ impl RecordedTrace {
         for (i, row) in rows.iter().enumerate() {
             let sum: f64 = row.iter().sum();
             if row.iter().any(|u| !(0.0..=1.0).contains(u)) || sum > 1.0 + 1e-9 {
-                return Err(format!("sample {i} is not a valid utilization row: {row:?}"));
+                return Err(format!(
+                    "sample {i} is not a valid utilization row: {row:?}"
+                ));
             }
         }
         Ok(Self { step, rows })
@@ -257,7 +259,8 @@ mod tests {
         );
         let err = RecordedTrace::from_csv_str("hour,a,b,c,d,e\n0.0,1,2\n").unwrap_err();
         assert_eq!(err.line, 2);
-        let err = RecordedTrace::from_csv_str("0.0,0.1,0.1,0.1,0.1,x\n0.5,0,0,0,0,0\n").unwrap_err();
+        let err =
+            RecordedTrace::from_csv_str("0.0,0.1,0.1,0.1,0.1,x\n0.5,0,0,0,0,0\n").unwrap_err();
         assert!(err.reason.contains("not a number"));
     }
 

@@ -182,8 +182,7 @@ impl DiurnalTrace {
             if offset < bump.width_hours {
                 // Raised-cosine bump; the envelope takes the larger of
                 // the diurnal curve and the bump.
-                let shape = 0.5
-                    * (1.0 + (core::f64::consts::PI * offset / bump.width_hours).cos());
+                let shape = 0.5 * (1.0 + (core::f64::consts::PI * offset / bump.width_hours).cos());
                 u = u.max(lo + (bump.utilization - lo).max(0.0) * shape);
             }
         }
@@ -258,7 +257,9 @@ mod tests {
     fn shares_respected_at_peak() {
         let t = trace();
         let total = t.total_utilization(Hours::new(20.0)).get();
-        let search = t.utilization(WorkloadKind::WebSearch, Hours::new(20.0)).get();
+        let search = t
+            .utilization(WorkloadKind::WebSearch, Hours::new(20.0))
+            .get();
         assert!((search / total - 0.25).abs() < 0.03);
     }
 
@@ -280,7 +281,10 @@ mod tests {
         let b = DiurnalTrace::new(cfg);
         let t = Hours::new(20.0);
         let diff = (a.total_utilization(t).get() - b.total_utilization(t).get()).abs();
-        assert!(diff < 2.0 * 0.015 + 1e-6, "noise-level difference, got {diff}");
+        assert!(
+            diff < 2.0 * 0.015 + 1e-6,
+            "noise-level difference, got {diff}"
+        );
     }
 
     #[test]

@@ -34,14 +34,13 @@ fn main() {
     )
     .run();
     let reduction = vmt.compare_peak(&baseline).reduction();
-    println!("measured peak cooling-load reduction: {:.1}%\n", reduction * 100.0);
+    println!(
+        "measured peak cooling-load reduction: {:.1}%\n",
+        reduction * 100.0
+    );
 
     // 2. Scale to the paper's 25 MW datacenter of 500 W servers.
-    let plan = OversubscriptionPlan::new(
-        Kilowatts::new(25_000.0),
-        Watts::new(500.0),
-        reduction,
-    );
+    let plan = OversubscriptionPlan::new(Kilowatts::new(25_000.0), Watts::new(500.0), reduction);
     let costs = CoolingCostModel::paper_default();
     println!("option A — install a smaller cooling system:");
     println!(

@@ -1,0 +1,99 @@
+//! Differential regression tests: the optimized schedulers (heap
+//! balancer + `ClusterIndex` fast paths + scan cursors) must be
+//! *observationally identical* to the retained naive-scan references in
+//! `vmt_core::reference`.
+//!
+//! Each case runs the full simulation twice — once per implementation —
+//! over a 100-server, one-day diurnal trace and asserts the entire
+//! [`SimulationResult`]s are equal: every cooling/electrical sample,
+//! every temperature, every heatmap cell, every placement and drop
+//! count. Any divergence in placement order, key arithmetic, or index
+//! bookkeeping shows up as a failed equality, so the fast paths cannot
+//! silently drift from the specification.
+
+use vmt_core::{
+    CoolestFirst, GroupingValue, NaiveCoolestFirst, NaiveVmtTa, NaiveVmtWa, VmtConfig, VmtTa, VmtWa,
+};
+use vmt_dcsim::{ClusterConfig, Scheduler, Simulation, SimulationResult};
+use vmt_units::Hours;
+use vmt_workload::{DiurnalTrace, TraceConfig};
+
+const SERVERS: usize = 100;
+const SEEDS: [u64; 3] = [0, 1, 42];
+
+fn one_day_config(seed: u64) -> (ClusterConfig, TraceConfig) {
+    let mut cluster = ClusterConfig::paper_default(SERVERS);
+    cluster.seed = seed;
+    let mut trace = TraceConfig {
+        horizon: Hours::new(24.0),
+        ..TraceConfig::paper_default()
+    };
+    trace.seed = trace.seed.wrapping_add(seed);
+    (cluster, trace)
+}
+
+fn run(seed: u64, scheduler: Box<dyn Scheduler>) -> SimulationResult {
+    let (cluster, trace) = one_day_config(seed);
+    Simulation::new(cluster, DiurnalTrace::new(trace), scheduler).run()
+}
+
+/// Asserts two runs are bit-identical, with a targeted message per field
+/// so a regression points at the diverging series instead of dumping two
+/// multi-megabyte structs.
+fn assert_identical(fast: &SimulationResult, naive: &SimulationResult, label: &str) {
+    assert_eq!(fast.scheduler_name, naive.scheduler_name, "{label}: name");
+    assert_eq!(fast.placements, naive.placements, "{label}: placements");
+    assert_eq!(fast.dropped_jobs, naive.dropped_jobs, "{label}: drops");
+    assert_eq!(fast.cooling, naive.cooling, "{label}: cooling series");
+    assert_eq!(fast.electrical, naive.electrical, "{label}: electrical");
+    assert_eq!(fast.avg_temp, naive.avg_temp, "{label}: avg_temp");
+    assert_eq!(
+        fast.hot_group_temp, naive.hot_group_temp,
+        "{label}: hot_group_temp"
+    );
+    assert_eq!(
+        fast.hot_group_sizes, naive.hot_group_sizes,
+        "{label}: hot_group_sizes"
+    );
+    assert_eq!(
+        fast.stored_energy, naive.stored_energy,
+        "{label}: stored_energy"
+    );
+    assert_eq!(fast.temp_heatmap, naive.temp_heatmap, "{label}: temp map");
+    assert_eq!(fast.melt_heatmap, naive.melt_heatmap, "{label}: melt map");
+    // Belt and braces: whole-struct equality catches any field added
+    // later without a targeted assert above.
+    assert_eq!(fast, naive, "{label}: full result");
+}
+
+fn vmt_config(seed: u64) -> VmtConfig {
+    let (cluster, _) = one_day_config(seed);
+    VmtConfig::new(GroupingValue::new(22.0), &cluster)
+}
+
+#[test]
+fn coolest_first_matches_naive_reference() {
+    for seed in SEEDS {
+        let fast = run(seed, Box::new(CoolestFirst::new()));
+        let naive = run(seed, Box::new(NaiveCoolestFirst::new()));
+        assert_identical(&fast, &naive, &format!("coolest-first seed {seed}"));
+    }
+}
+
+#[test]
+fn vmt_ta_matches_naive_reference() {
+    for seed in SEEDS {
+        let fast = run(seed, Box::new(VmtTa::new(vmt_config(seed))));
+        let naive = run(seed, Box::new(NaiveVmtTa::new(vmt_config(seed))));
+        assert_identical(&fast, &naive, &format!("vmt-ta seed {seed}"));
+    }
+}
+
+#[test]
+fn vmt_wa_matches_naive_reference() {
+    for seed in SEEDS {
+        let fast = run(seed, Box::new(VmtWa::new(vmt_config(seed))));
+        let naive = run(seed, Box::new(NaiveVmtWa::new(vmt_config(seed))));
+        assert_identical(&fast, &naive, &format!("vmt-wa seed {seed}"));
+    }
+}

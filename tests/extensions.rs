@@ -93,7 +93,11 @@ fn striping_balances_rack_power_under_vmt() {
         contiguous.imbalance(),
         striped.imbalance()
     );
-    assert!(striped.imbalance() < 0.05, "striped {:.3}", striped.imbalance());
+    assert!(
+        striped.imbalance() < 0.05,
+        "striped {:.3}",
+        striped.imbalance()
+    );
 }
 
 /// Shifting the cooling peak into off-peak hours saves opex under a

@@ -51,8 +51,7 @@ fn baselines_do_not_melt_wax() {
         Run::new(SERVERS, PolicyKind::CoolestFirst),
     ]);
     for r in &results {
-        let melted_share = r.max_stored_energy().get()
-            / (SERVERS as f64 * 786_480.0); // per-server latent capacity
+        let melted_share = r.max_stored_energy().get() / (SERVERS as f64 * 786_480.0); // per-server latent capacity
         assert!(
             melted_share < 0.05,
             "{} stored {:.1}% of cluster capacity",
@@ -171,7 +170,11 @@ fn tco_pipeline() {
     let (reduction, summary) = vmt::experiments::tco_summary::measured(SERVERS);
     assert!(reduction > 0.10, "measured reduction {reduction:.3}");
     let best = &summary.scenarios[0];
-    assert!(best.cooling_savings.get() > 2.0e6, "{}", best.cooling_savings);
+    assert!(
+        best.cooling_savings.get() > 2.0e6,
+        "{}",
+        best.cooling_savings
+    );
     assert!(best.additional_servers > 5_000);
     assert!(summary.n_paraffin_cost.get() / summary.commercial_wax_cost.get() > 70.0);
 }

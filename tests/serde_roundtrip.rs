@@ -26,6 +26,45 @@ fn cluster_config_round_trips() {
 }
 
 #[test]
+fn cluster_config_round_trips_waxless_with_exponential_durations() {
+    // The non-default corners: `wax: None` (Option field) and the
+    // exponential duration model (non-default enum variant).
+    let mut config = ClusterConfig::without_wax(7);
+    config.duration_model = vmt::workload::DurationModel::Exponential;
+    config.seed = u64::MAX;
+    let back: ClusterConfig = round_trip(&config);
+    assert_eq!(back, config);
+    assert!(back.wax.is_none());
+}
+
+#[test]
+fn heatmap_round_trips_exactly() {
+    use vmt::dcsim::Heatmap;
+    // Awkward float values on purpose: exact round-trip must hold for
+    // every cell, including negatives, subnormal-ish magnitudes, and
+    // values with no short decimal form.
+    let map = Heatmap {
+        row_interval: 300.0,
+        rows: vec![
+            vec![0.1, 35.7, -4.25, 1.0 / 3.0],
+            vec![1e-300, 2.0f64.powi(60), 0.0, -0.0],
+            vec![],
+        ],
+    };
+    let back: Heatmap = round_trip(&map);
+    assert_eq!(back, map);
+    for (row, original) in back.rows.iter().zip(&map.rows) {
+        for (a, b) in row.iter().zip(original) {
+            assert_eq!(a.to_bits(), b.to_bits(), "cell changed: {b} -> {a}");
+        }
+    }
+    assert_eq!(back.max(), map.max());
+    // An empty heatmap survives too.
+    let empty: Heatmap = round_trip(&Heatmap::default());
+    assert!(empty.is_empty());
+}
+
+#[test]
 fn trace_config_round_trips_with_second_peak() {
     let mut config = TraceConfig::paper_default();
     config.second_peak = Some(SecondPeak {

@@ -94,11 +94,8 @@ fn wax_does_not_change_electrical_power() {
 #[test]
 fn inlet_offsets_idle_operating_points() {
     let mut config = ClusterConfig::paper_default(16);
-    config.inlet = vmt::thermal::InletModel::normal(
-        Celsius::new(22.0),
-        vmt::units::DegC::new(2.0),
-        1234,
-    );
+    config.inlet =
+        vmt::thermal::InletModel::normal(Celsius::new(22.0), vmt::units::DegC::new(2.0), 1234);
     let servers: Vec<Server> = (0..16)
         .map(|i| Server::from_config(ServerId(i), &config))
         .collect();

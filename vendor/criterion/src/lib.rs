@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset used by this workspace's bench targets:
+//! `Criterion::bench_function`/`benchmark_group`, groups with
+//! `sample_size`/`bench_with_input`/`bench_function`/`finish`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is wall-clock with a small
+//! fixed time budget per benchmark so that `cargo test`, which also
+//! builds and runs `harness = false` bench targets, stays fast; run the
+//! targets directly (`cargo bench`) for longer, steadier samples.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    budget: Duration,
+    /// (total elapsed, iterations) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly under a small time budget and records
+    /// the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup iteration.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(group: Option<&str>, name: &str, result: Option<(Duration, u64)>) {
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    match result {
+        Some((elapsed, iters)) if iters > 0 => {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "bench {label:<50} {:>12.3} ms/iter ({iters} iters)",
+                per_iter * 1e3
+            );
+        }
+        _ => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+fn run_bencher(budget: Duration, f: impl FnOnce(&mut Bencher)) -> Option<(Duration, u64)> {
+    let mut bencher = Bencher {
+        budget,
+        result: None,
+    };
+    f(&mut bencher);
+    bencher.result
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line arguments. The stand-in accepts and ignores
+    /// the flags cargo passes to `harness = false` targets.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let result = run_bencher(self.budget, f);
+        report(None, &id.name, result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the criterion sample count; the stand-in's time-budget
+    /// measurement ignores it.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets criterion's per-benchmark measurement time.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.criterion.budget = budget;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let result = run_bencher(self.criterion.budget, f);
+        report(Some(&self.name), &id.name, result);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let result = run_bencher(self.criterion.budget, |b| f(b, input));
+        report(Some(&self.name), &id.name, result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = <$crate::Criterion as ::std::default::Default>::default()
+                .configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        trivial(&mut c);
+    }
+}

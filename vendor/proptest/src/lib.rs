@@ -1,0 +1,286 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro over
+//! functions whose arguments are drawn from primitive range strategies,
+//! `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//! Case generation is deterministic (fixed seed per test function, one
+//! derived RNG per case); there is no shrinking — a failing case panics
+//! with the drawn inputs' case number so it can be replayed.
+
+/// Strategies: how to draw a value of some type.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategies {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Test-runner plumbing: configuration, errors, case loop.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Number of cases to run per property, plus room for future knobs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// How many random cases to execute.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; whole-simulation properties
+            // in this workspace make that needlessly slow.
+            Config { cases: 32 }
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An explicit `prop_assert!`-style failure.
+        Fail(String),
+        /// The case asked to be discarded (unused here, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Drives the per-case loop for one property function.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with `config`.
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` once per configured case with a per-case RNG.
+        ///
+        /// Panics (failing the enclosing `#[test]`) on the first case
+        /// that returns an error.
+        pub fn run_cases<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+        {
+            // A fixed base keeps runs reproducible; per-case streams are
+            // decorrelated by feeding the base RNG forward.
+            let mut base = SmallRng::seed_from_u64(0x5EED_CAFE_F00D_D00D);
+            for case_no in 0..self.config.cases {
+                let mut rng = SmallRng::seed_from_u64(base.next_u64());
+                match case(&mut rng) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("property failed at case {case_no}: {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property-test functions. See the crate docs for the
+/// supported grammar (argument lists of `name in strategy` pairs, with
+/// an optional leading `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::test_runner::Config as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_cases(|__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), __proptest_rng);)*
+                let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __proptest_result
+            });
+        }
+    )*};
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    // `if cond {} else { fail }` instead of `if !cond` keeps clippy's
+    // neg_cmp_op_on_partial_ord from firing on float comparisons at the
+    // caller's expansion site.
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} ({}:{})",
+                    ::std::stringify!($cond),
+                    ::std::file!(),
+                    ::std::line!()
+                ),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`: left = {:?}, right = {:?} ({}:{})",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    left,
+                    right,
+                    ::std::file!(),
+                    ::std::line!()
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if left != right {
+        } else {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`: both = {:?} ({}:{})",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    left,
+                    ::std::file!(),
+                    ::std::line!()
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f64..1.0, n in 3usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..10).contains(&n));
+        }
+
+        #[test]
+        fn eq_assertion_passes(n in 0u64..100) {
+            prop_assert_eq!(n + 1, 1 + n);
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+
+    proptest! {
+        fn always_fails(x in 0.0f64..1.0) {
+            prop_assert!(x > 2.0, "x was {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        always_fails();
+    }
+}

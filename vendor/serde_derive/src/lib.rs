@@ -1,0 +1,418 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). Supports the item shapes used by this
+//! workspace: non-generic structs with named fields, tuple structs, unit
+//! structs, and enums with unit / named-field / tuple variants. The
+//! `#[serde(...)]` helper attribute is accepted and ignored — the only
+//! use in-tree is `#[serde(transparent)]` on `f64` newtypes, whose JSON
+//! form is identical to the default newtype representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Skips `#[...]` attribute groups starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(...)` starting at `i`; returns the new index.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize, what: &str) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Splits a field/variant-element list on top-level commas, tracking
+/// `<...>` depth (groups are already atomic token trees).
+fn count_elements(tokens: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut elements = 0usize;
+    let mut in_element = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    in_element = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_element {
+            elements += 1;
+            in_element = true;
+        }
+    }
+    elements
+}
+
+/// Parses `name: Type, ...` lists (struct bodies and struct-variant
+/// bodies), returning the field names in declaration order.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        i = skip_vis(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(ident_at(tokens, i, "a field name"));
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field, found {other:?}"),
+        }
+        // Consume the type: everything up to a top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(tokens, i, "a variant name");
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_elements(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = ident_at(&tokens, i, "`struct` or `enum`");
+    i += 1;
+    let name = ident_at(&tokens, i, "an item name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_elements(&inner))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    parse_variants(&inner)
+                }
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        pairs.join(", ")
+    )
+}
+
+fn named_from_value(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field({source}, \"{f}\")?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let to_value = match &fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!(
+                        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => named_to_value(names, "self."),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {to_value} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                                items.join(", ")
+                            )
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(\
+                               ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{v}\"), {inner})])),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let inner = named_to_value(names, "");
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(\
+                               ::std::vec::Vec::from([(\
+                                 ::std::string::String::from(\"{v}\"), {inner})])),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let from_value = match &fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match v {{ \
+                           ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})), \
+                           _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                  \"expected an array for tuple struct {name}\")), \
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(names) => format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    named_from_value(names, "v")
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ {from_value} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Tuple(1) => format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                           {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match __inner {{ \
+                               ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{v}({})), \
+                               _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                      \"expected an array for variant {v}\")), \
+                             }},",
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                        named_from_value(names, "__inner")
+                    ),
+                    Fields::Unit => unreachable!(),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     match v {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {units} \
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\
+                           ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                       }}, \
+                       ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                         let (__key, __inner) = &__pairs[0]; \
+                         match __key.as_str() {{ \
+                           {keyed} \
+                           __other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                         }} \
+                       }}, \
+                       _ => ::std::result::Result::Err(::serde::Error::msg(\
+                              \"invalid representation of enum {name}\")), \
+                     }} \
+                   }} \
+                 }}",
+                units = unit_arms.join(" "),
+                keyed = keyed_arms.join(" ")
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated impl parses")
+}
