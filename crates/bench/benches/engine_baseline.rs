@@ -50,11 +50,26 @@ struct Speedup {
 }
 
 #[derive(Debug, serde::Serialize)]
+struct ScalingMeasurement {
+    scheduler: String,
+    servers: usize,
+    threads: usize,
+    ticks: usize,
+    elapsed_s: f64,
+    ticks_per_sec: f64,
+    placements: u64,
+}
+
+#[derive(Debug, serde::Serialize)]
 struct Report {
     description: String,
     scenario: String,
     measurements: Vec<Measurement>,
     speedups: Vec<Speedup>,
+    /// Thread-count scaling of the sharded physics tick at 1k and 10k
+    /// servers (full 48 h runs; results are bit-identical at every
+    /// thread count, so rows differ only in wall-clock).
+    scaling: Vec<ScalingMeasurement>,
 }
 
 fn scheduler_for(name: &str, cluster: &ClusterConfig, naive: bool) -> Box<dyn Scheduler> {
@@ -90,6 +105,27 @@ fn measure(name: &str, servers: usize, naive: bool) -> Measurement {
     }
 }
 
+fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasurement {
+    let cluster = ClusterConfig::paper_default(servers);
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let ticks = cluster.ticks_for(trace.horizon());
+    let scheduler = scheduler_for(name, &cluster, false);
+    let start = Instant::now();
+    let result = Simulation::new(cluster, trace, scheduler)
+        .with_threads(threads)
+        .run();
+    let elapsed = start.elapsed().as_secs_f64();
+    ScalingMeasurement {
+        scheduler: name.to_string(),
+        servers,
+        threads,
+        ticks,
+        elapsed_s: elapsed,
+        ticks_per_sec: ticks as f64 / elapsed,
+        placements: result.placements,
+    }
+}
+
 fn main() {
     // `cargo bench` hands harness=false targets a `--bench` argument;
     // `-- --smoke` (used by CI) forces the quick pass anyway.
@@ -108,6 +144,12 @@ fn main() {
                 );
             }
         }
+        // Exercise the sharded parallel tick path too.
+        let s = measure_scaling("vmt-wa", 20, 4);
+        println!(
+            "smoke vmt-wa x{} threads: {:.0} ticks/s",
+            s.threads, s.ticks_per_sec
+        );
         return;
     }
 
@@ -136,6 +178,22 @@ fn main() {
             measurements.push(naive);
         }
     }
+    // Thread-count scaling of the deterministic sharded tick. The 10k
+    // rows double as the "10,000-server 48 h run completes" record; the
+    // naive references are skipped here (at 10k servers their O(n) scans
+    // per placement would take hours and prove nothing new).
+    let mut scaling = Vec::new();
+    for servers in [1000usize, 10_000] {
+        for threads in [1usize, 2, 4, 8] {
+            let s = measure_scaling("vmt-wa", servers, threads);
+            println!(
+                "scaling vmt-wa @ {servers} x{threads} threads: {:.0} ticks/s ({:.1}s for {} ticks, {} placements)",
+                s.ticks_per_sec, s.elapsed_s, s.ticks, s.placements,
+            );
+            scaling.push(s);
+        }
+    }
+
     let report = Report {
         description: "Simulation engine throughput: incremental-index hot path vs retained \
                       naive-scan baseline (bit-identical results; see tests/differential.rs)"
@@ -145,6 +203,7 @@ fn main() {
             .to_string(),
         measurements,
         speedups,
+        scaling,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

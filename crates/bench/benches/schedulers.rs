@@ -4,34 +4,35 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use vmt_core::PolicyKind;
-use vmt_dcsim::{ClusterConfig, Server, ServerId};
+use vmt_dcsim::{ClusterConfig, ServerFarm};
 use vmt_units::Seconds;
 use vmt_workload::{Job, JobId, WorkloadKind};
 
-fn servers(n: usize) -> Vec<Server> {
+fn farm(n: usize) -> ServerFarm {
     let config = ClusterConfig::paper_default(n);
-    let mut servers: Vec<Server> = (0..n)
-        .map(|i| Server::from_config(ServerId(i), &config))
-        .collect();
+    let mut farm = ServerFarm::from_config(&config);
     // Mid-load state: fill 60% of the cores with a representative mix.
     let mut id = 0u64;
-    for (i, s) in servers.iter_mut().enumerate() {
+    for i in 0..n {
         for c in 0..19 {
-            s.start_job(&Job::new(
-                JobId(id),
-                WorkloadKind::ALL[(i + c) % 5],
-                Seconds::new(600.0),
-            ));
+            farm.start_job(
+                i,
+                &Job::new(
+                    JobId(id),
+                    WorkloadKind::ALL[(i + c) % 5],
+                    Seconds::new(600.0),
+                ),
+            );
             id += 1;
         }
     }
-    servers
+    farm
 }
 
 /// One tick of policy bookkeeping plus a burst of 200 placements on a
 /// 1,000-server cluster — the engine's inner loop.
 fn placement_burst(c: &mut Criterion) {
-    let servers = servers(1000);
+    let farm = farm(1000);
     let policies = [
         PolicyKind::RoundRobin,
         PolicyKind::CoolestFirst,
@@ -48,7 +49,7 @@ fn placement_burst(c: &mut Criterion) {
                 let mut scheduler = policy.build(&cluster);
                 let mut id = 1_000_000u64;
                 b.iter(|| {
-                    scheduler.on_tick(&servers, Seconds::ZERO);
+                    scheduler.on_tick(&farm, Seconds::ZERO);
                     for k in 0..200u64 {
                         let job = Job::new(
                             JobId(id),
@@ -56,7 +57,7 @@ fn placement_burst(c: &mut Criterion) {
                             Seconds::new(600.0),
                         );
                         id += 1;
-                        black_box(scheduler.place(&job, &servers));
+                        black_box(scheduler.place(&job, &farm));
                     }
                 })
             },
@@ -69,11 +70,11 @@ fn placement_burst(c: &mut Criterion) {
 fn on_tick_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("vmt_wa_on_tick");
     for n in [100usize, 1000] {
-        let servers = servers(n);
+        let farm = farm(n);
         let cluster = ClusterConfig::paper_default(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut scheduler = PolicyKind::vmt_wa(22.0).build(&cluster);
-            b.iter(|| scheduler.on_tick(black_box(&servers), Seconds::ZERO))
+            b.iter(|| scheduler.on_tick(black_box(&farm), Seconds::ZERO))
         });
     }
     group.finish();

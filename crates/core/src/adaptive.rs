@@ -17,7 +17,7 @@
 //! groups are thermally indistinguishable.
 
 use crate::{GroupingValue, VmtConfig, VmtWa};
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -114,21 +114,18 @@ impl AdaptiveGv {
     }
 
     /// Observes the cluster each tick and applies the daily adjustment.
-    fn observe(&mut self, servers: &[Server], now: Seconds) {
-        let used: u32 = servers.iter().map(Server::used_cores).sum();
-        let total: u32 = servers.iter().map(Server::cores).sum();
+    fn observe(&mut self, farm: &ServerFarm, now: Seconds) {
+        let n = farm.len();
+        let used: u32 = (0..n).map(|i| farm.used_cores(i)).sum();
+        let total: u32 = (0..n).map(|_| farm.cores()).sum();
         let utilization = f64::from(used) / f64::from(total);
 
         if utilization >= PEAK_WINDOW_UTILIZATION {
             // Judge the *base* (Equation-1) group: organic growth adds
             // unmelted servers that would mask the exhaustion signal.
-            let hot = self
-                .config
-                .hot_group_size(servers.len())
-                .clamp(1, servers.len());
-            let mean_melt = servers[..hot]
-                .iter()
-                .map(|s| s.reported_melt_fraction().get())
+            let hot = self.config.hot_group_size(n).clamp(1, n);
+            let mean_melt = (0..hot)
+                .map(|i| farm.reported_melt_fraction(i).get())
                 .sum::<f64>()
                 / hot as f64;
             self.peak_mean_melt = self.peak_mean_melt.max(mean_melt);
@@ -185,13 +182,13 @@ impl Scheduler for AdaptiveGv {
         "adaptive-gv"
     }
 
-    fn on_tick(&mut self, servers: &[Server], now: Seconds) {
-        self.observe(servers, now);
-        self.inner.on_tick(servers, now);
+    fn on_tick(&mut self, farm: &ServerFarm, now: Seconds) {
+        self.observe(farm, now);
+        self.inner.on_tick(farm, now);
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
-        self.inner.place(job, servers)
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
+        self.inner.place(job, farm)
     }
 
     fn hot_group_size(&self) -> Option<usize> {
@@ -228,12 +225,12 @@ mod tests {
             fn name(&self) -> &str {
                 self.inner.name()
             }
-            fn on_tick(&mut self, servers: &[Server], now: Seconds) {
-                self.inner.on_tick(servers, now);
+            fn on_tick(&mut self, farm: &ServerFarm, now: Seconds) {
+                self.inner.on_tick(farm, now);
                 *self.sink.lock().expect("probe lock") = self.inner.history().to_vec();
             }
-            fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
-                self.inner.place(job, servers)
+            fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
+                self.inner.place(job, farm)
             }
             fn hot_group_size(&self) -> Option<usize> {
                 self.inner.hot_group_size()

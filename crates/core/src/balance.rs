@@ -1,8 +1,6 @@
 //! Projected-temperature load balancing within a set of servers.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use vmt_dcsim::{ClusterIndex, Server};
+use vmt_dcsim::{ClusterIndex, ServerFarm};
 
 /// Balances placements across a set of servers by *projected
 /// steady-state temperature*.
@@ -17,10 +15,33 @@ use vmt_dcsim::{ClusterIndex, Server};
 ///
 /// Used by [`crate::CoolestFirst`] over the whole cluster and by the VMT
 /// policies within each group.
+///
+/// Internally a flat tournament tree over the server ids: each leaf
+/// holds a member's current key as total-order bits (`u64::MAX` for
+/// non-members and members out of cores), each internal node the leaf
+/// winning `min (key, idx)` of its subtree. A placement reads the root
+/// and refreshes one root-to-leaf path — O(log n) like the former
+/// binary heap, but over contiguous arrays with no stale entries to
+/// skip, which is what the placement-burst benchmarks actually measure.
+/// The winner is a pure function of the current key set, so placement
+/// order is identical to the heap's (and to the naive references' full
+/// argmin scans — see `tests/differential.rs`).
 #[derive(Debug, Clone, Default)]
 pub struct ThermalBalancer {
-    /// Min-heap of (projected temperature as total-order bits, server).
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Node keys, length `2·stride`: `wkey[stride + i]` is leaf `i`'s
+    /// current key (`u64::MAX` for non-members and members without a
+    /// free core), and `wkey[p]` for `p < stride` is the winning key of
+    /// the subtree rooted at `p` (children `2p`, `2p+1`). Empty until
+    /// the first rebuild.
+    wkey: Vec<u64>,
+    /// Winning leaf index per node, same layout as `wkey`; `win[1]` is
+    /// the overall winner. Every leaf of a node's left subtree has a
+    /// smaller id than every leaf of its right subtree, so "pick left on
+    /// equal keys" is exactly the `(key, idx)` tie-break — one u64
+    /// compare decides a node.
+    win: Vec<u32>,
+    /// Leaf count of the tree (power of two, ≥ the farm size).
+    stride: usize,
     /// Projected temperature per server id (°C); only members' entries
     /// are meaningful.
     projected: Vec<f64>,
@@ -72,13 +93,14 @@ pub(crate) fn order_bits(value: f64) -> u64 {
     }
 }
 
-/// Inverse of the air stream's capacity rate (K/W), taken from the first
-/// server — the fleet is homogeneous in the paper's configuration.
-pub(crate) fn kelvin_per_watt(servers: &[Server]) -> f64 {
-    1.0 / servers
-        .first()
-        .map(|s| s.air().capacity_rate().get())
-        .unwrap_or(1.0)
+/// Inverse of the air stream's capacity rate (K/W) — uniform across the
+/// farm, as the fleet is homogeneous in the paper's configuration.
+pub(crate) fn kelvin_per_watt(farm: &ServerFarm) -> f64 {
+    if farm.is_empty() {
+        1.0
+    } else {
+        1.0 / farm.air().capacity_rate().get()
+    }
 }
 
 /// The balancing key a member starts the tick with: projected
@@ -89,10 +111,10 @@ pub(crate) fn kelvin_per_watt(servers: &[Server]) -> f64 {
 /// schedulers (`crate::reference`) so both compute byte-identical keys —
 /// the differential tests compare full `SimulationResult`s, so even a
 /// one-ULP divergence from reassociated arithmetic would show up.
-pub(crate) fn fresh_key(idx: usize, extra: f64, kpw: f64, server: &Server) -> f64 {
-    server.inlet().get()
-        + server.power().get() * kpw
-        + f64::from(server.used_cores()) * CORE_PENALTY_K
+pub(crate) fn fresh_key(idx: usize, extra: f64, kpw: f64, farm: &ServerFarm) -> f64 {
+    farm.inlet(idx).get()
+        + farm.power(idx).get() * kpw
+        + f64::from(farm.used_cores(idx)) * CORE_PENALTY_K
         + static_bias(idx)
         + extra
 }
@@ -111,8 +133,8 @@ impl ThermalBalancer {
 
     /// Rebuilds the balancer over `members` (server ids) for the current
     /// tick.
-    pub fn rebuild(&mut self, members: impl IntoIterator<Item = usize>, servers: &[Server]) {
-        self.rebuild_biased(members.into_iter().map(|idx| (idx, 0.0)), servers);
+    pub fn rebuild(&mut self, members: impl IntoIterator<Item = usize>, farm: &ServerFarm) {
+        self.rebuild_biased(members.into_iter().map(|idx| (idx, 0.0)), farm);
     }
 
     /// Rebuilds over `(member, extra_bias_kelvin)` pairs. A positive bias
@@ -122,64 +144,92 @@ impl ThermalBalancer {
     pub fn rebuild_biased(
         &mut self,
         members: impl IntoIterator<Item = (usize, f64)>,
-        servers: &[Server],
+        farm: &ServerFarm,
     ) {
-        if self.projected.len() != servers.len() {
-            self.projected = vec![0.0; servers.len()];
+        let n = farm.len();
+        if self.projected.len() != n {
+            self.projected = vec![0.0; n];
+            self.stride = n.next_power_of_two().max(1);
+            self.wkey = vec![u64::MAX; 2 * self.stride];
+            self.win = vec![0; 2 * self.stride];
+            for i in 0..self.stride {
+                self.win[self.stride + i] = i as u32;
+            }
         }
-        self.kelvin_per_watt = kelvin_per_watt(servers);
-        self.heap.clear();
+        self.kelvin_per_watt = kelvin_per_watt(farm);
+        self.wkey[self.stride..].fill(u64::MAX);
         for (idx, extra) in members {
-            self.insert(idx, extra, servers);
+            self.projected[idx] = fresh_key(idx, extra, self.kelvin_per_watt, farm);
+            if farm.free_cores(idx) > 0 {
+                self.wkey[self.stride + idx] = order_bits(self.projected[idx]);
+            }
+        }
+        // Bottom-up rebuild of every internal node, O(leaves).
+        for p in (1..self.stride).rev() {
+            let side = usize::from(self.wkey[2 * p] > self.wkey[2 * p + 1]);
+            self.wkey[p] = self.wkey[2 * p + side];
+            self.win[p] = self.win[2 * p + side];
         }
     }
 
     /// Adds a member mid-tick (VMT-WA's hot-group growth).
-    pub fn add_member(&mut self, idx: usize, servers: &[Server]) {
-        self.insert(idx, 0.0, servers);
+    pub fn add_member(&mut self, idx: usize, farm: &ServerFarm) {
+        self.projected[idx] = fresh_key(idx, 0.0, self.kelvin_per_watt, farm);
+        if farm.free_cores(idx) > 0 {
+            self.wkey[self.stride + idx] = order_bits(self.projected[idx]);
+            self.refresh_path(idx);
+        }
     }
 
-    fn insert(&mut self, idx: usize, extra: f64, servers: &[Server]) {
-        let s = &servers[idx];
-        self.projected[idx] = fresh_key(idx, extra, self.kelvin_per_watt, s);
-        if s.free_cores() > 0 {
-            self.heap
-                .push(Reverse((order_bits(self.projected[idx]), idx)));
+    /// Re-evaluates the winners on the path from leaf `idx` to the root.
+    #[inline]
+    fn refresh_path(&mut self, idx: usize) {
+        let mut p = (self.stride + idx) >> 1;
+        while p >= 1 {
+            let side = usize::from(self.wkey[2 * p] > self.wkey[2 * p + 1]);
+            self.wkey[p] = self.wkey[2 * p + side];
+            self.win[p] = self.win[2 * p + side];
+            p >>= 1;
         }
     }
 
     /// Places one job drawing `core_power_w` on the coolest-projected
     /// member with a free core, or returns `None` when every member is
-    /// full. `free` reports a member's currently free cores; the popped
-    /// winner is the member minimizing `(key, idx)` among those with
-    /// `free > 0`, because stale heap entries always carry a key strictly
-    /// below their member's current key (bumps are positive) and are
-    /// skipped on pop.
+    /// full. `free` reports a member's currently free cores; the winner
+    /// is the member minimizing `(key, idx)` among those with a live
+    /// leaf, which is exactly the members still holding a free core —
+    /// a leaf is retired (set to `u64::MAX`) the moment its last core is
+    /// consumed, and the `free` re-check below catches cores taken by
+    /// fallback paths that bypass the balancer.
     fn place_by(&mut self, free: impl Fn(usize) -> u32, core_power_w: f64) -> Option<usize> {
-        while let Some(Reverse((key, idx))) = self.heap.pop() {
-            // Skip entries whose projection moved since they were pushed.
-            if key != order_bits(self.projected[idx]) {
-                continue;
+        loop {
+            if self.win.is_empty() || self.wkey[1] == u64::MAX {
+                return None;
             }
+            let idx = self.win[1] as usize;
             if free(idx) == 0 {
+                // A fallback path consumed this member's cores behind the
+                // balancer's back; retire the leaf and look again.
+                self.wkey[self.stride + idx] = u64::MAX;
+                self.refresh_path(idx);
                 continue;
             }
             self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
-            // One core is consumed by this placement; re-enter only if
-            // capacity remains afterwards.
-            if free(idx) > 1 {
-                self.heap
-                    .push(Reverse((order_bits(self.projected[idx]), idx)));
-            }
+            // One core is consumed by this placement; stay in the tree
+            // only if capacity remains afterwards.
+            self.wkey[self.stride + idx] = if free(idx) > 1 {
+                order_bits(self.projected[idx])
+            } else {
+                u64::MAX
+            };
+            self.refresh_path(idx);
             return Some(idx);
         }
-        None
     }
 
-    /// [`ThermalBalancer::place_by`] reading free cores from the server
-    /// slice.
-    pub fn place(&mut self, servers: &[Server], core_power_w: f64) -> Option<usize> {
-        self.place_by(|idx| servers[idx].free_cores(), core_power_w)
+    /// [`ThermalBalancer::place_by`] reading free cores from the farm.
+    pub fn place(&mut self, farm: &ServerFarm, core_power_w: f64) -> Option<usize> {
+        self.place_by(|idx| farm.free_cores(idx), core_power_w)
     }
 
     /// [`ThermalBalancer::place_by`] reading free cores from the engine's
@@ -193,8 +243,8 @@ impl ThermalBalancer {
     /// Accounts for a placement made *outside* the balancer (e.g.
     /// VMT-WA's keep-warm priority path), so the member's projection
     /// stays truthful for subsequent balanced placements.
-    pub fn account_external(&mut self, idx: usize, core_power_w: f64, servers: &[Server]) {
-        self.account_external_by(idx, core_power_w, servers[idx].free_cores());
+    pub fn account_external(&mut self, idx: usize, core_power_w: f64, farm: &ServerFarm) {
+        self.account_external_by(idx, core_power_w, farm.free_cores(idx));
     }
 
     /// [`ThermalBalancer::account_external`] with free cores read from the
@@ -213,32 +263,34 @@ impl ThermalBalancer {
             return;
         }
         self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
-        if free > 1 {
-            self.heap
-                .push(Reverse((order_bits(self.projected[idx]), idx)));
-        }
+        // The pending external placement consumes one core; the member
+        // stays placeable only if capacity remains afterwards.
+        self.wkey[self.stride + idx] = if free > 1 {
+            order_bits(self.projected[idx])
+        } else {
+            u64::MAX
+        };
+        self.refresh_path(idx);
     }
 
     /// True when no member can take another job this tick.
     pub fn is_exhausted(&self) -> bool {
-        self.heap.is_empty()
+        self.win.is_empty() || self.wkey[1] == u64::MAX
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vmt_dcsim::{ClusterConfig, ServerId};
+    use vmt_dcsim::ClusterConfig;
     use vmt_thermal::InletModel;
     use vmt_units::{Celsius, DegC, Seconds};
     use vmt_workload::{Job, JobId, WorkloadKind};
 
-    fn servers(n: usize, inlet: InletModel) -> Vec<Server> {
+    fn farm(n: usize, inlet: InletModel) -> ServerFarm {
         let mut config = ClusterConfig::paper_default(n);
         config.inlet = inlet;
-        (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect()
+        ServerFarm::from_config(&config)
     }
 
     #[test]
@@ -251,12 +303,12 @@ mod tests {
 
     #[test]
     fn equal_servers_get_equal_shares() {
-        let servers = servers(4, InletModel::uniform(Celsius::new(22.0)));
+        let farm = farm(4, InletModel::uniform(Celsius::new(22.0)));
         let mut b = ThermalBalancer::new();
-        b.rebuild(0..4, &servers);
+        b.rebuild(0..4, &farm);
         let mut counts = [0usize; 4];
         for _ in 0..40 {
-            counts[b.place(&servers, 7.6).unwrap()] += 1;
+            counts[b.place(&farm, 7.6).unwrap()] += 1;
         }
         // The static anti-synchronization bias allows a ±1 skew.
         assert_eq!(counts.iter().sum::<usize>(), 40);
@@ -267,17 +319,13 @@ mod tests {
     fn warmer_inlet_gets_less_load() {
         // Server 0 breathes hotter air; the balancer compensates with
         // fewer jobs.
-        let list = servers(2, InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 3));
-        let hot_idx = if list[0].inlet() > list[1].inlet() {
-            0
-        } else {
-            1
-        };
+        let farm = farm(2, InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 3));
+        let hot_idx = if farm.inlet(0) > farm.inlet(1) { 0 } else { 1 };
         let mut b = ThermalBalancer::new();
-        b.rebuild(0..2, &list);
+        b.rebuild(0..2, &farm);
         let mut counts = [0usize; 2];
         for _ in 0..30 {
-            counts[b.place(&list, 6.0).unwrap()] += 1;
+            counts[b.place(&farm, 6.0).unwrap()] += 1;
         }
         assert!(
             counts[hot_idx] < counts[1 - hot_idx],
@@ -287,42 +335,41 @@ mod tests {
 
     #[test]
     fn respects_membership() {
-        let servers = servers(4, InletModel::uniform(Celsius::new(22.0)));
+        let farm = farm(4, InletModel::uniform(Celsius::new(22.0)));
         let mut b = ThermalBalancer::new();
-        b.rebuild([1, 3], &servers);
+        b.rebuild([1, 3], &farm);
         for _ in 0..20 {
-            let idx = b.place(&servers, 5.0).unwrap();
+            let idx = b.place(&farm, 5.0).unwrap();
             assert!(idx == 1 || idx == 3);
         }
     }
 
     #[test]
     fn full_members_are_skipped_until_exhausted() {
-        let mut list = servers(1, InletModel::uniform(Celsius::new(22.0)));
+        let mut farm = farm(1, InletModel::uniform(Celsius::new(22.0)));
         for i in 0..31 {
-            list[0].start_job(&Job::new(
-                JobId(i),
-                WorkloadKind::VirusScan,
-                Seconds::new(60.0),
-            ));
+            farm.start_job(
+                0,
+                &Job::new(JobId(i), WorkloadKind::VirusScan, Seconds::new(60.0)),
+            );
         }
         let mut b = ThermalBalancer::new();
-        b.rebuild(0..1, &list);
-        assert_eq!(b.place(&list, 5.0), Some(0));
+        b.rebuild(0..1, &farm);
+        assert_eq!(b.place(&farm, 5.0), Some(0));
         // The single core was consumed; the balancer reports exhaustion.
-        assert_eq!(b.place(&list, 5.0), None);
+        assert_eq!(b.place(&farm, 5.0), None);
         assert!(b.is_exhausted());
     }
 
     #[test]
     fn add_member_mid_tick() {
-        let servers = servers(2, InletModel::uniform(Celsius::new(22.0)));
+        let farm = farm(2, InletModel::uniform(Celsius::new(22.0)));
         let mut b = ThermalBalancer::new();
-        b.rebuild(0..1, &servers);
-        b.add_member(1, &servers);
+        b.rebuild(0..1, &farm);
+        b.add_member(1, &farm);
         let mut seen = [false; 2];
         for _ in 0..4 {
-            seen[b.place(&servers, 6.0).unwrap()] = true;
+            seen[b.place(&farm, 6.0).unwrap()] = true;
         }
         assert_eq!(seen, [true, true]);
     }

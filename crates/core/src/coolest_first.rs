@@ -1,7 +1,7 @@
 //! The coolest-first baseline: a thermal-aware load *balancer*.
 
 use crate::balance::ThermalBalancer;
-use vmt_dcsim::{ClusterIndex, Scheduler, Server, ServerId};
+use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -33,29 +33,29 @@ impl Scheduler for CoolestFirst {
         "coolest-first"
     }
 
-    fn on_tick(&mut self, servers: &[Server], _now: Seconds) {
-        self.balancer.rebuild(0..servers.len(), servers);
+    fn on_tick(&mut self, farm: &ServerFarm, _now: Seconds) {
+        self.balancer.rebuild(0..farm.len(), farm);
         self.initialized = true;
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
         if !self.initialized {
-            self.balancer.rebuild(0..servers.len(), servers);
+            self.balancer.rebuild(0..farm.len(), farm);
             self.initialized = true;
         }
         self.balancer
-            .place(servers, job.core_power().get())
+            .place(farm, job.core_power().get())
             .map(ServerId)
     }
 
     fn place_indexed(
         &mut self,
         job: &Job,
-        servers: &[Server],
+        farm: &ServerFarm,
         index: &ClusterIndex,
     ) -> Option<ServerId> {
         if !self.initialized {
-            self.balancer.rebuild(0..servers.len(), servers);
+            self.balancer.rebuild(0..farm.len(), farm);
             self.initialized = true;
         }
         // The balancer's heap is the ordered index: it persists across
@@ -74,11 +74,8 @@ mod tests {
     use vmt_dcsim::ClusterConfig;
     use vmt_workload::{JobId, WorkloadKind};
 
-    fn servers(n: usize) -> Vec<Server> {
-        let config = ClusterConfig::paper_default(n);
-        (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect()
+    fn farm(n: usize) -> ServerFarm {
+        ServerFarm::from_config(&ClusterConfig::paper_default(n))
     }
 
     fn job(id: u64, kind: WorkloadKind) -> Job {
@@ -87,28 +84,28 @@ mod tests {
 
     #[test]
     fn picks_the_cooler_server() {
-        let mut servers = servers(2);
+        let mut farm = farm(2);
         // Load server 0; its projected steady temperature rises.
         for i in 0..16 {
-            servers[0].start_job(&job(100 + i, WorkloadKind::Clustering));
+            farm.start_job(0, &job(100 + i, WorkloadKind::Clustering));
         }
         let mut cf = CoolestFirst::new();
-        cf.on_tick(&servers, Seconds::ZERO);
+        cf.on_tick(&farm, Seconds::ZERO);
         assert_eq!(
-            cf.place(&job(0, WorkloadKind::WebSearch), &servers),
+            cf.place(&job(0, WorkloadKind::WebSearch), &farm),
             Some(ServerId(1))
         );
     }
 
     #[test]
     fn spreads_burst_across_equally_cool_servers() {
-        let servers = servers(4);
+        let farm = farm(4);
         let mut cf = CoolestFirst::new();
-        cf.on_tick(&servers, Seconds::ZERO);
+        cf.on_tick(&farm, Seconds::ZERO);
         let mut counts = [0usize; 4];
         for i in 0..40 {
             let sid = cf
-                .place(&job(i, WorkloadKind::VideoEncoding), &servers)
+                .place(&job(i, WorkloadKind::VideoEncoding), &farm)
                 .unwrap();
             counts[sid.0] += 1;
         }
@@ -119,13 +116,13 @@ mod tests {
 
     #[test]
     fn none_when_cluster_full() {
-        let mut servers = servers(1);
+        let mut farm = farm(1);
         for i in 0..32 {
-            servers[0].start_job(&job(i, WorkloadKind::VirusScan));
+            farm.start_job(0, &job(i, WorkloadKind::VirusScan));
         }
         let mut cf = CoolestFirst::new();
-        cf.on_tick(&servers, Seconds::ZERO);
-        assert_eq!(cf.place(&job(99, WorkloadKind::WebSearch), &servers), None);
+        cf.on_tick(&farm, Seconds::ZERO);
+        assert_eq!(cf.place(&job(99, WorkloadKind::WebSearch), &farm), None);
         assert!(cf.hot_group_size().is_none());
     }
 }

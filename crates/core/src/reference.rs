@@ -29,7 +29,7 @@ use crate::vmt_wa::{
     WaTuning, KEEP_WARM_MARGIN_K, KEEP_WARM_MIN_UTILIZATION, REFREEZE_FRACTION,
     SHRINK_MAX_UTILIZATION,
 };
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
 use vmt_units::Celsius;
 use vmt_workload::{Job, VmtClass};
 
@@ -52,41 +52,40 @@ impl NaiveBalancer {
     }
 
     /// Rebuilds the balancer over `members` (server ids).
-    pub fn rebuild(&mut self, members: impl IntoIterator<Item = usize>, servers: &[Server]) {
-        self.rebuild_biased(members.into_iter().map(|idx| (idx, 0.0)), servers);
+    pub fn rebuild(&mut self, members: impl IntoIterator<Item = usize>, farm: &ServerFarm) {
+        self.rebuild_biased(members.into_iter().map(|idx| (idx, 0.0)), farm);
     }
 
     /// Rebuilds over `(member, extra_bias_kelvin)` pairs.
     pub fn rebuild_biased(
         &mut self,
         members: impl IntoIterator<Item = (usize, f64)>,
-        servers: &[Server],
+        farm: &ServerFarm,
     ) {
         self.member.clear();
-        self.member.resize(servers.len(), false);
-        self.projected.resize(servers.len(), 0.0);
-        self.kelvin_per_watt = balance::kelvin_per_watt(servers);
+        self.member.resize(farm.len(), false);
+        self.projected.resize(farm.len(), 0.0);
+        self.kelvin_per_watt = balance::kelvin_per_watt(farm);
         for (idx, extra) in members {
             self.member[idx] = true;
-            self.projected[idx] =
-                balance::fresh_key(idx, extra, self.kelvin_per_watt, &servers[idx]);
+            self.projected[idx] = balance::fresh_key(idx, extra, self.kelvin_per_watt, farm);
         }
     }
 
     /// Adds a member mid-tick.
-    pub fn add_member(&mut self, idx: usize, servers: &[Server]) {
+    pub fn add_member(&mut self, idx: usize, farm: &ServerFarm) {
         self.member[idx] = true;
-        self.projected[idx] = balance::fresh_key(idx, 0.0, self.kelvin_per_watt, &servers[idx]);
+        self.projected[idx] = balance::fresh_key(idx, 0.0, self.kelvin_per_watt, farm);
     }
 
     /// Full-scan placement: O(members) per job.
     // The index-based loop is the point: this is the seed's scan kept
     // verbatim as the executable specification.
     #[allow(clippy::needless_range_loop)]
-    pub fn place(&mut self, servers: &[Server], core_power_w: f64) -> Option<usize> {
+    pub fn place(&mut self, farm: &ServerFarm, core_power_w: f64) -> Option<usize> {
         let mut best: Option<(u64, usize)> = None;
         for idx in 0..self.member.len() {
-            if !self.member[idx] || servers[idx].free_cores() == 0 {
+            if !self.member[idx] || farm.free_cores(idx) == 0 {
                 continue;
             }
             let key = balance::order_bits(self.projected[idx]);
@@ -102,7 +101,7 @@ impl NaiveBalancer {
     }
 
     /// Accounts for a placement made outside the balancer.
-    pub fn account_external(&mut self, idx: usize, core_power_w: f64, _servers: &[Server]) {
+    pub fn account_external(&mut self, idx: usize, core_power_w: f64, _farm: &ServerFarm) {
         if idx >= self.projected.len() {
             return;
         }
@@ -129,18 +128,18 @@ impl Scheduler for NaiveCoolestFirst {
         "coolest-first"
     }
 
-    fn on_tick(&mut self, servers: &[Server], _now: vmt_units::Seconds) {
-        self.balancer.rebuild(0..servers.len(), servers);
+    fn on_tick(&mut self, farm: &ServerFarm, _now: vmt_units::Seconds) {
+        self.balancer.rebuild(0..farm.len(), farm);
         self.initialized = true;
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
         if !self.initialized {
-            self.balancer.rebuild(0..servers.len(), servers);
+            self.balancer.rebuild(0..farm.len(), farm);
             self.initialized = true;
         }
         self.balancer
-            .place(servers, job.core_power().get())
+            .place(farm, job.core_power().get())
             .map(ServerId)
     }
 }
@@ -167,12 +166,12 @@ impl NaiveVmtTa {
         }
     }
 
-    fn refresh(&mut self, servers: &[Server]) {
+    fn refresh(&mut self, farm: &ServerFarm) {
         if self.hot_size == 0 {
-            self.hot_size = self.config.hot_group_size(servers.len());
+            self.hot_size = self.config.hot_group_size(farm.len());
         }
-        self.hot.rebuild(0..self.hot_size, servers);
-        self.cold.rebuild(self.hot_size..servers.len(), servers);
+        self.hot.rebuild(0..self.hot_size, farm);
+        self.cold.rebuild(self.hot_size..farm.len(), farm);
         self.initialized = true;
     }
 }
@@ -182,24 +181,24 @@ impl Scheduler for NaiveVmtTa {
         "vmt-ta"
     }
 
-    fn on_tick(&mut self, servers: &[Server], _now: vmt_units::Seconds) {
-        self.refresh(servers);
+    fn on_tick(&mut self, farm: &ServerFarm, _now: vmt_units::Seconds) {
+        self.refresh(farm);
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
         if !self.initialized {
-            self.refresh(servers);
+            self.refresh(farm);
         }
         let power = job.core_power().get();
         let idx = match job.kind().vmt_class() {
             VmtClass::Hot => self
                 .hot
-                .place(servers, power)
-                .or_else(|| self.cold.place(servers, power)),
+                .place(farm, power)
+                .or_else(|| self.cold.place(farm, power)),
             VmtClass::Cold => self
                 .cold
-                .place(servers, power)
-                .or_else(|| self.hot.place(servers, power)),
+                .place(farm, power)
+                .or_else(|| self.hot.place(farm, power)),
         };
         idx.map(ServerId)
     }
@@ -246,36 +245,36 @@ impl NaiveVmtWa {
         }
     }
 
-    fn projected_temp(server: &Server) -> Celsius {
-        server.inlet()
-            + vmt_units::DegC::new(server.power().get() / server.air().capacity_rate().get())
+    fn projected_temp(farm: &ServerFarm, idx: usize) -> Celsius {
+        farm.inlet(idx)
+            + vmt_units::DegC::new(farm.power(idx).get() / farm.air().capacity_rate().get())
     }
 
     fn warm_line(&self) -> Celsius {
         self.config.pmt + vmt_units::DegC::new(KEEP_WARM_MARGIN_K)
     }
 
-    fn refresh(&mut self, servers: &[Server]) {
-        let n = servers.len();
+    fn refresh(&mut self, farm: &ServerFarm) {
+        let n = farm.len();
         if self.base_hot == 0 {
             self.base_hot = self.config.hot_group_size(n);
             self.hot_size = self.base_hot;
         }
         self.melted.clear();
         self.below_melt.clear();
-        for s in servers {
+        for i in 0..n {
             self.melted
-                .push(s.reported_melt_fraction().get() >= self.config.wax_threshold);
-            self.below_melt.push(s.air_at_wax() < self.config.pmt);
+                .push(farm.reported_melt_fraction(i).get() >= self.config.wax_threshold);
+            self.below_melt.push(farm.air_at_wax(i) < self.config.pmt);
         }
-        let used: u32 = servers.iter().map(Server::used_cores).sum();
-        let total: u32 = servers.iter().map(Server::cores).sum();
+        let used: u32 = (0..n).map(|i| farm.used_cores(i)).sum();
+        let total: u32 = (0..n).map(|_| farm.cores()).sum();
         let utilization = f64::from(used) / f64::from(total);
         let near_peak = utilization >= KEEP_WARM_MIN_UTILIZATION;
         while utilization < SHRINK_MAX_UTILIZATION && self.hot_size > self.base_hot {
             let idx = self.hot_size - 1;
-            let refrozen = servers[idx].reported_melt_fraction().get() < REFREEZE_FRACTION
-                && self.below_melt[idx];
+            let refrozen =
+                farm.reported_melt_fraction(idx).get() < REFREEZE_FRACTION && self.below_melt[idx];
             if refrozen {
                 self.hot_size -= 1;
             } else {
@@ -293,7 +292,7 @@ impl NaiveVmtWa {
         #[allow(clippy::needless_range_loop)] // indices double as balancer keys
         for idx in 0..self.hot_size {
             if near_peak && self.melted[idx] {
-                if self.tuning.keep_warm && Self::projected_temp(&servers[idx]) < warm_line {
+                if self.tuning.keep_warm && Self::projected_temp(farm, idx) < warm_line {
                     self.keep_warm.push(idx);
                 }
                 members.push((idx, self.tuning.melted_penalty_k));
@@ -301,45 +300,43 @@ impl NaiveVmtWa {
                 members.push((idx, 0.0));
             }
         }
-        self.hot.rebuild_biased(members, servers);
-        self.cold.rebuild(self.hot_size..n, servers);
+        self.hot.rebuild_biased(members, farm);
+        self.cold.rebuild(self.hot_size..n, farm);
     }
 
-    fn place_hot(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
-        let n = servers.len();
+    fn place_hot(&mut self, farm: &ServerFarm, core_power_w: f64) -> Option<ServerId> {
+        let n = farm.len();
         while let Some(&idx) = self.keep_warm.last() {
-            if servers[idx].free_cores() > 0
-                && Self::projected_temp(&servers[idx]) < self.warm_line()
-            {
-                self.hot.account_external(idx, core_power_w, servers);
+            if farm.free_cores(idx) > 0 && Self::projected_temp(farm, idx) < self.warm_line() {
+                self.hot.account_external(idx, core_power_w, farm);
                 return Some(ServerId(idx));
             }
             self.keep_warm.pop();
         }
-        if let Some(idx) = self.hot.place(servers, core_power_w) {
+        if let Some(idx) = self.hot.place(farm, core_power_w) {
             return Some(ServerId(idx));
         }
         while self.hot_size < n {
             let idx = self.hot_size;
             self.hot_size += 1;
-            self.hot.add_member(idx, servers);
-            if let Some(found) = self.hot.place(servers, core_power_w) {
+            self.hot.add_member(idx, farm);
+            if let Some(found) = self.hot.place(farm, core_power_w) {
                 return Some(ServerId(found));
             }
         }
         (0..n)
-            .find(|&i| !self.melted[i] && servers[i].free_cores() > 0)
-            .or_else(|| (0..n).find(|&i| servers[i].free_cores() > 0))
+            .find(|&i| !self.melted[i] && farm.free_cores(i) > 0)
+            .or_else(|| (0..n).find(|&i| farm.free_cores(i) > 0))
             .map(ServerId)
     }
 
-    fn place_cold(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
-        if let Some(idx) = self.cold.place(servers, core_power_w) {
+    fn place_cold(&mut self, farm: &ServerFarm, core_power_w: f64) -> Option<ServerId> {
+        if let Some(idx) = self.cold.place(farm, core_power_w) {
             return Some(ServerId(idx));
         }
         (0..self.hot_size)
-            .find(|&i| self.melted[i] && !self.below_melt[i] && servers[i].free_cores() > 0)
-            .or_else(|| (0..self.hot_size).find(|&i| servers[i].free_cores() > 0))
+            .find(|&i| self.melted[i] && !self.below_melt[i] && farm.free_cores(i) > 0)
+            .or_else(|| (0..self.hot_size).find(|&i| farm.free_cores(i) > 0))
             .map(ServerId)
     }
 }
@@ -349,17 +346,17 @@ impl Scheduler for NaiveVmtWa {
         "vmt-wa"
     }
 
-    fn on_tick(&mut self, servers: &[Server], _now: vmt_units::Seconds) {
-        self.refresh(servers);
+    fn on_tick(&mut self, farm: &ServerFarm, _now: vmt_units::Seconds) {
+        self.refresh(farm);
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
-        if self.melted.len() != servers.len() {
-            self.refresh(servers);
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
+        if self.melted.len() != farm.len() {
+            self.refresh(farm);
         }
         match job.kind().vmt_class() {
-            VmtClass::Hot => self.place_hot(servers, job.core_power().get()),
-            VmtClass::Cold => self.place_cold(servers, job.core_power().get()),
+            VmtClass::Hot => self.place_hot(farm, job.core_power().get()),
+            VmtClass::Cold => self.place_cold(farm, job.core_power().get()),
         }
     }
 
@@ -376,11 +373,8 @@ mod tests {
     use vmt_units::Seconds;
     use vmt_workload::{JobId, WorkloadKind};
 
-    fn servers(n: usize) -> Vec<Server> {
-        let config = ClusterConfig::paper_default(n);
-        (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect()
+    fn farm(n: usize) -> ServerFarm {
+        ServerFarm::from_config(&ClusterConfig::paper_default(n))
     }
 
     fn job(id: u64, kind: WorkloadKind) -> Job {
@@ -390,7 +384,7 @@ mod tests {
     #[test]
     fn naive_balancer_matches_heap_balancer_placement_for_placement() {
         // Same members, same placement stream → identical choices.
-        let list = servers(8);
+        let list = farm(8);
         let mut naive = NaiveBalancer::new();
         let mut fast = crate::ThermalBalancer::new();
         naive.rebuild(0..8, &list);
@@ -411,9 +405,9 @@ mod tests {
 
     #[test]
     fn naive_coolest_first_places_on_the_cooler_server() {
-        let mut list = servers(2);
+        let mut list = farm(2);
         for i in 0..16 {
-            list[0].start_job(&job(100 + i, WorkloadKind::Clustering));
+            list.start_job(0, &job(100 + i, WorkloadKind::Clustering));
         }
         let mut cf = NaiveCoolestFirst::new();
         cf.on_tick(&list, Seconds::ZERO);

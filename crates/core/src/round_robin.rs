@@ -1,6 +1,6 @@
 //! The round-robin baseline (prior TTS work's scheduler).
 
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
 use vmt_workload::Job;
 
 /// Round-robin placement: each job goes to the next server in id order
@@ -27,11 +27,11 @@ impl Scheduler for RoundRobin {
         "round-robin"
     }
 
-    fn place(&mut self, _job: &Job, servers: &[Server]) -> Option<ServerId> {
-        let n = servers.len();
+    fn place(&mut self, _job: &Job, farm: &ServerFarm) -> Option<ServerId> {
+        let n = farm.len();
         for offset in 0..n {
             let idx = (self.cursor + offset) % n;
-            if servers[idx].free_cores() > 0 {
+            if farm.free_cores(idx) > 0 {
                 self.cursor = (idx + 1) % n;
                 return Some(ServerId(idx));
             }
@@ -47,11 +47,8 @@ mod tests {
     use vmt_units::Seconds;
     use vmt_workload::{JobId, WorkloadKind};
 
-    fn servers(n: usize) -> Vec<Server> {
-        let config = ClusterConfig::paper_default(n);
-        (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect()
+    fn farm(n: usize) -> ServerFarm {
+        ServerFarm::from_config(&ClusterConfig::paper_default(n))
     }
 
     fn job(id: u64) -> Job {
@@ -60,33 +57,33 @@ mod tests {
 
     #[test]
     fn cycles_through_servers() {
-        let mut servers = servers(3);
+        let mut farm = farm(3);
         let mut rr = RoundRobin::new();
         for (i, expect) in [0, 1, 2, 0, 1].into_iter().enumerate() {
-            let sid = rr.place(&job(i as u64), &servers).unwrap();
+            let sid = rr.place(&job(i as u64), &farm).unwrap();
             assert_eq!(sid, ServerId(expect));
-            servers[sid.0].start_job(&job(1000 + i as u64));
+            farm.start_job(sid.0, &job(1000 + i as u64));
         }
     }
 
     #[test]
     fn skips_full_servers() {
-        let mut servers = servers(2);
+        let mut farm = farm(2);
         for i in 0..32 {
-            servers[0].start_job(&job(100 + i));
+            farm.start_job(0, &job(100 + i));
         }
         let mut rr = RoundRobin::new();
-        assert_eq!(rr.place(&job(0), &servers), Some(ServerId(1)));
+        assert_eq!(rr.place(&job(0), &farm), Some(ServerId(1)));
     }
 
     #[test]
     fn none_when_cluster_full() {
-        let mut servers = servers(1);
+        let mut farm = farm(1);
         for i in 0..32 {
-            servers[0].start_job(&job(i));
+            farm.start_job(0, &job(i));
         }
         let mut rr = RoundRobin::new();
-        assert_eq!(rr.place(&job(99), &servers), None);
+        assert_eq!(rr.place(&job(99), &farm), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use crate::balance::ThermalBalancer;
 use crate::grouping::VmtConfig;
 use crate::VmtTa;
-use vmt_dcsim::{Scheduler, Server, ServerId};
+use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
 use vmt_units::{Hours, Seconds};
 use vmt_workload::{Job, VmtClass};
 
@@ -91,15 +91,15 @@ impl VmtPreserve {
         self.preserving
     }
 
-    fn refresh(&mut self, servers: &[Server], now: Seconds) {
+    fn refresh(&mut self, farm: &ServerFarm, now: Seconds) {
         let hour_of_day = (now.get() / 3600.0).rem_euclid(24.0);
         self.preserving = hour_of_day < self.engage_at.get();
         if self.preserving {
-            let sacrificed: Vec<usize> = (0..servers.len())
-                .filter(|&i| servers[i].reported_melt_fraction().get() >= SACRIFICED_MELT)
+            let sacrificed: Vec<usize> = (0..farm.len())
+                .filter(|&i| farm.reported_melt_fraction(i).get() >= SACRIFICED_MELT)
                 .collect();
-            self.sacrificed.rebuild(sacrificed, servers);
-            self.spread.rebuild(0..servers.len(), servers);
+            self.sacrificed.rebuild(sacrificed, farm);
+            self.spread.rebuild(0..farm.len(), farm);
         }
         self.initialized = true;
     }
@@ -110,17 +110,17 @@ impl Scheduler for VmtPreserve {
         "vmt-preserve"
     }
 
-    fn on_tick(&mut self, servers: &[Server], now: Seconds) {
-        self.refresh(servers, now);
-        self.inner.on_tick(servers, now);
+    fn on_tick(&mut self, farm: &ServerFarm, now: Seconds) {
+        self.refresh(farm, now);
+        self.inner.on_tick(farm, now);
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
         if !self.initialized {
-            self.refresh(servers, Seconds::ZERO);
+            self.refresh(farm, Seconds::ZERO);
         }
         if !self.preserving {
-            return self.inner.place(job, servers);
+            return self.inner.place(job, farm);
         }
         let power = job.core_power().get();
         match job.kind().vmt_class() {
@@ -128,10 +128,10 @@ impl Scheduler for VmtPreserve {
             // so thin that nothing new melts.
             VmtClass::Hot => self
                 .sacrificed
-                .place(servers, power)
-                .or_else(|| self.spread.place(servers, power))
+                .place(farm, power)
+                .or_else(|| self.spread.place(farm, power))
                 .map(ServerId),
-            VmtClass::Cold => self.spread.place(servers, power).map(ServerId),
+            VmtClass::Cold => self.spread.place(farm, power).map(ServerId),
         }
     }
 

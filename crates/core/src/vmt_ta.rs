@@ -2,7 +2,7 @@
 
 use crate::balance::ThermalBalancer;
 use crate::grouping::VmtConfig;
-use vmt_dcsim::{ClusterIndex, Scheduler, Server, ServerId};
+use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
 use vmt_workload::{Job, VmtClass};
 
 /// VMT-TA: static hot/cold groups, hot jobs concentrated in the hot
@@ -55,12 +55,12 @@ impl VmtTa {
         &self.config
     }
 
-    fn refresh(&mut self, servers: &[Server]) {
+    fn refresh(&mut self, farm: &ServerFarm) {
         if self.hot_size == 0 {
-            self.hot_size = self.config.hot_group_size(servers.len());
+            self.hot_size = self.config.hot_group_size(farm.len());
         }
-        self.hot.rebuild(0..self.hot_size, servers);
-        self.cold.rebuild(self.hot_size..servers.len(), servers);
+        self.hot.rebuild(0..self.hot_size, farm);
+        self.cold.rebuild(self.hot_size..farm.len(), farm);
         self.initialized = true;
     }
 }
@@ -70,25 +70,25 @@ impl Scheduler for VmtTa {
         "vmt-ta"
     }
 
-    fn on_tick(&mut self, servers: &[Server], _now: vmt_units::Seconds) {
-        self.refresh(servers);
+    fn on_tick(&mut self, farm: &ServerFarm, _now: vmt_units::Seconds) {
+        self.refresh(farm);
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
         if !self.initialized {
-            self.refresh(servers);
+            self.refresh(farm);
         }
         let power = job.core_power().get();
         // Home group first; spill into the other group when full.
         let idx = match job.kind().vmt_class() {
             VmtClass::Hot => self
                 .hot
-                .place(servers, power)
-                .or_else(|| self.cold.place(servers, power)),
+                .place(farm, power)
+                .or_else(|| self.cold.place(farm, power)),
             VmtClass::Cold => self
                 .cold
-                .place(servers, power)
-                .or_else(|| self.hot.place(servers, power)),
+                .place(farm, power)
+                .or_else(|| self.hot.place(farm, power)),
         };
         idx.map(ServerId)
     }
@@ -96,11 +96,11 @@ impl Scheduler for VmtTa {
     fn place_indexed(
         &mut self,
         job: &Job,
-        servers: &[Server],
+        farm: &ServerFarm,
         index: &ClusterIndex,
     ) -> Option<ServerId> {
         if !self.initialized {
-            self.refresh(servers);
+            self.refresh(farm);
         }
         let power = job.core_power().get();
         // Same home-group-then-spill ladder as `place`, with free cores
@@ -131,14 +131,12 @@ mod tests {
     use vmt_units::Seconds;
     use vmt_workload::{JobId, WorkloadKind};
 
-    fn setup(n: usize, gv: f64) -> (Vec<Server>, VmtTa) {
+    fn setup(n: usize, gv: f64) -> (ServerFarm, VmtTa) {
         let config = ClusterConfig::paper_default(n);
-        let servers: Vec<Server> = (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect();
+        let farm = ServerFarm::from_config(&config);
         let mut ta = VmtTa::new(VmtConfig::new(GroupingValue::new(gv), &config));
-        ta.refresh(&servers);
-        (servers, ta)
+        ta.refresh(&farm);
+        (farm, ta)
     }
 
     fn job(id: u64, kind: WorkloadKind) -> Job {
@@ -153,35 +151,31 @@ mod tests {
 
     #[test]
     fn hot_jobs_go_to_hot_group_cold_to_cold() {
-        let (mut servers, mut ta) = setup(10, 22.0);
+        let (mut farm, mut ta) = setup(10, 22.0);
         let hot = ta.hot_group_size().unwrap();
         for i in 0..20 {
-            let sid = ta
-                .place(&job(i, WorkloadKind::Clustering), &servers)
-                .unwrap();
+            let sid = ta.place(&job(i, WorkloadKind::Clustering), &farm).unwrap();
             assert!(sid.0 < hot, "hot job landed on {sid}");
-            servers[sid.0].start_job(&job(1000 + i, WorkloadKind::Clustering));
+            farm.start_job(sid.0, &job(1000 + i, WorkloadKind::Clustering));
         }
         for i in 0..20 {
             let sid = ta
-                .place(&job(100 + i, WorkloadKind::DataCaching), &servers)
+                .place(&job(100 + i, WorkloadKind::DataCaching), &farm)
                 .unwrap();
             assert!(sid.0 >= hot, "cold job landed on {sid}");
-            servers[sid.0].start_job(&job(2000 + i, WorkloadKind::DataCaching));
+            farm.start_job(sid.0, &job(2000 + i, WorkloadKind::DataCaching));
         }
     }
 
     #[test]
     fn distributes_evenly_within_group() {
-        let (mut servers, mut ta) = setup(10, 22.0);
+        let (mut farm, mut ta) = setup(10, 22.0);
         let hot = ta.hot_group_size().unwrap();
         let mut counts = vec![0usize; 10];
         for i in 0..(hot as u64 * 3) {
-            let sid = ta
-                .place(&job(i, WorkloadKind::WebSearch), &servers)
-                .unwrap();
+            let sid = ta.place(&job(i, WorkloadKind::WebSearch), &farm).unwrap();
             counts[sid.0] += 1;
-            servers[sid.0].start_job(&job(5000 + i, WorkloadKind::WebSearch));
+            farm.start_job(sid.0, &job(5000 + i, WorkloadKind::WebSearch));
         }
         let total: usize = counts[..hot].iter().sum();
         assert_eq!(total, hot * 3);
@@ -193,18 +187,18 @@ mod tests {
 
     #[test]
     fn spills_when_home_group_full() {
-        let (mut servers, mut ta) = setup(4, 22.0);
+        let (mut farm, mut ta) = setup(4, 22.0);
         let hot = ta.hot_group_size().unwrap();
         assert_eq!(hot, 2);
-        for (s, server) in servers.iter_mut().enumerate().take(hot) {
+        for s in 0..hot {
             for c in 0..32 {
-                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::WebSearch));
+                farm.start_job(s, &job((s * 100 + c) as u64, WorkloadKind::WebSearch));
             }
         }
         // Rebuild so the balancer sees the filled hot group.
-        ta.refresh(&servers);
+        ta.refresh(&farm);
         let sid = ta
-            .place(&job(9999, WorkloadKind::WebSearch), &servers)
+            .place(&job(9999, WorkloadKind::WebSearch), &farm)
             .unwrap();
         assert!(
             sid.0 >= hot,
@@ -214,17 +208,14 @@ mod tests {
 
     #[test]
     fn none_when_cluster_full() {
-        let (mut servers, mut ta) = setup(2, 22.0);
-        for (s, server) in servers.iter_mut().enumerate().take(2) {
+        let (mut farm, mut ta) = setup(2, 22.0);
+        for s in 0..2 {
             for c in 0..32 {
-                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VirusScan));
+                farm.start_job(s, &job((s * 100 + c) as u64, WorkloadKind::VirusScan));
             }
         }
-        ta.refresh(&servers);
-        assert_eq!(
-            ta.place(&job(9999, WorkloadKind::WebSearch), &servers),
-            None
-        );
+        ta.refresh(&farm);
+        assert_eq!(ta.place(&job(9999, WorkloadKind::WebSearch), &farm), None);
     }
 
     #[test]
@@ -237,26 +228,21 @@ mod tests {
             vmt_units::DegC::new(2.0),
             9,
         );
-        let servers: Vec<Server> = (0..6)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect();
+        let mut farm = ServerFarm::from_config(&config);
         let mut ta = VmtTa::new(VmtConfig::new(GroupingValue::new(22.0), &config));
-        ta.refresh(&servers);
+        ta.refresh(&farm);
         let hot = ta.hot_group_size().unwrap();
         let mut counts = vec![0usize; 6];
-        let mut servers = servers;
         for i in 0..((hot * 8) as u64) {
-            let sid = ta
-                .place(&job(i, WorkloadKind::WebSearch), &servers)
-                .unwrap();
+            let sid = ta.place(&job(i, WorkloadKind::WebSearch), &farm).unwrap();
             counts[sid.0] += 1;
-            servers[sid.0].start_job(&job(5000 + i, WorkloadKind::WebSearch));
+            farm.start_job(sid.0, &job(5000 + i, WorkloadKind::WebSearch));
         }
         let warmest = (0..hot)
-            .max_by(|&a, &b| servers[a].inlet().partial_cmp(&servers[b].inlet()).unwrap())
+            .max_by(|&a, &b| farm.inlet(a).partial_cmp(&farm.inlet(b)).unwrap())
             .unwrap();
         let coolest = (0..hot)
-            .min_by(|&a, &b| servers[a].inlet().partial_cmp(&servers[b].inlet()).unwrap())
+            .min_by(|&a, &b| farm.inlet(a).partial_cmp(&farm.inlet(b)).unwrap())
             .unwrap();
         assert!(
             counts[warmest] < counts[coolest],

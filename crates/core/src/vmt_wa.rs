@@ -1,7 +1,7 @@
 //! VMT with wax-aware job placement (VMT-WA, paper §III-B).
 
 use crate::grouping::VmtConfig;
-use vmt_dcsim::{ClusterIndex, Scheduler, Server, ServerId};
+use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
 use vmt_units::{Celsius, Seconds};
 use vmt_workload::{Job, VmtClass};
 
@@ -160,11 +160,11 @@ impl VmtWa {
         &self.config
     }
 
-    /// Steady-state air temperature this server is heading toward at its
-    /// current (intra-tick) power draw.
-    fn projected_temp(server: &Server) -> Celsius {
-        server.inlet()
-            + vmt_units::DegC::new(server.power().get() / server.air().capacity_rate().get())
+    /// Steady-state air temperature server `idx` is heading toward at
+    /// its current (intra-tick) power draw.
+    fn projected_temp(farm: &ServerFarm, idx: usize) -> Celsius {
+        farm.inlet(idx)
+            + vmt_units::DegC::new(farm.power(idx).get() / farm.air().capacity_rate().get())
     }
 
     /// The temperature a melted server must project to count as warm.
@@ -173,20 +173,20 @@ impl VmtWa {
     }
 
     /// Refreshes per-tick state: wax flags, group shrink, placement
-    /// lists. Reads everything from the server slice — the reference
-    /// (index-free) path.
-    fn refresh(&mut self, servers: &[Server]) {
+    /// lists. Reads everything through the farm's accessors — the
+    /// reference (index-free) path.
+    fn refresh(&mut self, farm: &ServerFarm) {
         self.melted.clear();
         self.below_melt.clear();
-        for s in servers {
+        for i in 0..farm.len() {
             self.melted
-                .push(s.reported_melt_fraction().get() >= self.config.wax_threshold);
-            self.below_melt.push(s.air_at_wax() < self.config.pmt);
+                .push(farm.reported_melt_fraction(i).get() >= self.config.wax_threshold);
+            self.below_melt.push(farm.air_at_wax(i) < self.config.pmt);
         }
-        let used: u32 = servers.iter().map(Server::used_cores).sum();
-        let total: u32 = servers.iter().map(Server::cores).sum();
+        let used: u32 = (0..farm.len()).map(|i| farm.used_cores(i)).sum();
+        let total: u32 = (0..farm.len()).map(|_| farm.cores()).sum();
         let utilization = f64::from(used) / f64::from(total);
-        self.refresh_groups(servers, utilization, None);
+        self.refresh_groups(farm, utilization, None);
     }
 
     /// [`VmtWa::refresh`] with the wax flags and cluster utilization read
@@ -195,7 +195,7 @@ impl VmtWa {
     /// pointer chase through every server's wax substructures. The values
     /// are bit-identical to what the accessors would return, so both
     /// refresh paths compute the same flags and groups.
-    fn refresh_indexed_impl(&mut self, servers: &[Server], index: &ClusterIndex) {
+    fn refresh_indexed_impl(&mut self, farm: &ServerFarm, index: &ClusterIndex) {
         self.melted.clear();
         self.below_melt.clear();
         let pmt = self.config.pmt.get();
@@ -203,7 +203,7 @@ impl VmtWa {
             self.melted.push(melt >= self.config.wax_threshold);
             self.below_melt.push(air < pmt);
         }
-        self.refresh_groups(servers, index.utilization(), Some(index));
+        self.refresh_groups(farm, index.utilization(), Some(index));
     }
 
     /// Shared tail of the two refresh paths: shrink/grow the hot group,
@@ -211,11 +211,11 @@ impl VmtWa {
     /// cursors.
     fn refresh_groups(
         &mut self,
-        servers: &[Server],
+        farm: &ServerFarm,
         utilization: f64,
         index: Option<&ClusterIndex>,
     ) {
-        let n = servers.len();
+        let n = farm.len();
         if self.base_hot == 0 {
             self.base_hot = self.config.hot_group_size(n);
             self.hot_size = self.base_hot;
@@ -231,7 +231,7 @@ impl VmtWa {
             let idx = self.hot_size - 1;
             let report = match index {
                 Some(ix) => ix.reported_melt()[idx],
-                None => servers[idx].reported_melt_fraction().get(),
+                None => farm.reported_melt_fraction(idx).get(),
             };
             let refrozen = report < REFREEZE_FRACTION && self.below_melt[idx];
             if refrozen {
@@ -258,7 +258,7 @@ impl VmtWa {
             if near_peak && self.melted[idx] {
                 // Safety net: a saturated server about to dip below the
                 // melt line gets topped up with priority.
-                if self.tuning.keep_warm && Self::projected_temp(&servers[idx]) < warm_line {
+                if self.tuning.keep_warm && Self::projected_temp(farm, idx) < warm_line {
                     self.keep_warm.push(idx);
                 }
                 self.members.push((idx, self.tuning.melted_penalty_k));
@@ -269,27 +269,24 @@ impl VmtWa {
                 self.members.push((idx, 0.0));
             }
         }
-        self.hot
-            .rebuild_biased(self.members.iter().copied(), servers);
-        self.cold.rebuild(self.hot_size..n, servers);
+        self.hot.rebuild_biased(self.members.iter().copied(), farm);
+        self.cold.rebuild(self.hot_size..n, farm);
         self.cursor_hot_unmelted = 0;
         self.cursor_hot_any = 0;
         self.cursor_cold_melted_warm = 0;
         self.cursor_cold_any = 0;
     }
 
-    fn place_hot(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
-        let n = servers.len();
+    fn place_hot(&mut self, farm: &ServerFarm, core_power_w: f64) -> Option<ServerId> {
+        let n = farm.len();
         // 1. Keep-warm: top up melted servers that are about to dip below
         //    the melt line. Placing here both prevents heat release and
         //    frees the rest of the load for unmelted wax.
         while let Some(&idx) = self.keep_warm.last() {
-            if servers[idx].free_cores() > 0
-                && Self::projected_temp(&servers[idx]) < self.warm_line()
-            {
+            if farm.free_cores(idx) > 0 && Self::projected_temp(farm, idx) < self.warm_line() {
                 // Keep the balancer's projection truthful about this
                 // out-of-band placement.
-                self.hot.account_external(idx, core_power_w, servers);
+                self.hot.account_external(idx, core_power_w, farm);
                 return Some(ServerId(idx));
             }
             // Topped up (or full): done with this server for the tick.
@@ -298,7 +295,7 @@ impl VmtWa {
         // 2. Temperature-balanced placement across the hot group
         //    (saturated members carry a key penalty, so new wax melts
         //    preferentially without abandoning molten servers).
-        if let Some(idx) = self.hot.place(servers, core_power_w) {
+        if let Some(idx) = self.hot.place(farm, core_power_w) {
             return Some(ServerId(idx));
         }
         // 3. The whole group is out of cores: grow one server at a time;
@@ -306,31 +303,31 @@ impl VmtWa {
         while self.hot_size < n {
             let idx = self.hot_size;
             self.hot_size += 1;
-            self.hot.add_member(idx, servers);
-            if let Some(found) = self.hot.place(servers, core_power_w) {
+            self.hot.add_member(idx, farm);
+            if let Some(found) = self.hot.place(farm, core_power_w) {
                 return Some(ServerId(found));
             }
         }
         // 4. Corner case: the whole cluster is the hot group. Any server
         //    below the melted threshold, then any server at all.
         (0..n)
-            .find(|&i| !self.melted[i] && servers[i].free_cores() > 0)
-            .or_else(|| (0..n).find(|&i| servers[i].free_cores() > 0))
+            .find(|&i| !self.melted[i] && farm.free_cores(i) > 0)
+            .or_else(|| (0..n).find(|&i| farm.free_cores(i) > 0))
             .map(ServerId)
     }
 
-    fn place_cold(&mut self, servers: &[Server], core_power_w: f64) -> Option<ServerId> {
+    fn place_cold(&mut self, farm: &ServerFarm, core_power_w: f64) -> Option<ServerId> {
         // 1. The cold group, temperature balanced.
-        if let Some(idx) = self.cold.place(servers, core_power_w) {
+        if let Some(idx) = self.cold.place(farm, core_power_w) {
             return Some(ServerId(idx));
         }
         // 2. A hot-group server already melted and above the melting
         //    temperature — placing a cold job there has minimal thermal
         //    impact.
         (0..self.hot_size)
-            .find(|&i| self.melted[i] && !self.below_melt[i] && servers[i].free_cores() > 0)
+            .find(|&i| self.melted[i] && !self.below_melt[i] && farm.free_cores(i) > 0)
             // 3. Any remaining hot-group server.
-            .or_else(|| (0..self.hot_size).find(|&i| servers[i].free_cores() > 0))
+            .or_else(|| (0..self.hot_size).find(|&i| farm.free_cores(i) > 0))
             .map(ServerId)
     }
 
@@ -340,15 +337,14 @@ impl VmtWa {
     /// rescanning from zero for every job.
     fn place_hot_indexed(
         &mut self,
-        servers: &[Server],
+        farm: &ServerFarm,
         index: &ClusterIndex,
         core_power_w: f64,
     ) -> Option<ServerId> {
-        let n = servers.len();
+        let n = farm.len();
         // 1. Keep-warm.
         while let Some(&idx) = self.keep_warm.last() {
-            if index.free_cores()[idx] > 0 && Self::projected_temp(&servers[idx]) < self.warm_line()
-            {
+            if index.free_cores()[idx] > 0 && Self::projected_temp(farm, idx) < self.warm_line() {
                 self.hot.account_external_indexed(idx, core_power_w, index);
                 return Some(ServerId(idx));
             }
@@ -362,7 +358,7 @@ impl VmtWa {
         while self.hot_size < n {
             let idx = self.hot_size;
             self.hot_size += 1;
-            self.hot.add_member(idx, servers);
+            self.hot.add_member(idx, farm);
             if let Some(found) = self.hot.place_indexed(index, core_power_w) {
                 return Some(ServerId(found));
             }
@@ -422,35 +418,35 @@ impl Scheduler for VmtWa {
         "vmt-wa"
     }
 
-    fn on_tick(&mut self, servers: &[Server], _now: Seconds) {
-        self.refresh(servers);
+    fn on_tick(&mut self, farm: &ServerFarm, _now: Seconds) {
+        self.refresh(farm);
     }
 
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId> {
-        if self.melted.len() != servers.len() {
-            self.refresh(servers);
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId> {
+        if self.melted.len() != farm.len() {
+            self.refresh(farm);
         }
         match job.kind().vmt_class() {
-            VmtClass::Hot => self.place_hot(servers, job.core_power().get()),
-            VmtClass::Cold => self.place_cold(servers, job.core_power().get()),
+            VmtClass::Hot => self.place_hot(farm, job.core_power().get()),
+            VmtClass::Cold => self.place_cold(farm, job.core_power().get()),
         }
     }
 
-    fn on_tick_indexed(&mut self, servers: &[Server], index: &ClusterIndex, _now: Seconds) {
-        self.refresh_indexed_impl(servers, index);
+    fn on_tick_indexed(&mut self, farm: &ServerFarm, index: &ClusterIndex, _now: Seconds) {
+        self.refresh_indexed_impl(farm, index);
     }
 
     fn place_indexed(
         &mut self,
         job: &Job,
-        servers: &[Server],
+        farm: &ServerFarm,
         index: &ClusterIndex,
     ) -> Option<ServerId> {
-        if self.melted.len() != servers.len() {
-            self.refresh_indexed_impl(servers, index);
+        if self.melted.len() != farm.len() {
+            self.refresh_indexed_impl(farm, index);
         }
         match job.kind().vmt_class() {
-            VmtClass::Hot => self.place_hot_indexed(servers, index, job.core_power().get()),
+            VmtClass::Hot => self.place_hot_indexed(farm, index, job.core_power().get()),
             VmtClass::Cold => self.place_cold_indexed(index, job.core_power().get()),
         }
     }
@@ -467,26 +463,22 @@ mod tests {
     use vmt_dcsim::ClusterConfig;
     use vmt_workload::{JobId, WorkloadKind};
 
-    fn setup(n: usize, gv: f64) -> (Vec<Server>, VmtWa) {
+    fn setup(n: usize, gv: f64) -> (ServerFarm, VmtWa) {
         let config = ClusterConfig::paper_default(n);
-        let servers: Vec<Server> = (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect();
+        let farm = ServerFarm::from_config(&config);
         let mut wa = VmtWa::new(VmtConfig::new(GroupingValue::new(gv), &config));
-        wa.refresh(&servers);
-        (servers, wa)
+        wa.refresh(&farm);
+        (farm, wa)
     }
 
-    fn setup_with_threshold(n: usize, gv: f64, threshold: f64) -> (Vec<Server>, VmtWa) {
+    fn setup_with_threshold(n: usize, gv: f64, threshold: f64) -> (ServerFarm, VmtWa) {
         let config = ClusterConfig::paper_default(n);
-        let servers: Vec<Server> = (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect();
+        let farm = ServerFarm::from_config(&config);
         let mut wa = VmtWa::new(
             VmtConfig::new(GroupingValue::new(gv), &config).with_wax_threshold(threshold),
         );
-        wa.refresh(&servers);
-        (servers, wa)
+        wa.refresh(&farm);
+        (farm, wa)
     }
 
     fn job(id: u64, kind: WorkloadKind) -> Job {
@@ -495,16 +487,14 @@ mod tests {
 
     /// Saturates the first `count` servers with hot load and ticks until
     /// their wax (and estimators) report fully melted.
-    fn melt_servers(servers: &mut [Server], count: usize) {
-        for (s, server) in servers.iter_mut().enumerate().take(count) {
+    fn melt_servers(farm: &mut ServerFarm, count: usize) {
+        for s in 0..count {
             for c in 0..32 {
-                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VideoEncoding));
+                farm.start_job(s, &job((s * 100 + c) as u64, WorkloadKind::VideoEncoding));
             }
         }
         for _ in 0..(24 * 60) {
-            for s in servers.iter_mut() {
-                s.tick(Seconds::new(60.0));
-            }
+            farm.tick_physics(Seconds::new(60.0));
         }
     }
 
@@ -516,35 +506,33 @@ mod tests {
 
     #[test]
     fn behaves_like_ta_while_unmelted() {
-        let (mut servers, mut wa) = setup(10, 22.0);
+        let (mut farm, mut wa) = setup(10, 22.0);
         let hot = wa.hot_group_size().unwrap();
         for i in 0..12 {
-            let sid = wa
-                .place(&job(i, WorkloadKind::Clustering), &servers)
-                .unwrap();
+            let sid = wa.place(&job(i, WorkloadKind::Clustering), &farm).unwrap();
             assert!(sid.0 < hot);
-            servers[sid.0].start_job(&job(1000 + i, WorkloadKind::Clustering));
+            farm.start_job(sid.0, &job(1000 + i, WorkloadKind::Clustering));
         }
         for i in 0..12 {
             let sid = wa
-                .place(&job(100 + i, WorkloadKind::DataCaching), &servers)
+                .place(&job(100 + i, WorkloadKind::DataCaching), &farm)
                 .unwrap();
             assert!(sid.0 >= hot);
-            servers[sid.0].start_job(&job(2000 + i, WorkloadKind::DataCaching));
+            farm.start_job(sid.0, &job(2000 + i, WorkloadKind::DataCaching));
         }
     }
 
     #[test]
     fn grows_hot_group_when_wax_saturates() {
-        let (mut servers, mut wa) = setup(6, 22.0);
+        let (mut farm, mut wa) = setup(6, 22.0);
         let base = wa.hot_group_size().unwrap();
         assert_eq!(base, 4);
-        melt_servers(&mut servers, base);
-        wa.refresh(&servers);
+        melt_servers(&mut farm, base);
+        wa.refresh(&farm);
         // Melted servers are still fully loaded (above the warm line), so
         // an arriving hot job saturates the group and grows it.
         let sid = wa
-            .place(&job(9000, WorkloadKind::WebSearch), &servers)
+            .place(&job(9000, WorkloadKind::WebSearch), &farm)
             .unwrap();
         assert!(
             sid.0 >= base,
@@ -555,10 +543,13 @@ mod tests {
 
     /// Fills the cold group with enough cold jobs that the cluster is
     /// "near peak" (≥75% utilized), activating keep-warm.
-    fn load_cold_group(servers: &mut [Server], fills: &[(usize, u64)]) {
+    fn load_cold_group(farm: &mut ServerFarm, fills: &[(usize, u64)]) {
         for &(s, cores) in fills {
             for c in 0..cores {
-                servers[s].start_job(&job(90_000 + s as u64 * 100 + c, WorkloadKind::DataCaching));
+                farm.start_job(
+                    s,
+                    &job(90_000 + s as u64 * 100 + c, WorkloadKind::DataCaching),
+                );
             }
         }
     }
@@ -568,66 +559,62 @@ mod tests {
     /// server 4 is unmelted with headroom, server 0 has been partially
     /// drained and cooled below the melt line, and the cold group is
     /// loaded enough that the cluster is near peak (≥88% utilized).
-    fn keep_warm_scenario() -> (Vec<Server>, VmtWa) {
-        let (mut servers, mut wa) = setup_with_threshold(8, 22.0, 0.85);
+    fn keep_warm_scenario() -> (ServerFarm, VmtWa) {
+        let (mut farm, mut wa) = setup_with_threshold(8, 22.0, 0.85);
         assert_eq!(wa.hot_group_size(), Some(5));
         // Servers 0-3: full hot load, melted.
-        for (s, server) in servers.iter_mut().enumerate().take(4) {
+        for s in 0..4 {
             for c in 0..32 {
-                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VideoEncoding));
+                farm.start_job(s, &job((s * 100 + c) as u64, WorkloadKind::VideoEncoding));
             }
         }
         // Server 4: light mixed load — stays below the melt line.
         for c in 0..12 {
-            servers[4].start_job(&job((400 + c) as u64, WorkloadKind::VideoEncoding));
+            farm.start_job(4, &job((400 + c) as u64, WorkloadKind::VideoEncoding));
         }
         for c in 12..24 {
-            servers[4].start_job(&job((400 + c) as u64, WorkloadKind::DataCaching));
+            farm.start_job(4, &job((400 + c) as u64, WorkloadKind::DataCaching));
         }
         for _ in 0..(24 * 60) {
-            for s in servers.iter_mut() {
-                s.tick(Seconds::new(60.0));
-            }
+            farm.tick_physics(Seconds::new(60.0));
         }
         // Drain server 0 to 12 jobs and let it cool below the melt line.
         for c in 0..20 {
-            servers[0].end_job(JobId(c));
+            farm.end_job(0, JobId(c));
         }
         for _ in 0..20 {
-            for s in servers.iter_mut() {
-                s.tick(Seconds::new(60.0));
-            }
+            farm.tick_physics(Seconds::new(60.0));
         }
         // Cold group load brings the cluster near peak.
-        load_cold_group(&mut servers, &[(5, 32), (6, 32), (7, 32)]);
-        wa.refresh(&servers);
-        assert!(servers[0].air_at_wax() < Celsius::new(35.7));
-        assert!(servers[0].reported_melt_fraction().get() >= 0.85);
-        (servers, wa)
+        load_cold_group(&mut farm, &[(5, 32), (6, 32), (7, 32)]);
+        wa.refresh(&farm);
+        assert!(farm.air_at_wax(0) < Celsius::new(35.7));
+        assert!(farm.reported_melt_fraction(0).get() >= 0.85);
+        (farm, wa)
     }
 
     #[test]
     fn keep_warm_takes_priority_when_melted_servers_cool() {
-        let (servers, mut wa) = keep_warm_scenario();
+        let (farm, mut wa) = keep_warm_scenario();
         // The next hot job must go to server 0 to keep its wax molten.
         let sid = wa
-            .place(&job(9000, WorkloadKind::WebSearch), &servers)
+            .place(&job(9000, WorkloadKind::WebSearch), &farm)
             .unwrap();
         assert_eq!(sid, ServerId(0));
     }
 
     #[test]
     fn keep_warm_stops_at_just_enough_load() {
-        let (mut servers, mut wa) = keep_warm_scenario();
+        let (mut farm, mut wa) = keep_warm_scenario();
         // Feed hot jobs; count how many go to server 0 before the policy
         // decides it is warm enough and routes the rest to the unmelted
         // server 4.
         let mut to_zero = 0;
         for i in 0..16 {
             let sid = wa
-                .place(&job(9000 + i, WorkloadKind::Clustering), &servers)
+                .place(&job(9000 + i, WorkloadKind::Clustering), &farm)
                 .unwrap();
-            servers[sid.0].start_job(&job(9000 + i, WorkloadKind::Clustering));
+            farm.start_job(sid.0, &job(9000 + i, WorkloadKind::Clustering));
             if sid.0 == 0 {
                 to_zero += 1;
             }
@@ -643,78 +630,70 @@ mod tests {
 
     #[test]
     fn never_shrinks_during_the_peak() {
-        let (mut servers, mut wa) = setup(6, 22.0);
+        let (mut farm, mut wa) = setup(6, 22.0);
         let base = wa.hot_group_size().unwrap();
-        melt_servers(&mut servers, base);
-        load_cold_group(&mut servers, &[(5, 32)]);
-        wa.refresh(&servers);
+        melt_servers(&mut farm, base);
+        load_cold_group(&mut farm, &[(5, 32)]);
+        wa.refresh(&farm);
         // Force growth: the melted group is warm and full, so a hot job
         // extends the group onto server 4.
-        let sid = wa
-            .place(&job(1, WorkloadKind::WebSearch), &servers)
-            .unwrap();
-        servers[sid.0].start_job(&job(1, WorkloadKind::WebSearch));
+        let sid = wa.place(&job(1, WorkloadKind::WebSearch), &farm).unwrap();
+        farm.start_job(sid.0, &job(1, WorkloadKind::WebSearch));
         let grown = wa.hot_group_size().unwrap();
         assert!(grown > base);
         // Near peak → refresh must not shrink, even though the grown
         // server's wax is unmelted.
-        wa.refresh(&servers);
+        wa.refresh(&farm);
         assert_eq!(wa.hot_group_size().unwrap(), grown);
     }
 
     #[test]
     fn shrinks_after_offpeak_refreeze() {
-        let (mut servers, mut wa) = setup(6, 22.0);
+        let (mut farm, mut wa) = setup(6, 22.0);
         let base = wa.hot_group_size().unwrap();
-        melt_servers(&mut servers, base);
-        load_cold_group(&mut servers, &[(5, 32)]);
-        wa.refresh(&servers);
-        let sid = wa
-            .place(&job(1, WorkloadKind::WebSearch), &servers)
-            .unwrap();
-        servers[sid.0].start_job(&job(1, WorkloadKind::WebSearch));
+        melt_servers(&mut farm, base);
+        load_cold_group(&mut farm, &[(5, 32)]);
+        wa.refresh(&farm);
+        let sid = wa.place(&job(1, WorkloadKind::WebSearch), &farm).unwrap();
+        farm.start_job(sid.0, &job(1, WorkloadKind::WebSearch));
         assert!(wa.hot_group_size().unwrap() > base);
         // Drain everything and cool until the wax refreezes; off-peak
         // the group returns to its Equation-1 base.
-        for (s, server) in servers.iter_mut().enumerate().take(base) {
+        for s in 0..base {
             for c in 0..32 {
-                server.end_job(JobId((s * 100 + c) as u64));
+                farm.end_job(s, JobId((s * 100 + c) as u64));
             }
         }
-        servers[sid.0].end_job(JobId(1));
+        farm.end_job(sid.0, JobId(1));
         for c in 0..32 {
-            servers[5].end_job(JobId(90_000 + 500 + c));
+            farm.end_job(5, JobId(90_000 + 500 + c));
         }
         for _ in 0..(48 * 60) {
-            for s in servers.iter_mut() {
-                s.tick(Seconds::new(60.0));
-            }
+            farm.tick_physics(Seconds::new(60.0));
         }
-        wa.refresh(&servers);
+        wa.refresh(&farm);
         assert_eq!(wa.hot_group_size().unwrap(), base);
     }
 
     #[test]
     fn cold_jobs_prefer_cold_group() {
-        let (mut servers, mut wa) = setup(10, 22.0);
+        let (mut farm, mut wa) = setup(10, 22.0);
         let hot = wa.hot_group_size().unwrap();
-        let sid = wa
-            .place(&job(0, WorkloadKind::VirusScan), &servers)
-            .unwrap();
+        let sid = wa.place(&job(0, WorkloadKind::VirusScan), &farm).unwrap();
         assert!(sid.0 >= hot);
-        servers[sid.0].start_job(&job(0, WorkloadKind::VirusScan));
+        farm.start_job(sid.0, &job(0, WorkloadKind::VirusScan));
     }
 
     #[test]
     fn none_only_when_cluster_full() {
-        let (mut servers, mut wa) = setup(2, 22.0);
-        for (s, server) in servers.iter_mut().enumerate().take(2) {
+        let (mut farm, mut wa) = setup(2, 22.0);
+        for s in 0..2 {
             for c in 0..32 {
-                server.start_job(&job((s * 100 + c) as u64, WorkloadKind::VirusScan));
+                farm.start_job(s, &job((s * 100 + c) as u64, WorkloadKind::VirusScan));
             }
         }
-        wa.refresh(&servers);
-        assert_eq!(wa.place(&job(999, WorkloadKind::WebSearch), &servers), None);
-        assert_eq!(wa.place(&job(998, WorkloadKind::VirusScan), &servers), None);
+        wa.refresh(&farm);
+        assert_eq!(wa.place(&job(999, WorkloadKind::WebSearch), &farm), None);
+        assert_eq!(wa.place(&job(998, WorkloadKind::VirusScan), &farm), None);
     }
 }

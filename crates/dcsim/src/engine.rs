@@ -1,16 +1,15 @@
 //! The simulation main loop.
 
 use crate::config::ClusterConfig;
+use crate::farm::ServerFarm;
 use crate::index::ClusterIndex;
 use crate::metrics::{Heatmap, SimulationResult};
 use crate::scheduler::Scheduler;
-use crate::server::{Server, ServerId};
+use crate::server::Server;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use vmt_thermal::{CoolingLoad, CoolingLoadSeries};
-use vmt_units::{Celsius, Hours, Joules};
+use vmt_thermal::CoolingLoadSeries;
+use vmt_units::{Celsius, Hours, Joules, Watts};
 use vmt_workload::{ArrivalPlanner, Job, JobId, JobSpec, LoadTrace, WorkloadKind};
 
 /// A configured simulation, ready to run.
@@ -38,14 +37,17 @@ pub struct Simulation {
     config: ClusterConfig,
     trace: Box<dyn LoadTrace>,
     scheduler: Box<dyn Scheduler>,
-    servers: Vec<Server>,
+    farm: ServerFarm,
     planner: ArrivalPlanner,
     /// Occupied cores per workload, indexed by [`WorkloadKind::index`].
     occupancy: [usize; 5],
-    /// Where each running job lives.
-    job_locations: HashMap<JobId, ServerId>,
-    /// Departures ordered by tick.
-    departures: BinaryHeap<Reverse<(u64, JobId)>>,
+    /// Departure calendar: `departures[t]` holds the jobs ending at tick
+    /// `t`, each with the server it runs on. Sized to the horizon when
+    /// the run starts; jobs outliving the trace are simply never ended,
+    /// as with the former priority queue. Job ids grow monotonically, so
+    /// bucket insertion order equals the old heap's `(tick, id)` pop
+    /// order and draining a bucket is O(1) per job.
+    departures: Vec<Vec<(JobId, u32)>>,
     next_job_id: u64,
     /// Shuffles each tick's arrival order (seeded; deterministic).
     arrival_rng: rand::rngs::SmallRng,
@@ -68,21 +70,18 @@ impl Simulation {
         scheduler: Box<dyn Scheduler>,
     ) -> Self {
         let trace = trace.into();
-        let servers: Vec<Server> = (0..config.num_servers)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect();
+        let farm = ServerFarm::from_config(&config);
         let planner = ArrivalPlanner::with_model(config.seed, config.duration_model);
         let arrival_rng = rand::rngs::SmallRng::seed_from_u64(config.seed ^ 0xA11C_E5ED);
-        let index = ClusterIndex::new(&servers);
+        let index = ClusterIndex::new(&farm);
         Self {
             config,
             trace,
             scheduler,
-            servers,
+            farm,
             planner,
             occupancy: [0; 5],
-            job_locations: HashMap::new(),
-            departures: BinaryHeap::new(),
+            departures: Vec::new(),
             next_job_id: 0,
             arrival_rng,
             index,
@@ -91,10 +90,18 @@ impl Simulation {
         }
     }
 
-    /// Read access to the servers (e.g. for custom probes between manual
-    /// steps).
-    pub fn servers(&self) -> &[Server] {
-        &self.servers
+    /// Read access to the cluster state (e.g. for custom probes between
+    /// manual steps).
+    pub fn farm(&self) -> &ServerFarm {
+        &self.farm
+    }
+
+    /// Sets the worker-thread count of the parallel physics tick.
+    /// Results are bit-identical at any setting; this only changes
+    /// wall-clock time. Defaults to [`crate::default_tick_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.farm.set_threads(threads);
+        self
     }
 
     /// The policy driving placement.
@@ -112,8 +119,9 @@ impl Simulation {
     /// at the exact moment the trace ends.
     pub fn run_returning_servers(mut self) -> (SimulationResult, Vec<Server>) {
         let ticks = self.config.ticks_for(self.trace.horizon());
+        self.departures.resize_with(ticks, Vec::new);
         let dt = self.config.tick;
-        let num_servers = self.servers.len();
+        let num_servers = self.farm.len();
         let heatmap_rows = ticks.div_ceil(self.config.heatmap_stride.max(1));
         let mut cooling = CoolingLoadSeries::new(dt);
         let mut electrical = CoolingLoadSeries::new(dt);
@@ -134,65 +142,44 @@ impl Simulation {
             let now_hours = Hours::new(now.get() / 3600.0);
 
             if self.config.inlet.is_time_varying() {
-                for (i, server) in self.servers.iter_mut().enumerate() {
-                    server.set_inlet(self.config.inlet.inlet_at(i, now_hours.get()));
+                for i in 0..num_servers {
+                    self.farm
+                        .set_inlet(i, self.config.inlet.inlet_at(i, now_hours.get()));
                 }
             }
             self.process_departures(t as u64);
-            self.scheduler
-                .on_tick_indexed(&self.servers, &self.index, now);
+            self.scheduler.on_tick_indexed(&self.farm, &self.index, now);
             self.plan_and_place(t as u64, now_hours, &mut placements, &mut dropped_jobs);
 
-            // Physics tick and metric accumulation, fused into a single
-            // pass: per-server results (tick totals, temperature sums,
-            // hot-group mean, heatmap rows, index refresh) are all
-            // functions of the server's own post-tick state, so one walk
-            // over the cluster produces every per-tick metric the old
-            // multi-pass loop did — in the same accumulation order,
-            // which keeps the floating-point results bit-identical.
+            // Physics tick and metric accumulation in one sharded sweep
+            // over the farm's arrays: per-shard partial sums (electrical,
+            // heat into wax, temperature sums, stored energy) are folded
+            // in shard order, the index's thermal columns and the
+            // optional heatmap rows are written in place. The sweep is
+            // deterministic at any thread count — see `farm`.
             let hot_size = self
                 .scheduler
                 .hot_group_size()
                 .map(|size| size.clamp(1, num_servers));
             let sample_heatmaps = t % self.config.heatmap_stride == 0;
-            let mut temp_row = if sample_heatmaps {
-                Vec::with_capacity(num_servers)
+            let (mut temp_row, mut melt_row) = if sample_heatmaps {
+                (vec![0.0; num_servers], vec![0.0; num_servers])
             } else {
-                Vec::new()
+                (Vec::new(), Vec::new())
             };
-            let mut melt_row = if sample_heatmaps {
-                Vec::with_capacity(num_servers)
-            } else {
-                Vec::new()
-            };
-            let mut total = CoolingLoad {
-                electrical: vmt_units::Watts::ZERO,
-                into_wax: vmt_units::Watts::ZERO,
-            };
-            let mut temp_sum = 0.0;
-            let mut hot_sum = 0.0;
-            let mut energy = Joules::ZERO;
-            for (i, server) in self.servers.iter_mut().enumerate() {
-                total = total + server.tick(dt);
-                let air = server.air_at_wax().get();
-                temp_sum += air;
-                energy += server.stored_latent_energy();
-                if hot_size.is_some_and(|size| i < size) {
-                    hot_sum += air;
-                }
-                if sample_heatmaps {
-                    temp_row.push(air);
-                    melt_row.push(server.melt_fraction().get());
-                }
-                self.index
-                    .record_physics(i, air, server.reported_melt_fraction().get());
-            }
-            cooling.push(total.rejected());
-            electrical.push(total.electrical);
-            avg_temp.push(Celsius::new(temp_sum / num_servers as f64));
-            stored_energy.push(energy);
+            let totals = self.farm.tick_physics_recorded(
+                dt,
+                hot_size.unwrap_or(0),
+                &mut self.index,
+                sample_heatmaps.then_some(temp_row.as_mut_slice()),
+                sample_heatmaps.then_some(melt_row.as_mut_slice()),
+            );
+            cooling.push(Watts::new(totals.electrical_w - totals.into_wax_w));
+            electrical.push(Watts::new(totals.electrical_w));
+            avg_temp.push(Celsius::new(totals.temp_sum_c / num_servers as f64));
+            stored_energy.push(Joules::new(totals.stored_energy_j));
             if let Some(size) = hot_size {
-                hot_group_temp.push(Celsius::new(hot_sum / size as f64));
+                hot_group_temp.push(Celsius::new(totals.hot_sum_c / size as f64));
                 hot_group_sizes.push(size);
             }
             if sample_heatmaps {
@@ -215,23 +202,15 @@ impl Simulation {
             placements,
             tick: dt,
         };
-        (result, self.servers)
+        (result, self.farm.to_servers())
     }
 
     /// Ends every job whose departure tick has arrived.
     fn process_departures(&mut self, tick: u64) {
-        while let Some(&Reverse((when, job))) = self.departures.peek() {
-            if when > tick {
-                break;
-            }
-            self.departures.pop();
-            let sid = self
-                .job_locations
-                .remove(&job)
-                .expect("departing job has a location");
-            let kind = self.servers[sid.0].end_job(job);
+        for (job, server) in std::mem::take(&mut self.departures[tick as usize]) {
+            let kind = self.farm.end_job(server as usize, job);
             self.occupancy[kind.index()] -= 1;
-            self.index.record_end(sid.0);
+            self.index.record_end(server as usize);
         }
     }
 
@@ -276,19 +255,18 @@ impl Simulation {
             let id = JobId(self.next_job_id);
             self.next_job_id += 1;
             let job = Job::new(id, spec.kind, spec.duration);
-            match self
-                .scheduler
-                .place_indexed(&job, &self.servers, &self.index)
-            {
+            match self.scheduler.place_indexed(&job, &self.farm, &self.index) {
                 Some(sid) => {
-                    self.servers[sid.0].start_job(&job);
+                    self.farm.start_job(sid.0, &job);
                     self.index.record_start(sid.0);
-                    self.job_locations.insert(id, sid);
                     self.occupancy[spec.kind.index()] += 1;
                     let duration_ticks = (spec.duration.get() / self.config.tick.get())
                         .round()
                         .max(1.0) as u64;
-                    self.departures.push(Reverse((tick + duration_ticks, id)));
+                    let when = (tick + duration_ticks) as usize;
+                    if when < self.departures.len() {
+                        self.departures[when].push((id, sid.0 as u32));
+                    }
                     *placements += 1;
                 }
                 None => *dropped += 1,

@@ -1,0 +1,949 @@
+//! Structure-of-arrays cluster state and the deterministic sharded
+//! physics tick.
+//!
+//! [`ServerFarm`] holds every server's physical state as contiguous
+//! arrays — inlet and air temperatures, active core power, wax enthalpy,
+//! estimator state — instead of a `Vec<Server>` of pointer-rich structs.
+//! The per-tick physics pass sweeps those arrays with the plain-value
+//! kernels from `vmt_thermal::kernel` and `vmt_pcm::kernel` in tight,
+//! cache-friendly loops, and parallelizes over a **fixed shard grid**:
+//!
+//! * Servers are split into contiguous shards of [`SHARD`] servers. The
+//!   shard layout depends only on the server count — never on the thread
+//!   count.
+//! * Each shard accumulates its partial sums (electrical power, heat
+//!   into wax, temperature sums, stored energy) element-serially in
+//!   server order.
+//! * The main thread folds the per-shard partials **in shard order**.
+//!
+//! Because IEEE-754 addition is not associative, this canonical
+//! reduction — not "sum in whatever order threads finish" — is what
+//! makes the results bit-identical at any thread count, including one:
+//! every thread count computes exactly the same shard partials and folds
+//! them in exactly the same order. Worker threads only change *who*
+//! computes a shard, never *what* is computed.
+
+use crate::config::{ClusterConfig, WaxSpec};
+use crate::index::ClusterIndex;
+use crate::server::{Server, ServerId};
+use vmt_pcm::{PcmMaterial, WaxKernel, WaxPack, WaxStateEstimator};
+use vmt_power::ServerPowerModel;
+use vmt_thermal::{AirStream, ServerThermalModel};
+use vmt_units::{Celsius, Fraction, Joules, Kilograms, Seconds, Watts, WattsPerKelvin};
+use vmt_workload::{Job, JobId, VmtClass, WorkloadKind};
+
+/// Servers per shard of the parallel physics sweep.
+///
+/// A fixed layout constant (never derived from the thread count), so the
+/// reduction tree — and therefore every floating-point result — is a
+/// function of the cluster size alone. 64 servers × a handful of `f64`
+/// lanes keeps a shard's working set inside L1 while amortizing the
+/// per-shard bookkeeping.
+pub const SHARD: usize = 64;
+
+/// Resolves the default tick-level thread count: the `VMT_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_tick_threads() -> usize {
+    std::env::var("VMT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Order-stable partial sums of one physics tick (raw accumulator
+/// units: W, W, °C·servers, °C·servers, J).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FarmTickTotals {
+    /// Total electrical power (sum of per-server draws, W).
+    pub electrical_w: f64,
+    /// Total heat-flow into wax (W; negative while refreezing).
+    pub into_wax_w: f64,
+    /// Sum of air-at-wax temperatures over all servers (°C).
+    pub temp_sum_c: f64,
+    /// Sum of air-at-wax temperatures over servers below the hot-group
+    /// limit (°C).
+    pub hot_sum_c: f64,
+    /// Total stored latent energy (J).
+    pub stored_energy_j: f64,
+}
+
+impl FarmTickTotals {
+    /// Folds another partial into this one (field-wise addition).
+    fn fold(&mut self, other: &FarmTickTotals) {
+        self.electrical_w += other.electrical_w;
+        self.into_wax_w += other.into_wax_w;
+        self.temp_sum_c += other.temp_sum_c;
+        self.hot_sum_c += other.hot_sum_c;
+        self.stored_energy_j += other.stored_energy_j;
+    }
+}
+
+/// Shared wax-pack design of a farm (every server carries the same pack).
+#[derive(Debug, Clone)]
+struct FarmWax {
+    material: PcmMaterial,
+    mass: Kilograms,
+    ua: WattsPerKelvin,
+    taper: f64,
+    kernel: WaxKernel,
+    /// Estimator template: holds the shared melt-rate lookup table; the
+    /// per-server `(temperature, fraction)` state lives in the farm's
+    /// arrays and flows through [`WaxStateEstimator::step_state`].
+    estimator: WaxStateEstimator,
+}
+
+impl FarmWax {
+    fn new(spec: &WaxSpec) -> Self {
+        Self::from_parts(
+            spec.material.clone(),
+            spec.sizing.mass_of(&spec.material),
+            spec.exchanger_ua,
+            spec.interface_taper,
+        )
+    }
+
+    fn from_parts(material: PcmMaterial, mass: Kilograms, ua: WattsPerKelvin, taper: f64) -> Self {
+        Self {
+            kernel: WaxKernel::new(&material, mass, ua, taper),
+            estimator: WaxStateEstimator::new(material.clone(), mass, ua).with_taper(taper),
+            material,
+            mass,
+            ua,
+            taper,
+        }
+    }
+}
+
+/// All servers' physical state in structure-of-arrays form.
+///
+/// Mirrors the per-server [`Server`] API index-wise (`air_at_wax(i)`,
+/// `free_cores(i)`, `start_job(i, …)`, …) so schedulers and tests read
+/// and mutate one server at a time, while the physics tick sweeps whole
+/// arrays at once. [`ServerFarm::to_servers`] and
+/// [`ServerFarm::from_servers`] convert losslessly to and from the
+/// array-of-structs form.
+#[derive(Debug, Clone)]
+pub struct ServerFarm {
+    power_model: ServerPowerModel,
+    air: AirStream,
+    time_constant: Seconds,
+    oracle_wax_state: bool,
+    threads: usize,
+    wax: Option<FarmWax>,
+    /// Per-server inlet temperature (°C).
+    inlet_c: Vec<f64>,
+    /// Per-server air temperature at the wax (°C).
+    at_wax_c: Vec<f64>,
+    /// Per-server sum of running jobs' core powers (W).
+    active_power_w: Vec<f64>,
+    /// Per-server wax enthalpy (J); untouched when the farm is waxless.
+    enthalpy_j: Vec<f64>,
+    /// Per-server estimator wax-temperature state (°C).
+    est_temp_c: Vec<f64>,
+    /// Per-server estimator melt-fraction state.
+    est_fraction: Vec<f64>,
+    /// Per-server running jobs (cold path: only start/end touch these).
+    /// A flat vec beats a hash map here: at most `cores` (32) entries,
+    /// so a linear id scan stays in one cache line's worth of probes.
+    jobs: Vec<Vec<(JobId, WorkloadKind)>>,
+}
+
+impl ServerFarm {
+    /// Builds a farm of `config.num_servers` servers, each initialized
+    /// exactly as [`Server::from_config`] initializes one: thermal state
+    /// settled at idle power, wax equilibrated at the resulting
+    /// air-at-wax temperature, estimator reset to that temperature and
+    /// zero melt.
+    pub fn from_config(config: &ClusterConfig) -> Self {
+        let n = config.num_servers;
+        let wax = config.wax.as_ref().map(FarmWax::new);
+        let mut farm = Self {
+            power_model: config.power,
+            air: config.air,
+            time_constant: config.thermal_time_constant,
+            oracle_wax_state: config.oracle_wax_state,
+            threads: default_tick_threads(),
+            wax,
+            inlet_c: Vec::with_capacity(n),
+            at_wax_c: Vec::with_capacity(n),
+            active_power_w: vec![0.0; n],
+            enthalpy_j: Vec::with_capacity(n),
+            est_temp_c: Vec::with_capacity(n),
+            est_fraction: vec![0.0; n],
+            jobs: (0..n).map(|_| Vec::new()).collect(),
+        };
+        for i in 0..n {
+            let inlet = config.inlet.inlet_for(i);
+            let mut thermal = ServerThermalModel::with_time_constant(
+                inlet,
+                config.air,
+                config.thermal_time_constant,
+            );
+            thermal.settle(config.power.idle());
+            let at_wax = thermal.air_at_wax();
+            farm.inlet_c.push(inlet.get());
+            farm.at_wax_c.push(at_wax.get());
+            match &farm.wax {
+                Some(w) => {
+                    let pack = WaxPack::new(w.material.clone(), w.mass, at_wax);
+                    farm.enthalpy_j.push(pack.enthalpy().get());
+                    farm.est_temp_c.push(at_wax.get());
+                }
+                None => {
+                    farm.enthalpy_j.push(0.0);
+                    farm.est_temp_c.push(0.0);
+                }
+            }
+        }
+        farm
+    }
+
+    /// Builds a farm from existing servers, preserving every state field
+    /// bit-for-bit. The servers must share one hardware configuration
+    /// (power model, air stream, time constant, wax design), which is
+    /// how the engine constructs clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn from_servers(servers: &[Server]) -> Self {
+        let first = servers.first().expect("farm needs at least one server");
+        let wax = first.wax_parts().map(|(pack, exchanger, _)| {
+            FarmWax::from_parts(
+                pack.material().clone(),
+                pack.mass(),
+                exchanger.ua(),
+                exchanger.taper(),
+            )
+        });
+        let mut farm = Self {
+            power_model: first.power_model(),
+            air: first.air(),
+            time_constant: first.thermal().time_constant(),
+            oracle_wax_state: first.oracle_wax_state(),
+            threads: default_tick_threads(),
+            wax,
+            inlet_c: servers.iter().map(|s| s.inlet().get()).collect(),
+            at_wax_c: servers.iter().map(|s| s.air_at_wax().get()).collect(),
+            active_power_w: servers
+                .iter()
+                .map(|s| s.active_core_power().get())
+                .collect(),
+            enthalpy_j: Vec::with_capacity(servers.len()),
+            est_temp_c: Vec::with_capacity(servers.len()),
+            est_fraction: Vec::with_capacity(servers.len()),
+            jobs: servers
+                .iter()
+                .map(|s| s.jobs_map().iter().map(|(&id, &kind)| (id, kind)).collect())
+                .collect(),
+        };
+        for s in servers {
+            match s.wax_parts() {
+                Some((pack, _, estimator)) => {
+                    farm.enthalpy_j.push(pack.enthalpy().get());
+                    farm.est_temp_c.push(estimator.temperature().get());
+                    farm.est_fraction.push(estimator.melt_fraction().get());
+                }
+                None => {
+                    farm.enthalpy_j.push(0.0);
+                    farm.est_temp_c.push(0.0);
+                    farm.est_fraction.push(0.0);
+                }
+            }
+        }
+        farm
+    }
+
+    /// Materializes the farm back into per-object [`Server`]s with
+    /// identical state (rack post-mortems, round-trip tests).
+    pub fn to_servers(&self) -> Vec<Server> {
+        (0..self.len())
+            .map(|i| {
+                let mut thermal = ServerThermalModel::with_time_constant(
+                    self.inlet(i),
+                    self.air,
+                    self.time_constant,
+                );
+                thermal.set_air_at_wax(self.air_at_wax(i));
+                let wax = self.wax.as_ref().map(|w| {
+                    let mut pack = WaxPack::new(w.material.clone(), w.mass, Celsius::new(0.0));
+                    pack.set_enthalpy(Joules::new(self.enthalpy_j[i]));
+                    let mut estimator = WaxStateEstimator::new(w.material.clone(), w.mass, w.ua)
+                        .with_taper(w.taper);
+                    estimator.reset(
+                        Celsius::new(self.est_temp_c[i]),
+                        Fraction::saturating(self.est_fraction[i]),
+                    );
+                    (
+                        pack,
+                        vmt_pcm::HeatExchanger::with_taper(w.ua, w.taper),
+                        estimator,
+                    )
+                });
+                Server::from_parts(
+                    ServerId(i),
+                    self.power_model,
+                    thermal,
+                    wax,
+                    self.jobs[i].iter().copied().collect(),
+                    Watts::new(self.active_power_w[i]),
+                    self.oracle_wax_state,
+                )
+            })
+            .collect()
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.at_wax_c.len()
+    }
+
+    /// True when the farm has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.at_wax_c.is_empty()
+    }
+
+    /// Worker threads used by the physics tick.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sets the physics-tick worker count (clamped to at least 1).
+    /// Results are bit-identical at any setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Total cores of server `i` (uniform across the farm).
+    pub fn cores(&self) -> u32 {
+        self.power_model.cores()
+    }
+
+    /// Cores of server `i` currently running jobs.
+    pub fn used_cores(&self, i: usize) -> u32 {
+        self.jobs[i].len() as u32
+    }
+
+    /// Cores of server `i` available for placement.
+    pub fn free_cores(&self, i: usize) -> u32 {
+        self.cores() - self.used_cores(i)
+    }
+
+    /// Current electrical power draw of server `i`.
+    pub fn power(&self, i: usize) -> Watts {
+        self.power_model.idle() + Watts::new(self.active_power_w[i])
+    }
+
+    /// Current air temperature at server `i`'s wax containers.
+    pub fn air_at_wax(&self, i: usize) -> Celsius {
+        Celsius::new(self.at_wax_c[i])
+    }
+
+    /// Inlet temperature of server `i`.
+    pub fn inlet(&self, i: usize) -> Celsius {
+        Celsius::new(self.inlet_c[i])
+    }
+
+    /// The cooling air stream (uniform across the farm).
+    pub fn air(&self) -> AirStream {
+        self.air
+    }
+
+    /// Updates server `i`'s inlet temperature (time-varying ambient
+    /// models).
+    pub fn set_inlet(&mut self, i: usize, inlet: Celsius) {
+        self.inlet_c[i] = inlet.get();
+    }
+
+    /// Physical (ground-truth) melt fraction of server `i`'s wax; zero
+    /// for waxless farms.
+    pub fn melt_fraction(&self, i: usize) -> Fraction {
+        match &self.wax {
+            Some(w) => Fraction::saturating(w.kernel.melt_fraction(self.enthalpy_j[i])),
+            None => Fraction::ZERO,
+        }
+    }
+
+    /// Melt fraction of server `i` as reported by the on-server
+    /// estimator — what the cluster scheduler sees. With the cluster's
+    /// `oracle_wax_state` ablation flag set, returns the physical state.
+    pub fn reported_melt_fraction(&self, i: usize) -> Fraction {
+        if self.oracle_wax_state {
+            return self.melt_fraction(i);
+        }
+        match &self.wax {
+            Some(_) => Fraction::saturating(self.est_fraction[i]),
+            None => Fraction::ZERO,
+        }
+    }
+
+    /// Physical latent energy currently stored in server `i`'s wax.
+    pub fn stored_latent_energy(&self, i: usize) -> Joules {
+        match &self.wax {
+            Some(w) => Joules::new(
+                w.kernel.latent_capacity_j() * w.kernel.melt_fraction(self.enthalpy_j[i]),
+            ),
+            None => Joules::ZERO,
+        }
+    }
+
+    /// The wax melting temperature, if wax is deployed.
+    pub fn melt_temperature(&self) -> Option<Celsius> {
+        self.wax.as_ref().map(|w| w.material.melt_temperature())
+    }
+
+    /// Number of running jobs of each workload on server `i`, indexed by
+    /// [`WorkloadKind::index`].
+    pub fn kind_counts(&self, i: usize) -> [u32; 5] {
+        let mut counts = [0u32; 5];
+        for &(_, kind) in &self.jobs[i] {
+            counts[kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Number of running jobs of each VMT class `(hot, cold)` on server
+    /// `i`.
+    pub fn class_counts(&self, i: usize) -> (u32, u32) {
+        let mut hot = 0;
+        let mut cold = 0;
+        for &(_, kind) in &self.jobs[i] {
+            match kind.vmt_class() {
+                VmtClass::Hot => hot += 1,
+                VmtClass::Cold => cold += 1,
+            }
+        }
+        (hot, cold)
+    }
+
+    /// Starts a job on a free core of server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is full or the job id is already running
+    /// here — both indicate an engine bug.
+    pub fn start_job(&mut self, i: usize, job: &Job) {
+        assert!(
+            self.free_cores(i) > 0,
+            "placement on a full {}",
+            ServerId(i)
+        );
+        debug_assert!(
+            self.jobs[i].iter().all(|&(id, _)| id != job.id()),
+            "duplicate {} on {}",
+            job.id(),
+            ServerId(i)
+        );
+        self.jobs[i].push((job.id(), job.kind()));
+        self.active_power_w[i] += job.core_power().get();
+    }
+
+    /// Ends a job on server `i`, freeing its core. Returns the job's
+    /// workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job is not running on server `i`.
+    pub fn end_job(&mut self, i: usize, id: JobId) -> WorkloadKind {
+        let pos = self.jobs[i]
+            .iter()
+            .position(|&(running, _)| running == id)
+            .unwrap_or_else(|| panic!("{id} not running on {}", ServerId(i)));
+        let (_, kind) = self.jobs[i].swap_remove(pos);
+        self.active_power_w[i] -= kind.core_power().get();
+        // Guard against f64 drift accumulating into a negative draw.
+        if self.jobs[i].is_empty() {
+            self.active_power_w[i] = 0.0;
+        }
+        kind
+    }
+
+    /// Advances every server's physics by `dt` (thermal response, wax
+    /// exchange, estimator update) and returns the order-stable tick
+    /// totals. Standalone form for tests and benches; the engine uses
+    /// the recording variant that also refreshes the [`ClusterIndex`]
+    /// and heatmap rows.
+    pub fn tick_physics(&mut self, dt: Seconds) -> FarmTickTotals {
+        let n = self.len();
+        let mut scratch_air = vec![0.0; n];
+        let mut scratch_melt = vec![0.0; n];
+        self.sweep(dt, 0, &mut scratch_air, &mut scratch_melt, None, None)
+    }
+
+    /// The engine's physics tick: advances all servers, refreshes the
+    /// index's thermal columns in place, and fills the optional heatmap
+    /// rows (physical air temperature and melt fraction per server).
+    pub(crate) fn tick_physics_recorded(
+        &mut self,
+        dt: Seconds,
+        hot_limit: usize,
+        index: &mut ClusterIndex,
+        temp_row: Option<&mut [f64]>,
+        melt_row: Option<&mut [f64]>,
+    ) -> FarmTickTotals {
+        let (index_air, index_melt) = index.physics_slices_mut();
+        self.sweep(dt, hot_limit, index_air, index_melt, temp_row, melt_row)
+    }
+
+    /// The sharded sweep behind both tick entry points.
+    fn sweep(
+        &mut self,
+        dt: Seconds,
+        hot_limit: usize,
+        index_air: &mut [f64],
+        index_melt: &mut [f64],
+        temp_row: Option<&mut [f64]>,
+        melt_row: Option<&mut [f64]>,
+    ) -> FarmTickTotals {
+        let n = self.len();
+        if n == 0 {
+            return FarmTickTotals::default();
+        }
+        debug_assert!(dt.get() > 0.0, "dt must be positive");
+        let wax = self.wax.as_ref().map(|w| {
+            let (substeps, sub_dt_s) = w.kernel.substeps(dt.get());
+            WaxTick {
+                kernel: w.kernel,
+                estimator: &w.estimator,
+                substeps,
+                sub_dt_s,
+                oracle: self.oracle_wax_state,
+            }
+        });
+        let params = TickParams {
+            idle_w: self.power_model.idle().get(),
+            capacity_rate: self.air.capacity_rate().get(),
+            decay: vmt_thermal::kernel::decay_factor(dt.get(), self.time_constant.get()),
+            dt_s: dt.get(),
+            hot_limit,
+            wax,
+        };
+
+        // Slice the state and sink arrays into the fixed shard grid.
+        let num_shards = n.div_ceil(SHARD);
+        let mut outs = vec![FarmTickTotals::default(); num_shards];
+        let mut tasks: Vec<ShardView<'_>> = Vec::with_capacity(num_shards);
+        {
+            let mut inlet = self.inlet_c.as_slice();
+            let mut active = self.active_power_w.as_slice();
+            let mut at_wax = self.at_wax_c.as_mut_slice();
+            let mut enthalpy = self.enthalpy_j.as_mut_slice();
+            let mut est_temp = self.est_temp_c.as_mut_slice();
+            let mut est_frac = self.est_fraction.as_mut_slice();
+            let mut index_air = index_air;
+            let mut index_melt = index_melt;
+            let mut temp_row = temp_row;
+            let mut melt_row = melt_row;
+            let mut outs_rest = outs.as_mut_slice();
+            let mut base = 0;
+            while base < n {
+                let len = SHARD.min(n - base);
+                let (out, rest) = std::mem::take(&mut outs_rest).split_at_mut(1);
+                outs_rest = rest;
+                tasks.push(ShardView {
+                    base,
+                    inlet: split_front(&mut inlet, len),
+                    active: split_front(&mut active, len),
+                    at_wax: split_front_mut(&mut at_wax, len),
+                    enthalpy: split_front_mut(&mut enthalpy, len),
+                    est_temp: split_front_mut(&mut est_temp, len),
+                    est_frac: split_front_mut(&mut est_frac, len),
+                    index_air: split_front_mut(&mut index_air, len),
+                    index_melt: split_front_mut(&mut index_melt, len),
+                    temp_row: split_front_opt(&mut temp_row, len),
+                    melt_row: split_front_opt(&mut melt_row, len),
+                    out: &mut out[0],
+                });
+                base += len;
+            }
+        }
+
+        // Run the shards: inline at one worker, else on a scoped pool
+        // with contiguous shard ranges per worker. Which thread runs a
+        // shard does not affect its output, and the fold below is always
+        // in shard order.
+        let workers = self.threads.min(num_shards).max(1);
+        if workers == 1 {
+            for task in tasks {
+                run_shard(task, &params);
+            }
+        } else {
+            let per_worker = num_shards.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let params = &params;
+                let mut tasks = tasks;
+                while !tasks.is_empty() {
+                    let take = per_worker.min(tasks.len());
+                    let group: Vec<ShardView<'_>> = tasks.drain(..take).collect();
+                    scope.spawn(move || {
+                        for task in group {
+                            run_shard(task, params);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Order-stable fold of the shard partials.
+        let mut totals = FarmTickTotals::default();
+        for out in &outs {
+            totals.fold(out);
+        }
+        totals
+    }
+}
+
+/// Detaches the first `len` elements from a shrinking slice cursor.
+fn split_front<'a>(s: &mut &'a [f64], len: usize) -> &'a [f64] {
+    let (head, tail) = std::mem::take(s).split_at(len);
+    *s = tail;
+    head
+}
+
+/// Mutable variant of [`split_front`].
+fn split_front_mut<'a>(s: &mut &'a mut [f64], len: usize) -> &'a mut [f64] {
+    let (head, tail) = std::mem::take(s).split_at_mut(len);
+    *s = tail;
+    head
+}
+
+/// [`split_front_mut`] over an optional row (heatmap sampling ticks).
+fn split_front_opt<'a>(s: &mut Option<&'a mut [f64]>, len: usize) -> Option<&'a mut [f64]> {
+    s.take().map(|row| {
+        let (head, tail) = row.split_at_mut(len);
+        *s = Some(tail);
+        head
+    })
+}
+
+/// Per-tick constants shared by every shard.
+struct TickParams<'a> {
+    idle_w: f64,
+    capacity_rate: f64,
+    decay: f64,
+    dt_s: f64,
+    hot_limit: usize,
+    wax: Option<WaxTick<'a>>,
+}
+
+/// Per-tick wax constants (sub-step schedule is shared since `dt` is).
+struct WaxTick<'a> {
+    kernel: WaxKernel,
+    estimator: &'a WaxStateEstimator,
+    substeps: usize,
+    sub_dt_s: f64,
+    oracle: bool,
+}
+
+/// One shard's mutable window over the farm's state and sink arrays.
+struct ShardView<'a> {
+    /// Global index of the first server in the shard.
+    base: usize,
+    inlet: &'a [f64],
+    active: &'a [f64],
+    at_wax: &'a mut [f64],
+    enthalpy: &'a mut [f64],
+    est_temp: &'a mut [f64],
+    est_frac: &'a mut [f64],
+    index_air: &'a mut [f64],
+    index_melt: &'a mut [f64],
+    temp_row: Option<&'a mut [f64]>,
+    melt_row: Option<&'a mut [f64]>,
+    out: &'a mut FarmTickTotals,
+}
+
+/// Advances one shard: the element-serial physics loop every thread
+/// count runs identically.
+fn run_shard(task: ShardView<'_>, p: &TickParams<'_>) {
+    let ShardView {
+        base,
+        inlet,
+        active,
+        at_wax,
+        enthalpy,
+        est_temp,
+        est_frac,
+        index_air,
+        index_melt,
+        mut temp_row,
+        mut melt_row,
+        out,
+    } = task;
+    for j in 0..at_wax.len() {
+        let electrical = p.idle_w + active[j];
+        let air =
+            vmt_thermal::kernel::step(at_wax[j], inlet[j], electrical, p.capacity_rate, p.decay);
+        at_wax[j] = air;
+        let (into_wax_w, melt, stored_j, reported) = match &p.wax {
+            Some(w) => {
+                let (h, heat_j) = w.kernel.exchange(enthalpy[j], air, w.substeps, w.sub_dt_s);
+                enthalpy[j] = h;
+                let (temp, fraction) =
+                    w.estimator
+                        .step_state(est_temp[j], est_frac[j], air, p.dt_s);
+                est_temp[j] = temp;
+                est_frac[j] = fraction;
+                let melt = w.kernel.melt_fraction(h);
+                let reported = if w.oracle { melt } else { fraction };
+                (
+                    heat_j / p.dt_s,
+                    melt,
+                    w.kernel.latent_capacity_j() * melt,
+                    reported,
+                )
+            }
+            None => (0.0, 0.0, 0.0, 0.0),
+        };
+        out.electrical_w += electrical;
+        out.into_wax_w += into_wax_w;
+        out.temp_sum_c += air;
+        out.stored_energy_j += stored_j;
+        if base + j < p.hot_limit {
+            out.hot_sum_c += air;
+        }
+        index_air[j] = air;
+        index_melt[j] = reported;
+        if let Some(row) = temp_row.as_deref_mut() {
+            row[j] = air;
+        }
+        if let Some(row) = melt_row.as_deref_mut() {
+            row[j] = melt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmt_units::Hours;
+
+    fn job(id: u64, kind: WorkloadKind) -> Job {
+        Job::new(JobId(id), kind, Seconds::new(300.0))
+    }
+
+    fn loaded_farm(n: usize) -> ServerFarm {
+        let config = ClusterConfig::paper_default(n);
+        let mut farm = ServerFarm::from_config(&config);
+        for i in 0..n {
+            for core in 0..(i % 8) as u64 {
+                farm.start_job(i, &job(i as u64 * 100 + core, WorkloadKind::VideoEncoding));
+            }
+        }
+        farm
+    }
+
+    #[test]
+    fn matches_per_server_tick_bit_for_bit() {
+        let config = ClusterConfig::paper_default(7);
+        let mut farm = ServerFarm::from_config(&config);
+        let mut servers: Vec<Server> = (0..7)
+            .map(|i| Server::from_config(ServerId(i), &config))
+            .collect();
+        for (i, server) in servers.iter_mut().enumerate() {
+            for core in 0..i as u64 {
+                let j = job(i as u64 * 10 + core, WorkloadKind::WebSearch);
+                farm.start_job(i, &j);
+                server.start_job(&j);
+            }
+        }
+        for _ in 0..240 {
+            farm.tick_physics(Seconds::new(60.0));
+            for s in servers.iter_mut() {
+                s.tick(Seconds::new(60.0));
+            }
+        }
+        for (i, s) in servers.iter().enumerate() {
+            assert_eq!(farm.air_at_wax(i), s.air_at_wax(), "air of {i}");
+            assert_eq!(farm.melt_fraction(i), s.melt_fraction(), "melt of {i}");
+            assert_eq!(
+                farm.reported_melt_fraction(i),
+                s.reported_melt_fraction(),
+                "reported of {i}"
+            );
+            assert_eq!(
+                farm.stored_latent_energy(i),
+                s.stored_latent_energy(),
+                "stored of {i}"
+            );
+            assert_eq!(farm.power(i), s.power(), "power of {i}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let horizon = Hours::new(4.0);
+        let ticks = (horizon.get() * 60.0) as usize;
+        let mut reference: Option<(Vec<f64>, FarmTickTotals)> = None;
+        for threads in [1usize, 2, 3, 8] {
+            let mut farm = loaded_farm(150);
+            farm.set_threads(threads);
+            let mut last = FarmTickTotals::default();
+            for _ in 0..ticks {
+                last = farm.tick_physics(Seconds::new(60.0));
+            }
+            let state: Vec<f64> = (0..farm.len()).map(|i| farm.air_at_wax(i).get()).collect();
+            match &reference {
+                None => reference = Some((state, last)),
+                Some((ref_state, ref_totals)) => {
+                    assert_eq!(&state, ref_state, "state at {threads} threads");
+                    assert_eq!(&last, ref_totals, "totals at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_through_servers() {
+        let mut farm = loaded_farm(5);
+        for _ in 0..60 {
+            farm.tick_physics(Seconds::new(60.0));
+        }
+        let servers = farm.to_servers();
+        let back = ServerFarm::from_servers(&servers);
+        for i in 0..farm.len() {
+            assert_eq!(farm.air_at_wax(i), back.air_at_wax(i));
+            assert_eq!(farm.melt_fraction(i), back.melt_fraction(i));
+            assert_eq!(
+                farm.reported_melt_fraction(i),
+                back.reported_melt_fraction(i)
+            );
+            assert_eq!(farm.power(i), back.power(i));
+            assert_eq!(farm.used_cores(i), back.used_cores(i));
+            assert_eq!(farm.kind_counts(i), back.kind_counts(i));
+        }
+        // And the next tick evolves identically from both copies.
+        let mut round = back;
+        let a = farm.tick_physics(Seconds::new(60.0));
+        let b = round.tick_physics(Seconds::new(60.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_limit_sums_leading_servers() {
+        let mut farm = loaded_farm(10);
+        let mut index = ClusterIndex::new(&farm);
+        let totals = farm.tick_physics_recorded(Seconds::new(60.0), 3, &mut index, None, None);
+        let manual: f64 = (0..3).map(|i| farm.air_at_wax(i).get()).sum();
+        assert!((totals.hot_sum_c - manual).abs() < 1e-9);
+        for i in 0..10 {
+            assert_eq!(index.air_c()[i], farm.air_at_wax(i).get());
+            assert_eq!(
+                index.reported_melt()[i],
+                farm.reported_melt_fraction(i).get()
+            );
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Splitmix64: expands one drawn seed into a per-server fill
+        /// count (the vendored proptest has no `collection::vec`
+        /// strategy, so composite inputs are derived from scalars).
+        fn fill_for(seed: u64, i: usize) -> u64 {
+            let mut z = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % 33
+        }
+
+        /// Builds a farm with an arbitrary mixed load, aged by a few
+        /// ticks so thermal, wax, and estimator state are all non-trivial.
+        fn aged_farm(n: usize, fill_seed: u64, kind_offset: usize, age_ticks: usize) -> ServerFarm {
+            let config = ClusterConfig::paper_default(n);
+            let mut farm = ServerFarm::from_config(&config);
+            for i in 0..n {
+                for core in 0..fill_for(fill_seed, i) {
+                    let kind = WorkloadKind::ALL[(i + core as usize + kind_offset) % 5];
+                    farm.start_job(
+                        i,
+                        &Job::new(JobId(i as u64 * 100 + core), kind, Seconds::new(300.0)),
+                    );
+                }
+            }
+            for _ in 0..age_ticks {
+                farm.tick_physics(Seconds::new(60.0));
+            }
+            farm
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// `ServerFarm` → `Vec<Server>` → `ServerFarm` preserves every
+            /// observable a scheduler or probe can read, and the round
+            /// trip continues to evolve bit-identically.
+            #[test]
+            fn round_trip_preserves_every_observable(
+                n in 1usize..40,
+                fill_seed in 0u64..u64::MAX,
+                kind_offset in 0usize..5,
+                age_ticks in 0usize..120,
+            ) {
+                let mut farm = aged_farm(n, fill_seed, kind_offset, age_ticks);
+                let mut back = ServerFarm::from_servers(&farm.to_servers());
+                prop_assert_eq!(back.len(), farm.len());
+                prop_assert_eq!(back.cores(), farm.cores());
+                prop_assert_eq!(back.air(), farm.air());
+                prop_assert_eq!(back.melt_temperature(), farm.melt_temperature());
+                for i in 0..n {
+                    prop_assert_eq!(back.inlet(i), farm.inlet(i));
+                    prop_assert_eq!(back.air_at_wax(i), farm.air_at_wax(i));
+                    prop_assert_eq!(back.power(i), farm.power(i));
+                    prop_assert_eq!(back.used_cores(i), farm.used_cores(i));
+                    prop_assert_eq!(back.free_cores(i), farm.free_cores(i));
+                    prop_assert_eq!(back.melt_fraction(i), farm.melt_fraction(i));
+                    prop_assert_eq!(back.reported_melt_fraction(i), farm.reported_melt_fraction(i));
+                    prop_assert_eq!(back.stored_latent_energy(i), farm.stored_latent_energy(i));
+                    prop_assert_eq!(back.kind_counts(i), farm.kind_counts(i));
+                    prop_assert_eq!(back.class_counts(i), farm.class_counts(i));
+                }
+                for _ in 0..4 {
+                    prop_assert_eq!(
+                        back.tick_physics(Seconds::new(60.0)),
+                        farm.tick_physics(Seconds::new(60.0))
+                    );
+                }
+            }
+
+            /// The sharded sweep's partial-sum fold is invariant under the
+            /// worker partition: any thread count (i.e. any contiguous
+            /// grouping of the fixed shard grid onto workers) produces
+            /// bit-identical totals AND bit-identical per-server state to
+            /// the single-worker serial fold.
+            #[test]
+            fn fold_is_invariant_under_worker_partition(
+                n in 1usize..300,
+                threads in 2usize..=8,
+                fill_seed in 0u64..u64::MAX,
+                kind_offset in 0usize..5,
+                ticks in 1usize..30,
+            ) {
+                let mut serial = aged_farm(n, fill_seed, kind_offset, 0);
+                serial.set_threads(1);
+                let mut sharded = serial.clone();
+                sharded.set_threads(threads);
+                for _ in 0..ticks {
+                    let a = serial.tick_physics(Seconds::new(60.0));
+                    let b = sharded.tick_physics(Seconds::new(60.0));
+                    prop_assert_eq!(a, b);
+                }
+                for i in 0..n {
+                    prop_assert_eq!(serial.air_at_wax(i), sharded.air_at_wax(i));
+                    prop_assert_eq!(serial.melt_fraction(i), sharded.melt_fraction(i));
+                    prop_assert_eq!(
+                        serial.reported_melt_fraction(i),
+                        sharded.reported_melt_fraction(i)
+                    );
+                }
+            }
+        }
+    }
+}

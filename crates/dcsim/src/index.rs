@@ -1,19 +1,19 @@
 //! Incrementally maintained cluster state for schedulers.
 
-use crate::server::Server;
+use crate::farm::ServerFarm;
 
 /// Flat per-server state the engine keeps current so schedulers can
-/// query the cluster without rescanning `&[Server]`.
+/// query the cluster without rescanning the farm.
 ///
 /// The engine updates the index at the moments the underlying state
 /// changes — thermal fields during the physics pass, core counts on
 /// every job start/end — so at the points where schedulers run
 /// ([`Scheduler::on_tick_indexed`] and [`Scheduler::place_indexed`])
-/// each field is exactly the value the corresponding [`Server`] accessor
-/// would return. That makes the index a pure read-path optimization:
-/// policies written against it are observationally identical to policies
-/// that walk the server slice, just without the per-job O(n) scans and
-/// pointer-chasing through per-server substructures.
+/// each field is exactly the value the corresponding [`ServerFarm`]
+/// accessor would return. That makes the index a pure read-path
+/// optimization: policies written against it are observationally
+/// identical to policies that walk the farm, just without the per-job
+/// O(n) scans.
 ///
 /// [`Scheduler::on_tick_indexed`]: crate::Scheduler::on_tick_indexed
 /// [`Scheduler::place_indexed`]: crate::Scheduler::place_indexed
@@ -34,17 +34,17 @@ pub struct ClusterIndex {
 }
 
 impl ClusterIndex {
-    /// Builds the index from the servers' current state.
-    pub fn new(servers: &[Server]) -> Self {
+    /// Builds the index from the farm's current state.
+    pub fn new(farm: &ServerFarm) -> Self {
+        let n = farm.len();
         Self {
-            air_c: servers.iter().map(|s| s.air_at_wax().get()).collect(),
-            reported_melt: servers
-                .iter()
-                .map(|s| s.reported_melt_fraction().get())
+            air_c: (0..n).map(|i| farm.air_at_wax(i).get()).collect(),
+            reported_melt: (0..n)
+                .map(|i| farm.reported_melt_fraction(i).get())
                 .collect(),
-            free_cores: servers.iter().map(Server::free_cores).collect(),
-            used_total: servers.iter().map(|s| u64::from(s.used_cores())).sum(),
-            total_cores: servers.iter().map(|s| u64::from(s.cores())).sum(),
+            free_cores: (0..n).map(|i| farm.free_cores(i)).collect(),
+            used_total: (0..n).map(|i| u64::from(farm.used_cores(i))).sum(),
+            total_cores: (0..n).map(|_| u64::from(farm.cores())).sum(),
         }
     }
 
@@ -92,9 +92,16 @@ impl ClusterIndex {
     }
 
     /// Records the post-physics thermal state of server `idx`.
+    #[cfg(test)]
     pub(crate) fn record_physics(&mut self, idx: usize, air_c: f64, reported_melt: f64) {
         self.air_c[idx] = air_c;
         self.reported_melt[idx] = reported_melt;
+    }
+
+    /// Mutable views of the thermal columns, written in bulk by the
+    /// farm's sharded physics sweep.
+    pub(crate) fn physics_slices_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.air_c, &mut self.reported_melt)
     }
 
     /// Records a job start on server `idx`.
@@ -114,69 +121,67 @@ impl ClusterIndex {
 mod tests {
     use super::*;
     use crate::config::ClusterConfig;
-    use crate::server::ServerId;
     use vmt_units::Seconds;
     use vmt_workload::{Job, JobId, WorkloadKind};
 
-    fn servers(n: usize) -> Vec<Server> {
-        let config = ClusterConfig::paper_default(n);
-        (0..n)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect()
+    fn farm(n: usize) -> ServerFarm {
+        ServerFarm::from_config(&ClusterConfig::paper_default(n))
     }
 
     #[test]
     fn mirrors_initial_server_state() {
-        let list = servers(3);
-        let index = ClusterIndex::new(&list);
+        let farm = farm(3);
+        let index = ClusterIndex::new(&farm);
         assert_eq!(index.len(), 3);
         assert_eq!(index.total_cores(), 96);
         assert_eq!(index.used_cores_total(), 0);
         assert_eq!(index.utilization(), 0.0);
-        for (i, s) in list.iter().enumerate() {
-            assert_eq!(index.air_c()[i], s.air_at_wax().get());
-            assert_eq!(index.reported_melt()[i], s.reported_melt_fraction().get());
-            assert_eq!(index.free_cores()[i], s.free_cores());
+        for i in 0..farm.len() {
+            assert_eq!(index.air_c()[i], farm.air_at_wax(i).get());
+            assert_eq!(
+                index.reported_melt()[i],
+                farm.reported_melt_fraction(i).get()
+            );
+            assert_eq!(index.free_cores()[i], farm.free_cores(i));
         }
     }
 
     #[test]
     fn tracks_job_lifecycle() {
-        let mut list = servers(2);
-        let mut index = ClusterIndex::new(&list);
+        let mut farm = farm(2);
+        let mut index = ClusterIndex::new(&farm);
         let job = Job::new(JobId(1), WorkloadKind::WebSearch, Seconds::new(300.0));
-        list[0].start_job(&job);
+        farm.start_job(0, &job);
         index.record_start(0);
-        assert_eq!(index.free_cores()[0], list[0].free_cores());
+        assert_eq!(index.free_cores()[0], farm.free_cores(0));
         assert_eq!(index.used_cores_total(), 1);
         assert_eq!(index.utilization(), 1.0 / 64.0);
-        list[0].end_job(JobId(1));
+        farm.end_job(0, JobId(1));
         index.record_end(0);
-        assert_eq!(index.free_cores()[0], list[0].free_cores());
+        assert_eq!(index.free_cores()[0], farm.free_cores(0));
         assert_eq!(index.used_cores_total(), 0);
     }
 
     #[test]
     fn tracks_physics_state() {
-        let mut list = servers(1);
-        let mut index = ClusterIndex::new(&list);
+        let mut farm = farm(1);
+        let mut index = ClusterIndex::new(&farm);
         for i in 0..8 {
-            list[0].start_job(&Job::new(
-                JobId(i),
-                WorkloadKind::VideoEncoding,
-                Seconds::new(3600.0),
-            ));
+            farm.start_job(
+                0,
+                &Job::new(JobId(i), WorkloadKind::VideoEncoding, Seconds::new(3600.0)),
+            );
             index.record_start(0);
         }
         for _ in 0..60 {
-            list[0].tick(Seconds::new(60.0));
+            farm.tick_physics(Seconds::new(60.0));
         }
         index.record_physics(
             0,
-            list[0].air_at_wax().get(),
-            list[0].reported_melt_fraction().get(),
+            farm.air_at_wax(0).get(),
+            farm.reported_melt_fraction(0).get(),
         );
-        assert_eq!(index.air_c()[0], list[0].air_at_wax().get());
+        assert_eq!(index.air_c()[0], farm.air_at_wax(0).get());
         assert!(index.air_c()[0] > 22.0);
     }
 }

@@ -44,6 +44,7 @@
 
 mod config;
 mod engine;
+mod farm;
 mod index;
 mod metrics;
 mod scheduler;
@@ -52,6 +53,7 @@ mod topology;
 
 pub use config::{ClusterConfig, WaxSpec};
 pub use engine::Simulation;
+pub use farm::{default_tick_threads, FarmTickTotals, ServerFarm, SHARD};
 pub use index::ClusterIndex;
 pub use metrics::{Heatmap, SimulationResult};
 pub use scheduler::{FirstFit, Scheduler};

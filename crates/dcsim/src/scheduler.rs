@@ -1,7 +1,8 @@
 //! The placement-policy interface.
 
+use crate::farm::ServerFarm;
 use crate::index::ClusterIndex;
-use crate::server::{Server, ServerId};
+use crate::server::ServerId;
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -14,23 +15,23 @@ use vmt_workload::Job;
 /// per-tick work in `on_tick` and keep `place` amortized O(1); at cluster
 /// scale the engine performs millions of placements per simulated day.
 ///
-/// Schedulers observe servers only through `&[Server]`'s public
-/// accessors; in particular the wax state they can see is the *estimator's
-/// report* ([`Server::reported_melt_fraction`]), matching the paper's
-/// deployment where each server runs a lightweight wax model and reports
-/// once per minute.
+/// Schedulers observe servers only through the [`ServerFarm`]'s public
+/// accessors; in particular the wax state they can see is the
+/// *estimator's report* ([`ServerFarm::reported_melt_fraction`]),
+/// matching the paper's deployment where each server runs a lightweight
+/// wax model and reports once per minute.
 pub trait Scheduler {
     /// Human-readable policy name (used in reports and plots).
     fn name(&self) -> &str;
 
     /// Called at the start of every tick, before any placements.
-    fn on_tick(&mut self, servers: &[Server], now: Seconds) {
-        let _ = (servers, now);
+    fn on_tick(&mut self, farm: &ServerFarm, now: Seconds) {
+        let _ = (farm, now);
     }
 
     /// Chooses a server for `job`, or `None` if the cluster cannot hold
     /// it (the job is dropped and counted).
-    fn place(&mut self, job: &Job, servers: &[Server]) -> Option<ServerId>;
+    fn place(&mut self, job: &Job, farm: &ServerFarm) -> Option<ServerId>;
 
     /// Index-aware variant of [`Scheduler::on_tick`].
     ///
@@ -41,9 +42,9 @@ pub trait Scheduler {
     /// utilization, cache-friendly flag scans) override it; the default
     /// ignores the index and delegates, so legacy policies and direct
     /// test harnesses keep working unchanged.
-    fn on_tick_indexed(&mut self, servers: &[Server], index: &ClusterIndex, now: Seconds) {
+    fn on_tick_indexed(&mut self, farm: &ServerFarm, index: &ClusterIndex, now: Seconds) {
         let _ = index;
-        self.on_tick(servers, now);
+        self.on_tick(farm, now);
     }
 
     /// Index-aware variant of [`Scheduler::place`]; see
@@ -51,11 +52,11 @@ pub trait Scheduler {
     fn place_indexed(
         &mut self,
         job: &Job,
-        servers: &[Server],
+        farm: &ServerFarm,
         index: &ClusterIndex,
     ) -> Option<ServerId> {
         let _ = index;
-        self.place(job, servers)
+        self.place(job, farm)
     }
 
     /// Size of the policy's current hot group, if it maintains one.
@@ -90,8 +91,10 @@ impl Scheduler for FirstFit {
         "first-fit"
     }
 
-    fn place(&mut self, _job: &Job, servers: &[Server]) -> Option<ServerId> {
-        servers.iter().find(|s| s.free_cores() > 0).map(Server::id)
+    fn place(&mut self, _job: &Job, farm: &ServerFarm) -> Option<ServerId> {
+        (0..farm.len())
+            .find(|&i| farm.free_cores(i) > 0)
+            .map(ServerId)
     }
 }
 
@@ -105,37 +108,33 @@ mod tests {
     #[test]
     fn first_fit_picks_lowest_free_server() {
         let config = ClusterConfig::paper_default(3);
-        let mut servers: Vec<Server> = (0..3)
-            .map(|i| Server::from_config(ServerId(i), &config))
-            .collect();
+        let mut farm = ServerFarm::from_config(&config);
         let mut policy = FirstFit::new();
         let job = Job::new(JobId(0), WorkloadKind::WebSearch, Seconds::new(60.0));
-        assert_eq!(policy.place(&job, &servers), Some(ServerId(0)));
+        assert_eq!(policy.place(&job, &farm), Some(ServerId(0)));
         // Fill server 0 completely; placement moves to server 1.
         for i in 0..32 {
-            servers[0].start_job(&Job::new(
-                JobId(100 + i),
-                WorkloadKind::VirusScan,
-                Seconds::new(60.0),
-            ));
+            farm.start_job(
+                0,
+                &Job::new(JobId(100 + i), WorkloadKind::VirusScan, Seconds::new(60.0)),
+            );
         }
-        assert_eq!(policy.place(&job, &servers), Some(ServerId(1)));
+        assert_eq!(policy.place(&job, &farm), Some(ServerId(1)));
     }
 
     #[test]
     fn first_fit_returns_none_when_full() {
         let config = ClusterConfig::paper_default(1);
-        let mut servers = vec![Server::from_config(ServerId(0), &config)];
+        let mut farm = ServerFarm::from_config(&config);
         for i in 0..32 {
-            servers[0].start_job(&Job::new(
-                JobId(i),
-                WorkloadKind::VirusScan,
-                Seconds::new(60.0),
-            ));
+            farm.start_job(
+                0,
+                &Job::new(JobId(i), WorkloadKind::VirusScan, Seconds::new(60.0)),
+            );
         }
         let mut policy = FirstFit::new();
         let job = Job::new(JobId(99), WorkloadKind::WebSearch, Seconds::new(60.0));
-        assert_eq!(policy.place(&job, &servers), None);
+        assert_eq!(policy.place(&job, &farm), None);
         assert!(policy.hot_group_size().is_none());
     }
 }

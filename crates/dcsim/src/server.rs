@@ -80,6 +80,64 @@ impl Server {
         }
     }
 
+    /// Reassembles a server from farm state (see
+    /// [`crate::ServerFarm::to_servers`]).
+    pub(crate) fn from_parts(
+        id: ServerId,
+        power_model: ServerPowerModel,
+        thermal: ServerThermalModel,
+        wax: Option<(WaxPack, HeatExchanger, WaxStateEstimator)>,
+        jobs: HashMap<JobId, WorkloadKind>,
+        active_core_power: Watts,
+        oracle_wax_state: bool,
+    ) -> Self {
+        Self {
+            id,
+            power_model,
+            thermal,
+            wax: wax.map(|(pack, exchanger, estimator)| ServerWax {
+                pack,
+                exchanger,
+                estimator,
+            }),
+            jobs,
+            active_core_power,
+            oracle_wax_state,
+        }
+    }
+
+    /// The per-server power model (farm construction).
+    pub(crate) fn power_model(&self) -> ServerPowerModel {
+        self.power_model
+    }
+
+    /// The thermal model (farm construction).
+    pub(crate) fn thermal(&self) -> &ServerThermalModel {
+        &self.thermal
+    }
+
+    /// The wax subsystem's parts, if deployed (farm construction).
+    pub(crate) fn wax_parts(&self) -> Option<(&WaxPack, &HeatExchanger, &WaxStateEstimator)> {
+        self.wax
+            .as_ref()
+            .map(|w| (&w.pack, &w.exchanger, &w.estimator))
+    }
+
+    /// The running-job map (farm construction).
+    pub(crate) fn jobs_map(&self) -> &HashMap<JobId, WorkloadKind> {
+        &self.jobs
+    }
+
+    /// Sum of running jobs' core powers (farm construction).
+    pub(crate) fn active_core_power(&self) -> Watts {
+        self.active_core_power
+    }
+
+    /// The oracle-ablation flag (farm construction).
+    pub(crate) fn oracle_wax_state(&self) -> bool {
+        self.oracle_wax_state
+    }
+
     /// This server's id.
     pub fn id(&self) -> ServerId {
         self.id

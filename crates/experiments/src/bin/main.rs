@@ -1,7 +1,7 @@
 //! `vmt-experiments` — regenerate any table or figure of the VMT paper.
 //!
 //! ```text
-//! vmt-experiments <id> [--servers N] [--seeds K]
+//! vmt-experiments <id> [--servers N] [--seeds K] [--threads T]
 //! vmt-experiments all [--servers N]
 //! ```
 //!
@@ -10,6 +10,11 @@
 //!
 //! `--servers` overrides the cluster size (paper defaults: 1,000 for
 //! fig12/13/15/16 and tco, 100 for everything simulation-backed).
+//!
+//! `--threads` sets the worker count of the sharded physics tick
+//! (equivalent to exporting `VMT_THREADS`). Results are bit-identical
+//! at any value; only wall-clock time changes. The sweep runner keeps
+//! sweep-workers x tick-threads within the machine's parallelism.
 
 use vmt_experiments::heatmaps::HeatmapFigure;
 use vmt_experiments::*;
@@ -17,7 +22,7 @@ use vmt_experiments::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(id) = args.first() else {
-        eprintln!("usage: vmt-experiments <id|all> [--servers N] [--seeds K]");
+        eprintln!("usage: vmt-experiments <id|all> [--servers N] [--seeds K] [--threads T]");
         eprintln!("ids: table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11");
         eprintln!("     fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 tco");
         eprintln!("     ablations emergency bound qos preserve estimator");
@@ -25,6 +30,12 @@ fn main() {
     };
     let servers = flag(&args, "--servers");
     let seeds = flag(&args, "--seeds").unwrap_or(5);
+    if let Some(threads) = flag(&args, "--threads") {
+        // The experiment modules build their own `Run`s, whose default
+        // tick-thread count reads VMT_THREADS — so one env write plumbs
+        // the flag through every figure and sweep.
+        std::env::set_var("VMT_THREADS", threads.max(1).to_string());
+    }
 
     if id == "all" {
         for id in [

@@ -23,6 +23,11 @@ pub struct Run {
     pub trace: TraceConfig,
     /// Placement policy.
     pub policy: PolicyKind,
+    /// Worker threads for the sharded physics tick (results are
+    /// bit-identical at any value; see `ServerFarm::set_threads`).
+    /// Defaults to [`vmt_dcsim::default_tick_threads`], which honours
+    /// the `VMT_THREADS` environment variable.
+    pub tick_threads: usize,
 }
 
 impl Run {
@@ -32,7 +37,14 @@ impl Run {
             cluster: ClusterConfig::paper_default(servers),
             trace: TraceConfig::paper_default(),
             policy,
+            tick_threads: vmt_dcsim::default_tick_threads(),
         }
+    }
+
+    /// Sets the physics-tick thread count for this run.
+    pub fn with_tick_threads(mut self, threads: usize) -> Self {
+        self.tick_threads = threads.max(1);
+        self
     }
 
     /// Executes the run.
@@ -43,6 +55,7 @@ impl Run {
             DiurnalTrace::new(self.trace.clone()),
             scheduler,
         )
+        .with_threads(self.tick_threads)
         .run()
     }
 }
@@ -63,10 +76,19 @@ pub fn execute_all(runs: &[Run]) -> Vec<SimulationResult> {
     if runs.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
+    // Each run may itself spawn tick_threads workers for the sharded
+    // physics sweep; budget sweep workers so that
+    // sweep workers x tick threads <= available parallelism, keeping the
+    // machine from oversubscribing when both levels are parallel.
+    let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(runs.len());
+        .unwrap_or(1);
+    let tick_threads = runs
+        .iter()
+        .map(|r| r.tick_threads.max(1))
+        .max()
+        .unwrap_or(1);
+    let workers = (cores / tick_threads).max(1).min(runs.len());
     if workers <= 1 {
         return runs.iter().map(Run::execute).collect();
     }

@@ -139,43 +139,70 @@ impl WaxStateEstimator {
 
     /// Ingests one sensor sample covering `dt` and advances the estimate.
     pub fn update(&mut self, reading: SensorReading, dt: Seconds) {
-        let air = quantize(reading.container_air);
-        let on_plateau =
-            !self.estimate_fraction.is_zero() || self.estimate_temp >= self.melt_temperature;
+        let (temp_c, fraction) = self.step_state(
+            self.estimate_temp.get(),
+            self.estimate_fraction.get(),
+            reading.container_air.get(),
+            dt.get(),
+        );
+        self.estimate_temp = Celsius::new(temp_c);
+        self.estimate_fraction = Fraction::saturating(fraction);
+    }
 
-        if on_plateau || self.estimate_fraction.get() > 0.0 {
-            self.estimate_temp = self.estimate_temp.min(self.melt_temperature);
+    /// Plain-value form of [`WaxStateEstimator::update`]: advances an
+    /// externally held `(temperature °C, melt fraction)` estimate by one
+    /// sensor sample and returns the new pair.
+    ///
+    /// This is the kernel the structure-of-arrays farm sweep runs over
+    /// contiguous state arrays, sharing one estimator (and its lookup
+    /// table) across every server with the same pack design. The
+    /// returned fraction is always in `[0, 1]`.
+    pub fn step_state(
+        &self,
+        temp_c: f64,
+        fraction: f64,
+        container_air_c: f64,
+        dt_s: f64,
+    ) -> (f64, f64) {
+        let melt = self.melt_temperature.get();
+        let air = (container_air_c / SENSOR_QUANTUM).round() * SENSOR_QUANTUM;
+        let mut temp_c = temp_c;
+        let mut fraction = fraction;
+        let on_plateau = fraction != 0.0 || temp_c >= melt;
+
+        if on_plateau || fraction > 0.0 {
+            temp_c = temp_c.min(melt);
         }
 
-        if self.estimate_temp >= self.melt_temperature || self.estimate_fraction.get() > 0.0 {
+        if temp_c >= melt || fraction > 0.0 {
             // Plateau: advance the melt fraction via the lookup table.
-            let delta = air - self.melt_temperature;
-            let f0 = self.estimate_fraction.get();
-            let receded = if delta.get() > 0.0 { f0 } else { 1.0 - f0 };
-            let rate = self.lookup(delta.get()) / (1.0 + self.taper * receded);
-            let f = f0 + rate * dt.get();
+            let delta = air - melt;
+            let f0 = fraction;
+            let receded = if delta > 0.0 { f0 } else { 1.0 - f0 };
+            let rate = self.lookup(delta) / (1.0 + self.taper * receded);
+            let f = f0 + rate * dt_s;
             if f < 0.0 {
                 // Fully frozen: drop off the plateau and resume sensible
                 // cooling from the melt temperature.
-                self.estimate_fraction = Fraction::ZERO;
-                self.estimate_temp = self.melt_temperature - vmt_units::DegC::new(1e-6);
+                fraction = 0.0;
+                temp_c = melt - 1e-6;
             } else {
-                self.estimate_fraction = Fraction::saturating(f);
-                self.estimate_temp = self.melt_temperature;
+                fraction = if f.is_nan() { 0.0 } else { f.clamp(0.0, 1.0) };
+                temp_c = melt;
             }
         } else {
             // Sensible phase: integrate the wax temperature toward the air.
-            let q = self.ua_w_per_k * (air - self.estimate_temp).get();
-            let dtemp = q * self.sensible_rate_per_watt * dt.get();
-            let next = self.estimate_temp + vmt_units::DegC::new(dtemp);
+            let q = self.ua_w_per_k * (air - temp_c);
+            let dtemp = q * self.sensible_rate_per_watt * dt_s;
+            let next = temp_c + dtemp;
             // Never integrate past the air temperature.
-            self.estimate_temp = if self.estimate_temp <= air {
+            temp_c = if temp_c <= air {
                 next.min(air)
             } else {
                 next.max(air)
             };
-            if self.estimate_temp >= self.melt_temperature {
-                self.estimate_temp = self.melt_temperature;
+            if temp_c >= melt {
+                temp_c = melt;
             }
         }
 
@@ -183,12 +210,13 @@ impl WaxStateEstimator {
         // been below the melt point and our estimate says barely melted,
         // freezing has begun; the sensor cannot distinguish more than
         // this, so only hard anchors are applied.
-        if air.get() < self.melt_temperature.get() - 10.0 {
+        if air < melt - 10.0 {
             // Far below melt: the plateau cannot be sustained.
-            if self.estimate_fraction.get() < 0.02 {
-                self.estimate_fraction = Fraction::ZERO;
+            if fraction < 0.02 {
+                fraction = 0.0;
             }
         }
+        (temp_c, fraction)
     }
 
     /// Looks up the melt rate (fraction/s) for a ΔT, clamping to the
@@ -198,11 +226,6 @@ impl WaxStateEstimator {
         let idx = idx.clamp(0.0, (self.rate_table.len() - 1) as f64) as usize;
         self.rate_table[idx]
     }
-}
-
-/// Quantizes a temperature to the sensor's resolution.
-fn quantize(t: Celsius) -> Celsius {
-    Celsius::new((t.get() / SENSOR_QUANTUM).round() * SENSOR_QUANTUM)
 }
 
 /// Runs ground truth and estimator side by side for validation studies,
@@ -311,7 +334,8 @@ mod tests {
 
     #[test]
     fn quantization_is_half_degree() {
-        assert_eq!(quantize(Celsius::new(35.74)).get(), 35.5);
-        assert_eq!(quantize(Celsius::new(35.76)).get(), 36.0);
+        let quantize = |c: f64| (c / SENSOR_QUANTUM).round() * SENSOR_QUANTUM;
+        assert_eq!(quantize(35.74), 35.5);
+        assert_eq!(quantize(35.76), 36.0);
     }
 }

@@ -105,17 +105,6 @@ impl HeatExchanger {
         self.taper
     }
 
-    /// Effective conductance at a melt fraction, for a given flow
-    /// direction (positive delta = heat flowing into the wax).
-    fn effective_ua(&self, melt_fraction: f64, into_wax: bool) -> f64 {
-        let receded = if into_wax {
-            melt_fraction
-        } else {
-            1.0 - melt_fraction
-        };
-        self.ua.get() / (1.0 + self.taper * receded)
-    }
-
     /// Advances the wax state by `dt` with the air at `air_temp`,
     /// returning the heat moved.
     ///
@@ -123,28 +112,17 @@ impl HeatExchanger {
     /// (reducing the heat the cooling system must remove *now*); negative
     /// means the wax released stored heat back into the air stream
     /// (typically at night, while refreezing).
+    ///
+    /// Delegates to [`crate::WaxKernel`] — the same sub-stepped update
+    /// the farm sweep applies to raw enthalpy arrays.
     pub fn step(&self, pack: &mut WaxPack, air_temp: Celsius, dt: Seconds) -> ExchangeStep {
         debug_assert!(dt.get() > 0.0, "dt must be positive");
-        // Sensible time constant of the pack; the plateau is even stiffer
-        // (infinite capacity), so the solid-phase τ is the binding one.
-        let heat_capacity = pack.mass().get()
-            * pack
-                .material()
-                .specific_heat_solid()
-                .get()
-                .min(pack.material().specific_heat_liquid().get());
-        let tau = heat_capacity / self.ua.get();
-        let substeps = (dt.get() / (tau / 4.0)).ceil().max(1.0) as usize;
-        let sub_dt = dt / substeps as f64;
-
-        let mut total = Joules::ZERO;
-        for _ in 0..substeps {
-            let delta = air_temp - pack.temperature();
-            let ua = self.effective_ua(pack.melt_fraction().get(), delta.get() > 0.0);
-            let q = Joules::new(ua * delta.get() * sub_dt.get());
-            pack.add_heat(q);
-            total += q;
-        }
+        let kernel = crate::WaxKernel::new(pack.material(), pack.mass(), self.ua, self.taper);
+        let (substeps, sub_dt_s) = kernel.substeps(dt.get());
+        let (enthalpy, total) =
+            kernel.exchange(pack.enthalpy().get(), air_temp.get(), substeps, sub_dt_s);
+        pack.set_enthalpy(Joules::new(enthalpy));
+        let total = Joules::new(total);
         ExchangeStep {
             heat_to_wax: total,
             average_power: total / dt,

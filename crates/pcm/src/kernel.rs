@@ -1,0 +1,198 @@
+//! Plain-value wax kernels: the enthalpy-method pack state collapsed to
+//! raw `f64`s.
+//!
+//! [`crate::HeatExchanger::step`] delegates here, and the
+//! structure-of-arrays farm sweep in `vmt_dcsim` calls the same kernel
+//! over a contiguous enthalpy array — one implementation of the physics,
+//! so the per-object and vectorized paths cannot drift apart. Every
+//! expression mirrors the unit-typed code operation for operation, which
+//! keeps results bit-identical between the two call sites.
+
+use crate::PcmMaterial;
+use vmt_units::{Celsius, Kilograms, WattsPerKelvin};
+
+/// Precomputed constants of one wax-pack design (material, mass,
+/// exchanger), shared by every server that carries the same pack.
+///
+/// The per-server state is a single enthalpy scalar (J, relative to
+/// solid material at 0 °C); temperature and melt fraction are derived on
+/// demand exactly as [`crate::WaxPack`] derives them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxKernel {
+    /// Enthalpy at which melting begins (solid at the melt point).
+    plateau_start_j: f64,
+    /// Total latent storage capacity `m · L`.
+    latent_capacity_j: f64,
+    /// Solid-phase heat capacity `m · c_p,solid`.
+    mass_cs: f64,
+    /// Liquid-phase heat capacity `m · c_p,liquid`.
+    mass_cl: f64,
+    /// Melting temperature (°C).
+    melt_c: f64,
+    /// Exchanger conductance (W/K).
+    ua_w_per_k: f64,
+    /// Phase-interface taper coefficient `b`.
+    taper: f64,
+    /// Binding sensible heat capacity `m · min(c_s, c_l)` for sub-step
+    /// sizing.
+    min_heat_capacity: f64,
+}
+
+impl WaxKernel {
+    /// Builds the kernel for a pack of `mass` of `material` behind an
+    /// exchanger with conductance `ua` and interface taper `taper`.
+    pub fn new(material: &PcmMaterial, mass: Kilograms, ua: WattsPerKelvin, taper: f64) -> Self {
+        let plateau_start_j = material
+            .specific_heat_solid()
+            .sensible_heat(mass, material.melt_temperature() - Celsius::new(0.0))
+            .get();
+        let latent_capacity_j = (mass * material.latent_heat()).get();
+        Self {
+            plateau_start_j,
+            latent_capacity_j,
+            mass_cs: mass.get() * material.specific_heat_solid().get(),
+            mass_cl: mass.get() * material.specific_heat_liquid().get(),
+            melt_c: material.melt_temperature().get(),
+            ua_w_per_k: ua.get(),
+            taper,
+            min_heat_capacity: mass.get()
+                * material
+                    .specific_heat_solid()
+                    .get()
+                    .min(material.specific_heat_liquid().get()),
+        }
+    }
+
+    /// Total latent storage capacity of the pack (J).
+    #[inline]
+    pub fn latent_capacity_j(&self) -> f64 {
+        self.latent_capacity_j
+    }
+
+    /// Lumped pack temperature (°C) at an enthalpy.
+    #[inline]
+    pub fn temperature(&self, enthalpy_j: f64) -> f64 {
+        let start = self.plateau_start_j;
+        let end = start + self.latent_capacity_j;
+        if enthalpy_j <= start {
+            enthalpy_j / self.mass_cs
+        } else if enthalpy_j >= end {
+            self.melt_c + (enthalpy_j - end) / self.mass_cl
+        } else {
+            self.melt_c
+        }
+    }
+
+    /// Melt fraction in `[0, 1]` at an enthalpy (saturating, NaN → 0 —
+    /// the same rule as `Fraction::saturating`).
+    #[inline]
+    pub fn melt_fraction(&self, enthalpy_j: f64) -> f64 {
+        let raw = (enthalpy_j - self.plateau_start_j) / self.latent_capacity_j;
+        if raw.is_nan() {
+            0.0
+        } else {
+            raw.clamp(0.0, 1.0)
+        }
+    }
+
+    /// Sub-step count and sub-step length for a tick of `dt_s` seconds,
+    /// keeping each explicit sub-step below a quarter of the pack's
+    /// sensible time constant `τ = m·c_p / UA`.
+    #[inline]
+    pub fn substeps(&self, dt_s: f64) -> (usize, f64) {
+        let tau = self.min_heat_capacity / self.ua_w_per_k;
+        let substeps = (dt_s / (tau / 4.0)).ceil().max(1.0) as usize;
+        (substeps, dt_s / substeps as f64)
+    }
+
+    /// Sub-stepped air-to-wax exchange over one tick. Returns the new
+    /// enthalpy and the total heat moved into the wax (J, negative while
+    /// the wax releases heat back into the air).
+    ///
+    /// `substeps`/`sub_dt_s` come from [`WaxKernel::substeps`]; a farm
+    /// sweep computes them once per tick since `dt` is shared.
+    #[inline]
+    pub fn exchange(
+        &self,
+        mut enthalpy_j: f64,
+        air_c: f64,
+        substeps: usize,
+        sub_dt_s: f64,
+    ) -> (f64, f64) {
+        let mut total = 0.0;
+        for _ in 0..substeps {
+            let delta = air_c - self.temperature(enthalpy_j);
+            let fraction = self.melt_fraction(enthalpy_j);
+            let receded = if delta > 0.0 {
+                fraction
+            } else {
+                1.0 - fraction
+            };
+            let ua = self.ua_w_per_k / (1.0 + self.taper * receded);
+            let q = ua * delta * sub_dt_s;
+            enthalpy_j += q;
+            total += q;
+        }
+        (enthalpy_j, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WaxPack;
+
+    fn kernel() -> WaxKernel {
+        WaxKernel::new(
+            &PcmMaterial::deployed_paraffin(),
+            Kilograms::new(3.48),
+            WattsPerKelvin::new(15.0),
+            0.0,
+        )
+    }
+
+    fn pack_at(temp_c: f64) -> WaxPack {
+        WaxPack::new(
+            PcmMaterial::deployed_paraffin(),
+            Kilograms::new(3.48),
+            Celsius::new(temp_c),
+        )
+    }
+
+    #[test]
+    fn derivations_match_pack() {
+        let k = kernel();
+        for temp in [10.0, 25.0, 35.7, 40.0, 55.0] {
+            let pack = pack_at(temp);
+            let h = pack.enthalpy().get();
+            assert_eq!(k.temperature(h), pack.temperature().get(), "temp at {temp}");
+            assert_eq!(
+                k.melt_fraction(h),
+                pack.melt_fraction().get(),
+                "melt at {temp}"
+            );
+        }
+    }
+
+    #[test]
+    fn plateau_pins_temperature() {
+        let k = kernel();
+        let mut pack = pack_at(35.7);
+        pack.set_melt_fraction(vmt_units::Fraction::saturating(0.5));
+        assert_eq!(k.temperature(pack.enthalpy().get()), 35.7);
+        assert!((k.melt_fraction(pack.enthalpy().get()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substep_sizing_matches_tau_quarter_rule() {
+        let k = kernel();
+        // τ = 3.48·2100/15 ≈ 487 s → a 60 s tick fits one sub-step.
+        let (n, sub) = k.substeps(60.0);
+        assert_eq!(n, 1);
+        assert_eq!(sub, 60.0);
+        // A 2-hour step must subdivide.
+        let (n, sub) = k.substeps(7200.0);
+        assert!(n > 1);
+        assert_eq!(sub, 7200.0 / n as f64);
+    }
+}

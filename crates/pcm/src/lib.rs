@@ -50,6 +50,7 @@ mod discretized;
 mod error;
 mod estimator;
 mod exchange;
+pub mod kernel;
 mod material;
 mod pack;
 mod sizing;
@@ -58,6 +59,7 @@ pub use discretized::ShellPack;
 pub use error::PcmError;
 pub use estimator::{estimation_error, SensorReading, WaxStateEstimator};
 pub use exchange::{ExchangeStep, HeatExchanger};
+pub use kernel::WaxKernel;
 pub use material::{MaterialClass, PcmMaterial};
 pub use pack::WaxPack;
 pub use sizing::ServerWaxConfig;

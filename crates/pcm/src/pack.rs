@@ -133,6 +133,13 @@ impl WaxPack {
         self.enthalpy += heat;
     }
 
+    /// Restores the enthalpy state directly (state transfer between this
+    /// per-object pack and a kernel's raw enthalpy scalar).
+    pub fn set_enthalpy(&mut self, enthalpy: Joules) {
+        debug_assert!(enthalpy.is_finite(), "enthalpy must be finite");
+        self.enthalpy = enthalpy;
+    }
+
     /// Heat required to bring the pack from its current state to sensible
     /// equilibrium at `target` (not including any latent melting at the
     /// target temperature itself). Negative when the pack must cool.

@@ -1,0 +1,57 @@
+//! Plain-value thermal step kernel.
+//!
+//! [`crate::ServerThermalModel::step`] delegates here, and the
+//! structure-of-arrays farm sweep in `vmt_dcsim` calls these functions
+//! directly over contiguous `f64` state — one implementation, so the
+//! per-object and the vectorized paths cannot drift apart. The functions
+//! are branch-free and operate on raw numbers so the compiler can keep
+//! them in registers across a tight loop.
+
+/// Exponential decay factor `e^(−dt/τ)` for one step.
+///
+/// A whole farm shares one `(dt, τ)` pair per tick, so the sweep hoists
+/// this single `exp` out of the per-server loop.
+#[inline]
+pub fn decay_factor(dt_s: f64, time_constant_s: f64) -> f64 {
+    (-dt_s / time_constant_s).exp()
+}
+
+/// One first-order lag step of the air temperature at the wax.
+///
+/// Exact discrete response `T' = T_ss + (T − T_ss)·e^(−dt/τ)` with
+/// `T_ss = T_inlet + P / (ṁ·c_p)`; `decay` is [`decay_factor`].
+/// Returns the new air-at-wax temperature in °C.
+#[inline]
+pub fn step(
+    at_wax_c: f64,
+    inlet_c: f64,
+    power_w: f64,
+    capacity_rate_w_per_k: f64,
+    decay: f64,
+) -> f64 {
+    let ss = inlet_c + power_w / capacity_rate_w_per_k;
+    ss + (at_wax_c - ss) * decay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_steady_state() {
+        let decay = decay_factor(60.0, 300.0);
+        let mut t = 22.0;
+        for _ in 0..120 {
+            t = step(t, 22.0, 300.0, 17.5, decay);
+        }
+        let ss = 22.0 + 300.0 / 17.5;
+        assert!((t - ss).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_dt_limit_is_identity() {
+        // decay → 1 as dt → 0: the state must not move.
+        let t = step(31.25, 22.0, 250.0, 17.5, 1.0);
+        assert_eq!(t, 31.25);
+    }
+}

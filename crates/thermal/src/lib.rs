@@ -45,6 +45,7 @@ mod air;
 pub mod calibration;
 mod cooling;
 mod inlet;
+pub mod kernel;
 mod room;
 mod server;
 

@@ -74,6 +74,17 @@ impl ServerThermalModel {
         self.at_wax
     }
 
+    /// Restores the air-at-wax state directly (state transfer between
+    /// this per-object model and the farm's structure-of-arrays form).
+    pub fn set_air_at_wax(&mut self, at_wax: Celsius) {
+        self.at_wax = at_wax;
+    }
+
+    /// The lag time constant of the CPU-to-air path.
+    pub fn time_constant(&self) -> Seconds {
+        self.time_constant
+    }
+
     /// Steady-state air temperature at the wax for a power draw.
     pub fn steady_state(&self, power: Watts) -> Celsius {
         self.inlet + self.air.temperature_rise(power)
@@ -86,9 +97,14 @@ impl ServerThermalModel {
     /// `T' = T_ss + (T − T_ss)·e^(−dt/τ)`, so any `dt` is stable.
     pub fn step(&mut self, power: Watts, dt: Seconds) -> Celsius {
         debug_assert!(dt.get() > 0.0, "dt must be positive");
-        let ss = self.steady_state(power);
-        let decay = (-dt.get() / self.time_constant.get()).exp();
-        self.at_wax = ss + (self.at_wax - ss) * decay;
+        let decay = crate::kernel::decay_factor(dt.get(), self.time_constant.get());
+        self.at_wax = Celsius::new(crate::kernel::step(
+            self.at_wax.get(),
+            self.inlet.get(),
+            power.get(),
+            self.air.capacity_rate().get(),
+            decay,
+        ));
         self.at_wax
     }
 

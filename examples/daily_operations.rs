@@ -29,12 +29,12 @@ impl Scheduler for LoggingAdaptive {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn on_tick(&mut self, servers: &[vmt::dcsim::Server], now: Seconds) {
-        self.inner.on_tick(servers, now);
+    fn on_tick(&mut self, farm: &vmt::dcsim::ServerFarm, now: Seconds) {
+        self.inner.on_tick(farm, now);
         *self.log.lock().expect("log lock") = self.inner.history().to_vec();
     }
-    fn place(&mut self, job: &Job, servers: &[vmt::dcsim::Server]) -> Option<vmt::dcsim::ServerId> {
-        self.inner.place(job, servers)
+    fn place(&mut self, job: &Job, farm: &vmt::dcsim::ServerFarm) -> Option<vmt::dcsim::ServerId> {
+        self.inner.place(job, farm)
     }
     fn hot_group_size(&self) -> Option<usize> {
         self.inner.hot_group_size()

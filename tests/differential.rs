@@ -37,6 +37,13 @@ fn run(seed: u64, scheduler: Box<dyn Scheduler>) -> SimulationResult {
     Simulation::new(cluster, DiurnalTrace::new(trace), scheduler).run()
 }
 
+fn run_with_threads(seed: u64, scheduler: Box<dyn Scheduler>, threads: usize) -> SimulationResult {
+    let (cluster, trace) = one_day_config(seed);
+    Simulation::new(cluster, DiurnalTrace::new(trace), scheduler)
+        .with_threads(threads)
+        .run()
+}
+
 /// Asserts two runs are bit-identical, with a targeted message per field
 /// so a regression points at the diverging series instead of dumping two
 /// multi-megabyte structs.
@@ -95,5 +102,24 @@ fn vmt_wa_matches_naive_reference() {
         let fast = run(seed, Box::new(VmtWa::new(vmt_config(seed))));
         let naive = run(seed, Box::new(NaiveVmtWa::new(vmt_config(seed))));
         assert_identical(&fast, &naive, &format!("vmt-wa seed {seed}"));
+    }
+}
+
+/// Determinism across the parallel physics tick: the sharded sweep folds
+/// per-shard partials in shard order, so every thread count must
+/// reproduce the single-threaded run bit for bit — same cooling samples,
+/// same placement stream, same heatmaps.
+#[test]
+fn results_are_bit_identical_at_any_thread_count() {
+    for seed in SEEDS {
+        let baseline = run_with_threads(seed, Box::new(VmtWa::new(vmt_config(seed))), 1);
+        for threads in [2, 4, 8] {
+            let parallel = run_with_threads(seed, Box::new(VmtWa::new(vmt_config(seed))), threads);
+            assert_identical(
+                &parallel,
+                &baseline,
+                &format!("vmt-wa seed {seed} threads {threads}"),
+            );
+        }
     }
 }
