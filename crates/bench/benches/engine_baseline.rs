@@ -61,6 +61,17 @@ struct ScalingMeasurement {
 }
 
 #[derive(Debug, serde::Serialize)]
+struct PhaseProfile {
+    scheduler: String,
+    servers: usize,
+    /// Throughput with per-phase timing spans enabled (no event sink).
+    ticks_per_sec_instrumented: f64,
+    /// Fraction of measured tick time attributed to a named phase.
+    coverage: f64,
+    breakdown: vmt_telemetry::PhaseBreakdown,
+}
+
+#[derive(Debug, serde::Serialize)]
 struct Report {
     description: String,
     scenario: String,
@@ -70,6 +81,12 @@ struct Report {
     /// servers (full 48 h runs; results are bit-identical at every
     /// thread count, so rows differ only in wall-clock).
     scaling: Vec<ScalingMeasurement>,
+    /// Per-phase breakdown of the instrumented tick loop (telemetry
+    /// enabled, no sink) at 1,000 servers. Compare
+    /// `ticks_per_sec_instrumented` against the indexed `measurements`
+    /// rows to see the instrumentation overhead; the uninstrumented
+    /// rows take zero timestamps and are the regression reference.
+    phases: Vec<PhaseProfile>,
 }
 
 fn scheduler_for(name: &str, cluster: &ClusterConfig, naive: bool) -> Box<dyn Scheduler> {
@@ -126,6 +143,25 @@ fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasure
     }
 }
 
+fn measure_phases(name: &str, servers: usize) -> PhaseProfile {
+    let cluster = ClusterConfig::paper_default(servers);
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let scheduler = scheduler_for(name, &cluster, false);
+    let telemetry = vmt_dcsim::TelemetryConfig::new();
+    let summary = telemetry.summary.clone();
+    Simulation::new(cluster, trace, scheduler)
+        .with_telemetry(telemetry)
+        .run();
+    let summary = summary.get().expect("telemetry deposits a summary");
+    PhaseProfile {
+        scheduler: name.to_string(),
+        servers,
+        ticks_per_sec_instrumented: summary.ticks_per_s,
+        coverage: summary.phases.coverage(),
+        breakdown: summary.phases,
+    }
+}
+
 fn main() {
     // `cargo bench` hands harness=false targets a `--bench` argument;
     // `-- --smoke` (used by CI) forces the quick pass anyway.
@@ -149,6 +185,14 @@ fn main() {
         println!(
             "smoke vmt-wa x{} threads: {:.0} ticks/s",
             s.threads, s.ticks_per_sec
+        );
+        // And the instrumented path: phase spans must account for the
+        // tick time they claim to measure.
+        let p = measure_phases("vmt-wa", 20);
+        println!(
+            "smoke vmt-wa instrumented: {:.0} ticks/s, phase coverage {:.1}%",
+            p.ticks_per_sec_instrumented,
+            p.coverage * 100.0
         );
         return;
     }
@@ -193,6 +237,17 @@ fn main() {
             scaling.push(s);
         }
     }
+    // Instrumented per-phase breakdown at the headline cluster size.
+    let mut phases = Vec::new();
+    for name in SCHEDULERS {
+        let p = measure_phases(name, 1000);
+        println!(
+            "phases {name} @ 1000 (instrumented): {:.0} ticks/s, coverage {:.1}%",
+            p.ticks_per_sec_instrumented,
+            p.coverage * 100.0
+        );
+        phases.push(p);
+    }
 
     let report = Report {
         description: "Simulation engine throughput: incremental-index hot path vs retained \
@@ -204,6 +259,7 @@ fn main() {
         measurements,
         speedups,
         scaling,
+        phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -166,7 +166,9 @@ impl AdaptiveGv {
                 let mut config = self.config;
                 config.gv = GroupingValue::new(next_gv);
                 self.config = config;
+                let prior = self.inner.counters().unwrap_or_default();
                 self.inner = VmtWa::new(config);
+                self.inner.adopt_counters(prior);
             }
             self.history.push((day, self.gv));
             self.last_switch_day = day;
@@ -193,6 +195,10 @@ impl Scheduler for AdaptiveGv {
 
     fn hot_group_size(&self) -> Option<usize> {
         self.inner.hot_group_size()
+    }
+
+    fn counters(&self) -> Option<vmt_telemetry::SchedulerCounters> {
+        self.inner.counters()
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::balance::ThermalBalancer;
 use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
+use vmt_telemetry::SchedulerCounters;
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -19,6 +20,7 @@ use vmt_workload::Job;
 pub struct CoolestFirst {
     balancer: ThermalBalancer,
     initialized: bool,
+    counters: SchedulerCounters,
 }
 
 impl CoolestFirst {
@@ -43,9 +45,9 @@ impl Scheduler for CoolestFirst {
             self.balancer.rebuild(0..farm.len(), farm);
             self.initialized = true;
         }
-        self.balancer
-            .place(farm, job.core_power().get())
-            .map(ServerId)
+        let placed = self.balancer.place(farm, job.core_power().get());
+        self.counters.placements += u64::from(placed.is_some());
+        placed.map(ServerId)
     }
 
     fn place_indexed(
@@ -62,9 +64,13 @@ impl Scheduler for CoolestFirst {
         // ticks (buffers recycled by `rebuild`) and placements pop/push
         // it in O(log n) with free cores probed from the flat
         // `ClusterIndex` array rather than the server structs.
-        self.balancer
-            .place_indexed(index, job.core_power().get())
-            .map(ServerId)
+        let placed = self.balancer.place_indexed(index, job.core_power().get());
+        self.counters.placements += u64::from(placed.is_some());
+        placed.map(ServerId)
+    }
+
+    fn counters(&self) -> Option<SchedulerCounters> {
+        Some(self.counters)
     }
 }
 

@@ -84,6 +84,26 @@ impl PolicyKind {
         }
     }
 
+    /// Parses a policy by its scheduler name (`round-robin`,
+    /// `coolest-first`, `vmt-ta`, `vmt-wa`, `adaptive-gv`,
+    /// `vmt-preserve`), applying `gv` where the policy takes a grouping
+    /// value. Returns `None` for unknown names — CLI callers turn that
+    /// into a usage error.
+    pub fn parse(name: &str, gv: f64) -> Option<Self> {
+        match name {
+            "round-robin" => Some(PolicyKind::RoundRobin),
+            "coolest-first" => Some(PolicyKind::CoolestFirst),
+            "vmt-ta" => Some(PolicyKind::VmtTa { gv }),
+            "vmt-wa" => Some(PolicyKind::vmt_wa(gv)),
+            "adaptive-gv" => Some(PolicyKind::AdaptiveGv { start_gv: gv }),
+            "vmt-preserve" => Some(PolicyKind::Preserve {
+                gv,
+                engage_hour: 16.0,
+            }),
+            _ => None,
+        }
+    }
+
     /// Short display label (used in experiment tables).
     pub fn label(self) -> String {
         match self {
@@ -122,6 +142,23 @@ mod tests {
         ] {
             assert_eq!(kind.build(&cluster).name(), name);
         }
+    }
+
+    #[test]
+    fn parses_scheduler_names() {
+        assert_eq!(
+            PolicyKind::parse("vmt-wa", 22.0),
+            Some(PolicyKind::vmt_wa(22.0))
+        );
+        assert_eq!(
+            PolicyKind::parse("vmt-ta", 18.0),
+            Some(PolicyKind::VmtTa { gv: 18.0 })
+        );
+        assert_eq!(
+            PolicyKind::parse("round-robin", 0.0),
+            Some(PolicyKind::RoundRobin)
+        );
+        assert_eq!(PolicyKind::parse("no-such-policy", 22.0), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The round-robin baseline (prior TTS work's scheduler).
 
 use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
+use vmt_telemetry::SchedulerCounters;
 use vmt_workload::Job;
 
 /// Round-robin placement: each job goes to the next server in id order
@@ -13,6 +14,7 @@ use vmt_workload::Job;
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobin {
     cursor: usize,
+    counters: SchedulerCounters,
 }
 
 impl RoundRobin {
@@ -33,10 +35,15 @@ impl Scheduler for RoundRobin {
             let idx = (self.cursor + offset) % n;
             if farm.free_cores(idx) > 0 {
                 self.cursor = (idx + 1) % n;
+                self.counters.placements += 1;
                 return Some(ServerId(idx));
             }
         }
         None
+    }
+
+    fn counters(&self) -> Option<SchedulerCounters> {
+        Some(self.counters)
     }
 }
 

@@ -138,6 +138,10 @@ impl Scheduler for VmtPreserve {
     fn hot_group_size(&self) -> Option<usize> {
         self.inner.hot_group_size()
     }
+
+    fn counters(&self) -> Option<vmt_telemetry::SchedulerCounters> {
+        self.inner.counters()
+    }
 }
 
 #[cfg(test)]

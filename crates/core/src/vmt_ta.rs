@@ -3,6 +3,7 @@
 use crate::balance::ThermalBalancer;
 use crate::grouping::VmtConfig;
 use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
+use vmt_telemetry::SchedulerCounters;
 use vmt_workload::{Job, VmtClass};
 
 /// VMT-TA: static hot/cold groups, hot jobs concentrated in the hot
@@ -36,6 +37,7 @@ pub struct VmtTa {
     hot: ThermalBalancer,
     cold: ThermalBalancer,
     initialized: bool,
+    counters: SchedulerCounters,
 }
 
 impl VmtTa {
@@ -47,12 +49,28 @@ impl VmtTa {
             hot: ThermalBalancer::new(),
             cold: ThermalBalancer::new(),
             initialized: false,
+            counters: SchedulerCounters::default(),
         }
     }
 
     /// The policy's configuration.
     pub fn config(&self) -> &VmtConfig {
         &self.config
+    }
+
+    /// Books a placement ladder's outcome: which group the job landed
+    /// in, and whether it spilled out of its home group.
+    fn count_placement(&mut self, home_is_hot: bool, in_hot: Option<bool>) {
+        let Some(in_hot) = in_hot else { return };
+        self.counters.placements += 1;
+        if in_hot {
+            self.counters.hot_placements += 1;
+        } else {
+            self.counters.cold_placements += 1;
+        }
+        if in_hot != home_is_hot {
+            self.counters.spills += 1;
+        }
     }
 
     fn refresh(&mut self, farm: &ServerFarm) {
@@ -80,17 +98,20 @@ impl Scheduler for VmtTa {
         }
         let power = job.core_power().get();
         // Home group first; spill into the other group when full.
-        let idx = match job.kind().vmt_class() {
-            VmtClass::Hot => self
-                .hot
+        let home_is_hot = job.kind().vmt_class() == VmtClass::Hot;
+        let placed = if home_is_hot {
+            self.hot
                 .place(farm, power)
-                .or_else(|| self.cold.place(farm, power)),
-            VmtClass::Cold => self
-                .cold
+                .map(|i| (i, true))
+                .or_else(|| self.cold.place(farm, power).map(|i| (i, false)))
+        } else {
+            self.cold
                 .place(farm, power)
-                .or_else(|| self.hot.place(farm, power)),
+                .map(|i| (i, false))
+                .or_else(|| self.hot.place(farm, power).map(|i| (i, true)))
         };
-        idx.map(ServerId)
+        self.count_placement(home_is_hot, placed.map(|(_, in_hot)| in_hot));
+        placed.map(|(i, _)| ServerId(i))
     }
 
     fn place_indexed(
@@ -105,21 +126,28 @@ impl Scheduler for VmtTa {
         let power = job.core_power().get();
         // Same home-group-then-spill ladder as `place`, with free cores
         // probed from the engine's flat index.
-        let idx = match job.kind().vmt_class() {
-            VmtClass::Hot => self
-                .hot
+        let home_is_hot = job.kind().vmt_class() == VmtClass::Hot;
+        let placed = if home_is_hot {
+            self.hot
                 .place_indexed(index, power)
-                .or_else(|| self.cold.place_indexed(index, power)),
-            VmtClass::Cold => self
-                .cold
+                .map(|i| (i, true))
+                .or_else(|| self.cold.place_indexed(index, power).map(|i| (i, false)))
+        } else {
+            self.cold
                 .place_indexed(index, power)
-                .or_else(|| self.hot.place_indexed(index, power)),
+                .map(|i| (i, false))
+                .or_else(|| self.hot.place_indexed(index, power).map(|i| (i, true)))
         };
-        idx.map(ServerId)
+        self.count_placement(home_is_hot, placed.map(|(_, in_hot)| in_hot));
+        placed.map(|(i, _)| ServerId(i))
     }
 
     fn hot_group_size(&self) -> Option<usize> {
         Some(self.hot_size.max(1))
+    }
+
+    fn counters(&self) -> Option<SchedulerCounters> {
+        Some(self.counters)
     }
 }
 

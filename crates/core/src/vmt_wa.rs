@@ -2,6 +2,7 @@
 
 use crate::grouping::VmtConfig;
 use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
+use vmt_telemetry::SchedulerCounters;
 use vmt_units::{Celsius, Seconds};
 use vmt_workload::{Job, VmtClass};
 
@@ -112,6 +113,11 @@ pub struct VmtWa {
     cold: crate::balance::ThermalBalancer,
     /// Per-server "reported melt ≥ threshold" flags, refreshed per tick.
     melted: Vec<bool>,
+    /// The previous tick's `melted` flags (swapped in during refresh) —
+    /// the diff is the wax-crossing count the telemetry summary reports.
+    prev_melted: Vec<bool>,
+    /// Cumulative decision counters (always on; deterministic).
+    counters: SchedulerCounters,
     /// Per-server "air below melt temperature" flags, refreshed per tick.
     below_melt: Vec<bool>,
     /// Scratch for the hot balancer's `(member, bias)` list, recycled
@@ -146,6 +152,8 @@ impl VmtWa {
             hot: crate::balance::ThermalBalancer::new(),
             cold: crate::balance::ThermalBalancer::new(),
             melted: Vec::new(),
+            prev_melted: Vec::new(),
+            counters: SchedulerCounters::default(),
             below_melt: Vec::new(),
             members: Vec::new(),
             cursor_hot_unmelted: 0,
@@ -158,6 +166,13 @@ impl VmtWa {
     /// The policy's configuration.
     pub fn config(&self) -> &VmtConfig {
         &self.config
+    }
+
+    /// Seeds the decision counters from a predecessor instance so that
+    /// wrappers which rebuild their inner policy mid-run (adaptive GV
+    /// retuning) report run-cumulative counts.
+    pub(crate) fn adopt_counters(&mut self, counters: SchedulerCounters) {
+        self.counters = counters;
     }
 
     /// Steady-state air temperature server `idx` is heading toward at
@@ -176,6 +191,7 @@ impl VmtWa {
     /// lists. Reads everything through the farm's accessors — the
     /// reference (index-free) path.
     fn refresh(&mut self, farm: &ServerFarm) {
+        std::mem::swap(&mut self.prev_melted, &mut self.melted);
         self.melted.clear();
         self.below_melt.clear();
         for i in 0..farm.len() {
@@ -196,6 +212,7 @@ impl VmtWa {
     /// are bit-identical to what the accessors would return, so both
     /// refresh paths compute the same flags and groups.
     fn refresh_indexed_impl(&mut self, farm: &ServerFarm, index: &ClusterIndex) {
+        std::mem::swap(&mut self.prev_melted, &mut self.melted);
         self.melted.clear();
         self.below_melt.clear();
         let pmt = self.config.pmt.get();
@@ -220,6 +237,16 @@ impl VmtWa {
             self.base_hot = self.config.hot_group_size(n);
             self.hot_size = self.base_hot;
         }
+        // Wax-crossing census: how many servers' reported melt state
+        // flipped (either direction) since the previous refresh.
+        if self.prev_melted.len() == self.melted.len() {
+            self.counters.wax_crossings += self
+                .prev_melted
+                .iter()
+                .zip(&self.melted)
+                .filter(|(was, is)| was != is)
+                .count() as u64;
+        }
         // Keep-warm (and the no-shrink rule) only make sense near the
         // peak: off-peak the wax is supposed to refreeze and release its
         // heat into the cooling system's idle headroom.
@@ -236,6 +263,7 @@ impl VmtWa {
             let refrozen = report < REFREEZE_FRACTION && self.below_melt[idx];
             if refrozen {
                 self.hot_size -= 1;
+                self.counters.hot_group_shrink += 1;
             } else {
                 break;
             }
@@ -247,7 +275,9 @@ impl VmtWa {
         if near_peak && self.tuning.count_growth_per_tick > 0 {
             let melted_count = self.melted[..self.hot_size].iter().filter(|&&m| m).count();
             let target = (self.base_hot + melted_count).clamp(self.hot_size, n);
+            let before = self.hot_size;
             self.hot_size = target.min(self.hot_size + self.tuning.count_growth_per_tick);
+            self.counters.hot_group_growth += (self.hot_size - before) as u64;
         }
         let warm_line = self.warm_line();
         self.keep_warm.clear();
@@ -287,6 +317,7 @@ impl VmtWa {
                 // Keep the balancer's projection truthful about this
                 // out-of-band placement.
                 self.hot.account_external(idx, core_power_w, farm);
+                self.counters.keep_warm += 1;
                 return Some(ServerId(idx));
             }
             // Topped up (or full): done with this server for the tick.
@@ -303,6 +334,7 @@ impl VmtWa {
         while self.hot_size < n {
             let idx = self.hot_size;
             self.hot_size += 1;
+            self.counters.hot_group_growth += 1;
             self.hot.add_member(idx, farm);
             if let Some(found) = self.hot.place(farm, core_power_w) {
                 return Some(ServerId(found));
@@ -346,6 +378,7 @@ impl VmtWa {
         while let Some(&idx) = self.keep_warm.last() {
             if index.free_cores()[idx] > 0 && Self::projected_temp(farm, idx) < self.warm_line() {
                 self.hot.account_external_indexed(idx, core_power_w, index);
+                self.counters.keep_warm += 1;
                 return Some(ServerId(idx));
             }
             self.keep_warm.pop();
@@ -358,6 +391,7 @@ impl VmtWa {
         while self.hot_size < n {
             let idx = self.hot_size;
             self.hot_size += 1;
+            self.counters.hot_group_growth += 1;
             self.hot.add_member(idx, farm);
             if let Some(found) = self.hot.place_indexed(index, core_power_w) {
                 return Some(ServerId(found));
@@ -411,6 +445,22 @@ impl VmtWa {
         self.cursor_cold_any = cursor;
         (cursor < self.hot_size).then_some(ServerId(cursor))
     }
+
+    /// Books a successful placement: group routing plus cold-job spills
+    /// into the hot group. Hot jobs cannot spill — the group grows to
+    /// absorb them — so a placement below `hot_size` is "hot routed".
+    fn count_placement(&mut self, class: VmtClass, placed: Option<ServerId>) {
+        let Some(sid) = placed else { return };
+        self.counters.placements += 1;
+        if sid.0 < self.hot_size {
+            self.counters.hot_placements += 1;
+            if class == VmtClass::Cold {
+                self.counters.spills += 1;
+            }
+        } else {
+            self.counters.cold_placements += 1;
+        }
+    }
 }
 
 impl Scheduler for VmtWa {
@@ -426,10 +476,13 @@ impl Scheduler for VmtWa {
         if self.melted.len() != farm.len() {
             self.refresh(farm);
         }
-        match job.kind().vmt_class() {
+        let class = job.kind().vmt_class();
+        let placed = match class {
             VmtClass::Hot => self.place_hot(farm, job.core_power().get()),
             VmtClass::Cold => self.place_cold(farm, job.core_power().get()),
-        }
+        };
+        self.count_placement(class, placed);
+        placed
     }
 
     fn on_tick_indexed(&mut self, farm: &ServerFarm, index: &ClusterIndex, _now: Seconds) {
@@ -445,14 +498,21 @@ impl Scheduler for VmtWa {
         if self.melted.len() != farm.len() {
             self.refresh_indexed_impl(farm, index);
         }
-        match job.kind().vmt_class() {
+        let class = job.kind().vmt_class();
+        let placed = match class {
             VmtClass::Hot => self.place_hot_indexed(farm, index, job.core_power().get()),
             VmtClass::Cold => self.place_cold_indexed(index, job.core_power().get()),
-        }
+        };
+        self.count_placement(class, placed);
+        placed
     }
 
     fn hot_group_size(&self) -> Option<usize> {
         Some(self.hot_size.max(self.base_hot).max(1))
+    }
+
+    fn counters(&self) -> Option<SchedulerCounters> {
+        Some(self.counters)
     }
 }
 

@@ -1,13 +1,15 @@
 //! The simulation main loop.
 
 use crate::config::ClusterConfig;
-use crate::farm::ServerFarm;
+use crate::farm::{ServerFarm, SweepTiming};
 use crate::index::ClusterIndex;
 use crate::metrics::{Heatmap, SimulationResult};
 use crate::scheduler::Scheduler;
 use crate::server::Server;
+use crate::telemetry::{EngineTelemetry, PhaseClock};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use vmt_telemetry::{TelemetryConfig, TickPhase};
 use vmt_thermal::CoolingLoadSeries;
 use vmt_units::{Celsius, Hours, Joules, Watts};
 use vmt_workload::{ArrivalPlanner, Job, JobId, JobSpec, LoadTrace, WorkloadKind};
@@ -57,6 +59,9 @@ pub struct Simulation {
     per_kind: [Vec<JobSpec>; 5],
     /// Interleaved arrival batch, reused across ticks.
     interleaved: Vec<JobSpec>,
+    /// Telemetry wiring; `None` (the default) is the zero-cost path —
+    /// the run loop takes no timestamps and emits nothing.
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Simulation {
@@ -87,7 +92,21 @@ impl Simulation {
             index,
             per_kind: std::array::from_fn(|_| Vec::new()),
             interleaved: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches telemetry: per-phase tick profiling, engine metrics, and
+    /// (when the config carries a sink) a structured JSONL event stream.
+    ///
+    /// Telemetry is purely observational — an instrumented run returns a
+    /// [`SimulationResult`] bit-identical to an uninstrumented one. Keep
+    /// a clone of [`TelemetryConfig::summary`] (and of the registry, for
+    /// live reads) before handing the config over; `run()` deposits the
+    /// final [`SummaryEvent`](vmt_telemetry::SummaryEvent) there.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Read access to the cluster state (e.g. for custom probes between
@@ -136,10 +155,31 @@ impl Simulation {
         let mut melt_heatmap = temp_heatmap.clone();
         let mut dropped_jobs = 0u64;
         let mut placements = 0u64;
+        let mut telemetry = self.telemetry.take().map(|config| {
+            let tel = EngineTelemetry::new(config, num_servers, ticks as u64);
+            tel.emit_run_config(
+                self.scheduler.name(),
+                &self.config,
+                &self.farm,
+                ticks as u64,
+            );
+            tel
+        });
 
         for t in 0..ticks {
             let now = dt * t as f64;
             let now_hours = Hours::new(now.get() / 3600.0);
+
+            // Phase laps are taken only when telemetry is attached; the
+            // disabled path reads no clocks at all.
+            let mut clock = telemetry.as_ref().map(|_| PhaseClock::start());
+            macro_rules! lap {
+                ($phase:ident) => {
+                    if let (Some(tel), Some(clock)) = (telemetry.as_mut(), clock.as_mut()) {
+                        tel.profiler.add_ns(TickPhase::$phase, clock.lap());
+                    }
+                };
+            }
 
             if self.config.inlet.is_time_varying() {
                 for i in 0..num_servers {
@@ -147,9 +187,15 @@ impl Simulation {
                         .set_inlet(i, self.config.inlet.inlet_at(i, now_hours.get()));
                 }
             }
+            lap!(Inlet);
             self.process_departures(t as u64);
+            lap!(Departures);
             self.scheduler.on_tick_indexed(&self.farm, &self.index, now);
+            lap!(SchedulerTick);
+            let placed_before = placements;
+            let dropped_before = dropped_jobs;
             self.plan_and_place(t as u64, now_hours, &mut placements, &mut dropped_jobs);
+            lap!(Placement);
 
             // Physics tick and metric accumulation in one sharded sweep
             // over the farm's arrays: per-shard partial sums (electrical,
@@ -167,16 +213,23 @@ impl Simulation {
             } else {
                 (Vec::new(), Vec::new())
             };
+            let mut sweep_timing = telemetry.as_ref().map(|_| SweepTiming::default());
             let totals = self.farm.tick_physics_recorded(
                 dt,
                 hot_size.unwrap_or(0),
                 &mut self.index,
                 sample_heatmaps.then_some(temp_row.as_mut_slice()),
                 sample_heatmaps.then_some(melt_row.as_mut_slice()),
+                sweep_timing.as_mut(),
             );
+            lap!(Physics);
+            if let (Some(tel), Some(timing)) = (telemetry.as_mut(), sweep_timing) {
+                tel.profiler.add_ns(TickPhase::PhysicsFold, timing.fold_ns);
+            }
+            let mean_air_c = totals.temp_sum_c / num_servers as f64;
             cooling.push(Watts::new(totals.electrical_w - totals.into_wax_w));
             electrical.push(Watts::new(totals.electrical_w));
-            avg_temp.push(Celsius::new(totals.temp_sum_c / num_servers as f64));
+            avg_temp.push(Celsius::new(mean_air_c));
             stored_energy.push(Joules::new(totals.stored_energy_j));
             if let Some(size) = hot_size {
                 hot_group_temp.push(Celsius::new(totals.hot_sum_c / size as f64));
@@ -185,6 +238,22 @@ impl Simulation {
             if sample_heatmaps {
                 temp_heatmap.rows.push(temp_row);
                 melt_heatmap.rows.push(melt_row);
+            }
+            if let Some(tel) = telemetry.as_mut() {
+                let tick_1based = t as u64 + 1;
+                tel.record_tick(
+                    tick_1based,
+                    tick_1based as f64 * dt.get() / 3600.0,
+                    &self.index,
+                    mean_air_c,
+                    hot_size,
+                    placements - placed_before,
+                    dropped_jobs - dropped_before,
+                );
+            }
+            lap!(Record);
+            if let (Some(tel), Some(clock)) = (telemetry.as_mut(), clock.as_ref()) {
+                tel.profiler.add_tick(clock.total());
             }
         }
 
@@ -202,6 +271,16 @@ impl Simulation {
             placements,
             tick: dt,
         };
+        if let Some(tel) = telemetry {
+            tel.finish(
+                &result.scheduler_name,
+                self.scheduler.counters(),
+                result.placements,
+                result.dropped_jobs,
+                result.cooling.peak().get(),
+                result.electrical.peak().get(),
+            );
+        }
         (result, self.farm.to_servers())
     }
 

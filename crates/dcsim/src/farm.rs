@@ -56,6 +56,18 @@ pub fn default_tick_threads() -> usize {
         })
 }
 
+/// Wall-clock attribution of one physics sweep, filled only when the
+/// engine runs with telemetry enabled — the untimed path takes no
+/// timestamps at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// Nanoseconds spent running the shard kernels (inline or pooled,
+    /// including worker spawn/join).
+    pub shards_ns: u64,
+    /// Nanoseconds spent folding the per-shard partials in shard order.
+    pub fold_ns: u64,
+}
+
 /// Order-stable partial sums of one physics tick (raw accumulator
 /// units: W, W, °C·servers, °C·servers, J).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -398,6 +410,19 @@ impl ServerFarm {
         self.wax.as_ref().map(|w| w.material.melt_temperature())
     }
 
+    /// True when every server carries a PCM (wax) store.
+    pub fn has_wax(&self) -> bool {
+        self.wax.is_some()
+    }
+
+    /// Latent heat capacity of one server's wax pack; zero without wax.
+    pub fn latent_capacity_per_server(&self) -> Joules {
+        match &self.wax {
+            Some(w) => Joules::new(w.kernel.latent_capacity_j()),
+            None => Joules::ZERO,
+        }
+    }
+
     /// Number of running jobs of each workload on server `i`, indexed by
     /// [`WorkloadKind::index`].
     pub fn kind_counts(&self, i: usize) -> [u32; 5] {
@@ -473,12 +498,15 @@ impl ServerFarm {
         let n = self.len();
         let mut scratch_air = vec![0.0; n];
         let mut scratch_melt = vec![0.0; n];
-        self.sweep(dt, 0, &mut scratch_air, &mut scratch_melt, None, None)
+        self.sweep(dt, 0, &mut scratch_air, &mut scratch_melt, None, None, None)
     }
 
     /// The engine's physics tick: advances all servers, refreshes the
     /// index's thermal columns in place, and fills the optional heatmap
     /// rows (physical air temperature and melt fraction per server).
+    /// When `timing` is supplied the sweep attributes its wall time to
+    /// the shard-run and fold sections; the `None` path takes no
+    /// timestamps.
     pub(crate) fn tick_physics_recorded(
         &mut self,
         dt: Seconds,
@@ -486,12 +514,16 @@ impl ServerFarm {
         index: &mut ClusterIndex,
         temp_row: Option<&mut [f64]>,
         melt_row: Option<&mut [f64]>,
+        timing: Option<&mut SweepTiming>,
     ) -> FarmTickTotals {
         let (index_air, index_melt) = index.physics_slices_mut();
-        self.sweep(dt, hot_limit, index_air, index_melt, temp_row, melt_row)
+        self.sweep(
+            dt, hot_limit, index_air, index_melt, temp_row, melt_row, timing,
+        )
     }
 
     /// The sharded sweep behind both tick entry points.
+    #[allow(clippy::too_many_arguments)]
     fn sweep(
         &mut self,
         dt: Seconds,
@@ -500,6 +532,7 @@ impl ServerFarm {
         index_melt: &mut [f64],
         temp_row: Option<&mut [f64]>,
         melt_row: Option<&mut [f64]>,
+        timing: Option<&mut SweepTiming>,
     ) -> FarmTickTotals {
         let n = self.len();
         if n == 0 {
@@ -569,6 +602,7 @@ impl ServerFarm {
         // shard does not affect its output, and the fold below is always
         // in shard order.
         let workers = self.threads.min(num_shards).max(1);
+        let shards_started = timing.as_ref().map(|_| std::time::Instant::now());
         if workers == 1 {
             for task in tasks {
                 run_shard(task, &params);
@@ -589,11 +623,19 @@ impl ServerFarm {
                 }
             });
         }
+        let fold_started = shards_started.map(|t0| {
+            let now = std::time::Instant::now();
+            (now, now.duration_since(t0))
+        });
 
         // Order-stable fold of the shard partials.
         let mut totals = FarmTickTotals::default();
         for out in &outs {
             totals.fold(out);
+        }
+        if let (Some(timing), Some((fold_t0, shards_elapsed))) = (timing, fold_started) {
+            timing.shards_ns += shards_elapsed.as_nanos() as u64;
+            timing.fold_ns += fold_t0.elapsed().as_nanos() as u64;
         }
         totals
     }
@@ -828,7 +870,8 @@ mod tests {
     fn hot_limit_sums_leading_servers() {
         let mut farm = loaded_farm(10);
         let mut index = ClusterIndex::new(&farm);
-        let totals = farm.tick_physics_recorded(Seconds::new(60.0), 3, &mut index, None, None);
+        let totals =
+            farm.tick_physics_recorded(Seconds::new(60.0), 3, &mut index, None, None, None);
         let manual: f64 = (0..3).map(|i| farm.air_at_wax(i).get()).sum();
         assert!((totals.hot_sum_c - manual).abs() < 1e-9);
         for i in 0..10 {

@@ -49,13 +49,17 @@ mod index;
 mod metrics;
 mod scheduler;
 mod server;
+mod telemetry;
 mod topology;
 
 pub use config::{ClusterConfig, WaxSpec};
 pub use engine::Simulation;
-pub use farm::{default_tick_threads, FarmTickTotals, ServerFarm, SHARD};
+pub use farm::{default_tick_threads, FarmTickTotals, ServerFarm, SweepTiming, SHARD};
 pub use index::ClusterIndex;
 pub use metrics::{Heatmap, SimulationResult};
 pub use scheduler::{FirstFit, Scheduler};
 pub use server::{Server, ServerId};
 pub use topology::{PlacementMap, RackId, RackLayout, RackPowerStats};
+/// Re-exported so downstream crates can attach telemetry without a
+/// direct `vmt-telemetry` dependency.
+pub use vmt_telemetry::{SummaryHandle, TelemetryConfig};

@@ -26,10 +26,32 @@ impl Heatmap {
 
     /// Maximum value across the whole map (0 when empty).
     pub fn max(&self) -> f64 {
-        self.rows
+        // Seed with -inf, not 0: an all-negative map (e.g. a sub-zero
+        // temperature field) must report its true maximum, not a floor.
+        let max = self
+            .rows
             .iter()
             .flat_map(|r| r.iter().copied())
-            .fold(0.0, f64::max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max == f64::NEG_INFINITY {
+            0.0
+        } else {
+            max
+        }
+    }
+
+    /// Minimum value across the whole map (0 when empty).
+    pub fn min(&self) -> f64 {
+        let min = self
+            .rows
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .fold(f64::INFINITY, f64::min);
+        if min == f64::INFINITY {
+            0.0
+        } else {
+            min
+        }
     }
 
     /// Per-row mean values (one per sampled tick).
@@ -183,6 +205,29 @@ mod tests {
         let map = Heatmap::default();
         assert!(map.is_empty());
         assert_eq!(map.max(), 0.0);
+        assert_eq!(map.min(), 0.0);
         assert!(map.row_means().is_empty());
+    }
+
+    #[test]
+    fn max_and_min_survive_all_negative_data() {
+        // Sub-zero fields (e.g. a chiller-failure temperature delta) must
+        // report their true extrema, not a spurious 0 floor.
+        let map = Heatmap {
+            row_interval: 60.0,
+            rows: vec![vec![-5.0, -2.5], vec![-9.0, -3.0]],
+        };
+        assert_eq!(map.max(), -2.5);
+        assert_eq!(map.min(), -9.0);
+    }
+
+    #[test]
+    fn max_and_min_on_mixed_sign_data() {
+        let map = Heatmap {
+            row_interval: 60.0,
+            rows: vec![vec![-1.0, 0.5], vec![3.0, -4.0]],
+        };
+        assert_eq!(map.max(), 3.0);
+        assert_eq!(map.min(), -4.0);
     }
 }

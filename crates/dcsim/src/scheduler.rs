@@ -68,6 +68,17 @@ pub trait Scheduler {
     fn hot_group_size(&self) -> Option<usize> {
         None
     }
+
+    /// The policy's cumulative decision counters, if it keeps any.
+    ///
+    /// Policies that participate in telemetry maintain these as plain
+    /// integer fields incremented unconditionally on their decision
+    /// paths — deterministic and cheap enough to leave always-on — and
+    /// the engine reads them once at the end of a run for the summary
+    /// event. The default reports nothing.
+    fn counters(&self) -> Option<vmt_telemetry::SchedulerCounters> {
+        None
+    }
 }
 
 /// Trivial first-fit policy: the lowest-indexed server with a free core.

@@ -1,0 +1,309 @@
+//! Engine-side telemetry wiring.
+//!
+//! A [`Simulation`](crate::Simulation) built with
+//! [`with_telemetry`](crate::Simulation::with_telemetry) carries an
+//! [`EngineTelemetry`] for the duration of the run; without one the
+//! engine takes **zero** timestamps and performs no telemetry work at
+//! all, so the disabled path stays bit-identical and allocation-free.
+//!
+//! All observation here is read-only: counters, gauges, and events are
+//! derived from state the engine already computes (the cluster index,
+//! the sweep totals), never fed back into placement or physics, so an
+//! instrumented run produces the same [`SimulationResult`]
+//! (crate::SimulationResult) as a bare one.
+
+use crate::config::ClusterConfig;
+use crate::farm::ServerFarm;
+use crate::index::ClusterIndex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vmt_pcm::{MeltDirection, MELT_EVENT_THRESHOLD};
+use vmt_telemetry::{
+    Counter, Event, Gauge, Histogram, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition,
+    PhaseProfiler, ProgressMeter, RunConfigEvent, SchedulerCounters, SnapshotEvent, SummaryEvent,
+    TelemetryConfig, SCHEMA_VERSION,
+};
+
+/// Bucket bounds for the arrivals-per-tick histogram: powers of two up
+/// to 4096 jobs in one tick (a 10k-server cluster peaks well below
+/// that).
+const ARRIVAL_BUCKETS: [f64; 14] = [
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
+/// A stopwatch for the engine's per-phase laps.
+///
+/// Constructed once per tick *only when telemetry is enabled*; the
+/// disabled path never touches `Instant`.
+pub(crate) struct PhaseClock {
+    started: Instant,
+    last: Instant,
+}
+
+impl PhaseClock {
+    pub(crate) fn start() -> Self {
+        let now = Instant::now();
+        Self {
+            started: now,
+            last: now,
+        }
+    }
+
+    /// Nanoseconds since the previous lap (or construction).
+    pub(crate) fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        ns
+    }
+
+    /// Whole-tick-body elapsed time.
+    pub(crate) fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Everything a telemetry-enabled run tracks while ticking.
+pub(crate) struct EngineTelemetry {
+    config: TelemetryConfig,
+    pub(crate) profiler: PhaseProfiler,
+    started: Instant,
+    progress: Option<ProgressMeter>,
+    progress_drawn: bool,
+    /// Whether each server's reported melt was above
+    /// [`MELT_EVENT_THRESHOLD`] last tick.
+    melted: Vec<bool>,
+    melted_count: u64,
+    last_hot_size: Option<u64>,
+    ticks: Counter,
+    placements: Counter,
+    dropped: Counter,
+    melt_events: Counter,
+    hot_group_events: Counter,
+    utilization: Gauge,
+    mean_air_c: Gauge,
+    max_air_c: Gauge,
+    melted_fraction: Gauge,
+    tick_arrivals: Arc<Histogram>,
+}
+
+impl EngineTelemetry {
+    /// Registers the engine's metrics and arms the progress meter.
+    pub(crate) fn new(config: TelemetryConfig, num_servers: usize, total_ticks: u64) -> Self {
+        let registry = &config.registry;
+        let ticks = registry.counter("engine.ticks");
+        let placements = registry.counter("engine.placements");
+        let dropped = registry.counter("engine.dropped_jobs");
+        let melt_events = registry.counter("engine.melt_events");
+        let hot_group_events = registry.counter("engine.hot_group_events");
+        let utilization = registry.gauge("cluster.utilization");
+        let mean_air_c = registry.gauge("cluster.mean_air_c");
+        let max_air_c = registry.gauge("cluster.max_air_c");
+        let melted_fraction = registry.gauge("cluster.melted_fraction");
+        let tick_arrivals = registry.histogram("engine.tick_arrivals", &ARRIVAL_BUCKETS);
+        let progress = config
+            .progress_every_ticks
+            .map(|every| ProgressMeter::new(total_ticks, every));
+        Self {
+            config,
+            profiler: PhaseProfiler::new(),
+            started: Instant::now(),
+            progress,
+            progress_drawn: false,
+            melted: vec![false; num_servers],
+            melted_count: 0,
+            last_hot_size: None,
+            ticks,
+            placements,
+            dropped,
+            melt_events,
+            hot_group_events,
+            utilization,
+            mean_air_c,
+            max_air_c,
+            melted_fraction,
+            tick_arrivals,
+        }
+    }
+
+    /// Writes the stream's opening [`RunConfigEvent`].
+    pub(crate) fn emit_run_config(
+        &self,
+        policy: &str,
+        cluster: &ClusterConfig,
+        farm: &ServerFarm,
+        ticks: u64,
+    ) {
+        if let Some(sink) = &self.config.sink {
+            sink.emit(&Event::RunConfig(RunConfigEvent {
+                schema_version: SCHEMA_VERSION,
+                policy: policy.to_owned(),
+                servers: cluster.num_servers as u64,
+                cores_per_server: u64::from(farm.cores()),
+                ticks,
+                tick_seconds: cluster.tick.get(),
+                seed: cluster.seed,
+                threads: farm.threads() as u64,
+                has_wax: farm.has_wax(),
+                snapshot_every_ticks: self.config.snapshot_every_ticks,
+            }));
+        }
+    }
+
+    /// The engine's per-tick record step, called after physics with the
+    /// index freshly updated. `tick` is 1-based (the tick just ran).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_tick(
+        &mut self,
+        tick: u64,
+        sim_hours: f64,
+        index: &ClusterIndex,
+        mean_air_c: f64,
+        hot_size: Option<usize>,
+        placed_delta: u64,
+        dropped_delta: u64,
+    ) {
+        self.ticks.inc();
+        self.placements.add(placed_delta);
+        self.dropped.add(dropped_delta);
+        self.tick_arrivals
+            .record((placed_delta + dropped_delta) as f64);
+        let utilization = index.utilization();
+        self.utilization.set(utilization);
+        self.mean_air_c.set(mean_air_c);
+
+        // Threshold scan over the estimator-reported melt fractions —
+        // the same signal the paper's schedulers act on.
+        let melt = index.reported_melt();
+        let air = index.air_c();
+        for (i, was) in self.melted.iter_mut().enumerate() {
+            let Some(direction) =
+                vmt_pcm::classify_melt_transition(*was, melt[i], MELT_EVENT_THRESHOLD)
+            else {
+                continue;
+            };
+            *was = !*was;
+            match direction {
+                MeltDirection::Melting => self.melted_count += 1,
+                MeltDirection::Freezing => self.melted_count -= 1,
+            }
+            self.melt_events.inc();
+            if let Some(sink) = &self.config.sink {
+                sink.emit(&Event::Melt(MeltEvent {
+                    tick,
+                    server: i as u64,
+                    transition: match direction {
+                        MeltDirection::Melting => MeltTransition::BeganMelting,
+                        MeltDirection::Freezing => MeltTransition::Refroze,
+                    },
+                    air_c: air[i],
+                    melted_servers: self.melted_count,
+                }));
+            }
+        }
+        let melted_fraction = if self.melted.is_empty() {
+            0.0
+        } else {
+            self.melted_count as f64 / self.melted.len() as f64
+        };
+        self.melted_fraction.set(melted_fraction);
+
+        // Hot-group size changes (first observation sets the baseline
+        // silently; a policy growing from its initial size is an event).
+        let hot = hot_size.map(|s| s as u64);
+        if hot != self.last_hot_size {
+            if let (Some(previous), Some(current)) = (self.last_hot_size, hot) {
+                self.hot_group_events.inc();
+                if let Some(sink) = &self.config.sink {
+                    sink.emit(&Event::HotGroup(HotGroupEvent {
+                        tick,
+                        transition: if current > previous {
+                            HotGroupTransition::Grew
+                        } else {
+                            HotGroupTransition::Shrank
+                        },
+                        previous,
+                        current,
+                    }));
+                }
+            }
+            self.last_hot_size = hot;
+        }
+
+        if tick.is_multiple_of(self.config.snapshot_every_ticks) {
+            let max_air = air.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let max_air = if max_air == f64::NEG_INFINITY {
+                0.0
+            } else {
+                max_air
+            };
+            self.max_air_c.set(max_air);
+            if let Some(sink) = &self.config.sink {
+                sink.emit(&Event::Snapshot(SnapshotEvent {
+                    tick,
+                    sim_hours,
+                    jobs_in_flight: index.used_cores_total(),
+                    utilization,
+                    mean_air_c,
+                    max_air_c: max_air,
+                    melted_fraction,
+                    hot_group_size: hot,
+                }));
+            }
+        }
+
+        if let Some(meter) = &self.progress {
+            if let Some(frame) = meter.observe(tick, index.used_cores_total(), melted_fraction) {
+                eprint!("\r{}", frame.render());
+                self.progress_drawn = true;
+            }
+        }
+    }
+
+    /// Closes out the run: summary event to the sink (flushed) and into
+    /// the caller's [`SummaryHandle`](vmt_telemetry::SummaryHandle).
+    pub(crate) fn finish(
+        self,
+        policy: &str,
+        scheduler: Option<SchedulerCounters>,
+        placements: u64,
+        dropped_jobs: u64,
+        peak_cooling_w: f64,
+        peak_electrical_w: f64,
+    ) {
+        if self.progress_drawn {
+            eprintln!();
+        }
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let ticks_run = self.profiler.ticks();
+        let final_melted_fraction = if self.melted.is_empty() {
+            0.0
+        } else {
+            self.melted_count as f64 / self.melted.len() as f64
+        };
+        let summary = SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: policy.to_owned(),
+            ticks_run,
+            wall_s,
+            ticks_per_s: if wall_s > 0.0 {
+                ticks_run as f64 / wall_s
+            } else {
+                0.0
+            },
+            placements,
+            dropped_jobs,
+            peak_cooling_w,
+            peak_electrical_w,
+            final_melted_fraction,
+            phases: self.profiler.breakdown(),
+            scheduler,
+            metrics: self.config.registry.snapshot(),
+        };
+        if let Some(sink) = &self.config.sink {
+            sink.emit(&Event::Summary(summary.clone()));
+            sink.flush();
+        }
+        self.config.summary.set(summary);
+    }
+}

@@ -1,12 +1,18 @@
-//! `vmt-experiments` — regenerate any table or figure of the VMT paper.
+//! `vmt-experiments` — regenerate any table or figure of the VMT paper,
+//! or drive a single instrumented run.
 //!
 //! ```text
 //! vmt-experiments <id> [--servers N] [--seeds K] [--threads T]
 //! vmt-experiments all [--servers N]
+//! vmt-experiments run [--policy NAME] [--gv F] [--servers N] [--hours H]
+//!                     [--seed S] [--threads T] [--telemetry FILE]
+//!                     [--snapshot-every N] [--progress [N]]
+//! vmt-experiments check-telemetry FILE
 //! ```
 //!
 //! IDs: `table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 tco`.
+//! fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 tco ablations
+//! emergency bound qos preserve estimator`.
 //!
 //! `--servers` overrides the cluster size (paper defaults: 1,000 for
 //! fig12/13/15/16 and tco, 100 for everything simulation-backed).
@@ -15,22 +21,141 @@
 //! (equivalent to exporting `VMT_THREADS`). Results are bit-identical
 //! at any value; only wall-clock time changes. The sweep runner keeps
 //! sweep-workers x tick-threads within the machine's parallelism.
+//!
+//! Unrecognized flags are errors, not silently ignored — a typo like
+//! `--sevrers` must not quietly run the default cluster size.
 
+use std::collections::HashMap;
 use vmt_experiments::heatmaps::HeatmapFigure;
+use vmt_experiments::runner::Run;
 use vmt_experiments::*;
+
+const EXPERIMENT_IDS: [&str; 26] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "tco",
+    "ablations",
+    "emergency",
+    "bound",
+    "qos",
+    "preserve",
+    "estimator",
+];
+
+fn print_help() {
+    println!("vmt-experiments — VMT paper reproduction harness");
+    println!();
+    println!("usage:");
+    println!("  vmt-experiments <id|all> [--servers N] [--seeds K] [--threads T]");
+    println!("  vmt-experiments run [options]");
+    println!("  vmt-experiments check-telemetry FILE");
+    println!("  vmt-experiments --help");
+    println!();
+    println!("experiment ids:");
+    println!("  {}", EXPERIMENT_IDS.join(" "));
+    println!();
+    println!("run options (single instrumented simulation):");
+    println!("  --policy NAME        round-robin | coolest-first | vmt-ta | vmt-wa |");
+    println!("                       adaptive-gv | vmt-preserve   (default vmt-wa)");
+    println!("  --gv F               grouping value (default 22)");
+    println!("  --servers N          cluster size (default 1000)");
+    println!("  --hours H            trace horizon in simulated hours (default 48)");
+    println!("  --seed S             workload seed (default: paper default)");
+    println!("  --threads T          physics worker threads (results bit-identical)");
+    println!("  --telemetry FILE     write a JSONL event stream to FILE");
+    println!("  --snapshot-every N   snapshot cadence in ticks (default 60 = hourly)");
+    println!("  --progress [N]       live progress line every N ticks (default 60)");
+    println!();
+    println!("check-telemetry validates a JSONL stream written by `run --telemetry`:");
+    println!("  RunConfig first, Summary last, schema versions consistent.");
+}
+
+/// Exits with a usage error (status 2).
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("run `vmt-experiments --help` for usage");
+    std::process::exit(2);
+}
+
+/// Strict `--flag value` parser: every argument must be a known flag,
+/// and every flag except `--progress` requires a value. Returns the
+/// flag→value map; exits with a usage error otherwise.
+fn parse_flags(args: &[String], known: &[&str]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if !known.contains(&arg.as_str()) {
+            die(&format!("unrecognized argument `{arg}`"));
+        }
+        let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
+        match value {
+            Some(v) => {
+                flags.insert(arg.clone(), v.clone());
+                i += 2;
+            }
+            // `--progress` alone means "default cadence".
+            None if arg == "--progress" => {
+                flags.insert(arg.clone(), "60".to_owned());
+                i += 1;
+            }
+            None => die(&format!("flag `{arg}` requires a value")),
+        }
+    }
+    flags
+}
+
+/// Fetches and parses a numeric flag, exiting on malformed input.
+fn numeric<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Option<T> {
+    flags.get(name).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| die(&format!("flag `{name}` got unparseable value `{v}`")))
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(id) = args.first() else {
-        eprintln!("usage: vmt-experiments <id|all> [--servers N] [--seeds K] [--threads T]");
-        eprintln!("ids: table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11");
-        eprintln!("     fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 tco");
-        eprintln!("     ablations emergency bound qos preserve estimator");
+    let Some(command) = args.first() else {
+        print_help();
         std::process::exit(2);
     };
-    let servers = flag(&args, "--servers");
-    let seeds = flag(&args, "--seeds").unwrap_or(5);
-    if let Some(threads) = flag(&args, "--threads") {
+    match command.as_str() {
+        "--help" | "-h" | "help" => print_help(),
+        "run" => cmd_run(&args[1..]),
+        "check-telemetry" => cmd_check_telemetry(&args[1..]),
+        id => cmd_experiment(id, &args[1..]),
+    }
+}
+
+/// The figure/table regeneration path (`vmt-experiments <id|all>`).
+fn cmd_experiment(id: &str, rest: &[String]) {
+    if id.starts_with("--") {
+        die(&format!("unrecognized argument `{id}`"));
+    }
+    if id != "all" && !EXPERIMENT_IDS.contains(&id) {
+        die(&format!("unknown experiment id `{id}`"));
+    }
+    let flags = parse_flags(rest, &["--servers", "--seeds", "--threads"]);
+    let servers: Option<usize> = numeric(&flags, "--servers");
+    let seeds: usize = numeric(&flags, "--seeds").unwrap_or(5);
+    if let Some(threads) = numeric::<usize>(&flags, "--threads") {
         // The experiment modules build their own `Run`s, whose default
         // tick-thread count reads VMT_THREADS — so one env write plumbs
         // the flag through every figure and sweep.
@@ -38,40 +163,117 @@ fn main() {
     }
 
     if id == "all" {
-        for id in [
-            "table1",
-            "table2",
-            "fig1",
-            "fig2",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15",
-            "fig16",
-            "fig17",
-            "fig18",
-            "fig19",
-            "fig20",
-            "tco",
-            "ablations",
-            "emergency",
-            "bound",
-            "qos",
-            "preserve",
-            "estimator",
-        ] {
+        for id in EXPERIMENT_IDS {
             println!("==================== {id} ====================");
             run_one(id, servers, seeds);
         }
         return;
     }
     run_one(id, servers, seeds);
+}
+
+/// A single instrumented simulation (`vmt-experiments run`).
+fn cmd_run(rest: &[String]) {
+    let flags = parse_flags(
+        rest,
+        &[
+            "--policy",
+            "--gv",
+            "--servers",
+            "--hours",
+            "--seed",
+            "--threads",
+            "--telemetry",
+            "--snapshot-every",
+            "--progress",
+        ],
+    );
+    let gv: f64 = numeric(&flags, "--gv").unwrap_or(22.0);
+    let policy_name = flags.get("--policy").map_or("vmt-wa", String::as_str);
+    let Some(policy) = vmt_core::PolicyKind::parse(policy_name, gv) else {
+        die(&format!("unknown policy `{policy_name}`"));
+    };
+    let servers: usize = numeric(&flags, "--servers").unwrap_or(1000);
+    let hours: f64 = numeric(&flags, "--hours").unwrap_or(48.0);
+    if !hours.is_finite() || hours <= 0.0 {
+        die("`--hours` must be positive");
+    }
+
+    let mut run = Run::new(servers, policy);
+    run.trace.horizon = vmt_units::Hours::new(hours);
+    if let Some(seed) = numeric::<u64>(&flags, "--seed") {
+        run.cluster.seed = seed;
+        run.trace.seed = seed;
+    }
+    if let Some(threads) = numeric::<usize>(&flags, "--threads") {
+        run = run.with_tick_threads(threads);
+    }
+
+    let mut telemetry = vmt_dcsim::TelemetryConfig::new();
+    if let Some(path) = flags.get("--telemetry") {
+        match vmt_telemetry::EventSink::to_file(std::path::Path::new(path)) {
+            Ok(sink) => telemetry = telemetry.with_sink(sink),
+            Err(err) => die(&format!("cannot open `{path}` for telemetry: {err}")),
+        }
+    }
+    if let Some(every) = numeric::<u64>(&flags, "--snapshot-every") {
+        telemetry = telemetry.with_snapshot_every(every);
+    }
+    if let Some(every) = numeric::<u64>(&flags, "--progress") {
+        telemetry = telemetry.with_progress_every(every);
+    }
+    let summary = telemetry.summary.clone();
+
+    let result = run.execute_with_telemetry(telemetry);
+
+    match summary.get() {
+        Some(summary) => print!("{}", vmt_telemetry::render_report(&summary)),
+        None => {
+            // Telemetry always deposits a summary; this is a belt for a
+            // future code path that drops it.
+            println!(
+                "{}: {} placements, {} dropped, peak cooling {:.1} kW",
+                result.scheduler_name,
+                result.placements,
+                result.dropped_jobs,
+                result.peak_cooling().get() / 1e3
+            );
+        }
+    }
+    if let Some(path) = flags.get("--telemetry") {
+        println!("telemetry stream: {path}");
+    }
+}
+
+/// Validates a JSONL stream (`vmt-experiments check-telemetry FILE`).
+fn cmd_check_telemetry(rest: &[String]) {
+    let [path] = rest else {
+        die("usage: vmt-experiments check-telemetry FILE");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => die(&format!("cannot read `{path}`: {err}")),
+    };
+    match vmt_telemetry::validate_stream(&text) {
+        Ok(stream) => {
+            println!(
+                "ok: {} events ({} snapshots, {} melt, {} hot-group)",
+                stream.events, stream.snapshots, stream.melts, stream.hot_group_events
+            );
+            println!(
+                "run: {} on {} servers, {} ticks planned, {} run at {:.0} ticks/s",
+                stream.run_config.policy,
+                stream.run_config.servers,
+                stream.run_config.ticks,
+                stream.summary.ticks_run,
+                stream.summary.ticks_per_s,
+            );
+        }
+        Err(err) => {
+            eprintln!("invalid telemetry stream: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// When `VMT_CSV_DIR` is set, drops each run's time series there as
@@ -89,13 +291,6 @@ fn write_series_csv(figure: &vmt_experiments::cooling_load::CoolingLoadFigure, n
             eprintln!("warning: could not write {}: {err}", path.display());
         }
     }
-}
-
-fn flag(args: &[String], name: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().expect("flag takes an integer"))
 }
 
 fn run_one(id: &str, servers: Option<usize>, seeds: usize) {
@@ -151,9 +346,6 @@ fn run_one(id: &str, servers: Option<usize>, seeds: usize) {
             println!("measured best peak reduction: {:.1}%", reduction * 100.0);
             print!("{}", tco_summary::render(&summary));
         }
-        other => {
-            eprintln!("unknown experiment id: {other}");
-            std::process::exit(2);
-        }
+        other => die(&format!("unknown experiment id `{other}`")),
     }
 }

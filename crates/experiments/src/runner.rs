@@ -1,7 +1,7 @@
 //! Shared simulation plumbing for the experiment modules.
 
 use vmt_core::PolicyKind;
-use vmt_dcsim::{ClusterConfig, Simulation, SimulationResult};
+use vmt_dcsim::{ClusterConfig, Simulation, SimulationResult, TelemetryConfig};
 use vmt_workload::{DiurnalTrace, TraceConfig};
 
 /// A fully specified experiment run: cluster + trace + policy.
@@ -56,6 +56,25 @@ impl Run {
             scheduler,
         )
         .with_threads(self.tick_threads)
+        .run()
+    }
+
+    /// Executes the run with telemetry attached.
+    ///
+    /// `TelemetryConfig` is not `Clone` (it owns the event sink), so it
+    /// is a per-call argument rather than a field of the reusable `Run`.
+    /// Keep clones of the config's `summary` handle and registry before
+    /// calling to read the results; telemetry is observational only, so
+    /// the returned `SimulationResult` is identical to `execute()`'s.
+    pub fn execute_with_telemetry(&self, telemetry: TelemetryConfig) -> SimulationResult {
+        let scheduler = self.policy.build(&self.cluster);
+        Simulation::new(
+            self.cluster.clone(),
+            DiurnalTrace::new(self.trace.clone()),
+            scheduler,
+        )
+        .with_threads(self.tick_threads)
+        .with_telemetry(telemetry)
         .run()
     }
 }

@@ -54,6 +54,7 @@ pub mod kernel;
 mod material;
 mod pack;
 mod sizing;
+mod transitions;
 
 pub use discretized::ShellPack;
 pub use error::PcmError;
@@ -63,3 +64,4 @@ pub use kernel::WaxKernel;
 pub use material::{MaterialClass, PcmMaterial};
 pub use pack::WaxPack;
 pub use sizing::ServerWaxConfig;
+pub use transitions::{classify_melt_transition, MeltDirection, MELT_EVENT_THRESHOLD};

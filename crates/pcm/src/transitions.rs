@@ -1,0 +1,85 @@
+//! Melt-state transition classification for cluster observability.
+//!
+//! The simulator's telemetry layer wants discrete *events* ("server 17's
+//! wax began melting at tick 412") out of the continuous melt fractions
+//! the estimators report. This module owns that classification so the
+//! threshold and its hysteresis-free semantics live next to the wax
+//! models they describe, not in the engine.
+
+/// Reported melt fraction at and above which a server counts as
+/// "melted" for event purposes.
+///
+/// Deliberately at the half-way point rather than a policy's
+/// near-saturation `wax_threshold` (≈0.98): events should mark when a
+/// store is substantially charged, which is visible earlier and is
+/// robust against estimator noise around full saturation.
+pub const MELT_EVENT_THRESHOLD: f64 = 0.5;
+
+/// Direction of a melt-threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeltDirection {
+    /// The store crossed the threshold upward (charging).
+    Melting,
+    /// The store crossed the threshold downward (discharging/refrozen).
+    Freezing,
+}
+
+/// Classifies one observation against the previous melted state:
+/// returns the crossing direction when `fraction` moved across
+/// `threshold` relative to `was_melted`, `None` while the state holds.
+///
+/// The comparison is `>=`, matching [`MELT_EVENT_THRESHOLD`]'s
+/// "at and above" contract; NaN fractions never count as melted.
+pub fn classify_melt_transition(
+    was_melted: bool,
+    fraction: f64,
+    threshold: f64,
+) -> Option<MeltDirection> {
+    let melted = fraction >= threshold;
+    match (was_melted, melted) {
+        (false, true) => Some(MeltDirection::Melting),
+        (true, false) => Some(MeltDirection::Freezing),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upward_crossing_is_melting() {
+        assert_eq!(
+            classify_melt_transition(false, 0.6, MELT_EVENT_THRESHOLD),
+            Some(MeltDirection::Melting)
+        );
+        // Exactly on the threshold counts as melted.
+        assert_eq!(
+            classify_melt_transition(false, MELT_EVENT_THRESHOLD, MELT_EVENT_THRESHOLD),
+            Some(MeltDirection::Melting)
+        );
+    }
+
+    #[test]
+    fn downward_crossing_is_freezing() {
+        assert_eq!(
+            classify_melt_transition(true, 0.4, MELT_EVENT_THRESHOLD),
+            Some(MeltDirection::Freezing)
+        );
+    }
+
+    #[test]
+    fn holding_state_yields_no_event() {
+        assert_eq!(classify_melt_transition(true, 0.9, 0.5), None);
+        assert_eq!(classify_melt_transition(false, 0.1, 0.5), None);
+    }
+
+    #[test]
+    fn nan_never_counts_as_melted() {
+        assert_eq!(classify_melt_transition(false, f64::NAN, 0.5), None);
+        assert_eq!(
+            classify_melt_transition(true, f64::NAN, 0.5),
+            Some(MeltDirection::Freezing)
+        );
+    }
+}

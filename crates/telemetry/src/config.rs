@@ -1,0 +1,136 @@
+//! Wiring: what a telemetry-enabled simulation carries.
+
+use crate::events::SummaryEvent;
+use crate::registry::MetricsRegistry;
+use crate::sink::EventSink;
+use std::sync::{Arc, Mutex};
+
+/// A shared slot the engine deposits its [`SummaryEvent`] into at the
+/// end of a run.
+///
+/// The engine consumes the `Simulation` (and with it the telemetry
+/// config), so the caller keeps a clone of this handle to read the
+/// summary — phase breakdown, scheduler counters, metrics — after
+/// `run()` returns.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryHandle(Arc<Mutex<Option<SummaryEvent>>>);
+
+impl SummaryHandle {
+    /// Creates an empty handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the run summary (called by the engine).
+    pub fn set(&self, summary: SummaryEvent) {
+        *self.0.lock().expect("summary handle poisoned") = Some(summary);
+    }
+
+    /// Copies the summary out, if a run has finished.
+    pub fn get(&self) -> Option<SummaryEvent> {
+        self.0.lock().expect("summary handle poisoned").clone()
+    }
+}
+
+/// Everything a telemetry-enabled run carries.
+///
+/// The engine holds this as an `Option`: `None` (the default) is the
+/// zero-cost path — no clocks, no counters, no events. Construct one,
+/// keep clones of [`TelemetryConfig::summary`] (and the registry, if you
+/// want live reads), and hand it to the simulation.
+#[derive(Debug)]
+pub struct TelemetryConfig {
+    /// Counters / gauges / histograms the engine and policies record
+    /// into. Clone it before handing the config over to read metrics
+    /// while the run is in flight.
+    pub registry: MetricsRegistry,
+    /// Where JSONL events go; `None` keeps profiling and metrics but
+    /// writes no stream.
+    pub sink: Option<EventSink>,
+    /// Cluster snapshot cadence in ticks (default 60 — one snapshot per
+    /// simulated hour at the standard 60 s tick).
+    pub snapshot_every_ticks: u64,
+    /// When `Some(n)`, render a progress line to stderr every `n` ticks.
+    pub progress_every_ticks: Option<u64>,
+    /// Where the final [`SummaryEvent`] is deposited.
+    pub summary: SummaryHandle,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            registry: MetricsRegistry::new(),
+            sink: None,
+            snapshot_every_ticks: 60,
+            progress_every_ticks: None,
+            summary: SummaryHandle::new(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A config with metrics + profiling only (no sink, no progress).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a JSONL event sink.
+    pub fn with_sink(mut self, sink: EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Overrides the snapshot cadence (clamped to at least 1 tick).
+    pub fn with_snapshot_every(mut self, ticks: u64) -> Self {
+        self.snapshot_every_ticks = ticks.max(1);
+        self
+    }
+
+    /// Enables stderr progress lines every `ticks` ticks.
+    pub fn with_progress_every(mut self, ticks: u64) -> Self {
+        self.progress_every_ticks = Some(ticks.max(1));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::SCHEMA_VERSION;
+    use crate::phases::PhaseBreakdown;
+    use crate::registry::MetricsSnapshot;
+
+    #[test]
+    fn summary_handle_shares_across_clones() {
+        let handle = SummaryHandle::new();
+        let reader = handle.clone();
+        assert!(reader.get().is_none());
+        handle.set(SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "p".into(),
+            ticks_run: 1,
+            wall_s: 0.0,
+            ticks_per_s: 0.0,
+            placements: 0,
+            dropped_jobs: 0,
+            peak_cooling_w: 0.0,
+            peak_electrical_w: 0.0,
+            final_melted_fraction: 0.0,
+            phases: PhaseBreakdown::default(),
+            scheduler: None,
+            metrics: MetricsSnapshot::default(),
+        });
+        assert_eq!(reader.get().unwrap().policy, "p");
+    }
+
+    #[test]
+    fn defaults_snapshot_hourly_with_no_sink() {
+        let config = TelemetryConfig::new();
+        assert_eq!(config.snapshot_every_ticks, 60);
+        assert!(config.sink.is_none());
+        assert!(config.progress_every_ticks.is_none());
+        let config = config.with_snapshot_every(0).with_progress_every(0);
+        assert_eq!(config.snapshot_every_ticks, 1);
+        assert_eq!(config.progress_every_ticks, Some(1));
+    }
+}

@@ -1,0 +1,307 @@
+//! The structured JSONL event schema.
+//!
+//! One [`Event`] per line. The vendored serde derive uses the externally
+//! tagged enum representation, so a line looks like
+//! `{"Snapshot": {"tick": 60, ...}}` — the single top-level key is the
+//! event kind, which makes the stream trivially greppable
+//! (`grep '"Melt"' run.jsonl`).
+
+use crate::phases::PhaseBreakdown;
+use crate::registry::MetricsSnapshot;
+
+/// Version stamp written into [`RunConfigEvent`] and [`SummaryEvent`] so
+/// downstream tooling can detect schema drift.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Deterministic per-policy placement statistics.
+///
+/// Policies keep these as plain `u64` fields incremented unconditionally
+/// on their decision paths (no atomics, no branches on "is telemetry
+/// on") so the counts are identical whether or not a sink is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct SchedulerCounters {
+    /// Successful job placements.
+    pub placements: u64,
+    /// Placements routed to the hot group.
+    pub hot_placements: u64,
+    /// Placements routed to the cold group.
+    pub cold_placements: u64,
+    /// Hot-preferred jobs that spilled to the cold group (or vice versa)
+    /// because the preferred group was full.
+    pub spills: u64,
+    /// Times the hot group grew by one server.
+    pub hot_group_growth: u64,
+    /// Times the hot group shrank by one server.
+    pub hot_group_shrink: u64,
+    /// Times a server crossed the scheduler's wax-melted threshold
+    /// (either direction), as seen by its per-tick refresh.
+    pub wax_crossings: u64,
+    /// Idle hot-group servers kept on the warm list instead of released.
+    pub keep_warm: u64,
+}
+
+/// How a server's reported melt state changed between two ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MeltTransition {
+    /// The wax store crossed the reporting threshold upward.
+    BeganMelting,
+    /// The wax store refroze below the reporting threshold.
+    Refroze,
+}
+
+/// How a scheduler's hot group changed size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum HotGroupTransition {
+    /// The hot group added servers.
+    Grew,
+    /// The hot group released servers.
+    Shrank,
+}
+
+/// First line of every stream: what this run is.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunConfigEvent {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Policy label (e.g. `"vmt-wa(gv=8)"`).
+    pub policy: String,
+    /// Server count.
+    pub servers: u64,
+    /// Cores per server.
+    pub cores_per_server: u64,
+    /// Planned tick count.
+    pub ticks: u64,
+    /// Tick length in simulated seconds.
+    pub tick_seconds: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Physics worker threads.
+    pub threads: u64,
+    /// Whether servers carry a PCM (wax) store.
+    pub has_wax: bool,
+    /// Snapshot cadence in ticks.
+    pub snapshot_every_ticks: u64,
+}
+
+/// Periodic cluster state sample.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SnapshotEvent {
+    /// Tick this sample was taken at (1-based: after the tick ran).
+    pub tick: u64,
+    /// Simulated time in hours.
+    pub sim_hours: f64,
+    /// Jobs currently running.
+    pub jobs_in_flight: u64,
+    /// Core utilization across the cluster, 0..=1.
+    pub utilization: f64,
+    /// Mean air-at-wax temperature (deg C).
+    pub mean_air_c: f64,
+    /// Hottest server's air-at-wax temperature (deg C).
+    pub max_air_c: f64,
+    /// Fraction of servers whose wax reports melted, 0..=1 (0 without
+    /// wax).
+    pub melted_fraction: f64,
+    /// Current hot-group size, if the policy keeps one.
+    pub hot_group_size: Option<u64>,
+}
+
+/// A server's wax store crossed the melt-reporting threshold.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MeltEvent {
+    /// Tick the transition was observed at.
+    pub tick: u64,
+    /// Server index.
+    pub server: u64,
+    /// Direction of the crossing.
+    pub transition: MeltTransition,
+    /// The server's air-at-wax temperature at observation (deg C).
+    pub air_c: f64,
+    /// Servers currently reporting melted, after this transition.
+    pub melted_servers: u64,
+}
+
+/// The scheduler's hot group changed size.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HotGroupEvent {
+    /// Tick the change was observed at.
+    pub tick: u64,
+    /// Direction of the change.
+    pub transition: HotGroupTransition,
+    /// Size before the change.
+    pub previous: u64,
+    /// Size after the change.
+    pub current: u64,
+}
+
+/// Last line of every stream: run totals.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SummaryEvent {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Policy label.
+    pub policy: String,
+    /// Ticks executed.
+    pub ticks_run: u64,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+    /// Throughput (`ticks_run / wall_s`).
+    pub ticks_per_s: f64,
+    /// Successful placements over the run.
+    pub placements: u64,
+    /// Jobs that could not be placed anywhere.
+    pub dropped_jobs: u64,
+    /// Peak cluster cooling load (W).
+    pub peak_cooling_w: f64,
+    /// Peak cluster electrical load (W).
+    pub peak_electrical_w: f64,
+    /// Fraction of servers reporting melted at end of run.
+    pub final_melted_fraction: f64,
+    /// Per-phase wall-clock attribution.
+    pub phases: PhaseBreakdown,
+    /// Scheduler decision counters, when the policy reports them.
+    pub scheduler: Option<SchedulerCounters>,
+    /// Every metric registered during the run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// One line of the JSONL stream.
+// The `Summary` variant dwarfs the others, but events are built once
+// per emission and serialized immediately — never stored in bulk — and
+// boxing it would rely on `Box` support in the vendored serde derive.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Event {
+    /// Run configuration (always first).
+    RunConfig(RunConfigEvent),
+    /// Periodic cluster sample.
+    Snapshot(SnapshotEvent),
+    /// Wax melt-threshold crossing.
+    Melt(MeltEvent),
+    /// Hot-group size change.
+    HotGroup(HotGroupEvent),
+    /// Run totals (always last).
+    Summary(SummaryEvent),
+}
+
+impl Event {
+    /// The event's kind tag, as it appears as the JSON object key.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunConfig(_) => "RunConfig",
+            Event::Snapshot(_) => "Snapshot",
+            Event::Melt(_) => "Melt",
+            Event::HotGroup(_) => "HotGroup",
+            Event::Summary(_) => "Summary",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::RunConfig(RunConfigEvent {
+                schema_version: SCHEMA_VERSION,
+                policy: "vmt-wa(gv=8)".into(),
+                servers: 1000,
+                cores_per_server: 16,
+                ticks: 2880,
+                tick_seconds: 60.0,
+                seed: 42,
+                threads: 4,
+                has_wax: true,
+                snapshot_every_ticks: 60,
+            }),
+            Event::Snapshot(SnapshotEvent {
+                tick: 60,
+                sim_hours: 1.0,
+                jobs_in_flight: 512,
+                utilization: 0.4375,
+                mean_air_c: 31.5,
+                max_air_c: 41.25,
+                melted_fraction: 0.125,
+                hot_group_size: Some(125),
+            }),
+            Event::Melt(MeltEvent {
+                tick: 77,
+                server: 3,
+                transition: MeltTransition::BeganMelting,
+                air_c: 40.5,
+                melted_servers: 126,
+            }),
+            Event::HotGroup(HotGroupEvent {
+                tick: 120,
+                transition: HotGroupTransition::Grew,
+                previous: 125,
+                current: 126,
+            }),
+        ];
+        for event in events {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_with_nested_sections() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("scheduler.placements".into(), 9001);
+        metrics.gauges.insert("cluster.utilization".into(), 0.5);
+        let event = Event::Summary(SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "coolest-first".into(),
+            ticks_run: 2880,
+            wall_s: 1.5,
+            ticks_per_s: 1920.0,
+            placements: 9001,
+            dropped_jobs: 0,
+            peak_cooling_w: 250_000.0,
+            peak_electrical_w: 260_000.0,
+            final_melted_fraction: 0.25,
+            phases: PhaseBreakdown {
+                physics_s: 1.0,
+                total_s: 1.4,
+                ticks: 2880,
+                ..PhaseBreakdown::default()
+            },
+            scheduler: Some(SchedulerCounters {
+                placements: 9001,
+                hot_placements: 6000,
+                cold_placements: 3001,
+                ..SchedulerCounters::default()
+            }),
+            metrics,
+        });
+        let line = serde_json::to_string(&event).unwrap();
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn externally_tagged_layout_is_greppable() {
+        let line = serde_json::to_string(&Event::Melt(MeltEvent {
+            tick: 1,
+            server: 0,
+            transition: MeltTransition::Refroze,
+            air_c: 30.0,
+            melted_servers: 0,
+        }))
+        .unwrap();
+        assert!(line.starts_with("{\"Melt\":"), "got {line}");
+        assert!(line.contains("\"Refroze\""));
+    }
+
+    #[test]
+    fn missing_optional_fields_deserialize_to_none() {
+        let line = r#"{"Snapshot":{"tick":1,"sim_hours":0.01,"jobs_in_flight":0,"utilization":0.0,"mean_air_c":25.0,"max_air_c":25.0,"melted_fraction":0.0}}"#;
+        let back: Event = serde_json::from_str(line).unwrap();
+        match back {
+            Event::Snapshot(s) => assert_eq!(s.hot_group_size, None),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

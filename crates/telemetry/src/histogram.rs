@@ -1,0 +1,253 @@
+//! Fixed-bucket, lock-free histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A histogram over fixed bucket boundaries.
+///
+/// Buckets are defined by a sorted slice of inclusive upper bounds; a
+/// value `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`, and values above the last bound land in an implicit
+/// overflow bucket. The boundary layout is fixed at construction, so
+/// recording is a branch-free-ish linear probe over a handful of bounds
+/// plus one relaxed atomic increment — no locks, no allocation, safe to
+/// call from any thread.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_telemetry::Histogram;
+///
+/// let h = Histogram::with_buckets(vec![1.0, 10.0, 100.0]);
+/// h.record(0.5);
+/// h.record(10.0); // exactly on a bound -> that bucket (inclusive)
+/// h.record(1e9);  // overflow bucket
+/// let snap = h.snapshot();
+/// assert_eq!(snap.counts, vec![1, 1, 0, 1]);
+/// assert_eq!(snap.total, 3);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, sorted ascending.
+    bounds: Vec<f64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Running sum of recorded values (f64 bits, relaxed; used for the
+    /// mean in reports — small races in the read are acceptable there).
+    sum_bits: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending; `counts` has one extra
+    /// (overflow) entry.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of recorded values.
+    pub total: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, unsorted, or contains a non-finite
+    /// value — boundary layout bugs should fail loudly at registration,
+    /// not corrupt counts at record time.
+    pub fn with_buckets(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Exponential bounds `start, start*factor, ...` (`count` of them) —
+    /// the usual layout for latency-style quantities.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Self::with_buckets(bounds)
+    }
+
+    /// Index of the bucket `value` falls into (`bounds.len()` for
+    /// overflow). NaN counts as overflow.
+    pub fn bucket_for(&self, value: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// Records one value. Lock-free: one relaxed increment plus a
+    /// relaxed compare-exchange loop for the running sum.
+    pub fn record(&self, value: f64) {
+        let idx = self.bucket_for(value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Copies out the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            total,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0..=1);
+    /// `f64::INFINITY` when it lands in the overflow bucket, 0 when
+    /// empty. Coarse by construction — resolution is the bucket layout.
+    pub fn quantile_bound(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_on_boundaries_are_inclusive() {
+        let h = Histogram::with_buckets(vec![1.0, 2.0, 4.0]);
+        // Exactly on each bound -> that bucket, not the next.
+        h.record(1.0);
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.snapshot().counts, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn below_first_and_above_last() {
+        let h = Histogram::with_buckets(vec![10.0, 20.0]);
+        h.record(-5.0); // below first bound -> first bucket
+        h.record(20.000001); // just past the last bound -> overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 0, 1]);
+        assert_eq!(s.total, 2);
+    }
+
+    #[test]
+    fn interior_values_pick_the_right_bucket() {
+        let h = Histogram::with_buckets(vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(h.bucket_for(0.5), 0);
+        assert_eq!(h.bucket_for(1.5), 1);
+        assert_eq!(h.bucket_for(3.999), 2);
+        assert_eq!(h.bucket_for(7.0), 3);
+        assert_eq!(h.bucket_for(9.0), 4);
+        assert_eq!(h.bucket_for(f64::NAN), 4);
+    }
+
+    #[test]
+    fn exponential_layout() {
+        let h = Histogram::exponential(1.0, 2.0, 4);
+        let s = h.snapshot();
+        assert_eq!(s.bounds, vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(s.counts.len(), 5);
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let h = Histogram::with_buckets(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 0.5, 5.0, 50.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!((s.mean() - 14.0).abs() < 1e-12);
+        assert_eq!(s.quantile_bound(0.5), 1.0);
+        assert_eq!(s.quantile_bound(1.0), 100.0);
+        h.record(1e9);
+        assert_eq!(h.snapshot().quantile_bound(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Histogram::with_buckets(vec![1.0]).snapshot();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile_bound(0.99), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_bounds() {
+        Histogram::with_buckets(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = std::sync::Arc::new(Histogram::with_buckets(vec![10.0, 100.0]));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 37 + i) as f64 % 150.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().total, 4000);
+    }
+}

@@ -1,0 +1,51 @@
+//! Zero-cost-when-disabled observability for the VMT simulator stack.
+//!
+//! The simulator's hot loop places millions of jobs per simulated day;
+//! an observability layer must therefore cost *nothing* when it is off
+//! and stay off the allocator and out of locks when it is on. This crate
+//! provides four pieces, each usable on its own:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
+//!   histograms. Handles are `Arc`-backed atomics: recording is a single
+//!   relaxed atomic op (lock-free), registration (cold path) takes a
+//!   mutex once. The registry is cloneable; every clone shares the same
+//!   metrics, so a bench harness can keep a handle and read what the
+//!   engine recorded after a run.
+//! * [`PhaseProfiler`] — wall-clock attribution of each simulation tick
+//!   to its phases (departures, scheduler refresh, placement, physics
+//!   sweep, shard fold, metric recording). Accumulates plain `u64`
+//!   nanoseconds owned by the engine thread — no atomics, no allocation —
+//!   and folds into a serializable [`PhaseBreakdown`].
+//! * [`Event`] + [`EventSink`] — a structured JSONL event stream (run
+//!   config, periodic snapshots, melt and hot-group transitions, final
+//!   summary) behind a buffered, shareable writer.
+//! * [`ProgressMeter`] + [`render_report`] — live progress on stderr
+//!   (ticks/s, ETA, jobs in flight, % wax melted) and a human-readable
+//!   end-of-run report.
+//!
+//! The engine holds the whole stack as an `Option<TelemetryConfig>`:
+//! when `None` (the default), not a single `Instant::now()` is taken and
+//! the simulation loop is byte-for-byte the uninstrumented one, which is
+//! what keeps the differential tests bit-identical and the disabled-path
+//! overhead at zero.
+
+mod config;
+mod events;
+mod histogram;
+mod phases;
+mod progress;
+mod registry;
+mod report;
+mod sink;
+
+pub use config::{SummaryHandle, TelemetryConfig};
+pub use events::{
+    Event, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition, RunConfigEvent,
+    SchedulerCounters, SnapshotEvent, SummaryEvent, SCHEMA_VERSION,
+};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use phases::{PhaseBreakdown, PhaseProfiler, TickPhase};
+pub use progress::{ProgressFrame, ProgressMeter};
+pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use report::render_report;
+pub use sink::{validate_stream, EventSink, SharedBuffer, StreamSummary};

@@ -1,0 +1,173 @@
+//! Live run progress (ticks/s, ETA, jobs in flight, % wax melted).
+
+use std::time::Instant;
+
+/// One rendered progress sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressFrame {
+    /// Ticks completed.
+    pub tick: u64,
+    /// Planned tick count.
+    pub total_ticks: u64,
+    /// Fraction done, 0..=1.
+    pub fraction: f64,
+    /// Smoothed-over-the-whole-run throughput.
+    pub ticks_per_s: f64,
+    /// Estimated seconds to completion (0 when throughput is unknown).
+    pub eta_s: f64,
+    /// Jobs currently running.
+    pub jobs_in_flight: u64,
+    /// Fraction of servers reporting melted wax, 0..=1.
+    pub melted_fraction: f64,
+}
+
+impl ProgressFrame {
+    /// Computes a frame from raw observations. Split out from the meter
+    /// so it is testable without waiting on a wall clock.
+    pub fn compute(
+        tick: u64,
+        total_ticks: u64,
+        elapsed_s: f64,
+        jobs_in_flight: u64,
+        melted_fraction: f64,
+    ) -> Self {
+        let ticks_per_s = if elapsed_s > 0.0 {
+            tick as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let remaining = total_ticks.saturating_sub(tick);
+        let eta_s = if ticks_per_s > 0.0 {
+            remaining as f64 / ticks_per_s
+        } else {
+            0.0
+        };
+        let fraction = if total_ticks == 0 {
+            1.0
+        } else {
+            tick as f64 / total_ticks as f64
+        };
+        Self {
+            tick,
+            total_ticks,
+            fraction,
+            ticks_per_s,
+            eta_s,
+            jobs_in_flight,
+            melted_fraction,
+        }
+    }
+
+    /// One-line rendering, suitable for `\r`-overwriting on stderr:
+    /// `[ 42%] tick 1210/2880 | 1930 ticks/s | ETA 1s | 512 jobs | 12.5% melted`.
+    pub fn render(&self) -> String {
+        format!(
+            "[{:3.0}%] tick {}/{} | {:.0} ticks/s | ETA {} | {} jobs | {:.1}% melted",
+            self.fraction * 100.0,
+            self.tick,
+            self.total_ticks,
+            self.ticks_per_s,
+            render_eta(self.eta_s),
+            self.jobs_in_flight,
+            self.melted_fraction * 100.0,
+        )
+    }
+}
+
+fn render_eta(eta_s: f64) -> String {
+    let s = eta_s.round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+/// Throttles progress sampling to one frame per `every_ticks`.
+///
+/// The wall clock starts at construction, so build the meter right
+/// before the run loop.
+#[derive(Debug)]
+pub struct ProgressMeter {
+    total_ticks: u64,
+    every_ticks: u64,
+    started: Instant,
+}
+
+impl ProgressMeter {
+    /// Creates a meter for a run of `total_ticks`, sampling every
+    /// `every_ticks` (clamped to at least 1).
+    pub fn new(total_ticks: u64, every_ticks: u64) -> Self {
+        Self {
+            total_ticks,
+            every_ticks: every_ticks.max(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// Returns a frame when `tick` lands on the sampling cadence (or is
+    /// the final tick), `None` otherwise.
+    pub fn observe(
+        &self,
+        tick: u64,
+        jobs_in_flight: u64,
+        melted_fraction: f64,
+    ) -> Option<ProgressFrame> {
+        if !tick.is_multiple_of(self.every_ticks) && tick != self.total_ticks {
+            return None;
+        }
+        Some(ProgressFrame::compute(
+            tick,
+            self.total_ticks,
+            self.started.elapsed().as_secs_f64(),
+            jobs_in_flight,
+            melted_fraction,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_math() {
+        let f = ProgressFrame::compute(100, 400, 2.0, 7, 0.25);
+        assert_eq!(f.ticks_per_s, 50.0);
+        assert_eq!(f.eta_s, 6.0);
+        assert_eq!(f.fraction, 0.25);
+        let line = f.render();
+        assert!(line.contains("tick 100/400"), "got: {line}");
+        assert!(line.contains("50 ticks/s"), "got: {line}");
+        assert!(line.contains("ETA 6s"), "got: {line}");
+        assert!(line.contains("7 jobs"), "got: {line}");
+        assert!(line.contains("25.0% melted"), "got: {line}");
+    }
+
+    #[test]
+    fn zero_elapsed_and_zero_total_do_not_divide_by_zero() {
+        let f = ProgressFrame::compute(0, 0, 0.0, 0, 0.0);
+        assert_eq!(f.ticks_per_s, 0.0);
+        assert_eq!(f.eta_s, 0.0);
+        assert_eq!(f.fraction, 1.0);
+    }
+
+    #[test]
+    fn eta_renders_minutes_and_hours() {
+        assert_eq!(render_eta(59.0), "59s");
+        assert_eq!(render_eta(61.0), "1m01s");
+        assert_eq!(render_eta(3725.0), "1h02m");
+    }
+
+    #[test]
+    fn meter_throttles_to_cadence() {
+        let meter = ProgressMeter::new(10, 4);
+        assert!(meter.observe(1, 0, 0.0).is_none());
+        assert!(meter.observe(4, 0, 0.0).is_some());
+        assert!(meter.observe(9, 0, 0.0).is_none());
+        // The final tick always yields a frame.
+        assert!(meter.observe(10, 0, 0.0).is_some());
+    }
+}

@@ -1,0 +1,262 @@
+//! The lock-free-in-the-hot-path metrics registry.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning is cheap (`Arc`); incrementing is one relaxed atomic add —
+/// no lock is ever taken on the record path.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (stores `f64` bits in an atomic, so
+/// writes are lock-free and tear-free).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Registration (`counter(name)`, `gauge(name)`, `histogram(name, ..)`)
+/// takes a mutex and possibly allocates — do it once, outside the hot
+/// loop — and returns a cheap handle whose record operations are all
+/// single relaxed atomics. Clones of the registry share the same
+/// metrics, so the component that wires up a simulation can keep a clone
+/// and read everything back after the run.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let placements = registry.counter("scheduler.placements");
+/// placements.inc();
+/// placements.add(2);
+/// assert_eq!(registry.snapshot().counters["scheduler.placements"], 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<HashMap<String, Metric>>>,
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: HashMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: HashMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: HashMap<String, HistogramSnapshot>,
+}
+
+/// One metric's value, as returned by [`MetricsRegistry::get`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's current state.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` (inclusive upper bucket bounds) on first use. Later
+    /// callers get the existing histogram; the bounds argument is only
+    /// used on creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if `bounds` is invalid (see [`Histogram::with_buckets`]).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics.entry(name.to_owned()).or_insert_with(|| {
+            Metric::Histogram(Arc::new(Histogram::with_buckets(bounds.to_vec())))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Reads one metric by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        metrics.get(name).map(|m| match m {
+            Metric::Counter(c) => MetricValue::Counter(c.get()),
+            Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+            Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        })
+    }
+
+    /// Copies out every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_clones() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x");
+        let b = registry.clone().counter("x");
+        a.inc();
+        b.add(10);
+        assert_eq!(registry.get("x"), Some(MetricValue::Counter(11)));
+    }
+
+    #[test]
+    fn gauge_last_value_wins() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("temp");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_registration_reuses_bounds() {
+        let registry = MetricsRegistry::new();
+        let h1 = registry.histogram("lat", &[1.0, 2.0]);
+        h1.record(0.5);
+        // Second registration ignores the new bounds and returns the
+        // same histogram.
+        let h2 = registry.histogram("lat", &[100.0]);
+        h2.record(1.5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["lat"].counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("x");
+        registry.counter("x");
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("n");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,186 @@
+//! The human-readable end-of-run report.
+
+use crate::events::SummaryEvent;
+use std::fmt::Write as _;
+
+/// Renders a [`SummaryEvent`] as a multi-line report for humans — the
+/// counterpart of the machine-readable JSONL summary line.
+pub fn render_report(summary: &SummaryEvent) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== run report: {} ===", summary.policy);
+    let _ = writeln!(
+        out,
+        "ticks        {} in {:.2}s wall ({:.0} ticks/s)",
+        summary.ticks_run, summary.wall_s, summary.ticks_per_s
+    );
+    let _ = writeln!(
+        out,
+        "jobs         {} placed, {} dropped",
+        summary.placements, summary.dropped_jobs
+    );
+    let _ = writeln!(
+        out,
+        "peaks        cooling {:.1} kW, electrical {:.1} kW",
+        summary.peak_cooling_w / 1e3,
+        summary.peak_electrical_w / 1e3
+    );
+    let _ = writeln!(
+        out,
+        "wax          {:.1}% of servers melted at end of run",
+        summary.final_melted_fraction * 100.0
+    );
+
+    let phases = &summary.phases;
+    if phases.ticks > 0 {
+        let _ = writeln!(out, "--- tick phases ({} ticks) ---", phases.ticks);
+        let total = phases.total_s.max(f64::MIN_POSITIVE);
+        for (label, seconds) in phases.rows() {
+            let _ = writeln!(
+                out,
+                "  {label:<14} {seconds:>8.3}s  {:>5.1}%",
+                seconds / total * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8.3}s  (inside physics)",
+            "fold", phases.fold_s
+        );
+        let _ = writeln!(
+            out,
+            "  phase coverage {:.1}% of {:.3}s measured tick time",
+            phases.coverage() * 100.0,
+            phases.total_s
+        );
+    }
+
+    if let Some(s) = &summary.scheduler {
+        let _ = writeln!(out, "--- scheduler ---");
+        let _ = writeln!(
+            out,
+            "  placements {} (hot {}, cold {}, spills {})",
+            s.placements, s.hot_placements, s.cold_placements, s.spills
+        );
+        let _ = writeln!(
+            out,
+            "  hot group  +{} / -{} resizes, {} kept warm",
+            s.hot_group_growth, s.hot_group_shrink, s.keep_warm
+        );
+        let _ = writeln!(out, "  wax        {} threshold crossings", s.wax_crossings);
+    }
+
+    let metrics = &summary.metrics;
+    if !metrics.counters.is_empty() || !metrics.gauges.is_empty() || !metrics.histograms.is_empty()
+    {
+        let _ = writeln!(out, "--- metrics ---");
+        let mut names: Vec<&String> = metrics.counters.keys().collect();
+        names.sort();
+        for name in names {
+            let _ = writeln!(out, "  {name} = {}", metrics.counters[name]);
+        }
+        let mut names: Vec<&String> = metrics.gauges.keys().collect();
+        names.sort();
+        for name in names {
+            let _ = writeln!(out, "  {name} = {:.4}", metrics.gauges[name]);
+        }
+        let mut names: Vec<&String> = metrics.histograms.keys().collect();
+        names.sort();
+        for name in names {
+            let h = &metrics.histograms[name];
+            let _ = writeln!(
+                out,
+                "  {name}: n={} mean={:.3} p50<={} p99<={}",
+                h.total,
+                h.mean(),
+                h.quantile_bound(0.50),
+                h.quantile_bound(0.99)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{SchedulerCounters, SCHEMA_VERSION};
+    use crate::phases::PhaseBreakdown;
+    use crate::registry::MetricsSnapshot;
+
+    #[test]
+    fn report_covers_every_section() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("engine.melt_events".into(), 4);
+        metrics.gauges.insert("cluster.utilization".into(), 0.5);
+        let summary = SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "vmt-wa(gv=8)".into(),
+            ticks_run: 2880,
+            wall_s: 2.0,
+            ticks_per_s: 1440.0,
+            placements: 100,
+            dropped_jobs: 1,
+            peak_cooling_w: 250_000.0,
+            peak_electrical_w: 260_000.0,
+            final_melted_fraction: 0.125,
+            phases: PhaseBreakdown {
+                physics_s: 1.2,
+                placement_s: 0.4,
+                fold_s: 0.1,
+                total_s: 1.8,
+                ticks: 2880,
+                ..PhaseBreakdown::default()
+            },
+            scheduler: Some(SchedulerCounters {
+                placements: 100,
+                hot_placements: 70,
+                cold_placements: 30,
+                hot_group_growth: 3,
+                ..SchedulerCounters::default()
+            }),
+            metrics,
+        };
+        let report = render_report(&summary);
+        for needle in [
+            "run report: vmt-wa(gv=8)",
+            "2880 in 2.00s wall (1440 ticks/s)",
+            "100 placed, 1 dropped",
+            "cooling 250.0 kW",
+            "12.5% of servers melted",
+            "tick phases (2880 ticks)",
+            "physics",
+            "phase coverage",
+            "hot 70, cold 30",
+            "engine.melt_events = 4",
+            "cluster.utilization = 0.5000",
+        ] {
+            assert!(
+                report.contains(needle),
+                "report missing {needle:?}:\n{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let summary = SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "round-robin".into(),
+            ticks_run: 1,
+            wall_s: 0.0,
+            ticks_per_s: 0.0,
+            placements: 0,
+            dropped_jobs: 0,
+            peak_cooling_w: 0.0,
+            peak_electrical_w: 0.0,
+            final_melted_fraction: 0.0,
+            phases: PhaseBreakdown::default(),
+            scheduler: None,
+            metrics: MetricsSnapshot::default(),
+        };
+        let report = render_report(&summary);
+        assert!(!report.contains("scheduler"));
+        assert!(!report.contains("metrics"));
+        assert!(!report.contains("tick phases"));
+    }
+}

@@ -1,0 +1,336 @@
+//! JSONL event sinks and stream validation.
+
+use crate::events::{Event, RunConfigEvent, SummaryEvent};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An in-memory byte buffer shareable across the sink and the test that
+/// inspects it (the engine consumes its sink; a clone of the buffer is
+/// how the caller reads the stream back afterwards).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies the buffered bytes out as a string (the stream is JSONL,
+    /// so it is always valid UTF-8).
+    pub fn contents(&self) -> String {
+        let bytes = self.0.lock().expect("shared buffer poisoned");
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A line-per-event JSONL writer.
+///
+/// Emission happens at most a handful of times per tick (snapshots and
+/// transition events), never per job, so a buffered write behind a mutex
+/// is fine here — the hot path is the metrics registry, not the sink.
+/// I/O errors after construction are counted, not propagated: a failing
+/// disk must not abort a multi-hour simulation.
+pub struct EventSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    events_written: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field(
+                "events_written",
+                &self.events_written.load(Ordering::Relaxed),
+            )
+            .field("write_errors", &self.write_errors.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// Wraps an arbitrary writer.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            writer: Mutex::new(BufWriter::new(writer)),
+            events_written: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams events to it.
+    pub fn to_file(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// Streams events into a [`SharedBuffer`] clone.
+    pub fn to_shared_buffer(buffer: &SharedBuffer) -> Self {
+        Self::to_writer(Box::new(buffer.clone()))
+    }
+
+    /// Serializes `event` and writes it as one line.
+    pub fn emit(&self, event: &Event) {
+        let line = serde_json::to_string(event).expect("telemetry events always serialize");
+        let mut writer = self.writer.lock().expect("event sink poisoned");
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .is_ok();
+        if ok {
+            self.events_written.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) {
+        let mut writer = self.writer.lock().expect("event sink poisoned");
+        if writer.flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.events_written.load(Ordering::Relaxed)
+    }
+
+    /// Writes that failed (disk full, closed pipe, ...).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for EventSink {
+    fn drop(&mut self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// What [`validate_stream`] found in a well-formed stream.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Total event lines.
+    pub events: u64,
+    /// `Snapshot` lines.
+    pub snapshots: u64,
+    /// `Melt` lines.
+    pub melts: u64,
+    /// `HotGroup` lines.
+    pub hot_group_events: u64,
+    /// The leading `RunConfig` event.
+    pub run_config: RunConfigEvent,
+    /// The trailing `Summary` event.
+    pub summary: SummaryEvent,
+}
+
+/// Parses a JSONL stream and checks its shape: every line is a valid
+/// [`Event`], the first is `RunConfig`, the last is `Summary`, and both
+/// carry a schema version this crate understands.
+pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
+    let mut events = 0u64;
+    let mut snapshots = 0u64;
+    let mut melts = 0u64;
+    let mut hot_group_events = 0u64;
+    let mut run_config: Option<RunConfigEvent> = None;
+    let mut summary: Option<SummaryEvent> = None;
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: Event = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not a valid event: {e:?}", lineno + 1))?;
+        if summary.is_some() {
+            return Err(format!("line {}: event after Summary", lineno + 1));
+        }
+        match (&event, events) {
+            (Event::RunConfig(_), 0) => {}
+            (_, 0) => {
+                return Err(format!(
+                    "first event is {}, expected RunConfig",
+                    event.kind()
+                ))
+            }
+            (Event::RunConfig(_), _) => {
+                return Err(format!("line {}: duplicate RunConfig", lineno + 1))
+            }
+            _ => {}
+        }
+        events += 1;
+        match event {
+            Event::RunConfig(c) => {
+                if c.schema_version != crate::events::SCHEMA_VERSION {
+                    return Err(format!(
+                        "unsupported schema version {} (expected {})",
+                        c.schema_version,
+                        crate::events::SCHEMA_VERSION
+                    ));
+                }
+                run_config = Some(c);
+            }
+            Event::Snapshot(_) => snapshots += 1,
+            Event::Melt(_) => melts += 1,
+            Event::HotGroup(_) => hot_group_events += 1,
+            Event::Summary(s) => summary = Some(s),
+        }
+    }
+
+    let run_config = run_config.ok_or_else(|| "stream is empty".to_string())?;
+    let summary = summary.ok_or_else(|| "stream has no Summary event".to_string())?;
+    Ok(StreamSummary {
+        events,
+        snapshots,
+        melts,
+        hot_group_events,
+        run_config,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{SnapshotEvent, SCHEMA_VERSION};
+    use crate::phases::PhaseBreakdown;
+    use crate::registry::MetricsSnapshot;
+
+    fn config() -> RunConfigEvent {
+        RunConfigEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "round-robin".into(),
+            servers: 8,
+            cores_per_server: 16,
+            ticks: 10,
+            tick_seconds: 60.0,
+            seed: 1,
+            threads: 1,
+            has_wax: false,
+            snapshot_every_ticks: 5,
+        }
+    }
+
+    fn summary() -> SummaryEvent {
+        SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "round-robin".into(),
+            ticks_run: 10,
+            wall_s: 0.1,
+            ticks_per_s: 100.0,
+            placements: 5,
+            dropped_jobs: 0,
+            peak_cooling_w: 1000.0,
+            peak_electrical_w: 1000.0,
+            final_melted_fraction: 0.0,
+            phases: PhaseBreakdown::default(),
+            scheduler: None,
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    fn snapshot(tick: u64) -> SnapshotEvent {
+        SnapshotEvent {
+            tick,
+            sim_hours: tick as f64 / 60.0,
+            jobs_in_flight: 1,
+            utilization: 0.01,
+            mean_air_c: 25.0,
+            max_air_c: 26.0,
+            melted_fraction: 0.0,
+            hot_group_size: None,
+        }
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event_and_validates() {
+        let buffer = SharedBuffer::new();
+        let sink = EventSink::to_shared_buffer(&buffer);
+        sink.emit(&Event::RunConfig(config()));
+        sink.emit(&Event::Snapshot(snapshot(5)));
+        sink.emit(&Event::Snapshot(snapshot(10)));
+        sink.emit(&Event::Summary(summary()));
+        assert_eq!(sink.events_written(), 4);
+        assert_eq!(sink.write_errors(), 0);
+        drop(sink); // flushes
+
+        let text = buffer.contents();
+        assert_eq!(text.lines().count(), 4);
+        let stream = validate_stream(&text).unwrap();
+        assert_eq!(stream.events, 4);
+        assert_eq!(stream.snapshots, 2);
+        assert_eq!(stream.melts, 0);
+        assert_eq!(stream.run_config.policy, "round-robin");
+        assert_eq!(stream.summary.ticks_run, 10);
+    }
+
+    #[test]
+    fn stream_must_start_with_run_config() {
+        let line = serde_json::to_string(&Event::Summary(summary())).unwrap();
+        let err = validate_stream(&line).unwrap_err();
+        assert!(err.contains("expected RunConfig"), "got: {err}");
+    }
+
+    #[test]
+    fn stream_must_end_with_summary() {
+        let line = serde_json::to_string(&Event::RunConfig(config())).unwrap();
+        let err = validate_stream(&line).unwrap_err();
+        assert!(err.contains("no Summary"), "got: {err}");
+    }
+
+    #[test]
+    fn events_after_summary_are_rejected() {
+        let text = [
+            serde_json::to_string(&Event::RunConfig(config())).unwrap(),
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+            serde_json::to_string(&Event::Snapshot(snapshot(11))).unwrap(),
+        ]
+        .join("\n");
+        let err = validate_stream(&text).unwrap_err();
+        assert!(err.contains("after Summary"), "got: {err}");
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected_with_line_numbers() {
+        let text = format!(
+            "{}\nnot json\n",
+            serde_json::to_string(&Event::RunConfig(config())).unwrap()
+        );
+        let err = validate_stream(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("vmt-telemetry-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("run-{}.jsonl", std::process::id()));
+        let sink = EventSink::to_file(&path).unwrap();
+        sink.emit(&Event::RunConfig(config()));
+        sink.emit(&Event::Summary(summary()));
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(validate_stream(&text).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+}

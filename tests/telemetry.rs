@@ -1,0 +1,157 @@
+//! Telemetry integration tests: instrumentation must be observational.
+//!
+//! The contract is two-sided. With telemetry disabled the engine takes
+//! zero timestamps and allocates nothing extra — the differential tests
+//! in `tests/differential.rs` pin that path. With telemetry *enabled*,
+//! the simulation results must still be bit-identical to the
+//! uninstrumented run at every thread count: the instrumentation reads
+//! the simulation, never steers it. These tests pin the enabled side
+//! and the JSONL stream contract.
+
+use vmt_core::PolicyKind;
+use vmt_dcsim::{ClusterConfig, Simulation, SimulationResult, TelemetryConfig};
+use vmt_telemetry::{Event, SharedBuffer, SummaryHandle};
+use vmt_units::Hours;
+use vmt_workload::{DiurnalTrace, TraceConfig};
+
+const SERVERS: usize = 100;
+
+fn config(seed: u64, hours: f64) -> (ClusterConfig, TraceConfig) {
+    let mut cluster = ClusterConfig::paper_default(SERVERS);
+    cluster.seed = seed;
+    let mut trace = TraceConfig {
+        horizon: Hours::new(hours),
+        ..TraceConfig::paper_default()
+    };
+    trace.seed = trace.seed.wrapping_add(seed);
+    (cluster, trace)
+}
+
+fn run_plain(policy: PolicyKind, seed: u64, threads: usize) -> SimulationResult {
+    let (cluster, trace) = config(seed, 24.0);
+    let scheduler = policy.build(&cluster);
+    Simulation::new(cluster, DiurnalTrace::new(trace), scheduler)
+        .with_threads(threads)
+        .run()
+}
+
+fn run_instrumented(
+    policy: PolicyKind,
+    seed: u64,
+    threads: usize,
+    telemetry: TelemetryConfig,
+) -> SimulationResult {
+    let (cluster, trace) = config(seed, 24.0);
+    let scheduler = policy.build(&cluster);
+    Simulation::new(cluster, DiurnalTrace::new(trace), scheduler)
+        .with_threads(threads)
+        .with_telemetry(telemetry)
+        .run()
+}
+
+/// Enabling telemetry — registry, phase timing, and a live event sink —
+/// must not perturb the simulation by a single bit, at any thread count.
+#[test]
+fn telemetry_is_observationally_pure() {
+    for policy in [
+        PolicyKind::CoolestFirst,
+        PolicyKind::VmtTa { gv: 22.0 },
+        PolicyKind::vmt_wa(22.0),
+    ] {
+        for seed in [0u64, 42] {
+            let baseline = run_plain(policy, seed, 1);
+            for threads in [1usize, 4] {
+                let buffer = SharedBuffer::new();
+                let telemetry = TelemetryConfig::new()
+                    .with_sink(vmt_telemetry::EventSink::to_shared_buffer(&buffer));
+                let instrumented = run_instrumented(policy, seed, threads, telemetry);
+                assert_eq!(
+                    instrumented, baseline,
+                    "telemetry perturbed {policy:?} seed {seed} threads {threads}"
+                );
+                assert!(
+                    !buffer.contents().is_empty(),
+                    "sink saw no events for {policy:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The JSONL stream of an instrumented VMT-WA run is well-formed:
+/// `RunConfig` first, `Summary` last, at least one snapshot per
+/// simulated hour, and — at a grouping value that stresses the wax —
+/// melt and hot-group events in between.
+#[test]
+fn instrumented_stream_is_well_formed() {
+    let (cluster, trace) = config(0, 48.0);
+    // GV=14 undersizes the hot group so the 48 h diurnal trace forces
+    // both wax melt/freeze crossings and organic hot-group growth.
+    let policy = PolicyKind::vmt_wa(14.0);
+    let scheduler = policy.build(&cluster);
+    let buffer = SharedBuffer::new();
+    let telemetry =
+        TelemetryConfig::new().with_sink(vmt_telemetry::EventSink::to_shared_buffer(&buffer));
+    let ticks = cluster.ticks_for(Hours::new(48.0));
+    let result = Simulation::new(cluster, DiurnalTrace::new(trace), scheduler)
+        .with_telemetry(telemetry)
+        .run();
+
+    let text = buffer.contents();
+    let stream = vmt_telemetry::validate_stream(&text).expect("stream validates");
+    assert_eq!(stream.run_config.servers, SERVERS as u64);
+    assert_eq!(stream.run_config.policy, "vmt-wa");
+    assert_eq!(stream.run_config.ticks, ticks as u64);
+    assert!(
+        stream.snapshots >= 48,
+        "expected one snapshot per simulated hour, got {}",
+        stream.snapshots
+    );
+    assert!(stream.melts > 0, "no melt events over two diurnal peaks");
+    assert!(
+        stream.hot_group_events > 0,
+        "no hot-group events despite an undersized group"
+    );
+    assert_eq!(stream.summary.ticks_run, ticks as u64);
+    assert_eq!(stream.summary.placements, result.placements);
+    assert_eq!(stream.summary.dropped_jobs, result.dropped_jobs);
+
+    // Every line individually round-trips through the public Event type.
+    for line in text.lines() {
+        let event: Event = serde_json::from_str(line).expect("line parses");
+        let rewritten = serde_json::to_string(&event).expect("event serializes");
+        let reparsed: Event = serde_json::from_str(&rewritten).expect("round-trip parses");
+        assert_eq!(event, reparsed);
+    }
+}
+
+/// The end-of-run summary agrees with the `SimulationResult` and with
+/// the scheduler's own counters, and the phase spans account for the
+/// tick time they claim to measure.
+#[test]
+fn summary_agrees_with_result_and_counters() {
+    let policy = PolicyKind::vmt_wa(22.0);
+    let telemetry = TelemetryConfig::new();
+    let summary: SummaryHandle = telemetry.summary.clone();
+    let result = run_instrumented(policy, 0, 1, telemetry);
+    let summary = summary.get().expect("summary deposited");
+
+    assert_eq!(summary.policy, result.scheduler_name);
+    assert_eq!(summary.placements, result.placements);
+    assert_eq!(summary.dropped_jobs, result.dropped_jobs);
+    assert_eq!(summary.peak_cooling_w, result.cooling.peak().get());
+    let counters = summary.scheduler.expect("vmt-wa exposes counters");
+    assert_eq!(counters.placements, result.placements);
+    assert_eq!(
+        counters.hot_placements + counters.cold_placements,
+        counters.placements
+    );
+    assert!(
+        summary.phases.coverage() > 0.9,
+        "phase spans cover {:.1}% of tick time",
+        summary.phases.coverage() * 100.0
+    );
+    let report = vmt_telemetry::render_report(&summary);
+    assert!(report.contains("tick phases"));
+    assert!(report.contains(&result.scheduler_name));
+}
