@@ -84,23 +84,35 @@ impl PolicyKind {
         }
     }
 
-    /// Parses a policy by its scheduler name (`round-robin`,
-    /// `coolest-first`, `vmt-ta`, `vmt-wa`, `adaptive-gv`,
-    /// `vmt-preserve`), applying `gv` where the policy takes a grouping
-    /// value. Returns `None` for unknown names — CLI callers turn that
-    /// into a usage error.
-    pub fn parse(name: &str, gv: f64) -> Option<Self> {
+    /// Every name [`PolicyKind::parse`] accepts, in display order.
+    pub const NAMES: [&'static str; 6] = [
+        "round-robin",
+        "coolest-first",
+        "vmt-ta",
+        "vmt-wa",
+        "adaptive-gv",
+        "vmt-preserve",
+    ];
+
+    /// Parses a policy by its scheduler name (see [`PolicyKind::NAMES`]),
+    /// applying `gv` where the policy takes a grouping value. Unknown
+    /// names produce an error message that lists the valid choices —
+    /// CLI callers surface it verbatim as the usage error.
+    pub fn parse(name: &str, gv: f64) -> Result<Self, String> {
         match name {
-            "round-robin" => Some(PolicyKind::RoundRobin),
-            "coolest-first" => Some(PolicyKind::CoolestFirst),
-            "vmt-ta" => Some(PolicyKind::VmtTa { gv }),
-            "vmt-wa" => Some(PolicyKind::vmt_wa(gv)),
-            "adaptive-gv" => Some(PolicyKind::AdaptiveGv { start_gv: gv }),
-            "vmt-preserve" => Some(PolicyKind::Preserve {
+            "round-robin" => Ok(PolicyKind::RoundRobin),
+            "coolest-first" => Ok(PolicyKind::CoolestFirst),
+            "vmt-ta" => Ok(PolicyKind::VmtTa { gv }),
+            "vmt-wa" => Ok(PolicyKind::vmt_wa(gv)),
+            "adaptive-gv" => Ok(PolicyKind::AdaptiveGv { start_gv: gv }),
+            "vmt-preserve" => Ok(PolicyKind::Preserve {
                 gv,
                 engage_hour: 16.0,
             }),
-            _ => None,
+            _ => Err(format!(
+                "unknown policy `{name}` (valid policies: {})",
+                Self::NAMES.join(", ")
+            )),
         }
     }
 
@@ -148,17 +160,29 @@ mod tests {
     fn parses_scheduler_names() {
         assert_eq!(
             PolicyKind::parse("vmt-wa", 22.0),
-            Some(PolicyKind::vmt_wa(22.0))
+            Ok(PolicyKind::vmt_wa(22.0))
         );
         assert_eq!(
             PolicyKind::parse("vmt-ta", 18.0),
-            Some(PolicyKind::VmtTa { gv: 18.0 })
+            Ok(PolicyKind::VmtTa { gv: 18.0 })
         );
         assert_eq!(
             PolicyKind::parse("round-robin", 0.0),
-            Some(PolicyKind::RoundRobin)
+            Ok(PolicyKind::RoundRobin)
         );
-        assert_eq!(PolicyKind::parse("no-such-policy", 22.0), None);
+        // Every advertised name parses, and its built scheduler answers
+        // to the same name.
+        let cluster = ClusterConfig::paper_default(10);
+        for name in PolicyKind::NAMES {
+            let kind = PolicyKind::parse(name, 22.0).expect("advertised name parses");
+            assert_eq!(kind.build(&cluster).name(), name);
+        }
+        // The unknown-name error names every valid policy.
+        let err = PolicyKind::parse("no-such-policy", 22.0).unwrap_err();
+        assert!(err.contains("no-such-policy"), "got: {err}");
+        for name in PolicyKind::NAMES {
+            assert!(err.contains(name), "error must list `{name}`: {err}");
+        }
     }
 
     #[test]

@@ -155,8 +155,9 @@ impl Simulation {
         let mut melt_heatmap = temp_heatmap.clone();
         let mut dropped_jobs = 0u64;
         let mut placements = 0u64;
+        let cores_per_server = self.farm.cores();
         let mut telemetry = self.telemetry.take().map(|config| {
-            let tel = EngineTelemetry::new(config, num_servers, ticks as u64);
+            let tel = EngineTelemetry::new(config, num_servers, cores_per_server, ticks as u64);
             tel.emit_run_config(
                 self.scheduler.name(),
                 &self.config,
@@ -188,13 +189,19 @@ impl Simulation {
                 }
             }
             lap!(Inlet);
-            self.process_departures(t as u64);
+            self.process_departures(t as u64, telemetry.as_mut());
             lap!(Departures);
             self.scheduler.on_tick_indexed(&self.farm, &self.index, now);
             lap!(SchedulerTick);
             let placed_before = placements;
             let dropped_before = dropped_jobs;
-            self.plan_and_place(t as u64, now_hours, &mut placements, &mut dropped_jobs);
+            self.plan_and_place(
+                t as u64,
+                now_hours,
+                &mut placements,
+                &mut dropped_jobs,
+                telemetry.as_mut(),
+            );
             lap!(Placement);
 
             // Physics tick and metric accumulation in one sharded sweep
@@ -249,6 +256,7 @@ impl Simulation {
                     hot_size,
                     placements - placed_before,
                     dropped_jobs - dropped_before,
+                    self.scheduler.counters(),
                 );
             }
             lap!(Record);
@@ -285,11 +293,14 @@ impl Simulation {
     }
 
     /// Ends every job whose departure tick has arrived.
-    fn process_departures(&mut self, tick: u64) {
+    fn process_departures(&mut self, tick: u64, mut telemetry: Option<&mut EngineTelemetry>) {
         for (job, server) in std::mem::take(&mut self.departures[tick as usize]) {
             let kind = self.farm.end_job(server as usize, job);
             self.occupancy[kind.index()] -= 1;
             self.index.record_end(server as usize);
+            if let Some(tel) = telemetry.as_deref_mut() {
+                tel.record_departure(tick, job.0, server);
+            }
         }
     }
 
@@ -300,6 +311,7 @@ impl Simulation {
         now_hours: Hours,
         placements: &mut u64,
         dropped: &mut u64,
+        mut telemetry: Option<&mut EngineTelemetry>,
     ) {
         let total_cores = self.config.total_cores();
         // Plan all workloads first, then interleave the batches so that
@@ -347,8 +359,22 @@ impl Simulation {
                         self.departures[when].push((id, sid.0 as u32));
                     }
                     *placements += 1;
+                    if let Some(tel) = telemetry.as_deref_mut() {
+                        tel.record_placement(
+                            tick,
+                            id.0,
+                            sid.0 as u32,
+                            spec.kind.index() as u8,
+                            duration_ticks as u32,
+                        );
+                    }
                 }
-                None => *dropped += 1,
+                None => {
+                    *dropped += 1;
+                    if let Some(tel) = telemetry.as_deref_mut() {
+                        tel.record_drop(tick, id.0, spec.kind.index() as u8);
+                    }
+                }
             }
         }
         self.interleaved = interleaved;

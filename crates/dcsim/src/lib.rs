@@ -47,6 +47,7 @@ mod engine;
 mod farm;
 mod index;
 mod metrics;
+mod replay;
 mod scheduler;
 mod server;
 mod telemetry;
@@ -57,9 +58,13 @@ pub use engine::Simulation;
 pub use farm::{default_tick_threads, FarmTickTotals, ServerFarm, SweepTiming, SHARD};
 pub use index::ClusterIndex;
 pub use metrics::{Heatmap, SimulationResult};
+pub use replay::{
+    digest_final_state, digest_index, RecordingScheduler, ReplayHandle, ReplayScheduler,
+    TraceHandle,
+};
 pub use scheduler::{FirstFit, Scheduler};
 pub use server::{Server, ServerId};
 pub use topology::{PlacementMap, RackId, RackLayout, RackPowerStats};
 /// Re-exported so downstream crates can attach telemetry without a
 /// direct `vmt-telemetry` dependency.
-pub use vmt_telemetry::{SummaryHandle, TelemetryConfig};
+pub use vmt_telemetry::{FlightConfig, SummaryHandle, TelemetryConfig};

@@ -15,13 +15,15 @@
 use crate::config::ClusterConfig;
 use crate::farm::ServerFarm;
 use crate::index::ClusterIndex;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vmt_pcm::{MeltDirection, MELT_EVENT_THRESHOLD};
 use vmt_telemetry::{
-    Counter, Event, Gauge, Histogram, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition,
-    PhaseProfiler, ProgressMeter, RunConfigEvent, SchedulerCounters, SnapshotEvent, SummaryEvent,
-    TelemetryConfig, SCHEMA_VERSION,
+    AnomalyEvent, Counter, Event, FlightConfig, FlightRecorder, Gauge, Histogram, HotGroupEvent,
+    HotGroupTransition, MeltEvent, MeltTransition, PhaseProfiler, ProgressMeter, RunConfigEvent,
+    SchedulerCounters, SnapshotEvent, SummaryEvent, TelemetryConfig, TickState, TraceRecord,
+    WatchdogSet, SCHEMA_VERSION,
 };
 
 /// Bucket bounds for the arrivals-per-tick histogram: powers of two up
@@ -75,11 +77,23 @@ pub(crate) struct EngineTelemetry {
     melted: Vec<bool>,
     melted_count: u64,
     last_hot_size: Option<u64>,
+    /// The flight ring, when [`FlightConfig`] armed one.
+    recorder: Option<FlightRecorder>,
+    /// Dump destinations for the armed ring.
+    flight: Option<FlightConfig>,
+    /// Watchdog-triggered dump files written so far.
+    anomaly_dumps: usize,
+    /// Armed anomaly detectors, when the config listed any.
+    watchdogs: Option<WatchdogSet>,
+    /// Scheduler spill total as of the previous tick (for deltas).
+    last_spills: u64,
+    cores_per_server: u32,
     ticks: Counter,
     placements: Counter,
     dropped: Counter,
     melt_events: Counter,
     hot_group_events: Counter,
+    anomaly_events: Counter,
     utilization: Gauge,
     mean_air_c: Gauge,
     max_air_c: Gauge,
@@ -87,15 +101,29 @@ pub(crate) struct EngineTelemetry {
     tick_arrivals: Arc<Histogram>,
 }
 
+/// `<base>.anomaly<n>` — sibling path for the n-th watchdog dump.
+fn anomaly_dump_path(base: &Path, n: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_owned();
+    os.push(format!(".anomaly{n}"));
+    PathBuf::from(os)
+}
+
 impl EngineTelemetry {
-    /// Registers the engine's metrics and arms the progress meter.
-    pub(crate) fn new(config: TelemetryConfig, num_servers: usize, total_ticks: u64) -> Self {
+    /// Registers the engine's metrics and arms the progress meter,
+    /// flight recorder, and watchdogs.
+    pub(crate) fn new(
+        mut config: TelemetryConfig,
+        num_servers: usize,
+        cores_per_server: u32,
+        total_ticks: u64,
+    ) -> Self {
         let registry = &config.registry;
         let ticks = registry.counter("engine.ticks");
         let placements = registry.counter("engine.placements");
         let dropped = registry.counter("engine.dropped_jobs");
         let melt_events = registry.counter("engine.melt_events");
         let hot_group_events = registry.counter("engine.hot_group_events");
+        let anomaly_events = registry.counter("engine.anomaly_events");
         let utilization = registry.gauge("cluster.utilization");
         let mean_air_c = registry.gauge("cluster.mean_air_c");
         let max_air_c = registry.gauge("cluster.max_air_c");
@@ -104,6 +132,12 @@ impl EngineTelemetry {
         let progress = config
             .progress_every_ticks
             .map(|every| ProgressMeter::new(total_ticks, every));
+        let flight = config.flight.take();
+        let recorder = flight
+            .as_ref()
+            .map(|f| FlightRecorder::with_capacity(f.capacity));
+        let specs = std::mem::take(&mut config.watchdogs);
+        let watchdogs = (!specs.is_empty()).then(|| WatchdogSet::new(specs, num_servers));
         Self {
             config,
             profiler: PhaseProfiler::new(),
@@ -113,16 +147,85 @@ impl EngineTelemetry {
             melted: vec![false; num_servers],
             melted_count: 0,
             last_hot_size: None,
+            recorder,
+            flight,
+            anomaly_dumps: 0,
+            watchdogs,
+            last_spills: 0,
+            cores_per_server,
             ticks,
             placements,
             dropped,
             melt_events,
             hot_group_events,
+            anomaly_events,
             utilization,
             mean_air_c,
             max_air_c,
             melted_fraction,
             tick_arrivals,
+        }
+    }
+
+    /// Records a job placement into the flight ring. No-op when the
+    /// ring is not armed.
+    #[inline]
+    pub(crate) fn record_placement(
+        &mut self,
+        tick: u64,
+        job: u64,
+        server: u32,
+        kind: u8,
+        duration_ticks: u32,
+    ) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(TraceRecord::JobPlaced {
+                tick,
+                job,
+                server,
+                kind,
+                duration_ticks,
+            });
+        }
+    }
+
+    /// Records a dropped job into the flight ring.
+    #[inline]
+    pub(crate) fn record_drop(&mut self, tick: u64, job: u64, kind: u8) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(TraceRecord::JobDropped { tick, job, kind });
+        }
+    }
+
+    /// Records a job departure into the flight ring.
+    #[inline]
+    pub(crate) fn record_departure(&mut self, tick: u64, job: u64, server: u32) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(TraceRecord::JobDeparted { tick, job, server });
+        }
+    }
+
+    /// Writes a watchdog-triggered flight dump, capped by
+    /// [`FlightConfig::max_anomaly_dumps`].
+    fn dump_anomaly(&mut self, tick: u64, watchdog: vmt_telemetry::WatchdogKind) {
+        let Some(flight) = self.flight.as_ref() else {
+            return;
+        };
+        let Some(base) = flight.dump_path.as_deref() else {
+            return;
+        };
+        if self.anomaly_dumps >= flight.max_anomaly_dumps {
+            return;
+        }
+        let Some(rec) = self.recorder.as_ref() else {
+            return;
+        };
+        self.anomaly_dumps += 1;
+        let path = anomaly_dump_path(base, self.anomaly_dumps);
+        let written = std::fs::File::create(&path)
+            .and_then(|mut file| rec.dump_jsonl(&mut file, tick, Some(watchdog)));
+        if let Err(e) = written {
+            eprintln!("flight dump to {} failed: {e}", path.display());
         }
     }
 
@@ -162,6 +265,7 @@ impl EngineTelemetry {
         hot_size: Option<usize>,
         placed_delta: u64,
         dropped_delta: u64,
+        scheduler: Option<SchedulerCounters>,
     ) {
         self.ticks.inc();
         self.placements.add(placed_delta);
@@ -188,6 +292,14 @@ impl EngineTelemetry {
                 MeltDirection::Freezing => self.melted_count -= 1,
             }
             self.melt_events.inc();
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.push(TraceRecord::MeltCrossing {
+                    tick,
+                    server: i as u32,
+                    melting: matches!(direction, MeltDirection::Melting),
+                    air_c: air[i] as f32,
+                });
+            }
             if let Some(sink) = &self.config.sink {
                 sink.emit(&Event::Melt(MeltEvent {
                     tick,
@@ -214,6 +326,13 @@ impl EngineTelemetry {
         if hot != self.last_hot_size {
             if let (Some(previous), Some(current)) = (self.last_hot_size, hot) {
                 self.hot_group_events.inc();
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.push(TraceRecord::HotGroupResize {
+                        tick,
+                        previous: previous as u32,
+                        current: current as u32,
+                    });
+                }
                 if let Some(sink) = &self.config.sink {
                     sink.emit(&Event::HotGroup(HotGroupEvent {
                         tick,
@@ -228,6 +347,49 @@ impl EngineTelemetry {
                 }
             }
             self.last_hot_size = hot;
+        }
+
+        // Spill delta from the policy's cumulative counters; recorded
+        // into the flight ring and fed to the QoS-spill watchdog.
+        let spills_total = scheduler.map(|s| s.spills).unwrap_or(self.last_spills);
+        let spills_delta = spills_total.saturating_sub(self.last_spills);
+        self.last_spills = spills_total;
+        if spills_delta > 0 {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.push(TraceRecord::SchedulerSpill {
+                    tick,
+                    spills: spills_delta as u32,
+                });
+            }
+        }
+
+        // Watchdogs see only state this method already has in hand.
+        if let Some(watchdogs) = self.watchdogs.as_mut() {
+            let state = TickState {
+                tick,
+                air_c: index.air_c(),
+                reported_melt: index.reported_melt(),
+                free_cores: index.free_cores(),
+                cores_per_server: self.cores_per_server,
+                hot_group_size: hot,
+                spills_delta,
+            };
+            let fired: Vec<AnomalyEvent> = watchdogs.observe(&state).to_vec();
+            for event in &fired {
+                self.anomaly_events.inc();
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.push(TraceRecord::AnomalyMark {
+                        tick,
+                        watchdog: event.watchdog,
+                    });
+                }
+                if let Some(sink) = &self.config.sink {
+                    sink.emit(&Event::Anomaly(event.clone()));
+                }
+            }
+            if let Some(first) = fired.first() {
+                self.dump_anomaly(tick, first.watchdog);
+            }
         }
 
         if tick.is_multiple_of(self.config.snapshot_every_ticks) {
@@ -281,6 +443,29 @@ impl EngineTelemetry {
         } else {
             self.melted_count as f64 / self.melted.len() as f64
         };
+        // On-demand end-of-run dump (`--flight-dump` without an anomaly).
+        if let (Some(rec), Some(flight)) = (self.recorder.as_ref(), self.flight.as_ref()) {
+            if let Some(path) = flight.dump_path.as_deref() {
+                let written = std::fs::File::create(path)
+                    .and_then(|mut file| rec.dump_jsonl(&mut file, ticks_run, None));
+                if let Err(e) = written {
+                    eprintln!("flight dump to {} failed: {e}", path.display());
+                }
+            }
+        }
+        let anomalies = self
+            .watchdogs
+            .as_ref()
+            .map(WatchdogSet::anomalies_total)
+            .unwrap_or(0);
+        // Snapshot the error count before the summary's own write so the
+        // value describes the stream the summary closes.
+        let write_errors = self
+            .config
+            .sink
+            .as_ref()
+            .map(|sink| sink.write_errors())
+            .unwrap_or(0);
         let summary = SummaryEvent {
             schema_version: SCHEMA_VERSION,
             policy: policy.to_owned(),
@@ -296,6 +481,8 @@ impl EngineTelemetry {
             peak_cooling_w,
             peak_electrical_w,
             final_melted_fraction,
+            write_errors,
+            anomalies,
             phases: self.profiler.breakdown(),
             scheduler,
             metrics: self.config.registry.snapshot(),

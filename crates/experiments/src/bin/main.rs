@@ -7,7 +7,13 @@
 //! vmt-experiments run [--policy NAME] [--gv F] [--servers N] [--hours H]
 //!                     [--seed S] [--threads T] [--telemetry FILE]
 //!                     [--snapshot-every N] [--progress [N]]
+//!                     [--watchdogs] [--red-line C]
+//!                     [--flight-dump FILE] [--flight-capacity N]
+//! vmt-experiments record TRACE [--policy NAME] [--gv F] [--servers N]
+//!                     [--hours H] [--seed S] [--threads T]
+//! vmt-experiments replay TRACE [--until TICK] [--threads T]
 //! vmt-experiments check-telemetry FILE
+//! vmt-experiments check-flight FILE
 //! ```
 //!
 //! IDs: `table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -65,7 +71,10 @@ fn print_help() {
     println!("usage:");
     println!("  vmt-experiments <id|all> [--servers N] [--seeds K] [--threads T]");
     println!("  vmt-experiments run [options]");
+    println!("  vmt-experiments record TRACE [options]");
+    println!("  vmt-experiments replay TRACE [--until TICK] [--threads T]");
     println!("  vmt-experiments check-telemetry FILE");
+    println!("  vmt-experiments check-flight FILE");
     println!("  vmt-experiments --help");
     println!();
     println!("experiment ids:");
@@ -82,9 +91,25 @@ fn print_help() {
     println!("  --telemetry FILE     write a JSONL event stream to FILE");
     println!("  --snapshot-every N   snapshot cadence in ticks (default 60 = hourly)");
     println!("  --progress [N]       live progress line every N ticks (default 60)");
+    println!("  --watchdogs          arm the anomaly watchdogs (thermal red-line,");
+    println!("                       wax stall, QoS spill storm, hot-group thrash)");
+    println!("  --red-line C         thermal-violation red-line in deg C (default 45)");
+    println!("  --flight-dump FILE   arm the flight recorder; the end-of-run dump");
+    println!("                       goes to FILE, watchdog dumps to FILE.anomaly<N>");
+    println!("  --flight-capacity N  flight ring capacity in records (default 65536)");
+    println!();
+    println!("record writes the run's placement-decision trace to TRACE (same");
+    println!("  --policy/--gv/--servers/--hours/--seed options as run; servers");
+    println!("  default to 100 and hours to 24 to keep traces small).");
+    println!("replay re-drives a simulation from TRACE, bypassing the policy, and");
+    println!("  verifies per-tick state digests; --until TICK replays only the");
+    println!("  first TICK ticks to bisect a divergence. Exits 1 on divergence.");
     println!();
     println!("check-telemetry validates a JSONL stream written by `run --telemetry`:");
-    println!("  RunConfig first, Summary last, schema versions consistent.");
+    println!("  RunConfig first, Summary last, schema versions consistent; exits 1");
+    println!("  when the stream is invalid or the run recorded sink write errors.");
+    println!("check-flight validates a flight-recorder dump written by");
+    println!("  `run --flight-dump` (header line, records, tick ordering).");
 }
 
 /// Exits with a usage error (status 2).
@@ -95,8 +120,9 @@ fn die(message: &str) -> ! {
 }
 
 /// Strict `--flag value` parser: every argument must be a known flag,
-/// and every flag except `--progress` requires a value. Returns the
-/// flag→value map; exits with a usage error otherwise.
+/// and every flag except `--progress` and `--watchdogs` requires a
+/// value. Returns the flag→value map; exits with a usage error
+/// otherwise.
 fn parse_flags(args: &[String], known: &[&str]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -104,6 +130,12 @@ fn parse_flags(args: &[String], known: &[&str]) -> HashMap<String, String> {
         let arg = &args[i];
         if !known.contains(&arg.as_str()) {
             die(&format!("unrecognized argument `{arg}`"));
+        }
+        // `--watchdogs` is a pure switch: it never consumes a value.
+        if arg == "--watchdogs" {
+            flags.insert(arg.clone(), String::new());
+            i += 1;
+            continue;
         }
         let value = args.get(i + 1).filter(|v| !v.starts_with("--"));
         match value {
@@ -139,7 +171,10 @@ fn main() {
     match command.as_str() {
         "--help" | "-h" | "help" => print_help(),
         "run" => cmd_run(&args[1..]),
+        "record" => cmd_record(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "check-telemetry" => cmd_check_telemetry(&args[1..]),
+        "check-flight" => cmd_check_flight(&args[1..]),
         id => cmd_experiment(id, &args[1..]),
     }
 }
@@ -186,12 +221,17 @@ fn cmd_run(rest: &[String]) {
             "--telemetry",
             "--snapshot-every",
             "--progress",
+            "--watchdogs",
+            "--red-line",
+            "--flight-dump",
+            "--flight-capacity",
         ],
     );
     let gv: f64 = numeric(&flags, "--gv").unwrap_or(22.0);
     let policy_name = flags.get("--policy").map_or("vmt-wa", String::as_str);
-    let Some(policy) = vmt_core::PolicyKind::parse(policy_name, gv) else {
-        die(&format!("unknown policy `{policy_name}`"));
+    let policy = match vmt_core::PolicyKind::parse(policy_name, gv) {
+        Ok(policy) => policy,
+        Err(err) => die(&err),
     };
     let servers: usize = numeric(&flags, "--servers").unwrap_or(1000);
     let hours: f64 = numeric(&flags, "--hours").unwrap_or(48.0);
@@ -222,6 +262,28 @@ fn cmd_run(rest: &[String]) {
     if let Some(every) = numeric::<u64>(&flags, "--progress") {
         telemetry = telemetry.with_progress_every(every);
     }
+    if flags.contains_key("--watchdogs") || flags.contains_key("--red-line") {
+        let mut specs = vmt_telemetry::WatchdogSpec::default_set();
+        if let Some(red_line) = numeric::<f64>(&flags, "--red-line") {
+            if !red_line.is_finite() {
+                die("`--red-line` must be a finite temperature");
+            }
+            for spec in &mut specs {
+                if let vmt_telemetry::WatchdogSpec::ThermalViolation { red_line_c } = spec {
+                    *red_line_c = red_line;
+                }
+            }
+        }
+        telemetry = telemetry.with_watchdogs(specs);
+    }
+    if flags.contains_key("--flight-dump") || flags.contains_key("--flight-capacity") {
+        let mut flight = vmt_dcsim::FlightConfig::default();
+        if let Some(capacity) = numeric::<usize>(&flags, "--flight-capacity") {
+            flight.capacity = capacity;
+        }
+        flight.dump_path = flags.get("--flight-dump").map(std::path::PathBuf::from);
+        telemetry = telemetry.with_flight(flight);
+    }
     let summary = telemetry.summary.clone();
 
     let result = run.execute_with_telemetry(telemetry);
@@ -243,13 +305,192 @@ fn cmd_run(rest: &[String]) {
     if let Some(path) = flags.get("--telemetry") {
         println!("telemetry stream: {path}");
     }
+    if let Some(path) = flags.get("--flight-dump") {
+        println!("flight dump: {path}");
+    }
+}
+
+/// The leading positional argument of `record TRACE` / `replay TRACE` /
+/// `check-* FILE`; exits with `usage` when it is missing or a flag.
+fn positional_path<'a>(rest: &'a [String], usage: &str) -> (&'a String, &'a [String]) {
+    match rest.split_first() {
+        Some((path, tail)) if !path.starts_with("--") => (path, tail),
+        _ => die(usage),
+    }
+}
+
+/// Records a run's placement-decision trace (`vmt-experiments record`).
+fn cmd_record(rest: &[String]) {
+    let (trace_path, rest) = positional_path(rest, "usage: vmt-experiments record TRACE [options]");
+    let flags = parse_flags(
+        rest,
+        &[
+            "--policy",
+            "--gv",
+            "--servers",
+            "--hours",
+            "--seed",
+            "--threads",
+        ],
+    );
+    let gv: f64 = numeric(&flags, "--gv").unwrap_or(22.0);
+    let policy_name = flags.get("--policy").map_or("vmt-wa", String::as_str);
+    let policy = match vmt_core::PolicyKind::parse(policy_name, gv) {
+        Ok(policy) => policy,
+        Err(err) => die(&err),
+    };
+    // Smaller defaults than `run`: every decision lands in the trace
+    // file, so the default trace stays in the megabytes.
+    let servers: usize = numeric(&flags, "--servers").unwrap_or(100);
+    let hours: f64 = numeric(&flags, "--hours").unwrap_or(24.0);
+    if !hours.is_finite() || hours <= 0.0 {
+        die("`--hours` must be positive");
+    }
+
+    let mut run = Run::new(servers, policy);
+    run.trace.horizon = vmt_units::Hours::new(hours);
+    if let Some(seed) = numeric::<u64>(&flags, "--seed") {
+        run.cluster.seed = seed;
+        run.trace.seed = seed;
+    }
+    if let Some(threads) = numeric::<usize>(&flags, "--threads") {
+        run = run.with_tick_threads(threads);
+    }
+
+    let handle = vmt_dcsim::TraceHandle::new();
+    let recorder = vmt_dcsim::RecordingScheduler::new(policy.build(&run.cluster), handle.clone());
+    let header = vmt_telemetry::replay::TraceHeader {
+        schema_version: vmt_telemetry::replay::TRACE_SCHEMA_VERSION,
+        policy: policy_name.to_owned(),
+        servers: servers as u64,
+        hours,
+        cluster_seed: run.cluster.seed,
+        trace_seed: run.trace.seed,
+        tick_seconds: run.cluster.tick.get(),
+        ticks: 0,
+    };
+    let (result, end_servers) = vmt_dcsim::Simulation::new(
+        run.cluster.clone(),
+        vmt_workload::DiurnalTrace::new(run.trace.clone()),
+        Box::new(recorder),
+    )
+    .with_threads(run.tick_threads)
+    .run_returning_servers();
+    let mut trace = handle.into_trace(header, &result, &end_servers);
+    trace.header.ticks = trace.footer.ticks_run;
+
+    if let Err(err) = std::fs::write(trace_path, trace.to_jsonl()) {
+        eprintln!("error: cannot write `{trace_path}`: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "recorded {} on {servers} servers: {} ticks, {} decisions ({} placements, {} dropped)",
+        policy_name,
+        trace.footer.ticks_run,
+        trace.decision_count(),
+        result.placements,
+        result.dropped_jobs,
+    );
+    println!("trace: {trace_path}");
+}
+
+/// Re-drives a simulation from a trace (`vmt-experiments replay`).
+fn cmd_replay(rest: &[String]) {
+    let (trace_path, rest) = positional_path(
+        rest,
+        "usage: vmt-experiments replay TRACE [--until TICK] [--threads T]",
+    );
+    let flags = parse_flags(rest, &["--until", "--threads"]);
+    let text = match std::fs::read_to_string(trace_path) {
+        Ok(text) => text,
+        Err(err) => die(&format!("cannot read `{trace_path}`: {err}")),
+    };
+    let trace = match vmt_telemetry::replay::PlacementTrace::parse(&text) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("invalid trace: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    let recorded_ticks = trace.footer.ticks_run;
+    let until: Option<u64> = numeric(&flags, "--until");
+    let ticks = until.unwrap_or(recorded_ticks).min(recorded_ticks);
+    if ticks == 0 {
+        die("`--until` must replay at least one tick");
+    }
+    // `ticks_for` rounds, so hours -> ticks round-trips exactly.
+    let hours = ticks as f64 * trace.header.tick_seconds / 3600.0;
+    let mut cluster = vmt_dcsim::ClusterConfig::paper_default(trace.header.servers as usize);
+    cluster.seed = trace.header.cluster_seed;
+    let mut trace_cfg = vmt_workload::TraceConfig::paper_default();
+    trace_cfg.horizon = vmt_units::Hours::new(hours);
+    trace_cfg.seed = trace.header.trace_seed;
+
+    let expected_final = trace.footer.final_digest;
+    let policy_name = trace.header.policy.clone();
+    let report = vmt_dcsim::ReplayHandle::new();
+    let replayer = vmt_dcsim::ReplayScheduler::new(trace, report.clone());
+    let mut sim = vmt_dcsim::Simulation::new(
+        cluster,
+        vmt_workload::DiurnalTrace::new(trace_cfg),
+        Box::new(replayer),
+    );
+    if let Some(threads) = numeric::<usize>(&flags, "--threads") {
+        sim = sim.with_threads(threads);
+    }
+    let (result, end_servers) = sim.run_returning_servers();
+
+    let full_replay = ticks == recorded_ticks;
+    let missing = report.missing_decisions();
+    let verdict = report.verdict();
+    let mut failed = missing > 0;
+    match verdict {
+        vmt_telemetry::replay::ReplayVerdict::BitIdentical { ticks_compared } => {
+            println!(
+                "replay of {policy_name}: bit-identical over {ticks_compared} ticks{}",
+                if full_replay { "" } else { " (prefix)" }
+            );
+        }
+        vmt_telemetry::replay::ReplayVerdict::Diverged {
+            first_tick,
+            expected,
+            actual,
+        } => {
+            println!(
+                "replay of {policy_name}: DIVERGED at tick {first_tick} \
+                 (expected digest {expected:#018x}, got {actual:#018x})"
+            );
+            println!("bisect with `--until {first_tick}` to narrow the window");
+            failed = true;
+        }
+    }
+    if missing > 0 {
+        println!("{missing} arrivals had no recorded decision (workload divergence)");
+    }
+    if full_replay {
+        let final_digest = vmt_dcsim::digest_final_state(&result, &end_servers);
+        if final_digest == expected_final {
+            println!("final state digest matches the recording ({final_digest:#018x})");
+        } else {
+            println!(
+                "final state digest MISMATCH: recorded {expected_final:#018x}, \
+                 replayed {final_digest:#018x}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }
 
 /// Validates a JSONL stream (`vmt-experiments check-telemetry FILE`).
 fn cmd_check_telemetry(rest: &[String]) {
-    let [path] = rest else {
+    let (path, rest) = positional_path(rest, "usage: vmt-experiments check-telemetry FILE");
+    if !rest.is_empty() {
         die("usage: vmt-experiments check-telemetry FILE");
-    };
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(err) => die(&format!("cannot read `{path}`: {err}")),
@@ -257,8 +498,12 @@ fn cmd_check_telemetry(rest: &[String]) {
     match vmt_telemetry::validate_stream(&text) {
         Ok(stream) => {
             println!(
-                "ok: {} events ({} snapshots, {} melt, {} hot-group)",
-                stream.events, stream.snapshots, stream.melts, stream.hot_group_events
+                "ok: {} events ({} snapshots, {} melt, {} hot-group, {} anomalies)",
+                stream.events,
+                stream.snapshots,
+                stream.melts,
+                stream.hot_group_events,
+                stream.anomalies,
             );
             println!(
                 "run: {} on {} servers, {} ticks planned, {} run at {:.0} ticks/s",
@@ -268,9 +513,45 @@ fn cmd_check_telemetry(rest: &[String]) {
                 stream.summary.ticks_run,
                 stream.summary.ticks_per_s,
             );
+            if stream.summary.write_errors > 0 {
+                eprintln!(
+                    "stream is well-formed but the run dropped {} event writes — \
+                     the file is incomplete",
+                    stream.summary.write_errors
+                );
+                std::process::exit(1);
+            }
         }
         Err(err) => {
             eprintln!("invalid telemetry stream: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Validates a flight-recorder dump (`vmt-experiments check-flight FILE`).
+fn cmd_check_flight(rest: &[String]) {
+    let (path, rest) = positional_path(rest, "usage: vmt-experiments check-flight FILE");
+    if !rest.is_empty() {
+        die("usage: vmt-experiments check-flight FILE");
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => die(&format!("cannot read `{path}`: {err}")),
+    };
+    match vmt_telemetry::validate_dump(&text) {
+        Ok(dump) => {
+            let trigger = dump.header.watchdog.map_or("on-demand".to_owned(), |w| {
+                format!("watchdog {}", w.label())
+            });
+            println!(
+                "ok: {} records at tick {} ({trigger}), {} ticks of context, \
+                 {} recorded over the run",
+                dump.records, dump.header.tick, dump.context_ticks, dump.header.records_total,
+            );
+        }
+        Err(err) => {
+            eprintln!("invalid flight dump: {err}");
             std::process::exit(1);
         }
     }

@@ -1,0 +1,235 @@
+//! CLI contract tests for the `vmt-experiments` binary.
+//!
+//! Usage errors (typos, missing values, unknown names) must exit 2 with
+//! a pointer to `--help`; invalid *input files* exit 1; the record →
+//! replay → check pipeline round-trips with exit 0. Every subcommand's
+//! error path is pinned here so a CLI refactor cannot silently turn a
+//! hard error into a default.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vmt-experiments"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Asserts a usage error: exit 2 and a help pointer on stderr.
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "`{}` should exit 2, stderr: {}",
+        args.join(" "),
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains(needle),
+        "`{}` stderr should mention `{needle}`: {err}",
+        args.join(" ")
+    );
+    assert!(
+        err.contains("--help"),
+        "usage errors point at --help: {err}"
+    );
+}
+
+/// A unique scratch path for this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vmt_cli_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn no_arguments_prints_help_and_exits_2() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stdout(&out).contains("usage:"));
+}
+
+#[test]
+fn help_flag_exits_0() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for subcommand in ["run", "record", "replay", "check-telemetry", "check-flight"] {
+        assert!(text.contains(subcommand), "help must list `{subcommand}`");
+    }
+}
+
+#[test]
+fn experiment_usage_errors() {
+    assert_usage_error(&["fig99"], "unknown experiment id `fig99`");
+    assert_usage_error(&["--servers", "10"], "unrecognized argument `--servers`");
+    assert_usage_error(
+        &["fig7", "--sevrers", "10"],
+        "unrecognized argument `--sevrers`",
+    );
+    assert_usage_error(&["fig7", "--servers"], "flag `--servers` requires a value");
+    assert_usage_error(&["fig7", "--servers", "ten"], "unparseable value `ten`");
+}
+
+#[test]
+fn run_usage_errors() {
+    // An unknown policy lists every valid policy name.
+    let out = run(&["run", "--policy", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown policy `bogus`"), "got: {err}");
+    for name in vmt_core::PolicyKind::NAMES {
+        assert!(err.contains(name), "error must list `{name}`: {err}");
+    }
+    assert_usage_error(&["run", "--hours", "0"], "`--hours` must be positive");
+    assert_usage_error(&["run", "--gv"], "flag `--gv` requires a value");
+    assert_usage_error(&["run", "--flightdump", "x"], "unrecognized argument");
+    // `--watchdogs` is a switch: it must not swallow a following flag.
+    assert_usage_error(&["run", "--watchdogs", "--servers"], "requires a value");
+}
+
+#[test]
+fn record_usage_errors() {
+    assert_usage_error(&["record"], "usage: vmt-experiments record");
+    assert_usage_error(
+        &["record", "--servers", "5"],
+        "usage: vmt-experiments record",
+    );
+    assert_usage_error(
+        &["record", "/tmp/x.trace", "--policy", "nope"],
+        "unknown policy `nope`",
+    );
+    assert_usage_error(
+        &["record", "/tmp/x.trace", "--telemetry", "y"],
+        "unrecognized argument `--telemetry`",
+    );
+}
+
+#[test]
+fn replay_usage_errors() {
+    assert_usage_error(&["replay"], "usage: vmt-experiments replay");
+    assert_usage_error(&["replay", "--until", "5"], "usage: vmt-experiments replay");
+    assert_usage_error(&["replay", "/nonexistent/t.trace"], "cannot read");
+}
+
+#[test]
+fn replay_rejects_a_corrupt_trace_with_exit_1() {
+    let path = scratch("corrupt.trace");
+    std::fs::write(&path, "{\"not\":\"a trace\"}\n").unwrap();
+    let out = bin().arg("replay").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid trace"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn check_telemetry_usage_and_invalid_input() {
+    assert_usage_error(
+        &["check-telemetry"],
+        "usage: vmt-experiments check-telemetry",
+    );
+    assert_usage_error(&["check-telemetry", "a", "b"], "usage:");
+    assert_usage_error(&["check-telemetry", "/nonexistent/s.jsonl"], "cannot read");
+    let path = scratch("bad.jsonl");
+    std::fs::write(&path, "not json\n").unwrap();
+    let out = bin().arg("check-telemetry").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("invalid telemetry stream"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn check_flight_usage_and_invalid_input() {
+    assert_usage_error(&["check-flight"], "usage: vmt-experiments check-flight");
+    assert_usage_error(&["check-flight", "/nonexistent/f.dump"], "cannot read");
+    let path = scratch("bad.dump");
+    std::fs::write(&path, "{\"schema\":true}\n").unwrap();
+    let out = bin().arg("check-flight").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("invalid flight dump"));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The happy path end to end: record a small run, replay it in full and
+/// as a prefix, and validate the trace survives the pipeline.
+#[test]
+fn record_replay_round_trip() {
+    let trace = scratch("roundtrip.trace");
+    let out = bin()
+        .args(["record"])
+        .arg(&trace)
+        .args(["--servers", "5", "--hours", "2", "--policy", "vmt-wa"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("recorded vmt-wa"));
+
+    let out = bin().arg("replay").arg(&trace).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("bit-identical"), "got: {text}");
+    assert!(text.contains("final state digest matches"), "got: {text}");
+
+    let out = bin()
+        .arg("replay")
+        .arg(&trace)
+        .args(["--until", "30"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("30 ticks (prefix)"));
+
+    let _ = std::fs::remove_file(&trace);
+}
+
+/// A forced thermal violation through the CLI: the run reports the
+/// anomaly, and both the end-of-run dump and the `.anomaly1` sibling
+/// pass `check-flight`.
+#[test]
+fn watchdog_run_produces_validating_dumps() {
+    let dump = scratch("wd.dump");
+    let out = bin()
+        .args([
+            "run",
+            "--servers",
+            "5",
+            "--hours",
+            "2",
+            "--watchdogs",
+            "--red-line",
+            "28",
+            "--flight-dump",
+        ])
+        .arg(&dump)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("anomalies fired"));
+
+    let anomaly = PathBuf::from(format!("{}.anomaly1", dump.display()));
+    for path in [&dump, &anomaly] {
+        let out = bin().arg("check-flight").arg(path).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "check-flight {} failed: {}",
+            path.display(),
+            stderr(&out)
+        );
+    }
+    let out = bin().arg("check-flight").arg(&anomaly).output().unwrap();
+    assert!(stdout(&out).contains("watchdog thermal-violation"));
+
+    let _ = std::fs::remove_file(&dump);
+    let _ = std::fs::remove_file(&anomaly);
+}

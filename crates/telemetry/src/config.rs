@@ -3,7 +3,39 @@
 use crate::events::SummaryEvent;
 use crate::registry::MetricsRegistry;
 use crate::sink::EventSink;
+use crate::watchdog::WatchdogSpec;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+
+/// Flight-recorder arming parameters.
+///
+/// The recorder itself is built by the engine at run start (it needs
+/// the ring preallocated on the engine thread); this config only says
+/// how big the ring is and where dumps go.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightConfig {
+    /// Ring capacity in records (clamped to at least 16 by the
+    /// recorder).
+    pub capacity: usize,
+    /// Where dumps are written. The end-of-run on-demand dump goes to
+    /// this exact path; watchdog-triggered dumps go to
+    /// `<path>.anomaly<N>` siblings. `None` arms the ring without any
+    /// file output (events and counters still record anomalies).
+    pub dump_path: Option<PathBuf>,
+    /// Maximum watchdog-triggered dump files per run (guards against a
+    /// misconfigured watchdog filling the disk).
+    pub max_anomaly_dumps: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 65_536,
+            dump_path: None,
+            max_anomaly_dumps: 4,
+        }
+    }
+}
 
 /// A shared slot the engine deposits its [`SummaryEvent`] into at the
 /// end of a run.
@@ -52,6 +84,10 @@ pub struct TelemetryConfig {
     pub snapshot_every_ticks: u64,
     /// When `Some(n)`, render a progress line to stderr every `n` ticks.
     pub progress_every_ticks: Option<u64>,
+    /// When `Some`, the engine arms a flight recorder of this shape.
+    pub flight: Option<FlightConfig>,
+    /// Watchdog detectors to arm; empty (the default) evaluates none.
+    pub watchdogs: Vec<WatchdogSpec>,
     /// Where the final [`SummaryEvent`] is deposited.
     pub summary: SummaryHandle,
 }
@@ -63,6 +99,8 @@ impl Default for TelemetryConfig {
             sink: None,
             snapshot_every_ticks: 60,
             progress_every_ticks: None,
+            flight: None,
+            watchdogs: Vec::new(),
             summary: SummaryHandle::new(),
         }
     }
@@ -91,6 +129,20 @@ impl TelemetryConfig {
         self.progress_every_ticks = Some(ticks.max(1));
         self
     }
+
+    /// Arms the flight recorder.
+    pub fn with_flight(mut self, flight: FlightConfig) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Arms watchdog detectors. Watchdogs that fire emit `Anomaly`
+    /// events and (when a flight recorder with a dump path is armed)
+    /// trigger context dumps.
+    pub fn with_watchdogs(mut self, specs: Vec<WatchdogSpec>) -> Self {
+        self.watchdogs = specs;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +168,8 @@ mod tests {
             peak_cooling_w: 0.0,
             peak_electrical_w: 0.0,
             final_melted_fraction: 0.0,
+            write_errors: 0,
+            anomalies: 0,
             phases: PhaseBreakdown::default(),
             scheduler: None,
             metrics: MetricsSnapshot::default(),

@@ -8,10 +8,15 @@
 
 use crate::phases::PhaseBreakdown;
 use crate::registry::MetricsSnapshot;
+use crate::watchdog::AnomalyEvent;
 
 /// Version stamp written into [`RunConfigEvent`] and [`SummaryEvent`] so
 /// downstream tooling can detect schema drift.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history: 1 = PR 3 stream (RunConfig/Snapshot/Melt/HotGroup/
+/// Summary); 2 = adds `Anomaly` events and the summary's `write_errors`
+/// and `anomalies` fields.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Deterministic per-policy placement statistics.
 ///
@@ -156,6 +161,15 @@ pub struct SummaryEvent {
     pub peak_electrical_w: f64,
     /// Fraction of servers reporting melted at end of run.
     pub final_melted_fraction: f64,
+    /// Event-sink writes that failed during the run (disk full, closed
+    /// pipe, ...) — a non-zero value means the stream is incomplete.
+    /// Counted up to the summary's own emission; `check-telemetry`
+    /// treats any non-zero value as a failure.
+    #[serde(default)]
+    pub write_errors: u64,
+    /// Watchdog anomalies fired during the run.
+    #[serde(default)]
+    pub anomalies: u64,
     /// Per-phase wall-clock attribution.
     pub phases: PhaseBreakdown,
     /// Scheduler decision counters, when the policy reports them.
@@ -179,6 +193,8 @@ pub enum Event {
     Melt(MeltEvent),
     /// Hot-group size change.
     HotGroup(HotGroupEvent),
+    /// A watchdog fired.
+    Anomaly(AnomalyEvent),
     /// Run totals (always last).
     Summary(SummaryEvent),
 }
@@ -191,6 +207,7 @@ impl Event {
             Event::Snapshot(_) => "Snapshot",
             Event::Melt(_) => "Melt",
             Event::HotGroup(_) => "HotGroup",
+            Event::Anomaly(_) => "Anomaly",
             Event::Summary(_) => "Summary",
         }
     }
@@ -238,6 +255,14 @@ mod tests {
                 previous: 125,
                 current: 126,
             }),
+            Event::Anomaly(AnomalyEvent {
+                tick: 130,
+                watchdog: crate::watchdog::WatchdogKind::ThermalViolation,
+                server: Some(3),
+                value: 46.2,
+                threshold: 45.0,
+                detail: "server 3 crossed the red-line".into(),
+            }),
         ];
         for event in events {
             let line = serde_json::to_string(&event).unwrap();
@@ -262,6 +287,8 @@ mod tests {
             peak_cooling_w: 250_000.0,
             peak_electrical_w: 260_000.0,
             final_melted_fraction: 0.25,
+            write_errors: 0,
+            anomalies: 2,
             phases: PhaseBreakdown {
                 physics_s: 1.0,
                 total_s: 1.4,

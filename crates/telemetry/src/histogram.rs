@@ -230,6 +230,34 @@ mod tests {
     }
 
     #[test]
+    fn quantile_bound_extremes() {
+        // Empty histogram: every quantile, including the extremes, is 0.
+        let empty = Histogram::with_buckets(vec![1.0, 10.0]).snapshot();
+        assert_eq!(empty.quantile_bound(0.0), 0.0);
+        assert_eq!(empty.quantile_bound(1.0), 0.0);
+
+        // Non-empty: q=0.0 clamps to rank 1 (the smallest recorded
+        // value's bucket), q=1.0 is the largest value's bucket, and
+        // out-of-range q clamps rather than indexing out of bounds.
+        let h = Histogram::with_buckets(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.0), 1.0);
+        assert_eq!(s.quantile_bound(1.0), 100.0);
+        assert_eq!(s.quantile_bound(-3.0), s.quantile_bound(0.0));
+        assert_eq!(s.quantile_bound(7.0), s.quantile_bound(1.0));
+
+        // A single sample answers every quantile with its own bucket.
+        let one = Histogram::with_buckets(vec![2.0]);
+        one.record(1.0);
+        let s = one.snapshot();
+        assert_eq!(s.quantile_bound(0.0), 2.0);
+        assert_eq!(s.quantile_bound(1.0), 2.0);
+    }
+
+    #[test]
     #[should_panic(expected = "strictly ascending")]
     fn rejects_unsorted_bounds() {
         Histogram::with_buckets(vec![2.0, 1.0]);

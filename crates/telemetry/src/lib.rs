@@ -28,17 +28,33 @@
 //! the simulation loop is byte-for-byte the uninstrumented one, which is
 //! what keeps the differential tests bit-identical and the disabled-path
 //! overhead at zero.
+//!
+//! Three further pieces serve incident forensics:
+//!
+//! * [`FlightRecorder`] — a fixed-capacity ring of compact binary
+//!   [`TraceRecord`]s (placements, departures, melt crossings, resizes,
+//!   spills) written on the engine thread with no allocation after
+//!   construction, dumped to JSONL on demand or when a watchdog fires.
+//! * [`WatchdogSet`] — declarative anomaly detectors (thermal red-line,
+//!   wax stall, QoS spill storm, hot-group thrash) evaluated from state
+//!   the tick already computes; each firing emits an [`AnomalyEvent`].
+//! * [`replay`] — the placement-trace schema and state digests behind
+//!   the record/replay harness: a recorded decision stream re-drives the
+//!   simulation bit-identically, and per-tick digests bisect divergence.
 
 mod config;
 mod events;
 mod histogram;
 mod phases;
 mod progress;
+mod recorder;
 mod registry;
+pub mod replay;
 mod report;
 mod sink;
+mod watchdog;
 
-pub use config::{SummaryHandle, TelemetryConfig};
+pub use config::{FlightConfig, SummaryHandle, TelemetryConfig};
 pub use events::{
     Event, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition, RunConfigEvent,
     SchedulerCounters, SnapshotEvent, SummaryEvent, SCHEMA_VERSION,
@@ -46,6 +62,10 @@ pub use events::{
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use phases::{PhaseBreakdown, PhaseProfiler, TickPhase};
 pub use progress::{ProgressFrame, ProgressMeter};
+pub use recorder::{
+    validate_dump, DumpHeader, DumpSummary, FlightRecorder, TraceRecord, DUMP_SCHEMA_VERSION,
+};
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use report::render_report;
 pub use sink::{validate_stream, EventSink, SharedBuffer, StreamSummary};
+pub use watchdog::{AnomalyEvent, TickState, WatchdogKind, WatchdogSet, WatchdogSpec};

@@ -31,7 +31,10 @@ impl ProgressFrame {
         jobs_in_flight: u64,
         melted_fraction: f64,
     ) -> Self {
-        let ticks_per_s = if elapsed_s > 0.0 {
+        // Guard every division: the first observation can arrive at
+        // tick 0 and/or with a zero (or even non-finite) elapsed clock,
+        // and none of those may put a NaN or inf into a rendered frame.
+        let ticks_per_s = if elapsed_s > 0.0 && elapsed_s.is_finite() && tick > 0 {
             tick as f64 / elapsed_s
         } else {
             0.0
@@ -45,7 +48,12 @@ impl ProgressFrame {
         let fraction = if total_ticks == 0 {
             1.0
         } else {
-            tick as f64 / total_ticks as f64
+            (tick as f64 / total_ticks as f64).clamp(0.0, 1.0)
+        };
+        let melted_fraction = if melted_fraction.is_finite() {
+            melted_fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
         };
         Self {
             tick,
@@ -152,6 +160,48 @@ mod tests {
         assert_eq!(f.ticks_per_s, 0.0);
         assert_eq!(f.eta_s, 0.0);
         assert_eq!(f.fraction, 1.0);
+    }
+
+    /// The first observation — tick 0, any elapsed-clock value, even a
+    /// degenerate melted fraction — must render without NaN or inf.
+    #[test]
+    fn first_observation_edge_cases_render_clean() {
+        for elapsed in [0.0, 1e-9, 2.0, f64::NAN, f64::INFINITY] {
+            for melted in [0.0, f64::NAN, -1.0, 2.0] {
+                let f = ProgressFrame::compute(0, 2880, elapsed, 0, melted);
+                assert!(f.ticks_per_s.is_finite(), "elapsed {elapsed}");
+                assert!(f.eta_s.is_finite(), "elapsed {elapsed}");
+                assert!(f.fraction.is_finite());
+                assert!(f.melted_fraction.is_finite());
+                let line = f.render();
+                assert!(!line.contains("NaN"), "got: {line}");
+                assert!(!line.contains("inf"), "got: {line}");
+            }
+        }
+        // tick 0 with positive elapsed must not claim a 0-tick ETA of 0
+        // by dividing 0/elapsed into a rate.
+        let f = ProgressFrame::compute(0, 100, 5.0, 0, 0.0);
+        assert_eq!(f.ticks_per_s, 0.0);
+        assert_eq!(f.eta_s, 0.0);
+    }
+
+    /// A meter over a zero-tick run yields a well-formed 100% frame.
+    #[test]
+    fn zero_tick_run_meter_is_safe() {
+        let meter = ProgressMeter::new(0, 60);
+        let frame = meter.observe(0, 0, 0.0).expect("tick 0 samples");
+        assert_eq!(frame.fraction, 1.0);
+        let line = frame.render();
+        assert!(line.contains("[100%]"), "got: {line}");
+        assert!(!line.contains("NaN"), "got: {line}");
+    }
+
+    /// A tick past the planned total (horizon rounding) stays clamped.
+    #[test]
+    fn overshoot_tick_clamps_fraction() {
+        let f = ProgressFrame::compute(101, 100, 1.0, 0, 0.5);
+        assert_eq!(f.fraction, 1.0);
+        assert_eq!(f.eta_s, 0.0);
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! The flight recorder: a bounded in-memory trace of recent engine
+//! activity.
+//!
+//! A multi-hour simulation emits aggregate snapshots, but post-mortem
+//! forensics ("why did this server cross the PMT at tick 19,412?") need
+//! the *causal chain* — which jobs landed where, when wax crossed its
+//! threshold, how the hot group moved. Recording every such event for a
+//! whole run would be unbounded; the flight recorder instead keeps the
+//! last `capacity` records in a fixed, preallocated ring. Writing is a
+//! single slot store on the engine thread — no locks, no allocation
+//! after construction — and the ring is only read when a dump is
+//! requested (on demand or when a watchdog fires), so the armed-path
+//! overhead stays near zero and the disabled path costs nothing at all.
+
+use crate::watchdog::WatchdogKind;
+use std::io::{self, Write};
+
+/// Schema version stamped into [`DumpHeader`] lines.
+pub const DUMP_SCHEMA_VERSION: u32 = 1;
+
+/// One compact record in the flight ring.
+///
+/// Records are `Copy` and fixed-size so the ring never allocates after
+/// construction; numeric payloads are narrowed (`f32` temperatures,
+/// `u32` servers) to keep slots small — the dump is diagnostic, not a
+/// bit-exact replay source (that is [`crate::replay`]'s job).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TraceRecord {
+    /// A job was placed on a server.
+    JobPlaced {
+        /// Tick the placement happened on (0-based).
+        tick: u64,
+        /// Job id.
+        job: u64,
+        /// Target server index.
+        server: u32,
+        /// Workload kind index ([`vmt_workload::WorkloadKind::index`]).
+        kind: u8,
+        /// Planned duration in ticks.
+        duration_ticks: u32,
+    },
+    /// A job could not be placed anywhere and was dropped.
+    JobDropped {
+        /// Tick the drop happened on (0-based).
+        tick: u64,
+        /// Job id.
+        job: u64,
+        /// Workload kind index.
+        kind: u8,
+    },
+    /// A job finished and released its core.
+    JobDeparted {
+        /// Tick the departure happened on (0-based).
+        tick: u64,
+        /// Job id.
+        job: u64,
+        /// Server the job ran on.
+        server: u32,
+    },
+    /// A server's estimator-reported melt fraction crossed the
+    /// melt-event threshold.
+    MeltCrossing {
+        /// Tick the crossing was observed at (1-based, post-physics).
+        tick: u64,
+        /// Server index.
+        server: u32,
+        /// `true` = began melting, `false` = refroze.
+        melting: bool,
+        /// Air-at-wax temperature at observation (°C).
+        air_c: f32,
+    },
+    /// The scheduler's hot group changed size.
+    HotGroupResize {
+        /// Tick the resize was observed at (1-based).
+        tick: u64,
+        /// Size before.
+        previous: u32,
+        /// Size after.
+        current: u32,
+    },
+    /// The policy spilled jobs out of their preferred group this tick.
+    SchedulerSpill {
+        /// Tick the spills happened on (1-based).
+        tick: u64,
+        /// Number of spills this tick.
+        spills: u32,
+    },
+    /// A watchdog fired at this point in the stream.
+    AnomalyMark {
+        /// Tick the watchdog fired at (1-based).
+        tick: u64,
+        /// Which watchdog fired.
+        watchdog: WatchdogKind,
+    },
+}
+
+impl TraceRecord {
+    /// The record's tick stamp.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            TraceRecord::JobPlaced { tick, .. }
+            | TraceRecord::JobDropped { tick, .. }
+            | TraceRecord::JobDeparted { tick, .. }
+            | TraceRecord::MeltCrossing { tick, .. }
+            | TraceRecord::HotGroupResize { tick, .. }
+            | TraceRecord::SchedulerSpill { tick, .. }
+            | TraceRecord::AnomalyMark { tick, .. } => tick,
+        }
+    }
+}
+
+/// First line of a flight dump: what triggered it and what it holds.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DumpHeader {
+    /// Schema version ([`DUMP_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Tick the dump was taken at.
+    pub tick: u64,
+    /// The watchdog that triggered the dump, or `None` for an on-demand
+    /// (`--flight-dump`) dump.
+    pub watchdog: Option<WatchdogKind>,
+    /// Ring capacity at recording time.
+    pub capacity: u64,
+    /// Records in this dump.
+    pub records: u64,
+    /// Records pushed over the whole run (`records` of them retained).
+    pub records_total: u64,
+    /// Ticks of context the dump spans (dump tick minus oldest record's
+    /// tick).
+    pub context_ticks: u64,
+}
+
+/// What [`validate_dump`] found in a well-formed dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpSummary {
+    /// The dump's header line.
+    pub header: DumpHeader,
+    /// Parsed record count (must equal `header.records`).
+    pub records: u64,
+    /// Ticks spanned by the records themselves.
+    pub context_ticks: u64,
+}
+
+/// A fixed-capacity ring of [`TraceRecord`]s.
+///
+/// Single-writer by design: the engine thread pushes, and the same
+/// thread snapshots/dumps. Pushing into a full ring overwrites the
+/// oldest record, so the ring always holds the most recent `capacity`
+/// records — exactly the pre-anomaly context a watchdog dump wants.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    /// Records ever pushed (retained + overwritten).
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding up to `capacity` records (clamped to
+    /// at least 16). The full backing store is allocated up front so the
+    /// armed hot path never allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records ever pushed, including overwritten ones.
+    pub fn records_total(&self) -> u64 {
+        self.total
+    }
+
+    /// Appends a record, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, record: TraceRecord) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(record);
+        } else {
+            self.buf[self.head] = record;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+    }
+
+    /// The retained records in chronological order (oldest first).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Ticks of context currently in the ring (newest minus oldest
+    /// record tick; 0 when empty).
+    pub fn context_ticks(&self) -> u64 {
+        let records = self.snapshot();
+        match (records.first(), records.last()) {
+            (Some(first), Some(last)) => last.tick().saturating_sub(first.tick()),
+            _ => 0,
+        }
+    }
+
+    /// Writes the ring as a JSONL dump: one [`DumpHeader`] line, then
+    /// one line per record, oldest first.
+    pub fn dump_jsonl(
+        &self,
+        writer: &mut dyn Write,
+        tick: u64,
+        watchdog: Option<WatchdogKind>,
+    ) -> io::Result<()> {
+        let records = self.snapshot();
+        let context_ticks = records
+            .first()
+            .map(|first| tick.saturating_sub(first.tick()))
+            .unwrap_or(0);
+        let header = DumpHeader {
+            schema_version: DUMP_SCHEMA_VERSION,
+            tick,
+            watchdog,
+            capacity: self.capacity as u64,
+            records: records.len() as u64,
+            records_total: self.total,
+            context_ticks,
+        };
+        let line = serde_json::to_string(&header).expect("dump header serializes");
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        for record in &records {
+            let line = serde_json::to_string(record).expect("trace records serialize");
+            writer.write_all(line.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()
+    }
+}
+
+/// Parses a flight dump written by [`FlightRecorder::dump_jsonl`] and
+/// checks its shape: a [`DumpHeader`] first, every following line a
+/// valid [`TraceRecord`], record count matching the header, and ticks
+/// non-decreasing (the ring is chronological by construction).
+pub fn validate_dump(text: &str) -> Result<DumpSummary, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or_else(|| "dump is empty".to_string())?;
+    let header: DumpHeader = serde_json::from_str(header_line)
+        .map_err(|e| format!("line 1: not a dump header: {e:?}"))?;
+    if header.schema_version != DUMP_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported dump schema version {} (expected {DUMP_SCHEMA_VERSION})",
+            header.schema_version
+        ));
+    }
+    let mut records = 0u64;
+    let mut first_tick = None;
+    let mut last_tick = 0u64;
+    for (i, line) in lines.enumerate() {
+        let record: TraceRecord = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: not a trace record: {e:?}", i + 2))?;
+        let tick = record.tick();
+        if let Some(first) = first_tick {
+            if tick < last_tick {
+                return Err(format!(
+                    "line {}: tick {tick} goes backwards (after {last_tick})",
+                    i + 2
+                ));
+            }
+            let _ = first;
+        } else {
+            first_tick = Some(tick);
+        }
+        last_tick = tick;
+        records += 1;
+    }
+    if records != header.records {
+        return Err(format!(
+            "header claims {} records, dump has {records}",
+            header.records
+        ));
+    }
+    let context_ticks = first_tick.map(|f| last_tick - f).unwrap_or(0);
+    Ok(DumpSummary {
+        header,
+        records,
+        context_ticks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placed(tick: u64, job: u64) -> TraceRecord {
+        TraceRecord::JobPlaced {
+            tick,
+            job,
+            server: 3,
+            kind: 1,
+            duration_ticks: 10,
+        }
+    }
+
+    #[test]
+    fn ring_retains_most_recent_records() {
+        let mut rec = FlightRecorder::with_capacity(16);
+        for i in 0..40 {
+            rec.push(placed(i, i));
+        }
+        assert_eq!(rec.len(), 16);
+        assert_eq!(rec.records_total(), 40);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 16);
+        assert_eq!(snap.first().unwrap().tick(), 24);
+        assert_eq!(snap.last().unwrap().tick(), 39);
+        assert_eq!(rec.context_ticks(), 15);
+    }
+
+    #[test]
+    fn partially_filled_ring_keeps_order() {
+        let mut rec = FlightRecorder::with_capacity(64);
+        for i in 0..5 {
+            rec.push(placed(i, i));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0].tick(), 0);
+        assert_eq!(snap[4].tick(), 4);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_a_sane_floor() {
+        let rec = FlightRecorder::with_capacity(1);
+        assert_eq!(rec.capacity(), 16);
+    }
+
+    #[test]
+    fn dump_round_trips_and_validates() {
+        let mut rec = FlightRecorder::with_capacity(32);
+        for i in 0..10 {
+            rec.push(placed(i, i));
+        }
+        rec.push(TraceRecord::MeltCrossing {
+            tick: 10,
+            server: 7,
+            melting: true,
+            air_c: 36.25,
+        });
+        rec.push(TraceRecord::AnomalyMark {
+            tick: 11,
+            watchdog: WatchdogKind::ThermalViolation,
+        });
+        let mut out = Vec::new();
+        rec.dump_jsonl(&mut out, 11, Some(WatchdogKind::ThermalViolation))
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let summary = validate_dump(&text).expect("dump validates");
+        assert_eq!(summary.records, 12);
+        assert_eq!(
+            summary.header.watchdog,
+            Some(WatchdogKind::ThermalViolation)
+        );
+        assert_eq!(summary.header.context_ticks, 11);
+        assert_eq!(summary.context_ticks, 11);
+    }
+
+    #[test]
+    fn empty_dump_validates_with_zero_records() {
+        let rec = FlightRecorder::with_capacity(16);
+        let mut out = Vec::new();
+        rec.dump_jsonl(&mut out, 5, None).unwrap();
+        let summary = validate_dump(&String::from_utf8(out).unwrap()).unwrap();
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.header.watchdog, None);
+    }
+
+    #[test]
+    fn corrupted_dump_is_rejected_with_line_numbers() {
+        let mut rec = FlightRecorder::with_capacity(16);
+        rec.push(placed(1, 1));
+        let mut out = Vec::new();
+        rec.dump_jsonl(&mut out, 1, None).unwrap();
+        let mut text = String::from_utf8(out).unwrap();
+        text.push_str("garbage\n");
+        let err = validate_dump(&text).unwrap_err();
+        assert!(err.starts_with("line 3:"), "got: {err}");
+    }
+
+    #[test]
+    fn record_count_mismatch_is_rejected() {
+        let mut rec = FlightRecorder::with_capacity(16);
+        rec.push(placed(1, 1));
+        rec.push(placed(2, 2));
+        let mut out = Vec::new();
+        rec.dump_jsonl(&mut out, 2, None).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        let err = validate_dump(&truncated).unwrap_err();
+        assert!(err.contains("claims 2 records"), "got: {err}");
+    }
+
+    #[test]
+    fn out_of_order_ticks_are_rejected() {
+        let header = serde_json::to_string(&DumpHeader {
+            schema_version: DUMP_SCHEMA_VERSION,
+            tick: 5,
+            watchdog: None,
+            capacity: 16,
+            records: 2,
+            records_total: 2,
+            context_ticks: 0,
+        })
+        .unwrap();
+        let text = format!(
+            "{header}\n{}\n{}\n",
+            serde_json::to_string(&placed(5, 1)).unwrap(),
+            serde_json::to_string(&placed(3, 2)).unwrap()
+        );
+        let err = validate_dump(&text).unwrap_err();
+        assert!(err.contains("goes backwards"), "got: {err}");
+    }
+}

@@ -29,6 +29,20 @@ pub fn render_report(summary: &SummaryEvent) -> String {
         "wax          {:.1}% of servers melted at end of run",
         summary.final_melted_fraction * 100.0
     );
+    if summary.anomalies > 0 {
+        let _ = writeln!(
+            out,
+            "watchdogs    {} anomalies fired (see Anomaly events)",
+            summary.anomalies
+        );
+    }
+    if summary.write_errors > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING      {} event-sink write errors — the stream is incomplete",
+            summary.write_errors
+        );
+    }
 
     let phases = &summary.phases;
     if phases.ticks > 0 {
@@ -123,6 +137,8 @@ mod tests {
             peak_cooling_w: 250_000.0,
             peak_electrical_w: 260_000.0,
             final_melted_fraction: 0.125,
+            write_errors: 2,
+            anomalies: 1,
             phases: PhaseBreakdown {
                 physics_s: 1.2,
                 placement_s: 0.4,
@@ -153,6 +169,8 @@ mod tests {
             "hot 70, cold 30",
             "engine.melt_events = 4",
             "cluster.utilization = 0.5000",
+            "1 anomalies fired",
+            "2 event-sink write errors",
         ] {
             assert!(
                 report.contains(needle),
@@ -174,6 +192,8 @@ mod tests {
             peak_cooling_w: 0.0,
             peak_electrical_w: 0.0,
             final_melted_fraction: 0.0,
+            write_errors: 0,
+            anomalies: 0,
             phases: PhaseBreakdown::default(),
             scheduler: None,
             metrics: MetricsSnapshot::default(),
@@ -182,5 +202,7 @@ mod tests {
         assert!(!report.contains("scheduler"));
         assert!(!report.contains("metrics"));
         assert!(!report.contains("tick phases"));
+        assert!(!report.contains("write errors"));
+        assert!(!report.contains("anomalies"));
     }
 }

@@ -139,6 +139,8 @@ pub struct StreamSummary {
     pub melts: u64,
     /// `HotGroup` lines.
     pub hot_group_events: u64,
+    /// `Anomaly` lines.
+    pub anomalies: u64,
     /// The leading `RunConfig` event.
     pub run_config: RunConfigEvent,
     /// The trailing `Summary` event.
@@ -153,6 +155,7 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
     let mut snapshots = 0u64;
     let mut melts = 0u64;
     let mut hot_group_events = 0u64;
+    let mut anomalies = 0u64;
     let mut run_config: Option<RunConfigEvent> = None;
     let mut summary: Option<SummaryEvent> = None;
 
@@ -193,6 +196,7 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
             Event::Snapshot(_) => snapshots += 1,
             Event::Melt(_) => melts += 1,
             Event::HotGroup(_) => hot_group_events += 1,
+            Event::Anomaly(_) => anomalies += 1,
             Event::Summary(s) => summary = Some(s),
         }
     }
@@ -204,6 +208,7 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
         snapshots,
         melts,
         hot_group_events,
+        anomalies,
         run_config,
         summary,
     })
@@ -243,6 +248,8 @@ mod tests {
             peak_cooling_w: 1000.0,
             peak_electrical_w: 1000.0,
             final_melted_fraction: 0.0,
+            write_errors: 0,
+            anomalies: 0,
             phases: PhaseBreakdown::default(),
             scheduler: None,
             metrics: MetricsSnapshot::default(),
@@ -318,6 +325,73 @@ mod tests {
         );
         let err = validate_stream(&text).unwrap_err();
         assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        // Simulate a crash mid-write: the last line is cut in half.
+        let full = [
+            serde_json::to_string(&Event::RunConfig(config())).unwrap(),
+            serde_json::to_string(&Event::Snapshot(snapshot(5))).unwrap(),
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+        ]
+        .join("\n");
+        let cut = &full[..full.len() - 30];
+        let err = validate_stream(cut).unwrap_err();
+        assert!(err.starts_with("line 3:"), "got: {err}");
+
+        // Truncation that drops whole lines (no Summary) is also caught.
+        let whole_lines: String = full.lines().take(2).collect::<Vec<_>>().join("\n");
+        let err = validate_stream(&whole_lines).unwrap_err();
+        assert!(err.contains("no Summary"), "got: {err}");
+    }
+
+    #[test]
+    fn mid_line_corruption_is_rejected_with_its_line_number() {
+        // A valid stream whose middle line was bit-flipped into invalid
+        // JSON (truncated object brace).
+        let snapshot_line = serde_json::to_string(&Event::Snapshot(snapshot(5))).unwrap();
+        let corrupted = snapshot_line.replace("\"tick\":5", "\"tick\":,");
+        let text = [
+            serde_json::to_string(&Event::RunConfig(config())).unwrap(),
+            corrupted,
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+        ]
+        .join("\n");
+        let err = validate_stream(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+
+        // Corruption that stays valid JSON but breaks the schema (wrong
+        // field type) is caught the same way.
+        let wrong_type = snapshot_line.replace("\"tick\":5", "\"tick\":\"five\"");
+        let text = [
+            serde_json::to_string(&Event::RunConfig(config())).unwrap(),
+            wrong_type,
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+        ]
+        .join("\n");
+        let err = validate_stream(&text).unwrap_err();
+        assert!(err.starts_with("line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn anomaly_lines_are_counted() {
+        let anomaly = Event::Anomaly(crate::watchdog::AnomalyEvent {
+            tick: 7,
+            watchdog: crate::watchdog::WatchdogKind::GroupThrash,
+            server: None,
+            value: 5.0,
+            threshold: 3.0,
+            detail: "thrash".into(),
+        });
+        let text = [
+            serde_json::to_string(&Event::RunConfig(config())).unwrap(),
+            serde_json::to_string(&anomaly).unwrap(),
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+        ]
+        .join("\n");
+        let stream = validate_stream(&text).unwrap();
+        assert_eq!(stream.anomalies, 1);
     }
 
     #[test]
