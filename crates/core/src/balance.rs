@@ -2,6 +2,15 @@
 
 use vmt_dcsim::{ClusterIndex, ServerFarm};
 
+/// Children per tournament-tree node.
+///
+/// Eight `u64` keys are exactly one 64-byte cache line, so picking a
+/// node's winner is a single-line linear scan. The wider fan-out also
+/// flattens the tree: 1000 servers need 4 scan levels instead of the 10
+/// pointer-hops of a binary tree, and the internal levels together hold
+/// ~1/7th of the leaf count, keeping the whole structure cache-resident.
+const FANOUT: usize = 8;
+
 /// Balances placements across a set of servers by *projected
 /// steady-state temperature*.
 ///
@@ -16,35 +25,41 @@ use vmt_dcsim::{ClusterIndex, ServerFarm};
 /// Used by [`crate::CoolestFirst`] over the whole cluster and by the VMT
 /// policies within each group.
 ///
-/// Internally a flat tournament tree over the server ids: each leaf
-/// holds a member's current key as total-order bits (`u64::MAX` for
-/// non-members and members out of cores), each internal node the leaf
-/// winning `min (key, idx)` of its subtree. A placement reads the root
-/// and refreshes one root-to-leaf path — O(log n) like the former
-/// binary heap, but over contiguous arrays with no stale entries to
-/// skip, which is what the placement-burst benchmarks actually measure.
-/// The winner is a pure function of the current key set, so placement
-/// order is identical to the heap's (and to the naive references' full
-/// argmin scans — see `tests/differential.rs`).
+/// Internally a flat [`FANOUT`]-ary tournament tree over the server
+/// ids: leaf `i` holds member `i`'s current key as a raw `f64`
+/// (`f64::INFINITY` for non-members and members out of cores), and each
+/// internal node the `min (key, idx)` winner of its `FANOUT` children.
+/// A placement reads the root winner and refreshes one leaf-to-root
+/// path — each level a left-to-right scan of one contiguous child
+/// group, so "first strict minimum wins" is exactly the `(key, idx)`
+/// tie-break. The path refresh stops early at the first node whose
+/// `(key, winner)` comes out unchanged, since every ancestor above it
+/// is then already consistent. The winner is a pure function of the
+/// current key set, so placement order is identical to a full argmin
+/// scan's (see the naive references and `tests/differential.rs`).
 #[derive(Debug, Clone, Default)]
 pub struct ThermalBalancer {
-    /// Node keys, length `2·stride`: `wkey[stride + i]` is leaf `i`'s
-    /// current key (`u64::MAX` for non-members and members without a
-    /// free core), and `wkey[p]` for `p < stride` is the winning key of
-    /// the subtree rooted at `p` (children `2p`, `2p+1`). Empty until
-    /// the first rebuild.
-    wkey: Vec<u64>,
-    /// Winning leaf index per node, same layout as `wkey`; `win[1]` is
-    /// the overall winner. Every leaf of a node's left subtree has a
-    /// smaller id than every leaf of its right subtree, so "pick left on
-    /// equal keys" is exactly the `(key, idx)` tie-break — one u64
-    /// compare decides a node.
+    /// Node keys for every level, concatenated leaves-first; the last
+    /// entry is the root's winning key. Keys are finite projected
+    /// temperatures stored as raw `f64` — `<` orders them exactly and
+    /// `f64::INFINITY` is the retired/padding sentinel, so no
+    /// total-order bit encoding is needed on the hot path. Slots past a
+    /// level's real node count pad it to a multiple of [`FANOUT`] and
+    /// stay `f64::INFINITY` forever. Empty until the first rebuild.
+    key: Vec<f64>,
+    /// Winning leaf index per node, same layout as `key`; leaf-level
+    /// entries are unused (a leaf's winner is itself), the last entry
+    /// is the overall winner.
     win: Vec<u32>,
-    /// Leaf count of the tree (power of two, ≥ the farm size).
-    stride: usize,
+    /// Start offset of each level inside `key`/`win`; `level_off[0]`
+    /// is 0 (the leaves) and the last level holds the single root.
+    level_off: Vec<usize>,
     /// Projected temperature per server id (°C); only members' entries
     /// are meaningful.
     projected: Vec<f64>,
+    /// Memoized [`static_bias`] per server id, so per-tick rebuilds pay
+    /// one table read instead of a hash mix per member.
+    bias: Vec<f64>,
     /// Inverse of the air stream's capacity rate (K/W).
     kelvin_per_watt: f64,
 }
@@ -83,7 +98,8 @@ pub(crate) fn static_bias(idx: usize) -> f64 {
 }
 
 /// Orders f64 values as u64 keys (standard sign-flip trick; total order
-/// for all non-NaN values).
+/// for all non-NaN values). The tree stores raw `f64` keys; this stays
+/// as the naive reference scan's key encoding (`crate::reference`).
 pub(crate) fn order_bits(value: f64) -> u64 {
     let bits = value.to_bits();
     if value >= 0.0 {
@@ -112,10 +128,18 @@ pub(crate) fn kelvin_per_watt(farm: &ServerFarm) -> f64 {
 /// the differential tests compare full `SimulationResult`s, so even a
 /// one-ULP divergence from reassociated arithmetic would show up.
 pub(crate) fn fresh_key(idx: usize, extra: f64, kpw: f64, farm: &ServerFarm) -> f64 {
+    fresh_key_biased(idx, extra, kpw, farm, static_bias(idx))
+}
+
+/// [`fresh_key`] with the static bias supplied by the caller (the
+/// balancer's memoized table). The summation order matches [`fresh_key`]
+/// term for term, so both paths produce byte-identical keys.
+#[inline]
+fn fresh_key_biased(idx: usize, extra: f64, kpw: f64, farm: &ServerFarm, bias: f64) -> f64 {
     farm.inlet(idx).get()
         + farm.power(idx).get() * kpw
         + f64::from(farm.used_cores(idx)) * CORE_PENALTY_K
-        + static_bias(idx)
+        + bias
         + extra
 }
 
@@ -129,6 +153,34 @@ impl ThermalBalancer {
     /// Creates an empty balancer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Re-sizes the tree for a farm of `n` servers: computes the padded
+    /// level layout and memoizes the static-bias table.
+    fn resize(&mut self, n: usize) {
+        self.projected = vec![0.0; n];
+        self.bias = (0..n).map(static_bias).collect();
+        // Pad every level to a multiple of FANOUT so each node's child
+        // scan is one full, aligned group; the final level is the root.
+        let mut sizes = vec![n.max(1).next_multiple_of(FANOUT)];
+        while *sizes.last().expect("non-empty") > FANOUT {
+            sizes.push((sizes.last().expect("non-empty") / FANOUT).next_multiple_of(FANOUT));
+        }
+        sizes.push(1);
+        self.level_off = sizes
+            .iter()
+            .scan(0, |acc, &s| {
+                let off = *acc;
+                *acc += s;
+                Some(off)
+            })
+            .collect();
+        let total: usize = sizes.iter().sum();
+        // Padding slots hold f64::INFINITY from day one and are never
+        // rewritten (rebuilds only touch real leaves and real parents),
+        // so they can never win a scan.
+        self.key = vec![f64::INFINITY; total];
+        self.win = vec![0; total];
     }
 
     /// Rebuilds the balancer over `members` (server ids) for the current
@@ -147,49 +199,109 @@ impl ThermalBalancer {
         farm: &ServerFarm,
     ) {
         let n = farm.len();
-        if self.projected.len() != n {
-            self.projected = vec![0.0; n];
-            self.stride = n.next_power_of_two().max(1);
-            self.wkey = vec![u64::MAX; 2 * self.stride];
-            self.win = vec![0; 2 * self.stride];
-            for i in 0..self.stride {
-                self.win[self.stride + i] = i as u32;
-            }
+        if self.projected.len() != n || self.level_off.is_empty() {
+            self.resize(n);
         }
         self.kelvin_per_watt = kelvin_per_watt(farm);
-        self.wkey[self.stride..].fill(u64::MAX);
+        let leaf_cap = self.level_off[1];
+        self.key[..leaf_cap].fill(f64::INFINITY);
         for (idx, extra) in members {
-            self.projected[idx] = fresh_key(idx, extra, self.kelvin_per_watt, farm);
+            let fresh = fresh_key_biased(idx, extra, self.kelvin_per_watt, farm, self.bias[idx]);
+            self.projected[idx] = fresh;
             if farm.free_cores(idx) > 0 {
-                self.wkey[self.stride + idx] = order_bits(self.projected[idx]);
+                self.key[idx] = fresh;
             }
         }
-        // Bottom-up rebuild of every internal node, O(leaves).
-        for p in (1..self.stride).rev() {
-            let side = usize::from(self.wkey[2 * p] > self.wkey[2 * p + 1]);
-            self.wkey[p] = self.wkey[2 * p + side];
-            self.win[p] = self.win[2 * p + side];
+        self.rebuild_internal();
+    }
+
+    /// Bottom-up rebuild of every internal node, O(leaves / 7).
+    fn rebuild_internal(&mut self) {
+        for lvl in 1..self.level_off.len() {
+            let child_off = self.level_off[lvl - 1];
+            let groups = (self.level_off[lvl] - child_off) / FANOUT;
+            for g in 0..groups {
+                let base = child_off + g * FANOUT;
+                let (bk, bw) = if lvl == 1 {
+                    self.scan_leaves(base)
+                } else {
+                    self.scan_nodes(base)
+                };
+                let parent = self.level_off[lvl] + g;
+                self.key[parent] = bk;
+                self.win[parent] = bw;
+            }
         }
+    }
+
+    /// Winner of the leaf group starting at `base`: a leaf's winner is
+    /// its own index, so the `win` column is not consulted.
+    #[inline]
+    fn scan_leaves(&self, base: usize) -> (f64, u32) {
+        let g: [f64; FANOUT] = self.key[base..base + FANOUT]
+            .try_into()
+            .expect("full group");
+        // Pairwise tree reduction: three select levels instead of a
+        // seven-deep compare chain, and branchless (winner position is
+        // data-dependent, so a branch would mispredict constantly).
+        // Strict `<` keeps the leftmost winner on ties at every level,
+        // which composes to the global leftmost — the `(key, idx)`
+        // tie-break.
+        let sel = |a: (f64, u32), b: (f64, u32)| if b.0 < a.0 { b } else { a };
+        let q0 = sel((g[0], 0), (g[1], 1));
+        let q1 = sel((g[2], 2), (g[3], 3));
+        let q2 = sel((g[4], 4), (g[5], 5));
+        let q3 = sel((g[6], 6), (g[7], 7));
+        let (bk, t) = sel(sel(q0, q1), sel(q2, q3));
+        (bk, (base as u32) + t)
+    }
+
+    /// Winner of the internal-node group starting at `base`.
+    #[inline]
+    fn scan_nodes(&self, base: usize) -> (f64, u32) {
+        let g: [f64; FANOUT] = self.key[base..base + FANOUT]
+            .try_into()
+            .expect("full group");
+        let sel = |a: (f64, u32), b: (f64, u32)| if b.0 < a.0 { b } else { a };
+        let q0 = sel((g[0], 0), (g[1], 1));
+        let q1 = sel((g[2], 2), (g[3], 3));
+        let q2 = sel((g[4], 4), (g[5], 5));
+        let q3 = sel((g[6], 6), (g[7], 7));
+        let (bk, t) = sel(sel(q0, q1), sel(q2, q3));
+        (bk, self.win[base + t as usize])
     }
 
     /// Adds a member mid-tick (VMT-WA's hot-group growth).
     pub fn add_member(&mut self, idx: usize, farm: &ServerFarm) {
-        self.projected[idx] = fresh_key(idx, 0.0, self.kelvin_per_watt, farm);
+        self.projected[idx] =
+            fresh_key_biased(idx, 0.0, self.kelvin_per_watt, farm, self.bias[idx]);
         if farm.free_cores(idx) > 0 {
-            self.wkey[self.stride + idx] = order_bits(self.projected[idx]);
+            self.key[idx] = self.projected[idx];
             self.refresh_path(idx);
         }
     }
 
-    /// Re-evaluates the winners on the path from leaf `idx` to the root.
+    /// Re-evaluates the winners on the path from leaf `idx` to the
+    /// root, stopping at the first node whose `(key, winner)` comes out
+    /// unchanged — everything above is then already consistent.
     #[inline]
     fn refresh_path(&mut self, idx: usize) {
-        let mut p = (self.stride + idx) >> 1;
-        while p >= 1 {
-            let side = usize::from(self.wkey[2 * p] > self.wkey[2 * p + 1]);
-            self.wkey[p] = self.wkey[2 * p + side];
-            self.win[p] = self.win[2 * p + side];
-            p >>= 1;
+        let levels = self.level_off.len();
+        let mut group = idx / FANOUT;
+        let (mut bk, mut bw) = self.scan_leaves(group * FANOUT);
+        for lvl in 1..levels {
+            let parent = self.level_off[lvl] + group;
+            if self.key[parent] == bk && self.win[parent] == bw {
+                return;
+            }
+            self.key[parent] = bk;
+            self.win[parent] = bw;
+            if lvl + 1 == levels {
+                return;
+            }
+            group /= FANOUT;
+            let base = self.level_off[lvl] + group * FANOUT;
+            (bk, bw) = self.scan_nodes(base);
         }
     }
 
@@ -198,29 +310,30 @@ impl ThermalBalancer {
     /// full. `free` reports a member's currently free cores; the winner
     /// is the member minimizing `(key, idx)` among those with a live
     /// leaf, which is exactly the members still holding a free core —
-    /// a leaf is retired (set to `u64::MAX`) the moment its last core is
+    /// a leaf is retired (set to `f64::INFINITY`) the moment its last core is
     /// consumed, and the `free` re-check below catches cores taken by
     /// fallback paths that bypass the balancer.
     fn place_by(&mut self, free: impl Fn(usize) -> u32, core_power_w: f64) -> Option<usize> {
         loop {
-            if self.win.is_empty() || self.wkey[1] == u64::MAX {
+            let &root_key = self.key.last()?;
+            if root_key == f64::INFINITY {
                 return None;
             }
-            let idx = self.win[1] as usize;
+            let idx = *self.win.last().expect("win matches key") as usize;
             if free(idx) == 0 {
                 // A fallback path consumed this member's cores behind the
                 // balancer's back; retire the leaf and look again.
-                self.wkey[self.stride + idx] = u64::MAX;
+                self.key[idx] = f64::INFINITY;
                 self.refresh_path(idx);
                 continue;
             }
             self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
             // One core is consumed by this placement; stay in the tree
             // only if capacity remains afterwards.
-            self.wkey[self.stride + idx] = if free(idx) > 1 {
-                order_bits(self.projected[idx])
+            self.key[idx] = if free(idx) > 1 {
+                self.projected[idx]
             } else {
-                u64::MAX
+                f64::INFINITY
             };
             self.refresh_path(idx);
             return Some(idx);
@@ -265,17 +378,17 @@ impl ThermalBalancer {
         self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
         // The pending external placement consumes one core; the member
         // stays placeable only if capacity remains afterwards.
-        self.wkey[self.stride + idx] = if free > 1 {
-            order_bits(self.projected[idx])
+        self.key[idx] = if free > 1 {
+            self.projected[idx]
         } else {
-            u64::MAX
+            f64::INFINITY
         };
         self.refresh_path(idx);
     }
 
     /// True when no member can take another job this tick.
     pub fn is_exhausted(&self) -> bool {
-        self.win.is_empty() || self.wkey[1] == u64::MAX
+        self.key.last().is_none_or(|&k| k == f64::INFINITY)
     }
 }
 
@@ -372,5 +485,38 @@ mod tests {
             seen[b.place(&farm, 6.0).unwrap()] = true;
         }
         assert_eq!(seen, [true, true]);
+    }
+
+    /// The tree's winner must equal a naive argmin over the member keys
+    /// at every step of a long placement burst, across sizes that
+    /// exercise every padding shape (n ≤ FANOUT, exact multiples, one
+    /// past a level boundary).
+    #[test]
+    fn matches_naive_argmin_across_sizes() {
+        for n in [1, 7, 8, 9, 63, 64, 65, 300, 511, 513] {
+            let farm = farm(n, InletModel::normal(Celsius::new(22.0), DegC::new(1.5), 7));
+            let mut b = ThermalBalancer::new();
+            b.rebuild(0..n, &farm);
+            let kpw = kelvin_per_watt(&farm);
+            let mut naive: Vec<f64> = (0..n).map(|i| fresh_key(i, 0.0, kpw, &farm)).collect();
+            let mut naive_free: Vec<u32> = (0..n).map(|i| farm.free_cores(i)).collect();
+            for step in 0..(n * 8) {
+                let expect = naive
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| naive_free[i] > 0)
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN keys"))
+                    .map(|(i, _)| i);
+                // The balancer reads free cores through the same mutable
+                // view the naive model updates.
+                let free = naive_free.clone();
+                let got = b.place_by(|i| free[i], 6.0);
+                assert_eq!(got, expect, "n={n} step={step}");
+                if let Some(i) = got {
+                    naive[i] += bump(6.0, kpw);
+                    naive_free[i] -= 1;
+                }
+            }
+        }
     }
 }

@@ -1,11 +1,12 @@
 //! The simulation main loop.
 
 use crate::config::ClusterConfig;
-use crate::farm::{ServerFarm, SweepTiming};
+use crate::farm::{ServerFarm, SweepTiming, SHARD};
 use crate::index::ClusterIndex;
 use crate::metrics::{Heatmap, SimulationResult};
 use crate::scheduler::Scheduler;
 use crate::server::Server;
+use crate::server::ServerId;
 use crate::telemetry::{EngineTelemetry, PhaseClock};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -13,6 +14,18 @@ use vmt_telemetry::{TelemetryConfig, TickPhase};
 use vmt_thermal::CoolingLoadSeries;
 use vmt_units::{Celsius, Hours, Joules, Watts};
 use vmt_workload::{ArrivalPlanner, Job, JobId, JobSpec, LoadTrace, WorkloadKind};
+
+/// Minimum departure-bucket size worth fanning out to the pool: below
+/// this the per-entry work (tens of nanoseconds) cannot recoup the
+/// handoff plus the shard-partition pass, and the plain serial drain
+/// wins. A 1,000-server paper-trace tick retires ~2,300 jobs and stays
+/// serial; a 10,000-server tick retires ~23,000 and fans out.
+const PAR_DEPART_MIN: usize = 4096;
+
+/// Retired departure buckets kept for reuse. One bucket retires per
+/// tick and placement usually re-provisions one a few ticks ahead, so a
+/// small pool absorbs the churn.
+const BUCKET_POOL_CAP: usize = 8;
 
 /// A configured simulation, ready to run.
 ///
@@ -57,8 +70,17 @@ pub struct Simulation {
     index: ClusterIndex,
     /// Per-workload arrival staging, reused across ticks.
     per_kind: [Vec<JobSpec>; 5],
-    /// Interleaved arrival batch, reused across ticks.
-    interleaved: Vec<JobSpec>,
+    /// Materialized jobs of the tick's batch, reused across ticks.
+    batch: Vec<Job>,
+    /// Per-job placement outcomes of the tick's batch, reused across
+    /// ticks.
+    outcomes: Vec<Option<ServerId>>,
+    /// Departure entries partitioned by server shard for the parallel
+    /// drain, reused across ticks.
+    depart_shards: Vec<Vec<(JobId, u32)>>,
+    /// Retired departure buckets recycled into future calendar slots so
+    /// the steady state allocates no new buckets.
+    bucket_pool: Vec<Vec<(JobId, u32)>>,
     /// Telemetry wiring; `None` (the default) is the zero-cost path —
     /// the run loop takes no timestamps and emits nothing.
     telemetry: Option<TelemetryConfig>,
@@ -91,7 +113,10 @@ impl Simulation {
             arrival_rng,
             index,
             per_kind: std::array::from_fn(|_| Vec::new()),
-            interleaved: Vec::new(),
+            batch: Vec::new(),
+            outcomes: Vec::new(),
+            depart_shards: Vec::new(),
+            bucket_pool: Vec::new(),
             telemetry: None,
         }
     }
@@ -148,11 +173,18 @@ impl Simulation {
         let mut hot_group_temp = Vec::with_capacity(ticks);
         let mut hot_group_sizes = Vec::with_capacity(ticks);
         let mut stored_energy = Vec::with_capacity(ticks);
+        // Both heatmaps are preallocated in full and their rows written
+        // in place on sample ticks — no per-tick row allocations.
+        let heatmap_stride = self.config.heatmap_stride.max(1);
+        let row_interval = dt.get() * self.config.heatmap_stride as f64;
         let mut temp_heatmap = Heatmap {
-            row_interval: dt.get() * self.config.heatmap_stride as f64,
-            rows: Vec::with_capacity(heatmap_rows),
+            row_interval,
+            rows: vec![vec![0.0; num_servers]; heatmap_rows],
         };
-        let mut melt_heatmap = temp_heatmap.clone();
+        let mut melt_heatmap = Heatmap {
+            row_interval,
+            rows: vec![vec![0.0; num_servers]; heatmap_rows],
+        };
         let mut dropped_jobs = 0u64;
         let mut placements = 0u64;
         let cores_per_server = self.farm.cores();
@@ -189,7 +221,11 @@ impl Simulation {
                 }
             }
             lap!(Inlet);
-            self.process_departures(t as u64, telemetry.as_mut());
+            // One SweepTiming covers both pool-driven sections of the
+            // tick (departure drain and physics sweep); created only
+            // when telemetry is attached.
+            let mut sweep_timing = telemetry.as_ref().map(|_| SweepTiming::default());
+            self.process_departures(t as u64, telemetry.as_mut(), sweep_timing.as_mut());
             lap!(Departures);
             self.scheduler.on_tick_indexed(&self.farm, &self.index, now);
             lap!(SchedulerTick);
@@ -214,24 +250,31 @@ impl Simulation {
                 .scheduler
                 .hot_group_size()
                 .map(|size| size.clamp(1, num_servers));
-            let sample_heatmaps = t % self.config.heatmap_stride == 0;
-            let (mut temp_row, mut melt_row) = if sample_heatmaps {
-                (vec![0.0; num_servers], vec![0.0; num_servers])
+            let sample_heatmaps = t % heatmap_stride == 0;
+            let (temp_row, melt_row) = if sample_heatmaps {
+                let row = t / heatmap_stride;
+                (
+                    Some(temp_heatmap.rows[row].as_mut_slice()),
+                    Some(melt_heatmap.rows[row].as_mut_slice()),
+                )
             } else {
-                (Vec::new(), Vec::new())
+                (None, None)
             };
-            let mut sweep_timing = telemetry.as_ref().map(|_| SweepTiming::default());
             let totals = self.farm.tick_physics_recorded(
                 dt,
                 hot_size.unwrap_or(0),
                 &mut self.index,
-                sample_heatmaps.then_some(temp_row.as_mut_slice()),
-                sample_heatmaps.then_some(melt_row.as_mut_slice()),
+                temp_row,
+                melt_row,
                 sweep_timing.as_mut(),
             );
             lap!(Physics);
             if let (Some(tel), Some(timing)) = (telemetry.as_mut(), sweep_timing) {
                 tel.profiler.add_ns(TickPhase::PhysicsFold, timing.fold_ns);
+                tel.profiler
+                    .add_ns(TickPhase::PoolBusy, timing.pool_busy_ns);
+                tel.profiler
+                    .add_ns(TickPhase::PoolIdle, timing.pool_idle_ns);
             }
             let mean_air_c = totals.temp_sum_c / num_servers as f64;
             cooling.push(Watts::new(totals.electrical_w - totals.into_wax_w));
@@ -241,10 +284,6 @@ impl Simulation {
             if let Some(size) = hot_size {
                 hot_group_temp.push(Celsius::new(totals.hot_sum_c / size as f64));
                 hot_group_sizes.push(size);
-            }
-            if sample_heatmaps {
-                temp_heatmap.rows.push(temp_row);
-                melt_heatmap.rows.push(melt_row);
             }
             if let Some(tel) = telemetry.as_mut() {
                 let tick_1based = t as u64 + 1;
@@ -293,14 +332,52 @@ impl Simulation {
     }
 
     /// Ends every job whose departure tick has arrived.
-    fn process_departures(&mut self, tick: u64, mut telemetry: Option<&mut EngineTelemetry>) {
-        for (job, server) in std::mem::take(&mut self.departures[tick as usize]) {
-            let kind = self.farm.end_job(server as usize, job);
-            self.occupancy[kind.index()] -= 1;
-            self.index.record_end(server as usize);
-            if let Some(tel) = telemetry.as_deref_mut() {
+    ///
+    /// Large buckets are partitioned by server shard and drained in
+    /// parallel on the farm's persistent pool; the partition is stable,
+    /// so every server sees its departures in bucket order and results
+    /// are bit-identical to the serial drain (which small buckets and
+    /// single-thread runs take directly).
+    fn process_departures(
+        &mut self,
+        tick: u64,
+        telemetry: Option<&mut EngineTelemetry>,
+        timing: Option<&mut SweepTiming>,
+    ) {
+        let mut bucket = std::mem::take(&mut self.departures[tick as usize]);
+        if self.farm.threads() > 1 && bucket.len() >= PAR_DEPART_MIN {
+            let num_shards = self.farm.len().div_ceil(SHARD);
+            self.depart_shards.resize_with(num_shards, Vec::new);
+            for shard in &mut self.depart_shards {
+                shard.clear();
+            }
+            for &(job, server) in &bucket {
+                self.depart_shards[server as usize / SHARD].push((job, server));
+            }
+            let ended = self.farm.end_jobs_sharded(
+                &self.depart_shards,
+                &mut self.index,
+                &mut self.occupancy,
+                timing,
+            );
+            debug_assert_eq!(ended as usize, bucket.len());
+        } else {
+            for &(job, server) in &bucket {
+                let kind = self.farm.end_job(server as usize, job);
+                self.occupancy[kind.index()] -= 1;
+                self.index.record_end(server as usize);
+            }
+        }
+        // Flight-ring records keep the original bucket order regardless
+        // of which path drained the jobs.
+        if let Some(tel) = telemetry.filter(|tel| tel.flight_armed()) {
+            for &(job, server) in &bucket {
                 tel.record_departure(tick, job.0, server);
             }
+        }
+        bucket.clear();
+        if self.bucket_pool.len() < BUCKET_POOL_CAP {
+            self.bucket_pool.push(bucket);
         }
     }
 
@@ -311,7 +388,7 @@ impl Simulation {
         now_hours: Hours,
         placements: &mut u64,
         dropped: &mut u64,
-        mut telemetry: Option<&mut EngineTelemetry>,
+        telemetry: Option<&mut EngineTelemetry>,
     ) {
         let total_cores = self.config.total_cores();
         // Plan all workloads first, then interleave the batches so that
@@ -326,58 +403,107 @@ impl Simulation {
             let current = self.occupancy[kind.index()];
             self.planner.plan_into(kind, target, current, queue);
         }
-        let mut interleaved = std::mem::take(&mut self.interleaved);
-        interleaved.clear();
-        interleaved.reserve(self.per_kind.iter().map(Vec::len).sum());
+        // Jobs are materialized directly during the interleave (no
+        // intermediate spec buffer), shuffled, then id-stamped in final
+        // order — so ids are sequential in arrival order, exactly as a
+        // spec-then-materialize pipeline would assign them.
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        batch.reserve(self.per_kind.iter().map(Vec::len).sum());
         let longest = self.per_kind.iter().map(Vec::len).max().unwrap_or(0);
         for position in 0..longest {
             for queue in &self.per_kind {
                 if let Some(&spec) = queue.get(position) {
-                    interleaved.push(spec);
+                    batch.push(Job::new(JobId(0), spec.kind, spec.duration));
                 }
             }
         }
         // A strict cyclic interleave aliases with count-based policies
         // (e.g. round robin over a server count divisible by the number
         // of workloads would stripe kinds across servers); a seeded
-        // shuffle models the real, unordered arrival stream.
-        interleaved.shuffle(&mut self.arrival_rng);
-        for &spec in &interleaved {
-            let id = JobId(self.next_job_id);
+        // shuffle models the real, unordered arrival stream. The RNG
+        // draw sequence depends only on the batch length, so shuffling
+        // jobs instead of specs leaves the arrival stream unchanged.
+        batch.shuffle(&mut self.arrival_rng);
+        for job in &mut batch {
+            job.set_id(JobId(self.next_job_id));
             self.next_job_id += 1;
-            let job = Job::new(id, spec.kind, spec.duration);
-            match self.scheduler.place_indexed(&job, &self.farm, &self.index) {
-                Some(sid) => {
-                    self.farm.start_job(sid.0, &job);
-                    self.index.record_start(sid.0);
-                    self.occupancy[spec.kind.index()] += 1;
-                    let duration_ticks = (spec.duration.get() / self.config.tick.get())
-                        .round()
-                        .max(1.0) as u64;
-                    let when = (tick + duration_ticks) as usize;
-                    if when < self.departures.len() {
-                        self.departures[when].push((id, sid.0 as u32));
-                    }
-                    *placements += 1;
-                    if let Some(tel) = telemetry.as_deref_mut() {
+        }
+
+        // Hand the whole batch to the scheduler in one call:
+        // `place_batch`'s default body runs the identical per-job
+        // decision sequence, but monomorphized per policy, so the whole
+        // placement loop costs one dynamic dispatch per tick.
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        outcomes.clear();
+        outcomes.reserve(batch.len());
+        self.scheduler
+            .place_batch(&batch, &mut self.farm, &mut self.index, &mut outcomes);
+        debug_assert_eq!(outcomes.len(), batch.len());
+
+        // Engine bookkeeping over the outcomes, in batch order. The
+        // flight-record calls are compiled into a separate loop body so
+        // the common unrecorded run carries no per-job telemetry branch.
+        let flight = telemetry.filter(|tel| tel.flight_armed());
+        if let Some(tel) = flight {
+            for (job, placed) in batch.iter().zip(&outcomes) {
+                match placed {
+                    Some(sid) => {
+                        self.occupancy[job.kind().index()] += 1;
+                        let duration_ticks = (job.duration().get() / self.config.tick.get())
+                            .round()
+                            .max(1.0) as u64;
+                        let when = (tick + duration_ticks) as usize;
+                        if when < self.departures.len() {
+                            let slot = &mut self.departures[when];
+                            if slot.capacity() == 0 {
+                                if let Some(spare) = self.bucket_pool.pop() {
+                                    *slot = spare;
+                                }
+                            }
+                            slot.push((job.id(), sid.0 as u32));
+                        }
+                        *placements += 1;
                         tel.record_placement(
                             tick,
-                            id.0,
+                            job.id().0,
                             sid.0 as u32,
-                            spec.kind.index() as u8,
+                            job.kind().index() as u8,
                             duration_ticks as u32,
                         );
                     }
-                }
-                None => {
-                    *dropped += 1;
-                    if let Some(tel) = telemetry.as_deref_mut() {
-                        tel.record_drop(tick, id.0, spec.kind.index() as u8);
+                    None => {
+                        *dropped += 1;
+                        tel.record_drop(tick, job.id().0, job.kind().index() as u8);
                     }
                 }
             }
+        } else {
+            for (job, placed) in batch.iter().zip(&outcomes) {
+                match placed {
+                    Some(sid) => {
+                        self.occupancy[job.kind().index()] += 1;
+                        let duration_ticks = (job.duration().get() / self.config.tick.get())
+                            .round()
+                            .max(1.0) as u64;
+                        let when = (tick + duration_ticks) as usize;
+                        if when < self.departures.len() {
+                            let slot = &mut self.departures[when];
+                            if slot.capacity() == 0 {
+                                if let Some(spare) = self.bucket_pool.pop() {
+                                    *slot = spare;
+                                }
+                            }
+                            slot.push((job.id(), sid.0 as u32));
+                        }
+                        *placements += 1;
+                    }
+                    None => *dropped += 1,
+                }
+            }
         }
-        self.interleaved = interleaved;
+        self.batch = batch;
+        self.outcomes = outcomes;
     }
 }
 

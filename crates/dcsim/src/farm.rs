@@ -25,7 +25,9 @@
 
 use crate::config::{ClusterConfig, WaxSpec};
 use crate::index::ClusterIndex;
+use crate::pool::TickPool;
 use crate::server::{Server, ServerId};
+use std::cell::UnsafeCell;
 use vmt_pcm::{PcmMaterial, WaxKernel, WaxPack, WaxStateEstimator};
 use vmt_power::ServerPowerModel;
 use vmt_thermal::{AirStream, ServerThermalModel};
@@ -40,6 +42,24 @@ use vmt_workload::{Job, JobId, VmtClass, WorkloadKind};
 /// lanes keeps a shard's working set inside L1 while amortizing the
 /// per-shard bookkeeping.
 pub const SHARD: usize = 64;
+
+/// Minimum servers backing each extra physics worker.
+///
+/// One pool handoff (wake, claim, park) costs on the order of tens of
+/// microseconds; a server's physics step costs tens of nanoseconds. A
+/// worker therefore has to cover a couple thousand servers per tick
+/// before fanning out beats running its share inline — below that the
+/// engine thread sweeps alone no matter how many workers were requested
+/// (requesting threads stays harmless at any cluster size, which is
+/// what keeps small-cluster multi-thread rows from inverting).
+const SERVERS_PER_WORKER: usize = 2048;
+
+/// Minimum departures backing each extra drain worker, for the same
+/// handoff-vs-work reason as [`SERVERS_PER_WORKER`]: a worker must
+/// retire thousands of jobs for its wake/park round-trip to pay, so
+/// the drain fans out one worker per 4,096 bucketed departures and
+/// never spreads a tick's bucket thinner than that.
+const DEPART_JOBS_PER_WORKER: usize = 4096;
 
 /// Resolves the default tick-level thread count: the `VMT_THREADS`
 /// environment variable when set to a positive integer, otherwise
@@ -62,10 +82,28 @@ pub fn default_tick_threads() -> usize {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepTiming {
     /// Nanoseconds spent running the shard kernels (inline or pooled,
-    /// including worker spawn/join).
+    /// including the pool handoff).
     pub shards_ns: u64,
     /// Nanoseconds spent folding the per-shard partials in shard order.
     pub fold_ns: u64,
+    /// Summed busy nanoseconds across pool participants (workers plus
+    /// the engine thread) while the shard section ran; zero on the
+    /// inline single-thread path, where the pool is not engaged.
+    pub pool_busy_ns: u64,
+    /// Summed idle nanoseconds across pool participants within the
+    /// shard section's wall-clock span (`span × participants − busy`);
+    /// zero on the inline path.
+    pub pool_idle_ns: u64,
+}
+
+impl SweepTiming {
+    /// Folds a pool section's per-participant busy slots into the
+    /// busy/idle attribution, given the section's wall-clock span.
+    fn add_pool_busy(&mut self, span_ns: u64, busy: &[u64]) {
+        let busy_sum: u64 = busy.iter().sum();
+        self.pool_busy_ns += busy_sum;
+        self.pool_idle_ns += (span_ns * busy.len() as u64).saturating_sub(busy_sum);
+    }
 }
 
 /// Order-stable partial sums of one physics tick (raw accumulator
@@ -140,7 +178,7 @@ impl FarmWax {
 /// arrays at once. [`ServerFarm::to_servers`] and
 /// [`ServerFarm::from_servers`] convert losslessly to and from the
 /// array-of-structs form.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ServerFarm {
     power_model: ServerPowerModel,
     air: AirStream,
@@ -160,10 +198,44 @@ pub struct ServerFarm {
     est_temp_c: Vec<f64>,
     /// Per-server estimator melt-fraction state.
     est_fraction: Vec<f64>,
-    /// Per-server running jobs (cold path: only start/end touch these).
-    /// A flat vec beats a hash map here: at most `cores` (32) entries,
-    /// so a linear id scan stays in one cache line's worth of probes.
-    jobs: Vec<Vec<(JobId, WorkloadKind)>>,
+    /// Flat running-job slab: server `i`'s jobs occupy the first
+    /// `job_counts[i]` slots of the row starting at `i * cores`. A flat
+    /// slab beats both a hash map and per-server vecs: `used_cores` is
+    /// one array read, placement writes one slot, and a departure scan
+    /// walks at most `cores` contiguous ids.
+    job_ids: Vec<u64>,
+    /// Workload of each slab slot, stored as [`WorkloadKind::index`]
+    /// bytes parallel to `job_ids`.
+    job_kinds: Vec<u8>,
+    /// Occupied slot count of each server's slab row (= used cores).
+    job_counts: Vec<u32>,
+    /// Persistent worker pool, created lazily on the first multi-worker
+    /// sweep and rebuilt when the thread count changes. Clones of the
+    /// farm start poolless and spin up their own on demand.
+    pool: Option<TickPool>,
+}
+
+impl Clone for ServerFarm {
+    fn clone(&self) -> Self {
+        Self {
+            power_model: self.power_model,
+            air: self.air,
+            time_constant: self.time_constant,
+            oracle_wax_state: self.oracle_wax_state,
+            threads: self.threads,
+            wax: self.wax.clone(),
+            inlet_c: self.inlet_c.clone(),
+            at_wax_c: self.at_wax_c.clone(),
+            active_power_w: self.active_power_w.clone(),
+            enthalpy_j: self.enthalpy_j.clone(),
+            est_temp_c: self.est_temp_c.clone(),
+            est_fraction: self.est_fraction.clone(),
+            job_ids: self.job_ids.clone(),
+            job_kinds: self.job_kinds.clone(),
+            job_counts: self.job_counts.clone(),
+            pool: None,
+        }
+    }
 }
 
 impl ServerFarm {
@@ -174,6 +246,7 @@ impl ServerFarm {
     /// zero melt.
     pub fn from_config(config: &ClusterConfig) -> Self {
         let n = config.num_servers;
+        let stride = config.power.cores() as usize;
         let wax = config.wax.as_ref().map(FarmWax::new);
         let mut farm = Self {
             power_model: config.power,
@@ -188,7 +261,10 @@ impl ServerFarm {
             enthalpy_j: Vec::with_capacity(n),
             est_temp_c: Vec::with_capacity(n),
             est_fraction: vec![0.0; n],
-            jobs: (0..n).map(|_| Vec::new()).collect(),
+            job_ids: vec![0; n * stride],
+            job_kinds: vec![0; n * stride],
+            job_counts: vec![0; n],
+            pool: None,
         };
         for i in 0..n {
             let inlet = config.inlet.inlet_for(i);
@@ -234,6 +310,19 @@ impl ServerFarm {
                 exchanger.taper(),
             )
         });
+        let n = servers.len();
+        let stride = first.power_model().cores() as usize;
+        let mut job_ids = vec![0u64; n * stride];
+        let mut job_kinds = vec![0u8; n * stride];
+        let mut job_counts = vec![0u32; n];
+        for (i, s) in servers.iter().enumerate() {
+            for (&id, &kind) in s.jobs_map() {
+                let slot = i * stride + job_counts[i] as usize;
+                job_ids[slot] = id.0;
+                job_kinds[slot] = kind.index() as u8;
+                job_counts[i] += 1;
+            }
+        }
         let mut farm = Self {
             power_model: first.power_model(),
             air: first.air(),
@@ -247,13 +336,13 @@ impl ServerFarm {
                 .iter()
                 .map(|s| s.active_core_power().get())
                 .collect(),
-            enthalpy_j: Vec::with_capacity(servers.len()),
-            est_temp_c: Vec::with_capacity(servers.len()),
-            est_fraction: Vec::with_capacity(servers.len()),
-            jobs: servers
-                .iter()
-                .map(|s| s.jobs_map().iter().map(|(&id, &kind)| (id, kind)).collect())
-                .collect(),
+            enthalpy_j: Vec::with_capacity(n),
+            est_temp_c: Vec::with_capacity(n),
+            est_fraction: Vec::with_capacity(n),
+            job_ids,
+            job_kinds,
+            job_counts,
+            pool: None,
         };
         for s in servers {
             match s.wax_parts() {
@@ -303,7 +392,7 @@ impl ServerFarm {
                     self.power_model,
                     thermal,
                     wax,
-                    self.jobs[i].iter().copied().collect(),
+                    self.job_row(i).collect(),
                     Watts::new(self.active_power_w[i]),
                     self.oracle_wax_state,
                 )
@@ -326,38 +415,59 @@ impl ServerFarm {
         self.threads
     }
 
-    /// Sets the physics-tick worker count (clamped to at least 1).
-    /// Results are bit-identical at any setting.
+    /// Sets the tick-level worker count (clamped to at least 1).
+    /// Results are bit-identical at any setting. A resized pool is
+    /// rebuilt lazily on the next multi-worker sweep.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        let threads = threads.max(1);
+        if threads != self.threads {
+            self.pool = None;
+        }
+        self.threads = threads;
     }
 
     /// Total cores of server `i` (uniform across the farm).
+    #[inline]
     pub fn cores(&self) -> u32 {
         self.power_model.cores()
     }
 
     /// Cores of server `i` currently running jobs.
+    #[inline]
     pub fn used_cores(&self, i: usize) -> u32 {
-        self.jobs[i].len() as u32
+        self.job_counts[i]
+    }
+
+    /// Server `i`'s running jobs (slab row in storage order).
+    fn job_row(&self, i: usize) -> impl Iterator<Item = (JobId, WorkloadKind)> + '_ {
+        let start = i * self.cores() as usize;
+        let end = start + self.job_counts[i] as usize;
+        self.job_ids[start..end]
+            .iter()
+            .zip(&self.job_kinds[start..end])
+            .map(|(&id, &k)| (JobId(id), WorkloadKind::ALL[k as usize]))
     }
 
     /// Cores of server `i` available for placement.
+    #[inline]
     pub fn free_cores(&self, i: usize) -> u32 {
         self.cores() - self.used_cores(i)
     }
 
     /// Current electrical power draw of server `i`.
+    #[inline]
     pub fn power(&self, i: usize) -> Watts {
         self.power_model.idle() + Watts::new(self.active_power_w[i])
     }
 
     /// Current air temperature at server `i`'s wax containers.
+    #[inline]
     pub fn air_at_wax(&self, i: usize) -> Celsius {
         Celsius::new(self.at_wax_c[i])
     }
 
     /// Inlet temperature of server `i`.
+    #[inline]
     pub fn inlet(&self, i: usize) -> Celsius {
         Celsius::new(self.inlet_c[i])
     }
@@ -385,6 +495,7 @@ impl ServerFarm {
     /// Melt fraction of server `i` as reported by the on-server
     /// estimator — what the cluster scheduler sees. With the cluster's
     /// `oracle_wax_state` ablation flag set, returns the physical state.
+    #[inline]
     pub fn reported_melt_fraction(&self, i: usize) -> Fraction {
         if self.oracle_wax_state {
             return self.melt_fraction(i);
@@ -426,9 +537,10 @@ impl ServerFarm {
     /// Number of running jobs of each workload on server `i`, indexed by
     /// [`WorkloadKind::index`].
     pub fn kind_counts(&self, i: usize) -> [u32; 5] {
+        let start = i * self.cores() as usize;
         let mut counts = [0u32; 5];
-        for &(_, kind) in &self.jobs[i] {
-            counts[kind.index()] += 1;
+        for &k in &self.job_kinds[start..start + self.job_counts[i] as usize] {
+            counts[k as usize] += 1;
         }
         counts
     }
@@ -436,10 +548,11 @@ impl ServerFarm {
     /// Number of running jobs of each VMT class `(hot, cold)` on server
     /// `i`.
     pub fn class_counts(&self, i: usize) -> (u32, u32) {
+        let start = i * self.cores() as usize;
         let mut hot = 0;
         let mut cold = 0;
-        for &(_, kind) in &self.jobs[i] {
-            match kind.vmt_class() {
+        for &k in &self.job_kinds[start..start + self.job_counts[i] as usize] {
+            match WorkloadKind::ALL[k as usize].vmt_class() {
                 VmtClass::Hot => hot += 1,
                 VmtClass::Cold => cold += 1,
             }
@@ -453,20 +566,147 @@ impl ServerFarm {
     ///
     /// Panics if the server is full or the job id is already running
     /// here — both indicate an engine bug.
+    #[inline]
     pub fn start_job(&mut self, i: usize, job: &Job) {
         assert!(
             self.free_cores(i) > 0,
             "placement on a full {}",
             ServerId(i)
         );
+        let start = i * self.cores() as usize;
+        let len = self.job_counts[i] as usize;
         debug_assert!(
-            self.jobs[i].iter().all(|&(id, _)| id != job.id()),
+            self.job_ids[start..start + len]
+                .iter()
+                .all(|&id| id != job.id().0),
             "duplicate {} on {}",
             job.id(),
             ServerId(i)
         );
-        self.jobs[i].push((job.id(), job.kind()));
+        self.job_ids[start + len] = job.id().0;
+        self.job_kinds[start + len] = job.kind().index() as u8;
+        self.job_counts[i] += 1;
         self.active_power_w[i] += job.core_power().get();
+    }
+
+    /// Ensures the persistent pool exists with `workers - 1` parked
+    /// threads (the engine thread participates, so total parallelism is
+    /// `workers`).
+    fn ensure_pool(&mut self, workers: usize) {
+        let needed = workers - 1;
+        if self.pool.as_ref().map(TickPool::workers) != Some(needed) {
+            self.pool = Some(TickPool::new(needed));
+        }
+    }
+
+    /// Applies one tick's departures, pre-partitioned by server shard,
+    /// in parallel on the persistent pool: each shard task mutates only
+    /// its own slab rows, power lanes, and free-core window, and the
+    /// integer per-shard outcomes are folded in shard order.
+    ///
+    /// Bit-identical to calling [`ServerFarm::end_job`] over the
+    /// original bucket: the partition is stable, so every server sees
+    /// its departures in exactly the bucket order, and per-server power
+    /// subtraction order (the only floating-point state involved) is
+    /// unchanged. Cross-shard effects are integer counts, which fold
+    /// order-independently.
+    ///
+    /// Returns the number of jobs ended. `occupancy` is decremented per
+    /// workload kind; the index's free-core column and used total are
+    /// updated in place.
+    pub(crate) fn end_jobs_sharded(
+        &mut self,
+        shard_buckets: &[Vec<(JobId, u32)>],
+        index: &mut ClusterIndex,
+        occupancy: &mut [usize; 5],
+        timing: Option<&mut SweepTiming>,
+    ) -> u64 {
+        let n = self.len();
+        let stride = self.cores() as usize;
+        let num_shards = n.div_ceil(SHARD);
+        debug_assert_eq!(shard_buckets.len(), num_shards);
+        let total_jobs: usize = shard_buckets.iter().map(Vec::len).sum();
+        let workers = self
+            .threads
+            .min(num_shards)
+            .min((total_jobs / DEPART_JOBS_PER_WORKER).max(1))
+            .max(1);
+        if workers > 1 {
+            self.ensure_pool(workers);
+        }
+        let mut outs = vec![DepartOut::default(); num_shards];
+        let mut tasks: Vec<DepartView<'_>> = Vec::with_capacity(num_shards);
+        {
+            let mut ids = self.job_ids.as_mut_slice();
+            let mut kinds = self.job_kinds.as_mut_slice();
+            let mut counts = self.job_counts.as_mut_slice();
+            let mut power = self.active_power_w.as_mut_slice();
+            let mut free = index.free_cores_mut();
+            let mut outs_rest = outs.as_mut_slice();
+            let mut base = 0;
+            for bucket in shard_buckets {
+                let len = SHARD.min(n - base);
+                let (out, rest) = std::mem::take(&mut outs_rest).split_at_mut(1);
+                outs_rest = rest;
+                tasks.push(DepartView {
+                    base,
+                    stride,
+                    entries: bucket,
+                    job_ids: split_front_mut(&mut ids, len * stride),
+                    job_kinds: split_front_mut(&mut kinds, len * stride),
+                    job_counts: split_front_mut(&mut counts, len),
+                    active_power_w: split_front_mut(&mut power, len),
+                    free_cores: split_front_mut(&mut free, len),
+                    out: &mut out[0],
+                });
+                base += len;
+            }
+        }
+
+        let started = timing.as_ref().map(|_| std::time::Instant::now());
+        let mut pool_busy: Vec<u64> = Vec::new();
+        if workers == 1 {
+            for task in tasks {
+                run_depart_shard(task);
+            }
+        } else {
+            let pool = self.pool.as_ref().expect("pool sized above");
+            let slots: Vec<UnsafeCell<Option<DepartView<'_>>>> = tasks
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect();
+            let slots = TaskSlots(&slots);
+            let run = move |i: usize| {
+                // SAFETY: the pool's claim counter hands out each index
+                // exactly once, so this take never aliases.
+                let task = unsafe { slots.take(i) }.expect("shard claimed once");
+                run_depart_shard(task);
+            };
+            if started.is_some() {
+                pool_busy = vec![0u64; pool.workers() + 1];
+                pool.run_timed(num_shards, &run, &mut pool_busy);
+            } else {
+                pool.run(num_shards, &run);
+            }
+        }
+        if let (Some(timing), Some(t0)) = (timing, started) {
+            let span_ns = t0.elapsed().as_nanos() as u64;
+            timing.shards_ns += span_ns;
+            if !pool_busy.is_empty() {
+                timing.add_pool_busy(span_ns, &pool_busy);
+            }
+        }
+
+        // Shard-ordered integer fold of the per-shard outcomes.
+        let mut ended = 0u64;
+        for out in &outs {
+            ended += u64::from(out.ended);
+            for (slot, &count) in occupancy.iter_mut().zip(&out.kinds) {
+                *slot -= count as usize;
+            }
+        }
+        index.record_bulk_ends(ended);
+        ended
     }
 
     /// Ends a job on server `i`, freeing its core. Returns the job's
@@ -475,15 +715,22 @@ impl ServerFarm {
     /// # Panics
     ///
     /// Panics if the job is not running on server `i`.
+    #[inline]
     pub fn end_job(&mut self, i: usize, id: JobId) -> WorkloadKind {
-        let pos = self.jobs[i]
+        let start = i * self.cores() as usize;
+        let len = self.job_counts[i] as usize;
+        let pos = self.job_ids[start..start + len]
             .iter()
-            .position(|&(running, _)| running == id)
+            .position(|&running| running == id.0)
             .unwrap_or_else(|| panic!("{id} not running on {}", ServerId(i)));
-        let (_, kind) = self.jobs[i].swap_remove(pos);
+        let kind = WorkloadKind::ALL[self.job_kinds[start + pos] as usize];
+        // Swap-remove within the slab row.
+        self.job_ids[start + pos] = self.job_ids[start + len - 1];
+        self.job_kinds[start + pos] = self.job_kinds[start + len - 1];
+        self.job_counts[i] = (len - 1) as u32;
         self.active_power_w[i] -= kind.core_power().get();
         // Guard against f64 drift accumulating into a negative draw.
-        if self.jobs[i].is_empty() {
+        if len == 1 {
             self.active_power_w[i] = 0.0;
         }
         kind
@@ -539,6 +786,16 @@ impl ServerFarm {
             return FarmTickTotals::default();
         }
         debug_assert!(dt.get() > 0.0, "dt must be positive");
+        let num_shards = n.div_ceil(SHARD);
+        let workers = self
+            .threads
+            .min(num_shards)
+            .min((n / SERVERS_PER_WORKER).max(1))
+            .max(1);
+        // Size the persistent pool before any state borrows are taken.
+        if workers > 1 {
+            self.ensure_pool(workers);
+        }
         let wax = self.wax.as_ref().map(|w| {
             let (substeps, sub_dt_s) = w.kernel.substeps(dt.get());
             WaxTick {
@@ -559,7 +816,6 @@ impl ServerFarm {
         };
 
         // Slice the state and sink arrays into the fixed shard grid.
-        let num_shards = n.div_ceil(SHARD);
         let mut outs = vec![FarmTickTotals::default(); num_shards];
         let mut tasks: Vec<ShardView<'_>> = Vec::with_capacity(num_shards);
         {
@@ -597,31 +853,37 @@ impl ServerFarm {
             }
         }
 
-        // Run the shards: inline at one worker, else on a scoped pool
-        // with contiguous shard ranges per worker. Which thread runs a
-        // shard does not affect its output, and the fold below is always
-        // in shard order.
-        let workers = self.threads.min(num_shards).max(1);
+        // Run the shards: inline at one worker, else on the persistent
+        // pool where workers and the engine thread claim shard indices
+        // from an atomic counter. Which thread runs a shard does not
+        // affect its output, and the fold below is always in shard
+        // order.
         let shards_started = timing.as_ref().map(|_| std::time::Instant::now());
+        let mut pool_busy: Vec<u64> = Vec::new();
         if workers == 1 {
             for task in tasks {
                 run_shard(task, &params);
             }
         } else {
-            let per_worker = num_shards.div_ceil(workers);
-            std::thread::scope(|scope| {
-                let params = &params;
-                let mut tasks = tasks;
-                while !tasks.is_empty() {
-                    let take = per_worker.min(tasks.len());
-                    let group: Vec<ShardView<'_>> = tasks.drain(..take).collect();
-                    scope.spawn(move || {
-                        for task in group {
-                            run_shard(task, params);
-                        }
-                    });
-                }
-            });
+            let pool = self.pool.as_ref().expect("pool sized above");
+            let slots: Vec<UnsafeCell<Option<ShardView<'_>>>> = tasks
+                .into_iter()
+                .map(|t| UnsafeCell::new(Some(t)))
+                .collect();
+            let slots = TaskSlots(&slots);
+            let params = &params;
+            let run = move |i: usize| {
+                // SAFETY: the pool's claim counter hands out each index
+                // exactly once, so this take never aliases.
+                let task = unsafe { slots.take(i) }.expect("shard claimed once");
+                run_shard(task, params);
+            };
+            if shards_started.is_some() {
+                pool_busy = vec![0u64; pool.workers() + 1];
+                pool.run_timed(num_shards, &run, &mut pool_busy);
+            } else {
+                pool.run(num_shards, &run);
+            }
         }
         let fold_started = shards_started.map(|t0| {
             let now = std::time::Instant::now();
@@ -634,22 +896,55 @@ impl ServerFarm {
             totals.fold(out);
         }
         if let (Some(timing), Some((fold_t0, shards_elapsed))) = (timing, fold_started) {
-            timing.shards_ns += shards_elapsed.as_nanos() as u64;
+            let span_ns = shards_elapsed.as_nanos() as u64;
+            timing.shards_ns += span_ns;
             timing.fold_ns += fold_t0.elapsed().as_nanos() as u64;
+            if !pool_busy.is_empty() {
+                timing.add_pool_busy(span_ns, &pool_busy);
+            }
         }
         totals
     }
 }
 
+/// `Sync` wrapper handing pool participants claim-once access to the
+/// shard tasks: each slot is taken by exactly one thread (the pool's
+/// atomic claim counter guarantees a given index is handed out once),
+/// so the interior mutability is never aliased.
+struct TaskSlots<'slot, T>(&'slot [UnsafeCell<Option<T>>]);
+
+impl<T> Clone for TaskSlots<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TaskSlots<'_, T> {}
+
+// SAFETY: see above — disjoint claim-once access by construction; the
+// tasks themselves move to the claiming thread, hence `T: Send`.
+unsafe impl<T: Send> Sync for TaskSlots<'_, T> {}
+
+impl<T> TaskSlots<'_, T> {
+    /// Takes slot `i`'s task.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee no two threads present the same index
+    /// (the pool's atomic claim counter does).
+    unsafe fn take(&self, i: usize) -> Option<T> {
+        unsafe { (*self.0[i].get()).take() }
+    }
+}
+
 /// Detaches the first `len` elements from a shrinking slice cursor.
-fn split_front<'a>(s: &mut &'a [f64], len: usize) -> &'a [f64] {
+fn split_front<'a, T>(s: &mut &'a [T], len: usize) -> &'a [T] {
     let (head, tail) = std::mem::take(s).split_at(len);
     *s = tail;
     head
 }
 
 /// Mutable variant of [`split_front`].
-fn split_front_mut<'a>(s: &mut &'a mut [f64], len: usize) -> &'a mut [f64] {
+fn split_front_mut<'a, T>(s: &mut &'a mut [T], len: usize) -> &'a mut [T] {
     let (head, tail) = std::mem::take(s).split_at_mut(len);
     *s = tail;
     head
@@ -698,6 +993,70 @@ struct ShardView<'a> {
     temp_row: Option<&'a mut [f64]>,
     melt_row: Option<&'a mut [f64]>,
     out: &'a mut FarmTickTotals,
+}
+
+/// Per-shard integer outcome of a sharded departure drain, folded by
+/// [`ServerFarm::end_jobs_sharded`] in shard order.
+#[derive(Debug, Clone, Copy, Default)]
+struct DepartOut {
+    /// Jobs ended in this shard.
+    ended: u32,
+    /// Ended jobs per workload, indexed by [`WorkloadKind::index`].
+    kinds: [u32; 5],
+}
+
+/// One shard's mutable window over the job slab, power lane, and
+/// free-core column, plus its slice of the tick's departure bucket.
+struct DepartView<'a> {
+    /// Global index of the first server in the shard.
+    base: usize,
+    /// Slab row length (cores per server).
+    stride: usize,
+    /// This shard's departures, in original bucket order.
+    entries: &'a [(JobId, u32)],
+    job_ids: &'a mut [u64],
+    job_kinds: &'a mut [u8],
+    job_counts: &'a mut [u32],
+    active_power_w: &'a mut [f64],
+    free_cores: &'a mut [u32],
+    out: &'a mut DepartOut,
+}
+
+/// Applies one shard's departures — the same per-entry sequence
+/// [`ServerFarm::end_job`] runs, on shard-local windows.
+fn run_depart_shard(task: DepartView<'_>) {
+    let DepartView {
+        base,
+        stride,
+        entries,
+        job_ids,
+        job_kinds,
+        job_counts,
+        active_power_w,
+        free_cores,
+        out,
+    } = task;
+    for &(id, server) in entries {
+        let local = server as usize - base;
+        let start = local * stride;
+        let len = job_counts[local] as usize;
+        let pos = job_ids[start..start + len]
+            .iter()
+            .position(|&running| running == id.0)
+            .unwrap_or_else(|| panic!("{id} not running on {}", ServerId(server as usize)));
+        let kind = WorkloadKind::ALL[job_kinds[start + pos] as usize];
+        job_ids[start + pos] = job_ids[start + len - 1];
+        job_kinds[start + pos] = job_kinds[start + len - 1];
+        job_counts[local] = (len - 1) as u32;
+        active_power_w[local] -= kind.core_power().get();
+        // Same drift guard as `end_job`.
+        if len == 1 {
+            active_power_w[local] = 0.0;
+        }
+        free_cores[local] += 1;
+        out.ended += 1;
+        out.kinds[kind.index()] += 1;
+    }
 }
 
 /// Advances one shard: the element-serial physics loop every thread

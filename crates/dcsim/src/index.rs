@@ -105,15 +105,29 @@ impl ClusterIndex {
     }
 
     /// Records a job start on server `idx`.
+    #[inline]
     pub(crate) fn record_start(&mut self, idx: usize) {
         self.free_cores[idx] -= 1;
         self.used_total += 1;
     }
 
     /// Records a job end on server `idx`.
+    #[inline]
     pub(crate) fn record_end(&mut self, idx: usize) {
         self.free_cores[idx] += 1;
         self.used_total -= 1;
+    }
+
+    /// Mutable view of the free-core column, written shard-locally by
+    /// the farm's sharded departure drain.
+    pub(crate) fn free_cores_mut(&mut self) -> &mut [u32] {
+        &mut self.free_cores
+    }
+
+    /// Records `count` job ends whose per-server free-core increments
+    /// were already applied through [`ClusterIndex::free_cores_mut`].
+    pub(crate) fn record_bulk_ends(&mut self, count: u64) {
+        self.used_total -= count;
     }
 }
 

@@ -47,6 +47,7 @@ mod engine;
 mod farm;
 mod index;
 mod metrics;
+mod pool;
 mod replay;
 mod scheduler;
 mod server;
@@ -58,6 +59,7 @@ pub use engine::Simulation;
 pub use farm::{default_tick_threads, FarmTickTotals, ServerFarm, SweepTiming, SHARD};
 pub use index::ClusterIndex;
 pub use metrics::{Heatmap, SimulationResult};
+pub use pool::TickPool;
 pub use replay::{
     digest_final_state, digest_index, RecordingScheduler, ReplayHandle, ReplayScheduler,
     TraceHandle,

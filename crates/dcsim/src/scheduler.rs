@@ -59,6 +59,35 @@ pub trait Scheduler {
         self.place(job, farm)
     }
 
+    /// Places one tick's arrival batch in order: every placed job is
+    /// started on the farm and recorded in the index before the next
+    /// decision, and each job's outcome is pushed onto `out`.
+    ///
+    /// The default — which no built-in policy overrides — runs exactly
+    /// the per-job sequence the engine used to run inline, so the
+    /// policy observes identical farm/index state before every decision
+    /// and the outcomes (hence results, counters, and replay digests)
+    /// are bit-identical to per-job placement. Batching exists to
+    /// devirtualize the hot loop: the engine pays one dynamic dispatch
+    /// per tick instead of one per job, and each policy's monomorphized
+    /// body can inline its own `place_indexed`.
+    fn place_batch(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+    ) {
+        for job in jobs {
+            let placed = self.place_indexed(job, farm, index);
+            if let Some(sid) = placed {
+                farm.start_job(sid.0, job);
+                index.record_start(sid.0);
+            }
+            out.push(placed);
+        }
+    }
+
     /// Size of the policy's current hot group, if it maintains one.
     ///
     /// By convention a policy's hot group is the servers with ids

@@ -197,6 +197,13 @@ impl EngineTelemetry {
         }
     }
 
+    /// True when a flight recorder is attached, letting callers skip
+    /// whole per-entry record loops instead of taking a no-op per item.
+    #[inline]
+    pub(crate) fn flight_armed(&self) -> bool {
+        self.recorder.is_some()
+    }
+
     /// Records a job departure into the flight ring.
     #[inline]
     pub(crate) fn record_departure(&mut self, tick: u64, job: u64, server: u32) {

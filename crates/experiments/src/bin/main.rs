@@ -14,6 +14,7 @@
 //! vmt-experiments replay TRACE [--until TICK] [--threads T]
 //! vmt-experiments check-telemetry FILE
 //! vmt-experiments check-flight FILE
+//! vmt-experiments check-bench FILE
 //! ```
 //!
 //! IDs: `table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -75,6 +76,7 @@ fn print_help() {
     println!("  vmt-experiments replay TRACE [--until TICK] [--threads T]");
     println!("  vmt-experiments check-telemetry FILE");
     println!("  vmt-experiments check-flight FILE");
+    println!("  vmt-experiments check-bench FILE");
     println!("  vmt-experiments --help");
     println!();
     println!("experiment ids:");
@@ -110,6 +112,9 @@ fn print_help() {
     println!("  when the stream is invalid or the run recorded sink write errors.");
     println!("check-flight validates a flight-recorder dump written by");
     println!("  `run --flight-dump` (header line, records, tick ordering).");
+    println!("check-bench validates an engine benchmark artifact (BENCH_engine.json):");
+    println!("  schema, per-row sanity, identical placements across thread counts,");
+    println!("  and no scaling inversion (threads=N >= 0.9x threads=1 ticks/s).");
 }
 
 /// Exits with a usage error (status 2).
@@ -175,6 +180,7 @@ fn main() {
         "replay" => cmd_replay(&args[1..]),
         "check-telemetry" => cmd_check_telemetry(&args[1..]),
         "check-flight" => cmd_check_flight(&args[1..]),
+        "check-bench" => cmd_check_bench(&args[1..]),
         id => cmd_experiment(id, &args[1..]),
     }
 }
@@ -555,6 +561,185 @@ fn cmd_check_flight(rest: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// Mirror of the benchmark report schema written by
+/// `cargo bench -p vmt-bench --bench engine_baseline` — only the fields
+/// the checks consume; a missing field fails deserialization, which is
+/// the schema validation.
+#[derive(serde::Deserialize)]
+struct BenchReport {
+    description: String,
+    scenario: String,
+    measurements: Vec<BenchMeasurement>,
+    speedups: Vec<BenchSpeedup>,
+    scaling: Vec<BenchScaling>,
+    phases: Vec<BenchPhase>,
+}
+
+#[derive(serde::Deserialize)]
+struct BenchMeasurement {
+    scheduler: String,
+    implementation: String,
+    servers: usize,
+    ticks: usize,
+    elapsed_s: f64,
+    ticks_per_sec: f64,
+    placements: u64,
+}
+
+#[derive(serde::Deserialize)]
+struct BenchSpeedup {
+    scheduler: String,
+    servers: usize,
+    speedup: f64,
+}
+
+#[derive(serde::Deserialize)]
+struct BenchScaling {
+    scheduler: String,
+    servers: usize,
+    threads: usize,
+    ticks_per_sec: f64,
+    placements: u64,
+}
+
+#[derive(serde::Deserialize)]
+struct BenchPhase {
+    scheduler: String,
+    servers: usize,
+    ticks_per_sec_instrumented: f64,
+    coverage: f64,
+}
+
+/// Validates an engine benchmark artifact
+/// (`vmt-experiments check-bench FILE`, normally `BENCH_engine.json`).
+///
+/// Beyond schema shape, this asserts the two properties the benchmark
+/// exists to prove: determinism (placements identical across thread
+/// counts at the same scale) and that parallelism pays — `threads=N`
+/// must hold at least 0.9x the single-thread throughput, so a scaling
+/// inversion like the pre-pool per-tick `thread::scope` spawn storm
+/// fails the check instead of landing silently in the artifact.
+fn cmd_check_bench(rest: &[String]) {
+    let (path, rest) = positional_path(rest, "usage: vmt-experiments check-bench FILE");
+    if !rest.is_empty() {
+        die("usage: vmt-experiments check-bench FILE");
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => die(&format!("cannot read `{path}`: {err}")),
+    };
+    let report: BenchReport = match serde_json::from_str(&text) {
+        Ok(report) => report,
+        Err(err) => fail_bench(&format!("schema mismatch: {err}")),
+    };
+    if report.description.is_empty() || report.scenario.is_empty() {
+        fail_bench("empty description/scenario");
+    }
+    for section in [
+        ("measurements", report.measurements.is_empty()),
+        ("speedups", report.speedups.is_empty()),
+        ("scaling", report.scaling.is_empty()),
+        ("phases", report.phases.is_empty()),
+    ] {
+        if section.1 {
+            fail_bench(&format!("`{}` section is empty", section.0));
+        }
+    }
+    for m in &report.measurements {
+        if !positive(m.ticks_per_sec) || !positive(m.elapsed_s) || m.ticks == 0 {
+            fail_bench(&format!(
+                "measurement {}@{} ({}) has non-positive timing",
+                m.scheduler, m.servers, m.implementation
+            ));
+        }
+        let _ = m.placements;
+    }
+    for s in &report.speedups {
+        if !positive(s.speedup) {
+            fail_bench(&format!(
+                "speedup {}@{} is non-positive",
+                s.scheduler, s.servers
+            ));
+        }
+    }
+    for p in &report.phases {
+        if !positive(p.ticks_per_sec_instrumented) || !(0.0..=1.05).contains(&p.coverage) {
+            fail_bench(&format!(
+                "phase profile {}@{} out of range",
+                p.scheduler, p.servers
+            ));
+        }
+    }
+
+    // The scaling table: anchor each (scheduler, servers) group on its
+    // threads=1 row and hold every other row to it.
+    let mut groups: Vec<(&str, usize)> = Vec::new();
+    for row in &report.scaling {
+        let key = (row.scheduler.as_str(), row.servers);
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    let mut checked = 0usize;
+    let mut worst_ratio = f64::INFINITY;
+    for &(scheduler, servers) in &groups {
+        let group: Vec<&BenchScaling> = report
+            .scaling
+            .iter()
+            .filter(|row| row.scheduler == scheduler && row.servers == servers)
+            .collect();
+        let Some(base) = group.iter().find(|row| row.threads == 1) else {
+            fail_bench(&format!(
+                "scaling group {scheduler}@{servers} has no threads=1 baseline row"
+            ));
+        };
+        for row in &group {
+            if row.placements != base.placements {
+                fail_bench(&format!(
+                    "scaling {scheduler}@{servers} x{}: placements diverge from the \
+                     threads=1 row — the parallel tick is not deterministic",
+                    row.threads
+                ));
+            }
+            let ratio = row.ticks_per_sec / base.ticks_per_sec;
+            if row.threads > 1 {
+                worst_ratio = worst_ratio.min(ratio);
+                checked += 1;
+            }
+            if ratio < 0.9 {
+                fail_bench(&format!(
+                    "scaling inversion: {scheduler}@{servers} x{} runs at {ratio:.2}x \
+                     the single-thread throughput (floor 0.9x)",
+                    row.threads
+                ));
+            }
+        }
+    }
+    println!(
+        "ok: {} measurement rows, {} scaling rows in {} groups",
+        report.measurements.len(),
+        report.scaling.len(),
+        groups.len(),
+    );
+    if checked > 0 {
+        println!(
+            "scaling holds: worst multi-thread row at {worst_ratio:.2}x single-thread \
+             (floor 0.90x), placements identical across thread counts"
+        );
+    }
+}
+
+/// Reports an invalid benchmark artifact and exits 1.
+/// NaN-safe strict positivity (NaN compares false, so it fails too).
+fn positive(x: f64) -> bool {
+    x > 0.0
+}
+
+fn fail_bench(message: &str) -> ! {
+    eprintln!("invalid benchmark artifact: {message}");
+    std::process::exit(1);
 }
 
 /// When `VMT_CSV_DIR` is set, drops each run's time series there as

@@ -4,10 +4,11 @@ use std::time::Duration;
 
 /// The phases of one simulation tick, in execution order.
 ///
-/// `PhysicsFold` is a *sub-phase*: its time is contained inside
-/// `Physics` (the sharded sweep runs the shards, then folds their
-/// partials), so it is reported separately but excluded from coverage
-/// sums.
+/// `PhysicsFold`, `PoolBusy`, and `PoolIdle` are *sub-phases*: their
+/// time is contained inside top-level phases (the fold inside
+/// `Physics`; the pool attributions inside whichever phases ran on the
+/// persistent worker pool), so they are reported separately but
+/// excluded from coverage sums.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TickPhase {
     /// Time-varying inlet refresh.
@@ -24,6 +25,13 @@ pub enum TickPhase {
     PhysicsFold,
     /// Cluster metric recording (series pushes, heatmap rows).
     Record,
+    /// Summed busy time of the persistent pool's participants across
+    /// the tick's pooled sections (sub-phase; zero on the inline
+    /// single-thread path).
+    PoolBusy,
+    /// Summed idle time of the pool's participants within the pooled
+    /// sections' wall-clock spans (sub-phase).
+    PoolIdle,
 }
 
 impl TickPhase {
@@ -46,11 +54,13 @@ impl TickPhase {
             TickPhase::Physics => 4,
             TickPhase::PhysicsFold => 5,
             TickPhase::Record => 6,
+            TickPhase::PoolBusy => 7,
+            TickPhase::PoolIdle => 8,
         }
     }
 }
 
-const SLOTS: usize = 7;
+const SLOTS: usize = 9;
 
 /// Accumulates wall-clock time per [`TickPhase`].
 ///
@@ -89,6 +99,14 @@ pub struct PhaseBreakdown {
     pub fold_s: f64,
     /// Metric recording.
     pub record_s: f64,
+    /// Summed participant busy time across the pooled sections
+    /// (sub-phase; absent in pre-pool streams, hence the default).
+    #[serde(default)]
+    pub pool_busy_s: f64,
+    /// Summed participant idle time within the pooled sections'
+    /// wall-clock spans (sub-phase).
+    #[serde(default)]
+    pub pool_idle_s: f64,
     /// Whole-tick-body time (coverage denominator).
     pub total_s: f64,
     /// Ticks profiled.
@@ -142,6 +160,8 @@ impl PhaseProfiler {
             physics_s: s(TickPhase::Physics),
             fold_s: s(TickPhase::PhysicsFold),
             record_s: s(TickPhase::Record),
+            pool_busy_s: s(TickPhase::PoolBusy),
+            pool_idle_s: s(TickPhase::PoolIdle),
             total_s: self.tick_total_ns as f64 / 1e9,
             ticks: self.ticks,
         }
@@ -149,6 +169,14 @@ impl PhaseProfiler {
 }
 
 impl PhaseBreakdown {
+    /// Fraction of the pooled sections' aggregate participant time
+    /// spent busy — the pool's efficiency. `None` when the pool never
+    /// engaged (single-thread runs).
+    pub fn pool_efficiency(&self) -> Option<f64> {
+        let total = self.pool_busy_s + self.pool_idle_s;
+        (total > 0.0).then(|| self.pool_busy_s / total)
+    }
+
     /// Sum of the top-level phase times (excludes the fold sub-phase).
     pub fn phases_sum_s(&self) -> f64 {
         self.inlet_s
@@ -219,6 +247,8 @@ mod tests {
             physics_s: 5.0,
             fold_s: 0.5,
             record_s: 6.0,
+            pool_busy_s: 0.3,
+            pool_idle_s: 0.1,
             total_s: 21.0,
             ticks: 10,
         };

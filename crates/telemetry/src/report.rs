@@ -60,6 +60,16 @@ pub fn render_report(summary: &SummaryEvent) -> String {
             "  {:<14} {:>8.3}s  (inside physics)",
             "fold", phases.fold_s
         );
+        if let Some(efficiency) = phases.pool_efficiency() {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8.3}s busy / {:.3}s idle  ({:.1}% pool efficiency)",
+                "pool",
+                phases.pool_busy_s,
+                phases.pool_idle_s,
+                efficiency * 100.0
+            );
+        }
         let _ = writeln!(
             out,
             "  phase coverage {:.1}% of {:.3}s measured tick time",

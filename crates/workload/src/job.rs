@@ -51,6 +51,13 @@ impl Job {
         Self { id, kind, duration }
     }
 
+    /// Replaces the job's identifier (engines stamp ids in final
+    /// arrival order after shuffling a pre-materialized batch).
+    #[inline]
+    pub fn set_id(&mut self, id: JobId) {
+        self.id = id;
+    }
+
     /// The job's identifier.
     pub fn id(&self) -> JobId {
         self.id

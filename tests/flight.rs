@@ -102,6 +102,40 @@ fn recorded_trace_replays_bit_identically_after_jsonl_round_trip() {
     );
 }
 
+/// The persistent tick pool must not leak into observable state: a
+/// trace recorded single-threaded replays to the same verdict and final
+/// digest at every pool size (serial path, small pools, more workers
+/// than the machine has cores).
+#[test]
+fn replay_digest_is_stable_across_thread_counts() {
+    let trace = record();
+    let jsonl = trace.to_jsonl();
+    for threads in [1usize, 2, 3, 8] {
+        let reparsed = PlacementTrace::parse(&jsonl).expect("trace round-trips");
+        let (mut cluster, mut trace_cfg) = config();
+        cluster.seed = reparsed.header.cluster_seed;
+        trace_cfg.seed = reparsed.header.trace_seed;
+        let report = ReplayHandle::new();
+        let replayer = ReplayScheduler::new(reparsed, report.clone());
+        let (result, servers) =
+            Simulation::new(cluster, DiurnalTrace::new(trace_cfg), Box::new(replayer))
+                .with_threads(threads)
+                .run_returning_servers();
+        assert_eq!(
+            report.verdict(),
+            ReplayVerdict::BitIdentical {
+                ticks_compared: trace.footer.ticks_run
+            },
+            "threads {threads}"
+        );
+        assert_eq!(
+            digest_final_state(&result, &servers),
+            trace.footer.final_digest,
+            "threads {threads}"
+        );
+    }
+}
+
 /// Arming the full forensic stack — flight ring, all four watchdogs —
 /// must not perturb the simulation by a single bit.
 #[test]
