@@ -16,8 +16,9 @@
 //! the dead of night (minimum utilization), when the wax is refrozen and
 //! groups are thermally indistinguishable.
 
+use crate::vmt_wa::VmtWaState;
 use crate::{GroupingValue, VmtConfig, VmtWa};
-use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
+use vmt_dcsim::{SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState};
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -179,9 +180,79 @@ impl AdaptiveGv {
     }
 }
 
+/// Cross-tick state of [`AdaptiveGv`]: the wrapped [`VmtWa`]'s state
+/// plus the controller's own day-over-day bookkeeping.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct AdaptiveGvState {
+    inner: VmtWaState,
+    config: VmtConfig,
+    gv: f64,
+    bounds: (f64, f64),
+    saturated_today: bool,
+    peak_mean_melt: f64,
+    saw_peak_today: bool,
+    last_switch_day: i64,
+    signal_streak: i32,
+    history: Vec<(i64, f64)>,
+}
+
+impl SnapshotState for AdaptiveGv {
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("adaptive-gv")
+    }
+
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        Ok(SavedState::new(
+            "adaptive-gv",
+            &AdaptiveGvState {
+                inner: self.inner.to_state(),
+                config: self.config,
+                gv: self.gv,
+                bounds: self.bounds,
+                saturated_today: self.saturated_today,
+                peak_mean_melt: self.peak_mean_melt,
+                saw_peak_today: self.saw_peak_today,
+                last_switch_day: self.last_switch_day,
+                signal_streak: self.signal_streak,
+                history: self.history.clone(),
+            },
+        ))
+    }
+
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        let state: AdaptiveGvState = saved.decode("adaptive-gv")?;
+        // `AdaptiveGv::new` panics on bad bounds; a snapshot is external
+        // input, so report corruption instead.
+        let (lo, hi) = state.bounds;
+        if !(lo < hi && (lo..=hi).contains(&state.gv)) {
+            return Err(SnapshotError::Corrupt(format!(
+                "adaptive-gv bounds ({lo}, {hi}) do not contain GV {}",
+                state.gv
+            )));
+        }
+        *self = Self {
+            inner: VmtWa::from_state(&state.inner),
+            config: state.config,
+            gv: state.gv,
+            bounds: state.bounds,
+            saturated_today: state.saturated_today,
+            peak_mean_melt: state.peak_mean_melt,
+            saw_peak_today: state.saw_peak_today,
+            last_switch_day: state.last_switch_day,
+            signal_streak: state.signal_streak,
+            history: state.history,
+        };
+        Ok(())
+    }
+}
+
 impl Scheduler for AdaptiveGv {
     fn name(&self) -> &str {
         "adaptive-gv"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 
     fn on_tick(&mut self, farm: &ServerFarm, now: Seconds) {
@@ -227,6 +298,8 @@ mod tests {
             inner: AdaptiveGv,
             sink: std::sync::Arc<std::sync::Mutex<Vec<(i64, f64)>>>,
         }
+        // Test-only wrapper; never checkpointed.
+        impl SnapshotState for Probe {}
         impl Scheduler for Probe {
             fn name(&self) -> &str {
                 self.inner.name()

@@ -1,7 +1,9 @@
 //! The coolest-first baseline: a thermal-aware load *balancer*.
 
 use crate::balance::ThermalBalancer;
-use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
+use vmt_dcsim::{
+    ClusterIndex, SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState,
+};
 use vmt_telemetry::SchedulerCounters;
 use vmt_units::Seconds;
 use vmt_workload::Job;
@@ -30,9 +32,44 @@ impl CoolestFirst {
     }
 }
 
+/// Cross-tick state of [`CoolestFirst`]: just the counters — the
+/// balancer heap is rebuilt from the farm in every tick refresh, so a
+/// restored instance re-derives it before its first placement.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct CoolestFirstState {
+    counters: SchedulerCounters,
+}
+
+impl SnapshotState for CoolestFirst {
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("coolest-first")
+    }
+
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        Ok(SavedState::new(
+            "coolest-first",
+            &CoolestFirstState {
+                counters: self.counters,
+            },
+        ))
+    }
+
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        let state: CoolestFirstState = saved.decode("coolest-first")?;
+        self.balancer = ThermalBalancer::new();
+        self.initialized = false;
+        self.counters = state.counters;
+        Ok(())
+    }
+}
+
 impl Scheduler for CoolestFirst {
     fn name(&self) -> &str {
         "coolest-first"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 
     fn on_tick(&mut self, farm: &ServerFarm, _now: Seconds) {

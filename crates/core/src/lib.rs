@@ -54,6 +54,7 @@ mod grouping;
 mod policy;
 mod reference;
 mod round_robin;
+mod snapshot;
 mod vmt_preserve;
 mod vmt_ta;
 mod vmt_wa;
@@ -65,6 +66,7 @@ pub use grouping::{GroupingValue, VmtConfig};
 pub use policy::PolicyKind;
 pub use reference::{NaiveBalancer, NaiveCoolestFirst, NaiveVmtTa, NaiveVmtWa};
 pub use round_robin::RoundRobin;
+pub use snapshot::{restore_simulation, scheduler_from_saved};
 pub use vmt_preserve::VmtPreserve;
 pub use vmt_ta::VmtTa;
 pub use vmt_wa::{VmtWa, WaTuning};

@@ -123,6 +123,10 @@ impl NaiveCoolestFirst {
     }
 }
 
+// The references are differential-test twins, never checkpointed: the
+// default `SnapshotState` reports them as not snapshottable.
+impl vmt_dcsim::SnapshotState for NaiveCoolestFirst {}
+
 impl Scheduler for NaiveCoolestFirst {
     fn name(&self) -> &str {
         "coolest-first"
@@ -175,6 +179,8 @@ impl NaiveVmtTa {
         self.initialized = true;
     }
 }
+
+impl vmt_dcsim::SnapshotState for NaiveVmtTa {}
 
 impl Scheduler for NaiveVmtTa {
     fn name(&self) -> &str {
@@ -340,6 +346,8 @@ impl NaiveVmtWa {
             .map(ServerId)
     }
 }
+
+impl vmt_dcsim::SnapshotState for NaiveVmtWa {}
 
 impl Scheduler for NaiveVmtWa {
     fn name(&self) -> &str {

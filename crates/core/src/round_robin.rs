@@ -1,6 +1,6 @@
 //! The round-robin baseline (prior TTS work's scheduler).
 
-use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
+use vmt_dcsim::{SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState};
 use vmt_telemetry::SchedulerCounters;
 use vmt_workload::Job;
 
@@ -24,9 +24,44 @@ impl RoundRobin {
     }
 }
 
+/// Cross-tick state of [`RoundRobin`]: the wrap-around cursor and the
+/// cumulative counters.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct RoundRobinState {
+    cursor: usize,
+    counters: SchedulerCounters,
+}
+
+impl SnapshotState for RoundRobin {
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("round-robin")
+    }
+
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        Ok(SavedState::new(
+            "round-robin",
+            &RoundRobinState {
+                cursor: self.cursor,
+                counters: self.counters,
+            },
+        ))
+    }
+
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        let state: RoundRobinState = saved.decode("round-robin")?;
+        self.cursor = state.cursor;
+        self.counters = state.counters;
+        Ok(())
+    }
+}
+
 impl Scheduler for RoundRobin {
     fn name(&self) -> &str {
         "round-robin"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 
     fn place(&mut self, _job: &Job, farm: &ServerFarm) -> Option<ServerId> {

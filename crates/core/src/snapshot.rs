@@ -1,0 +1,124 @@
+//! Rebuilding schedulers — and whole simulations — from saved state.
+//!
+//! A [`Snapshot`] is self-describing: its scheduler field carries a
+//! kind tag plus the policy's serialized cross-tick state. This module
+//! owns the kind registry — [`scheduler_from_saved`] maps a tag back to
+//! a concrete policy instance — and the one-call restore path,
+//! [`restore_simulation`], that the CLI's `resume` subcommand and the
+//! test harnesses use.
+
+use crate::{
+    AdaptiveGv, CoolestFirst, GroupingValue, RoundRobin, VmtConfig, VmtPreserve, VmtTa, VmtWa,
+};
+use vmt_dcsim::{FirstFit, SavedState, Scheduler, Simulation, Snapshot, SnapshotError};
+use vmt_units::{Celsius, Hours};
+
+/// A throwaway configuration for placeholder instances: every field is
+/// immediately overwritten by `restore_state`, so the values only need
+/// to satisfy the constructors' invariants.
+fn placeholder_config() -> VmtConfig {
+    VmtConfig {
+        gv: GroupingValue::new(20.0),
+        pmt: Celsius::new(28.0),
+        wax_threshold: 0.98,
+    }
+}
+
+/// Rebuilds a boxed scheduler from a [`SavedState`]'s kind tag.
+///
+/// Every checkpointable policy in the workspace is registered here; a
+/// tag from a newer (or foreign) snapshot yields
+/// [`SnapshotError::UnknownKind`] rather than a panic.
+///
+/// # Examples
+///
+/// ```
+/// use vmt_core::{scheduler_from_saved, RoundRobin};
+/// use vmt_dcsim::SnapshotState;
+///
+/// let saved = RoundRobin::new().save_state().unwrap();
+/// let rebuilt = scheduler_from_saved(&saved).unwrap();
+/// assert_eq!(rebuilt.name(), "round-robin");
+/// ```
+pub fn scheduler_from_saved(saved: &SavedState) -> Result<Box<dyn Scheduler>, SnapshotError> {
+    let mut scheduler: Box<dyn Scheduler> = match saved.kind.as_str() {
+        "round-robin" => Box::new(RoundRobin::new()),
+        "coolest-first" => Box::new(CoolestFirst::new()),
+        "vmt-ta" => Box::new(VmtTa::new(placeholder_config())),
+        "vmt-wa" => Box::new(VmtWa::new(placeholder_config())),
+        "adaptive-gv" => Box::new(AdaptiveGv::new(placeholder_config(), (12.0, 28.0))),
+        "vmt-preserve" => Box::new(VmtPreserve::new(placeholder_config(), Hours::new(16.0))),
+        "first-fit" => Box::new(FirstFit::new()),
+        other => return Err(SnapshotError::UnknownKind(other.to_owned())),
+    };
+    scheduler.restore_state(saved)?;
+    Ok(scheduler)
+}
+
+/// Restores a full simulation from a snapshot, resolving the scheduler
+/// through [`scheduler_from_saved`].
+///
+/// The returned simulation stands exactly at the snapshot's tick; step
+/// it with [`Simulation::step`] or run it out with
+/// [`Simulation::run_until`] and `finish`.
+pub fn restore_simulation(snapshot: &Snapshot) -> Result<Simulation, SnapshotError> {
+    Simulation::restore_with(snapshot, scheduler_from_saved(&snapshot.scheduler)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+    use vmt_dcsim::ClusterConfig;
+
+    #[test]
+    fn every_policy_kind_round_trips() {
+        let cluster = ClusterConfig::paper_default(10);
+        for name in PolicyKind::NAMES {
+            let kind = PolicyKind::parse(name, 22.0).expect("advertised name parses");
+            let built = kind.build(&cluster);
+            let saved = built.save_state().expect("policy saves");
+            assert_eq!(saved.kind, name);
+            let rebuilt = scheduler_from_saved(&saved).expect("policy rebuilds");
+            assert_eq!(rebuilt.name(), name);
+            // A second save of the rebuilt instance reproduces the image.
+            let resaved = rebuilt.save_state().expect("rebuilt policy saves");
+            assert_eq!(
+                serde_json::to_string(&saved).unwrap(),
+                serde_json::to_string(&resaved).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_a_typed_error() {
+        let saved = SavedState {
+            kind: "quantum-annealer".to_owned(),
+            state: serde::Value::Null,
+        };
+        match scheduler_from_saved(&saved) {
+            Err(SnapshotError::UnknownKind(kind)) => assert_eq!(kind, "quantum-annealer"),
+            Ok(s) => panic!("unexpectedly built `{}`", s.name()),
+            Err(other) => panic!("expected UnknownKind, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_adaptive_bounds_are_rejected() {
+        let cluster = ClusterConfig::paper_default(10);
+        let saved = PolicyKind::AdaptiveGv { start_gv: 22.0 }
+            .build(&cluster)
+            .save_state()
+            .unwrap();
+        // Invert the bounds in the serialized image.
+        let json = serde_json::to_string(&saved).unwrap();
+        let broken = json.replace("\"bounds\":[14", "\"bounds\":[140");
+        assert_ne!(json, broken, "the bounds field must be present");
+        let tampered: SavedState = serde_json::from_str(&broken).unwrap();
+        match scheduler_from_saved(&tampered) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("bounds"), "{msg}"),
+            Ok(s) => panic!("unexpectedly built `{}`", s.name()),
+            Err(other) => panic!("expected Corrupt, got {other}"),
+        }
+    }
+}

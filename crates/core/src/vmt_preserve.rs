@@ -27,8 +27,9 @@
 
 use crate::balance::ThermalBalancer;
 use crate::grouping::VmtConfig;
+use crate::vmt_ta::VmtTaState;
 use crate::VmtTa;
-use vmt_dcsim::{Scheduler, ServerFarm, ServerId};
+use vmt_dcsim::{SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState};
 use vmt_units::{Hours, Seconds};
 use vmt_workload::{Job, VmtClass};
 
@@ -105,9 +106,60 @@ impl VmtPreserve {
     }
 }
 
+/// Cross-tick state of [`VmtPreserve`]: the wrapped [`VmtTa`]'s state
+/// and the engage hour. `preserving` is recomputed from the hour of day
+/// at every refresh, and the balancers are rebuilt from the farm, so
+/// neither travels.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct VmtPreserveState {
+    inner: VmtTaState,
+    engage_at: Hours,
+}
+
+impl SnapshotState for VmtPreserve {
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("vmt-preserve")
+    }
+
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        Ok(SavedState::new(
+            "vmt-preserve",
+            &VmtPreserveState {
+                inner: self.inner.to_state(),
+                engage_at: self.engage_at,
+            },
+        ))
+    }
+
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        let state: VmtPreserveState = saved.decode("vmt-preserve")?;
+        // `VmtPreserve::new` panics on a bad engage hour; a snapshot is
+        // external input, so report corruption instead.
+        if !(0.0..24.0).contains(&state.engage_at.get()) {
+            return Err(SnapshotError::Corrupt(format!(
+                "vmt-preserve engage hour {} outside a day",
+                state.engage_at
+            )));
+        }
+        *self = Self {
+            inner: VmtTa::from_state(&state.inner),
+            engage_at: state.engage_at,
+            sacrificed: ThermalBalancer::new(),
+            spread: ThermalBalancer::new(),
+            preserving: true,
+            initialized: false,
+        };
+        Ok(())
+    }
+}
+
 impl Scheduler for VmtPreserve {
     fn name(&self) -> &str {
         "vmt-preserve"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 
     fn on_tick(&mut self, farm: &ServerFarm, now: Seconds) {

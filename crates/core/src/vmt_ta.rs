@@ -2,7 +2,9 @@
 
 use crate::balance::ThermalBalancer;
 use crate::grouping::VmtConfig;
-use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
+use vmt_dcsim::{
+    ClusterIndex, SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState,
+};
 use vmt_telemetry::SchedulerCounters;
 use vmt_workload::{Job, VmtClass};
 
@@ -81,11 +83,61 @@ impl VmtTa {
         self.cold.rebuild(self.hot_size..farm.len(), farm);
         self.initialized = true;
     }
+
+    /// The cross-tick state image (also nested in
+    /// [`VmtPreserve`](crate::VmtPreserve)'s own state).
+    pub(crate) fn to_state(&self) -> VmtTaState {
+        VmtTaState {
+            config: self.config,
+            hot_size: self.hot_size,
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuilds an instance from a state image. Balancers start empty
+    /// and are re-derived from the farm in the next tick refresh, before
+    /// any placement.
+    pub(crate) fn from_state(state: &VmtTaState) -> Self {
+        let mut ta = Self::new(state.config);
+        ta.hot_size = state.hot_size;
+        ta.counters = state.counters;
+        ta
+    }
+}
+
+/// Cross-tick state of [`VmtTa`]: the configuration, the resolved
+/// hot-group size, and the cumulative counters. Balancer heaps are
+/// per-tick derived state and deliberately absent.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub(crate) struct VmtTaState {
+    pub(crate) config: VmtConfig,
+    pub(crate) hot_size: usize,
+    pub(crate) counters: SchedulerCounters,
+}
+
+impl SnapshotState for VmtTa {
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("vmt-ta")
+    }
+
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        Ok(SavedState::new("vmt-ta", &self.to_state()))
+    }
+
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        let state: VmtTaState = saved.decode("vmt-ta")?;
+        *self = Self::from_state(&state);
+        Ok(())
+    }
 }
 
 impl Scheduler for VmtTa {
     fn name(&self) -> &str {
         "vmt-ta"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 
     fn on_tick(&mut self, farm: &ServerFarm, _now: vmt_units::Seconds) {

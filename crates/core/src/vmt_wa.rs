@@ -1,7 +1,9 @@
 //! VMT with wax-aware job placement (VMT-WA, paper §III-B).
 
 use crate::grouping::VmtConfig;
-use vmt_dcsim::{ClusterIndex, Scheduler, ServerFarm, ServerId};
+use vmt_dcsim::{
+    ClusterIndex, SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState,
+};
 use vmt_telemetry::SchedulerCounters;
 use vmt_units::{Celsius, Seconds};
 use vmt_workload::{Job, VmtClass};
@@ -446,6 +448,37 @@ impl VmtWa {
         (cursor < self.hot_size).then_some(ServerId(cursor))
     }
 
+    /// The cross-tick state image (also nested in
+    /// [`AdaptiveGv`](crate::AdaptiveGv)'s own state).
+    ///
+    /// Only genuinely cross-tick fields are captured. The `melted` flags
+    /// travel because the next refresh swaps them into `prev_melted` for
+    /// the wax-crossing census; everything else (keep-warm list,
+    /// balancers, `below_melt`, fallback cursors) is rebuilt by that
+    /// refresh before any placement, so a restored instance behaves
+    /// bit-identically to the continuous run from the next tick on.
+    pub(crate) fn to_state(&self) -> VmtWaState {
+        VmtWaState {
+            config: self.config,
+            tuning: self.tuning,
+            base_hot: self.base_hot,
+            hot_size: self.hot_size,
+            melted: self.melted.clone(),
+            counters: self.counters,
+        }
+    }
+
+    /// Rebuilds an instance from a state image; see
+    /// [`VmtWa::to_state`] for what is re-derived instead of restored.
+    pub(crate) fn from_state(state: &VmtWaState) -> Self {
+        let mut wa = Self::with_tuning(state.config, state.tuning);
+        wa.base_hot = state.base_hot;
+        wa.hot_size = state.hot_size;
+        wa.melted = state.melted.clone();
+        wa.counters = state.counters;
+        wa
+    }
+
     /// Books a successful placement: group routing plus cold-job spills
     /// into the hot group. Hot jobs cannot spill — the group grows to
     /// absorb them — so a placement below `hot_size` is "hot routed".
@@ -463,9 +496,43 @@ impl VmtWa {
     }
 }
 
+/// Cross-tick state of [`VmtWa`]: configuration, tuning, the resolved
+/// group sizes, the per-server melt flags, and the cumulative counters.
+/// Balancers, keep-warm list, and fallback cursors are per-tick derived
+/// state and deliberately absent.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub(crate) struct VmtWaState {
+    pub(crate) config: VmtConfig,
+    pub(crate) tuning: WaTuning,
+    pub(crate) base_hot: usize,
+    pub(crate) hot_size: usize,
+    pub(crate) melted: Vec<bool>,
+    pub(crate) counters: SchedulerCounters,
+}
+
+impl SnapshotState for VmtWa {
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("vmt-wa")
+    }
+
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        Ok(SavedState::new("vmt-wa", &self.to_state()))
+    }
+
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        let state: VmtWaState = saved.decode("vmt-wa")?;
+        *self = Self::from_state(&state);
+        Ok(())
+    }
+}
+
 impl Scheduler for VmtWa {
     fn name(&self) -> &str {
         "vmt-wa"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 
     fn on_tick(&mut self, farm: &ServerFarm, _now: Seconds) {

@@ -7,6 +7,7 @@ use crate::metrics::{Heatmap, SimulationResult};
 use crate::scheduler::Scheduler;
 use crate::server::Server;
 use crate::server::ServerId;
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::telemetry::{EngineTelemetry, PhaseClock};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -84,6 +85,55 @@ pub struct Simulation {
     /// Telemetry wiring; `None` (the default) is the zero-cost path —
     /// the run loop takes no timestamps and emits nothing.
     telemetry: Option<TelemetryConfig>,
+    /// In-flight run accumulators, `Some` from the first [`Simulation::step`]
+    /// until [`Simulation::finish`]. Keeping them on the simulation (rather
+    /// than as `run()` locals) is what lets a run pause at any tick
+    /// boundary for [`Simulation::snapshot`] and [`Simulation::fork`].
+    run: Option<RunState>,
+}
+
+/// Everything the run loop accumulates across ticks: result series,
+/// heatmaps, counters, and the live telemetry handle.
+struct RunState {
+    /// Total ticks in the trace horizon.
+    ticks: usize,
+    /// Next tick to execute (0-based).
+    next_tick: usize,
+    cooling: CoolingLoadSeries,
+    electrical: CoolingLoadSeries,
+    avg_temp: Vec<Celsius>,
+    hot_group_temp: Vec<Celsius>,
+    hot_group_sizes: Vec<usize>,
+    stored_energy: Vec<Joules>,
+    temp_heatmap: Heatmap,
+    melt_heatmap: Heatmap,
+    dropped_jobs: u64,
+    placements: u64,
+    /// Live instrumentation; observational only, so it never travels
+    /// through a snapshot or fork.
+    telemetry: Option<EngineTelemetry>,
+}
+
+impl RunState {
+    /// Deep copy of the accumulators without the (non-cloneable)
+    /// telemetry handle — what a forked simulation starts from.
+    fn clone_without_telemetry(&self) -> Self {
+        Self {
+            ticks: self.ticks,
+            next_tick: self.next_tick,
+            cooling: self.cooling.clone(),
+            electrical: self.electrical.clone(),
+            avg_temp: self.avg_temp.clone(),
+            hot_group_temp: self.hot_group_temp.clone(),
+            hot_group_sizes: self.hot_group_sizes.clone(),
+            stored_energy: self.stored_energy.clone(),
+            temp_heatmap: self.temp_heatmap.clone(),
+            melt_heatmap: self.melt_heatmap.clone(),
+            dropped_jobs: self.dropped_jobs,
+            placements: self.placements,
+            telemetry: None,
+        }
+    }
 }
 
 impl Simulation {
@@ -118,6 +168,7 @@ impl Simulation {
             depart_shards: Vec::new(),
             bucket_pool: Vec::new(),
             telemetry: None,
+            run: None,
         }
     }
 
@@ -162,33 +213,52 @@ impl Simulation {
     /// useful for post-mortem inspection (rack power balance, wax state)
     /// at the exact moment the trace ends.
     pub fn run_returning_servers(mut self) -> (SimulationResult, Vec<Server>) {
+        self.start_run();
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Total ticks in the trace horizon.
+    pub fn total_ticks(&self) -> u64 {
+        self.config.ticks_for(self.trace.horizon()) as u64
+    }
+
+    /// The next tick the run will execute (0 before anything has run;
+    /// equals [`Simulation::total_ticks`] once the horizon is done).
+    pub fn current_tick(&self) -> u64 {
+        self.run.as_ref().map_or(0, |run| run.next_tick as u64)
+    }
+
+    /// Order-independent FNV-1a digest of the live cluster state (air
+    /// temperatures, reported melt, free cores) — the same digest the
+    /// flight-recorder replay checks, so a restored run can be compared
+    /// tick-for-tick against the original.
+    pub fn state_digest(&self) -> u64 {
+        crate::replay::digest_index(&self.index)
+    }
+
+    /// Lazily initializes the run accumulators. Idempotent: a second
+    /// call (or a call on a restored simulation, which arrives with its
+    /// accumulators rebuilt) is a no-op — which also means telemetry
+    /// must be attached before the run starts to take effect.
+    fn start_run(&mut self) {
+        if self.run.is_some() {
+            return;
+        }
         let ticks = self.config.ticks_for(self.trace.horizon());
-        self.departures.resize_with(ticks, Vec::new);
+        // Only ever grow the calendar: `resize_with` would truncate the
+        // pre-filled future buckets of a restored simulation.
+        if self.departures.len() < ticks {
+            self.departures.resize_with(ticks, Vec::new);
+        }
         let dt = self.config.tick;
         let num_servers = self.farm.len();
         let heatmap_rows = ticks.div_ceil(self.config.heatmap_stride.max(1));
-        let mut cooling = CoolingLoadSeries::new(dt);
-        let mut electrical = CoolingLoadSeries::new(dt);
-        let mut avg_temp = Vec::with_capacity(ticks);
-        let mut hot_group_temp = Vec::with_capacity(ticks);
-        let mut hot_group_sizes = Vec::with_capacity(ticks);
-        let mut stored_energy = Vec::with_capacity(ticks);
         // Both heatmaps are preallocated in full and their rows written
         // in place on sample ticks — no per-tick row allocations.
-        let heatmap_stride = self.config.heatmap_stride.max(1);
         let row_interval = dt.get() * self.config.heatmap_stride as f64;
-        let mut temp_heatmap = Heatmap {
-            row_interval,
-            rows: vec![vec![0.0; num_servers]; heatmap_rows],
-        };
-        let mut melt_heatmap = Heatmap {
-            row_interval,
-            rows: vec![vec![0.0; num_servers]; heatmap_rows],
-        };
-        let mut dropped_jobs = 0u64;
-        let mut placements = 0u64;
         let cores_per_server = self.farm.cores();
-        let mut telemetry = self.telemetry.take().map(|config| {
+        let telemetry = self.telemetry.take().map(|config| {
             let tel = EngineTelemetry::new(config, num_servers, cores_per_server, ticks as u64);
             tel.emit_run_config(
                 self.scheduler.name(),
@@ -198,127 +268,78 @@ impl Simulation {
             );
             tel
         });
+        self.run = Some(RunState {
+            ticks,
+            next_tick: 0,
+            cooling: CoolingLoadSeries::new(dt),
+            electrical: CoolingLoadSeries::new(dt),
+            avg_temp: Vec::with_capacity(ticks),
+            hot_group_temp: Vec::with_capacity(ticks),
+            hot_group_sizes: Vec::with_capacity(ticks),
+            stored_energy: Vec::with_capacity(ticks),
+            temp_heatmap: Heatmap {
+                row_interval,
+                rows: vec![vec![0.0; num_servers]; heatmap_rows],
+            },
+            melt_heatmap: Heatmap {
+                row_interval,
+                rows: vec![vec![0.0; num_servers]; heatmap_rows],
+            },
+            dropped_jobs: 0,
+            placements: 0,
+            telemetry,
+        });
+    }
 
-        for t in 0..ticks {
-            let now = dt * t as f64;
-            let now_hours = Hours::new(now.get() / 3600.0);
+    /// Executes one tick. Returns `false` (without running anything)
+    /// once the horizon is exhausted. The sequence `while sim.step() {}`
+    /// is bit-identical to the former monolithic run loop.
+    pub fn step(&mut self) -> bool {
+        self.start_run();
+        let mut run = self.run.take().expect("start_run just installed the run");
+        let stepped = if run.next_tick < run.ticks {
+            self.execute_tick(&mut run);
+            run.next_tick += 1;
+            true
+        } else {
+            false
+        };
+        self.run = Some(run);
+        stepped
+    }
 
-            // Phase laps are taken only when telemetry is attached; the
-            // disabled path reads no clocks at all.
-            let mut clock = telemetry.as_ref().map(|_| PhaseClock::start());
-            macro_rules! lap {
-                ($phase:ident) => {
-                    if let (Some(tel), Some(clock)) = (telemetry.as_mut(), clock.as_mut()) {
-                        tel.profiler.add_ns(TickPhase::$phase, clock.lap());
-                    }
-                };
-            }
-
-            if self.config.inlet.is_time_varying() {
-                for i in 0..num_servers {
-                    self.farm
-                        .set_inlet(i, self.config.inlet.inlet_at(i, now_hours.get()));
-                }
-            }
-            lap!(Inlet);
-            // One SweepTiming covers both pool-driven sections of the
-            // tick (departure drain and physics sweep); created only
-            // when telemetry is attached.
-            let mut sweep_timing = telemetry.as_ref().map(|_| SweepTiming::default());
-            self.process_departures(t as u64, telemetry.as_mut(), sweep_timing.as_mut());
-            lap!(Departures);
-            self.scheduler.on_tick_indexed(&self.farm, &self.index, now);
-            lap!(SchedulerTick);
-            let placed_before = placements;
-            let dropped_before = dropped_jobs;
-            self.plan_and_place(
-                t as u64,
-                now_hours,
-                &mut placements,
-                &mut dropped_jobs,
-                telemetry.as_mut(),
-            );
-            lap!(Placement);
-
-            // Physics tick and metric accumulation in one sharded sweep
-            // over the farm's arrays: per-shard partial sums (electrical,
-            // heat into wax, temperature sums, stored energy) are folded
-            // in shard order, the index's thermal columns and the
-            // optional heatmap rows are written in place. The sweep is
-            // deterministic at any thread count — see `farm`.
-            let hot_size = self
-                .scheduler
-                .hot_group_size()
-                .map(|size| size.clamp(1, num_servers));
-            let sample_heatmaps = t % heatmap_stride == 0;
-            let (temp_row, melt_row) = if sample_heatmaps {
-                let row = t / heatmap_stride;
-                (
-                    Some(temp_heatmap.rows[row].as_mut_slice()),
-                    Some(melt_heatmap.rows[row].as_mut_slice()),
-                )
-            } else {
-                (None, None)
-            };
-            let totals = self.farm.tick_physics_recorded(
-                dt,
-                hot_size.unwrap_or(0),
-                &mut self.index,
-                temp_row,
-                melt_row,
-                sweep_timing.as_mut(),
-            );
-            lap!(Physics);
-            if let (Some(tel), Some(timing)) = (telemetry.as_mut(), sweep_timing) {
-                tel.profiler.add_ns(TickPhase::PhysicsFold, timing.fold_ns);
-                tel.profiler
-                    .add_ns(TickPhase::PoolBusy, timing.pool_busy_ns);
-                tel.profiler
-                    .add_ns(TickPhase::PoolIdle, timing.pool_idle_ns);
-            }
-            let mean_air_c = totals.temp_sum_c / num_servers as f64;
-            cooling.push(Watts::new(totals.electrical_w - totals.into_wax_w));
-            electrical.push(Watts::new(totals.electrical_w));
-            avg_temp.push(Celsius::new(mean_air_c));
-            stored_energy.push(Joules::new(totals.stored_energy_j));
-            if let Some(size) = hot_size {
-                hot_group_temp.push(Celsius::new(totals.hot_sum_c / size as f64));
-                hot_group_sizes.push(size);
-            }
-            if let Some(tel) = telemetry.as_mut() {
-                let tick_1based = t as u64 + 1;
-                tel.record_tick(
-                    tick_1based,
-                    tick_1based as f64 * dt.get() / 3600.0,
-                    &self.index,
-                    mean_air_c,
-                    hot_size,
-                    placements - placed_before,
-                    dropped_jobs - dropped_before,
-                    self.scheduler.counters(),
-                );
-            }
-            lap!(Record);
-            if let (Some(tel), Some(clock)) = (telemetry.as_mut(), clock.as_ref()) {
-                tel.profiler.add_tick(clock.total());
+    /// Steps until the run reaches tick `tick` (exclusive next-tick
+    /// bound) or the horizon, whichever comes first.
+    pub fn run_until(&mut self, tick: u64) {
+        while self.current_tick() < tick {
+            if !self.step() {
+                break;
             }
         }
+    }
 
+    /// Ends the run, returning the result recorded so far and the
+    /// servers' final state. Called mid-horizon this yields a partial
+    /// result: series hold one sample per executed tick and unreached
+    /// heatmap rows stay zero.
+    pub fn finish(mut self) -> (SimulationResult, Vec<Server>) {
+        self.start_run();
+        let run = self.run.take().expect("start_run just installed the run");
         let result = SimulationResult {
             scheduler_name: self.scheduler.name().to_owned(),
-            cooling,
-            electrical,
-            avg_temp,
-            hot_group_temp,
-            hot_group_sizes,
-            stored_energy,
-            temp_heatmap,
-            melt_heatmap,
-            dropped_jobs,
-            placements,
-            tick: dt,
+            cooling: run.cooling,
+            electrical: run.electrical,
+            avg_temp: run.avg_temp,
+            hot_group_temp: run.hot_group_temp,
+            hot_group_sizes: run.hot_group_sizes,
+            stored_energy: run.stored_energy,
+            temp_heatmap: run.temp_heatmap,
+            melt_heatmap: run.melt_heatmap,
+            dropped_jobs: run.dropped_jobs,
+            placements: run.placements,
+            tick: self.config.tick,
         };
-        if let Some(tel) = telemetry {
+        if let Some(tel) = run.telemetry {
             tel.finish(
                 &result.scheduler_name,
                 self.scheduler.counters(),
@@ -329,6 +350,379 @@ impl Simulation {
             );
         }
         (result, self.farm.to_servers())
+    }
+
+    /// The body of one tick, operating on accumulators taken out of
+    /// `self.run` (so the engine's own fields stay freely borrowable).
+    fn execute_tick(&mut self, run: &mut RunState) {
+        let t = run.next_tick;
+        let dt = self.config.tick;
+        let num_servers = self.farm.len();
+        let heatmap_stride = self.config.heatmap_stride.max(1);
+        let now = dt * t as f64;
+        let now_hours = Hours::new(now.get() / 3600.0);
+
+        // Phase laps are taken only when telemetry is attached; the
+        // disabled path reads no clocks at all.
+        let mut clock = run.telemetry.as_ref().map(|_| PhaseClock::start());
+        macro_rules! lap {
+            ($phase:ident) => {
+                if let (Some(tel), Some(clock)) = (run.telemetry.as_mut(), clock.as_mut()) {
+                    tel.profiler.add_ns(TickPhase::$phase, clock.lap());
+                }
+            };
+        }
+
+        if self.config.inlet.is_time_varying() {
+            for i in 0..num_servers {
+                self.farm
+                    .set_inlet(i, self.config.inlet.inlet_at(i, now_hours.get()));
+            }
+        }
+        lap!(Inlet);
+        // One SweepTiming covers both pool-driven sections of the
+        // tick (departure drain and physics sweep); created only
+        // when telemetry is attached.
+        let mut sweep_timing = run.telemetry.as_ref().map(|_| SweepTiming::default());
+        self.process_departures(t as u64, run.telemetry.as_mut(), sweep_timing.as_mut());
+        lap!(Departures);
+        self.scheduler.on_tick_indexed(&self.farm, &self.index, now);
+        lap!(SchedulerTick);
+        let placed_before = run.placements;
+        let dropped_before = run.dropped_jobs;
+        self.plan_and_place(
+            t as u64,
+            now_hours,
+            &mut run.placements,
+            &mut run.dropped_jobs,
+            run.telemetry.as_mut(),
+        );
+        lap!(Placement);
+
+        // Physics tick and metric accumulation in one sharded sweep
+        // over the farm's arrays: per-shard partial sums (electrical,
+        // heat into wax, temperature sums, stored energy) are folded
+        // in shard order, the index's thermal columns and the
+        // optional heatmap rows are written in place. The sweep is
+        // deterministic at any thread count — see `farm`.
+        let hot_size = self
+            .scheduler
+            .hot_group_size()
+            .map(|size| size.clamp(1, num_servers));
+        let sample_heatmaps = t.is_multiple_of(heatmap_stride);
+        let (temp_row, melt_row) = if sample_heatmaps {
+            let row = t / heatmap_stride;
+            (
+                Some(run.temp_heatmap.rows[row].as_mut_slice()),
+                Some(run.melt_heatmap.rows[row].as_mut_slice()),
+            )
+        } else {
+            (None, None)
+        };
+        let totals = self.farm.tick_physics_recorded(
+            dt,
+            hot_size.unwrap_or(0),
+            &mut self.index,
+            temp_row,
+            melt_row,
+            sweep_timing.as_mut(),
+        );
+        lap!(Physics);
+        if let (Some(tel), Some(timing)) = (run.telemetry.as_mut(), sweep_timing) {
+            tel.profiler.add_ns(TickPhase::PhysicsFold, timing.fold_ns);
+            tel.profiler
+                .add_ns(TickPhase::PoolBusy, timing.pool_busy_ns);
+            tel.profiler
+                .add_ns(TickPhase::PoolIdle, timing.pool_idle_ns);
+        }
+        let mean_air_c = totals.temp_sum_c / num_servers as f64;
+        run.cooling
+            .push(Watts::new(totals.electrical_w - totals.into_wax_w));
+        run.electrical.push(Watts::new(totals.electrical_w));
+        run.avg_temp.push(Celsius::new(mean_air_c));
+        run.stored_energy.push(Joules::new(totals.stored_energy_j));
+        if let Some(size) = hot_size {
+            run.hot_group_temp
+                .push(Celsius::new(totals.hot_sum_c / size as f64));
+            run.hot_group_sizes.push(size);
+        }
+        if let Some(tel) = run.telemetry.as_mut() {
+            let tick_1based = t as u64 + 1;
+            tel.record_tick(
+                tick_1based,
+                tick_1based as f64 * dt.get() / 3600.0,
+                &self.index,
+                mean_air_c,
+                hot_size,
+                run.placements - placed_before,
+                run.dropped_jobs - dropped_before,
+                self.scheduler.counters(),
+            );
+        }
+        lap!(Record);
+        if let (Some(tel), Some(clock)) = (run.telemetry.as_mut(), clock.as_ref()) {
+            tel.profiler.add_tick(clock.total());
+        }
+    }
+
+    /// Captures the complete engine state at the current tick boundary.
+    ///
+    /// The snapshot is self-describing: together with
+    /// [`Simulation::restore_with`] (or the policy-aware
+    /// `vmt_core::restore_simulation`) it rebuilds a simulation whose
+    /// remaining ticks are bit-identical to this one's, at any thread
+    /// count. Telemetry is observational and does not travel with the
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotSnapshottable`] when the trace has no
+    /// [`TraceDescriptor`](vmt_workload::TraceDescriptor) or the
+    /// scheduler has no [`SnapshotState`](crate::SnapshotState) kind
+    /// (recording/replay wrappers, ad-hoc test policies).
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        let scheduler = self.scheduler.save_state()?;
+        let trace = self
+            .trace
+            .descriptor()
+            .ok_or(SnapshotError::NotSnapshottable("trace"))?;
+        let mut occupancy = [0u64; 5];
+        for (slot, &used) in occupancy.iter_mut().zip(&self.occupancy) {
+            *slot = used as u64;
+        }
+        let departures = self
+            .departures
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(t, bucket)| {
+                let entries = bucket.iter().map(|&(id, server)| (id.0, server)).collect();
+                (t as u64, entries)
+            })
+            .collect();
+        Ok(Snapshot {
+            config: self.config.clone(),
+            trace,
+            scheduler,
+            tick: self.current_tick(),
+            farm: self.farm.state(),
+            occupancy,
+            departures,
+            next_job_id: self.next_job_id,
+            arrival_rng: self.arrival_rng.state(),
+            planner_rng: self.planner.rng_state(),
+            partial: self.partial_result(),
+        })
+    }
+
+    /// The result accumulated so far, with heatmaps truncated to the
+    /// rows actually written (so a snapshot carries no trailing zero
+    /// rows whose count depends on the horizon).
+    fn partial_result(&self) -> SimulationResult {
+        let dt = self.config.tick;
+        let scheduler_name = self.scheduler.name().to_owned();
+        match &self.run {
+            Some(run) => {
+                let stride = self.config.heatmap_stride.max(1);
+                let rows_written = run.next_tick.div_ceil(stride);
+                let truncate = |map: &Heatmap| Heatmap {
+                    row_interval: map.row_interval,
+                    rows: map.rows[..rows_written.min(map.rows.len())].to_vec(),
+                };
+                SimulationResult {
+                    scheduler_name,
+                    cooling: run.cooling.clone(),
+                    electrical: run.electrical.clone(),
+                    avg_temp: run.avg_temp.clone(),
+                    hot_group_temp: run.hot_group_temp.clone(),
+                    hot_group_sizes: run.hot_group_sizes.clone(),
+                    stored_energy: run.stored_energy.clone(),
+                    temp_heatmap: truncate(&run.temp_heatmap),
+                    melt_heatmap: truncate(&run.melt_heatmap),
+                    dropped_jobs: run.dropped_jobs,
+                    placements: run.placements,
+                    tick: dt,
+                }
+            }
+            None => SimulationResult {
+                scheduler_name,
+                cooling: CoolingLoadSeries::new(dt),
+                electrical: CoolingLoadSeries::new(dt),
+                avg_temp: Vec::new(),
+                hot_group_temp: Vec::new(),
+                hot_group_sizes: Vec::new(),
+                stored_energy: Vec::new(),
+                temp_heatmap: Heatmap::default(),
+                melt_heatmap: Heatmap::default(),
+                dropped_jobs: 0,
+                placements: 0,
+                tick: dt,
+            },
+        }
+    }
+
+    /// Rebuilds a simulation from a snapshot and a scheduler instance of
+    /// the saved kind (any state; it is overwritten from the snapshot).
+    ///
+    /// This crate cannot name the concrete policies living in
+    /// `vmt-core`, so the caller supplies the instance —
+    /// `vmt_core::restore_simulation` wraps this with kind-tag dispatch.
+    /// The restored run continues at [`Snapshot::tick`] and is
+    /// bit-identical to the original from there on. It carries no
+    /// telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Any error from the scheduler's
+    /// [`restore_state`](crate::SnapshotState::restore_state), or
+    /// [`SnapshotError::Corrupt`] when the snapshot's arrays disagree
+    /// with its own config (shape mismatches, out-of-range ticks,
+    /// occupancy that does not match the farm).
+    pub fn restore_with(
+        snapshot: &Snapshot,
+        mut scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, SnapshotError> {
+        scheduler.restore_state(&snapshot.scheduler)?;
+        let mut sim = Simulation::new(snapshot.config.clone(), snapshot.trace.build(), scheduler);
+        sim.farm.apply_state(&snapshot.farm)?;
+        sim.index = ClusterIndex::new(&sim.farm);
+        let ticks = sim.config.ticks_for(sim.trace.horizon());
+        if snapshot.tick > ticks as u64 {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot taken at tick {} but the trace horizon is {ticks} ticks",
+                snapshot.tick
+            )));
+        }
+        let tick = snapshot.tick as usize;
+        for (slot, &used) in sim.occupancy.iter_mut().zip(&snapshot.occupancy) {
+            *slot = usize::try_from(used)
+                .map_err(|_| SnapshotError::Corrupt("occupancy overflows usize".to_owned()))?;
+        }
+        let occupancy_total: u64 = snapshot.occupancy.iter().sum();
+        let farm_used: u64 = (0..sim.farm.len())
+            .map(|i| u64::from(sim.farm.used_cores(i)))
+            .sum();
+        if occupancy_total != farm_used {
+            return Err(SnapshotError::Corrupt(format!(
+                "occupancy counts {occupancy_total} busy cores, the farm holds {farm_used}"
+            )));
+        }
+        sim.departures.resize_with(ticks, Vec::new);
+        let servers = sim.farm.len();
+        for &(when, ref bucket) in &snapshot.departures {
+            let slot = usize::try_from(when)
+                .ok()
+                .filter(|&w| w < ticks)
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt(format!(
+                        "departure bucket at tick {when} beyond the {ticks}-tick horizon"
+                    ))
+                })?;
+            if let Some(&(_, server)) = bucket.iter().find(|&&(_, s)| s as usize >= servers) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "departure names server {server} in a {servers}-server farm"
+                )));
+            }
+            sim.departures[slot] = bucket
+                .iter()
+                .map(|&(id, server)| (JobId(id), server))
+                .collect();
+        }
+        sim.next_job_id = snapshot.next_job_id;
+        sim.arrival_rng = rand::rngs::SmallRng::from_state(snapshot.arrival_rng);
+        sim.planner.set_rng_state(snapshot.planner_rng);
+
+        let partial = &snapshot.partial;
+        if partial.cooling.len() != tick
+            || partial.electrical.len() != tick
+            || partial.avg_temp.len() != tick
+            || partial.stored_energy.len() != tick
+        {
+            return Err(SnapshotError::Corrupt(format!(
+                "series lengths disagree with snapshot tick {tick}"
+            )));
+        }
+        if partial.hot_group_temp.len() != partial.hot_group_sizes.len()
+            || partial.hot_group_temp.len() > tick
+        {
+            return Err(SnapshotError::Corrupt(
+                "hot-group series disagree with snapshot tick".to_owned(),
+            ));
+        }
+        let stride = sim.config.heatmap_stride.max(1);
+        let heatmap_rows = ticks.div_ceil(stride);
+        let rows_written = tick.div_ceil(stride);
+        let row_interval = sim.config.tick.get() * sim.config.heatmap_stride as f64;
+        let expand = |map: &Heatmap| -> Result<Heatmap, SnapshotError> {
+            if map.rows.len() != rows_written || map.rows.iter().any(|r| r.len() != servers) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "heatmap shape disagrees with snapshot tick {tick}"
+                )));
+            }
+            let mut rows = map.rows.clone();
+            rows.resize_with(heatmap_rows, || vec![0.0; servers]);
+            Ok(Heatmap { row_interval, rows })
+        };
+        sim.run = Some(RunState {
+            ticks,
+            next_tick: tick,
+            cooling: partial.cooling.clone(),
+            electrical: partial.electrical.clone(),
+            avg_temp: partial.avg_temp.clone(),
+            hot_group_temp: partial.hot_group_temp.clone(),
+            hot_group_sizes: partial.hot_group_sizes.clone(),
+            stored_energy: partial.stored_energy.clone(),
+            temp_heatmap: expand(&partial.temp_heatmap)?,
+            melt_heatmap: expand(&partial.melt_heatmap)?,
+            dropped_jobs: partial.dropped_jobs,
+            placements: partial.placements,
+            telemetry: None,
+        });
+        Ok(sim)
+    }
+
+    /// Cheap in-memory copy of the running simulation: the fork and the
+    /// original step on independently from the same state, bit-identical
+    /// to each other (and to a snapshot/restore round trip) from this
+    /// tick on. No serialization is involved. The fork starts without
+    /// telemetry and with its own lazily created worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotSnapshottable`] when the scheduler does not
+    /// implement [`Scheduler::clone_box`] or the trace has no
+    /// descriptor.
+    pub fn fork(&self) -> Result<Self, SnapshotError> {
+        let scheduler = self
+            .scheduler
+            .clone_box()
+            .ok_or(SnapshotError::NotSnapshottable("scheduler"))?;
+        let trace = self
+            .trace
+            .descriptor()
+            .ok_or(SnapshotError::NotSnapshottable("trace"))?
+            .build();
+        Ok(Self {
+            config: self.config.clone(),
+            trace,
+            scheduler,
+            farm: self.farm.clone(),
+            planner: self.planner.clone(),
+            occupancy: self.occupancy,
+            departures: self.departures.clone(),
+            next_job_id: self.next_job_id,
+            arrival_rng: self.arrival_rng.clone(),
+            index: self.index.clone(),
+            // Scratch buffers are semantically empty between ticks; the
+            // fork warms up its own.
+            per_kind: std::array::from_fn(|_| Vec::new()),
+            batch: Vec::new(),
+            outcomes: Vec::new(),
+            depart_shards: Vec::new(),
+            bucket_pool: Vec::new(),
+            telemetry: None,
+            run: self.run.as_ref().map(RunState::clone_without_telemetry),
+        })
     }
 
     /// Ends every job whose departure tick has arrived.

@@ -170,6 +170,36 @@ impl FarmWax {
     }
 }
 
+/// Serializable image of a farm's per-server state arrays.
+///
+/// Captures exactly the fields that evolve during a run — thermal and
+/// wax arrays plus the running-job slab. Config-derived parts (power
+/// model, air stream, wax design) are *not* here; a restore rebuilds
+/// them from [`ClusterConfig`] and then overwrites the arrays with
+/// [`ServerFarm::apply_state`], which makes the image independent of
+/// how those parts are represented internally.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FarmState {
+    /// Per-server inlet temperature (°C).
+    pub inlet_c: Vec<f64>,
+    /// Per-server air temperature at the wax (°C).
+    pub at_wax_c: Vec<f64>,
+    /// Per-server sum of running jobs' core powers (W).
+    pub active_power_w: Vec<f64>,
+    /// Per-server wax enthalpy (J).
+    pub enthalpy_j: Vec<f64>,
+    /// Per-server estimator wax-temperature state (°C).
+    pub est_temp_c: Vec<f64>,
+    /// Per-server estimator melt-fraction state.
+    pub est_fraction: Vec<f64>,
+    /// Flat running-job slab (`num_servers × cores` slots).
+    pub job_ids: Vec<u64>,
+    /// Workload index byte of each slab slot.
+    pub job_kinds: Vec<u8>,
+    /// Occupied slot count per server.
+    pub job_counts: Vec<u32>,
+}
+
 /// All servers' physical state in structure-of-arrays form.
 ///
 /// Mirrors the per-server [`Server`] API index-wise (`air_at_wax(i)`,
@@ -398,6 +428,61 @@ impl ServerFarm {
                 )
             })
             .collect()
+    }
+
+    /// Captures every evolving per-server array as a serializable
+    /// [`FarmState`] image.
+    pub fn state(&self) -> FarmState {
+        FarmState {
+            inlet_c: self.inlet_c.clone(),
+            at_wax_c: self.at_wax_c.clone(),
+            active_power_w: self.active_power_w.clone(),
+            enthalpy_j: self.enthalpy_j.clone(),
+            est_temp_c: self.est_temp_c.clone(),
+            est_fraction: self.est_fraction.clone(),
+            job_ids: self.job_ids.clone(),
+            job_kinds: self.job_kinds.clone(),
+            job_counts: self.job_counts.clone(),
+        }
+    }
+
+    /// Overwrites the evolving arrays from a [`FarmState`] image taken
+    /// on a farm of the same shape (same server count and core count).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Corrupt`] when any array length disagrees with
+    /// this farm's shape; the farm is left untouched in that case.
+    ///
+    /// [`SnapshotError::Corrupt`]: crate::SnapshotError::Corrupt
+    pub fn apply_state(&mut self, state: &FarmState) -> Result<(), crate::snapshot::SnapshotError> {
+        let n = self.len();
+        let slab = self.job_ids.len();
+        let per_server_ok = state.inlet_c.len() == n
+            && state.at_wax_c.len() == n
+            && state.active_power_w.len() == n
+            && state.enthalpy_j.len() == n
+            && state.est_temp_c.len() == n
+            && state.est_fraction.len() == n
+            && state.job_counts.len() == n;
+        let slab_ok = state.job_ids.len() == slab && state.job_kinds.len() == slab;
+        if !per_server_ok || !slab_ok {
+            return Err(crate::snapshot::SnapshotError::Corrupt(format!(
+                "farm state shaped for {} servers / {} slots, farm has {n} / {slab}",
+                state.job_counts.len(),
+                state.job_ids.len(),
+            )));
+        }
+        self.inlet_c.clone_from(&state.inlet_c);
+        self.at_wax_c.clone_from(&state.at_wax_c);
+        self.active_power_w.clone_from(&state.active_power_w);
+        self.enthalpy_j.clone_from(&state.enthalpy_j);
+        self.est_temp_c.clone_from(&state.est_temp_c);
+        self.est_fraction.clone_from(&state.est_fraction);
+        self.job_ids.clone_from(&state.job_ids);
+        self.job_kinds.clone_from(&state.job_kinds);
+        self.job_counts.clone_from(&state.job_counts);
+        Ok(())
     }
 
     /// Number of servers.

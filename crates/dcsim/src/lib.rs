@@ -51,12 +51,13 @@ mod pool;
 mod replay;
 mod scheduler;
 mod server;
+mod snapshot;
 mod telemetry;
 mod topology;
 
 pub use config::{ClusterConfig, WaxSpec};
 pub use engine::Simulation;
-pub use farm::{default_tick_threads, FarmTickTotals, ServerFarm, SweepTiming, SHARD};
+pub use farm::{default_tick_threads, FarmState, FarmTickTotals, ServerFarm, SweepTiming, SHARD};
 pub use index::ClusterIndex;
 pub use metrics::{Heatmap, SimulationResult};
 pub use pool::TickPool;
@@ -66,6 +67,9 @@ pub use replay::{
 };
 pub use scheduler::{FirstFit, Scheduler};
 pub use server::{Server, ServerId};
+pub use snapshot::{
+    SavedState, Snapshot, SnapshotError, SnapshotState, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use topology::{PlacementMap, RackId, RackLayout, RackPowerStats};
 /// Re-exported so downstream crates can attach telemetry without a
 /// direct `vmt-telemetry` dependency.

@@ -147,6 +147,10 @@ impl RecordingScheduler {
     }
 }
 
+// Recording wraps a live trace handle; it exists only inside one
+// process, so the default "not checkpointable" SnapshotState applies.
+impl crate::snapshot::SnapshotState for RecordingScheduler {}
+
 impl Scheduler for RecordingScheduler {
     fn name(&self) -> &str {
         self.inner.name()
@@ -285,6 +289,10 @@ impl ReplayScheduler {
         }
     }
 }
+
+// Replaying mid-trace state is the flight recorder's own format; a
+// snapshot of a replay run is out of scope, so the default applies.
+impl crate::snapshot::SnapshotState for ReplayScheduler {}
 
 impl Scheduler for ReplayScheduler {
     fn name(&self) -> &str {

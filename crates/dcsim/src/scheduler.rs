@@ -3,6 +3,7 @@
 use crate::farm::ServerFarm;
 use crate::index::ClusterIndex;
 use crate::server::ServerId;
+use crate::snapshot::SnapshotState;
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
@@ -20,7 +21,17 @@ use vmt_workload::Job;
 /// *estimator's report* ([`ServerFarm::reported_melt_fraction`]),
 /// matching the paper's deployment where each server runs a lightweight
 /// wax model and reports once per minute.
-pub trait Scheduler {
+///
+/// The [`SnapshotState`] supertrait is how a policy participates in
+/// engine checkpoints: it saves its cross-tick state under its policy
+/// name and restores from a matching [`SavedState`]. The default
+/// implementation marks a policy as not checkpointable, which is fine
+/// for harness wrappers and test probes — [`Simulation::snapshot`] then
+/// returns a typed error instead of a lossy checkpoint.
+///
+/// [`SavedState`]: crate::SavedState
+/// [`Simulation::snapshot`]: crate::Simulation::snapshot
+pub trait Scheduler: SnapshotState {
     /// Human-readable policy name (used in reports and plots).
     fn name(&self) -> &str;
 
@@ -108,6 +119,18 @@ pub trait Scheduler {
     fn counters(&self) -> Option<vmt_telemetry::SchedulerCounters> {
         None
     }
+
+    /// Boxed deep copy of the policy, for forking a running simulation.
+    ///
+    /// The default reports the policy as not cloneable (`None`), which
+    /// makes [`Simulation::fork`] fail with a typed error rather than
+    /// silently sharing or resetting state. Concrete policies override
+    /// this as `Some(Box::new(self.clone()))`.
+    ///
+    /// [`Simulation::fork`]: crate::Simulation::fork
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        None
+    }
 }
 
 /// Trivial first-fit policy: the lowest-indexed server with a free core.
@@ -126,6 +149,14 @@ impl FirstFit {
     }
 }
 
+impl SnapshotState for FirstFit {
+    // Stateless: the kind tag alone (with a null state) fully describes
+    // the policy, so the defaulted save/restore bodies suffice.
+    fn state_kind(&self) -> Option<&'static str> {
+        Some("first-fit")
+    }
+}
+
 impl Scheduler for FirstFit {
     fn name(&self) -> &str {
         "first-fit"
@@ -135,6 +166,10 @@ impl Scheduler for FirstFit {
         (0..farm.len())
             .find(|&i| farm.free_cores(i) > 0)
             .map(ServerId)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Scheduler>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -1,0 +1,420 @@
+//! Engine checkpoints: serialize a mid-run [`Simulation`] and rebuild it.
+//!
+//! A [`Snapshot`] captures everything that influences the rest of a run —
+//! the cluster configuration, a self-describing trace descriptor, the
+//! scheduler's cross-tick state, every farm state array, the departure
+//! calendar, both RNG streams, and the partially accumulated result
+//! series — at a tick boundary. Restoring it yields a simulation whose
+//! remaining ticks are bit-identical to the run it was taken from, at any
+//! thread count; `tests/snapshot.rs` pins that equivalence per tick.
+//!
+//! Two pieces make the checkpoint self-describing despite the engine
+//! holding its trace and policy as `Box<dyn …>` trait objects:
+//!
+//! * [`TraceDescriptor`] (from `vmt-workload`) embeds the built-in trace
+//!   types whole and rebuilds an equivalent boxed trace;
+//! * [`SnapshotState`] lets each scheduler save its cross-tick state into
+//!   a kind-tagged [`SavedState`] and restore from one. Per-tick derived
+//!   state (balancer heaps, scan cursors, keep-warm lists) is
+//!   deliberately *not* serialized — every policy rebuilds it in its
+//!   tick refresh before any placement, so only genuinely cross-tick
+//!   fields travel.
+//!
+//! On disk a snapshot is a one-line header plus a JSON payload:
+//!
+//! ```text
+//! VMTSNAP v1 digest=0x<fnv1a of payload> bytes=<payload length>
+//! {"config":…}
+//! ```
+//!
+//! [`Snapshot::decode`] validates magic, version, length, and digest in
+//! that order and returns a typed [`SnapshotError`] — a malformed or
+//! truncated container is rejected, never panicked on.
+//!
+//! [`Simulation`]: crate::Simulation
+
+use crate::config::ClusterConfig;
+use crate::farm::FarmState;
+use crate::metrics::SimulationResult;
+use vmt_telemetry::replay::StateHasher;
+use vmt_workload::TraceDescriptor;
+
+/// Magic token opening every snapshot container.
+pub const SNAPSHOT_MAGIC: &str = "VMTSNAP";
+
+/// Container format version written by [`Snapshot::encode`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Error raised while encoding, decoding, or restoring a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The input is not a snapshot container at all.
+    BadMagic,
+    /// The container declares a version this build cannot read.
+    UnsupportedVersion(String),
+    /// The payload is shorter or longer than the header declares.
+    Truncated {
+        /// Payload length the header promised.
+        expected: usize,
+        /// Payload length actually present.
+        actual: usize,
+    },
+    /// The payload does not hash to the header's digest.
+    DigestMismatch {
+        /// Digest the header carries.
+        expected: u64,
+        /// Digest of the bytes actually present.
+        actual: u64,
+    },
+    /// The payload parsed but describes an inconsistent state (bad JSON,
+    /// mismatched array lengths, out-of-range ticks).
+    Corrupt(String),
+    /// A [`SavedState`]'s kind tag does not match the component asked to
+    /// restore from it.
+    KindMismatch {
+        /// Kind the restoring component expected.
+        expected: String,
+        /// Kind the saved state carries.
+        found: String,
+    },
+    /// A run component (trace or scheduler) has no serializable
+    /// description and cannot be checkpointed.
+    NotSnapshottable(&'static str),
+    /// No known scheduler answers to the saved kind tag.
+    UnknownKind(String),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a snapshot container (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v:?} (this build reads v1)")
+            }
+            SnapshotError::Truncated { expected, actual } => write!(
+                f,
+                "payload length mismatch: header declares {expected} bytes, found {actual}"
+            ),
+            SnapshotError::DigestMismatch { expected, actual } => write!(
+                f,
+                "payload digest mismatch: header declares {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            SnapshotError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+            SnapshotError::KindMismatch { expected, found } => write!(
+                f,
+                "saved state is for {found:?}, cannot restore a {expected:?}"
+            ),
+            SnapshotError::NotSnapshottable(what) => {
+                write!(f, "this {what} has no serializable description")
+            }
+            SnapshotError::UnknownKind(kind) => {
+                write!(f, "no known scheduler for saved kind {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A kind-tagged, serialized blob of one component's cross-tick state.
+///
+/// The tag makes a snapshot self-describing: restore code dispatches on
+/// `kind` to reconstruct the right scheduler, then hands the state back
+/// through [`SnapshotState::restore_state`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SavedState {
+    /// Stable component tag (the scheduler's policy name).
+    pub kind: String,
+    /// The component's serialized state.
+    pub state: serde::Value,
+}
+
+impl SavedState {
+    /// Wraps a component's typed state under its kind tag.
+    pub fn new<T: serde::Serialize>(kind: &str, state: &T) -> Self {
+        Self {
+            kind: kind.to_owned(),
+            state: state.to_value(),
+        }
+    }
+
+    /// Decodes the typed state, checking the kind tag first.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KindMismatch`] when the tag differs,
+    /// [`SnapshotError::Corrupt`] when the state does not parse as `T`.
+    pub fn decode<T: serde::Deserialize>(&self, kind: &str) -> Result<T, SnapshotError> {
+        if self.kind != kind {
+            return Err(SnapshotError::KindMismatch {
+                expected: kind.to_owned(),
+                found: self.kind.clone(),
+            });
+        }
+        T::from_value(&self.state).map_err(|e| SnapshotError::Corrupt(format!("{kind} state: {e}")))
+    }
+}
+
+/// Checkpointable cross-tick state, implemented by every [`Scheduler`].
+///
+/// The default implementation reports the component as not
+/// checkpointable ([`SnapshotState::state_kind`] returns `None`), which
+/// is correct for wrappers that exist only inside one process
+/// (recording/replay harnesses, test probes). Policies with serializable
+/// state override all three methods; stateless-but-checkpointable
+/// policies override only `state_kind`.
+///
+/// [`Scheduler`]: crate::Scheduler
+pub trait SnapshotState {
+    /// Stable kind tag, or `None` when this component cannot be
+    /// checkpointed. Schedulers reuse their policy name.
+    fn state_kind(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// Serializes the cross-tick state under the kind tag.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotSnapshottable`] when [`state_kind`] is `None`.
+    ///
+    /// [`state_kind`]: SnapshotState::state_kind
+    fn save_state(&self) -> Result<SavedState, SnapshotError> {
+        match self.state_kind() {
+            Some(kind) => Ok(SavedState {
+                kind: kind.to_owned(),
+                state: serde::Value::Null,
+            }),
+            None => Err(SnapshotError::NotSnapshottable("scheduler")),
+        }
+    }
+
+    /// Overwrites the cross-tick state from a [`SavedState`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KindMismatch`] when the tag belongs to another
+    /// component, [`SnapshotError::NotSnapshottable`] when this one has
+    /// no kind, [`SnapshotError::Corrupt`] when the state does not parse.
+    fn restore_state(&mut self, saved: &SavedState) -> Result<(), SnapshotError> {
+        match self.state_kind() {
+            Some(kind) if kind == saved.kind => Ok(()),
+            Some(kind) => Err(SnapshotError::KindMismatch {
+                expected: kind.to_owned(),
+                found: saved.kind.clone(),
+            }),
+            None => Err(SnapshotError::NotSnapshottable("scheduler")),
+        }
+    }
+}
+
+/// A complete engine checkpoint at a tick boundary.
+///
+/// `tick` is the next tick the run will execute; everything else is the
+/// state *after* tick `tick − 1` finished. Produced by
+/// [`Simulation::snapshot`], consumed by [`Simulation::restore_with`].
+///
+/// [`Simulation::snapshot`]: crate::Simulation::snapshot
+/// [`Simulation::restore_with`]: crate::Simulation::restore_with
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// The cluster configuration the run was built from.
+    pub config: ClusterConfig,
+    /// Self-describing trace source.
+    pub trace: TraceDescriptor,
+    /// The scheduler's kind-tagged cross-tick state.
+    pub scheduler: SavedState,
+    /// Next tick to execute (0 = nothing has run yet).
+    pub tick: u64,
+    /// Every farm state array (thermal, wax, estimator, job slab).
+    pub farm: FarmState,
+    /// Occupied cores per workload, by [`WorkloadKind::index`].
+    ///
+    /// [`WorkloadKind::index`]: vmt_workload::WorkloadKind::index
+    pub occupancy: [u64; 5],
+    /// Non-empty departure buckets as `(tick, [(job id, server)])`.
+    pub departures: Vec<(u64, Vec<(u64, u32)>)>,
+    /// Next job id the engine will stamp.
+    pub next_job_id: u64,
+    /// Raw state of the arrival-shuffle RNG.
+    pub arrival_rng: [u64; 4],
+    /// Raw state of the planner's duration-jitter RNG.
+    pub planner_rng: [u64; 4],
+    /// Result series accumulated so far. Series hold `tick` samples; the
+    /// heatmaps hold only the rows already written
+    /// (`ceil(tick / heatmap_stride)`).
+    pub partial: SimulationResult,
+}
+
+fn payload_digest(payload: &str) -> u64 {
+    let mut hasher = StateHasher::new();
+    hasher.write_bytes(payload.as_bytes());
+    hasher.finish()
+}
+
+impl Snapshot {
+    /// FNV-1a digest of the serialized payload — the container's
+    /// integrity check, also usable as a cheap identity for a checkpoint.
+    pub fn digest(&self) -> u64 {
+        payload_digest(&self.payload())
+    }
+
+    fn payload(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+
+    /// Serializes the snapshot into its versioned container format.
+    pub fn encode(&self) -> String {
+        let payload = self.payload();
+        format!(
+            "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} digest={:#018x} bytes={}\n{payload}\n",
+            payload_digest(&payload),
+            payload.len()
+        )
+    }
+
+    /// Parses a container produced by [`Snapshot::encode`].
+    ///
+    /// Validation order: magic, version, header fields, payload length,
+    /// payload digest, JSON structure. Every failure is a typed
+    /// [`SnapshotError`]; malformed input never panics.
+    pub fn decode(text: &str) -> Result<Self, SnapshotError> {
+        let (header, body) = match text.split_once('\n') {
+            Some((header, body)) => (header, body),
+            None => (text, ""),
+        };
+        let mut fields = header.split_ascii_whitespace();
+        if fields.next() != Some(SNAPSHOT_MAGIC) {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = fields.next().unwrap_or_default();
+        if version != "v1" {
+            return Err(SnapshotError::UnsupportedVersion(version.to_owned()));
+        }
+        let digest = fields
+            .next()
+            .and_then(|f| f.strip_prefix("digest=0x"))
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+            .ok_or_else(|| SnapshotError::Corrupt("header digest field unreadable".to_owned()))?;
+        let bytes = fields
+            .next()
+            .and_then(|f| f.strip_prefix("bytes="))
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| SnapshotError::Corrupt("header bytes field unreadable".to_owned()))?;
+        let payload = body.strip_suffix('\n').unwrap_or(body);
+        if payload.len() != bytes {
+            return Err(SnapshotError::Truncated {
+                expected: bytes,
+                actual: payload.len(),
+            });
+        }
+        let actual = payload_digest(payload);
+        if actual != digest {
+            return Err(SnapshotError::DigestMismatch {
+                expected: digest,
+                actual,
+            });
+        }
+        serde_json::from_str(payload).map_err(|e| SnapshotError::Corrupt(format!("payload: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saved_state_round_trips_typed_payloads() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Demo {
+            cursor: u64,
+            flags: Vec<bool>,
+        }
+        let demo = Demo {
+            cursor: 17,
+            flags: vec![true, false, true],
+        };
+        let saved = SavedState::new("demo", &demo);
+        assert_eq!(saved.decode::<Demo>("demo").unwrap(), demo);
+        assert_eq!(
+            saved.decode::<Demo>("other").unwrap_err(),
+            SnapshotError::KindMismatch {
+                expected: "other".to_owned(),
+                found: "demo".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn default_snapshot_state_refuses() {
+        struct Opaque;
+        impl SnapshotState for Opaque {}
+        let mut opaque = Opaque;
+        assert_eq!(opaque.state_kind(), None);
+        assert_eq!(
+            opaque.save_state().unwrap_err(),
+            SnapshotError::NotSnapshottable("scheduler")
+        );
+        let saved = SavedState {
+            kind: "anything".to_owned(),
+            state: serde::Value::Null,
+        };
+        assert_eq!(
+            opaque.restore_state(&saved).unwrap_err(),
+            SnapshotError::NotSnapshottable("scheduler")
+        );
+    }
+
+    #[test]
+    fn container_errors_are_typed() {
+        assert_eq!(Snapshot::decode("").unwrap_err(), SnapshotError::BadMagic);
+        assert_eq!(
+            Snapshot::decode("GARBAGE v1 digest=0x0 bytes=0\n{}").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        assert_eq!(
+            Snapshot::decode("VMTSNAP v9 digest=0x0 bytes=0\n{}").unwrap_err(),
+            SnapshotError::UnsupportedVersion("v9".to_owned())
+        );
+        assert!(matches!(
+            Snapshot::decode("VMTSNAP v1 digest=zz bytes=0\n{}").unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        assert!(matches!(
+            Snapshot::decode("VMTSNAP v1 digest=0x0000000000000000\n{}").unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        assert_eq!(
+            Snapshot::decode("VMTSNAP v1 digest=0x0000000000000000 bytes=99\n{}").unwrap_err(),
+            SnapshotError::Truncated {
+                expected: 99,
+                actual: 2
+            }
+        );
+        assert!(matches!(
+            Snapshot::decode("VMTSNAP v1 digest=0x0000000000000000 bytes=2\n{}").unwrap_err(),
+            SnapshotError::DigestMismatch { .. }
+        ));
+        // Right length and digest, wrong structure: Corrupt, not a panic.
+        let payload = "{}";
+        let digest = payload_digest(payload);
+        let text = format!("VMTSNAP v1 digest={digest:#018x} bytes=2\n{payload}");
+        assert!(matches!(
+            Snapshot::decode(&text).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_particulars() {
+        let err = SnapshotError::Truncated {
+            expected: 10,
+            actual: 2,
+        };
+        assert!(err.to_string().contains("10"));
+        let err = SnapshotError::UnsupportedVersion("v9".to_owned());
+        assert!(err.to_string().contains("v9"));
+        let err = SnapshotError::UnknownKind("mystery".to_owned());
+        assert!(err.to_string().contains("mystery"));
+    }
+}

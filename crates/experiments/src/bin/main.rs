@@ -12,6 +12,10 @@
 //! vmt-experiments record TRACE [--policy NAME] [--gv F] [--servers N]
 //!                     [--hours H] [--seed S] [--threads T]
 //! vmt-experiments replay TRACE [--until TICK] [--threads T]
+//! vmt-experiments snapshot FILE (--at TICK | --from-flight DUMP)
+//!                     [--policy NAME] [--gv F] [--servers N] [--hours H]
+//!                     [--seed S] [--threads T]
+//! vmt-experiments resume FILE [--until TICK] [--threads T]
 //! vmt-experiments check-telemetry FILE
 //! vmt-experiments check-flight FILE
 //! vmt-experiments check-bench FILE
@@ -74,6 +78,8 @@ fn print_help() {
     println!("  vmt-experiments run [options]");
     println!("  vmt-experiments record TRACE [options]");
     println!("  vmt-experiments replay TRACE [--until TICK] [--threads T]");
+    println!("  vmt-experiments snapshot FILE (--at TICK | --from-flight DUMP) [options]");
+    println!("  vmt-experiments resume FILE [--until TICK] [--threads T]");
     println!("  vmt-experiments check-telemetry FILE");
     println!("  vmt-experiments check-flight FILE");
     println!("  vmt-experiments check-bench FILE");
@@ -106,6 +112,15 @@ fn print_help() {
     println!("replay re-drives a simulation from TRACE, bypassing the policy, and");
     println!("  verifies per-tick state digests; --until TICK replays only the");
     println!("  first TICK ticks to bisect a divergence. Exits 1 on divergence.");
+    println!();
+    println!("snapshot runs a simulation up to a tick and writes a restorable");
+    println!("  checkpoint to FILE (same --policy/--gv/--servers/--hours/--seed");
+    println!("  options as record); --from-flight takes the tick from a flight-");
+    println!("  recorder dump's header, so a run can be checkpointed exactly where");
+    println!("  a watchdog fired.");
+    println!("resume restores a checkpoint and steps it forward; --until TICK stops");
+    println!("  early and prints the state digest there (restored runs are");
+    println!("  bit-identical to uninterrupted ones at any --threads value).");
     println!();
     println!("check-telemetry validates a JSONL stream written by `run --telemetry`:");
     println!("  RunConfig first, Summary last, schema versions consistent; exits 1");
@@ -178,6 +193,8 @@ fn main() {
         "run" => cmd_run(&args[1..]),
         "record" => cmd_record(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
+        "snapshot" => cmd_snapshot(&args[1..]),
+        "resume" => cmd_resume(&args[1..]),
         "check-telemetry" => cmd_check_telemetry(&args[1..]),
         "check-flight" => cmd_check_flight(&args[1..]),
         "check-bench" => cmd_check_bench(&args[1..]),
@@ -488,6 +505,159 @@ fn cmd_replay(rest: &[String]) {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+/// Checkpoints a run at a tick (`vmt-experiments snapshot`).
+fn cmd_snapshot(rest: &[String]) {
+    let (snap_path, rest) = positional_path(
+        rest,
+        "usage: vmt-experiments snapshot FILE (--at TICK | --from-flight DUMP) [options]",
+    );
+    let flags = parse_flags(
+        rest,
+        &[
+            "--at",
+            "--from-flight",
+            "--policy",
+            "--gv",
+            "--servers",
+            "--hours",
+            "--seed",
+            "--threads",
+        ],
+    );
+    let gv: f64 = numeric(&flags, "--gv").unwrap_or(22.0);
+    let policy_name = flags.get("--policy").map_or("vmt-wa", String::as_str);
+    let policy = match vmt_core::PolicyKind::parse(policy_name, gv) {
+        Ok(policy) => policy,
+        Err(err) => die(&err),
+    };
+    // `record`-sized defaults: the farm arrays land in the file verbatim.
+    let servers: usize = numeric(&flags, "--servers").unwrap_or(100);
+    let hours: f64 = numeric(&flags, "--hours").unwrap_or(24.0);
+    if !hours.is_finite() || hours <= 0.0 {
+        die("`--hours` must be positive");
+    }
+
+    // The checkpoint tick: given directly, or lifted from a flight-
+    // recorder dump's header so the run can be frozen exactly where a
+    // watchdog fired.
+    let at: u64 = match (numeric::<u64>(&flags, "--at"), flags.get("--from-flight")) {
+        (Some(_), Some(_)) => die("`--at` and `--from-flight` are mutually exclusive"),
+        (Some(at), None) => at,
+        (None, Some(dump_path)) => {
+            let text = match std::fs::read_to_string(dump_path) {
+                Ok(text) => text,
+                Err(err) => die(&format!("cannot read `{dump_path}`: {err}")),
+            };
+            match vmt_telemetry::validate_dump(&text) {
+                Ok(dump) => dump.header.tick,
+                Err(err) => {
+                    eprintln!("invalid flight dump: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, None) => die("snapshot requires `--at TICK` or `--from-flight DUMP`"),
+    };
+
+    let mut run = Run::new(servers, policy);
+    run.trace.horizon = vmt_units::Hours::new(hours);
+    if let Some(seed) = numeric::<u64>(&flags, "--seed") {
+        run.cluster.seed = seed;
+        run.trace.seed = seed;
+    }
+    let mut sim = vmt_dcsim::Simulation::new(
+        run.cluster.clone(),
+        vmt_workload::DiurnalTrace::new(run.trace.clone()),
+        policy.build(&run.cluster),
+    );
+    if let Some(threads) = numeric::<usize>(&flags, "--threads") {
+        sim = sim.with_threads(threads);
+    }
+    let total = sim.total_ticks();
+    if at > total {
+        die(&format!(
+            "`--at {at}` is beyond the horizon ({total} ticks)"
+        ));
+    }
+    sim.run_until(at);
+    let snapshot = match sim.snapshot() {
+        Ok(snapshot) => snapshot,
+        Err(err) => {
+            eprintln!("cannot snapshot: {err}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(err) = std::fs::write(snap_path, snapshot.encode()) {
+        eprintln!("error: cannot write `{snap_path}`: {err}");
+        std::process::exit(1);
+    }
+    println!(
+        "snapshot of {policy_name} on {servers} servers at tick {at}/{total}: \
+         digest {:#018x}",
+        snapshot.digest()
+    );
+    println!("snapshot: {snap_path}");
+}
+
+/// Restores a checkpoint and steps it forward (`vmt-experiments resume`).
+fn cmd_resume(rest: &[String]) {
+    let (snap_path, rest) = positional_path(
+        rest,
+        "usage: vmt-experiments resume FILE [--until TICK] [--threads T]",
+    );
+    let flags = parse_flags(rest, &["--until", "--threads"]);
+    let text = match std::fs::read_to_string(snap_path) {
+        Ok(text) => text,
+        Err(err) => die(&format!("cannot read `{snap_path}`: {err}")),
+    };
+    let snapshot = match vmt_dcsim::Snapshot::decode(&text) {
+        Ok(snapshot) => snapshot,
+        Err(err) => {
+            eprintln!("invalid snapshot: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut sim = match vmt_core::restore_simulation(&snapshot) {
+        Ok(sim) => sim,
+        Err(err) => {
+            eprintln!("invalid snapshot: {err}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(threads) = numeric::<usize>(&flags, "--threads") {
+        sim = sim.with_threads(threads);
+    }
+    let total = sim.total_ticks();
+    let until: u64 = numeric(&flags, "--until").unwrap_or(total);
+    if until < snapshot.tick {
+        die(&format!(
+            "`--until {until}` precedes the snapshot tick {}",
+            snapshot.tick
+        ));
+    }
+    let until = until.min(total);
+    sim.run_until(until);
+    println!(
+        "resumed {} at tick {}, ran to tick {until}/{total}",
+        snapshot.scheduler.kind, snapshot.tick
+    );
+    println!("state digest at tick {until}: {:#018x}", sim.state_digest());
+    if until == total {
+        let (result, end_servers) = sim.finish();
+        println!(
+            "{}: {} placements, {} dropped, peak cooling {:.1} kW",
+            result.scheduler_name,
+            result.placements,
+            result.dropped_jobs,
+            result.peak_cooling().get() / 1e3
+        );
+        println!(
+            "final state digest: {:#018x}",
+            vmt_dcsim::digest_final_state(&result, &end_servers)
+        );
     }
 }
 

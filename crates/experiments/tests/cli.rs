@@ -233,3 +233,175 @@ fn watchdog_run_produces_validating_dumps() {
     let _ = std::fs::remove_file(&dump);
     let _ = std::fs::remove_file(&anomaly);
 }
+
+#[test]
+fn snapshot_usage_errors() {
+    assert_usage_error(&["snapshot"], "usage: vmt-experiments snapshot");
+    assert_usage_error(
+        &["snapshot", "--at", "5"],
+        "usage: vmt-experiments snapshot",
+    );
+    assert_usage_error(
+        &["snapshot", "/tmp/x.snap"],
+        "snapshot requires `--at TICK` or `--from-flight DUMP`",
+    );
+    assert_usage_error(
+        &["snapshot", "/tmp/x.snap", "--at", "5", "--from-flight", "d"],
+        "mutually exclusive",
+    );
+    assert_usage_error(
+        &["snapshot", "/tmp/x.snap", "--at", "ten"],
+        "unparseable value `ten`",
+    );
+    assert_usage_error(
+        &[
+            "snapshot",
+            "/tmp/x.snap",
+            "--at",
+            "99999",
+            "--servers",
+            "2",
+            "--hours",
+            "1",
+        ],
+        "beyond the horizon",
+    );
+    assert_usage_error(
+        &["snapshot", "/tmp/x.snap", "--at", "5", "--policy", "bogus"],
+        "unknown policy `bogus`",
+    );
+    assert_usage_error(
+        &["snapshot", "/tmp/x.snap", "--at", "5", "--from-flight"],
+        "requires a value",
+    );
+}
+
+#[test]
+fn resume_usage_errors() {
+    assert_usage_error(&["resume"], "usage: vmt-experiments resume");
+    assert_usage_error(&["resume", "--until", "5"], "usage: vmt-experiments resume");
+    assert_usage_error(&["resume", "/nonexistent/x.snap"], "cannot read");
+    assert_usage_error(
+        &["resume", "/tmp/x.snap", "--servers", "5"],
+        "unrecognized argument `--servers`",
+    );
+}
+
+#[test]
+fn resume_rejects_corrupt_snapshots_with_exit_1() {
+    // A wrong magic, a bad version, and a truncated payload each fail
+    // with a typed message, never a panic.
+    for (name, contents, needle) in [
+        ("magic", "NOTSNAP v1 digest=0x0 bytes=2\n{}\n", "magic"),
+        (
+            "version",
+            "VMTSNAP v99 digest=0x0000000000000000 bytes=2\n{}\n",
+            "version",
+        ),
+        (
+            "trunc",
+            "VMTSNAP v1 digest=0x0000000000000000 bytes=9999\n{}\n",
+            "length mismatch",
+        ),
+    ] {
+        let path = scratch(&format!("bad_{name}.snap"));
+        std::fs::write(&path, contents).unwrap();
+        let out = bin().arg("resume").arg(&path).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{name}: {}", stderr(&out));
+        let err = stderr(&out).to_lowercase();
+        assert!(
+            err.contains("invalid snapshot") && err.contains(needle),
+            "{name} stderr should mention `{needle}`: {err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The checkpoint happy path end to end: snapshot mid-run, resume to the
+/// horizon at two thread counts, and hold the digests to each other.
+#[test]
+fn snapshot_resume_round_trip() {
+    let snap = scratch("roundtrip.snap");
+    let out = bin()
+        .arg("snapshot")
+        .arg(&snap)
+        .args([
+            "--at",
+            "30",
+            "--servers",
+            "5",
+            "--hours",
+            "2",
+            "--policy",
+            "vmt-wa",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("snapshot of vmt-wa"));
+
+    let resume = |extra: &[&str]| {
+        let out = bin().arg("resume").arg(&snap).args(extra).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+        stdout(&out)
+    };
+    let single = resume(&["--threads", "1"]);
+    assert!(
+        single.contains("resumed vmt-wa at tick 30"),
+        "got: {single}"
+    );
+    assert!(single.contains("final state digest"), "got: {single}");
+    // Bit-identical at any thread count: the full transcripts match.
+    let threaded = resume(&["--threads", "4"]);
+    assert_eq!(single, threaded);
+    // A prefix resume stops at the requested tick.
+    let prefix = resume(&["--until", "60"]);
+    assert!(prefix.contains("ran to tick 60"), "got: {prefix}");
+    assert!(!prefix.contains("final state digest"), "got: {prefix}");
+
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// Restore interoperates with the flight recorder: a watchdog anomaly
+/// dump names the tick, `snapshot --from-flight` checkpoints there, and
+/// the checkpoint resumes cleanly.
+#[test]
+fn snapshot_from_flight_dump_resumes() {
+    let dump = scratch("ff.dump");
+    let out = bin()
+        .args([
+            "run",
+            "--servers",
+            "5",
+            "--hours",
+            "2",
+            "--watchdogs",
+            "--red-line",
+            "28",
+        ])
+        .arg("--flight-dump")
+        .arg(&dump)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let anomaly = PathBuf::from(format!("{}.anomaly1", dump.display()));
+
+    let snap = scratch("ff.snap");
+    let out = bin()
+        .arg("snapshot")
+        .arg(&snap)
+        .arg("--from-flight")
+        .arg(&anomaly)
+        .args(["--servers", "5", "--hours", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    let out = bin().arg("resume").arg(&snap).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("final state digest"));
+
+    for path in [&dump, &anomaly, &snap] {
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -33,13 +33,20 @@ impl StateHasher {
         Self(0xcbf2_9ce4_8422_2325)
     }
 
-    /// Folds one `u64` into the digest, byte by byte.
+    /// Folds raw bytes into the digest (e.g. a serialized container
+    /// payload).
     #[inline]
-    pub fn write_u64(&mut self, value: u64) {
-        for byte in value.to_le_bytes() {
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
             self.0 ^= u64::from(byte);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
+    }
+
+    /// Folds one `u64` into the digest, byte by byte.
+    #[inline]
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
     }
 
     /// Folds one `f64` in by its raw bits.

@@ -90,6 +90,18 @@ impl ArrivalPlanner {
         }
     }
 
+    /// Raw RNG state, for checkpointing the jitter stream position.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Overwrites the RNG state with a previously captured
+    /// [`rng_state`](ArrivalPlanner::rng_state), resuming the jitter
+    /// stream exactly where the checkpoint left it.
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = rand::rngs::SmallRng::from_state(state);
+    }
+
     /// Draws one duration for `kind` from the configured model.
     fn draw_duration(&mut self, kind: WorkloadKind) -> Seconds {
         let typical = kind.typical_duration_minutes() * 60.0;

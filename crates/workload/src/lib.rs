@@ -56,5 +56,5 @@ pub use classify::ThermalClassifier;
 pub use job::{Job, JobId};
 pub use mix::{MixError, WorkloadMix};
 pub use recorded::{ParseTraceError, RecordedTrace};
-pub use source::LoadTrace;
+pub use source::{LoadTrace, TraceDescriptor};
 pub use trace::{DiurnalTrace, SecondPeak, TraceConfig};

@@ -195,6 +195,10 @@ impl LoadTrace for RecordedTrace {
     fn horizon(&self) -> Hours {
         Hours::new((self.rows.len() - 1) as f64 * self.step.get() / 60.0)
     }
+
+    fn descriptor(&self) -> Option<crate::TraceDescriptor> {
+        Some(crate::TraceDescriptor::Recorded(self.clone()))
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,45 @@ pub trait LoadTrace: core::fmt::Debug + Send {
     fn target_cores(&self, kind: WorkloadKind, t: Hours, total_cores: usize) -> usize {
         (self.utilization(kind, t).get() * total_cores as f64).round() as usize
     }
+
+    /// A serializable description of this trace, when it has one.
+    ///
+    /// The built-in sources ([`DiurnalTrace`](crate::DiurnalTrace),
+    /// [`RecordedTrace`](crate::RecordedTrace)) return a
+    /// [`TraceDescriptor`] that [`TraceDescriptor::build`] turns back into
+    /// an equivalent boxed trace, which is what makes a simulation
+    /// checkpoint self-describing. Custom external sources default to
+    /// `None` and cannot be checkpointed.
+    fn descriptor(&self) -> Option<TraceDescriptor> {
+        None
+    }
+}
+
+/// A self-describing, serializable stand-in for a boxed [`LoadTrace`].
+///
+/// Both built-in trace types are plain data, so the descriptor embeds
+/// them whole; [`TraceDescriptor::build`] reconstructs a trace that is
+/// bit-identical to the one it was taken from.
+// Variant sizes are lopsided (DiurnalTrace is plain config, RecordedTrace
+// is a thin Vec handle), but descriptors are built once per checkpoint,
+// never stored in bulk — boxing would only complicate matching.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TraceDescriptor {
+    /// A synthetic diurnal trace.
+    Diurnal(crate::DiurnalTrace),
+    /// A replayed measured trace.
+    Recorded(crate::RecordedTrace),
+}
+
+impl TraceDescriptor {
+    /// Reconstructs the described trace.
+    pub fn build(&self) -> Box<dyn LoadTrace> {
+        match self {
+            TraceDescriptor::Diurnal(trace) => Box::new(trace.clone()),
+            TraceDescriptor::Recorded(trace) => Box::new(trace.clone()),
+        }
+    }
 }
 
 impl LoadTrace for crate::DiurnalTrace {
@@ -33,6 +72,10 @@ impl LoadTrace for crate::DiurnalTrace {
 
     fn horizon(&self) -> Hours {
         crate::DiurnalTrace::horizon(self)
+    }
+
+    fn descriptor(&self) -> Option<TraceDescriptor> {
+        Some(TraceDescriptor::Diurnal(self.clone()))
     }
 }
 

@@ -25,6 +25,9 @@ struct LoggingAdaptive {
     log: std::sync::Arc<std::sync::Mutex<Vec<(i64, f64)>>>,
 }
 
+// Example-only wrapper; never checkpointed.
+impl vmt::dcsim::SnapshotState for LoggingAdaptive {}
+
 impl Scheduler for LoggingAdaptive {
     fn name(&self) -> &str {
         self.inner.name()

@@ -130,6 +130,21 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl SmallRng {
+        /// Exposes the raw generator state, so callers that checkpoint a
+        /// simulation can persist the stream position.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`state`].
+        ///
+        /// [`state`]: SmallRng::state
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut state = seed;

@@ -53,6 +53,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Serialization/deserialization error.
 #[derive(Debug, Clone)]
 pub struct Error(pub String);
