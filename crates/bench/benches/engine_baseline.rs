@@ -13,8 +13,9 @@
 //!
 //! Invocation:
 //! * `cargo bench -p vmt-bench --bench engine_baseline` — full
-//!   measurement (100 and 1000 servers, two days; the naive 1000-server
-//!   runs dominate, expect around a minute), rewrites the JSON.
+//!   measurement (100 and 1000 servers for the naive comparison, plus
+//!   1k/10k/100k thread-scaling rows; the four 100k 48 h runs dominate,
+//!   expect tens of minutes), rewrites the JSON.
 //! * `cargo bench -p vmt-bench --bench engine_baseline -- --smoke` — a
 //!   20-server sanity pass that exercises both paths without writing the
 //!   JSON (what CI runs).
@@ -77,9 +78,12 @@ struct Report {
     scenario: String,
     measurements: Vec<Measurement>,
     speedups: Vec<Speedup>,
-    /// Thread-count scaling of the sharded physics tick at 1k and 10k
-    /// servers (full 48 h runs; results are bit-identical at every
-    /// thread count, so rows differ only in wall-clock).
+    /// Thread-count scaling of the sharded physics tick at 1k, 10k,
+    /// and 100k servers (full 48 h runs; results are bit-identical at
+    /// every thread count, so rows differ only in wall-clock). The
+    /// 100k rows sample the heatmap hourly (stride 60 instead of 5) to
+    /// keep the recorder's footprint bounded; the stride is identical
+    /// across the group and does not affect placements.
     scaling: Vec<ScalingMeasurement>,
     /// Per-phase breakdown of the instrumented tick loop (telemetry
     /// enabled, no sink) at 1,000 servers. Compare
@@ -122,25 +126,64 @@ fn measure(name: &str, servers: usize, naive: bool) -> Measurement {
     }
 }
 
+/// One timed 48 h scaling run. Reported as the best of several
+/// passes: the scaling table feeds `check-bench`'s non-pessimization
+/// floor, and on a shared host single-run wall-clock noise (±15–20%
+/// observed, occasionally worse) would otherwise dwarf the
+/// thread-count effect being measured. Short runs are the noisiest,
+/// so the pass count scales down with run length — five at 1k
+/// (seconds each), three at 10k, two at 100k (minutes each).
+/// Placements are asserted identical between passes — the determinism
+/// contract, cheaply re-checked here.
 fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasurement {
-    let cluster = ClusterConfig::paper_default(servers);
+    let mut cluster = ClusterConfig::paper_default(servers);
+    if servers >= 100_000 {
+        // At 100k servers the default stride-5 heatmap alone is ~0.9 GB
+        // of resident rows; sample hourly instead. The stride only
+        // affects recording — placements stay identical across every
+        // row of the group, which `check-bench` enforces.
+        cluster.heatmap_stride = 60;
+    }
     let trace = DiurnalTrace::new(TraceConfig::paper_default());
     let ticks = cluster.ticks_for(trace.horizon());
-    let scheduler = scheduler_for(name, &cluster, false);
-    let start = Instant::now();
-    let result = Simulation::new(cluster, trace, scheduler)
-        .with_threads(threads)
-        .run();
-    let elapsed = start.elapsed().as_secs_f64();
-    ScalingMeasurement {
-        scheduler: name.to_string(),
-        servers,
-        threads,
-        ticks,
-        elapsed_s: elapsed,
-        ticks_per_sec: ticks as f64 / elapsed,
-        placements: result.placements,
+    let passes = match servers {
+        n if n >= 100_000 => 2,
+        n if n >= 10_000 => 3,
+        _ => 5,
+    };
+    let mut best: Option<ScalingMeasurement> = None;
+    for _ in 0..passes {
+        let scheduler = scheduler_for(name, &cluster, false);
+        let start = Instant::now();
+        let result = Simulation::new(cluster.clone(), trace.clone(), scheduler)
+            .with_threads(threads)
+            .run();
+        let elapsed = start.elapsed().as_secs_f64();
+        let pass = ScalingMeasurement {
+            scheduler: name.to_string(),
+            servers,
+            threads,
+            ticks,
+            elapsed_s: elapsed,
+            ticks_per_sec: ticks as f64 / elapsed,
+            placements: result.placements,
+        };
+        best = match best {
+            Some(prev) => {
+                assert_eq!(
+                    prev.placements, pass.placements,
+                    "{name}@{servers}: placements differ between passes"
+                );
+                Some(if pass.elapsed_s < prev.elapsed_s {
+                    pass
+                } else {
+                    prev
+                })
+            }
+            None => Some(pass),
+        };
     }
+    best.expect("at least one pass ran")
 }
 
 fn measure_phases(name: &str, servers: usize) -> PhaseProfile {
@@ -223,11 +266,12 @@ fn main() {
         }
     }
     // Thread-count scaling of the deterministic sharded tick. The 10k
-    // rows double as the "10,000-server 48 h run completes" record; the
-    // naive references are skipped here (at 10k servers their O(n) scans
-    // per placement would take hours and prove nothing new).
+    // rows double as the "10,000-server 48 h run completes" record and
+    // the 100k rows as the headline-scale record; the naive references
+    // are skipped here (at 10k+ servers their O(n) scans per placement
+    // would take hours and prove nothing new).
     let mut scaling = Vec::new();
-    for servers in [1000usize, 10_000] {
+    for servers in [1000usize, 10_000, 100_000] {
         for threads in [1usize, 2, 4, 8] {
             let s = measure_scaling("vmt-wa", servers, threads);
             println!(

@@ -46,6 +46,16 @@ pub struct ThermalBalancer {
     /// total-order bit encoding is needed on the hot path. Slots past a
     /// level's real node count pad it to a multiple of [`FANOUT`] and
     /// stay `f64::INFINITY` forever. Empty until the first rebuild.
+    ///
+    /// A live leaf *is* its member's projected temperature — key and
+    /// projection were historically separate arrays whose live entries
+    /// were always bit-equal, so merging them dropped one random
+    /// 800 KB-array touch from every placement at 100k servers. A
+    /// member whose leaf is retired (out of cores) has no projection on
+    /// record, which is sound: every reader either just placed on the
+    /// member (leaf live) or has checked it still has free cores —
+    /// within a tick free cores only shrink, so a retired leaf can
+    /// never pass that check.
     key: Vec<f64>,
     /// Winning leaf index per node, same layout as `key`; leaf-level
     /// entries are unused (a leaf's winner is itself), the last entry
@@ -54,9 +64,8 @@ pub struct ThermalBalancer {
     /// Start offset of each level inside `key`/`win`; `level_off[0]`
     /// is 0 (the leaves) and the last level holds the single root.
     level_off: Vec<usize>,
-    /// Projected temperature per server id (°C); only members' entries
-    /// are meaningful.
-    projected: Vec<f64>,
+    /// Leaf count the tree was laid out for (the farm size).
+    leaves: usize,
     /// Memoized [`static_bias`] per server id, so per-tick rebuilds pay
     /// one table read instead of a hash mix per member.
     bias: Vec<f64>,
@@ -158,7 +167,7 @@ impl ThermalBalancer {
     /// Re-sizes the tree for a farm of `n` servers: computes the padded
     /// level layout and memoizes the static-bias table.
     fn resize(&mut self, n: usize) {
-        self.projected = vec![0.0; n];
+        self.leaves = n;
         self.bias = (0..n).map(static_bias).collect();
         // Pad every level to a multiple of FANOUT so each node's child
         // scan is one full, aligned group; the final level is the root.
@@ -199,17 +208,16 @@ impl ThermalBalancer {
         farm: &ServerFarm,
     ) {
         let n = farm.len();
-        if self.projected.len() != n || self.level_off.is_empty() {
+        if self.leaves != n || self.level_off.is_empty() {
             self.resize(n);
         }
         self.kelvin_per_watt = kelvin_per_watt(farm);
         let leaf_cap = self.level_off[1];
         self.key[..leaf_cap].fill(f64::INFINITY);
         for (idx, extra) in members {
-            let fresh = fresh_key_biased(idx, extra, self.kelvin_per_watt, farm, self.bias[idx]);
-            self.projected[idx] = fresh;
             if farm.free_cores(idx) > 0 {
-                self.key[idx] = fresh;
+                self.key[idx] =
+                    fresh_key_biased(idx, extra, self.kelvin_per_watt, farm, self.bias[idx]);
             }
         }
         self.rebuild_internal();
@@ -273,10 +281,8 @@ impl ThermalBalancer {
 
     /// Adds a member mid-tick (VMT-WA's hot-group growth).
     pub fn add_member(&mut self, idx: usize, farm: &ServerFarm) {
-        self.projected[idx] =
-            fresh_key_biased(idx, 0.0, self.kelvin_per_watt, farm, self.bias[idx]);
         if farm.free_cores(idx) > 0 {
-            self.key[idx] = self.projected[idx];
+            self.key[idx] = fresh_key_biased(idx, 0.0, self.kelvin_per_watt, farm, self.bias[idx]);
             self.refresh_path(idx);
         }
     }
@@ -327,14 +333,10 @@ impl ThermalBalancer {
                 self.refresh_path(idx);
                 continue;
             }
-            self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
+            let bumped = self.key[idx] + bump(core_power_w, self.kelvin_per_watt);
             // One core is consumed by this placement; stay in the tree
             // only if capacity remains afterwards.
-            self.key[idx] = if free(idx) > 1 {
-                self.projected[idx]
-            } else {
-                f64::INFINITY
-            };
+            self.key[idx] = if free(idx) > 1 { bumped } else { f64::INFINITY };
             self.refresh_path(idx);
             return Some(idx);
         }
@@ -372,23 +374,67 @@ impl ThermalBalancer {
     }
 
     fn account_external_by(&mut self, idx: usize, core_power_w: f64, free: u32) {
-        if idx >= self.projected.len() {
+        if idx >= self.leaves {
             return;
         }
-        self.projected[idx] += bump(core_power_w, self.kelvin_per_watt);
+        // The caller verified `free > 0`, so the leaf is live and its
+        // key is the member's current projection.
+        let bumped = self.key[idx] + bump(core_power_w, self.kelvin_per_watt);
         // The pending external placement consumes one core; the member
         // stays placeable only if capacity remains afterwards.
-        self.key[idx] = if free > 1 {
-            self.projected[idx]
-        } else {
-            f64::INFINITY
-        };
+        self.key[idx] = if free > 1 { bumped } else { f64::INFINITY };
         self.refresh_path(idx);
     }
 
     /// True when no member can take another job this tick.
     pub fn is_exhausted(&self) -> bool {
         self.key.last().is_none_or(|&k| k == f64::INFINITY)
+    }
+
+    /// The member the next [`ThermalBalancer::place`] will pick, if any
+    /// — the tree's current root winner. Purely observational: the next
+    /// placement re-reads the root itself, so a caller using this as a
+    /// prefetch target never perturbs the decision sequence. The
+    /// prediction can be wrong when an out-of-band path (keep-warm,
+    /// fallback retirement) runs first; a wrong hint costs one wasted
+    /// cache fill and nothing else.
+    pub fn peek(&self) -> Option<usize> {
+        let &root = self.key.last()?;
+        if root == f64::INFINITY {
+            return None;
+        }
+        Some(*self.win.last().expect("win matches key") as usize)
+    }
+
+    /// Hints the CPU to pull member `idx`'s leaf-to-root tree path
+    /// toward L1. At 100k servers the leaf and first internal levels
+    /// are far out of L2, and `place` otherwise eats their miss latency
+    /// on the critical path; every group address on the path is
+    /// computable from `idx` alone, so the whole walk can be hinted
+    /// ahead of time. Architecturally a no-op, so hinting a *predicted*
+    /// winner is always sound.
+    #[inline]
+    pub fn prefetch_member(&self, idx: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if idx < self.leaves {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            // `refresh_path` scans the FANOUT-aligned group holding the
+            // current node at every level; all indices are in bounds
+            // because each level is padded to a FANOUT multiple.
+            let mut group = idx / FANOUT;
+            for lvl in 0..self.level_off.len() - 1 {
+                let base = self.level_off[lvl] + group * FANOUT;
+                // SAFETY: `base` addresses a full padded group inside
+                // `key` (layout invariant above); prefetch never faults
+                // architecturally.
+                unsafe {
+                    _mm_prefetch::<_MM_HINT_T0>(self.key.as_ptr().add(base).cast());
+                }
+                group /= FANOUT;
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
     }
 }
 

@@ -574,6 +574,62 @@ impl Scheduler for VmtWa {
         placed
     }
 
+    /// The default batch loop with predicted-winner prefetching woven
+    /// in. The decision sequence is exactly `place_indexed` per job —
+    /// prefetching is architecturally invisible — but after each
+    /// placement the touched balancer already knows its next root
+    /// winner, so that server's slab row, free-core entry, and tree
+    /// lanes are hinted toward L1 while the current job's bookkeeping
+    /// still runs. Placement is a pointer-chase (tree walk → winner id →
+    /// slab row) whose latency otherwise serializes per job; at 100k
+    /// servers the hint overlaps the next job's misses with the current
+    /// job's work. A wrong prediction (keep-warm priority, growth, a
+    /// fallback rung) costs one wasted cache fill and nothing else.
+    fn place_batch(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+    ) {
+        if self.melted.len() != farm.len() {
+            self.refresh_indexed_impl(farm, index);
+        }
+        // Prime both groups' predicted winners before the first job.
+        for balancer in [&self.hot, &self.cold] {
+            if let Some(next) = balancer.peek() {
+                farm.prefetch_server(next);
+                index.prefetch_server(next);
+                balancer.prefetch_member(next);
+            }
+        }
+        for job in jobs {
+            let class = job.kind().vmt_class();
+            let placed = match class {
+                VmtClass::Hot => self.place_hot_indexed(farm, index, job.core_power().get()),
+                VmtClass::Cold => self.place_cold_indexed(index, job.core_power().get()),
+            };
+            self.count_placement(class, placed);
+            if let Some(sid) = placed {
+                farm.start_job(sid.0, job);
+                index.record_start(sid.0);
+            }
+            out.push(placed);
+            // The balancer this job went through has a fresh root
+            // winner; hint it now so its lanes arrive by the time the
+            // next same-class job reads them.
+            let balancer = match class {
+                VmtClass::Hot => &self.hot,
+                VmtClass::Cold => &self.cold,
+            };
+            if let Some(next) = balancer.peek() {
+                farm.prefetch_server(next);
+                index.prefetch_server(next);
+                balancer.prefetch_member(next);
+            }
+        }
+    }
+
     fn hot_group_size(&self) -> Option<usize> {
         Some(self.hot_size.max(self.base_hot).max(1))
     }

@@ -70,6 +70,12 @@ pub struct ClusterConfig {
     /// How job durations scatter around each workload's typical
     /// duration.
     pub duration_model: vmt_workload::DurationModel,
+    /// Rack/row/zone cooling hierarchy; `None` keeps the legacy single
+    /// room model. Stored as an `Option` so configs and snapshots
+    /// serialized before zones existed keep decoding (a missing field
+    /// deserializes to `None`). Zone cooling is observational — enabling
+    /// it changes no placement or physics result.
+    pub topology: Option<crate::topology::ZoneSpec>,
 }
 
 impl ClusterConfig {
@@ -93,7 +99,17 @@ impl ClusterConfig {
             seed: 0xD15EA5E,
             oracle_wax_state: false,
             duration_model: vmt_workload::DurationModel::default(),
+            topology: None,
         }
+    }
+
+    /// The same cluster with the paper-scale rack/row/zone cooling
+    /// hierarchy attached ([`ZoneSpec::paper_default`]).
+    ///
+    /// [`ZoneSpec::paper_default`]: crate::topology::ZoneSpec::paper_default
+    pub fn with_zones(mut self) -> Self {
+        self.topology = Some(crate::topology::ZoneSpec::paper_default());
+        self
     }
 
     /// Same cluster without wax (the "thermally unconstrained" baseline).

@@ -9,6 +9,7 @@ use crate::server::Server;
 use crate::server::ServerId;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::telemetry::{EngineTelemetry, PhaseClock};
+use crate::topology::ZoneCooling;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use vmt_telemetry::{TelemetryConfig, TickPhase};
@@ -16,17 +17,24 @@ use vmt_thermal::CoolingLoadSeries;
 use vmt_units::{Celsius, Hours, Joules, Watts};
 use vmt_workload::{ArrivalPlanner, Job, JobId, JobSpec, LoadTrace, WorkloadKind};
 
-/// Minimum departure-bucket size worth fanning out to the pool: below
-/// this the per-entry work (tens of nanoseconds) cannot recoup the
-/// handoff plus the shard-partition pass, and the plain serial drain
-/// wins. A 1,000-server paper-trace tick retires ~2,300 jobs and stays
-/// serial; a 10,000-server tick retires ~23,000 and fans out.
+/// Minimum departure-bucket size worth shard-partitioning: below this
+/// the extra partition pass cannot recoup its cost and the plain
+/// per-entry drain wins. Above it the drain is partitioned by server
+/// shard even on a single thread — the bucket arrives in job-id
+/// (arrival) order, which walks the job slab essentially at random, and
+/// at 10k+ servers the slab has long outgrown L2, so each lookup eats a
+/// full miss. Draining shard-by-shard visits slab rows in ascending
+/// server order instead, which is the difference between ~70ns and
+/// ~25ns per departure at 100k servers. A 1,000-server paper-trace tick
+/// retires ~2,300 jobs and stays on the direct drain; 10,000 servers
+/// retire ~23,000 and partition.
 const PAR_DEPART_MIN: usize = 4096;
 
 /// Retired departure buckets kept for reuse. One bucket retires per
-/// tick and placement usually re-provisions one a few ticks ahead, so a
-/// small pool absorbs the churn.
-const BUCKET_POOL_CAP: usize = 8;
+/// tick while placement provisions buckets across the whole spread of
+/// job durations, so a moderately deep pool (not just one or two slots)
+/// is needed before the steady state stops allocating fresh buckets.
+const BUCKET_POOL_CAP: usize = 32;
 
 /// A configured simulation, ready to run.
 ///
@@ -82,6 +90,11 @@ pub struct Simulation {
     /// Retired departure buckets recycled into future calendar slots so
     /// the steady state allocates no new buckets.
     bucket_pool: Vec<Vec<(JobId, u32)>>,
+    /// Per-zone CRAC integrators when the config carries a topology.
+    /// Observational: stepped after physics from the farm's power lane,
+    /// never fed back into inlets, so results stay bit-identical to a
+    /// zoneless run.
+    zones: Option<ZoneCooling>,
     /// Telemetry wiring; `None` (the default) is the zero-cost path —
     /// the run loop takes no timestamps and emits nothing.
     telemetry: Option<TelemetryConfig>,
@@ -151,6 +164,10 @@ impl Simulation {
         let planner = ArrivalPlanner::with_model(config.seed, config.duration_model);
         let arrival_rng = rand::rngs::SmallRng::seed_from_u64(config.seed ^ 0xA11C_E5ED);
         let index = ClusterIndex::new(&farm);
+        let zones = config
+            .topology
+            .as_ref()
+            .map(|spec| ZoneCooling::new(farm.len(), spec));
         Self {
             config,
             trace,
@@ -167,6 +184,7 @@ impl Simulation {
             outcomes: Vec::new(),
             depart_shards: Vec::new(),
             bucket_pool: Vec::new(),
+            zones,
             telemetry: None,
             run: None,
         }
@@ -189,6 +207,12 @@ impl Simulation {
     /// manual steps).
     pub fn farm(&self) -> &ServerFarm {
         &self.farm
+    }
+
+    /// The per-zone CRAC cooling state, when the config carries a
+    /// [`topology`](ClusterConfig::topology).
+    pub fn zones(&self) -> Option<&ZoneCooling> {
+        self.zones.as_ref()
     }
 
     /// Sets the worker-thread count of the parallel physics tick.
@@ -435,6 +459,14 @@ impl Simulation {
             tel.profiler
                 .add_ns(TickPhase::PoolIdle, timing.pool_idle_ns);
         }
+        // Zone CRAC integrators (observational): a serial server-order
+        // pass over the power lane, then one plant step per zone. The
+        // scheduler may observe the temperatures but built-in policies
+        // keep placement independent of them.
+        if let Some(zones) = self.zones.as_mut() {
+            zones.step(self.farm.active_power_lane(), self.farm.idle_w(), dt.get());
+            self.scheduler.observe_zones(zones.temperatures());
+        }
         let mean_air_c = totals.temp_sum_c / num_servers as f64;
         run.cooling
             .push(Watts::new(totals.electrical_w - totals.into_wax_w));
@@ -512,6 +544,7 @@ impl Simulation {
             arrival_rng: self.arrival_rng.state(),
             planner_rng: self.planner.rng_state(),
             partial: self.partial_result(),
+            zone_temps: self.zones.as_ref().map(|z| z.temperatures().to_vec()),
         })
     }
 
@@ -583,7 +616,35 @@ impl Simulation {
         mut scheduler: Box<dyn Scheduler>,
     ) -> Result<Self, SnapshotError> {
         scheduler.restore_state(&snapshot.scheduler)?;
+        if let Some(spec) = &snapshot.config.topology {
+            if !spec.is_valid() {
+                return Err(SnapshotError::Corrupt(
+                    "topology spec has zero counts or non-finite CRAC parameters".to_owned(),
+                ));
+            }
+        }
         let mut sim = Simulation::new(snapshot.config.clone(), snapshot.trace.build(), scheduler);
+        // A snapshot with no saved zone temperatures is either a
+        // zoneless run or one written before zones existed — fresh
+        // integrators at the setpoint are the defined meaning of both.
+        if let Some(temps) = &snapshot.zone_temps {
+            let applied = match sim.zones.as_mut() {
+                Some(zones) => zones.apply_temperatures(temps),
+                None => {
+                    return Err(SnapshotError::Corrupt(
+                        "snapshot carries zone temperatures but the config has no topology"
+                            .to_owned(),
+                    ));
+                }
+            };
+            if !applied {
+                return Err(SnapshotError::Corrupt(format!(
+                    "snapshot carries {} zone temperatures, the topology has {}",
+                    temps.len(),
+                    sim.zones.as_ref().map_or(0, |z| z.temperatures().len())
+                )));
+            }
+        }
         sim.farm.apply_state(&snapshot.farm)?;
         sim.index = ClusterIndex::new(&sim.farm);
         let ticks = sim.config.ticks_for(sim.trace.horizon());
@@ -720,6 +781,7 @@ impl Simulation {
             outcomes: Vec::new(),
             depart_shards: Vec::new(),
             bucket_pool: Vec::new(),
+            zones: self.zones.clone(),
             telemetry: None,
             run: self.run.as_ref().map(RunState::clone_without_telemetry),
         })
@@ -727,11 +789,12 @@ impl Simulation {
 
     /// Ends every job whose departure tick has arrived.
     ///
-    /// Large buckets are partitioned by server shard and drained in
-    /// parallel on the farm's persistent pool; the partition is stable,
-    /// so every server sees its departures in bucket order and results
-    /// are bit-identical to the serial drain (which small buckets and
-    /// single-thread runs take directly).
+    /// Large buckets are partitioned by server shard and drained
+    /// shard-by-shard — in ascending server order for slab locality on
+    /// one thread, on the farm's persistent pool when more are
+    /// configured. The partition is stable, so every server sees its
+    /// departures in bucket order and results are bit-identical to the
+    /// direct per-entry drain (which small buckets take).
     fn process_departures(
         &mut self,
         tick: u64,
@@ -739,7 +802,7 @@ impl Simulation {
         timing: Option<&mut SweepTiming>,
     ) {
         let mut bucket = std::mem::take(&mut self.departures[tick as usize]);
-        if self.farm.threads() > 1 && bucket.len() >= PAR_DEPART_MIN {
+        if bucket.len() >= PAR_DEPART_MIN {
             let num_shards = self.farm.len().div_ceil(SHARD);
             self.depart_shards.resize_with(num_shards, Vec::new);
             for shard in &mut self.depart_shards {

@@ -61,6 +61,23 @@ const SERVERS_PER_WORKER: usize = 2048;
 /// never spreads a tick's bucket thinner than that.
 const DEPART_JOBS_PER_WORKER: usize = 4096;
 
+/// Physical-parallelism ceiling on per-sweep fan-out, resolved once.
+///
+/// Requesting more workers than the machine has cores cannot make a
+/// sweep faster — the surplus workers only time-slice one another and
+/// add context-switch overhead (measured ~10–20% on a 1-core host at
+/// `--threads 8`). The shard-ordered fold makes the worker count
+/// semantically free, so clamping here changes wall-clock only; the
+/// configured thread count is still honored up to the hardware.
+fn machine_parallelism() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
 /// Resolves the default tick-level thread count: the `VMT_THREADS`
 /// environment variable when set to a positive integer, otherwise
 /// [`std::thread::available_parallelism`].
@@ -243,6 +260,12 @@ pub struct ServerFarm {
     /// sweep and rebuilt when the thread count changes. Clones of the
     /// farm start poolless and spin up their own on demand.
     pool: Option<TickPool>,
+    /// Reusable index-column sinks for the standalone
+    /// [`ServerFarm::tick_physics`] entry point (tests and benches) —
+    /// hoisted here so repeated standalone ticks allocate nothing.
+    /// Semantically empty between ticks; never serialized or compared.
+    scratch_air: Vec<f64>,
+    scratch_melt: Vec<f64>,
 }
 
 impl Clone for ServerFarm {
@@ -264,6 +287,8 @@ impl Clone for ServerFarm {
             job_kinds: self.job_kinds.clone(),
             job_counts: self.job_counts.clone(),
             pool: None,
+            scratch_air: Vec::new(),
+            scratch_melt: Vec::new(),
         }
     }
 }
@@ -295,6 +320,8 @@ impl ServerFarm {
             job_kinds: vec![0; n * stride],
             job_counts: vec![0; n],
             pool: None,
+            scratch_air: Vec::new(),
+            scratch_melt: Vec::new(),
         };
         for i in 0..n {
             let inlet = config.inlet.inlet_for(i);
@@ -373,6 +400,8 @@ impl ServerFarm {
             job_kinds,
             job_counts,
             pool: None,
+            scratch_air: Vec::new(),
+            scratch_melt: Vec::new(),
         };
         for s in servers {
             match s.wax_parts() {
@@ -562,6 +591,17 @@ impl ServerFarm {
         self.air
     }
 
+    /// The per-server active-power lane (W), for order-stable external
+    /// reductions (zone cooling sums it in server order).
+    pub(crate) fn active_power_lane(&self) -> &[f64] {
+        &self.active_power_w
+    }
+
+    /// Uniform per-server idle draw (W).
+    pub(crate) fn idle_w(&self) -> f64 {
+        self.power_model.idle().get()
+    }
+
     /// Updates server `i`'s inlet temperature (time-varying ambient
     /// models).
     pub fn set_inlet(&mut self, i: usize, inlet: Celsius) {
@@ -674,11 +714,56 @@ impl ServerFarm {
         self.active_power_w[i] += job.core_power().get();
     }
 
-    /// Ensures the persistent pool exists with `workers - 1` parked
+    /// Hints the CPU to pull server `i`'s placement-hot lanes (slab
+    /// row, occupancy count, power lane) toward L1. Architecturally a
+    /// no-op — no result ever depends on whether the hint fired — so
+    /// callers may prefetch a *predicted* placement target while the
+    /// current job's bookkeeping still runs; at 100k servers the slab is
+    /// far out of cache and each placement otherwise eats the full miss
+    /// latency serially.
+    ///
+    /// The whole slab row is hinted, not just its head: `start_job`
+    /// writes the slot at the current occupancy, and reading the count
+    /// first to target one line would itself stall on the very miss the
+    /// hint exists to hide.
+    #[inline]
+    pub fn prefetch_server(&self, i: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if i < self.len() {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let stride = self.cores() as usize;
+            let row = i * stride;
+            // SAFETY: `i` is in bounds (checked above), so every
+            // pointer is derived in-bounds; prefetch has no other
+            // requirements and never faults architecturally.
+            unsafe {
+                let ids = self.job_ids.as_ptr().add(row);
+                for line in 0..(stride * 8).div_ceil(64) {
+                    _mm_prefetch::<_MM_HINT_T0>(ids.add(line * 8).cast());
+                }
+                _mm_prefetch::<_MM_HINT_T0>(self.job_kinds.as_ptr().add(row).cast());
+                _mm_prefetch::<_MM_HINT_T0>(self.job_counts.as_ptr().add(i).cast());
+                _mm_prefetch::<_MM_HINT_T0>(self.active_power_w.as_ptr().add(i).cast());
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = i;
+    }
+
+    /// Ensures the persistent pool exists with `threads - 1` parked
     /// threads (the engine thread participates, so total parallelism is
-    /// `workers`).
-    fn ensure_pool(&mut self, workers: usize) {
-        let needed = workers - 1;
+    /// `self.threads`).
+    ///
+    /// Sized from the configured thread count alone — never from a
+    /// per-tick fan-out decision. The physics gate (servers per worker)
+    /// and the departure gate (bucketed jobs per worker) routinely
+    /// disagree within a tick; sizing the pool to whichever gate just
+    /// fired used to tear it down and respawn OS threads every tick,
+    /// which is exactly the 10k-server regression where 8 requested
+    /// threads ran slower than 2. The gates now only choose between the
+    /// inline path and engaging the (stably sized) pool.
+    fn ensure_pool(&mut self) {
+        let needed = self.threads.min(machine_parallelism()) - 1;
         if self.pool.as_ref().map(TickPool::workers) != Some(needed) {
             self.pool = Some(TickPool::new(needed));
         }
@@ -713,11 +798,12 @@ impl ServerFarm {
         let total_jobs: usize = shard_buckets.iter().map(Vec::len).sum();
         let workers = self
             .threads
+            .min(machine_parallelism())
             .min(num_shards)
             .min((total_jobs / DEPART_JOBS_PER_WORKER).max(1))
             .max(1);
         if workers > 1 {
-            self.ensure_pool(workers);
+            self.ensure_pool();
         }
         let mut outs = vec![DepartOut::default(); num_shards];
         let mut tasks: Vec<DepartView<'_>> = Vec::with_capacity(num_shards);
@@ -828,9 +914,18 @@ impl ServerFarm {
     /// and heatmap rows.
     pub fn tick_physics(&mut self, dt: Seconds) -> FarmTickTotals {
         let n = self.len();
-        let mut scratch_air = vec![0.0; n];
-        let mut scratch_melt = vec![0.0; n];
-        self.sweep(dt, 0, &mut scratch_air, &mut scratch_melt, None, None, None)
+        // Reuse the hoisted sink buffers (taken around the sweep borrow,
+        // restored after) so repeated standalone ticks allocate nothing.
+        let mut air = std::mem::take(&mut self.scratch_air);
+        let mut melt = std::mem::take(&mut self.scratch_melt);
+        air.clear();
+        air.resize(n, 0.0);
+        melt.clear();
+        melt.resize(n, 0.0);
+        let totals = self.sweep(dt, 0, &mut air, &mut melt, None, None, None);
+        self.scratch_air = air;
+        self.scratch_melt = melt;
+        totals
     }
 
     /// The engine's physics tick: advances all servers, refreshes the
@@ -874,12 +969,13 @@ impl ServerFarm {
         let num_shards = n.div_ceil(SHARD);
         let workers = self
             .threads
+            .min(machine_parallelism())
             .min(num_shards)
             .min((n / SERVERS_PER_WORKER).max(1))
             .max(1);
-        // Size the persistent pool before any state borrows are taken.
+        // Spin up the persistent pool before any state borrows are taken.
         if workers > 1 {
-            self.ensure_pool(workers);
+            self.ensure_pool();
         }
         let wax = self.wax.as_ref().map(|w| {
             let (substeps, sub_dt_s) = w.kernel.substeps(dt.get());
@@ -1144,8 +1240,19 @@ fn run_depart_shard(task: DepartView<'_>) {
     }
 }
 
-/// Advances one shard: the element-serial physics loop every thread
-/// count runs identically.
+/// Advances one shard: the element-serial physics sequence every thread
+/// count runs identically, split into per-quantity passes over
+/// shard-local stack lanes (loop fission).
+///
+/// Fission is bit-identical to the fused per-server loop because every
+/// pass still walks servers in order and each accumulator field of
+/// [`FarmTickTotals`] is independent — splitting the loop changes which
+/// *other* fields are updated between two additions to a field, never
+/// the sequence of additions the field itself sees. What fission buys is
+/// that the branch-free passes (thermal lag, untapered single-substep
+/// wax exchange, melt clamp, the running sums) become straight-line
+/// loops over `f64` lanes that the compiler auto-vectorizes, while the
+/// genuinely branchy estimator spec stays a scalar per-object loop.
 fn run_shard(task: ShardView<'_>, p: &TickParams<'_>) {
     let ShardView {
         base,
@@ -1157,50 +1264,105 @@ fn run_shard(task: ShardView<'_>, p: &TickParams<'_>) {
         est_frac,
         index_air,
         index_melt,
-        mut temp_row,
-        mut melt_row,
+        temp_row,
+        melt_row,
         out,
     } = task;
-    for j in 0..at_wax.len() {
-        let electrical = p.idle_w + active[j];
-        let air =
-            vmt_thermal::kernel::step(at_wax[j], inlet[j], electrical, p.capacity_rate, p.decay);
-        at_wax[j] = air;
-        let (into_wax_w, melt, stored_j, reported) = match &p.wax {
-            Some(w) => {
-                let (h, heat_j) = w.kernel.exchange(enthalpy[j], air, w.substeps, w.sub_dt_s);
+    let len = at_wax.len();
+    debug_assert!(len <= SHARD);
+    // Shard-local lanes: ≤ SHARD elements each, stack-resident.
+    let mut air_buf = [0.0f64; SHARD];
+    let mut heat_buf = [0.0f64; SHARD];
+    let mut melt_buf = [0.0f64; SHARD];
+    let air = &mut air_buf[..len];
+    let heat = &mut heat_buf[..len];
+    let melt = &mut melt_buf[..len];
+
+    // Thermal-lag pass (branch-free: exponential decay toward steady
+    // state).
+    for j in 0..len {
+        air[j] = vmt_thermal::kernel::step(
+            at_wax[j],
+            inlet[j],
+            p.idle_w + active[j],
+            p.capacity_rate,
+            p.decay,
+        );
+    }
+    at_wax.copy_from_slice(air);
+
+    if let Some(w) = &p.wax {
+        // Wax-exchange pass. The paper's deployment ticks with one
+        // sub-step and no interface taper, which admits the branch-light
+        // selected-temperature kernel; anything else falls back to the
+        // per-object sub-stepped spec. Both compute the identical
+        // per-server operation sequence.
+        if w.substeps == 1 && w.kernel.is_untapered() {
+            for j in 0..len {
+                let (h, q) = w
+                    .kernel
+                    .exchange_step_untapered(enthalpy[j], air[j], w.sub_dt_s);
                 enthalpy[j] = h;
-                let (temp, fraction) =
-                    w.estimator
-                        .step_state(est_temp[j], est_frac[j], air, p.dt_s);
-                est_temp[j] = temp;
-                est_frac[j] = fraction;
-                let melt = w.kernel.melt_fraction(h);
-                let reported = if w.oracle { melt } else { fraction };
-                (
-                    heat_j / p.dt_s,
-                    melt,
-                    w.kernel.latent_capacity_j() * melt,
-                    reported,
-                )
+                heat[j] = q;
             }
-            None => (0.0, 0.0, 0.0, 0.0),
-        };
-        out.electrical_w += electrical;
-        out.into_wax_w += into_wax_w;
-        out.temp_sum_c += air;
-        out.stored_energy_j += stored_j;
-        if base + j < p.hot_limit {
-            out.hot_sum_c += air;
+        } else {
+            for j in 0..len {
+                let (h, q) = w
+                    .kernel
+                    .exchange(enthalpy[j], air[j], w.substeps, w.sub_dt_s);
+                enthalpy[j] = h;
+                heat[j] = q;
+            }
         }
-        index_air[j] = air;
-        index_melt[j] = reported;
-        if let Some(row) = temp_row.as_deref_mut() {
-            row[j] = air;
+        // Estimator pass: stays per-object — the plateau/sensible
+        // anchoring logic is genuinely branchy and is the executable
+        // spec the differential tests pin.
+        for j in 0..len {
+            let (temp, fraction) = w
+                .estimator
+                .step_state(est_temp[j], est_frac[j], air[j], p.dt_s);
+            est_temp[j] = temp;
+            est_frac[j] = fraction;
         }
-        if let Some(row) = melt_row.as_deref_mut() {
-            row[j] = melt;
+        // Melt derivation (a clamp — vectorizes).
+        for j in 0..len {
+            melt[j] = w.kernel.melt_fraction(enthalpy[j]);
         }
+        // Accumulation passes: each field sees its additions in server
+        // order, exactly as the fused loop delivered them.
+        for &q in heat.iter() {
+            out.into_wax_w += q / p.dt_s;
+        }
+        let latent = w.kernel.latent_capacity_j();
+        for &m in melt.iter() {
+            out.stored_energy_j += latent * m;
+        }
+        index_melt.copy_from_slice(if w.oracle { &*melt } else { &*est_frac });
+    } else {
+        // Waxless: the fused loop accumulated per-server zeros into
+        // into_wax/stored, which leaves +0.0 — identical to not adding.
+        index_melt.fill(0.0);
+    }
+
+    for &a in active.iter() {
+        out.electrical_w += p.idle_w + a;
+    }
+    for &t in air.iter() {
+        out.temp_sum_c += t;
+    }
+    // Leading-servers hot sum: same elements the fused loop's
+    // `base + j < hot_limit` test admitted.
+    let hot_count = p.hot_limit.saturating_sub(base).min(len);
+    for &t in &air[..hot_count] {
+        out.hot_sum_c += t;
+    }
+
+    index_air.copy_from_slice(air);
+    if let Some(row) = temp_row {
+        row.copy_from_slice(air);
+    }
+    if let Some(row) = melt_row {
+        row.copy_from_slice(melt);
     }
 }
 
@@ -1397,6 +1559,47 @@ mod tests {
                         back.tick_physics(Seconds::new(60.0)),
                         farm.tick_physics(Seconds::new(60.0))
                     );
+                }
+            }
+
+            /// The fused, fissioned, shard-blocked sweep is bit-identical
+            /// to the per-object `Server::tick` executable spec exactly at
+            /// the farm sizes that stress the shard grid's edges — 1,
+            /// SHARD−1, SHARD, SHARD+1, and a non-multiple-of-SHARD tail —
+            /// across worker counts 1, 2, and 8. The random-size fold
+            /// property below only rarely samples these boundaries; this
+            /// pins them.
+            #[test]
+            fn fused_sweep_matches_per_object_spec_at_shard_edges(
+                size_sel in 0usize..5,
+                threads_sel in 0usize..3,
+                fill_seed in 0u64..u64::MAX,
+                kind_offset in 0usize..5,
+                ticks in 1usize..40,
+            ) {
+                let n = [1, SHARD - 1, SHARD, SHARD + 1, 2 * SHARD + 17][size_sel];
+                let threads = [1usize, 2, 8][threads_sel];
+                let mut farm = aged_farm(n, fill_seed, kind_offset, 0);
+                farm.set_threads(threads);
+                let mut servers: Vec<Server> = farm.to_servers();
+                for _ in 0..ticks {
+                    farm.tick_physics(Seconds::new(60.0));
+                    for s in servers.iter_mut() {
+                        s.tick(Seconds::new(60.0));
+                    }
+                }
+                for (i, s) in servers.iter().enumerate() {
+                    prop_assert_eq!(farm.air_at_wax(i), s.air_at_wax());
+                    prop_assert_eq!(farm.melt_fraction(i), s.melt_fraction());
+                    prop_assert_eq!(
+                        farm.reported_melt_fraction(i),
+                        s.reported_melt_fraction()
+                    );
+                    prop_assert_eq!(
+                        farm.stored_latent_energy(i),
+                        s.stored_latent_energy()
+                    );
+                    prop_assert_eq!(farm.power(i), s.power());
                 }
             }
 

@@ -104,9 +104,14 @@ impl ClusterIndex {
         (&mut self.air_c, &mut self.reported_melt)
     }
 
-    /// Records a job start on server `idx`.
+    /// Records a job start on server `idx`. Public because a
+    /// [`Scheduler::place_batch`] override starts jobs itself and must
+    /// keep the index in lockstep with the farm, exactly as the default
+    /// batch body does.
+    ///
+    /// [`Scheduler::place_batch`]: crate::Scheduler::place_batch
     #[inline]
-    pub(crate) fn record_start(&mut self, idx: usize) {
+    pub fn record_start(&mut self, idx: usize) {
         self.free_cores[idx] -= 1;
         self.used_total += 1;
     }
@@ -122,6 +127,26 @@ impl ClusterIndex {
     /// the farm's sharded departure drain.
     pub(crate) fn free_cores_mut(&mut self) -> &mut [u32] {
         &mut self.free_cores
+    }
+
+    /// Hints the CPU to pull server `idx`'s free-core entry toward L1.
+    /// Architecturally a no-op; see [`ServerFarm::prefetch_server`]
+    /// (same predicted-winner pattern, same soundness argument).
+    ///
+    /// [`ServerFarm::prefetch_server`]: crate::ServerFarm::prefetch_server
+    #[inline]
+    pub fn prefetch_server(&self, idx: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if idx < self.free_cores.len() {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            // SAFETY: `idx` is in bounds (checked above); prefetch never
+            // faults architecturally.
+            unsafe {
+                _mm_prefetch::<_MM_HINT_T0>(self.free_cores.as_ptr().add(idx).cast());
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
     }
 
     /// Records `count` job ends whose per-server free-core increments

@@ -70,7 +70,9 @@ pub use server::{Server, ServerId};
 pub use snapshot::{
     SavedState, Snapshot, SnapshotError, SnapshotState, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
-pub use topology::{PlacementMap, RackId, RackLayout, RackPowerStats};
+pub use topology::{
+    PlacementMap, RackId, RackLayout, RackPowerStats, ZoneCooling, ZoneLayout, ZoneSpec,
+};
 /// Re-exported so downstream crates can attach telemetry without a
 /// direct `vmt-telemetry` dependency.
 pub use vmt_telemetry::{FlightConfig, SummaryHandle, TelemetryConfig};

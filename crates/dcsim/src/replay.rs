@@ -35,6 +35,14 @@ use vmt_workload::Job;
 /// Digest of the scheduler-visible cluster state at the tick boundary
 /// (after departures, before placements) — exactly the state a policy's
 /// decisions depend on.
+///
+/// Zone-cooling temperatures are deliberately *excluded*: they are
+/// derived, observational state (a deterministic function of the power
+/// lane's history that never feeds back into placement), so including
+/// them would change every recorded digest without adding discriminating
+/// power — and would break replay of traces recorded before zones
+/// existed. Zone state is pinned separately by the snapshot round-trip
+/// tests.
 pub fn digest_index(index: &ClusterIndex) -> u64 {
     let mut h = StateHasher::new();
     h.write_u64(index.len() as u64);

@@ -99,6 +99,20 @@ pub trait Scheduler: SnapshotState {
         }
     }
 
+    /// Observes the per-zone CRAC supply-air temperatures, indexed by
+    /// zone ([`ZoneCooling::temperatures`]). Called once per tick after
+    /// physics when the cluster carries a
+    /// [`topology`](crate::ClusterConfig::topology); never called
+    /// otherwise. Purely informational: the built-in policies ignore it
+    /// (the default is a no-op), and a policy that reads it must not let
+    /// it perturb placement unless it intends to diverge from the
+    /// zoneless baseline.
+    ///
+    /// [`ZoneCooling::temperatures`]: crate::ZoneCooling::temperatures
+    fn observe_zones(&mut self, zone_temps: &[f64]) {
+        let _ = zone_temps;
+    }
+
     /// Size of the policy's current hot group, if it maintains one.
     ///
     /// By convention a policy's hot group is the servers with ids

@@ -244,6 +244,14 @@ pub struct Snapshot {
     /// heatmaps hold only the rows already written
     /// (`ceil(tick / heatmap_stride)`).
     pub partial: SimulationResult,
+    /// Per-zone CRAC supply-air temperatures when the config carries a
+    /// [`topology`](ClusterConfig::topology); `None` otherwise. Typed as
+    /// an `Option` so snapshots written before zones existed (the golden
+    /// fixture among them) keep decoding — the vendored serde derives
+    /// treat a missing field as `None`. The integrator state is
+    /// history-dependent, so it must travel for a restored zoned run to
+    /// report identical zone temperatures.
+    pub zone_temps: Option<Vec<f64>>,
 }
 
 fn payload_digest(payload: &str) -> u64 {

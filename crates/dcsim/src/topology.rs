@@ -137,6 +137,246 @@ impl RackPowerStats {
     }
 }
 
+/// Configuration of the rack/row/zone cooling hierarchy.
+///
+/// Serializable and carried by
+/// [`ClusterConfig::topology`](crate::ClusterConfig) (as an `Option`,
+/// so configs and snapshots from before zones existed keep decoding).
+/// Zones are contiguous logical id ranges — rack `r` holds servers
+/// `[r·spr, (r+1)·spr)`, rows group racks, zones group rows — which
+/// keeps every per-zone reduction a contiguous array walk.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ZoneSpec {
+    /// Servers per rack (the paper's 2U form factor: 20).
+    pub servers_per_rack: usize,
+    /// Racks per row.
+    pub racks_per_row: usize,
+    /// Rows per CRAC cooling zone.
+    pub rows_per_zone: usize,
+    /// CRAC plant capacity provisioned per server in the zone (W).
+    pub crac_capacity_w_per_server: f64,
+    /// CRAC supply-air setpoint (°C).
+    pub crac_setpoint_c: f64,
+    /// Zone thermal capacitance provisioned per server (J/K).
+    pub crac_capacitance_j_per_k_per_server: f64,
+}
+
+impl ZoneSpec {
+    /// The paper-scale hierarchy: 20-server racks, 10 racks per row,
+    /// 8 rows (1,600 servers) per CRAC zone; 250 W of plant and 20 kJ/K
+    /// of thermal mass per server (the same 80 J/K-per-watt sizing as
+    /// [`vmt_thermal::RoomModel::paper_default`]).
+    pub fn paper_default() -> Self {
+        Self {
+            servers_per_rack: 20,
+            racks_per_row: 10,
+            rows_per_zone: 8,
+            crac_capacity_w_per_server: 250.0,
+            crac_setpoint_c: 22.0,
+            crac_capacitance_j_per_k_per_server: 20_000.0,
+        }
+    }
+
+    /// Servers in one row.
+    pub fn servers_per_row(&self) -> usize {
+        self.servers_per_rack * self.racks_per_row
+    }
+
+    /// Servers in one full zone.
+    pub fn servers_per_zone(&self) -> usize {
+        self.servers_per_row() * self.rows_per_zone
+    }
+
+    /// True when every count is positive and every CRAC parameter is
+    /// finite and (where required) positive — the precondition of
+    /// [`ZoneLayout::new`] and [`ZoneCooling::new`].
+    pub fn is_valid(&self) -> bool {
+        self.servers_per_rack > 0
+            && self.racks_per_row > 0
+            && self.rows_per_zone > 0
+            && self.crac_capacity_w_per_server > 0.0
+            && self.crac_capacity_w_per_server.is_finite()
+            && self.crac_setpoint_c.is_finite()
+            && self.crac_capacitance_j_per_k_per_server > 0.0
+            && self.crac_capacitance_j_per_k_per_server.is_finite()
+    }
+}
+
+/// Derived geometry of a [`ZoneSpec`] over a concrete cluster size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneLayout {
+    num_servers: usize,
+    servers_per_rack: usize,
+    servers_per_row: usize,
+    servers_per_zone: usize,
+}
+
+impl ZoneLayout {
+    /// Lays the hierarchy over `num_servers` servers (the last rack,
+    /// row, and zone may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_servers` is zero or the spec is invalid.
+    pub fn new(num_servers: usize, spec: &ZoneSpec) -> Self {
+        assert!(num_servers > 0, "cluster must have servers");
+        assert!(spec.is_valid(), "invalid zone spec");
+        Self {
+            num_servers,
+            servers_per_rack: spec.servers_per_rack,
+            servers_per_row: spec.servers_per_row(),
+            servers_per_zone: spec.servers_per_zone(),
+        }
+    }
+
+    /// Number of servers the layout covers.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Number of CRAC zones (last may be partial).
+    pub fn zones(&self) -> usize {
+        self.num_servers.div_ceil(self.servers_per_zone)
+    }
+
+    /// Servers per full zone.
+    pub fn servers_per_zone(&self) -> usize {
+        self.servers_per_zone
+    }
+
+    /// The rack hosting server `id` (contiguous id order).
+    pub fn rack_of(&self, id: usize) -> RackId {
+        debug_assert!(id < self.num_servers, "server id out of range");
+        RackId(id / self.servers_per_rack)
+    }
+
+    /// The row hosting server `id`.
+    pub fn row_of(&self, id: usize) -> usize {
+        debug_assert!(id < self.num_servers, "server id out of range");
+        id / self.servers_per_row
+    }
+
+    /// The CRAC zone hosting server `id`.
+    pub fn zone_of(&self, id: usize) -> usize {
+        debug_assert!(id < self.num_servers, "server id out of range");
+        id / self.servers_per_zone
+    }
+
+    /// The contiguous server-id range of zone `z`.
+    pub fn zone_range(&self, z: usize) -> std::ops::Range<usize> {
+        debug_assert!(z < self.zones(), "zone out of range");
+        let start = z * self.servers_per_zone;
+        start..(start + self.servers_per_zone).min(self.num_servers)
+    }
+}
+
+/// Per-zone CRAC integrators: one capacity-limited cooling plant per
+/// zone, replacing the single room model at datacenter scale.
+///
+/// Each zone runs the same plant law as
+/// [`vmt_thermal::RoomModel::step`] — removal capped at capacity, flat
+/// out above setpoint, floored at setpoint — over the *electrical*
+/// power of its contiguous server range. The model is observational:
+/// zone temperatures never feed back into server inlets, so enabling a
+/// topology leaves every placement, physics result, and replay digest
+/// bit-identical to a zoneless run, and the per-zone sums are computed
+/// in a serial server-order pass, making them independent of the tick's
+/// thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneCooling {
+    layout: ZoneLayout,
+    setpoint_c: f64,
+    /// Per-zone plant capacity (W), scaled to each zone's actual server
+    /// count so a partial tail zone gets a proportionally smaller CRAC.
+    capacity_w: Vec<f64>,
+    /// Per-zone thermal capacitance (J/K), scaled like `capacity_w`.
+    capacitance_j_per_k: Vec<f64>,
+    /// Per-zone supply-air temperature (°C) — the integrator state.
+    temperature_c: Vec<f64>,
+}
+
+impl ZoneCooling {
+    /// Builds the per-zone integrators at their setpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_servers` is zero or the spec is invalid.
+    pub fn new(num_servers: usize, spec: &ZoneSpec) -> Self {
+        let layout = ZoneLayout::new(num_servers, spec);
+        let zones = layout.zones();
+        let mut capacity_w = Vec::with_capacity(zones);
+        let mut capacitance = Vec::with_capacity(zones);
+        for z in 0..zones {
+            let servers = layout.zone_range(z).len() as f64;
+            capacity_w.push(spec.crac_capacity_w_per_server * servers);
+            capacitance.push(spec.crac_capacitance_j_per_k_per_server * servers);
+        }
+        Self {
+            layout,
+            setpoint_c: spec.crac_setpoint_c,
+            capacity_w,
+            capacitance_j_per_k: capacitance,
+            temperature_c: vec![spec.crac_setpoint_c; zones],
+        }
+    }
+
+    /// The layout geometry.
+    pub fn layout(&self) -> &ZoneLayout {
+        &self.layout
+    }
+
+    /// Per-zone supply-air temperatures (°C), indexed by zone.
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperature_c
+    }
+
+    /// Hottest zone's excursion above the setpoint (°C ≥ 0).
+    pub fn peak_excursion(&self) -> f64 {
+        self.temperature_c
+            .iter()
+            .fold(0.0f64, |acc, &t| acc.max(t - self.setpoint_c))
+    }
+
+    /// Advances every zone by `dt_s` seconds given the farm's per-server
+    /// active power lane and uniform idle draw. The per-zone offered
+    /// load is summed element-serially in server order (deterministic at
+    /// any thread count), then each zone integrates the room-model plant
+    /// law.
+    pub fn step(&mut self, active_power_w: &[f64], idle_w: f64, dt_s: f64) {
+        debug_assert_eq!(active_power_w.len(), self.layout.num_servers);
+        for z in 0..self.temperature_c.len() {
+            let range = self.layout.zone_range(z);
+            let mut offered = 0.0;
+            for &active in &active_power_w[range] {
+                offered += idle_w + active;
+            }
+            // Same plant law as `RoomModel::step`, on raw f64 lanes.
+            let removal = if self.temperature_c[z] > self.setpoint_c {
+                self.capacity_w[z]
+            } else {
+                offered.min(self.capacity_w[z])
+            };
+            let net = offered - removal;
+            self.temperature_c[z] += net * dt_s / self.capacitance_j_per_k[z];
+            if self.temperature_c[z] < self.setpoint_c {
+                self.temperature_c[z] = self.setpoint_c;
+            }
+        }
+    }
+
+    /// Overwrites the integrator state from a snapshot's saved zone
+    /// temperatures. Returns `false` (leaving the state untouched) when
+    /// the zone count disagrees.
+    #[must_use]
+    pub fn apply_temperatures(&mut self, temps: &[f64]) -> bool {
+        if temps.len() != self.temperature_c.len() {
+            return false;
+        }
+        self.temperature_c.copy_from_slice(temps);
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +456,94 @@ mod tests {
         let layout = RackLayout::paper_default(40);
         for map in [PlacementMap::Contiguous, PlacementMap::Striped] {
             assert!(layout.power_stats(&servers, map).imbalance() < 1e-9);
+        }
+    }
+
+    mod zones {
+        use super::*;
+        use vmt_thermal::RoomModel;
+        use vmt_units::{Celsius, Seconds};
+
+        #[test]
+        fn hierarchy_geometry() {
+            let spec = ZoneSpec::paper_default();
+            assert_eq!(spec.servers_per_row(), 200);
+            assert_eq!(spec.servers_per_zone(), 1600);
+            let layout = ZoneLayout::new(100_000, &spec);
+            assert_eq!(layout.zones(), 63);
+            // The tail zone is partial: 100,000 − 62·1,600 = 800 servers.
+            assert_eq!(layout.zone_range(62).len(), 800);
+            assert_eq!(layout.zone_of(1599), 0);
+            assert_eq!(layout.zone_of(1600), 1);
+            assert_eq!(layout.rack_of(39), RackId(1));
+            assert_eq!(layout.row_of(200), 1);
+        }
+
+        /// A single zone steps bit-identically to the unit-typed
+        /// [`RoomModel`] it mirrors, through overload and recovery.
+        #[test]
+        fn zone_integrator_matches_room_model() {
+            let mut spec = ZoneSpec::paper_default();
+            spec.racks_per_row = 1;
+            spec.rows_per_zone = 1; // one 20-server zone
+            let n = 20usize;
+            let mut zones = ZoneCooling::new(n, &spec);
+            let mut room = RoomModel::new(
+                Watts::new(spec.crac_capacity_w_per_server * n as f64),
+                Celsius::new(spec.crac_setpoint_c),
+                spec.crac_capacitance_j_per_k_per_server * n as f64,
+            );
+            for t in 0..240 {
+                let active = if t < 30 { 400.0 } else { 10.0 };
+                let lane = vec![active; n];
+                zones.step(&lane, 100.0, 60.0);
+                let mut offered = 0.0;
+                for &a in &lane {
+                    offered += 100.0 + a;
+                }
+                room.step(Watts::new(offered), Seconds::new(60.0));
+                assert_eq!(
+                    zones.temperatures()[0],
+                    room.temperature().get(),
+                    "tick {t}"
+                );
+            }
+            // Long recovery floors the zone back at its setpoint.
+            assert_eq!(zones.peak_excursion(), 0.0);
+        }
+
+        #[test]
+        fn only_the_overloaded_zone_warms() {
+            let mut spec = ZoneSpec::paper_default();
+            spec.racks_per_row = 1;
+            spec.rows_per_zone = 1; // two 20-server zones over 40 servers
+            let mut zones = ZoneCooling::new(40, &spec);
+            let mut lane = vec![0.0; 40];
+            for slot in lane.iter_mut().take(20) {
+                *slot = 400.0; // zone 0 at nameplate, zone 1 idle
+            }
+            for _ in 0..30 {
+                zones.step(&lane, 100.0, 60.0);
+            }
+            assert!(zones.temperatures()[0] > spec.crac_setpoint_c);
+            assert_eq!(zones.temperatures()[1], spec.crac_setpoint_c);
+            assert!(zones.peak_excursion() > 0.0);
+        }
+
+        #[test]
+        fn temperatures_apply_and_reject_bad_shapes() {
+            let spec = ZoneSpec::paper_default();
+            let mut a = ZoneCooling::new(4000, &spec);
+            let lane = vec![250.0; 4000];
+            for _ in 0..10 {
+                a.step(&lane, 100.0, 60.0);
+            }
+            let saved = a.temperatures().to_vec();
+            let mut b = ZoneCooling::new(4000, &spec);
+            assert!(b.apply_temperatures(&saved));
+            assert_eq!(a, b);
+            assert!(!b.apply_temperatures(&saved[1..]));
+            assert_eq!(a, b);
         }
     }
 }

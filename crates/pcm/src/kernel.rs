@@ -95,6 +95,61 @@ impl WaxKernel {
         }
     }
 
+    /// True when the exchanger carries no phase-interface taper — the
+    /// paper's deployment (`b = 0`), and the condition under which
+    /// [`WaxKernel::exchange_step_untapered`] is exactly one sub-step of
+    /// [`WaxKernel::exchange`]: `ua / (1 + 0 · receded)` is `ua` for
+    /// every finite recession, so the tapered divide can be dropped
+    /// without moving a single bit.
+    #[inline]
+    pub fn is_untapered(&self) -> bool {
+        self.taper == 0.0
+    }
+
+    /// Branch-light form of [`WaxKernel::temperature`]: both phase arms
+    /// are always computed and the result selected, so the fused farm
+    /// sweep's inner loop carries no data-dependent branches and
+    /// auto-vectorizes. Bit-identical to `temperature` — the arms are
+    /// the same expressions (divisions included, never reciprocal
+    /// multiplies) and the predicates are tested in the same order.
+    #[inline]
+    pub fn temperature_selected(&self, enthalpy_j: f64) -> f64 {
+        let start = self.plateau_start_j;
+        let end = start + self.latent_capacity_j;
+        let solid = enthalpy_j / self.mass_cs;
+        let liquid = self.melt_c + (enthalpy_j - end) / self.mass_cl;
+        let upper = if enthalpy_j >= end {
+            liquid
+        } else {
+            self.melt_c
+        };
+        if enthalpy_j <= start {
+            solid
+        } else {
+            upper
+        }
+    }
+
+    /// One sub-step of the air-to-wax exchange for an untapered
+    /// exchanger ([`WaxKernel::is_untapered`]). Returns the new enthalpy
+    /// and the heat moved (J). Bit-identical to
+    /// `exchange(enthalpy, air, 1, sub_dt_s)` when `taper == 0`; the
+    /// fused farm sweep takes this path on the paper's one-substep,
+    /// zero-taper tick and falls back to [`WaxKernel::exchange`]
+    /// otherwise.
+    #[inline]
+    pub fn exchange_step_untapered(
+        &self,
+        enthalpy_j: f64,
+        air_c: f64,
+        sub_dt_s: f64,
+    ) -> (f64, f64) {
+        debug_assert!(self.is_untapered());
+        let delta = air_c - self.temperature_selected(enthalpy_j);
+        let q = self.ua_w_per_k * delta * sub_dt_s;
+        (enthalpy_j + q, q)
+    }
+
     /// Sub-step count and sub-step length for a tick of `dt_s` seconds,
     /// keeping each explicit sub-step below a quarter of the pack's
     /// sensible time constant `τ = m·c_p / UA`.
@@ -181,6 +236,43 @@ mod tests {
         pack.set_melt_fraction(vmt_units::Fraction::saturating(0.5));
         assert_eq!(k.temperature(pack.enthalpy().get()), 35.7);
         assert!((k.melt_fraction(pack.enthalpy().get()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selected_temperature_matches_branchy_form() {
+        let k = kernel();
+        // Sweep enthalpies across solid, plateau edges, and liquid.
+        for i in 0..2000 {
+            let h = -50_000.0 + i as f64 * 400.0;
+            assert_eq!(k.temperature_selected(h), k.temperature(h), "h = {h}");
+        }
+    }
+
+    #[test]
+    fn untapered_step_matches_general_exchange() {
+        let k = kernel();
+        assert!(k.is_untapered());
+        for i in 0..500 {
+            let h = -20_000.0 + i as f64 * 1500.0;
+            for air in [5.0, 22.0, 35.7, 36.0, 60.0] {
+                assert_eq!(
+                    k.exchange_step_untapered(h, air, 60.0),
+                    k.exchange(h, air, 1, 60.0),
+                    "h = {h}, air = {air}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tapered_kernel_reports_itself() {
+        let k = WaxKernel::new(
+            &PcmMaterial::deployed_paraffin(),
+            Kilograms::new(3.48),
+            WattsPerKelvin::new(15.0),
+            0.3,
+        );
+        assert!(!k.is_untapered());
     }
 
     #[test]

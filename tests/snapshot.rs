@@ -222,7 +222,14 @@ fn edge_snapshots_restore() {
 #[test]
 fn golden_snapshot_stays_readable() {
     const GOLDEN: &str = include_str!("data/golden_v1.snap");
-    const GOLDEN_DIGEST: u64 = 0xf045_b343_96c5_75fe;
+    // `Snapshot::digest()` hashes the *re-serialized* payload, so this
+    // pin moves when the payload schema gains fields even though the old
+    // container keeps decoding. History: originally
+    // 0xf045_b343_96c5_75fe; re-pinned when the backward-compatible
+    // `config.topology` / `zone_temps` options were added (both decode
+    // as `None` from this fixture). RESUMED_DIGEST pins the physics and
+    // must never move.
+    const GOLDEN_DIGEST: u64 = 0xe572_eef5_8785_5053;
     const RESUMED_DIGEST: u64 = 0x6a35_e733_f5ae_af38;
 
     let snapshot = Snapshot::decode(GOLDEN).expect("golden fixture decodes");
@@ -312,5 +319,92 @@ mod container_properties {
                 prop_assert_eq!(snapshot.digest(), original.digest());
             }
         }
+    }
+}
+
+/// A zoned cluster (rack/row/zone topology with per-zone CRAC
+/// integrators) restores bit-identically: the zone temperatures travel
+/// in the container, the restored integrators pick up exactly where
+/// the continuous run's were, and every subsequent tick digest matches
+/// at any thread count. The spec's CRAC capacity is set low enough
+/// that zones genuinely warm above the setpoint, so the round trip is
+/// exercised on non-trivial integrator state.
+#[test]
+fn zoned_run_restores_bit_identically() {
+    use vmt::dcsim::ZoneSpec;
+
+    let spec = ZoneSpec {
+        servers_per_rack: 4,
+        racks_per_row: 2,
+        rows_per_zone: 2,
+        crac_capacity_w_per_server: 120.0,
+        crac_setpoint_c: 22.0,
+        crac_capacitance_j_per_k_per_server: 5_000.0,
+    };
+    let seed = 7u64;
+    let servers = 100; // 7 zones: 6 full (16 servers) plus a 4-server tail
+    let policy = PolicyKind::vmt_wa(22.0);
+
+    let build_zoned = |threads: usize| {
+        let mut cluster = ClusterConfig::paper_default(servers);
+        cluster.seed = seed;
+        cluster.topology = Some(spec);
+        let mut trace = TraceConfig::paper_default();
+        trace.horizon = Hours::new(24.0);
+        trace.seed = seed;
+        Simulation::new(
+            cluster.clone(),
+            DiurnalTrace::new(trace),
+            policy.build(&cluster),
+        )
+        .with_threads(threads)
+    };
+
+    let (digests, result, final_digest) = run_with_digests(build_zoned(1));
+    let mid = (digests.len() / 2) as u64;
+
+    let mut sim = build_zoned(1);
+    sim.run_until(mid);
+    let continuous_zone_temps: Vec<f64> = sim
+        .zones()
+        .expect("topology configured")
+        .temperatures()
+        .to_vec();
+    assert!(
+        continuous_zone_temps
+            .iter()
+            .any(|&t| t > spec.crac_setpoint_c),
+        "test misconfigured: no zone ever warmed above the setpoint, \
+         so the round trip would only cover trivial integrator state"
+    );
+    let snapshot = sim.snapshot().expect("zoned runs snapshot");
+    assert_eq!(
+        snapshot.zone_temps.as_deref(),
+        Some(continuous_zone_temps.as_slice()),
+        "zone temperatures travel in the snapshot"
+    );
+    let decoded = Snapshot::decode(&snapshot.encode()).expect("container round-trips");
+
+    for threads in [1usize, 4] {
+        let context = format!("zoned restore at {threads} threads");
+        let restored = restore_simulation(&decoded)
+            .unwrap_or_else(|e| panic!("{context}: restore failed: {e}"))
+            .with_threads(threads);
+        assert_eq!(
+            restored
+                .zones()
+                .expect("restored run keeps its topology")
+                .temperatures(),
+            continuous_zone_temps.as_slice(),
+            "{context}: integrator state at restore"
+        );
+        assert_suffix_identical(
+            restored,
+            mid as usize,
+            &digests,
+            &result,
+            final_digest,
+            &context,
+        );
     }
 }
