@@ -19,6 +19,11 @@
 //! * `cargo bench -p vmt-bench --bench engine_baseline -- --smoke` — a
 //!   20-server sanity pass that exercises both paths without writing the
 //!   JSON (what CI runs).
+//! * `cargo bench -p vmt-bench --bench engine_baseline -- --phases` —
+//!   re-measures only the `phases[]` section (the 1k instrumented
+//!   profiles and the 10k zoned observability-overhead row, ~2 min) and
+//!   patches it into the existing `BENCH_engine.json`, leaving the
+//!   expensive scaling sweep untouched.
 
 use std::time::Instant;
 use vmt_core::{
@@ -29,7 +34,7 @@ use vmt_workload::{DiurnalTrace, TraceConfig};
 
 const SCHEDULERS: [&str; 3] = ["coolest-first", "vmt-ta", "vmt-wa"];
 
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct Measurement {
     scheduler: String,
     implementation: String,
@@ -41,7 +46,7 @@ struct Measurement {
     jobs_placed_per_sec: f64,
 }
 
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct Speedup {
     scheduler: String,
     servers: usize,
@@ -50,7 +55,7 @@ struct Speedup {
     speedup: f64,
 }
 
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ScalingMeasurement {
     scheduler: String,
     servers: usize,
@@ -61,7 +66,7 @@ struct ScalingMeasurement {
     placements: u64,
 }
 
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct PhaseProfile {
     scheduler: String,
     servers: usize,
@@ -70,9 +75,19 @@ struct PhaseProfile {
     /// Fraction of measured tick time attributed to a named phase.
     coverage: f64,
     breakdown: vmt_telemetry::PhaseBreakdown,
+    /// Set only on the zoned observability row: throughput of the same
+    /// run with the full observability layer layered on top of the
+    /// phase spans — time-series rings, per-zone thermal gauges, and a
+    /// scrape publisher rendering the exposition at snapshot cadence.
+    ticks_per_sec_observed: Option<f64>,
+    /// Relative per-tick cost the observability layer adds over the
+    /// spans-only run (`instrumented/observed - 1`; may dip slightly
+    /// negative under wall-clock noise). `check-bench` holds this at or
+    /// below 5%.
+    observability_overhead: Option<f64>,
 }
 
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct Report {
     description: String,
     scenario: String,
@@ -86,7 +101,9 @@ struct Report {
     /// across the group and does not affect placements.
     scaling: Vec<ScalingMeasurement>,
     /// Per-phase breakdown of the instrumented tick loop (telemetry
-    /// enabled, no sink) at 1,000 servers. Compare
+    /// enabled, no sink) at 1,000 servers, plus one zoned 10k row that
+    /// measures the observability layer's overhead (series + zone
+    /// gauges + publisher vs spans only). Compare
     /// `ticks_per_sec_instrumented` against the indexed `measurements`
     /// rows to see the instrumentation overhead; the uninstrumented
     /// rows take zero timestamps and are the regression reference.
@@ -202,16 +219,126 @@ fn measure_phases(name: &str, servers: usize) -> PhaseProfile {
         ticks_per_sec_instrumented: summary.ticks_per_s,
         coverage: summary.phases.coverage(),
         breakdown: summary.phases,
+        ticks_per_sec_observed: None,
+        observability_overhead: None,
     }
 }
+
+/// One zoned vmt-wa run over the full 48 h trace with phase spans on,
+/// optionally with the whole observability layer — series rings at the
+/// default capacity, per-zone thermal gauges, and a scrape publisher
+/// that renders the OpenMetrics exposition at snapshot cadence — added
+/// on top. Returns the engine's own summary (its `ticks_per_s` is the
+/// measurement).
+fn run_zoned_instrumented(servers: usize, observed: bool) -> vmt_telemetry::SummaryEvent {
+    let mut cluster = ClusterConfig::paper_default(servers);
+    cluster.topology = Some(vmt_dcsim::ZoneSpec::paper_default());
+    if servers >= 100_000 {
+        cluster.heatmap_stride = 60;
+    }
+    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let scheduler = scheduler_for("vmt-wa", &cluster, false);
+    let mut telemetry = vmt_dcsim::TelemetryConfig::new();
+    if observed {
+        telemetry = telemetry
+            .with_series(vmt_dcsim::TelemetryConfig::DEFAULT_SERIES_CAPACITY)
+            .with_publisher(vmt_telemetry::MetricsPublisher::new());
+    }
+    let summary = telemetry.summary.clone();
+    Simulation::new(cluster, trace, scheduler)
+        .with_telemetry(telemetry)
+        .run();
+    summary.get().expect("telemetry deposits a summary")
+}
+
+/// Observability overhead at the zoned 10k scale: the same zoned run
+/// measured spans-only and fully observed, best of `passes` each. The
+/// passes are *interleaved* (plain, observed, plain, observed, …)
+/// rather than run as two blocks: host throughput drifts by ±10%
+/// across a block of minutes-long runs, and with sequential blocks
+/// that drift lands entirely on one side and masquerades as overhead
+/// (the true per-tick cost, visible in the `record_s` phase span, is
+/// well under 1%). The result rides in `phases[]` with the
+/// observed-side fields set; `check-bench` gates the overhead at 5%.
+fn measure_observability(servers: usize, passes: usize) -> PhaseProfile {
+    let mut plain: Option<vmt_telemetry::SummaryEvent> = None;
+    let mut observed: Option<vmt_telemetry::SummaryEvent> = None;
+    for _ in 0..passes {
+        for (best, obs) in [(&mut plain, false), (&mut observed, true)] {
+            let pass = run_zoned_instrumented(servers, obs);
+            *best = Some(match best.take() {
+                Some(prev) if prev.ticks_per_s >= pass.ticks_per_s => prev,
+                _ => pass,
+            });
+        }
+    }
+    let plain = plain.expect("at least one pass ran");
+    let observed = observed.expect("at least one pass ran");
+    if std::env::var("VMT_BENCH_OBS_DEBUG").is_ok() {
+        println!("plain breakdown:    {:?}", plain.phases);
+        println!("observed breakdown: {:?}", observed.phases);
+    }
+    let overhead = plain.ticks_per_s / observed.ticks_per_s - 1.0;
+    PhaseProfile {
+        scheduler: "vmt-wa".to_string(),
+        servers,
+        ticks_per_sec_instrumented: plain.ticks_per_s,
+        coverage: plain.phases.coverage(),
+        breakdown: plain.phases,
+        ticks_per_sec_observed: Some(observed.ticks_per_s),
+        observability_overhead: Some(overhead),
+    }
+}
+
+/// The full `phases[]` section: instrumented profiles for every
+/// scheduler at 1k servers, then the zoned 10k observability row.
+fn measure_all_phases() -> Vec<PhaseProfile> {
+    let mut phases = Vec::new();
+    for name in SCHEDULERS {
+        let p = measure_phases(name, 1000);
+        println!(
+            "phases {name} @ 1000 (instrumented): {:.0} ticks/s, coverage {:.1}%",
+            p.ticks_per_sec_instrumented,
+            p.coverage * 100.0
+        );
+        phases.push(p);
+    }
+    let o = measure_observability(10_000, 5);
+    println!(
+        "observability vmt-wa @ 10000 (zoned): spans-only {:.0} ticks/s, observed {:.0} ticks/s -> {:+.1}% overhead",
+        o.ticks_per_sec_instrumented,
+        o.ticks_per_sec_observed.unwrap(),
+        o.observability_overhead.unwrap() * 100.0,
+    );
+    phases.push(o);
+    phases
+}
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
 
 fn main() {
     // `cargo bench` hands harness=false targets a `--bench` argument;
     // `-- --smoke` (used by CI) forces the quick pass anyway.
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let refresh_phases = !smoke && std::env::args().any(|a| a == "--phases");
     let full = !smoke
+        && !refresh_phases
         && (std::env::args().any(|a| a == "--bench")
             || std::env::var("VMT_BENCH_FULL").is_ok_and(|v| v == "1"));
+    if refresh_phases {
+        // Re-measure only `phases[]` and patch it into the existing
+        // artifact; the scaling sweep (tens of minutes at 100k) keeps
+        // its recorded rows.
+        let text = std::fs::read_to_string(BENCH_JSON)
+            .unwrap_or_else(|err| panic!("cannot read {BENCH_JSON}: {err}"));
+        let mut report: Report =
+            serde_json::from_str(&text).expect("BENCH_engine.json matches the report schema");
+        report.phases = measure_all_phases();
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(BENCH_JSON, json + "\n").expect("write BENCH_engine.json");
+        println!("patched phases[] in {BENCH_JSON}");
+        return;
+    }
     if !full {
         // Smoke pass: prove both paths run; no JSON output.
         for name in SCHEDULERS {
@@ -236,6 +363,14 @@ fn main() {
             "smoke vmt-wa instrumented: {:.0} ticks/s, phase coverage {:.1}%",
             p.ticks_per_sec_instrumented,
             p.coverage * 100.0
+        );
+        // And the fully-observed zoned path (series + gauges +
+        // publisher), single pass: proves the measurement harness runs.
+        let o = measure_observability(20, 1);
+        println!(
+            "smoke vmt-wa observed (zoned): {:.0} ticks/s ({:+.1}% vs spans-only)",
+            o.ticks_per_sec_observed.unwrap(),
+            o.observability_overhead.unwrap() * 100.0,
         );
         return;
     }
@@ -281,17 +416,9 @@ fn main() {
             scaling.push(s);
         }
     }
-    // Instrumented per-phase breakdown at the headline cluster size.
-    let mut phases = Vec::new();
-    for name in SCHEDULERS {
-        let p = measure_phases(name, 1000);
-        println!(
-            "phases {name} @ 1000 (instrumented): {:.0} ticks/s, coverage {:.1}%",
-            p.ticks_per_sec_instrumented,
-            p.coverage * 100.0
-        );
-        phases.push(p);
-    }
+    // Instrumented per-phase breakdown at the headline cluster size,
+    // plus the zoned 10k observability-overhead row.
+    let phases = measure_all_phases();
 
     let report = Report {
         description: "Simulation engine throughput: incremental-index hot path vs retained \
@@ -306,7 +433,6 @@ fn main() {
         phases,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, json + "\n").expect("write BENCH_engine.json");
-    println!("wrote {path}");
+    std::fs::write(BENCH_JSON, json + "\n").expect("write BENCH_engine.json");
+    println!("wrote {BENCH_JSON}");
 }

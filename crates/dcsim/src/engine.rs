@@ -283,7 +283,13 @@ impl Simulation {
         let row_interval = dt.get() * self.config.heatmap_stride as f64;
         let cores_per_server = self.farm.cores();
         let telemetry = self.telemetry.take().map(|config| {
-            let tel = EngineTelemetry::new(config, num_servers, cores_per_server, ticks as u64);
+            let tel = EngineTelemetry::new(
+                config,
+                num_servers,
+                cores_per_server,
+                ticks as u64,
+                self.zones.as_ref(),
+            );
             tel.emit_run_config(
                 self.scheduler.name(),
                 &self.config,
@@ -489,6 +495,8 @@ impl Simulation {
                 run.placements - placed_before,
                 run.dropped_jobs - dropped_before,
                 self.scheduler.counters(),
+                totals.electrical_w - totals.into_wax_w,
+                self.zones.as_ref(),
             );
         }
         lap!(Record);

@@ -15,15 +15,17 @@
 use crate::config::ClusterConfig;
 use crate::farm::ServerFarm;
 use crate::index::ClusterIndex;
+use crate::topology::ZoneCooling;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vmt_pcm::{MeltDirection, MELT_EVENT_THRESHOLD};
 use vmt_telemetry::{
-    AnomalyEvent, Counter, Event, FlightConfig, FlightRecorder, Gauge, Histogram, HotGroupEvent,
-    HotGroupTransition, MeltEvent, MeltTransition, PhaseProfiler, ProgressMeter, RunConfigEvent,
-    SchedulerCounters, SnapshotEvent, SummaryEvent, TelemetryConfig, TickState, TraceRecord,
-    WatchdogSet, SCHEMA_VERSION,
+    render_openmetrics, AnomalyEvent, Counter, Dashboard, DashboardRow, Event, FlightConfig,
+    FlightRecorder, Gauge, Histogram, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition,
+    PhaseProfiler, ProgressMeter, RunConfigEvent, SchedulerCounters, SharedSeries, SnapshotEvent,
+    SummaryEvent, TelemetryConfig, TickState, TraceRecord, WatchdogSet, SCHEMA_VERSION,
+    SPARK_WIDTH,
 };
 
 /// Bucket bounds for the arrivals-per-tick histogram: powers of two up
@@ -32,6 +34,95 @@ use vmt_telemetry::{
 const ARRIVAL_BUCKETS: [f64; 14] = [
     0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
 ];
+
+/// `# HELP` text for the `/metrics` exposition, keyed by OpenMetrics
+/// family name (dots already folded to underscores).
+const METRIC_HELP: &[(&str, &str)] = &[
+    ("engine_ticks", "Simulation ticks executed."),
+    ("engine_placements", "Jobs placed onto servers."),
+    ("engine_dropped_jobs", "Jobs dropped at admission."),
+    (
+        "engine_melt_events",
+        "Per-server wax melt threshold crossings.",
+    ),
+    ("engine_hot_group_events", "Hot-group resize events."),
+    ("engine_anomaly_events", "Watchdog anomalies raised."),
+    ("engine_tick_arrivals", "Jobs arriving per tick."),
+    ("cluster_utilization", "Fraction of cluster cores busy."),
+    (
+        "cluster_mean_air_c",
+        "Mean server air temperature (Celsius).",
+    ),
+    (
+        "cluster_max_air_c",
+        "Max server air temperature (Celsius), sampled at snapshot cadence.",
+    ),
+    (
+        "cluster_melted_fraction",
+        "Fraction of servers reporting melted wax.",
+    ),
+    ("cluster_cooling_w", "Cooling load this tick (Watts)."),
+    ("scheduler_spills_per_tick", "QoS spills this tick."),
+    ("zone_temp_c", "CRAC zone supply-air temperature (Celsius)."),
+    (
+        "zone_crac_duty",
+        "Zone CRAC duty: heat removed over plant capacity, 0 to 1.",
+    ),
+    (
+        "zone_headroom_c",
+        "Setpoint minus zone temperature (Celsius); negative when over setpoint.",
+    ),
+    (
+        "zone_melt_fraction",
+        "Mean reported wax melt fraction across the zone's servers.",
+    ),
+    (
+        "zone_hot_occupancy",
+        "Fraction of the zone's servers inside the hot group.",
+    ),
+    ("zone_max_temp_c", "Hottest zone temperature (Celsius)."),
+];
+
+/// Cluster-wide per-tick time series, registered when
+/// [`TelemetryConfig::series_capacity`] is set.
+struct ClusterSeries {
+    utilization: SharedSeries,
+    mean_air_c: SharedSeries,
+    melted_fraction: SharedSeries,
+    cooling_w: SharedSeries,
+    spills: SharedSeries,
+}
+
+/// Per-zone instruments: gauges always, temperature series when series
+/// are enabled.
+struct ZoneGauges {
+    temp: Gauge,
+    duty: Gauge,
+    headroom: Gauge,
+    melt: Gauge,
+    hot_occupancy: Gauge,
+    temp_series: Option<SharedSeries>,
+}
+
+/// All per-zone observability state, present only on zoned runs.
+struct ZoneObservability {
+    setpoint_c: f64,
+    gauges: Vec<ZoneGauges>,
+    /// Hottest zone per tick — one series that stays readable when the
+    /// cluster has more zones than a dashboard has rows.
+    max_temp_series: Option<SharedSeries>,
+}
+
+/// Dashboard cadence state: its own meter (the dashboard cadence is
+/// independent of `--progress`) plus a short wall-clock ticks/s history
+/// for the throughput sparkline. The ticks/s ring lives here — never in
+/// the registry — because it is wall-clock derived and must not ride
+/// into the (deterministic) metrics snapshot.
+struct DashboardDriver {
+    meter: ProgressMeter,
+    dashboard: Dashboard,
+    ticks_per_s: Vec<f64>,
+}
 
 /// A stopwatch for the engine's per-phase laps.
 ///
@@ -99,6 +190,12 @@ pub(crate) struct EngineTelemetry {
     max_air_c: Gauge,
     melted_fraction: Gauge,
     tick_arrivals: Arc<Histogram>,
+    /// Cluster-wide ring-buffer series, when series are enabled.
+    series: Option<ClusterSeries>,
+    /// Per-zone gauges and series, when the run is zoned.
+    zones_obs: Option<ZoneObservability>,
+    /// Live dashboard state, when `--dashboard` armed one.
+    dashboard: Option<DashboardDriver>,
 }
 
 /// `<base>.anomaly<n>` — sibling path for the n-th watchdog dump.
@@ -108,14 +205,103 @@ fn anomaly_dump_path(base: &Path, n: usize) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// How many individual zones get their own dashboard row before the
+/// display falls back to the hottest-zone aggregate.
+const DASHBOARD_ZONE_ROWS: usize = 6;
+
+/// Builds the dashboard's sparkline rows from the current series
+/// windows. Peaky quantities (cooling load, spills, hottest zone) fold
+/// buckets by max so bursts survive downsampling; level quantities fold
+/// by mean.
+fn dashboard_rows(
+    ticks_per_s: &[f64],
+    series: Option<&ClusterSeries>,
+    zones_obs: Option<&ZoneObservability>,
+) -> Vec<DashboardRow> {
+    let mut rows = Vec::new();
+    rows.push(DashboardRow::new(
+        "ticks/s",
+        ticks_per_s.last().copied().unwrap_or(0.0),
+        "",
+        ticks_per_s.to_vec(),
+    ));
+    if let Some(cs) = series {
+        let cooling = cs.cooling_w.snapshot();
+        rows.push(DashboardRow::new(
+            "cooling",
+            cooling.last_value().unwrap_or(0.0) / 1000.0,
+            "kW",
+            cooling
+                .downsample_to(SPARK_WIDTH)
+                .iter()
+                .map(|b| b.max / 1000.0)
+                .collect(),
+        ));
+        let melted = cs.melted_fraction.snapshot();
+        rows.push(DashboardRow::new(
+            "melted",
+            melted.last_value().unwrap_or(0.0) * 100.0,
+            "%",
+            melted
+                .downsample_to(SPARK_WIDTH)
+                .iter()
+                .map(|b| b.mean * 100.0)
+                .collect(),
+        ));
+        let spills = cs.spills.snapshot();
+        rows.push(DashboardRow::new(
+            "spills",
+            spills.last_value().unwrap_or(0.0),
+            "/tick",
+            spills
+                .downsample_to(SPARK_WIDTH)
+                .iter()
+                .map(|b| b.max)
+                .collect(),
+        ));
+    }
+    if let Some(obs) = zones_obs {
+        for (z, g) in obs.gauges.iter().enumerate().take(DASHBOARD_ZONE_ROWS) {
+            let Some(s) = &g.temp_series else { continue };
+            let snap = s.snapshot();
+            rows.push(DashboardRow::new(
+                format!("zone {z:02}"),
+                snap.last_value().unwrap_or(obs.setpoint_c),
+                "°C",
+                snap.downsample_to(SPARK_WIDTH)
+                    .iter()
+                    .map(|b| b.mean)
+                    .collect(),
+            ));
+        }
+        if obs.gauges.len() > DASHBOARD_ZONE_ROWS {
+            if let Some(s) = &obs.max_temp_series {
+                let snap = s.snapshot();
+                rows.push(DashboardRow::new(
+                    "zone max",
+                    snap.last_value().unwrap_or(obs.setpoint_c),
+                    "°C",
+                    snap.downsample_to(SPARK_WIDTH)
+                        .iter()
+                        .map(|b| b.max)
+                        .collect(),
+                ));
+            }
+        }
+    }
+    rows
+}
+
 impl EngineTelemetry {
     /// Registers the engine's metrics and arms the progress meter,
-    /// flight recorder, and watchdogs.
+    /// flight recorder, watchdogs, series rings, per-zone instruments,
+    /// and dashboard.
     pub(crate) fn new(
         mut config: TelemetryConfig,
         num_servers: usize,
         cores_per_server: u32,
         total_ticks: u64,
+        zones: Option<&ZoneCooling>,
     ) -> Self {
         let registry = &config.registry;
         let ticks = registry.counter("engine.ticks");
@@ -129,6 +315,41 @@ impl EngineTelemetry {
         let max_air_c = registry.gauge("cluster.max_air_c");
         let melted_fraction = registry.gauge("cluster.melted_fraction");
         let tick_arrivals = registry.histogram("engine.tick_arrivals", &ARRIVAL_BUCKETS);
+        let series_capacity = config.series_capacity;
+        // Series duplicating a live gauge get a `.recent` suffix so the
+        // exposition keeps one family per name; window-only quantities
+        // (cooling watts, spills) are series alone.
+        let series = series_capacity.map(|cap| ClusterSeries {
+            utilization: registry.series("cluster.utilization.recent", cap),
+            mean_air_c: registry.series("cluster.mean_air_c.recent", cap),
+            melted_fraction: registry.series("cluster.melted_fraction.recent", cap),
+            cooling_w: registry.series("cluster.cooling_w", cap),
+            spills: registry.series("scheduler.spills_per_tick", cap),
+        });
+        let zones_obs = zones.map(|zc| {
+            let gauges = (0..zc.layout().zones())
+                .map(|z| ZoneGauges {
+                    temp: registry.gauge(&format!("zone.temp_c{{zone=\"{z}\"}}")),
+                    duty: registry.gauge(&format!("zone.crac_duty{{zone=\"{z}\"}}")),
+                    headroom: registry.gauge(&format!("zone.headroom_c{{zone=\"{z}\"}}")),
+                    melt: registry.gauge(&format!("zone.melt_fraction{{zone=\"{z}\"}}")),
+                    hot_occupancy: registry.gauge(&format!("zone.hot_occupancy{{zone=\"{z}\"}}")),
+                    temp_series: series_capacity.map(|cap| {
+                        registry.series(&format!("zone.temp_c.recent{{zone=\"{z}\"}}"), cap)
+                    }),
+                })
+                .collect();
+            ZoneObservability {
+                setpoint_c: zc.setpoint_c(),
+                gauges,
+                max_temp_series: series_capacity.map(|cap| registry.series("zone.max_temp_c", cap)),
+            }
+        });
+        let dashboard = config.dashboard_every_ticks.map(|every| DashboardDriver {
+            meter: ProgressMeter::new(total_ticks, every),
+            dashboard: Dashboard::auto(),
+            ticks_per_s: Vec::new(),
+        });
         let progress = config
             .progress_every_ticks
             .map(|every| ProgressMeter::new(total_ticks, every));
@@ -164,6 +385,9 @@ impl EngineTelemetry {
             max_air_c,
             melted_fraction,
             tick_arrivals,
+            series,
+            zones_obs,
+            dashboard,
         }
     }
 
@@ -262,6 +486,8 @@ impl EngineTelemetry {
 
     /// The engine's per-tick record step, called after physics with the
     /// index freshly updated. `tick` is 1-based (the tick just ran).
+    /// `cooling_w` is the tick's cooling load; `zones` is the freshly
+    /// stepped zone model on zoned runs.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_tick(
         &mut self,
@@ -273,6 +499,8 @@ impl EngineTelemetry {
         placed_delta: u64,
         dropped_delta: u64,
         scheduler: Option<SchedulerCounters>,
+        cooling_w: f64,
+        zones: Option<&ZoneCooling>,
     ) {
         self.ticks.inc();
         self.placements.add(placed_delta);
@@ -370,6 +598,49 @@ impl EngineTelemetry {
             }
         }
 
+        // Per-zone instruments: all reads, over state the zone step
+        // already computed; zone temperatures never feed back into the
+        // simulation, so updating gauges cannot perturb it.
+        if let (Some(obs), Some(zones)) = (self.zones_obs.as_ref(), zones) {
+            let layout = zones.layout();
+            let temps = zones.temperatures();
+            let duties = zones.duties();
+            let hot = hot_size.unwrap_or(0);
+            let mut max_temp = f64::NEG_INFINITY;
+            for (z, g) in obs.gauges.iter().enumerate() {
+                let range = layout.zone_range(z);
+                let servers = range.len() as f64;
+                let temp = temps[z];
+                g.temp.set(temp);
+                g.duty.set(duties[z]);
+                g.headroom.set(obs.setpoint_c - temp);
+                let melt_sum: f64 = melt[range.clone()].iter().sum();
+                g.melt.set(melt_sum / servers);
+                // VMT's hot group is the id-ordered prefix [0, hot), so
+                // its overlap with a contiguous zone is a range clip.
+                let overlap = hot.min(range.end).saturating_sub(range.start) as f64;
+                g.hot_occupancy.set(overlap / servers);
+                if let Some(s) = &g.temp_series {
+                    s.push(tick, temp);
+                }
+                max_temp = max_temp.max(temp);
+            }
+            if let Some(s) = &obs.max_temp_series {
+                if max_temp.is_finite() {
+                    s.push(tick, max_temp);
+                }
+            }
+        }
+
+        // Cluster-wide series: one push per quantity per tick.
+        if let Some(cs) = &self.series {
+            cs.utilization.push(tick, utilization);
+            cs.mean_air_c.push(tick, mean_air_c);
+            cs.melted_fraction.push(tick, melted_fraction);
+            cs.cooling_w.push(tick, cooling_w);
+            cs.spills.push(tick, spills_delta as f64);
+        }
+
         // Watchdogs see only state this method already has in hand.
         if let Some(watchdogs) = self.watchdogs.as_mut() {
             let state = TickState {
@@ -421,10 +692,38 @@ impl EngineTelemetry {
             }
         }
 
+        // Publish a freshly rendered exposition for `/metrics` scrapes:
+        // at snapshot cadence, plus tick 1 so early scrapes see real
+        // families rather than the empty bootstrap document.
+        if let Some(publisher) = &self.config.publisher {
+            if tick == 1 || tick.is_multiple_of(self.config.snapshot_every_ticks) {
+                let body = render_openmetrics(&self.config.registry.snapshot(), METRIC_HELP);
+                publisher.publish(tick, body);
+            }
+        }
+
         if let Some(meter) = &self.progress {
             if let Some(frame) = meter.observe(tick, index.used_cores_total(), melted_fraction) {
                 eprint!("\r{}", frame.render());
                 self.progress_drawn = true;
+            }
+        }
+
+        if let Some(drv) = self.dashboard.as_mut() {
+            if let Some(frame) = drv
+                .meter
+                .observe(tick, index.used_cores_total(), melted_fraction)
+            {
+                drv.ticks_per_s.push(frame.ticks_per_s);
+                if drv.ticks_per_s.len() > SPARK_WIDTH {
+                    drv.ticks_per_s.remove(0);
+                }
+                let rows = dashboard_rows(
+                    &drv.ticks_per_s,
+                    self.series.as_ref(),
+                    self.zones_obs.as_ref(),
+                );
+                drv.dashboard.draw(&frame, &rows);
             }
         }
     }
@@ -432,7 +731,7 @@ impl EngineTelemetry {
     /// Closes out the run: summary event to the sink (flushed) and into
     /// the caller's [`SummaryHandle`](vmt_telemetry::SummaryHandle).
     pub(crate) fn finish(
-        self,
+        mut self,
         policy: &str,
         scheduler: Option<SchedulerCounters>,
         placements: u64,
@@ -442,6 +741,9 @@ impl EngineTelemetry {
     ) {
         if self.progress_drawn {
             eprintln!();
+        }
+        if let Some(drv) = self.dashboard.as_mut() {
+            drv.dashboard.finish();
         }
         let wall_s = self.started.elapsed().as_secs_f64();
         let ticks_run = self.profiler.ticks();
@@ -497,6 +799,11 @@ impl EngineTelemetry {
         if let Some(sink) = &self.config.sink {
             sink.emit(&Event::Summary(summary.clone()));
             sink.flush();
+        }
+        // Final publication so a scrape after the run ends (or between
+        // snapshot cadences) sees the closing state.
+        if let Some(publisher) = &self.config.publisher {
+            publisher.publish(ticks_run, render_openmetrics(&summary.metrics, METRIC_HELP));
         }
         self.config.summary.set(summary);
     }

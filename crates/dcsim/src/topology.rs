@@ -282,7 +282,7 @@ impl ZoneLayout {
 /// bit-identical to a zoneless run, and the per-zone sums are computed
 /// in a serial server-order pass, making them independent of the tick's
 /// thread count.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ZoneCooling {
     layout: ZoneLayout,
     setpoint_c: f64,
@@ -293,6 +293,24 @@ pub struct ZoneCooling {
     capacitance_j_per_k: Vec<f64>,
     /// Per-zone supply-air temperature (°C) — the integrator state.
     temperature_c: Vec<f64>,
+    /// Per-zone CRAC duty over the last step: heat removed divided by
+    /// plant capacity, 0..=1. Observability only — derived afresh each
+    /// step from the integrator state, so it is excluded from equality
+    /// and never snapshotted.
+    duty: Vec<f64>,
+}
+
+/// Equality covers persistent state only: `duty` is a per-step derived
+/// observation (not restored by [`ZoneCooling::apply_temperatures`]),
+/// so two states that restore identically always compare equal.
+impl PartialEq for ZoneCooling {
+    fn eq(&self, other: &Self) -> bool {
+        self.layout == other.layout
+            && self.setpoint_c == other.setpoint_c
+            && self.capacity_w == other.capacity_w
+            && self.capacitance_j_per_k == other.capacitance_j_per_k
+            && self.temperature_c == other.temperature_c
+    }
 }
 
 impl ZoneCooling {
@@ -317,6 +335,7 @@ impl ZoneCooling {
             capacity_w,
             capacitance_j_per_k: capacitance,
             temperature_c: vec![spec.crac_setpoint_c; zones],
+            duty: vec![0.0; zones],
         }
     }
 
@@ -325,9 +344,21 @@ impl ZoneCooling {
         &self.layout
     }
 
+    /// The CRAC supply-air setpoint (°C).
+    pub fn setpoint_c(&self) -> f64 {
+        self.setpoint_c
+    }
+
     /// Per-zone supply-air temperatures (°C), indexed by zone.
     pub fn temperatures(&self) -> &[f64] {
         &self.temperature_c
+    }
+
+    /// Per-zone CRAC duty over the last [`ZoneCooling::step`]: heat
+    /// removed divided by plant capacity, 0..=1 (all zeros before the
+    /// first step).
+    pub fn duties(&self) -> &[f64] {
+        &self.duty
     }
 
     /// Hottest zone's excursion above the setpoint (°C ≥ 0).
@@ -361,6 +392,7 @@ impl ZoneCooling {
             if self.temperature_c[z] < self.setpoint_c {
                 self.temperature_c[z] = self.setpoint_c;
             }
+            self.duty[z] = removal / self.capacity_w[z];
         }
     }
 
@@ -528,6 +560,43 @@ mod tests {
             assert!(zones.temperatures()[0] > spec.crac_setpoint_c);
             assert_eq!(zones.temperatures()[1], spec.crac_setpoint_c);
             assert!(zones.peak_excursion() > 0.0);
+        }
+
+        /// Duty is removal/capacity — pinned at 1 while a warm zone
+        /// runs flat out, proportional below setpoint — and, being a
+        /// per-step observation, never participates in equality.
+        #[test]
+        fn duty_tracks_plant_load_but_not_equality() {
+            let mut spec = ZoneSpec::paper_default();
+            spec.racks_per_row = 1;
+            spec.rows_per_zone = 1; // two 20-server zones over 40 servers
+            let mut zones = ZoneCooling::new(40, &spec);
+            assert_eq!(zones.duties(), &[0.0, 0.0]);
+            // Zone 0 offered exactly half its 5 kW plant; zone 1 idle
+            // servers offer 100 W each = 2 kW (40% duty). At setpoint,
+            // removal == offered, so duty is offered/capacity.
+            let mut lane = vec![0.0; 40];
+            for slot in lane.iter_mut().take(20) {
+                *slot = 25.0; // 125 W/server over 250 W/server plant
+            }
+            zones.step(&lane, 100.0, 60.0);
+            assert!((zones.duties()[0] - 0.5).abs() < 1e-12);
+            assert!((zones.duties()[1] - 0.4).abs() < 1e-12);
+            // Overload zone 0: once above setpoint the plant runs flat
+            // out, duty == 1.
+            for slot in lane.iter_mut().take(20) {
+                *slot = 400.0;
+            }
+            for _ in 0..30 {
+                zones.step(&lane, 100.0, 60.0);
+            }
+            assert_eq!(zones.duties()[0], 1.0);
+            // Equality ignores duty: a fresh instance with the same
+            // temperatures applied compares equal despite zeroed duty.
+            let mut restored = ZoneCooling::new(40, &spec);
+            assert!(restored.apply_temperatures(zones.temperatures()));
+            assert_ne!(restored.duties(), zones.duties());
+            assert_eq!(restored, zones);
         }
 
         #[test]

@@ -7,6 +7,8 @@
 //! vmt-experiments run [--policy NAME] [--gv F] [--servers N] [--hours H]
 //!                     [--seed S] [--threads T] [--zones] [--telemetry FILE]
 //!                     [--snapshot-every N] [--progress [N]]
+//!                     [--series [CAP]] [--dashboard [N]]
+//!                     [--metrics-addr HOST:PORT]
 //!                     [--watchdogs] [--red-line C]
 //!                     [--flight-dump FILE] [--flight-capacity N]
 //! vmt-experiments record TRACE [--policy NAME] [--gv F] [--servers N]
@@ -19,6 +21,7 @@
 //! vmt-experiments check-telemetry FILE
 //! vmt-experiments check-flight FILE
 //! vmt-experiments check-bench FILE
+//! vmt-experiments check-metrics FILE [--require FAMILIES]
 //! ```
 //!
 //! IDs: `table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -83,6 +86,7 @@ fn print_help() {
     println!("  vmt-experiments check-telemetry FILE");
     println!("  vmt-experiments check-flight FILE");
     println!("  vmt-experiments check-bench FILE");
+    println!("  vmt-experiments check-metrics FILE [--require FAMILIES]");
     println!("  vmt-experiments --help");
     println!();
     println!("experiment ids:");
@@ -102,6 +106,14 @@ fn print_help() {
     println!("  --telemetry FILE     write a JSONL event stream to FILE");
     println!("  --snapshot-every N   snapshot cadence in ticks (default 60 = hourly)");
     println!("  --progress [N]       live progress line every N ticks (default 60)");
+    println!("  --series [CAP]       record per-tick time series (cooling load, mean");
+    println!("                       air, melted fraction, spills, per-zone temps) in");
+    println!("                       ring buffers of CAP samples (default 2880 = 48 h)");
+    println!("  --dashboard [N]      live terminal dashboard redrawn every N ticks");
+    println!("                       (default 60); implies --series, degrades to plain");
+    println!("                       progress lines on dumb terminals and pipes");
+    println!("  --metrics-addr A     serve GET /metrics (OpenMetrics text) on A, e.g.");
+    println!("                       127.0.0.1:9184; refreshed at the snapshot cadence");
     println!("  --watchdogs          arm the anomaly watchdogs (thermal red-line,");
     println!("                       wax stall, QoS spill storm, hot-group thrash)");
     println!("  --red-line C         thermal-violation red-line in deg C (default 45)");
@@ -135,6 +147,10 @@ fn print_help() {
     println!("  no scaling inversion (threads=N >= 0.9x threads=1 ticks/s), the");
     println!("  10k/100k vmt-wa groups present at threads 1/2/4/8, and the 100k");
     println!("  48h rows under the wall-clock regression ceiling.");
+    println!("check-metrics validates an OpenMetrics exposition (a `/metrics` scrape");
+    println!("  saved to FILE, or `-` for stdin) with the strict in-repo parser;");
+    println!("  --require F1,F2 additionally demands those metric families. Exits 1");
+    println!("  when the document is malformed or a required family is missing.");
 }
 
 /// Exits with a usage error (status 2).
@@ -145,9 +161,10 @@ fn die(message: &str) -> ! {
 }
 
 /// Strict `--flag value` parser: every argument must be a known flag,
-/// and every flag except `--progress` and `--watchdogs` requires a
-/// value. Returns the flag→value map; exits with a usage error
-/// otherwise.
+/// and every flag requires a value except the switches (`--watchdogs`,
+/// `--zones`) and the default-carrying cadence flags (`--progress`,
+/// `--dashboard`, `--series`). Returns the flag→value map; exits with a
+/// usage error otherwise.
 fn parse_flags(args: &[String], known: &[&str]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
@@ -169,9 +186,17 @@ fn parse_flags(args: &[String], known: &[&str]) -> HashMap<String, String> {
                 flags.insert(arg.clone(), v.clone());
                 i += 2;
             }
-            // `--progress` alone means "default cadence".
-            None if arg == "--progress" => {
+            // `--progress`/`--dashboard` alone mean "default cadence";
+            // `--series` alone means "default ring capacity".
+            None if arg == "--progress" || arg == "--dashboard" => {
                 flags.insert(arg.clone(), "60".to_owned());
+                i += 1;
+            }
+            None if arg == "--series" => {
+                flags.insert(
+                    arg.clone(),
+                    vmt_telemetry::TelemetryConfig::DEFAULT_SERIES_CAPACITY.to_string(),
+                );
                 i += 1;
             }
             None => die(&format!("flag `{arg}` requires a value")),
@@ -204,6 +229,7 @@ fn main() {
         "check-telemetry" => cmd_check_telemetry(&args[1..]),
         "check-flight" => cmd_check_flight(&args[1..]),
         "check-bench" => cmd_check_bench(&args[1..]),
+        "check-metrics" => cmd_check_metrics(&args[1..]),
         id => cmd_experiment(id, &args[1..]),
     }
 }
@@ -251,6 +277,9 @@ fn cmd_run(rest: &[String]) {
             "--telemetry",
             "--snapshot-every",
             "--progress",
+            "--series",
+            "--dashboard",
+            "--metrics-addr",
             "--watchdogs",
             "--red-line",
             "--flight-dump",
@@ -294,6 +323,30 @@ fn cmd_run(rest: &[String]) {
     }
     if let Some(every) = numeric::<u64>(&flags, "--progress") {
         telemetry = telemetry.with_progress_every(every);
+    }
+    if let Some(capacity) = numeric::<usize>(&flags, "--series") {
+        if capacity == 0 {
+            die("`--series` capacity must be positive");
+        }
+        telemetry = telemetry.with_series(capacity);
+    }
+    if let Some(every) = numeric::<u64>(&flags, "--dashboard") {
+        telemetry = telemetry.with_dashboard_every(every);
+    }
+    // The scrape endpoint: bind before the run starts so a scraper can
+    // connect from tick 0; the publisher side is wait-free for the
+    // tick loop (one Arc swap at the snapshot cadence).
+    let mut metrics_server = None;
+    if let Some(addr) = flags.get("--metrics-addr") {
+        let publisher = vmt_telemetry::MetricsPublisher::new();
+        match vmt_telemetry::MetricsServer::bind(addr, publisher.clone()) {
+            Ok(server) => {
+                eprintln!("serving metrics on http://{}/metrics", server.addr());
+                metrics_server = Some(server);
+            }
+            Err(err) => die(&format!("cannot bind `--metrics-addr {addr}`: {err}")),
+        }
+        telemetry = telemetry.with_publisher(publisher);
     }
     if flags.contains_key("--watchdogs") || flags.contains_key("--red-line") {
         let mut specs = vmt_telemetry::WatchdogSpec::default_set();
@@ -341,6 +394,9 @@ fn cmd_run(rest: &[String]) {
     if let Some(path) = flags.get("--flight-dump") {
         println!("flight dump: {path}");
     }
+    // Shut the scrape thread down only after the final exposition was
+    // published, so a last scrape can observe the finished run.
+    drop(metrics_server);
 }
 
 /// The leading positional argument of `record TRACE` / `replay TRACE` /
@@ -747,6 +803,58 @@ fn cmd_check_flight(rest: &[String]) {
     }
 }
 
+/// Validates an OpenMetrics exposition
+/// (`vmt-experiments check-metrics FILE [--require FAMILIES]`).
+///
+/// FILE is a saved `/metrics` scrape, or `-` to read stdin so a live
+/// scrape can be piped straight through: the strict in-repo parser
+/// rejects malformed escapes, bad `# TYPE`/`# HELP` lines, kind-illegal
+/// sample suffixes, and content after `# EOF`. `--require` takes a
+/// comma-separated family list (e.g. `zone_temp_c,zone_crac_duty`) that
+/// must all be present.
+fn cmd_check_metrics(rest: &[String]) {
+    const USAGE: &str = "usage: vmt-experiments check-metrics FILE [--require FAMILIES]";
+    let (path, rest) = match rest.split_first() {
+        // Unlike the other check-* inputs, `-` (stdin) is a valid FILE.
+        Some((path, tail)) if path == "-" || !path.starts_with("--") => (path, tail),
+        _ => die(USAGE),
+    };
+    let flags = parse_flags(rest, &["--require"]);
+    let text = if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut buf) {
+            die(&format!("cannot read stdin: {err}"));
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => die(&format!("cannot read `{path}`: {err}")),
+        }
+    };
+    let exposition = match vmt_telemetry::parse_openmetrics(&text) {
+        Ok(exposition) => exposition,
+        Err(err) => {
+            eprintln!("invalid metrics exposition: {err}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(required) = flags.get("--require") {
+        for family in required.split(',').map(str::trim).filter(|f| !f.is_empty()) {
+            if exposition.family(family).is_none() {
+                eprintln!("metrics exposition is valid but missing required family `{family}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let samples: usize = exposition.families.iter().map(|f| f.samples.len()).sum();
+    println!(
+        "ok: {} metric families, {samples} samples",
+        exposition.families.len()
+    );
+}
+
 /// Mirror of the benchmark report schema written by
 /// `cargo bench -p vmt-bench --bench engine_baseline` — only the fields
 /// the checks consume; a missing field fails deserialization, which is
@@ -796,7 +904,18 @@ struct BenchPhase {
     servers: usize,
     ticks_per_sec_instrumented: f64,
     coverage: f64,
+    /// Set on the zoned observability row: throughput with the full
+    /// observability layer (series + zone gauges + publisher) enabled.
+    ticks_per_sec_observed: Option<f64>,
+    /// Relative per-tick cost the observability layer adds over the
+    /// spans-only run; gated at [`MAX_OBSERVABILITY_OVERHEAD`].
+    observability_overhead: Option<f64>,
 }
+
+/// Ceiling on the relative per-tick cost of the observability layer at
+/// the zoned 10k scale: series rings, per-zone gauges, and the scrape
+/// publisher together may add at most 5% over the spans-only run.
+const MAX_OBSERVABILITY_OVERHEAD: f64 = 0.05;
 
 /// Validates an engine benchmark artifact
 /// (`vmt-experiments check-bench FILE`, normally `BENCH_engine.json`).
@@ -808,8 +927,10 @@ struct BenchPhase {
 /// inversion like the pre-pool per-tick `thread::scope` spawn storm
 /// fails the check instead of landing silently in the artifact. It also
 /// requires the headline 10k and 100k vmt-wa groups to be present at
-/// threads {1,2,4,8} and holds the 100k 48 h rows under a wall-clock
-/// regression ceiling.
+/// threads {1,2,4,8}, holds the 100k 48 h rows under a wall-clock
+/// regression ceiling, and gates the zoned 10k observability row:
+/// the series + gauges + publisher layer may add at most 5% per-tick
+/// cost over the spans-only instrumented run.
 fn cmd_check_bench(rest: &[String]) {
     let (path, rest) = positional_path(rest, "usage: vmt-experiments check-bench FILE");
     if !rest.is_empty() {
@@ -860,6 +981,40 @@ fn cmd_check_bench(rest: &[String]) {
                 p.scheduler, p.servers
             ));
         }
+        if let Some(observed) = p.ticks_per_sec_observed {
+            if !positive(observed) {
+                fail_bench(&format!(
+                    "observability row {}@{} has non-positive observed throughput",
+                    p.scheduler, p.servers
+                ));
+            }
+            let Some(overhead) = p.observability_overhead else {
+                fail_bench(&format!(
+                    "observability row {}@{} records observed throughput but no overhead",
+                    p.scheduler, p.servers
+                ));
+            };
+            // NaN never satisfies `contains`, so it fails the gate too.
+            if !(-1.0..=MAX_OBSERVABILITY_OVERHEAD).contains(&overhead) {
+                fail_bench(&format!(
+                    "observability row {}@{}: series + zone gauges + publisher add \
+                     {:.1}% per-tick cost (ceiling {:.0}%)",
+                    p.scheduler,
+                    p.servers,
+                    overhead * 100.0,
+                    MAX_OBSERVABILITY_OVERHEAD * 100.0
+                ));
+            }
+        }
+    }
+    // The observability-overhead row must actually be present — a bench
+    // run that silently skipped it would otherwise still validate.
+    if !report
+        .phases
+        .iter()
+        .any(|p| p.servers == 10_000 && p.observability_overhead.is_some())
+    {
+        fail_bench("`phases` has no 10k observability-overhead row");
     }
 
     // The scaling table: anchor each (scheduler, servers) group on its
@@ -953,7 +1108,7 @@ fn cmd_check_bench(rest: &[String]) {
             ));
         };
         let factor = per_server_tick_cost(row) / per_server_tick_cost(anchor);
-        if !(factor > 0.0) || factor > MAX_100K_COST_FACTOR {
+        if !positive(factor) || factor > MAX_100K_COST_FACTOR {
             fail_bench(&format!(
                 "vmt-wa@100000 x{}: per-server tick cost is {factor:.2}x the 10k row's \
                  (ceiling {MAX_100K_COST_FACTOR:.1}x) — the tick no longer scales flat",

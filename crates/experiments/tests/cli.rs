@@ -160,6 +160,101 @@ fn check_flight_usage_and_invalid_input() {
     let _ = std::fs::remove_file(&path);
 }
 
+#[test]
+fn check_metrics_usage_and_invalid_input() {
+    assert_usage_error(&["check-metrics"], "usage: vmt-experiments check-metrics");
+    assert_usage_error(&["check-metrics", "/nonexistent/m.prom"], "cannot read");
+    assert_usage_error(
+        &["check-metrics", "/tmp/x.prom", "--require"],
+        "flag `--require` requires a value",
+    );
+    // A sample line with no preceding `# TYPE` declaration is malformed.
+    let path = scratch("bad.prom");
+    std::fs::write(&path, "junk 1\n# EOF\n").unwrap();
+    let out = bin().arg("check-metrics").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid metrics exposition"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn check_metrics_validates_and_requires_families() {
+    let path = scratch("good.prom");
+    std::fs::write(
+        &path,
+        "# TYPE zone_temp_c gauge\nzone_temp_c{zone=\"0\"} 22.5\n# EOF\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["check-metrics"])
+        .arg(&path)
+        .args(["--require", "zone_temp_c"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("1 metric families"));
+
+    // A valid document missing a required family still exits 1.
+    let out = bin()
+        .args(["check-metrics"])
+        .arg(&path)
+        .args(["--require", "zone_temp_c,zone_crac_duty"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("missing required family `zone_crac_duty`"),
+        "got: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_observability_usage_errors() {
+    assert_usage_error(&["run", "--metrics-addr"], "requires a value");
+    assert_usage_error(
+        &["run", "--metrics-addr", "not-an-addr"],
+        "cannot bind `--metrics-addr not-an-addr`",
+    );
+    assert_usage_error(&["run", "--series", "0"], "`--series` capacity");
+    assert_usage_error(&["run", "--series", "ten"], "unparseable value `ten`");
+    assert_usage_error(&["run", "--dashboard", "ten"], "unparseable value `ten`");
+}
+
+/// The full observability surface on one small zoned run: series,
+/// dashboard (degrading to plain lines on a pipe), and a bound metrics
+/// endpoint all come up and the run exits clean.
+#[test]
+fn run_with_observability_flags_exits_clean() {
+    let out = bin()
+        .args([
+            "run",
+            "--servers",
+            "40",
+            "--hours",
+            "1",
+            "--zones",
+            "--series",
+            "--dashboard",
+            "30",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("serving metrics on http://127.0.0.1:"),
+        "got: {err}"
+    );
+    // stderr is a pipe here, so the dashboard degrades to the plain
+    // one-line progress form.
+    assert!(err.contains("ticks/s"), "got: {err}");
+    assert!(!err.contains('\x1b'), "no ANSI on a pipe: {err}");
+}
+
 /// The happy path end to end: record a small run, replay it in full and
 /// as a prefix, and validate the trace survives the pipeline.
 #[test]

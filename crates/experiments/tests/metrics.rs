@@ -1,0 +1,74 @@
+//! In-process scrape-endpoint test: a small zoned run publishes its
+//! exposition, a real TCP client scrapes `GET /metrics`, and the strict
+//! OpenMetrics parser validates what came back — the same loop the CI
+//! metrics smoke leg drives through the binary.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use vmt_core::PolicyKind;
+use vmt_experiments::runner::Run;
+use vmt_telemetry::{parse_openmetrics, MetricsPublisher, MetricsServer, TelemetryConfig};
+
+#[test]
+fn scrape_endpoint_serves_per_zone_families() {
+    let mut run = Run::new(40, PolicyKind::parse("vmt-wa", 22.0).expect("policy"));
+    run.trace.horizon = vmt_units::Hours::new(2.0);
+    let mut spec = vmt_dcsim::ZoneSpec::paper_default();
+    spec.racks_per_row = 1;
+    spec.rows_per_zone = 1; // two 20-server zones over 40 servers
+    run.cluster.topology = Some(spec);
+
+    let publisher = MetricsPublisher::new();
+    let server = MetricsServer::bind("127.0.0.1:0", publisher.clone()).expect("bind");
+    let telemetry = TelemetryConfig::new()
+        .with_series(64)
+        .with_publisher(publisher);
+    run.execute_with_telemetry(telemetry);
+
+    // Scrape after the horizon: the closing publication is still served.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("head and body");
+    assert!(head.contains("200 OK"), "head: {head}");
+    assert!(head.contains("openmetrics-text"), "head: {head}");
+
+    let exposition = parse_openmetrics(body).expect("scrape output parses strictly");
+    for family in [
+        "engine_ticks",
+        "cluster_utilization",
+        "cluster_cooling_w",
+        "zone_temp_c",
+        "zone_crac_duty",
+        "zone_headroom_c",
+        "zone_melt_fraction",
+        "zone_hot_occupancy",
+    ] {
+        assert!(
+            exposition.family(family).is_some(),
+            "missing family `{family}`"
+        );
+    }
+
+    // One gauge sample per zone, labelled by zone index.
+    let temps = exposition.family("zone_temp_c").expect("zone temps");
+    assert_eq!(temps.samples.len(), 2);
+    for zone in ["0", "1"] {
+        assert!(
+            temps
+                .samples
+                .iter()
+                .any(|s| s.labels.iter().any(|(k, v)| k == "zone" && v == zone)),
+            "no sample for zone {zone}"
+        );
+    }
+    // CRAC duty is a fraction of plant capacity.
+    for s in &exposition.family("zone_crac_duty").expect("duty").samples {
+        assert!((0.0..=1.0).contains(&s.value), "duty out of range: {s:?}");
+    }
+    // The ticks counter pins the exposition to the full run: 2 h of
+    // 60 s ticks.
+    let ticks = exposition.family("engine_ticks").expect("ticks");
+    assert_eq!(ticks.samples[0].value, 120.0);
+}

@@ -2,6 +2,7 @@
 
 use crate::events::SummaryEvent;
 use crate::registry::MetricsRegistry;
+use crate::server::MetricsPublisher;
 use crate::sink::EventSink;
 use crate::watchdog::WatchdogSpec;
 use std::path::PathBuf;
@@ -88,6 +89,20 @@ pub struct TelemetryConfig {
     pub flight: Option<FlightConfig>,
     /// Watchdog detectors to arm; empty (the default) evaluates none.
     pub watchdogs: Vec<WatchdogSpec>,
+    /// When `Some(capacity)`, the engine registers per-tick time series
+    /// (cluster thermals, cooling load, spills, per-zone temperatures)
+    /// retaining the most recent `capacity` samples each. `None` (the
+    /// default) registers no series and pushes nothing — the zero-cost
+    /// disabled path.
+    pub series_capacity: Option<usize>,
+    /// When `Some(n)`, render the live terminal dashboard every `n`
+    /// ticks (implies series — enabling the dashboard turns series on
+    /// with a default window if none was configured).
+    pub dashboard_every_ticks: Option<u64>,
+    /// When `Some`, the engine renders the OpenMetrics exposition at the
+    /// snapshot cadence and swaps it into this publisher for the
+    /// `/metrics` scrape thread to serve.
+    pub publisher: Option<MetricsPublisher>,
     /// Where the final [`SummaryEvent`] is deposited.
     pub summary: SummaryHandle,
 }
@@ -101,6 +116,9 @@ impl Default for TelemetryConfig {
             progress_every_ticks: None,
             flight: None,
             watchdogs: Vec::new(),
+            series_capacity: None,
+            dashboard_every_ticks: None,
+            publisher: None,
             summary: SummaryHandle::new(),
         }
     }
@@ -141,6 +159,37 @@ impl TelemetryConfig {
     /// trigger context dumps.
     pub fn with_watchdogs(mut self, specs: Vec<WatchdogSpec>) -> Self {
         self.watchdogs = specs;
+        self
+    }
+
+    /// Default series window: 48 simulated hours at the 60 s tick.
+    pub const DEFAULT_SERIES_CAPACITY: usize = 2880;
+
+    /// Enables per-tick time series with room for `capacity` samples
+    /// (clamped to at least 2 by the ring).
+    pub fn with_series(mut self, capacity: usize) -> Self {
+        self.series_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables the live terminal dashboard every `ticks` ticks (clamped
+    /// to at least 1). Turns series on with
+    /// [`DEFAULT_SERIES_CAPACITY`](Self::DEFAULT_SERIES_CAPACITY) if
+    /// none was configured — sparklines need history.
+    pub fn with_dashboard_every(mut self, ticks: u64) -> Self {
+        self.dashboard_every_ticks = Some(ticks.max(1));
+        if self.series_capacity.is_none() {
+            self.series_capacity = Some(Self::DEFAULT_SERIES_CAPACITY);
+        }
+        self
+    }
+
+    /// Attaches a metrics publisher: the engine renders the OpenMetrics
+    /// exposition at the snapshot cadence and swaps it in for the
+    /// scrape server. Keep a clone (or the bound
+    /// [`MetricsServer`](crate::MetricsServer)) to read it.
+    pub fn with_publisher(mut self, publisher: MetricsPublisher) -> Self {
+        self.publisher = Some(publisher);
         self
     }
 }
@@ -186,5 +235,24 @@ mod tests {
         let config = config.with_snapshot_every(0).with_progress_every(0);
         assert_eq!(config.snapshot_every_ticks, 1);
         assert_eq!(config.progress_every_ticks, Some(1));
+    }
+
+    #[test]
+    fn observability_defaults_off_and_dashboard_implies_series() {
+        let config = TelemetryConfig::new();
+        assert!(config.series_capacity.is_none());
+        assert!(config.dashboard_every_ticks.is_none());
+        assert!(config.publisher.is_none());
+        let config = config.with_dashboard_every(0);
+        assert_eq!(config.dashboard_every_ticks, Some(1));
+        assert_eq!(
+            config.series_capacity,
+            Some(TelemetryConfig::DEFAULT_SERIES_CAPACITY)
+        );
+        // An explicit series window is not overridden by the dashboard.
+        let config = TelemetryConfig::new()
+            .with_series(100)
+            .with_dashboard_every(5);
+        assert_eq!(config.series_capacity, Some(100));
     }
 }

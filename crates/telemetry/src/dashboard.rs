@@ -1,0 +1,270 @@
+//! Live ANSI terminal dashboard: sparklines over registered series.
+//!
+//! The dashboard extends [`ProgressMeter`](crate::ProgressMeter): at the
+//! progress cadence the engine hands it the current
+//! [`ProgressFrame`](crate::ProgressFrame) plus one [`DashboardRow`] per
+//! tracked quantity (ticks/s, peak cooling load, per-zone temperatures,
+//! wax fraction, QoS spills), each carrying a downsampled series window.
+//! Rendering is a pure function ([`render_dashboard`]) so tests never
+//! need a terminal; the stateful [`Dashboard`] only adds cursor
+//! bookkeeping (redraw-in-place via ANSI cursor-up) and graceful
+//! degradation — when stderr is not a terminal or `TERM=dumb`, it falls
+//! back to plain one-line progress output, exactly what `--progress`
+//! prints today.
+//!
+//! Everything here is observational: the dashboard reads series windows
+//! and frame values the tick already computed, takes no clocks of its
+//! own, and can never influence simulation state.
+
+use crate::progress::ProgressFrame;
+use std::io::{IsTerminal, Write};
+
+/// Unicode block characters from lowest to highest.
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a fixed-width sparkline, normalizing finite
+/// samples to the block ramp `▁▂▃▄▅▆▇█`. Non-finite samples render as
+/// spaces; a constant series sits mid-ramp; fewer samples than `width`
+/// left-pads with spaces so the newest sample is always rightmost.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let tail: &[f64] = if values.len() > width {
+        &values[values.len() - width..]
+    } else {
+        values
+    };
+    let finite: Vec<f64> = tail.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = max - min;
+    let mut out = String::with_capacity(width * 3);
+    for _ in tail.len()..width {
+        out.push(' ');
+    }
+    for &v in tail {
+        if !v.is_finite() {
+            out.push(' ');
+        } else if span <= 0.0 || !span.is_finite() {
+            out.push(SPARK_LEVELS[3]);
+        } else {
+            let level = (((v - min) / span) * 7.0).round().clamp(0.0, 7.0) as usize;
+            out.push(SPARK_LEVELS[level]);
+        }
+    }
+    out
+}
+
+/// One dashboard line: a labelled quantity with its series window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashboardRow {
+    /// Short label, e.g. `cooling` or `zone 03`.
+    pub label: String,
+    /// Current value, rendered after the sparkline.
+    pub current: f64,
+    /// Unit suffix, e.g. `°C`, `kW`, `%`.
+    pub unit: String,
+    /// Series window (oldest first), already downsampled to roughly the
+    /// sparkline width.
+    pub values: Vec<f64>,
+}
+
+impl DashboardRow {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        current: f64,
+        unit: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Self {
+        DashboardRow {
+            label: label.into(),
+            current,
+            unit: unit.into(),
+            values,
+        }
+    }
+}
+
+/// Sparkline column width used by [`render_dashboard`].
+pub const SPARK_WIDTH: usize = 40;
+
+/// Renders a full dashboard frame as plain text (no ANSI escapes): a
+/// progress header followed by one sparkline row per quantity. Pure —
+/// equal inputs yield equal output.
+pub fn render_dashboard(frame: &ProgressFrame, rows: &[DashboardRow]) -> String {
+    let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(8);
+    let mut out = String::new();
+    out.push_str(&frame.render());
+    out.push('\n');
+    for row in rows {
+        let value = if row.current.is_finite() {
+            format!("{:.2}", row.current)
+        } else {
+            "?".to_owned()
+        };
+        out.push_str(&format!(
+            "{:<label_width$} {} {value}{}\n",
+            row.label,
+            sparkline(&row.values, SPARK_WIDTH),
+            row.unit,
+        ));
+    }
+    out
+}
+
+/// How the dashboard writes to the terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DashboardMode {
+    /// Full redraw-in-place ANSI rendering.
+    Ansi,
+    /// Dumb terminal / non-terminal: plain progress lines only.
+    Plain,
+}
+
+/// Stateful dashboard driver: renders frames and redraws them in place
+/// on a capable terminal, or degrades to plain progress lines.
+#[derive(Debug)]
+pub struct Dashboard {
+    mode: DashboardMode,
+    lines_drawn: usize,
+}
+
+impl Dashboard {
+    /// Auto-detects the terminal: ANSI when stderr is a terminal and
+    /// `TERM` is set to something other than `dumb` (or unset with a
+    /// real terminal attached), plain otherwise.
+    pub fn auto() -> Self {
+        let dumb = std::env::var("TERM").map(|t| t == "dumb").unwrap_or(false);
+        let mode = if std::io::stderr().is_terminal() && !dumb {
+            DashboardMode::Ansi
+        } else {
+            DashboardMode::Plain
+        };
+        Dashboard::with_mode(mode)
+    }
+
+    /// Forces a mode (tests, `--dashboard` on a pipe).
+    pub fn with_mode(mode: DashboardMode) -> Self {
+        Dashboard {
+            mode,
+            lines_drawn: 0,
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> DashboardMode {
+        self.mode
+    }
+
+    /// Draws one frame to stderr. In ANSI mode the previous frame is
+    /// erased (cursor-up + clear-to-end) so the dashboard redraws in
+    /// place; in plain mode only the one-line progress header is
+    /// printed, matching `--progress` output.
+    pub fn draw(&mut self, frame: &ProgressFrame, rows: &[DashboardRow]) {
+        let mut err = std::io::stderr().lock();
+        match self.mode {
+            DashboardMode::Ansi => {
+                let text = render_dashboard(frame, rows);
+                let lines = text.lines().count();
+                if self.lines_drawn > 0 {
+                    // Move to the top of the previous frame and clear
+                    // everything below before redrawing.
+                    let _ = write!(err, "\x1b[{}F\x1b[0J", self.lines_drawn);
+                }
+                let _ = write!(err, "{text}");
+                let _ = err.flush();
+                self.lines_drawn = lines;
+            }
+            DashboardMode::Plain => {
+                let _ = writeln!(err, "{}", frame.render());
+            }
+        }
+    }
+
+    /// Finishes the dashboard: leaves the last frame on screen and
+    /// moves to a fresh line so the end-of-run report starts cleanly.
+    pub fn finish(&mut self) {
+        if self.mode == DashboardMode::Ansi && self.lines_drawn > 0 {
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err);
+            let _ = err.flush();
+            self.lines_drawn = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_normalizes_to_ramp() {
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(line, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn sparkline_pads_short_series_on_the_left() {
+        let line = sparkline(&[1.0, 2.0], 5);
+        assert_eq!(line.chars().count(), 5);
+        assert!(line.starts_with("   "), "got: {line:?}");
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_truncates_to_newest_window() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let line = sparkline(&values, 10);
+        assert_eq!(line.chars().count(), 10);
+        // The newest (largest) sample is the full block.
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_handles_constant_and_non_finite() {
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0], 3), "▄▄▄");
+        let line = sparkline(&[1.0, f64::NAN, 3.0], 3);
+        assert_eq!(line.chars().nth(1), Some(' '));
+        assert_eq!(sparkline(&[], 4), "    ");
+        // All-NaN: spaces, no panic.
+        assert_eq!(sparkline(&[f64::NAN, f64::NAN], 2), "  ");
+    }
+
+    #[test]
+    fn render_dashboard_is_pure_and_aligned() {
+        let frame = ProgressFrame::compute(100, 400, 2.0, 7, 0.25);
+        let rows = vec![
+            DashboardRow::new("cooling", 12.5, "kW", vec![10.0, 11.0, 12.5]),
+            DashboardRow::new("zone 00", 22.1, "°C", vec![21.0, 22.0, 22.1]),
+        ];
+        let a = render_dashboard(&frame, &rows);
+        let b = render_dashboard(&frame, &rows);
+        assert_eq!(a, b);
+        assert!(a.starts_with("[ 25%] tick 100/400"), "got: {a}");
+        assert!(a.contains("cooling"));
+        assert!(a.contains("12.50kW"));
+        assert!(a.contains("22.10°C"));
+        assert_eq!(a.lines().count(), 3);
+        // No ANSI escapes in the pure renderer.
+        assert!(!a.contains('\x1b'));
+    }
+
+    #[test]
+    fn render_dashboard_guards_non_finite_current() {
+        let frame = ProgressFrame::compute(1, 2, 1.0, 0, 0.0);
+        let rows = vec![DashboardRow::new("x", f64::NAN, "", vec![])];
+        let text = render_dashboard(&frame, &rows);
+        assert!(text.contains(" ?\n"), "got: {text}");
+    }
+
+    #[test]
+    fn plain_mode_never_tracks_lines() {
+        let mut dash = Dashboard::with_mode(DashboardMode::Plain);
+        let frame = ProgressFrame::compute(1, 2, 1.0, 0, 0.0);
+        dash.draw(&frame, &[]);
+        dash.finish();
+        assert_eq!(dash.lines_drawn, 0);
+    }
+}

@@ -41,25 +41,53 @@
 //! * [`replay`] — the placement-trace schema and state digests behind
 //!   the record/replay harness: a recorded decision stream re-drives the
 //!   simulation bit-identically, and per-tick digests bisect divergence.
+//!
+//! And four pieces form the live observability layer:
+//!
+//! * [`Series`] — fixed-capacity, tick-indexed ring-buffer time series
+//!   with windowed min/mean/max downsampling, registered through the
+//!   [`MetricsRegistry`] like any other metric. Tick-indexed, never
+//!   wall-clock, so enabled runs stay bit-identical to disabled runs.
+//! * [`render_openmetrics`] / [`parse_openmetrics`] — the OpenMetrics
+//!   text-exposition writer over a [`MetricsSnapshot`] and the strict
+//!   parser that tests and `check-metrics` feed scraped text back
+//!   through.
+//! * [`MetricsPublisher`] + [`MetricsServer`] — a dependency-free
+//!   `GET /metrics` scrape endpoint: the engine swaps freshly rendered
+//!   expositions into the publisher; a `std::net::TcpListener` thread
+//!   serves them without ever touching the tick loop.
+//! * [`Dashboard`] — a live ANSI terminal dashboard (sparklines over
+//!   series windows) that degrades to plain progress lines on dumb
+//!   terminals.
 
 mod config;
+mod dashboard;
 mod events;
 mod histogram;
+mod openmetrics;
 mod phases;
 mod progress;
 mod recorder;
 mod registry;
 pub mod replay;
 mod report;
+mod series;
+mod server;
 mod sink;
 mod watchdog;
 
 pub use config::{FlightConfig, SummaryHandle, TelemetryConfig};
+pub use dashboard::{
+    render_dashboard, sparkline, Dashboard, DashboardMode, DashboardRow, SPARK_WIDTH,
+};
 pub use events::{
     Event, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition, RunConfigEvent,
     SchedulerCounters, SnapshotEvent, SummaryEvent, SCHEMA_VERSION,
 };
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use openmetrics::{
+    parse_openmetrics, render_openmetrics, Exposition, MetricFamily, MetricKind, Sample,
+};
 pub use phases::{PhaseBreakdown, PhaseProfiler, TickPhase};
 pub use progress::{ProgressFrame, ProgressMeter};
 pub use recorder::{
@@ -67,5 +95,7 @@ pub use recorder::{
 };
 pub use registry::{Counter, Gauge, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use report::render_report;
+pub use series::{Series, SeriesBucket, SeriesSnapshot, SharedSeries};
+pub use server::{MetricsPublication, MetricsPublisher, MetricsServer, METRICS_CONTENT_TYPE};
 pub use sink::{validate_stream, EventSink, SharedBuffer, StreamSummary};
 pub use watchdog::{AnomalyEvent, TickState, WatchdogKind, WatchdogSet, WatchdogSpec};

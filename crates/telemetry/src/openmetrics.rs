@@ -1,0 +1,770 @@
+//! OpenMetrics / Prometheus text exposition over a [`MetricsSnapshot`].
+//!
+//! The writer ([`render_openmetrics`]) turns a snapshot into the
+//! OpenMetrics text format: one `# TYPE` (and, when registered via
+//! [`help`]-style tables, `# HELP`) block per metric family, samples
+//! with escaped label values, `NaN` / `+Inf` / `-Inf` rendered the way
+//! scrapers expect, histogram families exploded into cumulative
+//! `_bucket{le=...}` / `_sum` / `_count`, and a final `# EOF` line.
+//! Output ordering is fully deterministic: families sort by name,
+//! samples within a family by label set.
+//!
+//! Registry names use dots for namespacing (`engine.ticks`) and an
+//! optional brace-suffix for labels (`zone.temp_c{zone="3"}`). The
+//! writer maps dots to underscores — `zone_temp_c{zone="3"}` — so every
+//! labelled instance of a family folds into one exposition family.
+//!
+//! The strict parser ([`parse_openmetrics`]) is the other half of the
+//! contract: tests and the `check-metrics` CLI feed scraped text back
+//! through it, so a malformed exposition is a hard failure, not a
+//! silently-ignored line.
+
+use crate::registry::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Metric family kinds in an exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter (`<name>_total` samples).
+    Counter,
+    /// Last-value gauge.
+    Gauge,
+    /// Cumulative-bucket histogram (`_bucket`/`_sum`/`_count`).
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (family plus any `_total`/`_bucket`/... suffix).
+    pub name: String,
+    /// Label pairs in appearance order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (may be `NaN` or infinite).
+    pub value: f64,
+}
+
+/// One parsed metric family: its `# TYPE`, optional `# HELP`, and the
+/// contiguous samples that follow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Family name (exposition form: underscores, no suffix).
+    pub name: String,
+    /// Declared kind.
+    pub kind: MetricKind,
+    /// `# HELP` text, unescaped, if present.
+    pub help: Option<String>,
+    /// Samples belonging to this family.
+    pub samples: Vec<Sample>,
+}
+
+/// A fully parsed exposition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Exposition {
+    /// Families in document order.
+    pub families: Vec<MetricFamily>,
+}
+
+impl Exposition {
+    /// Looks a family up by exposition name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// Splits a registry name into its family part and label suffix, e.g.
+/// `zone.temp_c{zone="3"}` → (`zone_temp_c`, `{zone="3"}`). Dots in the
+/// family become underscores; any other character outside
+/// `[a-zA-Z0-9_:]` is replaced by `_` so arbitrary registry names stay
+/// within the exposition grammar.
+fn split_name(raw: &str) -> (String, &str) {
+    let (family, labels) = match raw.find('{') {
+        Some(pos) => (&raw[..pos], &raw[pos..]),
+        None => (raw, ""),
+    };
+    let family: String = family
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    (family, labels)
+}
+
+/// Escapes a label value per the exposition grammar.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text (no quote escaping there, per the format).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` the way scrapers expect (`NaN`, `+Inf`, `-Inf`).
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parses a registry label suffix (`{zone="3",kind="wax"}` or empty)
+/// into pairs. The registry-side convention requires quoted values; a
+/// malformed suffix falls back to a single `raw` label rather than
+/// panicking on the render path.
+fn parse_label_suffix(suffix: &str) -> Vec<(String, String)> {
+    if suffix.is_empty() {
+        return Vec::new();
+    }
+    match parse_label_block(suffix, 0) {
+        Ok((labels, _)) => labels,
+        Err(_) => vec![("raw".to_owned(), escape_label(suffix))],
+    }
+}
+
+/// Merges extra labels (e.g. histogram `le`) after the declared ones
+/// and renders the full `{...}` block, or the empty string when there
+/// are no labels.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+#[derive(Debug)]
+struct PendingSample {
+    suffix: &'static str,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+#[derive(Debug)]
+struct PendingFamily {
+    kind: MetricKind,
+    samples: Vec<PendingSample>,
+}
+
+/// Renders `snapshot` as OpenMetrics text. `help` maps exposition
+/// family names (underscore form) to `# HELP` text; families without an
+/// entry get only a `# TYPE` line. Registered series are exposed as
+/// gauges carrying their newest sample — scrape semantics are
+/// point-in-time; history stays in the snapshot for dashboards.
+///
+/// Counters gain the `_total` sample suffix, histograms render
+/// cumulative `_bucket{le=...}` rows ending in `le="+Inf"` plus `_sum` /
+/// `_count`. Families are emitted in name order and samples in label
+/// order, so two renders of equal snapshots are byte-identical.
+pub fn render_openmetrics(snapshot: &MetricsSnapshot, help: &[(&str, &str)]) -> String {
+    let mut families: BTreeMap<String, PendingFamily> = BTreeMap::new();
+    let mut push = |raw: &str, kind: MetricKind, suffix: &'static str, extra_value: f64| {
+        let (family, label_suffix) = split_name(raw);
+        let labels = parse_label_suffix(label_suffix);
+        let entry = families.entry(family).or_insert_with(|| PendingFamily {
+            kind,
+            samples: Vec::new(),
+        });
+        entry.samples.push(PendingSample {
+            suffix,
+            labels,
+            value: extra_value,
+        });
+    };
+
+    for (name, value) in &snapshot.counters {
+        push(name, MetricKind::Counter, "_total", *value as f64);
+    }
+    for (name, value) in &snapshot.gauges {
+        push(name, MetricKind::Gauge, "", *value);
+    }
+    for (name, window) in &snapshot.series {
+        push(
+            name,
+            MetricKind::Gauge,
+            "",
+            window.last_value().unwrap_or(f64::NAN),
+        );
+    }
+
+    let mut out = String::new();
+    let help_for = |family: &str| {
+        help.iter()
+            .find(|(name, _)| *name == family)
+            .map(|(_, text)| *text)
+    };
+
+    // Counters, gauges, and series share the simple one-sample shape;
+    // histograms are rendered in the same name-sorted pass below.
+    let mut histograms: BTreeMap<String, Vec<(&str, &crate::HistogramSnapshot)>> = BTreeMap::new();
+    for (name, hist) in &snapshot.histograms {
+        let (family, _) = split_name(name);
+        histograms.entry(family).or_default().push((name, hist));
+    }
+
+    let mut names: Vec<&String> = families.keys().collect();
+    names.extend(histograms.keys());
+    names.sort();
+    names.dedup();
+
+    for family in names {
+        if let Some(pending) = families.get(family) {
+            if let Some(text) = help_for(family) {
+                let _ = writeln!(out, "# HELP {family} {}", escape_help(text));
+            }
+            let _ = writeln!(out, "# TYPE {family} {}", pending.kind.as_str());
+            let mut samples: Vec<&PendingSample> = pending.samples.iter().collect();
+            samples.sort_by(|a, b| a.labels.cmp(&b.labels));
+            for sample in samples {
+                let _ = writeln!(
+                    out,
+                    "{family}{}{} {}",
+                    sample.suffix,
+                    render_labels(&sample.labels),
+                    render_value(sample.value)
+                );
+            }
+        }
+        if let Some(hists) = histograms.get(family) {
+            if !families.contains_key(family) {
+                if let Some(text) = help_for(family) {
+                    let _ = writeln!(out, "# HELP {family} {}", escape_help(text));
+                }
+                let _ = writeln!(out, "# TYPE {family} histogram");
+            }
+            let mut hists: Vec<_> = hists.clone();
+            hists.sort_by_key(|(raw, _)| *raw);
+            for (raw, hist) in hists {
+                let (_, label_suffix) = split_name(raw);
+                let base_labels = parse_label_suffix(label_suffix);
+                let mut cumulative = 0u64;
+                for (i, bound) in hist.bounds.iter().enumerate() {
+                    cumulative += hist.counts.get(i).copied().unwrap_or(0);
+                    let mut labels = base_labels.clone();
+                    labels.push(("le".to_owned(), render_value(*bound)));
+                    let _ = writeln!(
+                        out,
+                        "{family}_bucket{} {cumulative}",
+                        render_labels(&labels)
+                    );
+                }
+                let mut labels = base_labels.clone();
+                labels.push(("le".to_owned(), "+Inf".to_owned()));
+                let _ = writeln!(
+                    out,
+                    "{family}_bucket{} {}",
+                    render_labels(&labels),
+                    hist.total
+                );
+                let _ = writeln!(
+                    out,
+                    "{family}_sum{} {}",
+                    render_labels(&base_labels),
+                    render_value(hist.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{family}_count{} {}",
+                    render_labels(&base_labels),
+                    hist.total
+                );
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn err(line_no: usize, msg: impl Into<String>) -> String {
+    format!("line {line_no}: {}", msg.into())
+}
+
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Parses a `{k="v",...}` block starting at byte offset `at` (which
+/// must point at `{`). Returns the labels and the offset just past `}`.
+fn parse_label_block(s: &str, at: usize) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = s.as_bytes();
+    if bytes.get(at) != Some(&b'{') {
+        return Err("expected `{`".into());
+    }
+    let mut labels = Vec::new();
+    let mut i = at + 1;
+    loop {
+        if bytes.get(i) == Some(&b'}') {
+            return Ok((labels, i + 1));
+        }
+        // Label name.
+        let name_start = i;
+        while i < s.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        let name = &s[name_start..i];
+        if !is_valid_name(name) {
+            return Err(format!("invalid label name `{name}`"));
+        }
+        i += 1; // consume '='
+        if bytes.get(i) != Some(&b'"') {
+            return Err(format!("label `{name}`: expected opening quote"));
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("label `{name}`: unterminated value")),
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("label `{name}`: bad escape")),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    // Multi-byte chars are copied verbatim.
+                    let c = s[i..].chars().next().expect("char boundary");
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((name.to_owned(), value));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {}
+            _ => return Err(format!("label `{name}`: expected `,` or `}}`")),
+        }
+    }
+}
+
+fn parse_value(token: &str) -> Result<f64, String> {
+    match token {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => token
+            .parse::<f64>()
+            .map_err(|_| format!("invalid value `{token}`")),
+    }
+}
+
+/// True when `sample` is a legal sample name for family `family` of
+/// kind `kind`.
+fn sample_matches(family: &str, kind: MetricKind, sample: &str) -> bool {
+    match kind {
+        MetricKind::Gauge => sample == family,
+        MetricKind::Counter => sample
+            .strip_prefix(family)
+            .is_some_and(|rest| rest == "_total"),
+        MetricKind::Histogram => sample
+            .strip_prefix(family)
+            .is_some_and(|rest| matches!(rest, "_bucket" | "_sum" | "_count")),
+    }
+}
+
+/// Strictly parses OpenMetrics text produced by [`render_openmetrics`]
+/// (or scraped from the `/metrics` endpoint).
+///
+/// Enforced: every sample belongs to a previously declared `# TYPE`
+/// family with a kind-legal suffix; counters never go without `_total`;
+/// label blocks are well-formed with valid escapes; values parse
+/// (including `NaN`/`±Inf`); a family is never re-declared (samples of
+/// one family are contiguous); the document ends with `# EOF` and
+/// nothing follows it. Errors carry the offending line number.
+pub fn parse_openmetrics(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    let mut pending_help: Option<(String, String)> = None;
+    let mut seen: Vec<String> = Vec::new();
+    let mut current: Option<MetricFamily> = None;
+    let mut eof = false;
+
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if eof {
+            return Err(err(line_no, "content after `# EOF`"));
+        }
+        if line.is_empty() {
+            return Err(err(line_no, "blank line in exposition"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest == "EOF" {
+                eof = true;
+                continue;
+            }
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let (name, text) = decl
+                    .split_once(' ')
+                    .ok_or_else(|| err(line_no, "malformed `# HELP`"))?;
+                if !is_valid_name(name) {
+                    return Err(err(line_no, format!("invalid family name `{name}`")));
+                }
+                if pending_help.is_some() {
+                    return Err(err(line_no, "`# HELP` not followed by `# TYPE`"));
+                }
+                pending_help = Some((name.to_owned(), text.to_owned()));
+                continue;
+            }
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let (name, kind) = decl
+                    .split_once(' ')
+                    .ok_or_else(|| err(line_no, "malformed `# TYPE`"))?;
+                if !is_valid_name(name) {
+                    return Err(err(line_no, format!("invalid family name `{name}`")));
+                }
+                let kind = match kind {
+                    "counter" => MetricKind::Counter,
+                    "gauge" => MetricKind::Gauge,
+                    "histogram" => MetricKind::Histogram,
+                    other => return Err(err(line_no, format!("unknown type `{other}`"))),
+                };
+                if seen.iter().any(|s| s == name) {
+                    return Err(err(line_no, format!("family `{name}` declared twice")));
+                }
+                let help = match pending_help.take() {
+                    Some((help_name, text)) => {
+                        if help_name != name {
+                            return Err(err(
+                                line_no,
+                                format!("`# HELP {help_name}` precedes `# TYPE {name}`"),
+                            ));
+                        }
+                        Some(text)
+                    }
+                    None => None,
+                };
+                if let Some(done) = current.take() {
+                    exposition.families.push(done);
+                }
+                seen.push(name.to_owned());
+                current = Some(MetricFamily {
+                    name: name.to_owned(),
+                    kind,
+                    help,
+                    samples: Vec::new(),
+                });
+                continue;
+            }
+            return Err(err(line_no, "unknown comment directive"));
+        }
+        if line.starts_with('#') {
+            return Err(err(line_no, "malformed comment"));
+        }
+        if pending_help.is_some() {
+            return Err(err(line_no, "`# HELP` not followed by `# TYPE`"));
+        }
+
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| err(line_no, "sample missing value"))?;
+        let name = &line[..name_end];
+        if !is_valid_name(name) {
+            return Err(err(line_no, format!("invalid sample name `{name}`")));
+        }
+        let (labels, after_labels) = if line.as_bytes()[name_end] == b'{' {
+            parse_label_block(line, name_end).map_err(|e| err(line_no, e))?
+        } else {
+            (Vec::new(), name_end)
+        };
+        let rest = line[after_labels..]
+            .strip_prefix(' ')
+            .ok_or_else(|| err(line_no, "expected space before value"))?;
+        // OpenMetrics allows an optional timestamp token; we forbid it —
+        // the exposition is tick-indexed, not wall-clock-indexed.
+        if rest.contains(' ') {
+            return Err(err(line_no, "unexpected token after value"));
+        }
+        let value = parse_value(rest).map_err(|e| err(line_no, e))?;
+
+        let family = current
+            .as_mut()
+            .ok_or_else(|| err(line_no, format!("sample `{name}` before any `# TYPE`")))?;
+        if !sample_matches(&family.name, family.kind, name) {
+            return Err(err(
+                line_no,
+                format!(
+                    "sample `{name}` does not belong to {} family `{}`",
+                    family.kind.as_str(),
+                    family.name
+                ),
+            ));
+        }
+        if family.kind == MetricKind::Histogram
+            && name.ends_with("_bucket")
+            && !labels.iter().any(|(k, _)| k == "le")
+        {
+            return Err(err(line_no, format!("`{name}` missing `le` label")));
+        }
+        family.samples.push(Sample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+
+    if pending_help.is_some() {
+        return Err("`# HELP` not followed by `# TYPE` at end of input".into());
+    }
+    if !eof {
+        return Err("missing `# EOF` terminator".into());
+    }
+    if let Some(done) = current.take() {
+        exposition.families.push(done);
+    }
+    Ok(exposition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::registry::MetricsRegistry;
+
+    fn render(registry: &MetricsRegistry) -> String {
+        render_openmetrics(&registry.snapshot(), &[("engine_ticks", "Ticks executed.")])
+    }
+
+    #[test]
+    fn renders_and_parses_counters_gauges_series() {
+        let registry = MetricsRegistry::new();
+        registry.counter("engine.ticks").add(7);
+        registry.gauge("cluster.mean_air_c").set(23.5);
+        let s = registry.series("cluster.melted_fraction", 8);
+        s.push(1, 0.25);
+        s.push(2, 0.5);
+        let text = render(&registry);
+        assert!(text.contains("# HELP engine_ticks Ticks executed.\n"));
+        assert!(text.contains("# TYPE engine_ticks counter\n"));
+        assert!(text.contains("engine_ticks_total 7\n"));
+        assert!(text.contains("cluster_mean_air_c 23.5\n"));
+        // Series expose their newest sample as a gauge.
+        assert!(text.contains("cluster_melted_fraction 0.5\n"));
+        assert!(text.ends_with("# EOF\n"));
+
+        let parsed = parse_openmetrics(&text).expect("round trip");
+        let fam = parsed.family("engine_ticks").unwrap();
+        assert_eq!(fam.kind, MetricKind::Counter);
+        assert_eq!(fam.help.as_deref(), Some("Ticks executed."));
+        assert_eq!(fam.samples[0].value, 7.0);
+    }
+
+    #[test]
+    fn labelled_instances_fold_into_one_family_sorted() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("zone.temp_c{zone=\"10\"}").set(24.0);
+        registry.gauge("zone.temp_c{zone=\"2\"}").set(22.0);
+        let text = render(&registry);
+        let type_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE zone_temp_c"))
+            .collect();
+        assert_eq!(type_lines, vec!["# TYPE zone_temp_c gauge"]);
+        let a = text.find("zone_temp_c{zone=\"10\"} 24").unwrap();
+        let b = text.find("zone_temp_c{zone=\"2\"} 22").unwrap();
+        // Lexicographic label order is stable (not numeric, but fixed).
+        assert!(a < b);
+        parse_openmetrics(&text).expect("labelled round trip");
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let registry = MetricsRegistry::new();
+        registry
+            .gauge("probe.value{path=\"a\\\\b\\nc\\\"d\"}")
+            .set(1.0);
+        let text = render(&registry);
+        assert!(text.contains("probe_value{path=\"a\\\\b\\nc\\\"d\"} 1\n"));
+        let parsed = parse_openmetrics(&text).unwrap();
+        let sample = &parsed.family("probe_value").unwrap().samples[0];
+        assert_eq!(sample.labels[0].1, "a\\b\nc\"d");
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("g.nan").set(f64::NAN);
+        registry.gauge("g.pinf").set(f64::INFINITY);
+        registry.gauge("g.ninf").set(f64::NEG_INFINITY);
+        let text = render(&registry);
+        assert!(text.contains("g_nan NaN\n"));
+        assert!(text.contains("g_pinf +Inf\n"));
+        assert!(text.contains("g_ninf -Inf\n"));
+        let parsed = parse_openmetrics(&text).unwrap();
+        assert!(parsed.family("g_nan").unwrap().samples[0].value.is_nan());
+        assert_eq!(
+            parsed.family("g_pinf").unwrap().samples[0].value,
+            f64::INFINITY
+        );
+        assert_eq!(
+            parsed.family("g_ninf").unwrap().samples[0].value,
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat.ticks", &[1.0, 2.0]);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(99.0);
+        let text = render(&registry);
+        assert!(text.contains("# TYPE lat_ticks histogram\n"));
+        assert!(text.contains("lat_ticks_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ticks_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("lat_ticks_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ticks_sum 101\n"));
+        assert!(text.contains("lat_ticks_count 3\n"));
+        parse_openmetrics(&text).expect("histogram round trip");
+    }
+
+    #[test]
+    fn empty_histogram_is_valid_exposition() {
+        let registry = MetricsRegistry::new();
+        registry.histogram("empty.hist", &[0.5]);
+        let text = render(&registry);
+        assert!(text.contains("empty_hist_bucket{le=\"0.5\"} 0\n"));
+        assert!(text.contains("empty_hist_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("empty_hist_sum 0\n"));
+        assert!(text.contains("empty_hist_count 0\n"));
+        let parsed = parse_openmetrics(&text).unwrap();
+        let fam = parsed.family("empty_hist").unwrap();
+        assert_eq!(fam.kind, MetricKind::Histogram);
+        assert_eq!(fam.samples.len(), 4);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let registry = MetricsRegistry::new();
+            registry.counter("b.count").add(2);
+            registry.counter("a.count").add(1);
+            registry.gauge("zone.temp_c{zone=\"1\"}").set(21.0);
+            registry.gauge("zone.temp_c{zone=\"0\"}").set(20.0);
+            registry.histogram("h.lat", &[1.0]).record(0.1);
+            render(&registry)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        // Missing EOF.
+        assert!(parse_openmetrics("# TYPE a gauge\na 1\n")
+            .unwrap_err()
+            .contains("# EOF"));
+        // Sample before TYPE.
+        assert!(parse_openmetrics("a 1\n# EOF\n")
+            .unwrap_err()
+            .contains("before any"));
+        // Counter sample without _total.
+        let text = "# TYPE c counter\nc 1\n# EOF\n";
+        assert!(parse_openmetrics(text)
+            .unwrap_err()
+            .contains("does not belong"));
+        // Family declared twice (non-contiguous samples).
+        let text = "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n";
+        assert!(parse_openmetrics(text)
+            .unwrap_err()
+            .contains("declared twice"));
+        // Content after EOF.
+        let text = "# TYPE a gauge\na 1\n# EOF\na 2\n";
+        assert!(parse_openmetrics(text)
+            .unwrap_err()
+            .contains("after `# EOF`"));
+        // Bad escape in a label value.
+        let text = "# TYPE a gauge\na{x=\"\\q\"} 1\n# EOF\n";
+        assert!(parse_openmetrics(text).unwrap_err().contains("bad escape"));
+        // Unparseable value.
+        let text = "# TYPE a gauge\na one\n# EOF\n";
+        assert!(parse_openmetrics(text)
+            .unwrap_err()
+            .contains("invalid value"));
+        // HELP without TYPE.
+        let text = "# HELP a text\na 1\n# EOF\n";
+        assert!(parse_openmetrics(text)
+            .unwrap_err()
+            .contains("not followed by `# TYPE`"));
+        // Bucket without le.
+        let text = "# TYPE h histogram\nh_bucket 1\n# EOF\n";
+        assert!(parse_openmetrics(text)
+            .unwrap_err()
+            .contains("missing `le`"));
+    }
+
+    #[test]
+    fn help_text_escapes_newlines_and_backslashes() {
+        let snapshot = {
+            let registry = MetricsRegistry::new();
+            registry.gauge("g.x").set(1.0);
+            registry.snapshot()
+        };
+        let text = render_openmetrics(&snapshot, &[("g_x", "line one\nback\\slash")]);
+        assert!(text.contains("# HELP g_x line one\\nback\\\\slash\n"));
+        let parsed = parse_openmetrics(&text).unwrap();
+        // HELP text parses back as the escaped (on-the-wire) form; the
+        // parser does not unescape help, only label values.
+        assert!(parsed.family("g_x").unwrap().help.is_some());
+    }
+
+    #[test]
+    fn sum_of_empty_histogram_via_snapshot_struct() {
+        // Direct HistogramSnapshot path (no registry) also renders.
+        let h = Histogram::with_buckets(vec![1.0]);
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("solo.h".into(), h.snapshot());
+        let text = render_openmetrics(&snap, &[]);
+        parse_openmetrics(&text).expect("standalone histogram");
+    }
+}

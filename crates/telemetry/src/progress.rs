@@ -83,8 +83,24 @@ impl ProgressFrame {
 }
 
 fn render_eta(eta_s: f64) -> String {
+    // A non-finite ETA (throughput glitch, clock anomaly) must not
+    // render as a garbage number — `NaN as u64` is 0 and `inf as u64`
+    // saturates, both of which would silently lie.
+    if !eta_s.is_finite() || eta_s < 0.0 {
+        return "?".to_owned();
+    }
     let s = eta_s.round() as u64;
-    if s >= 3600 {
+    if s >= 86_400 {
+        // Multi-day ETAs (a 1M-server run on one core) render as
+        // `Nd HH:MM:SS` instead of wrapping into a huge hour count.
+        format!(
+            "{}d {:02}:{:02}:{:02}",
+            s / 86_400,
+            (s % 86_400) / 3600,
+            (s % 3600) / 60,
+            s % 60
+        )
+    } else if s >= 3600 {
         format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
     } else if s >= 60 {
         format!("{}m{:02}s", s / 60, s % 60)
@@ -209,6 +225,30 @@ mod tests {
         assert_eq!(render_eta(59.0), "59s");
         assert_eq!(render_eta(61.0), "1m01s");
         assert_eq!(render_eta(3725.0), "1h02m");
+    }
+
+    /// Multi-day ETAs render `Nd HH:MM:SS` instead of a raw hour wrap.
+    #[test]
+    fn eta_renders_multi_day() {
+        assert_eq!(render_eta(86_400.0), "1d 00:00:00");
+        // 2 days, 3 hours, 4 minutes, 5 seconds.
+        assert_eq!(
+            render_eta((2 * 86_400 + 3 * 3600 + 4 * 60 + 5) as f64),
+            "2d 03:04:05"
+        );
+        // One second under a day still renders in hours.
+        assert_eq!(render_eta(86_399.0), "23h59m");
+        assert_eq!(render_eta(90.0 * 86_400.0), "90d 00:00:00");
+    }
+
+    /// Non-finite or negative ETAs render a placeholder, never a
+    /// saturated or zeroed number.
+    #[test]
+    fn eta_guards_non_finite() {
+        assert_eq!(render_eta(f64::NAN), "?");
+        assert_eq!(render_eta(f64::INFINITY), "?");
+        assert_eq!(render_eta(f64::NEG_INFINITY), "?");
+        assert_eq!(render_eta(-1.0), "?");
     }
 
     #[test]

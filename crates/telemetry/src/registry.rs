@@ -1,6 +1,7 @@
 //! The lock-free-in-the-hot-path metrics registry.
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::series::{Series, SeriesSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -60,6 +61,7 @@ enum Metric {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Arc<Histogram>),
+    Series(Arc<Series>),
 }
 
 /// A named collection of counters, gauges, and histograms.
@@ -96,6 +98,10 @@ pub struct MetricsSnapshot {
     pub gauges: HashMap<String, f64>,
     /// Histogram states by name.
     pub histograms: HashMap<String, HistogramSnapshot>,
+    /// Time-series windows by name. Streams written before series
+    /// existed lack this key; it deserializes as an empty map (missing
+    /// map fields default to empty), so old streams keep validating.
+    pub series: HashMap<String, SeriesSnapshot>,
 }
 
 /// One metric's value, as returned by [`MetricsRegistry::get`].
@@ -107,6 +113,8 @@ pub enum MetricValue {
     Gauge(f64),
     /// A histogram's current state.
     Histogram(HistogramSnapshot),
+    /// A time series' current window.
+    Series(SeriesSnapshot),
 }
 
 impl MetricsRegistry {
@@ -168,6 +176,25 @@ impl MetricsRegistry {
         }
     }
 
+    /// Returns the time series registered under `name`, creating it
+    /// with room for `capacity` samples on first use. Later callers get
+    /// the existing series; the capacity argument is only used on
+    /// creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn series(&self, name: &str, capacity: usize) -> Arc<Series> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Series(Arc::new(Series::with_capacity(capacity))))
+        {
+            Metric::Series(s) => s.clone(),
+            _ => panic!("metric `{name}` is not a series"),
+        }
+    }
+
     /// Reads one metric by name.
     pub fn get(&self, name: &str) -> Option<MetricValue> {
         let metrics = self.metrics.lock().expect("metrics registry poisoned");
@@ -175,6 +202,7 @@ impl MetricsRegistry {
             Metric::Counter(c) => MetricValue::Counter(c.get()),
             Metric::Gauge(g) => MetricValue::Gauge(g.get()),
             Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            Metric::Series(s) => MetricValue::Series(s.snapshot()),
         })
     }
 
@@ -192,6 +220,9 @@ impl MetricsRegistry {
                 }
                 Metric::Histogram(h) => {
                     snap.histograms.insert(name.clone(), h.snapshot());
+                }
+                Metric::Series(s) => {
+                    snap.series.insert(name.clone(), s.snapshot());
                 }
             }
         }
@@ -233,6 +264,46 @@ mod tests {
         h2.record(1.5);
         let snap = registry.snapshot();
         assert_eq!(snap.histograms["lat"].counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn series_registration_shares_ring_and_snapshots() {
+        let registry = MetricsRegistry::new();
+        let s1 = registry.series("cluster.mean_air_c", 4);
+        s1.push(1, 21.0);
+        // Second registration ignores the new capacity and returns the
+        // same ring.
+        let s2 = registry.series("cluster.mean_air_c", 99);
+        s2.push(2, 22.0);
+        let snap = registry.snapshot();
+        let window = &snap.series["cluster.mean_air_c"];
+        assert_eq!(window.values, vec![21.0, 22.0]);
+        assert_eq!(window.capacity, 4);
+        assert_eq!(window.last_tick, 2);
+    }
+
+    #[test]
+    fn old_schema_snapshot_without_series_key_still_deserializes() {
+        // A snapshot serialized before the series field existed.
+        let json = r#"{"counters":{"n":1},"gauges":{},"histograms":{}}"#;
+        let back: MetricsSnapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(back.counters["n"], 1);
+        assert!(back.series.is_empty());
+        // And the new schema round-trips.
+        let registry = MetricsRegistry::new();
+        registry.series("s", 4).push(1, 2.0);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a series")]
+    fn series_kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.series("x", 8);
     }
 
     #[test]

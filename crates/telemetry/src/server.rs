@@ -1,0 +1,260 @@
+//! Dependency-free `/metrics` scrape endpoint.
+//!
+//! The engine renders the OpenMetrics exposition at its snapshot
+//! cadence and swaps it into a [`MetricsPublisher`] — one `Arc` swap
+//! under a short mutex. A [`MetricsServer`] thread accepts TCP
+//! connections and answers `GET /metrics` from whatever publication is
+//! current: the scrape thread never touches the tick loop, never blocks
+//! it, and a slow or stuck scraper can at worst hold a stale `Arc`.
+//!
+//! Everything here is `std`-only (`std::net::TcpListener`), keeping the
+//! crate dependency-free; the accept loop polls a shutdown flag with a
+//! non-blocking listener so the server shuts down promptly when the run
+//! finishes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The latest published exposition: simulation tick it was rendered at
+/// plus the rendered OpenMetrics text.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsPublication {
+    /// Tick the exposition was rendered at (0 before the first tick).
+    pub tick: u64,
+    /// Rendered OpenMetrics text (ends with `# EOF`).
+    pub body: String,
+}
+
+/// A shared slot the engine swaps freshly rendered expositions into.
+///
+/// Cloning is cheap; all clones share the slot. `publish` replaces the
+/// current `Arc` (readers holding the old one keep a consistent
+/// document); `latest` clones the `Arc` out. Both sides hold the mutex
+/// only for the pointer swap, never while rendering or writing sockets.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsPublisher {
+    slot: Arc<Mutex<Arc<MetricsPublication>>>,
+}
+
+impl MetricsPublisher {
+    /// Creates an empty publisher (serves an empty-but-valid exposition
+    /// until the first publish).
+    pub fn new() -> Self {
+        let empty = MetricsPublication {
+            tick: 0,
+            body: "# EOF\n".to_owned(),
+        };
+        MetricsPublisher {
+            slot: Arc::new(Mutex::new(Arc::new(empty))),
+        }
+    }
+
+    /// Atomically replaces the published exposition.
+    pub fn publish(&self, tick: u64, body: String) {
+        let next = Arc::new(MetricsPublication { tick, body });
+        *self.slot.lock().expect("metrics publisher poisoned") = next;
+    }
+
+    /// Returns the current publication.
+    pub fn latest(&self) -> Arc<MetricsPublication> {
+        self.slot
+            .lock()
+            .expect("metrics publisher poisoned")
+            .clone()
+    }
+}
+
+/// A background thread serving `GET /metrics` over plain HTTP/1.1.
+///
+/// Bind with [`MetricsServer::bind`] (port 0 picks a free port — see
+/// [`MetricsServer::addr`]); the server answers every connection from
+/// the publisher's latest publication and shuts down when dropped or
+/// [`MetricsServer::shutdown`] is called.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Content type advertised on `/metrics` responses.
+pub const METRICS_CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// spawns the accept thread.
+    pub fn bind(addr: &str, publisher: MetricsPublisher) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("vmt-metrics".to_owned())
+            .spawn(move || accept_loop(listener, publisher, thread_stop))
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, publisher: MetricsPublisher, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Scrapes are rare (seconds apart) and responses are
+                // small; serving inline keeps the server single-threaded
+                // and bounded.
+                let _ = serve_connection(stream, &publisher);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one request head and writes one response. Any IO error just
+/// drops the connection — the scraper will retry.
+fn serve_connection(mut stream: TcpStream, publisher: &MetricsPublisher) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(2000)))?;
+
+    // Read until the end of the request head (or the buffer fills —
+    // scrape requests are tiny, so 4 KiB is generous).
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    loop {
+        if len == buf.len() {
+            break;
+        }
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Accept an optional query string so `GET /metrics?foo=1` works.
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => {
+            let publication = publisher.latest();
+            ("200 OK", METRICS_CONTENT_TYPE, publication.body.clone())
+        }
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_owned(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_owned(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has head and body");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_latest_publication_and_404s_elsewhere() {
+        let publisher = MetricsPublisher::new();
+        let server = MetricsServer::bind("127.0.0.1:0", publisher.clone()).expect("bind");
+        let addr = server.addr();
+
+        // Before any publish: the empty-but-valid document.
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+        assert!(head.contains("openmetrics-text"));
+        assert_eq!(body, "# EOF\n");
+
+        publisher.publish(
+            42,
+            "# TYPE engine_ticks counter\nengine_ticks_total 42\n# EOF\n".into(),
+        );
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("engine_ticks_total 42"));
+        // Query strings are tolerated.
+        let (head, _) = http_get(addr, "/metrics?x=1");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+
+        let (head, _) = http_get(addr, "/other");
+        assert!(head.starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn shutdown_joins_and_is_idempotent() {
+        let mut server = MetricsServer::bind("127.0.0.1:0", MetricsPublisher::new()).expect("bind");
+        server.shutdown();
+        server.shutdown();
+        // Dropping after shutdown must not hang or panic.
+        drop(server);
+    }
+
+    #[test]
+    fn publisher_swaps_atomically() {
+        let publisher = MetricsPublisher::new();
+        let reader = publisher.clone();
+        let old = reader.latest();
+        publisher.publish(7, "# EOF\n".into());
+        assert_eq!(reader.latest().tick, 7);
+        // The old Arc is still a consistent document.
+        assert_eq!(old.tick, 0);
+    }
+}

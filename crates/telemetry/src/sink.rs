@@ -166,6 +166,12 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
         let event: Event = serde_json::from_str(line)
             .map_err(|e| format!("line {}: not a valid event: {e:?}", lineno + 1))?;
         if summary.is_some() {
+            // A second Summary is a distinct corruption mode (two runs
+            // concatenated, or a resumed run double-finishing) — name it
+            // explicitly instead of the generic trailing-event error.
+            if matches!(event, Event::Summary(_)) {
+                return Err(format!("line {}: duplicate Summary", lineno + 1));
+            }
             return Err(format!("line {}: event after Summary", lineno + 1));
         }
         match (&event, events) {
@@ -315,6 +321,19 @@ mod tests {
         .join("\n");
         let err = validate_stream(&text).unwrap_err();
         assert!(err.contains("after Summary"), "got: {err}");
+    }
+
+    #[test]
+    fn duplicate_summaries_are_rejected() {
+        let text = [
+            serde_json::to_string(&Event::RunConfig(config())).unwrap(),
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+            serde_json::to_string(&Event::Summary(summary())).unwrap(),
+        ]
+        .join("\n");
+        let err = validate_stream(&text).unwrap_err();
+        assert!(err.contains("duplicate Summary"), "got: {err}");
+        assert!(err.starts_with("line 3:"), "got: {err}");
     }
 
     #[test]

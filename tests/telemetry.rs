@@ -9,8 +9,8 @@
 //! and the JSONL stream contract.
 
 use vmt_core::PolicyKind;
-use vmt_dcsim::{ClusterConfig, Simulation, SimulationResult, TelemetryConfig};
-use vmt_telemetry::{Event, SharedBuffer, SummaryHandle};
+use vmt_dcsim::{ClusterConfig, Simulation, SimulationResult, TelemetryConfig, ZoneSpec};
+use vmt_telemetry::{Event, MetricsPublisher, SharedBuffer, SummaryHandle};
 use vmt_units::Hours;
 use vmt_workload::{DiurnalTrace, TraceConfig};
 
@@ -122,6 +122,88 @@ fn instrumented_stream_is_well_formed() {
         let rewritten = serde_json::to_string(&event).expect("event serializes");
         let reparsed: Event = serde_json::from_str(&rewritten).expect("round-trip parses");
         assert_eq!(event, reparsed);
+    }
+}
+
+/// The full observability layer — time-series rings, per-zone thermal
+/// gauges, the dashboard driver, and the scrape publisher — is as
+/// observational as the event sink: a zoned run with everything enabled
+/// matches the bare run digest-for-digest at every tick, and the final
+/// result is bit-identical, at every thread count.
+#[test]
+fn zoned_observability_is_observationally_pure() {
+    const ZONED_SERVERS: usize = 40;
+    let hours = 6.0;
+    let build = |threads: usize| {
+        let mut cluster = ClusterConfig::paper_default(ZONED_SERVERS);
+        cluster.seed = 7;
+        // Two 20-server zones: one rack per row, one row per zone.
+        let mut spec = ZoneSpec::paper_default();
+        spec.racks_per_row = 1;
+        spec.rows_per_zone = 1;
+        cluster.topology = Some(spec);
+        let mut trace = TraceConfig {
+            horizon: Hours::new(hours),
+            ..TraceConfig::paper_default()
+        };
+        trace.seed = trace.seed.wrapping_add(7);
+        let policy = PolicyKind::vmt_wa(22.0);
+        let scheduler = policy.build(&cluster);
+        Simulation::new(cluster, DiurnalTrace::new(trace), scheduler).with_threads(threads)
+    };
+
+    for threads in [1usize, 8] {
+        let mut bare = build(threads);
+        let publisher = MetricsPublisher::new();
+        let mut instrumented = build(threads).with_telemetry(
+            TelemetryConfig::new()
+                .with_series(128)
+                .with_dashboard_every(60)
+                .with_publisher(publisher.clone()),
+        );
+
+        // March both runs in lockstep and compare live state digests
+        // after every tick — a divergence is caught at the tick that
+        // caused it, not at the end of the horizon.
+        let mut tick = 0u64;
+        loop {
+            let bare_stepped = bare.step();
+            let instrumented_stepped = instrumented.step();
+            assert_eq!(
+                bare_stepped, instrumented_stepped,
+                "horizon mismatch at tick {tick} threads {threads}"
+            );
+            if !bare_stepped {
+                break;
+            }
+            tick += 1;
+            assert_eq!(
+                bare.state_digest(),
+                instrumented.state_digest(),
+                "observability perturbed tick {tick} threads {threads}"
+            );
+        }
+        assert_eq!(tick, (hours * 60.0) as u64, "unexpected horizon length");
+
+        let (bare_result, _) = bare.finish();
+        let (instrumented_result, _) = instrumented.finish();
+        assert_eq!(
+            bare_result, instrumented_result,
+            "observability perturbed the final result at threads {threads}"
+        );
+
+        // The publisher saw the closing exposition, and it carries the
+        // per-zone thermal families the scrape endpoint serves.
+        let publication = publisher.latest();
+        assert_eq!(publication.tick, tick);
+        let exposition =
+            vmt_telemetry::parse_openmetrics(&publication.body).expect("publication parses");
+        for family in ["zone_temp_c", "zone_crac_duty", "cluster_cooling_w"] {
+            assert!(
+                exposition.family(family).is_some(),
+                "publication missing `{family}`"
+            );
+        }
     }
 }
 

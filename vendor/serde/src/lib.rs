@@ -337,4 +337,13 @@ impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMa
             _ => unexpected("an object", v),
         }
     }
+
+    // A missing map field reads as an empty map (real serde's
+    // `#[serde(default)]`, which this stand-in's derive cannot express).
+    // Lets newer schemas add map-valued fields — e.g. `series` on
+    // `MetricsSnapshot` — while still reading streams written before
+    // the field existed.
+    fn from_missing_field(_field: &'static str) -> Result<Self, Error> {
+        Ok(HashMap::default())
+    }
 }
