@@ -21,9 +21,9 @@
 //!   JSON (what CI runs).
 //! * `cargo bench -p vmt-bench --bench engine_baseline -- --phases` —
 //!   re-measures only the `phases[]` section (the 1k instrumented
-//!   profiles and the 10k zoned observability-overhead row, ~2 min) and
-//!   patches it into the existing `BENCH_engine.json`, leaving the
-//!   expensive scaling sweep untouched.
+//!   profiles and the 10k zoned observability/tracing-overhead row,
+//!   ~3 min) and patches it into the existing `BENCH_engine.json`,
+//!   leaving the expensive scaling sweep untouched.
 
 use std::time::Instant;
 use vmt_core::{
@@ -85,6 +85,14 @@ struct PhaseProfile {
     /// negative under wall-clock noise). `check-bench` holds this at or
     /// below 5%.
     observability_overhead: Option<f64>,
+    /// Set only on the zoned tracing row: throughput of the same run
+    /// with span tracing enabled — per-tick phase and per-zone spans,
+    /// placement/decision instants at a 1-in-100 job sample.
+    ticks_per_sec_traced: Option<f64>,
+    /// Relative per-tick cost enabled tracing adds over the spans-only
+    /// run (`instrumented/traced - 1`). `check-bench` holds this at or
+    /// below 5%.
+    tracing_overhead: Option<f64>,
 }
 
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
@@ -103,7 +111,8 @@ struct Report {
     /// Per-phase breakdown of the instrumented tick loop (telemetry
     /// enabled, no sink) at 1,000 servers, plus one zoned 10k row that
     /// measures the observability layer's overhead (series + zone
-    /// gauges + publisher vs spans only). Compare
+    /// gauges + publisher vs spans only) and the span-tracing overhead
+    /// (phase/zone spans + sampled decision instants). Compare
     /// `ticks_per_sec_instrumented` against the indexed `measurements`
     /// rows to see the instrumentation overhead; the uninstrumented
     /// rows take zero timestamps and are the regression reference.
@@ -221,16 +230,29 @@ fn measure_phases(name: &str, servers: usize) -> PhaseProfile {
         breakdown: summary.phases,
         ticks_per_sec_observed: None,
         observability_overhead: None,
+        ticks_per_sec_traced: None,
+        tracing_overhead: None,
     }
 }
 
-/// One zoned vmt-wa run over the full 48 h trace with phase spans on,
-/// optionally with the whole observability layer — series rings at the
-/// default capacity, per-zone thermal gauges, and a scrape publisher
-/// that renders the OpenMetrics exposition at snapshot cadence — added
-/// on top. Returns the engine's own summary (its `ticks_per_s` is the
-/// measurement).
-fn run_zoned_instrumented(servers: usize, observed: bool) -> vmt_telemetry::SummaryEvent {
+/// What a zoned instrumented pass layers on top of the phase spans.
+#[derive(Clone, Copy, PartialEq)]
+enum ZonedMode {
+    /// Phase spans only — the overhead reference.
+    Plain,
+    /// The full observability layer: series rings at the default
+    /// capacity, per-zone thermal gauges, and a scrape publisher
+    /// rendering the exposition at snapshot cadence.
+    Observed,
+    /// Span tracing: per-tick phase and per-zone spans plus
+    /// placement/decision instants for every 100th job.
+    Traced,
+}
+
+/// One zoned vmt-wa run over the full 48 h trace with phase spans on
+/// and `mode`'s layer added. Returns the engine's own summary (its
+/// `ticks_per_s` is the measurement).
+fn run_zoned_instrumented(servers: usize, mode: ZonedMode) -> vmt_telemetry::SummaryEvent {
     let mut cluster = ClusterConfig::paper_default(servers);
     cluster.topology = Some(vmt_dcsim::ZoneSpec::paper_default());
     if servers >= 100_000 {
@@ -239,10 +261,39 @@ fn run_zoned_instrumented(servers: usize, observed: bool) -> vmt_telemetry::Summ
     let trace = DiurnalTrace::new(TraceConfig::paper_default());
     let scheduler = scheduler_for("vmt-wa", &cluster, false);
     let mut telemetry = vmt_dcsim::TelemetryConfig::new();
-    if observed {
-        telemetry = telemetry
-            .with_series(vmt_dcsim::TelemetryConfig::DEFAULT_SERIES_CAPACITY)
-            .with_publisher(vmt_telemetry::MetricsPublisher::new());
+    match mode {
+        ZonedMode::Plain => {}
+        ZonedMode::Observed => {
+            telemetry = telemetry
+                .with_series(vmt_dcsim::TelemetryConfig::DEFAULT_SERIES_CAPACITY)
+                .with_publisher(vmt_telemetry::MetricsPublisher::new());
+        }
+        ZonedMode::Traced => {
+            // The benchmarked stride is 200: the densest decade-ish
+            // stride whose full 48h zoned-10k trace fits the default
+            // 1M-record ring (67.7M placements / 200 = 339k sampled
+            // jobs = ~723k records with spans; at 100 the run emits
+            // ~1.4M records, so the ring wraps mid-run, silently
+            // dropping the first third *and* paying drop-churn that
+            // would be billed to the tracer). VMT_BENCH_TRACE_SAMPLE /
+            // VMT_BENCH_TRACE_CAP override stride and capacity for
+            // overhead triage.
+            let sample_every = std::env::var("VMT_BENCH_TRACE_SAMPLE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200);
+            let mut spec = vmt_dcsim::TraceSpec {
+                sample_every,
+                ..vmt_dcsim::TraceSpec::default()
+            };
+            if let Some(cap) = std::env::var("VMT_BENCH_TRACE_CAP")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                spec.capacity = cap;
+            }
+            telemetry = telemetry.with_trace(spec);
+        }
     }
     let summary = telemetry.summary.clone();
     Simulation::new(cluster, trace, scheduler)
@@ -251,21 +302,27 @@ fn run_zoned_instrumented(servers: usize, observed: bool) -> vmt_telemetry::Summ
     summary.get().expect("telemetry deposits a summary")
 }
 
-/// Observability overhead at the zoned 10k scale: the same zoned run
-/// measured spans-only and fully observed, best of `passes` each. The
-/// passes are *interleaved* (plain, observed, plain, observed, …)
-/// rather than run as two blocks: host throughput drifts by ±10%
-/// across a block of minutes-long runs, and with sequential blocks
-/// that drift lands entirely on one side and masquerades as overhead
-/// (the true per-tick cost, visible in the `record_s` phase span, is
-/// well under 1%). The result rides in `phases[]` with the
-/// observed-side fields set; `check-bench` gates the overhead at 5%.
+/// Observability and tracing overhead at the zoned 10k scale: the same
+/// zoned run measured spans-only, fully observed, and span-traced,
+/// best of `passes` each. The passes are *interleaved* (plain,
+/// observed, traced, plain, …) rather than run as blocks: host
+/// throughput drifts by ±10% across a block of minutes-long runs, and
+/// with sequential blocks that drift lands entirely on one side and
+/// masquerades as overhead (the true per-tick cost, visible in the
+/// `record_s` phase span, is well under 1%). The result rides in
+/// `phases[]` with the observed- and traced-side fields set;
+/// `check-bench` gates both overheads at 5%.
 fn measure_observability(servers: usize, passes: usize) -> PhaseProfile {
     let mut plain: Option<vmt_telemetry::SummaryEvent> = None;
     let mut observed: Option<vmt_telemetry::SummaryEvent> = None;
+    let mut traced: Option<vmt_telemetry::SummaryEvent> = None;
     for _ in 0..passes {
-        for (best, obs) in [(&mut plain, false), (&mut observed, true)] {
-            let pass = run_zoned_instrumented(servers, obs);
+        for (best, mode) in [
+            (&mut plain, ZonedMode::Plain),
+            (&mut observed, ZonedMode::Observed),
+            (&mut traced, ZonedMode::Traced),
+        ] {
+            let pass = run_zoned_instrumented(servers, mode);
             *best = Some(match best.take() {
                 Some(prev) if prev.ticks_per_s >= pass.ticks_per_s => prev,
                 _ => pass,
@@ -274,11 +331,14 @@ fn measure_observability(servers: usize, passes: usize) -> PhaseProfile {
     }
     let plain = plain.expect("at least one pass ran");
     let observed = observed.expect("at least one pass ran");
+    let traced = traced.expect("at least one pass ran");
     if std::env::var("VMT_BENCH_OBS_DEBUG").is_ok() {
         println!("plain breakdown:    {:?}", plain.phases);
         println!("observed breakdown: {:?}", observed.phases);
+        println!("traced breakdown:   {:?}", traced.phases);
     }
     let overhead = plain.ticks_per_s / observed.ticks_per_s - 1.0;
+    let trace_overhead = plain.ticks_per_s / traced.ticks_per_s - 1.0;
     PhaseProfile {
         scheduler: "vmt-wa".to_string(),
         servers,
@@ -287,6 +347,8 @@ fn measure_observability(servers: usize, passes: usize) -> PhaseProfile {
         breakdown: plain.phases,
         ticks_per_sec_observed: Some(observed.ticks_per_s),
         observability_overhead: Some(overhead),
+        ticks_per_sec_traced: Some(traced.ticks_per_s),
+        tracing_overhead: Some(trace_overhead),
     }
 }
 
@@ -310,6 +372,11 @@ fn measure_all_phases() -> Vec<PhaseProfile> {
         o.ticks_per_sec_observed.unwrap(),
         o.observability_overhead.unwrap() * 100.0,
     );
+    println!(
+        "tracing vmt-wa @ 10000 (zoned, sample 200): traced {:.0} ticks/s -> {:+.1}% overhead",
+        o.ticks_per_sec_traced.unwrap(),
+        o.tracing_overhead.unwrap() * 100.0,
+    );
     phases.push(o);
     phases
 }
@@ -320,7 +387,34 @@ fn main() {
     // `cargo bench` hands harness=false targets a `--bench` argument;
     // `-- --smoke` (used by CI) forces the quick pass anyway.
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let refresh_phases = !smoke && std::env::args().any(|a| a == "--phases");
+    let obs_only = !smoke && std::env::args().any(|a| a == "--obs");
+    let refresh_phases = !smoke && !obs_only && std::env::args().any(|a| a == "--phases");
+    if obs_only {
+        // Just the zoned 10k observability/tracing overhead row — a
+        // quick iteration loop for overhead work (set
+        // VMT_BENCH_OBS_DEBUG=1 for the per-arm phase breakdowns,
+        // VMT_BENCH_OBS_PASSES to interleave more passes when one is
+        // too noisy to trust).
+        let passes = std::env::var("VMT_BENCH_OBS_PASSES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&p| p > 0)
+            .unwrap_or(1);
+        let o = measure_observability(10_000, passes);
+        println!(
+            "observability vmt-wa @ 10000 (zoned): spans-only {:.0} ticks/s, observed {:.0} \
+             ticks/s -> {:+.1}% overhead",
+            o.ticks_per_sec_instrumented,
+            o.ticks_per_sec_observed.unwrap(),
+            o.observability_overhead.unwrap() * 100.0,
+        );
+        println!(
+            "tracing vmt-wa @ 10000 (zoned, sample 200): traced {:.0} ticks/s -> {:+.1}% overhead",
+            o.ticks_per_sec_traced.unwrap(),
+            o.tracing_overhead.unwrap() * 100.0,
+        );
+        return;
+    }
     let full = !smoke
         && !refresh_phases
         && (std::env::args().any(|a| a == "--bench")
@@ -364,13 +458,19 @@ fn main() {
             p.ticks_per_sec_instrumented,
             p.coverage * 100.0
         );
-        // And the fully-observed zoned path (series + gauges +
-        // publisher), single pass: proves the measurement harness runs.
+        // And the fully-observed and traced zoned paths (series +
+        // gauges + publisher; span tracing), single pass each: proves
+        // the measurement harness runs.
         let o = measure_observability(20, 1);
         println!(
             "smoke vmt-wa observed (zoned): {:.0} ticks/s ({:+.1}% vs spans-only)",
             o.ticks_per_sec_observed.unwrap(),
             o.observability_overhead.unwrap() * 100.0,
+        );
+        println!(
+            "smoke vmt-wa traced (zoned): {:.0} ticks/s ({:+.1}% vs spans-only)",
+            o.ticks_per_sec_traced.unwrap(),
+            o.tracing_overhead.unwrap() * 100.0,
         );
         return;
     }

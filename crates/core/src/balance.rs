@@ -406,6 +406,154 @@ impl ThermalBalancer {
         Some(*self.win.last().expect("win matches key") as usize)
     }
 
+    /// The `k` members with the lowest current keys, best first —
+    /// the tournament the next placement would run, made visible for
+    /// decision tracing.
+    ///
+    /// Purely observational (no tree mutation) and cheap: a best-first
+    /// descent from the root expands only nodes that can still beat the
+    /// `k`-th emitted leaf — O(k · FANOUT · depth) node reads instead
+    /// of an O(leaves) scan, which matters when a traced run asks for
+    /// candidates on every sampled job of a 10k-server tick. Ties are
+    /// broken toward the leftmost descendant leaf, matching the tree's
+    /// own leftmost-winner rule, so the first entry is exactly
+    /// [`ThermalBalancer::peek`]'s prediction.
+    pub fn top_candidates(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.top_candidates_into(k, &mut out);
+        out
+    }
+
+    /// [`ThermalBalancer::top_candidates`] into a caller-owned buffer,
+    /// so a traced placement loop can reuse one scratch allocation
+    /// across every sampled job of a batch.
+    pub fn top_candidates_into(&self, k: usize, out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        let Some(&root_key) = self.key.last() else {
+            return;
+        };
+        if k == 0 || root_key == f64::INFINITY {
+            return;
+        }
+        let top = self.level_off.len() - 1;
+        // Lazy tournament extraction, leaning on the `win` cache: a
+        // pool entry is a *concrete leaf* — some subtree's cached
+        // winner — plus the level its subtree hung off an emitted
+        // winner's path, which is all that's needed to expand the
+        // rest of that subtree later. Emitting the pool minimum and
+        // expanding only the 7 per-level losers along the emitted
+        // leaf's path visits ~`k · (FANOUT-1) · depth` node keys with
+        // *address-independent* group reads (every group on a path is
+        // computable from the leaf index alone, so the walk is hinted
+        // up front) — against a best-first descent whose every level
+        // is a dependent cache miss. This runs per sampled job on
+        // traced runs, where that latency chain once dominated the
+        // whole tracing overhead.
+        //
+        // Pool order is the packed `(order_bits(key), leaf)` in one
+        // `u128`, so a single integer compare decides both the key
+        // order and the leftmost (lowest-id) tie-break — identical to
+        // the tree's own `(key, idx)` winner rule. Capping the pool at
+        // `k` is sound because pool subtrees are disjoint and an entry
+        // is its subtree's *best* leaf: each of `k` better-or-equal
+        // entries guarantees one leaf that beats every leaf of the
+        // dropped entry's subtree.
+        let root_leaf = *self.win.last().expect("win matches key") as usize;
+        let mut pool: Vec<(u128, f64, u8)> = Vec::with_capacity(k.min(64) + 1);
+        pool.push((
+            (order_bits(root_key) as u128) << 64 | root_leaf as u128,
+            root_key,
+            top as u8,
+        ));
+        while out.len() < k && !pool.is_empty() {
+            let (sort, key, lvl) = pool.remove(0);
+            let leaf = (sort & u64::MAX as u128) as usize;
+            out.push((leaf, key));
+            if out.len() >= k {
+                break;
+            }
+            // The rest of the emitted entry's subtree, exactly: at
+            // each level below where it hung off, the emitted leaf's
+            // path crosses one node; that node's `FANOUT - 1` losing
+            // siblings partition the remaining leaves into disjoint
+            // subtrees, and each sibling's own winner is cached.
+            // Scan top-down: a high-level sibling's key is a whole
+            // subtree's minimum — the strongest competitors live
+            // there — so visiting those first tightens the pre-reject
+            // threshold for the (far more numerous) low-level visits,
+            // and leaves the rest of the walk as prefetch distance
+            // for the hints issued when such a sibling is inserted.
+            // The final pool is order-independent (a running top-k),
+            // so this changes cost, never results.
+            let mut path = [0usize; 21];
+            let mut pos = leaf;
+            for slot in path.iter_mut().take(lvl as usize) {
+                *slot = pos;
+                pos /= FANOUT;
+            }
+            for l in (0..lvl as usize).rev() {
+                let pos = path[l];
+                let off = self.level_off[l];
+                let group = (pos / FANOUT) * FANOUT;
+                for node in group..group + FANOUT {
+                    if node == pos {
+                        continue;
+                    }
+                    let node_key = self.key[off + node];
+                    if node_key == f64::INFINITY {
+                        continue;
+                    }
+                    let bits = order_bits(node_key);
+                    // Cheap pre-reject on the key bits alone before
+                    // touching `win`; ties fall through to the full
+                    // packed compare.
+                    if pool.len() >= k {
+                        let (worst, _, _) = *pool.last().expect("nonempty");
+                        if (bits as u128) << 64 > worst {
+                            continue;
+                        }
+                    }
+                    let node_leaf = if l == 0 {
+                        node
+                    } else {
+                        self.win[off + node] as usize
+                    };
+                    let sort = (bits as u128) << 64 | node_leaf as u128;
+                    let at = pool.partition_point(|&(e, _, _)| e < sort);
+                    if at < k {
+                        if pool.len() == k {
+                            pool.pop();
+                        }
+                        // Hint the inserted entry's own winner path now
+                        // — the rest of this walk runs before it can be
+                        // popped, which is exactly the distance a
+                        // prefetch needs. (The first emission's path is
+                        // the tree's winner path, already hot from the
+                        // placement loop's `prefetch_member` hints.)
+                        #[cfg(target_arch = "x86_64")]
+                        if l > 0 {
+                            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                            let mut group = node_leaf / FANOUT;
+                            for pl in 0..l {
+                                let base = self.level_off[pl] + group * FANOUT;
+                                // SAFETY: `base` addresses a full padded
+                                // group inside `key`/`win` (layout
+                                // invariant above); prefetch never
+                                // faults architecturally.
+                                unsafe {
+                                    _mm_prefetch::<_MM_HINT_T0>(self.key.as_ptr().add(base).cast());
+                                    _mm_prefetch::<_MM_HINT_T0>(self.win.as_ptr().add(base).cast());
+                                }
+                                group /= FANOUT;
+                            }
+                        }
+                        pool.insert(at, (sort, node_key, l as u8));
+                    }
+                }
+            }
+        }
+    }
+
     /// Hints the CPU to pull member `idx`'s leaf-to-root tree path
     /// toward L1. At 100k servers the leaf and first internal levels
     /// are far out of L2, and `place` otherwise eats their miss latency
@@ -490,6 +638,74 @@ mod tests {
             counts[hot_idx] < counts[1 - hot_idx],
             "hot server got {counts:?}"
         );
+    }
+
+    #[test]
+    fn top_candidates_matches_a_sorted_leaf_scan() {
+        // 67 servers: more than one tree level, with padding.
+        let farm = farm(
+            67,
+            InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 9),
+        );
+        let mut b = ThermalBalancer::new();
+        b.rebuild(0..67, &farm);
+        let kpw = kelvin_per_watt(&farm);
+        let mut expect: Vec<(usize, f64)> = (0..67)
+            .map(|i| (i, fresh_key(i, 0.0, kpw, &farm)))
+            .collect();
+        expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        for k in [0, 1, 4, 67, 80] {
+            let got = b.top_candidates(k);
+            assert_eq!(got, expect[..k.min(67)], "k={k}");
+        }
+        // The best candidate is exactly the peeked next winner.
+        assert_eq!(b.top_candidates(1)[0].0, b.peek().unwrap());
+    }
+
+    // Warm-cache microbench for the top-k tournament — the hot path of
+    // the tracer's per-sampled-job candidate snapshot. Not a correctness
+    // test; run explicitly with
+    // `cargo test --release -p vmt-core prof_top -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn prof_top_candidates() {
+        let farm = farm(
+            10_000,
+            InletModel::normal(Celsius::new(22.0), DegC::new(2.0), 9),
+        );
+        let mut b = ThermalBalancer::new();
+        b.rebuild(0..10_000, &farm);
+        let mut out = Vec::new();
+        let mut sink = 0.0f64;
+        let t0 = std::time::Instant::now();
+        for _ in 0..1_000_000 {
+            b.top_candidates_into(4, &mut out);
+            sink += out[0].1;
+        }
+        let dt = t0.elapsed();
+        println!(
+            "warm top_candidates(4): {:.0} ns/call (sink {sink})",
+            dt.as_nanos() as f64 / 1e6
+        );
+    }
+
+    #[test]
+    fn top_candidates_skips_retired_members() {
+        let mut f = farm(3, InletModel::uniform(Celsius::new(22.0)));
+        for i in 0..32 {
+            f.start_job(
+                1,
+                &Job::new(JobId(i), WorkloadKind::VirusScan, Seconds::new(60.0)),
+            );
+        }
+        let mut b = ThermalBalancer::new();
+        // A full member's leaf stays `INFINITY` through the rebuild, so
+        // candidates never name it and the list stays sorted best-first.
+        b.rebuild(0..3, &f);
+        let got = b.top_candidates(4);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|&(idx, key)| idx != 1 && key.is_finite()));
+        assert!(got[0].1 <= got[1].1, "{got:?}");
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::grouping::VmtConfig;
 use vmt_dcsim::{
-    ClusterIndex, SavedState, Scheduler, ServerFarm, ServerId, SnapshotError, SnapshotState,
+    ClusterIndex, DecisionCandidate, DecisionDetail, PlacementProbe, SavedState, Scheduler,
+    ServerFarm, ServerId, SnapshotError, SnapshotState,
 };
-use vmt_telemetry::SchedulerCounters;
+use vmt_telemetry::{SchedulerCounters, DECISION_TOP_K};
 use vmt_units::{Celsius, Seconds};
 use vmt_workload::{Job, VmtClass};
 
@@ -368,26 +369,29 @@ impl VmtWa {
     /// [`VmtWa::place_hot`] on the engine's index: the same four-rung
     /// ladder, with free cores probed from the flat index array and the
     /// rung-4 linear fallbacks resuming from per-tick cursors instead of
-    /// rescanning from zero for every job.
-    fn place_hot_indexed(
+    /// rescanning from zero for every job. Returns the decision and the
+    /// static label of the rung that made it (the labels the trace
+    /// `explain` workflow surfaces); the label costs nothing — it is a
+    /// `&'static str` picked on paths the ladder already takes.
+    fn place_hot_explained(
         &mut self,
         farm: &ServerFarm,
         index: &ClusterIndex,
         core_power_w: f64,
-    ) -> Option<ServerId> {
+    ) -> (Option<ServerId>, &'static str) {
         let n = farm.len();
         // 1. Keep-warm.
         while let Some(&idx) = self.keep_warm.last() {
             if index.free_cores()[idx] > 0 && Self::projected_temp(farm, idx) < self.warm_line() {
                 self.hot.account_external_indexed(idx, core_power_w, index);
                 self.counters.keep_warm += 1;
-                return Some(ServerId(idx));
+                return (Some(ServerId(idx)), "keep-warm");
             }
             self.keep_warm.pop();
         }
         // 2. Temperature-balanced placement across the hot group.
         if let Some(idx) = self.hot.place_indexed(index, core_power_w) {
-            return Some(ServerId(idx));
+            return (Some(ServerId(idx)), "hot-balancer");
         }
         // 3. Grow one server at a time.
         while self.hot_size < n {
@@ -396,7 +400,7 @@ impl VmtWa {
             self.counters.hot_group_growth += 1;
             self.hot.add_member(idx, farm);
             if let Some(found) = self.hot.place_indexed(index, core_power_w) {
-                return Some(ServerId(found));
+                return (Some(ServerId(found)), "hot-grow");
             }
         }
         // 4. Whole-cluster fallbacks, cursor-resumed: a cursor only skips
@@ -410,22 +414,39 @@ impl VmtWa {
         }
         self.cursor_hot_unmelted = cursor;
         if cursor < n {
-            return Some(ServerId(cursor));
+            return (Some(ServerId(cursor)), "hot-fallback-unmelted");
         }
         let mut cursor = self.cursor_hot_any;
         while cursor < n && free[cursor] == 0 {
             cursor += 1;
         }
         self.cursor_hot_any = cursor;
-        (cursor < n).then_some(ServerId(cursor))
+        match cursor < n {
+            true => (Some(ServerId(cursor)), "hot-fallback-any"),
+            false => (None, "hot-exhausted"),
+        }
+    }
+
+    fn place_hot_indexed(
+        &mut self,
+        farm: &ServerFarm,
+        index: &ClusterIndex,
+        core_power_w: f64,
+    ) -> Option<ServerId> {
+        self.place_hot_explained(farm, index, core_power_w).0
     }
 
     /// [`VmtWa::place_cold`] on the engine's index; see
-    /// [`VmtWa::place_hot_indexed`] for the cursor argument.
-    fn place_cold_indexed(&mut self, index: &ClusterIndex, core_power_w: f64) -> Option<ServerId> {
+    /// [`VmtWa::place_hot_explained`] for the cursor argument and the
+    /// rung labels.
+    fn place_cold_explained(
+        &mut self,
+        index: &ClusterIndex,
+        core_power_w: f64,
+    ) -> (Option<ServerId>, &'static str) {
         // 1. The cold group, temperature balanced.
         if let Some(idx) = self.cold.place_indexed(index, core_power_w) {
-            return Some(ServerId(idx));
+            return (Some(ServerId(idx)), "cold-balancer");
         }
         // 2. Melted-and-warm hot-group servers, cursor-resumed.
         let free = index.free_cores();
@@ -437,7 +458,7 @@ impl VmtWa {
         }
         self.cursor_cold_melted_warm = cursor;
         if cursor < self.hot_size {
-            return Some(ServerId(cursor));
+            return (Some(ServerId(cursor)), "cold-spill-melted-warm");
         }
         // 3. Any remaining hot-group server.
         let mut cursor = self.cursor_cold_any;
@@ -445,7 +466,54 @@ impl VmtWa {
             cursor += 1;
         }
         self.cursor_cold_any = cursor;
-        (cursor < self.hot_size).then_some(ServerId(cursor))
+        match cursor < self.hot_size {
+            true => (Some(ServerId(cursor)), "cold-spill-any"),
+            false => (None, "cold-exhausted"),
+        }
+    }
+
+    fn place_cold_indexed(&mut self, index: &ClusterIndex, core_power_w: f64) -> Option<ServerId> {
+        self.place_cold_explained(index, core_power_w).0
+    }
+
+    /// The shared tight inner loop of [`VmtWa::place_batch`] and the
+    /// unsampled runs of `place_batch_traced`: the refresh and initial
+    /// prefetch priming are the callers' job. Kept free of any sampling
+    /// or detail branches — this loop runs for every job the cluster
+    /// places, tens of thousands per tick at scale.
+    #[inline]
+    fn place_span(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+    ) {
+        for job in jobs {
+            let class = job.kind().vmt_class();
+            let placed = match class {
+                VmtClass::Hot => self.place_hot_indexed(farm, index, job.core_power().get()),
+                VmtClass::Cold => self.place_cold_indexed(index, job.core_power().get()),
+            };
+            self.count_placement(class, placed);
+            if let Some(sid) = placed {
+                farm.start_job(sid.0, job);
+                index.record_start(sid.0);
+            }
+            out.push(placed);
+            // The balancer this job went through has a fresh root
+            // winner; hint it now so its lanes arrive by the time the
+            // next same-class job reads them.
+            let balancer = match class {
+                VmtClass::Hot => &self.hot,
+                VmtClass::Cold => &self.cold,
+            };
+            if let Some(next) = balancer.peek() {
+                farm.prefetch_server(next);
+                index.prefetch_server(next);
+                balancer.prefetch_member(next);
+            }
+        }
     }
 
     /// The cross-tick state image (also nested in
@@ -603,11 +671,66 @@ impl Scheduler for VmtWa {
                 balancer.prefetch_member(next);
             }
         }
-        for job in jobs {
+        self.place_span(jobs, farm, index, out);
+    }
+
+    /// [`VmtWa::place_batch`] with per-job decision detail for sampled
+    /// jobs. The decision sequence is exactly `place_batch`'s — the
+    /// prefetch hints included — because everything the probe receives
+    /// is read-only: the candidate list is snapshotted from the class's
+    /// balancer *before* the placement mutates it (so it shows the
+    /// tournament the job actually entered), and the rung label falls
+    /// out of the ladder for free.
+    ///
+    /// The batch is split around the sampled jobs (asked of the probe
+    /// once, up front): unsampled runs go through the same tight
+    /// [`VmtWa::place_span`] loop as `place_batch`, so tracing at an
+    /// untraced density costs the 99%-unsampled majority of jobs
+    /// nothing — no per-job sampling check, no detail branches.
+    fn place_batch_traced(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+        probe: &mut dyn PlacementProbe,
+    ) {
+        if self.melted.len() != farm.len() {
+            self.refresh_indexed_impl(farm, index);
+        }
+        for balancer in [&self.hot, &self.cold] {
+            if let Some(next) = balancer.peek() {
+                farm.prefetch_server(next);
+                index.prefetch_server(next);
+                balancer.prefetch_member(next);
+            }
+        }
+        let mut sampled = Vec::new();
+        probe.sampled_indices(jobs, &mut sampled);
+        let mut cand_scratch: Vec<(usize, f64)> = Vec::new();
+        let mut start = 0;
+        for &at in &sampled {
+            self.place_span(&jobs[start..at], farm, index, out);
+            start = at + 1;
+            let job = &jobs[at];
             let class = job.kind().vmt_class();
-            let placed = match class {
-                VmtClass::Hot => self.place_hot_indexed(farm, index, job.core_power().get()),
-                VmtClass::Cold => self.place_cold_indexed(index, job.core_power().get()),
+            let candidates: Vec<DecisionCandidate> = {
+                let balancer = match class {
+                    VmtClass::Hot => &self.hot,
+                    VmtClass::Cold => &self.cold,
+                };
+                balancer.top_candidates_into(DECISION_TOP_K, &mut cand_scratch);
+                cand_scratch
+                    .iter()
+                    .map(|&(idx, key)| DecisionCandidate {
+                        server: idx as u32,
+                        key,
+                    })
+                    .collect()
+            };
+            let (placed, rung) = match class {
+                VmtClass::Hot => self.place_hot_explained(farm, index, job.core_power().get()),
+                VmtClass::Cold => self.place_cold_explained(index, job.core_power().get()),
             };
             self.count_placement(class, placed);
             if let Some(sid) = placed {
@@ -615,9 +738,25 @@ impl Scheduler for VmtWa {
                 index.record_start(sid.0);
             }
             out.push(placed);
-            // The balancer this job went through has a fresh root
-            // winner; hint it now so its lanes arrive by the time the
-            // next same-class job reads them.
+            let chosen = placed.map(|sid| sid.0 as u32);
+            // The winning key is the chosen server's pre-placement
+            // tournament key; priority/cursor rungs (and a winner
+            // outside the snapshot's top-k) report none.
+            let winning_key = chosen.and_then(|c| {
+                candidates
+                    .iter()
+                    .find(|cand| cand.server == c)
+                    .map(|cand| cand.key)
+            });
+            probe.decision(
+                job,
+                DecisionDetail {
+                    rung,
+                    chosen,
+                    winning_key,
+                    candidates,
+                },
+            );
             let balancer = match class {
                 VmtClass::Hot => &self.hot,
                 VmtClass::Cold => &self.cold,
@@ -628,6 +767,7 @@ impl Scheduler for VmtWa {
                 balancer.prefetch_member(next);
             }
         }
+        self.place_span(&jobs[start..], farm, index, out);
     }
 
     fn hot_group_size(&self) -> Option<usize> {

@@ -4,7 +4,7 @@ use crate::config::ClusterConfig;
 use crate::farm::{ServerFarm, SweepTiming, SHARD};
 use crate::index::ClusterIndex;
 use crate::metrics::{Heatmap, SimulationResult};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{DecisionDetail, PlacementProbe, Scheduler};
 use crate::server::Server;
 use crate::server::ServerId;
 use crate::snapshot::{Snapshot, SnapshotError};
@@ -12,7 +12,7 @@ use crate::telemetry::{EngineTelemetry, PhaseClock};
 use crate::topology::ZoneCooling;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use vmt_telemetry::{TelemetryConfig, TickPhase};
+use vmt_telemetry::{TelemetryConfig, TickPhase, Tracer};
 use vmt_thermal::CoolingLoadSeries;
 use vmt_units::{Celsius, Hours, Joules, Watts};
 use vmt_workload::{ArrivalPlanner, Job, JobId, JobSpec, LoadTrace, WorkloadKind};
@@ -146,6 +146,50 @@ impl RunState {
             placements: self.placements,
             telemetry: None,
         }
+    }
+}
+
+/// The engine's [`PlacementProbe`]: forwards sampled decision detail
+/// from a policy's `place_batch_traced` into the span tracer.
+struct TraceProbe<'a> {
+    tracer: &'a mut Tracer,
+}
+
+impl PlacementProbe for TraceProbe<'_> {
+    fn wants(&self, job: &Job) -> bool {
+        self.tracer.wants_job(job.id().0)
+    }
+
+    fn sampled_indices(&self, jobs: &[Job], out: &mut Vec<usize>) {
+        out.clear();
+        let (Some(first), Some(last)) = (jobs.first(), jobs.last()) else {
+            return;
+        };
+        // The engine assigns batch ids serially, so the sampled
+        // offsets come out of one arithmetic pass instead of a
+        // per-job modulo scan over the whole batch.
+        if last.id().0.wrapping_sub(first.id().0) == jobs.len() as u64 - 1 {
+            *out = self.tracer.sampled_offsets(first.id().0, jobs.len());
+            debug_assert!(out.iter().all(|&i| self.wants(&jobs[i])));
+        } else {
+            for (i, job) in jobs.iter().enumerate() {
+                if self.wants(job) {
+                    out.push(i);
+                }
+            }
+        }
+    }
+
+    fn decision(&mut self, job: &Job, detail: DecisionDetail) {
+        // `DecisionCandidate` is an alias of `SpanCandidate`, so the
+        // policy's snapshot moves into the ring without a copy.
+        self.tracer.decision(
+            job.id().0,
+            detail.rung,
+            detail.chosen,
+            detail.winning_key,
+            detail.candidates,
+        );
     }
 }
 
@@ -393,12 +437,21 @@ impl Simulation {
         let now_hours = Hours::new(now.get() / 3600.0);
 
         // Phase laps are taken only when telemetry is attached; the
-        // disabled path reads no clocks at all.
+        // disabled path reads no clocks at all. The span tracer reuses
+        // each lap's nanoseconds — phase spans add no timestamps on top
+        // of the profiler's.
         let mut clock = run.telemetry.as_ref().map(|_| PhaseClock::start());
+        if let Some(tr) = run.telemetry.as_mut().and_then(|tel| tel.tracer.as_mut()) {
+            tr.begin_tick(t as u64);
+        }
         macro_rules! lap {
             ($phase:ident) => {
                 if let (Some(tel), Some(clock)) = (run.telemetry.as_mut(), clock.as_mut()) {
-                    tel.profiler.add_ns(TickPhase::$phase, clock.lap());
+                    let ns = clock.lap();
+                    tel.profiler.add_ns(TickPhase::$phase, ns);
+                    if let Some(tr) = tel.tracer.as_mut() {
+                        tr.phase(TickPhase::$phase, ns);
+                    }
                 }
             };
         }
@@ -470,7 +523,15 @@ impl Simulation {
         // scheduler may observe the temperatures but built-in policies
         // keep placement independent of them.
         if let Some(zones) = self.zones.as_mut() {
-            zones.step(self.farm.active_power_lane(), self.farm.idle_w(), dt.get());
+            match run.telemetry.as_mut().and_then(|tel| tel.tracer.as_mut()) {
+                Some(tr) => zones.step_traced(
+                    self.farm.active_power_lane(),
+                    self.farm.idle_w(),
+                    dt.get(),
+                    |z, ns, temp_c, duty| tr.zone(z as u32, ns, temp_c, duty),
+                ),
+                None => zones.step(self.farm.active_power_lane(), self.farm.idle_w(), dt.get()),
+            }
             self.scheduler.observe_zones(zones.temperatures());
         }
         let mean_air_c = totals.temp_sum_c / num_servers as f64;
@@ -501,7 +562,11 @@ impl Simulation {
         }
         lap!(Record);
         if let (Some(tel), Some(clock)) = (run.telemetry.as_mut(), clock.as_ref()) {
-            tel.profiler.add_tick(clock.total());
+            let total = clock.total();
+            tel.profiler.add_tick(total);
+            if let Some(tr) = tel.tracer.as_mut() {
+                tr.end_tick(total.as_nanos() as u64);
+            }
         }
     }
 
@@ -898,13 +963,57 @@ impl Simulation {
         // Hand the whole batch to the scheduler in one call:
         // `place_batch`'s default body runs the identical per-job
         // decision sequence, but monomorphized per policy, so the whole
-        // placement loop costs one dynamic dispatch per tick.
+        // placement loop costs one dynamic dispatch per tick. With the
+        // span tracer armed the traced variant runs instead, feeding
+        // sampled decision detail through a probe — the decision
+        // sequence itself is identical either way.
+        let mut telemetry = telemetry;
         let mut outcomes = std::mem::take(&mut self.outcomes);
         outcomes.clear();
         outcomes.reserve(batch.len());
-        self.scheduler
-            .place_batch(&batch, &mut self.farm, &mut self.index, &mut outcomes);
+        match telemetry.as_deref_mut().and_then(|tel| tel.tracer.as_mut()) {
+            Some(tracer) => {
+                let mut probe = TraceProbe { tracer };
+                self.scheduler.place_batch_traced(
+                    &batch,
+                    &mut self.farm,
+                    &mut self.index,
+                    &mut outcomes,
+                    &mut probe,
+                );
+            }
+            None => {
+                self.scheduler
+                    .place_batch(&batch, &mut self.farm, &mut self.index, &mut outcomes);
+            }
+        }
         debug_assert_eq!(outcomes.len(), batch.len());
+
+        // Placement instants for sampled jobs: outcome, zone, and
+        // departure horizon, emitted after the batch so every instant
+        // reflects the final engine-visible decision.
+        if let Some(tr) = telemetry.as_deref_mut().and_then(|tel| tel.tracer.as_mut()) {
+            let layout = self.zones.as_ref().map(|z| z.layout());
+            // Batch ids are consecutive (assigned above), so the
+            // sampled offsets come from one arithmetic pass — no
+            // per-job sampling check over tens of thousands of jobs.
+            let first_id = batch.first().map_or(0, |job| job.id().0);
+            for i in tr.sampled_offsets(first_id, batch.len()) {
+                let (job, placed) = (&batch[i], outcomes[i]);
+                let duration_ticks = (job.duration().get() / self.config.tick.get())
+                    .round()
+                    .max(1.0) as u32;
+                let server = placed.map(|sid| sid.0 as u32);
+                let zone = placed.and_then(|sid| layout.map(|l| l.zone_of(sid.0) as u32));
+                tr.placement(
+                    job.id().0,
+                    job.kind().index() as u8,
+                    server,
+                    zone,
+                    duration_ticks,
+                );
+            }
+        }
 
         // Engine bookkeeping over the outcomes, in batch order. The
         // flight-record calls are compiled into a separate loop body so

@@ -65,7 +65,7 @@ pub use replay::{
     digest_final_state, digest_index, RecordingScheduler, ReplayHandle, ReplayScheduler,
     TraceHandle,
 };
-pub use scheduler::{FirstFit, Scheduler};
+pub use scheduler::{DecisionCandidate, DecisionDetail, FirstFit, PlacementProbe, Scheduler};
 pub use server::{Server, ServerId};
 pub use snapshot::{
     SavedState, Snapshot, SnapshotError, SnapshotState, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
@@ -75,4 +75,4 @@ pub use topology::{
 };
 /// Re-exported so downstream crates can attach telemetry without a
 /// direct `vmt-telemetry` dependency.
-pub use vmt_telemetry::{FlightConfig, SummaryHandle, TelemetryConfig};
+pub use vmt_telemetry::{FlightConfig, SummaryHandle, TelemetryConfig, TraceSpec, TracerHandle};

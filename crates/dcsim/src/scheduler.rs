@@ -7,6 +7,73 @@ use crate::snapshot::SnapshotState;
 use vmt_units::Seconds;
 use vmt_workload::Job;
 
+/// One tournament candidate inside a [`DecisionDetail`]: a server and
+/// its balancer key at the moment of the decision.
+///
+/// This *is* the tracer's candidate type — the alias lets a policy's
+/// candidate snapshot travel by move from the balancer through the
+/// probe into the trace ring, instead of being copied element-by-
+/// element at each crate boundary (it rides the placement hot path on
+/// traced runs).
+pub type DecisionCandidate = vmt_telemetry::SpanCandidate;
+
+/// A policy's explanation of one placement decision, reported through
+/// a [`PlacementProbe`].
+///
+/// Everything here is derived from the policy's deterministic state
+/// *before* the placement mutated it, so the detail stream is
+/// bit-identical across thread counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionDetail {
+    /// Which rung of the policy's placement ladder produced the
+    /// decision (e.g. `"hot-balancer"`, `"keep-warm"`, `"cold-any"`).
+    pub rung: &'static str,
+    /// The chosen server, `None` when every rung failed.
+    pub chosen: Option<u32>,
+    /// The chosen server's tournament key when a balancer rung won;
+    /// `None` on priority/cursor rungs.
+    pub winning_key: Option<f64>,
+    /// Top tournament candidates (winner first) the balancer was
+    /// offering when the decision was made; empty for policies or
+    /// rungs without a tournament.
+    pub candidates: Vec<DecisionCandidate>,
+}
+
+/// Receives per-job decision detail from a policy's
+/// [`Scheduler::place_batch_traced`].
+///
+/// The engine implements this to feed its span tracer. [`wants`]
+/// gates the (comparatively expensive) detail assembly to sampled
+/// jobs; `decision` is called at most once per wanted job, after the
+/// placement's bookkeeping against the policy's own structures but
+/// before the next job is considered.
+///
+/// [`wants`]: PlacementProbe::wants
+pub trait PlacementProbe {
+    /// Whether detail for `job` should be assembled and reported.
+    fn wants(&self, job: &Job) -> bool;
+
+    /// Fills `out` with the strictly increasing indices of the wanted
+    /// jobs in `jobs` — equivalent to filtering every index through
+    /// [`wants`](PlacementProbe::wants), which is what the default
+    /// does. Batch loops should prefer this over a per-job `wants`
+    /// call: it lets the engine's probe answer arithmetically for a
+    /// whole batch of consecutive job ids, keeping the unsampled
+    /// fast path free of per-job sampling checks (at cluster scale a
+    /// tick places tens of thousands of jobs).
+    fn sampled_indices(&self, jobs: &[Job], out: &mut Vec<usize>) {
+        out.clear();
+        for (i, job) in jobs.iter().enumerate() {
+            if self.wants(job) {
+                out.push(i);
+            }
+        }
+    }
+
+    /// Reports the decision detail for a wanted job.
+    fn decision(&mut self, job: &Job, detail: DecisionDetail);
+}
+
 /// A cluster-level job placement policy.
 ///
 /// The engine calls [`Scheduler::on_tick`] once per simulated minute
@@ -74,8 +141,8 @@ pub trait Scheduler: SnapshotState {
     /// started on the farm and recorded in the index before the next
     /// decision, and each job's outcome is pushed onto `out`.
     ///
-    /// The default — which no built-in policy overrides — runs exactly
-    /// the per-job sequence the engine used to run inline, so the
+    /// The default runs exactly the per-job sequence the engine used
+    /// to run inline (VMT-WA overrides it to add prefetching), so the
     /// policy observes identical farm/index state before every decision
     /// and the outcomes (hence results, counters, and replay digests)
     /// are bit-identical to per-job placement. Batching exists to
@@ -97,6 +164,33 @@ pub trait Scheduler: SnapshotState {
             }
             out.push(placed);
         }
+    }
+
+    /// [`Scheduler::place_batch`] with a decision probe attached: the
+    /// engine calls this instead of `place_batch` when span tracing is
+    /// armed.
+    ///
+    /// The default ignores the probe and delegates, so the placements
+    /// — and therefore results, counters, and replay digests — are
+    /// bit-identical to an untraced run for every policy. Policies
+    /// that can explain their decisions (VMT-WA's placement ladder)
+    /// override this to report a [`DecisionDetail`] per sampled job;
+    /// the override must keep the decision sequence identical to
+    /// `place_batch`, reporting detail without perturbing it. The
+    /// record/replay harness wrappers deliberately do *not* override
+    /// this: a recorded run and its replay both fall through to the
+    /// detail-free default, which keeps their traces bit-identical to
+    /// each other.
+    fn place_batch_traced(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+        probe: &mut dyn PlacementProbe,
+    ) {
+        let _ = probe;
+        self.place_batch(jobs, farm, index, out);
     }
 
     /// Observes the per-zone CRAC supply-air temperatures, indexed by

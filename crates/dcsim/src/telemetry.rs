@@ -24,7 +24,7 @@ use vmt_telemetry::{
     render_openmetrics, AnomalyEvent, Counter, Dashboard, DashboardRow, Event, FlightConfig,
     FlightRecorder, Gauge, Histogram, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition,
     PhaseProfiler, ProgressMeter, RunConfigEvent, SchedulerCounters, SharedSeries, SnapshotEvent,
-    SummaryEvent, TelemetryConfig, TickState, TraceRecord, WatchdogSet, SCHEMA_VERSION,
+    SummaryEvent, TelemetryConfig, TickState, TraceRecord, Tracer, WatchdogSet, SCHEMA_VERSION,
     SPARK_WIDTH,
 };
 
@@ -176,6 +176,11 @@ pub(crate) struct EngineTelemetry {
     anomaly_dumps: usize,
     /// Armed anomaly detectors, when the config listed any.
     watchdogs: Option<WatchdogSet>,
+    /// The deterministic span tracer, when [`TelemetryConfig::trace`]
+    /// armed one. The engine drives it directly (phase laps, zone
+    /// spans, placement instants); this module adds anomaly instants
+    /// and deposits the finished buffer at the end of the run.
+    pub(crate) tracer: Option<Tracer>,
     /// Scheduler spill total as of the previous tick (for deltas).
     last_spills: u64,
     cores_per_server: u32,
@@ -359,6 +364,7 @@ impl EngineTelemetry {
             .map(|f| FlightRecorder::with_capacity(f.capacity));
         let specs = std::mem::take(&mut config.watchdogs);
         let watchdogs = (!specs.is_empty()).then(|| WatchdogSet::new(specs, num_servers));
+        let tracer = config.trace.take().map(|spec| Tracer::new(&spec));
         Self {
             config,
             profiler: PhaseProfiler::new(),
@@ -372,6 +378,7 @@ impl EngineTelemetry {
             flight,
             anomaly_dumps: 0,
             watchdogs,
+            tracer,
             last_spills: 0,
             cores_per_server,
             ticks,
@@ -661,6 +668,12 @@ impl EngineTelemetry {
                         watchdog: event.watchdog,
                     });
                 }
+                // Span-trace instant: lands inside the current tick's
+                // span, linking the anomaly to the phases (and any
+                // sampled placements) of its window.
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.anomaly(event.watchdog.label(), event.server, event.value);
+                }
                 if let Some(sink) = &self.config.sink {
                     sink.emit(&Event::Anomaly(event.clone()));
                 }
@@ -761,6 +774,11 @@ impl EngineTelemetry {
                     eprintln!("flight dump to {} failed: {e}", path.display());
                 }
             }
+        }
+        // Deposit the finished trace for the caller holding a clone of
+        // the config's [`TracerHandle`](vmt_telemetry::TracerHandle).
+        if let Some(tracer) = self.tracer.take() {
+            self.config.tracer.set(tracer.into_buffer());
         }
         let anomalies = self
             .watchdogs

@@ -376,24 +376,54 @@ impl ZoneCooling {
     pub fn step(&mut self, active_power_w: &[f64], idle_w: f64, dt_s: f64) {
         debug_assert_eq!(active_power_w.len(), self.layout.num_servers);
         for z in 0..self.temperature_c.len() {
-            let range = self.layout.zone_range(z);
-            let mut offered = 0.0;
-            for &active in &active_power_w[range] {
-                offered += idle_w + active;
-            }
-            // Same plant law as `RoomModel::step`, on raw f64 lanes.
-            let removal = if self.temperature_c[z] > self.setpoint_c {
-                self.capacity_w[z]
-            } else {
-                offered.min(self.capacity_w[z])
-            };
-            let net = offered - removal;
-            self.temperature_c[z] += net * dt_s / self.capacitance_j_per_k[z];
-            if self.temperature_c[z] < self.setpoint_c {
-                self.temperature_c[z] = self.setpoint_c;
-            }
-            self.duty[z] = removal / self.capacity_w[z];
+            self.step_zone(z, active_power_w, idle_w, dt_s);
         }
+    }
+
+    /// [`ZoneCooling::step`] with a per-zone observer: `observe(zone,
+    /// elapsed_ns, temp_c, duty)` is called after each zone integrates,
+    /// with that zone's wall-clock integration time. The zone state
+    /// after this is bit-identical to `step` — the per-zone work is the
+    /// shared [`ZoneCooling::step_zone`] body, and the `Instant` reads
+    /// happen *between* zones, never inside the arithmetic. Only the
+    /// tracing path calls this; the plain path takes zero timestamps.
+    pub fn step_traced(
+        &mut self,
+        active_power_w: &[f64],
+        idle_w: f64,
+        dt_s: f64,
+        mut observe: impl FnMut(usize, u64, f64, f64),
+    ) {
+        debug_assert_eq!(active_power_w.len(), self.layout.num_servers);
+        for z in 0..self.temperature_c.len() {
+            let started = std::time::Instant::now();
+            self.step_zone(z, active_power_w, idle_w, dt_s);
+            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            observe(z, elapsed_ns, self.temperature_c[z], self.duty[z]);
+        }
+    }
+
+    /// One zone's integration step — the shared body of
+    /// [`ZoneCooling::step`] and [`ZoneCooling::step_traced`].
+    #[inline]
+    fn step_zone(&mut self, z: usize, active_power_w: &[f64], idle_w: f64, dt_s: f64) {
+        let range = self.layout.zone_range(z);
+        let mut offered = 0.0;
+        for &active in &active_power_w[range] {
+            offered += idle_w + active;
+        }
+        // Same plant law as `RoomModel::step`, on raw f64 lanes.
+        let removal = if self.temperature_c[z] > self.setpoint_c {
+            self.capacity_w[z]
+        } else {
+            offered.min(self.capacity_w[z])
+        };
+        let net = offered - removal;
+        self.temperature_c[z] += net * dt_s / self.capacitance_j_per_k[z];
+        if self.temperature_c[z] < self.setpoint_c {
+            self.temperature_c[z] = self.setpoint_c;
+        }
+        self.duty[z] = removal / self.capacity_w[z];
     }
 
     /// Overwrites the integrator state from a snapshot's saved zone

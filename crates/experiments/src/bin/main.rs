@@ -11,6 +11,7 @@
 //!                     [--metrics-addr HOST:PORT]
 //!                     [--watchdogs] [--red-line C]
 //!                     [--flight-dump FILE] [--flight-capacity N]
+//!                     [--trace FILE] [--trace-sample N] [--trace-jobs IDS]
 //! vmt-experiments record TRACE [--policy NAME] [--gv F] [--servers N]
 //!                     [--hours H] [--seed S] [--threads T]
 //! vmt-experiments replay TRACE [--until TICK] [--threads T]
@@ -18,10 +19,12 @@
 //!                     [--policy NAME] [--gv F] [--servers N] [--hours H]
 //!                     [--seed S] [--threads T] [--zones]
 //! vmt-experiments resume FILE [--until TICK] [--threads T]
+//! vmt-experiments explain JOB_ID TRACE
 //! vmt-experiments check-telemetry FILE
 //! vmt-experiments check-flight FILE
 //! vmt-experiments check-bench FILE
 //! vmt-experiments check-metrics FILE [--require FAMILIES]
+//! vmt-experiments check-trace FILE
 //! ```
 //!
 //! IDs: `table1 table2 fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12
@@ -83,10 +86,12 @@ fn print_help() {
     println!("  vmt-experiments replay TRACE [--until TICK] [--threads T]");
     println!("  vmt-experiments snapshot FILE (--at TICK | --from-flight DUMP) [options]");
     println!("  vmt-experiments resume FILE [--until TICK] [--threads T]");
+    println!("  vmt-experiments explain JOB_ID TRACE");
     println!("  vmt-experiments check-telemetry FILE");
     println!("  vmt-experiments check-flight FILE");
     println!("  vmt-experiments check-bench FILE");
     println!("  vmt-experiments check-metrics FILE [--require FAMILIES]");
+    println!("  vmt-experiments check-trace FILE");
     println!("  vmt-experiments --help");
     println!();
     println!("experiment ids:");
@@ -120,6 +125,14 @@ fn print_help() {
     println!("  --flight-dump FILE   arm the flight recorder; the end-of-run dump");
     println!("                       goes to FILE, watchdog dumps to FILE.anomaly<N>");
     println!("  --flight-capacity N  flight ring capacity in records (default 65536)");
+    println!("  --trace FILE         record deterministic span traces and write them");
+    println!("                       to FILE as Chrome trace-event JSON (loadable in");
+    println!("                       Perfetto / chrome://tracing); per-tick phase and");
+    println!("                       per-zone spans, placement + decision instants");
+    println!("  --trace-sample N     trace every Nth job's placement decision");
+    println!("                       (default 1 = every job; 0 = only --trace-jobs)");
+    println!("  --trace-jobs IDS     comma-separated job ids to always trace, on top");
+    println!("                       of the sample (alone it implies --trace-sample 0)");
     println!();
     println!("record writes the run's placement-decision trace to TRACE (same");
     println!("  --policy/--gv/--servers/--hours/--seed options as run; servers");
@@ -145,12 +158,25 @@ fn print_help() {
     println!("check-bench validates an engine benchmark artifact (BENCH_engine.json):");
     println!("  schema, per-row sanity, identical placements across thread counts,");
     println!("  no scaling inversion (threads=N >= 0.9x threads=1 ticks/s), the");
-    println!("  10k/100k vmt-wa groups present at threads 1/2/4/8, and the 100k");
-    println!("  48h rows under the wall-clock regression ceiling.");
+    println!("  10k/100k vmt-wa groups present at threads 1/2/4/8, the 100k");
+    println!("  48h rows under the wall-clock regression ceiling, and the zoned");
+    println!("  10k observability and tracing overhead rows under their 5% gates.");
     println!("check-metrics validates an OpenMetrics exposition (a `/metrics` scrape");
     println!("  saved to FILE, or `-` for stdin) with the strict in-repo parser;");
-    println!("  --require F1,F2 additionally demands those metric families. Exits 1");
-    println!("  when the document is malformed or a required family is missing.");
+    println!("  --require F1,F2 additionally demands those metric families.");
+    println!("check-trace validates a Chrome trace-event file written by");
+    println!("  `run --trace` (FILE, or `-` for stdin): strict parse, span nesting");
+    println!("  per lane, unique (tick, seq) ids, payload fields per category.");
+    println!("explain reconstructs a job's placement from a trace written by");
+    println!("  `run --trace`: arrival tick, the scheduler rung that placed it, the");
+    println!("  top-k candidate servers with their tournament keys, the chosen");
+    println!("  server and its winning key, and the zone it landed in. TRACE is a");
+    println!("  file path or `-` for stdin; exits 1 when the job is not in the");
+    println!("  trace (raise the sample with --trace-sample or pin the id with");
+    println!("  --trace-jobs).");
+    println!();
+    println!("exit codes (all check-* and explain): 0 = valid, 1 = invalid input or");
+    println!("  job/family not found, 2 = usage error (unknown flag, missing file).");
 }
 
 /// Exits with a usage error (status 2).
@@ -226,10 +252,12 @@ fn main() {
         "replay" => cmd_replay(&args[1..]),
         "snapshot" => cmd_snapshot(&args[1..]),
         "resume" => cmd_resume(&args[1..]),
+        "explain" => cmd_explain(&args[1..]),
         "check-telemetry" => cmd_check_telemetry(&args[1..]),
         "check-flight" => cmd_check_flight(&args[1..]),
         "check-bench" => cmd_check_bench(&args[1..]),
         "check-metrics" => cmd_check_metrics(&args[1..]),
+        "check-trace" => cmd_check_trace(&args[1..]),
         id => cmd_experiment(id, &args[1..]),
     }
 }
@@ -284,6 +312,9 @@ fn cmd_run(rest: &[String]) {
             "--red-line",
             "--flight-dump",
             "--flight-capacity",
+            "--trace",
+            "--trace-sample",
+            "--trace-jobs",
         ],
     );
     let gv: f64 = numeric(&flags, "--gv").unwrap_or(22.0);
@@ -370,6 +401,34 @@ fn cmd_run(rest: &[String]) {
         flight.dump_path = flags.get("--flight-dump").map(std::path::PathBuf::from);
         telemetry = telemetry.with_flight(flight);
     }
+    if (flags.contains_key("--trace-sample") || flags.contains_key("--trace-jobs"))
+        && !flags.contains_key("--trace")
+    {
+        die("`--trace-sample`/`--trace-jobs` require `--trace FILE`");
+    }
+    if flags.contains_key("--trace") {
+        let mut spec = vmt_telemetry::TraceSpec::default();
+        if let Some(jobs) = flags.get("--trace-jobs") {
+            // A pinned job list alone means "only these jobs": the
+            // sampler is off unless --trace-sample re-enables it.
+            spec.sample_every = 0;
+            spec.jobs = jobs
+                .split(',')
+                .map(str::trim)
+                .filter(|id| !id.is_empty())
+                .map(|id| {
+                    id.parse().unwrap_or_else(|_| {
+                        die(&format!("`--trace-jobs` got unparseable job id `{id}`"))
+                    })
+                })
+                .collect();
+        }
+        if let Some(sample) = numeric::<u64>(&flags, "--trace-sample") {
+            spec.sample_every = sample;
+        }
+        telemetry = telemetry.with_trace(spec);
+    }
+    let tracer = telemetry.tracer.clone();
     let summary = telemetry.summary.clone();
 
     let result = run.execute_with_telemetry(telemetry);
@@ -393,6 +452,29 @@ fn cmd_run(rest: &[String]) {
     }
     if let Some(path) = flags.get("--flight-dump") {
         println!("flight dump: {path}");
+    }
+    if let Some(path) = flags.get("--trace") {
+        match tracer.take() {
+            Some(buffer) => {
+                let records = buffer.records.len();
+                let dropped = buffer.dropped;
+                if let Err(err) = std::fs::write(path, vmt_telemetry::render_trace(&buffer)) {
+                    eprintln!("error: cannot write `{path}`: {err}");
+                    std::process::exit(1);
+                }
+                print!("trace: {path} ({records} span records");
+                if dropped > 0 {
+                    print!(", {dropped} dropped by the ring");
+                }
+                println!(")");
+            }
+            // Telemetry always deposits the buffer in `finish`; a miss
+            // means the run aborted before its summary.
+            None => {
+                eprintln!("error: the run deposited no trace buffer");
+                std::process::exit(1);
+            }
+        }
     }
     // Shut the scrape thread down only after the final exposition was
     // published, so a last scrape can observe the finished run.
@@ -820,19 +902,7 @@ fn cmd_check_metrics(rest: &[String]) {
         _ => die(USAGE),
     };
     let flags = parse_flags(rest, &["--require"]);
-    let text = if path == "-" {
-        use std::io::Read as _;
-        let mut buf = String::new();
-        if let Err(err) = std::io::stdin().read_to_string(&mut buf) {
-            die(&format!("cannot read stdin: {err}"));
-        }
-        buf
-    } else {
-        match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(err) => die(&format!("cannot read `{path}`: {err}")),
-        }
-    };
+    let text = read_file_or_stdin(path);
     let exposition = match vmt_telemetry::parse_openmetrics(&text) {
         Ok(exposition) => exposition,
         Err(err) => {
@@ -853,6 +923,228 @@ fn cmd_check_metrics(rest: &[String]) {
         "ok: {} metric families, {samples} samples",
         exposition.families.len()
     );
+}
+
+/// Reads FILE, or stdin when FILE is `-` — the shared input convention
+/// of `check-metrics`, `check-trace`, and `explain`, so a live scrape
+/// or a freshly written trace can be piped straight through.
+fn read_file_or_stdin(path: &str) -> String {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut buf) {
+            die(&format!("cannot read stdin: {err}"));
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) => die(&format!("cannot read `{path}`: {err}")),
+        }
+    }
+}
+
+/// Validates a Chrome trace-event export
+/// (`vmt-experiments check-trace FILE`).
+///
+/// FILE is a trace written by `run --trace`, or `-` to read stdin. The
+/// strict in-repo validator checks the renderer's full structural
+/// contract — legal `ph` per category, finite non-negative timestamps,
+/// span nesting per thread lane, unique `(tick, seq)` ids, and the
+/// typed payload fields each category promises. Exits 0 when the trace
+/// is valid, 1 when it is not, 2 on usage errors.
+fn cmd_check_trace(rest: &[String]) {
+    const USAGE: &str = "usage: vmt-experiments check-trace FILE";
+    let (path, rest) = match rest.split_first() {
+        Some((path, tail)) if path == "-" || !path.starts_with("--") => (path, tail),
+        _ => die(USAGE),
+    };
+    if !rest.is_empty() {
+        die(USAGE);
+    }
+    let text = read_file_or_stdin(path);
+    match vmt_telemetry::validate_trace(&text) {
+        Ok(stats) => {
+            println!(
+                "ok: {} events over {} ticks ({} spans: {} phase, {} zone; \
+                 {} placements, {} decisions, {} anomalies)",
+                stats.events,
+                stats.ticks,
+                stats.spans,
+                stats.phases,
+                stats.zones,
+                stats.placements,
+                stats.decisions,
+                stats.anomalies,
+            );
+            if stats.dropped > 0 {
+                println!(
+                    "note: the exporter's ring dropped {} records before rendering — \
+                     raise the trace capacity or the sampling stride for full coverage",
+                    stats.dropped
+                );
+            }
+        }
+        Err(err) => {
+            eprintln!("invalid trace: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reconstructs one job's placement decision from a trace
+/// (`vmt-experiments explain JOB_ID TRACE`).
+///
+/// Walks the decision and placement instants of a trace written by
+/// `run --trace` and prints the audit chain for JOB_ID: arrival tick,
+/// the scheduler rung that handled it, the top-k candidate servers
+/// with their tournament keys (best first), the chosen server with its
+/// winning key, and the zone the job landed in. Exits 1 when the job
+/// does not appear in the trace (it was not sampled — re-run with a
+/// denser `--trace-sample` or pin the id with `--trace-jobs`).
+fn cmd_explain(rest: &[String]) {
+    const USAGE: &str = "usage: vmt-experiments explain JOB_ID TRACE";
+    let (job_str, rest) = match rest.split_first() {
+        Some((job, tail)) if !job.starts_with("--") => (job, tail),
+        _ => die(USAGE),
+    };
+    let job: u64 = job_str
+        .parse()
+        .unwrap_or_else(|_| die(&format!("`{job_str}` is not a job id")));
+    let (path, rest) = match rest.split_first() {
+        Some((path, tail)) if path == "-" || !path.starts_with("--") => (path, tail),
+        _ => die(USAGE),
+    };
+    if !rest.is_empty() {
+        die(USAGE);
+    }
+    let text = read_file_or_stdin(path);
+    let trace = match vmt_telemetry::parse_trace(&text) {
+        Ok(trace) => trace,
+        Err(err) => {
+            eprintln!("invalid trace: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    let for_job = |event: &vmt_telemetry::ChromeEvent| matches!(event.args.get_field("job"), Some(serde::Value::U64(id)) if *id == job);
+    let decisions: Vec<&vmt_telemetry::ChromeEvent> = trace
+        .trace_events
+        .iter()
+        .filter(|e| e.cat == "decision" && for_job(e))
+        .collect();
+    let placements: Vec<&vmt_telemetry::ChromeEvent> = trace
+        .trace_events
+        .iter()
+        .filter(|e| e.cat == "placement" && for_job(e))
+        .collect();
+    if decisions.is_empty() && placements.is_empty() {
+        eprintln!(
+            "job {job} is not in this trace — it was not sampled; re-run with \
+             `--trace-sample 1` or `--trace-jobs {job}`"
+        );
+        std::process::exit(1);
+    }
+
+    let field_u64 = |event: &vmt_telemetry::ChromeEvent, name: &str| -> Option<u64> {
+        match event.args.get_field(name) {
+            Some(serde::Value::U64(n)) => Some(*n),
+            Some(serde::Value::I64(n)) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    };
+    let field_f64 = |event: &vmt_telemetry::ChromeEvent, name: &str| -> Option<f64> {
+        match event.args.get_field(name) {
+            Some(serde::Value::F64(x)) => Some(*x),
+            Some(serde::Value::U64(n)) => Some(*n as f64),
+            Some(serde::Value::I64(n)) => Some(*n as f64),
+            _ => None,
+        }
+    };
+    let field_str = |event: &vmt_telemetry::ChromeEvent, name: &str| -> Option<String> {
+        match event.args.get_field(name) {
+            Some(serde::Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+
+    println!("job {job}");
+    // The decision instant carries the scheduler's view: the rung of
+    // the placement ladder that handled the job and the balancer's
+    // candidate snapshot taken just before the job was placed.
+    for decision in &decisions {
+        let tick = field_u64(decision, "tick").unwrap_or(0);
+        let rung = field_str(decision, "rung").unwrap_or_default();
+        let chosen = field_u64(decision, "chosen");
+        println!("  arrived at tick {tick}, handled by rung `{rung}`");
+        if let Some(serde::Value::Array(candidates)) = decision.args.get_field("candidates") {
+            if candidates.is_empty() {
+                println!("  no balancer candidates (priority or cursor rung)");
+            } else {
+                println!("  top balancer candidates (best key first):");
+                for candidate in candidates {
+                    let server = candidate
+                        .get_field("server")
+                        .and_then(|v| match v {
+                            serde::Value::U64(n) => Some(*n),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    let key = candidate
+                        .get_field("key")
+                        .and_then(|v| match v {
+                            serde::Value::F64(x) => Some(*x),
+                            _ => None,
+                        })
+                        .unwrap_or(f64::NAN);
+                    let marker = if chosen == Some(server) {
+                        "  <- chosen"
+                    } else {
+                        ""
+                    };
+                    println!("    server {server:>6}  key {key:.4}{marker}");
+                }
+            }
+        }
+        match (chosen, field_f64(decision, "winning_key")) {
+            (Some(server), Some(key)) => {
+                println!("  chose server {server} with winning key {key:.4}");
+            }
+            (Some(server), None) => {
+                println!("  chose server {server} (no tournament key — priority/cursor rung)");
+            }
+            (None, _) => println!("  dropped: the rung ladder found no capacity"),
+        }
+    }
+    if decisions.is_empty() {
+        println!("  (no decision detail — recorded without a tracing-aware policy)");
+    }
+    // The placement instant carries the engine's view: what was
+    // actually committed to the farm, including the zone.
+    for placement in &placements {
+        let tick = field_u64(placement, "tick").unwrap_or(0);
+        let kind = field_u64(placement, "kind")
+            .filter(|&k| k < 5)
+            .map(|k| vmt_workload::WorkloadKind::from_index(k as usize).name())
+            .unwrap_or("unknown");
+        let duration = field_u64(placement, "duration_ticks").unwrap_or(0);
+        match (field_u64(placement, "server"), field_u64(placement, "zone")) {
+            (Some(server), Some(zone)) => println!(
+                "  placed on server {server} in zone {zone} at tick {tick} \
+                 ({kind}, {duration} ticks)"
+            ),
+            (Some(server), None) => println!(
+                "  placed on server {server} at tick {tick} ({kind}, {duration} ticks; \
+                 run had no zone topology)"
+            ),
+            (None, _) => {
+                println!("  not placed at tick {tick} ({kind}, {duration} ticks) — dropped")
+            }
+        }
+    }
+    if placements.is_empty() {
+        println!("  (no placement instant — the job never reached the farm)");
+    }
 }
 
 /// Mirror of the benchmark report schema written by
@@ -910,12 +1202,24 @@ struct BenchPhase {
     /// Relative per-tick cost the observability layer adds over the
     /// spans-only run; gated at [`MAX_OBSERVABILITY_OVERHEAD`].
     observability_overhead: Option<f64>,
+    /// Set on the zoned tracing row: throughput with span tracing
+    /// enabled (phase + zone spans, placement decisions at sample 200 —
+    /// the densest stride whose full 48h trace fits the default ring).
+    ticks_per_sec_traced: Option<f64>,
+    /// Relative per-tick cost enabled tracing adds over the plain
+    /// instrumented run; gated at [`MAX_TRACING_OVERHEAD`].
+    tracing_overhead: Option<f64>,
 }
 
 /// Ceiling on the relative per-tick cost of the observability layer at
 /// the zoned 10k scale: series rings, per-zone gauges, and the scrape
 /// publisher together may add at most 5% over the spans-only run.
 const MAX_OBSERVABILITY_OVERHEAD: f64 = 0.05;
+
+/// Ceiling on the relative per-tick cost of enabled span tracing at
+/// the zoned 10k scale (sample 200): ring pushes, candidate snapshots,
+/// and the per-zone `Instant` reads together may add at most 5%.
+const MAX_TRACING_OVERHEAD: f64 = 0.05;
 
 /// Validates an engine benchmark artifact
 /// (`vmt-experiments check-bench FILE`, normally `BENCH_engine.json`).
@@ -1006,15 +1310,47 @@ fn cmd_check_bench(rest: &[String]) {
                 ));
             }
         }
+        if let Some(traced) = p.ticks_per_sec_traced {
+            if !positive(traced) {
+                fail_bench(&format!(
+                    "tracing row {}@{} has non-positive traced throughput",
+                    p.scheduler, p.servers
+                ));
+            }
+            let Some(overhead) = p.tracing_overhead else {
+                fail_bench(&format!(
+                    "tracing row {}@{} records traced throughput but no overhead",
+                    p.scheduler, p.servers
+                ));
+            };
+            if !(-1.0..=MAX_TRACING_OVERHEAD).contains(&overhead) {
+                fail_bench(&format!(
+                    "tracing row {}@{}: enabled span tracing adds {:.1}% per-tick \
+                     cost (ceiling {:.0}%)",
+                    p.scheduler,
+                    p.servers,
+                    overhead * 100.0,
+                    MAX_TRACING_OVERHEAD * 100.0
+                ));
+            }
+        }
     }
-    // The observability-overhead row must actually be present — a bench
-    // run that silently skipped it would otherwise still validate.
+    // The observability-overhead and tracing-overhead rows must
+    // actually be present — a bench run that silently skipped them
+    // would otherwise still validate.
     if !report
         .phases
         .iter()
         .any(|p| p.servers == 10_000 && p.observability_overhead.is_some())
     {
         fail_bench("`phases` has no 10k observability-overhead row");
+    }
+    if !report
+        .phases
+        .iter()
+        .any(|p| p.servers == 10_000 && p.tracing_overhead.is_some())
+    {
+        fail_bench("`phases` has no 10k tracing-overhead row");
     }
 
     // The scaling table: anchor each (scheduler, servers) group on its

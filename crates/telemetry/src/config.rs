@@ -4,6 +4,7 @@ use crate::events::SummaryEvent;
 use crate::registry::MetricsRegistry;
 use crate::server::MetricsPublisher;
 use crate::sink::EventSink;
+use crate::tracer::{TraceSpec, TracerHandle};
 use crate::watchdog::WatchdogSpec;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -103,6 +104,13 @@ pub struct TelemetryConfig {
     /// snapshot cadence and swaps it into this publisher for the
     /// `/metrics` scrape thread to serve.
     pub publisher: Option<MetricsPublisher>,
+    /// When `Some`, the engine arms the deterministic span tracer with
+    /// this ring size and sampling policy. `None` (the default) emits
+    /// no trace records and takes no extra timestamps.
+    pub trace: Option<TraceSpec>,
+    /// Where the finished [`TraceBuffer`](crate::TraceBuffer) is
+    /// deposited when the tracer is armed.
+    pub tracer: TracerHandle,
     /// Where the final [`SummaryEvent`] is deposited.
     pub summary: SummaryHandle,
 }
@@ -119,6 +127,8 @@ impl Default for TelemetryConfig {
             series_capacity: None,
             dashboard_every_ticks: None,
             publisher: None,
+            trace: None,
+            tracer: TracerHandle::new(),
             summary: SummaryHandle::new(),
         }
     }
@@ -181,6 +191,14 @@ impl TelemetryConfig {
         if self.series_capacity.is_none() {
             self.series_capacity = Some(Self::DEFAULT_SERIES_CAPACITY);
         }
+        self
+    }
+
+    /// Arms the deterministic span tracer. Keep a clone of
+    /// [`TelemetryConfig::tracer`] to collect the finished
+    /// [`TraceBuffer`](crate::TraceBuffer) after the run.
+    pub fn with_trace(mut self, spec: TraceSpec) -> Self {
+        self.trace = Some(spec);
         self
     }
 

@@ -90,10 +90,50 @@ impl DashboardRow {
 /// Sparkline column width used by [`render_dashboard`].
 pub const SPARK_WIDTH: usize = 40;
 
+/// Columns a dashboard row needs besides the sparkline: the label
+/// column, the separating spaces, and a formatted value with unit.
+const ROW_RESERVED_COLS: usize = 26;
+
+/// Clamps the requested sparkline width for one frame. Two ceilings
+/// apply: the longest series window in the frame (a ring capacity below
+/// the requested window shrinks the column instead of rendering a block
+/// of dead padding) and, when the terminal reports a width, the columns
+/// left after [`ROW_RESERVED_COLS`]. A zero-width terminal clamps all
+/// the way down; the result is never zero, so a row always keeps at
+/// least one sample column and width arithmetic cannot underflow.
+pub fn clamp_spark_width(
+    requested: usize,
+    longest_series: usize,
+    terminal_cols: Option<usize>,
+) -> usize {
+    let mut width = requested;
+    if longest_series > 0 {
+        width = width.min(longest_series);
+    }
+    if let Some(cols) = terminal_cols {
+        width = width.min(cols.saturating_sub(ROW_RESERVED_COLS));
+    }
+    width.max(1)
+}
+
 /// Renders a full dashboard frame as plain text (no ANSI escapes): a
 /// progress header followed by one sparkline row per quantity. Pure —
-/// equal inputs yield equal output.
+/// equal inputs yield equal output. The sparkline column is
+/// [`SPARK_WIDTH`] clamped by [`clamp_spark_width`] for a terminal of
+/// unknown width.
 pub fn render_dashboard(frame: &ProgressFrame, rows: &[DashboardRow]) -> String {
+    render_dashboard_width(frame, rows, None)
+}
+
+/// [`render_dashboard`] with an explicit terminal width (in columns) to
+/// clamp against; `None` means the width is unknown.
+pub fn render_dashboard_width(
+    frame: &ProgressFrame,
+    rows: &[DashboardRow],
+    terminal_cols: Option<usize>,
+) -> String {
+    let longest = rows.iter().map(|r| r.values.len()).max().unwrap_or(0);
+    let spark_width = clamp_spark_width(SPARK_WIDTH, longest, terminal_cols);
     let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0).max(8);
     let mut out = String::new();
     out.push_str(&frame.render());
@@ -107,7 +147,7 @@ pub fn render_dashboard(frame: &ProgressFrame, rows: &[DashboardRow]) -> String 
         out.push_str(&format!(
             "{:<label_width$} {} {value}{}\n",
             row.label,
-            sparkline(&row.values, SPARK_WIDTH),
+            sparkline(&row.values, spark_width),
             row.unit,
         ));
     }
@@ -129,12 +169,15 @@ pub enum DashboardMode {
 pub struct Dashboard {
     mode: DashboardMode,
     lines_drawn: usize,
+    terminal_cols: Option<usize>,
 }
 
 impl Dashboard {
     /// Auto-detects the terminal: ANSI when stderr is a terminal and
     /// `TERM` is set to something other than `dumb` (or unset with a
-    /// real terminal attached), plain otherwise.
+    /// real terminal attached), plain otherwise. The terminal width is
+    /// read from `COLUMNS` when exported; absent or unparsable values
+    /// leave the width unknown and the sparkline at its default width.
     pub fn auto() -> Self {
         let dumb = std::env::var("TERM").map(|t| t == "dumb").unwrap_or(false);
         let mode = if std::io::stderr().is_terminal() && !dumb {
@@ -142,7 +185,10 @@ impl Dashboard {
         } else {
             DashboardMode::Plain
         };
-        Dashboard::with_mode(mode)
+        let cols = std::env::var("COLUMNS")
+            .ok()
+            .and_then(|c| c.trim().parse::<usize>().ok());
+        Dashboard::with_mode(mode).with_columns(cols)
     }
 
     /// Forces a mode (tests, `--dashboard` on a pipe).
@@ -150,7 +196,16 @@ impl Dashboard {
         Dashboard {
             mode,
             lines_drawn: 0,
+            terminal_cols: None,
         }
+    }
+
+    /// Overrides the detected terminal width (tests, future resize
+    /// handling). `Some(0)` is a legitimate zero-width terminal and
+    /// clamps the sparkline to its one-column minimum.
+    pub fn with_columns(mut self, cols: Option<usize>) -> Self {
+        self.terminal_cols = cols;
+        self
     }
 
     /// The active mode.
@@ -166,7 +221,7 @@ impl Dashboard {
         let mut err = std::io::stderr().lock();
         match self.mode {
             DashboardMode::Ansi => {
-                let text = render_dashboard(frame, rows);
+                let text = render_dashboard_width(frame, rows, self.terminal_cols);
                 let lines = text.lines().count();
                 if self.lines_drawn > 0 {
                     // Move to the top of the previous frame and clear
@@ -257,6 +312,52 @@ mod tests {
         let rows = vec![DashboardRow::new("x", f64::NAN, "", vec![])];
         let text = render_dashboard(&frame, &rows);
         assert!(text.contains(" ?\n"), "got: {text}");
+    }
+
+    #[test]
+    fn clamp_respects_series_capacity_and_terminal_width() {
+        // A series window shorter than the requested width shrinks the
+        // column; an empty frame keeps the requested layout.
+        assert_eq!(clamp_spark_width(40, 12, None), 12);
+        assert_eq!(clamp_spark_width(40, 0, None), 40);
+        assert_eq!(clamp_spark_width(40, 100, None), 40);
+        // A wide terminal leaves the width alone; a narrow one clamps
+        // to the room left after the label and value columns.
+        assert_eq!(clamp_spark_width(40, 100, Some(200)), 40);
+        assert_eq!(clamp_spark_width(40, 100, Some(30)), 4);
+        // Zero-width (and absurdly narrow) terminals clamp to the
+        // one-column minimum instead of underflowing.
+        assert_eq!(clamp_spark_width(40, 100, Some(0)), 1);
+        assert_eq!(clamp_spark_width(40, 3, Some(5)), 1);
+    }
+
+    #[test]
+    fn render_clamps_sparkline_to_series_window() {
+        // Three samples in a 40-wide request: the column shrinks to 3
+        // instead of left-padding 37 spaces of dead ring capacity.
+        let frame = ProgressFrame::compute(10, 20, 1.0, 0, 0.5);
+        let rows = vec![DashboardRow::new("cooling", 3.0, "kW", vec![1.0, 2.0, 3.0])];
+        let text = render_dashboard(&frame, &rows);
+        assert!(text.contains("▁▅█ 3.00kW"), "got: {text}");
+    }
+
+    #[test]
+    fn render_survives_zero_width_terminal() {
+        let frame = ProgressFrame::compute(10, 20, 1.0, 0, 0.5);
+        let rows = vec![DashboardRow::new("cooling", 3.0, "kW", vec![1.0, 2.0, 3.0])];
+        let text = render_dashboard_width(&frame, &rows, Some(0));
+        // One sample column survives: the newest value at mid-ramp
+        // (a single sample has zero span).
+        assert!(text.contains("▄ 3.00kW"), "got: {text}");
+        assert!(!text.contains('\x1b'));
+    }
+
+    #[test]
+    fn dashboard_carries_detected_columns() {
+        let dash = Dashboard::with_mode(DashboardMode::Ansi).with_columns(Some(0));
+        assert_eq!(dash.terminal_cols, Some(0));
+        let dash = Dashboard::with_mode(DashboardMode::Plain);
+        assert_eq!(dash.terminal_cols, None);
     }
 
     #[test]

@@ -59,6 +59,18 @@
 //! * [`Dashboard`] — a live ANSI terminal dashboard (sparklines over
 //!   series windows) that degrades to plain progress lines on dumb
 //!   terminals.
+//!
+//! Finally, deterministic span tracing:
+//!
+//! * [`Tracer`] — a ring of [`SpanRecord`]s (per-tick and per-phase
+//!   spans, per-zone CRAC spans, sampled placement/decision instants,
+//!   anomaly instants) identified by `(tick, seq)` — never wall clock
+//!   — so an enabled trace is bit-identical across thread counts and
+//!   under record/replay, modulo the wall-clock duration fields.
+//! * [`render_trace`] / [`parse_trace`] / [`validate_trace`] — the
+//!   Chrome trace-event JSON exporter (Perfetto / `chrome://tracing`
+//!   loadable) and the strict parser/validator behind `check-trace`
+//!   and `explain`.
 
 mod config;
 mod dashboard;
@@ -74,11 +86,14 @@ mod report;
 mod series;
 mod server;
 mod sink;
+mod traceevent;
+mod tracer;
 mod watchdog;
 
 pub use config::{FlightConfig, SummaryHandle, TelemetryConfig};
 pub use dashboard::{
-    render_dashboard, sparkline, Dashboard, DashboardMode, DashboardRow, SPARK_WIDTH,
+    clamp_spark_width, render_dashboard, render_dashboard_width, sparkline, Dashboard,
+    DashboardMode, DashboardRow, SPARK_WIDTH,
 };
 pub use events::{
     Event, HotGroupEvent, HotGroupTransition, MeltEvent, MeltTransition, RunConfigEvent,
@@ -98,4 +113,12 @@ pub use report::render_report;
 pub use series::{Series, SeriesBucket, SeriesSnapshot, SharedSeries};
 pub use server::{MetricsPublication, MetricsPublisher, MetricsServer, METRICS_CONTENT_TYPE};
 pub use sink::{validate_stream, EventSink, SharedBuffer, StreamSummary};
+pub use traceevent::{
+    parse_trace, render_trace, validate_trace, ChromeEvent, ChromeTrace, TraceError, TraceStats,
+    LANE_ANOMALIES, LANE_PLACEMENT, LANE_TICK, LANE_ZONES,
+};
+pub use tracer::{
+    SpanCandidate, SpanRecord, TraceBuffer, TraceSpec, Tracer, TracerHandle, DECISION_TOP_K,
+    DEFAULT_TRACE_CAPACITY,
+};
 pub use watchdog::{AnomalyEvent, TickState, WatchdogKind, WatchdogSet, WatchdogSpec};

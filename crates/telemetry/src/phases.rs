@@ -9,7 +9,7 @@ use std::time::Duration;
 /// `Physics`; the pool attributions inside whichever phases ran on the
 /// persistent worker pool), so they are reported separately but
 /// excluded from coverage sums.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TickPhase {
     /// Time-varying inlet refresh.
     Inlet,
@@ -44,6 +44,21 @@ impl TickPhase {
         TickPhase::Physics,
         TickPhase::Record,
     ];
+
+    /// Stable display name (used as the span name in trace exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            TickPhase::Inlet => "Inlet",
+            TickPhase::Departures => "Departures",
+            TickPhase::SchedulerTick => "SchedulerTick",
+            TickPhase::Placement => "Placement",
+            TickPhase::Physics => "Physics",
+            TickPhase::PhysicsFold => "PhysicsFold",
+            TickPhase::Record => "Record",
+            TickPhase::PoolBusy => "PoolBusy",
+            TickPhase::PoolIdle => "PoolIdle",
+        }
+    }
 
     fn slot(self) -> usize {
         match self {

@@ -47,13 +47,17 @@ pub fn render_report(summary: &SummaryEvent) -> String {
     let phases = &summary.phases;
     if phases.ticks > 0 {
         let _ = writeln!(out, "--- tick phases ({} ticks) ---", phases.ticks);
-        let total = phases.total_s.max(f64::MIN_POSITIVE);
+        // A zero measured tick total (a coarse clock, or a zero-tick
+        // run) must not divide through to NaN/inf percentages; report
+        // such rows as 0.0% of an unmeasured total instead.
+        let total = phases.total_s;
         for (label, seconds) in phases.rows() {
-            let _ = writeln!(
-                out,
-                "  {label:<14} {seconds:>8.3}s  {:>5.1}%",
+            let percent = if total > 0.0 {
                 seconds / total * 100.0
-            );
+            } else {
+                0.0
+            };
+            let _ = writeln!(out, "  {label:<14} {seconds:>8.3}s  {percent:>5.1}%");
         }
         let _ = writeln!(
             out,
@@ -187,6 +191,38 @@ mod tests {
                 "report missing {needle:?}:\n{report}"
             );
         }
+    }
+
+    #[test]
+    fn zero_measured_time_emits_no_nan_or_inf() {
+        // A coarse clock can report ticks > 0 with per-phase seconds
+        // accumulated but a zero total; percentages must stay finite.
+        let summary = SummaryEvent {
+            schema_version: SCHEMA_VERSION,
+            policy: "vmt-wa(gv=8)".into(),
+            ticks_run: 10,
+            wall_s: 0.0,
+            ticks_per_s: 0.0,
+            placements: 0,
+            dropped_jobs: 0,
+            peak_cooling_w: 0.0,
+            peak_electrical_w: 0.0,
+            final_melted_fraction: 0.0,
+            write_errors: 0,
+            anomalies: 0,
+            phases: PhaseBreakdown {
+                physics_s: 0.001,
+                ticks: 10,
+                total_s: 0.0,
+                ..PhaseBreakdown::default()
+            },
+            scheduler: None,
+            metrics: MetricsSnapshot::default(),
+        };
+        let report = render_report(&summary);
+        assert!(report.contains("tick phases (10 ticks)"), "{report}");
+        assert!(!report.contains("inf"), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
     }
 
     #[test]

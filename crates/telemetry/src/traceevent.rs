@@ -1,0 +1,954 @@
+//! Chrome trace-event JSON export for [`TraceBuffer`]s.
+//!
+//! [`render_trace`] lays the deterministic span records out on a
+//! synthesized timeline and writes the Chrome trace-event format that
+//! Perfetto and `chrome://tracing` load directly. Timestamps are
+//! *virtual*: tick `t` starts where tick `t-1`'s wall-clock span
+//! ended, phases run back-to-back from their tick's start, and
+//! instants land at `tick_start + seq` nanoseconds — so the layout is
+//! a pure function of the records and needs no wall clock of its own.
+//!
+//! [`parse_trace`] and [`validate_trace`] are the strict in-repo
+//! consumers: the CLI's `check-trace` feeds exported files back
+//! through them, and `explain` walks the parsed events to reconstruct
+//! a job's decision chain. Both serialization directions are
+//! hand-rolled over the [`serde::Value`] data model — the trace-event
+//! format's camelCase keys and omitted-when-absent fields don't fit
+//! the derive, and the strict parse rejects unknown fields outright.
+//! Validation then checks structural invariants — legal event phases,
+//! finite non-negative times, proper span nesting per thread lane,
+//! unique `(tick, seq)` ids — not just JSON well-formedness.
+
+use crate::tracer::{SpanRecord, TraceBuffer};
+use serde::{Deserialize, Error, Serialize, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Thread lane carrying the tick and phase spans.
+pub const LANE_TICK: u32 = 1;
+/// Thread lane carrying per-zone physics/CRAC spans.
+pub const LANE_ZONES: u32 = 2;
+/// Thread lane carrying placement and decision instants.
+pub const LANE_PLACEMENT: u32 = 3;
+/// Thread lane carrying watchdog anomaly instants.
+pub const LANE_ANOMALIES: u32 = 4;
+
+/// One event in the Chrome trace-event format. Only the fields the
+/// renderer emits are admitted — unknown fields fail the strict parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Display name (phase name, `"tick"`, watchdog kind, ...).
+    pub name: String,
+    /// Category: `"tick"`, `"phase"`, `"zone"`, `"placement"`,
+    /// `"decision"`, `"anomaly"`, or `"__metadata"`.
+    pub cat: String,
+    /// Event phase: `"X"` (complete span), `"i"` (instant), or `"M"`
+    /// (metadata).
+    pub ph: String,
+    /// Timestamp in microseconds on the synthesized timeline.
+    pub ts: f64,
+    /// Span duration in microseconds (`"X"` events only; omitted from
+    /// the JSON otherwise).
+    pub dur: Option<f64>,
+    /// Process id (always 1).
+    pub pid: u32,
+    /// Thread lane (see the `LANE_*` constants).
+    pub tid: u32,
+    /// Instant scope (`"t"`; `"i"` events only, omitted otherwise).
+    pub s: Option<String>,
+    /// Typed payload: the record's fields, including its `(tick,
+    /// seq)` id. `Value::Null` when absent.
+    pub args: Value,
+}
+
+impl Serialize for ChromeEvent {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("cat".to_string(), Value::Str(self.cat.clone())),
+            ("ph".to_string(), Value::Str(self.ph.clone())),
+            ("ts".to_string(), Value::F64(self.ts)),
+        ];
+        if let Some(dur) = self.dur {
+            pairs.push(("dur".to_string(), Value::F64(dur)));
+        }
+        pairs.push(("pid".to_string(), Value::U64(self.pid as u64)));
+        pairs.push(("tid".to_string(), Value::U64(self.tid as u64)));
+        if let Some(s) = &self.s {
+            pairs.push(("s".to_string(), Value::Str(s.clone())));
+        }
+        if !matches!(self.args, Value::Null) {
+            pairs.push(("args".to_string(), self.args.clone()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for ChromeEvent {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::Object(pairs) = v else {
+            return Err(Error::msg("trace event is not an object"));
+        };
+        let mut event = ChromeEvent {
+            name: String::new(),
+            cat: String::new(),
+            ph: String::new(),
+            ts: f64::NAN,
+            dur: None,
+            pid: 0,
+            tid: 0,
+            s: None,
+            args: Value::Null,
+        };
+        let mut seen = [false; 4];
+        for (key, value) in pairs {
+            match key.as_str() {
+                "name" => {
+                    event.name = string_field(value, "name")?;
+                    seen[0] = true;
+                }
+                "cat" => {
+                    event.cat = string_field(value, "cat")?;
+                    seen[1] = true;
+                }
+                "ph" => {
+                    event.ph = string_field(value, "ph")?;
+                    seen[2] = true;
+                }
+                "ts" => {
+                    event.ts = value_f64(value)
+                        .ok_or_else(|| Error::msg("trace event ts is not a number"))?;
+                    seen[3] = true;
+                }
+                "dur" => {
+                    event.dur = Some(
+                        value_f64(value)
+                            .ok_or_else(|| Error::msg("trace event dur is not a number"))?,
+                    );
+                }
+                "pid" => {
+                    event.pid = small_int(value, "pid")?;
+                }
+                "tid" => {
+                    event.tid = small_int(value, "tid")?;
+                }
+                "s" => {
+                    event.s = Some(string_field(value, "s")?);
+                }
+                "args" => {
+                    event.args = value.clone();
+                }
+                other => {
+                    return Err(Error::msg(format!(
+                        "trace event has unknown field `{other}`"
+                    )));
+                }
+            }
+        }
+        for (ok, field) in seen.iter().zip(["name", "cat", "ph", "ts"]) {
+            if !ok {
+                return Err(Error::msg(format!("trace event missing field `{field}`")));
+            }
+        }
+        Ok(event)
+    }
+}
+
+/// A parsed Chrome trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTrace {
+    /// The events, in emission order (JSON key `traceEvents`).
+    pub trace_events: Vec<ChromeEvent>,
+    /// Display hint for viewers (JSON key `displayTimeUnit`).
+    pub display_time_unit: String,
+    /// Exporter metadata: schema version and ring-drop count (JSON key
+    /// `otherData`).
+    pub other_data: Value,
+}
+
+impl Serialize for ChromeTrace {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "traceEvents".to_string(),
+                Value::Array(self.trace_events.iter().map(Serialize::to_value).collect()),
+            ),
+            (
+                "displayTimeUnit".to_string(),
+                Value::Str(self.display_time_unit.clone()),
+            ),
+            ("otherData".to_string(), self.other_data.clone()),
+        ])
+    }
+}
+
+impl Deserialize for ChromeTrace {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let Value::Object(pairs) = v else {
+            return Err(Error::msg("trace is not an object"));
+        };
+        let mut events: Option<Vec<ChromeEvent>> = None;
+        let mut unit = "ms".to_string();
+        let mut other = Value::Null;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "traceEvents" => {
+                    let Value::Array(items) = value else {
+                        return Err(Error::msg("traceEvents is not an array"));
+                    };
+                    events = Some(
+                        items
+                            .iter()
+                            .map(ChromeEvent::from_value)
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "displayTimeUnit" => {
+                    unit = string_field(value, "displayTimeUnit")?;
+                }
+                "otherData" => {
+                    other = value.clone();
+                }
+                unknown => {
+                    return Err(Error::msg(format!("trace has unknown field `{unknown}`")));
+                }
+            }
+        }
+        Ok(ChromeTrace {
+            trace_events: events.ok_or_else(|| Error::msg("trace missing traceEvents"))?,
+            display_time_unit: unit,
+            other_data: other,
+        })
+    }
+}
+
+/// Summary statistics `validate_trace` returns (and `check-trace`
+/// prints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// Distinct simulation ticks with a tick span.
+    pub ticks: usize,
+    /// Complete (`"X"`) spans.
+    pub spans: usize,
+    /// Phase spans.
+    pub phases: usize,
+    /// Per-zone spans.
+    pub zones: usize,
+    /// Placement instants.
+    pub placements: usize,
+    /// Decision instants.
+    pub decisions: usize,
+    /// Anomaly instants.
+    pub anomalies: usize,
+    /// Records the exporter's ring dropped before rendering.
+    pub dropped: u64,
+}
+
+/// Why a trace failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Human-readable reason, with an event index where applicable.
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(message: impl Into<String>) -> TraceError {
+    TraceError {
+        message: message.into(),
+    }
+}
+
+fn string_field(value: &Value, field: &str) -> Result<String, Error> {
+    match value {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(Error::msg(format!("trace field `{field}` is not a string"))),
+    }
+}
+
+fn small_int(value: &Value, field: &str) -> Result<u32, Error> {
+    value_u64(value)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| Error::msg(format!("trace field `{field}` is not a small integer")))
+}
+
+/// Numeric accessor over the vendored data model: accepts the integer
+/// shapes the JSON parser produces.
+fn value_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+fn value_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn opt_u32(value: Option<u32>) -> Value {
+    match value {
+        Some(n) => Value::U64(n as u64),
+        None => Value::Null,
+    }
+}
+
+fn meta(name: &str, tid: u32, label: &str) -> ChromeEvent {
+    ChromeEvent {
+        name: name.to_string(),
+        cat: "__metadata".to_string(),
+        ph: "M".to_string(),
+        ts: 0.0,
+        dur: None,
+        pid: 1,
+        tid,
+        s: None,
+        args: obj(vec![("name", Value::Str(label.to_string()))]),
+    }
+}
+
+fn span(name: String, cat: &str, tid: u32, ts_ns: u64, dur_ns: u64, args: Value) -> ChromeEvent {
+    ChromeEvent {
+        name,
+        cat: cat.to_string(),
+        ph: "X".to_string(),
+        ts: us(ts_ns),
+        dur: Some(us(dur_ns)),
+        pid: 1,
+        tid,
+        s: None,
+        args,
+    }
+}
+
+fn instant(name: String, cat: &str, tid: u32, ts_ns: u64, args: Value) -> ChromeEvent {
+    ChromeEvent {
+        name,
+        cat: cat.to_string(),
+        ph: "i".to_string(),
+        ts: us(ts_ns),
+        dur: None,
+        pid: 1,
+        tid,
+        s: Some("t".to_string()),
+        args,
+    }
+}
+
+fn id_args(tick: u64, seq: u32) -> Value {
+    obj(vec![
+        ("tick", Value::U64(tick)),
+        ("seq", Value::U64(seq as u64)),
+    ])
+}
+
+/// Renders a finished trace as Chrome trace-event JSON.
+///
+/// The timeline is synthesized deterministically from the records (see
+/// the module docs); the only wall-clock content is the span `dur`
+/// values, which come from the records' `dur_ns` fields.
+pub fn render_trace(buffer: &TraceBuffer) -> String {
+    let mut events = vec![
+        meta("process_name", LANE_TICK, "vmt-sim"),
+        meta("thread_name", LANE_TICK, "tick"),
+        meta("thread_name", LANE_ZONES, "zones"),
+        meta("thread_name", LANE_PLACEMENT, "placement"),
+        meta("thread_name", LANE_ANOMALIES, "anomalies"),
+    ];
+    // Group records by tick (they arrive in tick order) and lay each
+    // tick out from a running cursor.
+    let mut cursor_ns: u64 = 0;
+    let mut index = 0;
+    while index < buffer.records.len() {
+        let tick = buffer.records[index].tick();
+        let mut end = index;
+        while end < buffer.records.len() && buffer.records[end].tick() == tick {
+            end += 1;
+        }
+        let group = &buffer.records[index..end];
+        // The tick span (pushed last in its group) sets the group's
+        // width; a group whose tick record was dropped by the ring
+        // falls back to the sum of its phase spans.
+        let tick_dur_ns = group
+            .iter()
+            .find_map(|r| match r {
+                SpanRecord::Tick { dur_ns, .. } => Some(*dur_ns),
+                _ => None,
+            })
+            .unwrap_or_else(|| {
+                group
+                    .iter()
+                    .map(|r| match r {
+                        SpanRecord::Phase { dur_ns, .. } => *dur_ns,
+                        _ => 0,
+                    })
+                    .sum()
+            });
+        // The tick span must be *emitted* first: the nesting validator
+        // — like trace viewers — expects an enclosing span to open
+        // before its children.
+        if let Some(SpanRecord::Tick { tick, seq, dur_ns }) =
+            group.iter().find(|r| matches!(r, SpanRecord::Tick { .. }))
+        {
+            events.push(span(
+                "tick".to_string(),
+                "tick",
+                LANE_TICK,
+                cursor_ns,
+                *dur_ns,
+                id_args(*tick, *seq),
+            ));
+        }
+        let mut phase_cursor_ns = cursor_ns;
+        let mut zone_cursor_ns = cursor_ns;
+        for record in group {
+            match record {
+                SpanRecord::Tick { .. } => {}
+                SpanRecord::Phase {
+                    tick,
+                    seq,
+                    phase,
+                    dur_ns,
+                } => {
+                    events.push(span(
+                        phase.name().to_string(),
+                        "phase",
+                        LANE_TICK,
+                        phase_cursor_ns,
+                        *dur_ns,
+                        id_args(*tick, *seq),
+                    ));
+                    phase_cursor_ns += dur_ns;
+                }
+                SpanRecord::Zone {
+                    tick,
+                    seq,
+                    zone,
+                    dur_ns,
+                    temp_c,
+                    duty,
+                } => {
+                    events.push(span(
+                        format!("zone {zone}"),
+                        "zone",
+                        LANE_ZONES,
+                        zone_cursor_ns,
+                        *dur_ns,
+                        obj(vec![
+                            ("tick", Value::U64(*tick)),
+                            ("seq", Value::U64(*seq as u64)),
+                            ("zone", Value::U64(*zone as u64)),
+                            ("temp_c", Value::F64(*temp_c)),
+                            ("duty", Value::F64(*duty)),
+                        ]),
+                    ));
+                    zone_cursor_ns += dur_ns;
+                }
+                SpanRecord::Placement {
+                    tick,
+                    seq,
+                    job,
+                    kind,
+                    server,
+                    zone,
+                    duration_ticks,
+                } => {
+                    events.push(instant(
+                        "placement".to_string(),
+                        "placement",
+                        LANE_PLACEMENT,
+                        cursor_ns + *seq as u64,
+                        obj(vec![
+                            ("tick", Value::U64(*tick)),
+                            ("seq", Value::U64(*seq as u64)),
+                            ("job", Value::U64(*job)),
+                            ("kind", Value::U64(*kind as u64)),
+                            ("server", opt_u32(*server)),
+                            ("zone", opt_u32(*zone)),
+                            ("duration_ticks", Value::U64(*duration_ticks as u64)),
+                        ]),
+                    ));
+                }
+                SpanRecord::Decision {
+                    tick,
+                    seq,
+                    job,
+                    rung,
+                    chosen,
+                    winning_key,
+                    candidates,
+                } => {
+                    let candidates: Vec<Value> = candidates
+                        .iter()
+                        .map(|c| {
+                            obj(vec![
+                                ("server", Value::U64(c.server as u64)),
+                                ("key", Value::F64(c.key)),
+                            ])
+                        })
+                        .collect();
+                    events.push(instant(
+                        "decision".to_string(),
+                        "decision",
+                        LANE_PLACEMENT,
+                        cursor_ns + *seq as u64,
+                        obj(vec![
+                            ("tick", Value::U64(*tick)),
+                            ("seq", Value::U64(*seq as u64)),
+                            ("job", Value::U64(*job)),
+                            ("rung", Value::Str(rung.clone())),
+                            ("chosen", opt_u32(*chosen)),
+                            (
+                                "winning_key",
+                                winning_key.map(Value::F64).unwrap_or(Value::Null),
+                            ),
+                            ("candidates", Value::Array(candidates)),
+                        ]),
+                    ));
+                }
+                SpanRecord::Anomaly {
+                    tick,
+                    seq,
+                    watchdog,
+                    server,
+                    value,
+                } => {
+                    events.push(instant(
+                        watchdog.clone(),
+                        "anomaly",
+                        LANE_ANOMALIES,
+                        cursor_ns + *seq as u64,
+                        obj(vec![
+                            ("tick", Value::U64(*tick)),
+                            ("seq", Value::U64(*seq as u64)),
+                            ("watchdog", Value::Str(watchdog.clone())),
+                            ("server", server.map(Value::U64).unwrap_or(Value::Null)),
+                            ("value", Value::F64(*value)),
+                        ]),
+                    ));
+                }
+            }
+        }
+        // Advance past this tick; a floor of 1 µs keeps zero-duration
+        // ticks (possible on a coarse clock) from stacking instants of
+        // successive ticks on the same timestamp.
+        cursor_ns += tick_dur_ns.max(1000);
+        index = end;
+    }
+    let trace = ChromeTrace {
+        trace_events: events,
+        display_time_unit: "ms".to_string(),
+        other_data: obj(vec![
+            ("exporter", Value::Str("vmt-telemetry".to_string())),
+            ("schema", Value::U64(1)),
+            ("dropped", Value::U64(buffer.dropped)),
+        ]),
+    };
+    serde_json::to_string_pretty(&trace).expect("trace serializes") + "\n"
+}
+
+/// Strictly parses Chrome trace-event JSON produced by
+/// [`render_trace`]. Unknown fields and malformed shapes are errors.
+pub fn parse_trace(text: &str) -> Result<ChromeTrace, TraceError> {
+    serde_json::from_str(text).map_err(|e| err(format!("trace does not parse: {e}")))
+}
+
+fn require_u64(args: &Value, field: &str, at: usize) -> Result<u64, TraceError> {
+    args.get_field(field).and_then(value_u64).ok_or_else(|| {
+        err(format!(
+            "event {at}: args.{field} missing or not an integer"
+        ))
+    })
+}
+
+fn require_finite(args: &Value, field: &str, at: usize) -> Result<f64, TraceError> {
+    let value = args
+        .get_field(field)
+        .and_then(value_f64)
+        .ok_or_else(|| err(format!("event {at}: args.{field} missing or not a number")))?;
+    if !value.is_finite() {
+        return Err(err(format!("event {at}: args.{field} is not finite")));
+    }
+    Ok(value)
+}
+
+/// Validates a rendered trace end to end and returns its statistics.
+///
+/// Beyond parsing, this checks the renderer's structural contract:
+/// every event has a legal `ph` for its shape, timestamps are finite
+/// and non-negative, complete spans nest properly within each thread
+/// lane (a span starts at or after its predecessor ends, or lies
+/// entirely inside it), payloads carry the fields their category
+/// promises, and `(tick, seq)` ids are unique.
+pub fn validate_trace(text: &str) -> Result<TraceStats, TraceError> {
+    let trace = parse_trace(text)?;
+    let mut stats = TraceStats {
+        events: trace.trace_events.len(),
+        dropped: trace
+            .other_data
+            .get_field("dropped")
+            .and_then(value_u64)
+            .unwrap_or(0),
+        ..TraceStats::default()
+    };
+    let mut ids: HashSet<(u64, u64)> = HashSet::new();
+    let mut ticks: HashSet<u64> = HashSet::new();
+    // Per-lane stack of open span extents for the nesting check.
+    let mut open: HashMap<u32, Vec<(f64, f64)>> = HashMap::new();
+    for (at, event) in trace.trace_events.iter().enumerate() {
+        if !event.ts.is_finite() || event.ts < 0.0 {
+            return Err(err(format!("event {at}: ts must be finite and >= 0")));
+        }
+        if event.pid != 1 {
+            return Err(err(format!("event {at}: unexpected pid {}", event.pid)));
+        }
+        match event.ph.as_str() {
+            "M" => {
+                if event.cat != "__metadata" {
+                    return Err(err(format!("event {at}: metadata must use cat __metadata")));
+                }
+                continue;
+            }
+            "X" => {
+                let dur = event
+                    .dur
+                    .ok_or_else(|| err(format!("event {at}: complete span without dur")))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(err(format!("event {at}: dur must be finite and >= 0")));
+                }
+                stats.spans += 1;
+                // Nesting: pop closed spans, then require the new span
+                // to fit inside whatever is still open on this lane.
+                // Work in integral nanoseconds: the renderer lays spans
+                // out on an integer ns timeline and divides by 1000 for
+                // the µs `ts`/`dur` fields, so scaling back and rounding
+                // recovers that timeline exactly — summing the µs floats
+                // directly would accumulate ulp error and misreport
+                // back-to-back spans as partial overlaps.
+                let ts_ns = (event.ts * 1000.0).round();
+                let end_ns = ts_ns + (dur * 1000.0).round();
+                let lane = open.entry(event.tid).or_default();
+                while lane.last().is_some_and(|&(_, lane_end)| ts_ns >= lane_end) {
+                    lane.pop();
+                }
+                if let Some(&(start, lane_end)) = lane.last() {
+                    if ts_ns < start || end_ns > lane_end {
+                        return Err(err(format!(
+                            "event {at}: span [{ts_ns}, {end_ns}] ns partially overlaps open span [{start}, {lane_end}] ns on lane {}",
+                            event.tid
+                        )));
+                    }
+                }
+                lane.push((ts_ns, end_ns));
+            }
+            "i" => {
+                if event.s.as_deref() != Some("t") {
+                    return Err(err(format!("event {at}: instant without thread scope")));
+                }
+            }
+            other => return Err(err(format!("event {at}: unsupported ph {other:?}"))),
+        }
+        let tick = require_u64(&event.args, "tick", at)?;
+        let seq = require_u64(&event.args, "seq", at)?;
+        if !ids.insert((tick, seq)) {
+            return Err(err(format!(
+                "event {at}: duplicate id (tick {tick}, seq {seq})"
+            )));
+        }
+        match event.cat.as_str() {
+            "tick" => {
+                if event.ph != "X" {
+                    return Err(err(format!("event {at}: tick events must be spans")));
+                }
+                if !ticks.insert(tick) {
+                    return Err(err(format!(
+                        "event {at}: duplicate tick span for tick {tick}"
+                    )));
+                }
+            }
+            "phase" => {
+                if event.ph != "X" {
+                    return Err(err(format!("event {at}: phase events must be spans")));
+                }
+                stats.phases += 1;
+            }
+            "zone" => {
+                if event.ph != "X" {
+                    return Err(err(format!("event {at}: zone events must be spans")));
+                }
+                require_u64(&event.args, "zone", at)?;
+                require_finite(&event.args, "temp_c", at)?;
+                require_finite(&event.args, "duty", at)?;
+                stats.zones += 1;
+            }
+            "placement" => {
+                if event.ph != "i" {
+                    return Err(err(format!(
+                        "event {at}: placement events must be instants"
+                    )));
+                }
+                require_u64(&event.args, "job", at)?;
+                require_u64(&event.args, "duration_ticks", at)?;
+                stats.placements += 1;
+            }
+            "decision" => {
+                if event.ph != "i" {
+                    return Err(err(format!("event {at}: decision events must be instants")));
+                }
+                require_u64(&event.args, "job", at)?;
+                let rung = event
+                    .args
+                    .get_field("rung")
+                    .and_then(|v| match v {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| err(format!("event {at}: args.rung missing")))?;
+                if rung.is_empty() {
+                    return Err(err(format!("event {at}: args.rung is empty")));
+                }
+                let candidates = event
+                    .args
+                    .get_field("candidates")
+                    .and_then(|v| match v {
+                        Value::Array(items) => Some(items),
+                        _ => None,
+                    })
+                    .ok_or_else(|| err(format!("event {at}: args.candidates missing")))?;
+                for (c, candidate) in candidates.iter().enumerate() {
+                    if candidate.get_field("server").and_then(value_u64).is_none() {
+                        return Err(err(format!("event {at}: candidate {c} has no server")));
+                    }
+                    let key = candidate
+                        .get_field("key")
+                        .and_then(value_f64)
+                        .ok_or_else(|| err(format!("event {at}: candidate {c} has no key")))?;
+                    if !key.is_finite() {
+                        return Err(err(format!("event {at}: candidate {c} key is not finite")));
+                    }
+                }
+                stats.decisions += 1;
+            }
+            "anomaly" => {
+                if event.ph != "i" {
+                    return Err(err(format!("event {at}: anomaly events must be instants")));
+                }
+                require_finite(&event.args, "value", at)?;
+                stats.anomalies += 1;
+            }
+            other => return Err(err(format!("event {at}: unknown category {other:?}"))),
+        }
+    }
+    stats.ticks = ticks.len();
+    if stats.spans + stats.placements + stats.decisions + stats.anomalies == 0 {
+        return Err(err("trace contains no events"));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::TickPhase;
+    use crate::tracer::{SpanCandidate, TraceSpec, Tracer};
+
+    fn sample_buffer() -> TraceBuffer {
+        let mut tracer = Tracer::new(&TraceSpec::default());
+        for tick in 1..=3u64 {
+            tracer.begin_tick(tick);
+            tracer.phase(TickPhase::Inlet, 100);
+            tracer.phase(TickPhase::Placement, 2_000);
+            tracer.decision(
+                tick * 10,
+                "hot-balancer",
+                Some(5),
+                Some(23.0),
+                vec![
+                    SpanCandidate {
+                        server: 5,
+                        key: 23.0,
+                    },
+                    SpanCandidate {
+                        server: 9,
+                        key: 23.5,
+                    },
+                ],
+            );
+            tracer.placement(tick * 10, 0, Some(5), Some(0), 12);
+            tracer.phase(TickPhase::Physics, 1_500);
+            tracer.zone(0, 700, 22.4, 0.61);
+            tracer.zone(1, 650, 22.1, 0.55);
+            tracer.anomaly("ThermalViolation", Some(5), 30.2);
+            tracer.end_tick(5_000);
+        }
+        tracer.into_buffer()
+    }
+
+    #[test]
+    fn render_parse_validate_round_trip() {
+        let buffer = sample_buffer();
+        let json = render_trace(&buffer);
+        let trace = parse_trace(&json).expect("parses");
+        // 5 metadata + 9 records per tick * 3 ticks.
+        assert_eq!(trace.trace_events.len(), 5 + 9 * 3);
+        let stats = validate_trace(&json).expect("validates");
+        assert_eq!(stats.ticks, 3);
+        assert_eq!(stats.phases, 9);
+        assert_eq!(stats.zones, 6);
+        assert_eq!(stats.placements, 3);
+        assert_eq!(stats.decisions, 3);
+        assert_eq!(stats.anomalies, 3);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let buffer = sample_buffer();
+        assert_eq!(render_trace(&buffer), render_trace(&buffer));
+    }
+
+    #[test]
+    fn event_serde_round_trips() {
+        let buffer = sample_buffer();
+        let trace = parse_trace(&render_trace(&buffer)).expect("parses");
+        let json = serde_json::to_string(&trace).expect("serializes");
+        let back = parse_trace(&json).expect("re-parses");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn ticks_lay_out_sequentially() {
+        let buffer = sample_buffer();
+        let trace = parse_trace(&render_trace(&buffer)).expect("parses");
+        let ticks: Vec<&ChromeEvent> = trace
+            .trace_events
+            .iter()
+            .filter(|e| e.cat == "tick")
+            .collect();
+        assert_eq!(ticks.len(), 3);
+        for pair in ticks.windows(2) {
+            assert!(pair[1].ts >= pair[0].ts + pair[0].dur.unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_unknown_fields() {
+        assert!(parse_trace("not json").is_err());
+        assert!(parse_trace("{}").is_err());
+        let json = r#"{"traceEvents": [], "displayTimeUnit": "ms", "bogus": 1}"#;
+        assert!(parse_trace(json).is_err());
+        let json = r#"{"traceEvents": [{"name": "x", "cat": "tick", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1, "tid": 1, "extra": 2}]}"#;
+        assert!(parse_trace(json).is_err());
+        // Parses but holds no events: validation rejects it.
+        let json = r#"{"traceEvents": [], "displayTimeUnit": "ms"}"#;
+        assert!(validate_trace(json).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_ids_and_bad_shapes() {
+        let buffer = sample_buffer();
+        let json = render_trace(&buffer);
+        // Duplicate an event: its (tick, seq) id collides.
+        let mut trace = parse_trace(&json).expect("parses");
+        let dup = trace
+            .trace_events
+            .iter()
+            .find(|e| e.cat == "placement")
+            .expect("has a placement")
+            .clone();
+        trace.trace_events.push(dup);
+        let json = serde_json::to_string(&trace).expect("serializes");
+        let error = validate_trace(&json).expect_err("duplicate id rejected");
+        assert!(error.message.contains("duplicate id"), "{error}");
+        // A span whose dur is missing.
+        let mut trace = parse_trace(&render_trace(&buffer)).expect("parses");
+        for event in &mut trace.trace_events {
+            if event.cat == "tick" {
+                event.dur = None;
+            }
+        }
+        let json = serde_json::to_string(&trace).expect("serializes");
+        assert!(validate_trace(&json).is_err());
+        // An instant stripped of its thread scope.
+        let mut trace = parse_trace(&render_trace(&buffer)).expect("parses");
+        for event in &mut trace.trace_events {
+            if event.ph == "i" {
+                event.s = None;
+            }
+        }
+        let json = serde_json::to_string(&trace).expect("serializes");
+        assert!(validate_trace(&json).is_err());
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let buffer = sample_buffer();
+        let mut trace = parse_trace(&render_trace(&buffer)).expect("parses");
+        // Stretch a phase span past its tick span's end: partial
+        // overlap on the tick lane.
+        let tick_end = trace
+            .trace_events
+            .iter()
+            .find(|e| e.cat == "tick")
+            .map(|e| e.ts + e.dur.unwrap())
+            .expect("has a tick span");
+        for event in &mut trace.trace_events {
+            if event.cat == "phase" {
+                event.dur = Some(tick_end - event.ts + 5.0);
+                break;
+            }
+        }
+        let json = serde_json::to_string(&trace).expect("serializes");
+        let error = validate_trace(&json).expect_err("overlap rejected");
+        assert!(error.message.contains("overlaps"), "{error}");
+    }
+
+    #[test]
+    fn phase_spans_nest_inside_their_tick_span() {
+        let buffer = sample_buffer();
+        let trace = parse_trace(&render_trace(&buffer)).expect("parses");
+        let ticks: Vec<(f64, f64)> = trace
+            .trace_events
+            .iter()
+            .filter(|e| e.cat == "tick")
+            .map(|e| (e.ts, e.ts + e.dur.unwrap()))
+            .collect();
+        for event in trace.trace_events.iter().filter(|e| e.cat == "phase") {
+            let end = event.ts + event.dur.unwrap();
+            assert!(
+                ticks.iter().any(|&(s, e)| event.ts >= s && end <= e),
+                "phase span [{}, {end}] outside every tick span",
+                event.ts
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_count_rides_metadata() {
+        let mut buffer = sample_buffer();
+        buffer.dropped = 42;
+        let stats = validate_trace(&render_trace(&buffer)).expect("validates");
+        assert_eq!(stats.dropped, 42);
+    }
+}

@@ -1,0 +1,667 @@
+//! Deterministic span tracing.
+//!
+//! A [`Tracer`] is a fixed-capacity ring of [`SpanRecord`]s written on
+//! the engine thread. Every record is identified by `(tick, seq)` —
+//! the simulation tick it belongs to and a per-tick sequence number
+//! assigned in emission order — and *never* by wall clock or
+//! randomness. All emission happens on the engine thread in tick
+//! order, so an enabled trace is bit-identical across worker-thread
+//! counts and under record/replay; the only nondeterministic content
+//! is the wall-clock `dur_ns` duration fields, which
+//! [`SpanRecord::without_durations`] strips for comparison.
+//!
+//! Durations piggyback on timestamps the engine already takes: the
+//! per-phase spans reuse the profiler's lap reads and the tick span
+//! reuses the tick clock's total, so arming the tracer adds *zero*
+//! new `Instant` reads on the phase path (per-zone spans, which have
+//! no pre-existing clock, are the one exception — and they are only
+//! timed while tracing is on). With the tracer disabled nothing here
+//! runs at all: the disabled path takes zero extra timestamps.
+//!
+//! Placement-level records (placement instants and policy decision
+//! events) are *sampled*: a [`TraceSpec`] selects every `n`-th job by
+//! id and/or an explicit job-id list, so a 100k-server trace stays
+//! bounded while still letting `explain` reconstruct the full decision
+//! chain for any sampled job.
+
+use crate::phases::TickPhase;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity, in records.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// How many tournament candidates (winner first) a decision event
+/// carries: the presumptive winner plus two runner-ups. Each extra
+/// candidate costs a lazy-tournament expansion against cold cache
+/// lines on the per-sampled-job hot path, so the count is kept at the
+/// smallest value that still shows *why* the winner beat the field.
+pub const DECISION_TOP_K: usize = 3;
+
+/// One tournament candidate inside a [`SpanRecord::Decision`]: a
+/// server id and its balancer key (projected temperature plus
+/// penalties) at the moment of the decision, before the placement
+/// bumped it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpanCandidate {
+    /// Server id.
+    pub server: u32,
+    /// Tournament key; lower wins.
+    pub key: f64,
+}
+
+/// One trace record. Identified by `(tick, seq)`; `dur_ns` fields are
+/// the only wall-clock content.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpanRecord {
+    /// Complete span covering one whole engine tick. Emitted last in
+    /// its tick, so it carries the tick's highest `seq`.
+    Tick {
+        /// 1-based simulation tick.
+        tick: u64,
+        /// Per-tick emission sequence.
+        seq: u32,
+        /// Wall-clock tick duration (excluded from determinism
+        /// comparisons).
+        dur_ns: u64,
+    },
+    /// Complete span for one [`TickPhase`] within a tick, fed from the
+    /// profiler's existing lap reads.
+    Phase {
+        /// 1-based simulation tick.
+        tick: u64,
+        /// Per-tick emission sequence.
+        seq: u32,
+        /// The phase this span times.
+        phase: TickPhase,
+        /// Wall-clock phase duration (excluded from determinism
+        /// comparisons).
+        dur_ns: u64,
+    },
+    /// Per-zone physics/CRAC span on zoned runs: the time integrating
+    /// one zone's thermal node, plus the zone state it landed on.
+    Zone {
+        /// 1-based simulation tick.
+        tick: u64,
+        /// Per-tick emission sequence.
+        seq: u32,
+        /// Zone index.
+        zone: u32,
+        /// Wall-clock zone-step duration (excluded from determinism
+        /// comparisons).
+        dur_ns: u64,
+        /// Zone air temperature after the step, °C.
+        temp_c: f64,
+        /// CRAC duty fraction this step, 0..=1.
+        duty: f64,
+    },
+    /// Instant: one sampled job was placed (or dropped).
+    Placement {
+        /// 1-based simulation tick.
+        tick: u64,
+        /// Per-tick emission sequence.
+        seq: u32,
+        /// Job id.
+        job: u64,
+        /// Job kind index (into the workload's kind table).
+        kind: u8,
+        /// Chosen server, `None` if the job was dropped.
+        server: Option<u32>,
+        /// Zone of the chosen server on zoned runs.
+        zone: Option<u32>,
+        /// Job service time, in ticks.
+        duration_ticks: u32,
+    },
+    /// Instant: the policy's decision detail for one sampled job —
+    /// which ladder rung won, the winning tournament key, and the
+    /// top-k runner-up candidates with their keys.
+    Decision {
+        /// 1-based simulation tick.
+        tick: u64,
+        /// Per-tick emission sequence.
+        seq: u32,
+        /// Job id.
+        job: u64,
+        /// Which placement-ladder rung produced the decision (e.g.
+        /// `"hot-balancer"`, `"keep-warm"`, `"cold-any"`).
+        rung: String,
+        /// Chosen server, `None` if every rung failed.
+        chosen: Option<u32>,
+        /// The chosen server's tournament key, when a balancer rung
+        /// won; `None` on priority/cursor rungs.
+        winning_key: Option<f64>,
+        /// Up to [`DECISION_TOP_K`] tournament candidates, best first,
+        /// captured before the placement bumped the winner.
+        candidates: Vec<SpanCandidate>,
+    },
+    /// Instant: a watchdog anomaly, linked to the enclosing tick span
+    /// by its `tick`.
+    Anomaly {
+        /// 1-based simulation tick.
+        tick: u64,
+        /// Per-tick emission sequence.
+        seq: u32,
+        /// Watchdog kind name (e.g. `"ThermalViolation"`).
+        watchdog: String,
+        /// Offending server, when the watchdog names one.
+        server: Option<u64>,
+        /// The observed value that tripped the threshold.
+        value: f64,
+    },
+}
+
+impl SpanRecord {
+    /// The simulation tick this record belongs to.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            SpanRecord::Tick { tick, .. }
+            | SpanRecord::Phase { tick, .. }
+            | SpanRecord::Zone { tick, .. }
+            | SpanRecord::Placement { tick, .. }
+            | SpanRecord::Decision { tick, .. }
+            | SpanRecord::Anomaly { tick, .. } => tick,
+        }
+    }
+
+    /// The record's per-tick sequence number.
+    pub fn seq(&self) -> u32 {
+        match *self {
+            SpanRecord::Tick { seq, .. }
+            | SpanRecord::Phase { seq, .. }
+            | SpanRecord::Zone { seq, .. }
+            | SpanRecord::Placement { seq, .. }
+            | SpanRecord::Decision { seq, .. }
+            | SpanRecord::Anomaly { seq, .. } => seq,
+        }
+    }
+
+    /// A copy with every wall-clock duration field zeroed — the
+    /// deterministic projection the trace tests compare bit-for-bit
+    /// across thread counts and record/replay.
+    pub fn without_durations(&self) -> SpanRecord {
+        let mut record = self.clone();
+        match &mut record {
+            SpanRecord::Tick { dur_ns, .. }
+            | SpanRecord::Phase { dur_ns, .. }
+            | SpanRecord::Zone { dur_ns, .. } => *dur_ns = 0,
+            SpanRecord::Placement { .. }
+            | SpanRecord::Decision { .. }
+            | SpanRecord::Anomaly { .. } => {}
+        }
+        record
+    }
+}
+
+/// Tracer arming parameters: ring size and the placement sampling
+/// policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Ring capacity in records (clamped to at least 16).
+    pub capacity: usize,
+    /// Sample every `n`-th job by id (`job % n == 0`). `1` samples
+    /// every job; `0` disables modulo sampling (only `jobs` entries
+    /// are sampled). Phase, zone, tick, and anomaly records are never
+    /// sampled away — only placement/decision records are.
+    pub sample_every: u64,
+    /// Explicit job ids to sample regardless of `sample_every`.
+    pub jobs: Vec<u64>,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        Self {
+            capacity: DEFAULT_TRACE_CAPACITY,
+            sample_every: 1,
+            jobs: Vec::new(),
+        }
+    }
+}
+
+/// The finished trace: records in emission order plus how many the
+/// ring dropped (oldest first) to stay within capacity.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    /// Records in `(tick, seq)` order.
+    pub records: Vec<SpanRecord>,
+    /// Records overwritten by ring wrap-around.
+    pub dropped: u64,
+}
+
+impl TraceBuffer {
+    /// The records with wall-clock durations zeroed, for determinism
+    /// comparisons.
+    pub fn without_durations(&self) -> Vec<SpanRecord> {
+        self.records
+            .iter()
+            .map(SpanRecord::without_durations)
+            .collect()
+    }
+}
+
+/// A shared slot the engine deposits the finished [`TraceBuffer`]
+/// into at the end of a run (the tracing analogue of
+/// [`SummaryHandle`](crate::SummaryHandle)).
+#[derive(Debug, Clone, Default)]
+pub struct TracerHandle(Arc<Mutex<Option<TraceBuffer>>>);
+
+impl TracerHandle {
+    /// Creates an empty handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores the finished trace (called by the engine).
+    pub fn set(&self, buffer: TraceBuffer) {
+        *self.0.lock().expect("tracer handle poisoned") = Some(buffer);
+    }
+
+    /// Takes the trace out, if a run has finished.
+    pub fn take(&self) -> Option<TraceBuffer> {
+        self.0.lock().expect("tracer handle poisoned").take()
+    }
+
+    /// Copies the trace out without consuming it.
+    pub fn get(&self) -> Option<TraceBuffer> {
+        self.0.lock().expect("tracer handle poisoned").clone()
+    }
+}
+
+/// Ring-buffered span tracer, written by the engine thread only.
+///
+/// All ids derive from `(tick, seq)`: [`Tracer::begin_tick`] resets
+/// the sequence counter, every emitted record takes the next value.
+/// Capacity overflow drops the *oldest* records (and counts them), so
+/// a bounded ring always keeps the most recent window of the run.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+    sample_every: u64,
+    /// Sorted, deduplicated explicit sample list.
+    jobs: Vec<u64>,
+    tick: u64,
+    seq: u32,
+}
+
+impl Tracer {
+    /// Builds a tracer from its arming spec.
+    pub fn new(spec: &TraceSpec) -> Self {
+        let capacity = spec.capacity.max(16);
+        let mut jobs = spec.jobs.clone();
+        jobs.sort_unstable();
+        jobs.dedup();
+        Self {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            sample_every: spec.sample_every,
+            jobs,
+            tick: 0,
+            seq: 0,
+        }
+    }
+
+    /// Starts a new tick: subsequent records belong to `tick` and
+    /// number from zero.
+    pub fn begin_tick(&mut self, tick: u64) {
+        self.tick = tick;
+        self.seq = 0;
+    }
+
+    /// Whether placement/decision records for `job` should be emitted
+    /// under the sampling policy.
+    #[inline]
+    pub fn wants_job(&self, job: u64) -> bool {
+        (self.sample_every != 0 && job.is_multiple_of(self.sample_every))
+            || (!self.jobs.is_empty() && self.jobs.binary_search(&job).is_ok())
+    }
+
+    /// Offsets of the sampled jobs within a batch of `count`
+    /// *consecutive* job ids starting at `first_id` — the shape the
+    /// engine produces (ids are assigned serially per batch). Computed
+    /// arithmetically, so the cost is O(samples), not O(batch): at
+    /// cluster scale a tick places tens of thousands of jobs and a
+    /// per-job `wants_job` scan is itself a measurable overhead.
+    /// Offsets are strictly increasing; equivalent to filtering
+    /// `0..count` through [`Tracer::wants_job`].
+    pub fn sampled_offsets(&self, first_id: u64, count: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        let end = first_id.saturating_add(count as u64);
+        if self.sample_every != 0 {
+            let n = self.sample_every;
+            let rem = first_id % n;
+            let mut id = match rem {
+                0 => Some(first_id),
+                _ => first_id.checked_add(n - rem),
+            };
+            while let Some(at) = id.filter(|&at| at < end) {
+                out.push((at - first_id) as usize);
+                id = at.checked_add(n);
+            }
+        }
+        if !self.jobs.is_empty() {
+            let lo = self.jobs.partition_point(|&j| j < first_id);
+            let hi = self.jobs.partition_point(|&j| j < end);
+            let modulo_only = out.len();
+            for &job in &self.jobs[lo..hi] {
+                // Skip ids the modulo pass already emitted.
+                if self.sample_every == 0 || job % self.sample_every != 0 {
+                    out.push((job - first_id) as usize);
+                }
+            }
+            if out.len() > modulo_only {
+                out.sort_unstable();
+            }
+        }
+        out
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    fn push(&mut self, record: SpanRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(record);
+    }
+
+    /// Emits a phase span fed from the profiler's lap read.
+    pub fn phase(&mut self, phase: TickPhase, dur_ns: u64) {
+        let (tick, seq) = (self.tick, self.next_seq());
+        self.push(SpanRecord::Phase {
+            tick,
+            seq,
+            phase,
+            dur_ns,
+        });
+    }
+
+    /// Emits a per-zone physics/CRAC span.
+    pub fn zone(&mut self, zone: u32, dur_ns: u64, temp_c: f64, duty: f64) {
+        let (tick, seq) = (self.tick, self.next_seq());
+        self.push(SpanRecord::Zone {
+            tick,
+            seq,
+            zone,
+            dur_ns,
+            temp_c,
+            duty,
+        });
+    }
+
+    /// Emits a placement instant for a sampled job.
+    pub fn placement(
+        &mut self,
+        job: u64,
+        kind: u8,
+        server: Option<u32>,
+        zone: Option<u32>,
+        duration_ticks: u32,
+    ) {
+        let (tick, seq) = (self.tick, self.next_seq());
+        self.push(SpanRecord::Placement {
+            tick,
+            seq,
+            job,
+            kind,
+            server,
+            zone,
+            duration_ticks,
+        });
+    }
+
+    /// Emits a policy decision event for a sampled job.
+    pub fn decision(
+        &mut self,
+        job: u64,
+        rung: &str,
+        chosen: Option<u32>,
+        winning_key: Option<f64>,
+        candidates: Vec<SpanCandidate>,
+    ) {
+        let (tick, seq) = (self.tick, self.next_seq());
+        self.push(SpanRecord::Decision {
+            tick,
+            seq,
+            job,
+            rung: rung.to_string(),
+            chosen,
+            winning_key,
+            candidates,
+        });
+    }
+
+    /// Emits a watchdog anomaly instant linked to the current tick.
+    pub fn anomaly(&mut self, watchdog: &str, server: Option<u64>, value: f64) {
+        let (tick, seq) = (self.tick, self.next_seq());
+        self.push(SpanRecord::Anomaly {
+            tick,
+            seq,
+            watchdog: watchdog.to_string(),
+            server,
+            value,
+        });
+    }
+
+    /// Closes the current tick with its whole-tick span (reusing the
+    /// tick clock's total — no new timestamp).
+    pub fn end_tick(&mut self, dur_ns: u64) {
+        let (tick, seq) = (self.tick, self.next_seq());
+        self.push(SpanRecord::Tick { tick, seq, dur_ns });
+    }
+
+    /// Records currently in the ring.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded (or everything was
+    /// dropped).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// How many records the ring has overwritten.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the tracer into its finished buffer.
+    pub fn into_buffer(self) -> TraceBuffer {
+        TraceBuffer {
+            records: self.ring.into_iter().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(capacity: usize) -> TraceSpec {
+        TraceSpec {
+            capacity,
+            ..TraceSpec::default()
+        }
+    }
+
+    #[test]
+    fn seq_resets_per_tick_and_orders_records() {
+        let mut tracer = Tracer::new(&spec(64));
+        tracer.begin_tick(1);
+        tracer.phase(TickPhase::Inlet, 10);
+        tracer.placement(7, 0, Some(3), None, 5);
+        tracer.end_tick(100);
+        tracer.begin_tick(2);
+        tracer.phase(TickPhase::Inlet, 20);
+        tracer.end_tick(200);
+        let buffer = tracer.into_buffer();
+        let ids: Vec<(u64, u32)> = buffer.records.iter().map(|r| (r.tick(), r.seq())).collect();
+        assert_eq!(ids, vec![(1, 0), (1, 1), (1, 2), (2, 0), (2, 1)]);
+        // (tick, seq) pairs are strictly increasing in emission order.
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut tracer = Tracer::new(&spec(16));
+        tracer.begin_tick(1);
+        for _ in 0..20 {
+            tracer.phase(TickPhase::Record, 1);
+        }
+        assert_eq!(tracer.len(), 16);
+        assert_eq!(tracer.dropped(), 4);
+        let buffer = tracer.into_buffer();
+        assert_eq!(buffer.records.len(), 16);
+        assert_eq!(buffer.dropped, 4);
+        // The survivors are the newest records: seqs 4..20.
+        assert_eq!(buffer.records[0].seq(), 4);
+        assert_eq!(buffer.records[15].seq(), 19);
+    }
+
+    #[test]
+    fn capacity_clamped_to_minimum() {
+        let tracer = Tracer::new(&spec(0));
+        assert_eq!(tracer.capacity, 16);
+    }
+
+    #[test]
+    fn sampling_modulo_and_explicit_jobs() {
+        let mut spec = spec(64);
+        spec.sample_every = 100;
+        spec.jobs = vec![7, 7, 3];
+        let tracer = Tracer::new(&spec);
+        assert!(tracer.wants_job(0));
+        assert!(tracer.wants_job(200));
+        assert!(!tracer.wants_job(42));
+        assert!(tracer.wants_job(7));
+        assert!(tracer.wants_job(3));
+        // sample_every == 0 restricts to the explicit list.
+        let only_jobs = TraceSpec {
+            sample_every: 0,
+            jobs: vec![9],
+            ..TraceSpec::default()
+        };
+        let tracer = Tracer::new(&only_jobs);
+        assert!(tracer.wants_job(9));
+        assert!(!tracer.wants_job(0));
+        // Default spec samples everything.
+        let tracer = Tracer::new(&TraceSpec::default());
+        assert!(tracer.wants_job(12345));
+    }
+
+    #[test]
+    fn sampled_offsets_match_per_job_wants() {
+        let cases = [
+            (100, vec![]),
+            (0, vec![3, 11]),
+            (7, vec![7, 15, 16]),
+            (1, vec![]),
+            (3, vec![0, 2, 1000]),
+        ];
+        for (sample_every, jobs) in cases {
+            let tracer = Tracer::new(&TraceSpec {
+                capacity: 16,
+                sample_every,
+                jobs: jobs.clone(),
+            });
+            for (first_id, count) in [(0u64, 0usize), (0, 1), (0, 250), (95, 40), (13, 7)] {
+                let offsets = tracer.sampled_offsets(first_id, count);
+                let expected: Vec<usize> = (0..count)
+                    .filter(|&i| tracer.wants_job(first_id + i as u64))
+                    .collect();
+                assert_eq!(
+                    offsets, expected,
+                    "sample_every={sample_every} jobs={jobs:?} first={first_id} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_durations_strips_only_wall_clock() {
+        let mut tracer = Tracer::new(&spec(64));
+        tracer.begin_tick(3);
+        tracer.phase(TickPhase::Physics, 555);
+        tracer.zone(2, 777, 23.5, 0.5);
+        tracer.decision(
+            9,
+            "hot-balancer",
+            Some(4),
+            Some(22.25),
+            vec![SpanCandidate {
+                server: 4,
+                key: 22.25,
+            }],
+        );
+        tracer.anomaly("ThermalViolation", Some(4), 31.0);
+        tracer.end_tick(9999);
+        let buffer = tracer.into_buffer();
+        let stripped = buffer.without_durations();
+        assert_eq!(stripped.len(), buffer.records.len());
+        for record in &stripped {
+            match record {
+                SpanRecord::Tick { dur_ns, .. }
+                | SpanRecord::Phase { dur_ns, .. }
+                | SpanRecord::Zone { dur_ns, .. } => assert_eq!(*dur_ns, 0),
+                _ => {}
+            }
+        }
+        // Typed payloads survive the strip.
+        match &stripped[1] {
+            SpanRecord::Zone { temp_c, duty, .. } => {
+                assert_eq!(*temp_c, 23.5);
+                assert_eq!(*duty, 0.5);
+            }
+            other => panic!("expected zone record, got {other:?}"),
+        }
+        match &stripped[2] {
+            SpanRecord::Decision {
+                rung,
+                winning_key,
+                candidates,
+                ..
+            } => {
+                assert_eq!(rung, "hot-balancer");
+                assert_eq!(*winning_key, Some(22.25));
+                assert_eq!(candidates.len(), 1);
+            }
+            other => panic!("expected decision record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn records_serde_round_trip() {
+        let mut tracer = Tracer::new(&spec(64));
+        tracer.begin_tick(1);
+        tracer.phase(TickPhase::Placement, 42);
+        tracer.placement(100, 1, None, Some(3), 7);
+        tracer.end_tick(50);
+        let buffer = tracer.into_buffer();
+        let json = serde_json::to_string(&buffer).expect("serializes");
+        let back: TraceBuffer = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, buffer);
+    }
+
+    #[test]
+    fn tracer_handle_shares_across_clones() {
+        let handle = TracerHandle::new();
+        let reader = handle.clone();
+        assert!(reader.get().is_none());
+        handle.set(TraceBuffer::default());
+        assert!(reader.get().is_some());
+        assert!(reader.take().is_some());
+        assert!(handle.get().is_none());
+    }
+}

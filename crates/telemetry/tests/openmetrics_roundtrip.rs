@@ -1,0 +1,201 @@
+//! Property test: the OpenMetrics writer and strict parser are exact
+//! inverses over anything a [`MetricsRegistry`] can hold — counters,
+//! gauges (plain and zone-labelled), histograms, and series — and the
+//! writer is deterministic (equal snapshots render byte-identically).
+
+use proptest::prelude::*;
+use vmt_telemetry::{parse_openmetrics, render_openmetrics, MetricKind, MetricsRegistry};
+
+/// Splitmix-style mixer. The vendored proptest draws primitives only,
+/// so each case draws one seed plus shape counts and fans the seed out
+/// into metric values here.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A finite float across signs and magnitudes.
+    fn float(&mut self) -> f64 {
+        let mant = (self.next() % 2_000_001) as f64 - 1_000_000.0;
+        let scale = [1e-6, 1e-3, 1.0, 1e3, 1e9][self.below(5) as usize];
+        mant * scale
+    }
+}
+
+/// Distinct zone-label values, including characters that stress the
+/// exposition grammar (dash, space, non-ASCII) without needing escape
+/// sequences inside the registry name itself — the escaper's own
+/// round-trip is pinned by a unit test in `openmetrics.rs`.
+const ZONES: [&str; 4] = ["z0", "rack-a", "north 9", "θ-aisle"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `parse_openmetrics(render_openmetrics(snapshot))` succeeds and
+    /// reads back every family with the right kind, sample shape, and
+    /// values, for arbitrary registry contents.
+    #[test]
+    fn writer_parser_round_trip(
+        seed in 0u64..u64::MAX,
+        counters in 0usize..5,
+        gauges in 0usize..5,
+        zoned in 0usize..5,
+        hists in 0usize..4,
+        series in 0usize..4,
+    ) {
+        let mut mix = Mix(seed);
+        let registry = MetricsRegistry::new();
+
+        let mut counter_vals = Vec::new();
+        for i in 0..counters {
+            let v = mix.below(1 << 40);
+            registry.counter(&format!("jobs_{i}")).add(v);
+            counter_vals.push(v);
+        }
+
+        let mut gauge_vals = Vec::new();
+        for i in 0..gauges {
+            let v = mix.float();
+            registry.gauge(&format!("load_{i}")).set(v);
+            gauge_vals.push(v);
+        }
+
+        let mut zone_vals = Vec::new();
+        for (i, zone) in ZONES.iter().take(zoned).enumerate() {
+            let v = mix.float();
+            registry
+                .gauge(&format!("zone.temp_c{{zone=\"{zone}\"}}"))
+                .set(v);
+            zone_vals.push((ZONES[i], v));
+        }
+
+        let mut hist_shapes = Vec::new();
+        for i in 0..hists {
+            let n_bounds = 1 + mix.below(4) as usize;
+            let mut bounds = Vec::new();
+            let mut edge = 0.0;
+            for _ in 0..n_bounds {
+                edge += 0.5 + mix.below(1000) as f64 / 100.0;
+                bounds.push(edge);
+            }
+            let h = registry.histogram(&format!("lat_{i}"), &bounds);
+            let records = mix.below(20);
+            for _ in 0..records {
+                // Spread across buckets and past the last bound.
+                h.record(mix.below(1 + 2 * edge as u64) as f64);
+            }
+            hist_shapes.push((n_bounds, records));
+        }
+
+        let mut series_last = Vec::new();
+        for i in 0..series {
+            let s = registry.series(&format!("ts_{i}"), 4);
+            let pushes = mix.below(7);
+            let mut last = None;
+            for tick in 0..pushes {
+                let v = mix.float();
+                s.push(tick, v);
+                last = Some(v);
+            }
+            series_last.push(last);
+        }
+
+        let snapshot = registry.snapshot();
+        let help = [
+            ("jobs_0", "Placed jobs."),
+            ("zone_temp_c", "Per-zone inlet, line one\nline two\\slash"),
+        ];
+        let text = render_openmetrics(&snapshot, &help);
+
+        // The writer is deterministic: equal snapshots, equal bytes.
+        prop_assert_eq!(&text, &render_openmetrics(&snapshot, &help));
+
+        let parsed = match parse_openmetrics(&text) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("parse failed: {e}\n{text}"))),
+        };
+
+        let expected_families =
+            counters + gauges + hists + series + usize::from(zoned > 0);
+        prop_assert_eq!(parsed.families.len(), expected_families);
+
+        for (i, v) in counter_vals.iter().enumerate() {
+            let fam = parsed.family(&format!("jobs_{i}")).expect("counter family");
+            prop_assert_eq!(fam.kind, MetricKind::Counter);
+            prop_assert_eq!(fam.samples.len(), 1);
+            prop_assert_eq!(fam.samples[0].name, format!("jobs_{i}_total"));
+            // Counts stay under 2^53, so the f64 round-trip is exact.
+            prop_assert_eq!(fam.samples[0].value, *v as f64);
+        }
+
+        for (i, v) in gauge_vals.iter().enumerate() {
+            let fam = parsed.family(&format!("load_{i}")).expect("gauge family");
+            prop_assert_eq!(fam.kind, MetricKind::Gauge);
+            prop_assert_eq!(fam.samples.len(), 1);
+            // Rust float Display is shortest-round-trip, so parsing the
+            // rendered text recovers the value bit-for-bit.
+            prop_assert_eq!(fam.samples[0].value, *v);
+        }
+
+        if zoned > 0 {
+            let fam = parsed.family("zone_temp_c").expect("zoned family");
+            prop_assert_eq!(fam.kind, MetricKind::Gauge);
+            prop_assert_eq!(fam.samples.len(), zone_vals.len());
+            // HELP survives with escapes intact (`\n` / `\\` stay
+            // escaped on the wire; the parser does not unescape help).
+            prop_assert_eq!(
+                fam.help.as_deref(),
+                Some("Per-zone inlet, line one\\nline two\\\\slash")
+            );
+            for (zone, v) in &zone_vals {
+                let sample = fam
+                    .samples
+                    .iter()
+                    .find(|s| s.labels == [("zone".to_owned(), (*zone).to_owned())])
+                    .expect("zone sample");
+                prop_assert_eq!(sample.value, *v);
+            }
+        }
+
+        for (i, (n_bounds, records)) in hist_shapes.iter().enumerate() {
+            let fam = parsed.family(&format!("lat_{i}")).expect("histogram family");
+            prop_assert_eq!(fam.kind, MetricKind::Histogram);
+            // `n_bounds` finite buckets, the +Inf bucket, `_sum`, `_count`.
+            prop_assert_eq!(fam.samples.len(), *n_bounds + 3);
+            let mut prev = 0.0;
+            for bucket in &fam.samples[..*n_bounds + 1] {
+                prop_assert!(bucket.name.ends_with("_bucket"));
+                prop_assert!(bucket.value >= prev, "buckets must be cumulative");
+                prev = bucket.value;
+            }
+            let inf = &fam.samples[*n_bounds];
+            prop_assert_eq!(inf.labels.last().cloned(), Some(("le".to_owned(), "+Inf".to_owned())));
+            prop_assert_eq!(inf.value, *records as f64);
+            let count = fam.samples.last().expect("count sample");
+            prop_assert_eq!(count.name, format!("lat_{i}_count"));
+            prop_assert_eq!(count.value, *records as f64);
+        }
+
+        for (i, last) in series_last.iter().enumerate() {
+            let fam = parsed.family(&format!("ts_{i}")).expect("series family");
+            // Series scrape as gauges carrying their newest sample; an
+            // empty window scrapes as NaN.
+            prop_assert_eq!(fam.kind, MetricKind::Gauge);
+            prop_assert_eq!(fam.samples.len(), 1);
+            match last {
+                Some(v) => prop_assert_eq!(fam.samples[0].value, *v),
+                None => prop_assert!(fam.samples[0].value.is_nan()),
+            }
+        }
+    }
+}

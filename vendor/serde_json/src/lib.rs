@@ -244,11 +244,26 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::msg("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Consume one multi-byte UTF-8 character. The slice
+                    // is bounded to the 4-byte maximum so decoding stays
+                    // O(1) per character — validating the whole
+                    // remaining input here made parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let chunk = &self.bytes[self.pos..end];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error::msg("invalid UTF-8")),
+                    };
+                    let c = valid.chars().next().expect("non-empty valid prefix");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
