@@ -24,6 +24,10 @@
 //!   profiles and the 10k zoned observability/tracing-overhead row,
 //!   ~3 min) and patches it into the existing `BENCH_engine.json`,
 //!   leaving the expensive scaling sweep untouched.
+//! * `cargo bench -p vmt-bench --bench engine_baseline -- --million` —
+//!   re-measures only the 1M-tier scaling rows (short-horizon, see
+//!   `VMT_BENCH_MILLION_*` knobs on `measure_million`) and patches them
+//!   into the existing `BENCH_engine.json`.
 
 use std::time::Instant;
 use vmt_core::{
@@ -64,6 +68,13 @@ struct ScalingMeasurement {
     elapsed_s: f64,
     ticks_per_sec: f64,
     placements: u64,
+    /// Heap bytes of the pooled job table at the end of the run,
+    /// divided by the server count — the 1M tier's memory-budget
+    /// record (`check-bench` requires it on the 1M rows and holds it
+    /// under budget). `null` on rows recorded before the pooled table
+    /// (the vendored serde stub has no `skip_serializing_if`).
+    #[serde(default)]
+    bytes_per_server: Option<f64>,
 }
 
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
@@ -162,6 +173,25 @@ fn measure(name: &str, servers: usize, naive: bool) -> Measurement {
 /// Placements are asserted identical between passes — the determinism
 /// contract, cheaply re-checked here.
 fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasurement {
+    let passes = match servers {
+        n if n >= 100_000 => 2,
+        n if n >= 10_000 => 3,
+        _ => 5,
+    };
+    measure_scaling_row(name, servers, threads, passes, None)
+}
+
+/// One timed scaling row over `passes` runs, optionally on a shortened
+/// horizon (the 1M tier measures a short-horizon run — a 48 h pass at
+/// 1M servers is a multi-hour commitment that adds nothing over the
+/// 100k rows' full-horizon coverage).
+fn measure_scaling_row(
+    name: &str,
+    servers: usize,
+    threads: usize,
+    passes: usize,
+    hours: Option<f64>,
+) -> ScalingMeasurement {
     let mut cluster = ClusterConfig::paper_default(servers);
     if servers >= 100_000 {
         // At 100k servers the default stride-5 heatmap alone is ~0.9 GB
@@ -170,20 +200,24 @@ fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasure
         // row of the group, which `check-bench` enforces.
         cluster.heatmap_stride = 60;
     }
-    let trace = DiurnalTrace::new(TraceConfig::paper_default());
+    let mut trace_config = TraceConfig::paper_default();
+    if let Some(hours) = hours {
+        trace_config.horizon = vmt_units::Hours::new(hours);
+    }
+    let trace = DiurnalTrace::new(trace_config);
     let ticks = cluster.ticks_for(trace.horizon());
-    let passes = match servers {
-        n if n >= 100_000 => 2,
-        n if n >= 10_000 => 3,
-        _ => 5,
-    };
     let mut best: Option<ScalingMeasurement> = None;
-    for _ in 0..passes {
+    for _ in 0..passes.max(1) {
         let scheduler = scheduler_for(name, &cluster, false);
+        let mut sim =
+            Simulation::new(cluster.clone(), trace.clone(), scheduler).with_threads(threads);
+        // Timed exactly like `Simulation::run` (step to the horizon,
+        // then finish), with the job-table footprint sampled at the
+        // horizon — an O(shards) sum, invisible at this scale.
         let start = Instant::now();
-        let result = Simulation::new(cluster.clone(), trace.clone(), scheduler)
-            .with_threads(threads)
-            .run();
+        sim.run_until(ticks as u64);
+        let table_bytes = sim.farm().job_table_bytes();
+        let (result, _) = sim.finish();
         let elapsed = start.elapsed().as_secs_f64();
         let pass = ScalingMeasurement {
             scheduler: name.to_string(),
@@ -193,6 +227,7 @@ fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasure
             elapsed_s: elapsed,
             ticks_per_sec: ticks as f64 / elapsed,
             placements: result.placements,
+            bytes_per_server: Some(table_bytes as f64 / servers as f64),
         };
         best = match best {
             Some(prev) => {
@@ -210,6 +245,49 @@ fn measure_scaling(name: &str, servers: usize, threads: usize) -> ScalingMeasure
         };
     }
     best.expect("at least one pass ran")
+}
+
+/// The 1M-server tier: short-horizon best-of-N rows for the thread
+/// counts that bracket the sharded tick (serial and fanned out), with
+/// the pooled job table's bytes-per-server recorded on each row.
+///
+/// Knobs (all optional, for CI budgets and overhead triage):
+/// `VMT_BENCH_MILLION_SERVERS` (default 1,000,000),
+/// `VMT_BENCH_MILLION_HOURS` (default 2), `VMT_BENCH_MILLION_THREADS`
+/// (comma list, default `1,8`), `VMT_BENCH_MILLION_PASSES` (default 2).
+fn measure_million() -> Vec<ScalingMeasurement> {
+    let servers = env_num("VMT_BENCH_MILLION_SERVERS").unwrap_or(1_000_000);
+    let hours: f64 = env_num("VMT_BENCH_MILLION_HOURS").unwrap_or(2.0);
+    let passes: usize = env_num("VMT_BENCH_MILLION_PASSES").unwrap_or(2);
+    let threads_list = std::env::var("VMT_BENCH_MILLION_THREADS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse::<usize>().ok())
+                .collect::<Vec<_>>()
+        })
+        .filter(|l| !l.is_empty())
+        .unwrap_or_else(|| vec![1, 8]);
+    let mut rows = Vec::new();
+    for threads in threads_list {
+        let s = measure_scaling_row("vmt-wa", servers, threads, passes, Some(hours));
+        println!(
+            "million vmt-wa @ {servers} x{threads} threads ({hours} h): {:.2} ticks/s \
+             ({:.1}s for {} ticks, {} placements, {:.1} B/server)",
+            s.ticks_per_sec,
+            s.elapsed_s,
+            s.ticks,
+            s.placements,
+            s.bytes_per_server.unwrap_or(0.0),
+        );
+        rows.push(s);
+    }
+    rows
+}
+
+/// Parses a numeric environment variable, `None` when unset/garbled.
+fn env_num<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
 fn measure_phases(name: &str, servers: usize) -> PhaseProfile {
@@ -389,6 +467,33 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let obs_only = !smoke && std::env::args().any(|a| a == "--obs");
     let refresh_phases = !smoke && !obs_only && std::env::args().any(|a| a == "--phases");
+    let refresh_million =
+        !smoke && !obs_only && !refresh_phases && std::env::args().any(|a| a == "--million");
+    if refresh_million {
+        // Re-measure only the 1M-tier rows and patch them into the
+        // existing artifact, replacing any prior row with the same
+        // (scheduler, servers, threads) key; everything else keeps its
+        // recorded values. With the `VMT_BENCH_MILLION_*` knobs this
+        // doubles as a targeted re-measure of any single scaling cell.
+        let text = std::fs::read_to_string(BENCH_JSON)
+            .unwrap_or_else(|err| panic!("cannot read {BENCH_JSON}: {err}"));
+        let mut report: Report =
+            serde_json::from_str(&text).expect("BENCH_engine.json matches the report schema");
+        for row in measure_million() {
+            report.scaling.retain(|s| {
+                (s.scheduler.as_str(), s.servers, s.threads)
+                    != (row.scheduler.as_str(), row.servers, row.threads)
+            });
+            report.scaling.push(row);
+        }
+        report
+            .scaling
+            .sort_by_key(|s| (s.servers, s.threads, s.scheduler.clone()));
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(BENCH_JSON, json + "\n").expect("write BENCH_engine.json");
+        println!("patched 1M-tier scaling rows in {BENCH_JSON}");
+        return;
+    }
     if obs_only {
         // Just the zoned 10k observability/tracing overhead row — a
         // quick iteration loop for overhead work (set
@@ -516,6 +621,9 @@ fn main() {
             scaling.push(s);
         }
     }
+    // The 1M tier: short-horizon rows at the bracketing thread counts,
+    // with the pooled job table's bytes-per-server recorded.
+    scaling.extend(measure_million());
     // Instrumented per-phase breakdown at the headline cluster size,
     // plus the zoned 10k observability-overhead row.
     let phases = measure_all_phases();

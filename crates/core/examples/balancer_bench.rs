@@ -1,13 +1,64 @@
 //! Quick balancer microbenchmark: `cargo run --release -p vmt-core
 //! --example balancer_bench [n] [prefetch]`. Emulates the engine's
 //! placement loop — hot/cold balancer mix plus farm/index bookkeeping —
-//! the dominant per-job cost of the VMT policies at 100k servers.
+//! the dominant per-job cost of the VMT policies at 100k servers, then
+//! isolates the two tournament primitives (argmin selection via
+//! `place_indexed`, key update via `account_external_indexed`) for the
+//! flat and zone-sharded layouts side by side.
 
 use std::time::Instant;
-use vmt_core::ThermalBalancer;
+use vmt_core::{BalancerLayout, ThermalBalancer};
 use vmt_dcsim::{ClusterConfig, ClusterIndex, ServerFarm};
 use vmt_units::Seconds;
 use vmt_workload::{Job, JobId, WorkloadKind};
+
+/// Per-layout primitive costs: the selection path (`place_indexed` —
+/// root argmin, winner key bump, path replay to the root) and the pure
+/// update path (`account_external_indexed` — key bump and path replay,
+/// no selection). Free cores never drop (no jobs are started), so
+/// neither loop exhausts the tree; keys only drift upward, which is the
+/// steady-state shape of a mid-tick balancer anyway.
+fn layout_micro(n: usize, layout: BalancerLayout, label: &str) {
+    let config = ClusterConfig::paper_default(n);
+    let farm = ServerFarm::from_config(&config);
+    let index = ClusterIndex::new(&farm);
+    let iters = (n * 4).max(1 << 16);
+    let mut best_argmin = f64::INFINITY;
+    let mut best_update = f64::INFINITY;
+    for _ in 0..4 {
+        let mut b = ThermalBalancer::new();
+        b.set_layout(layout);
+        b.rebuild(0..n, &farm);
+        let t0 = Instant::now();
+        let mut picked = 0u64;
+        for _ in 0..iters {
+            picked += b.place_indexed(&index, 7.6).is_some() as u64;
+        }
+        best_argmin = best_argmin.min(t0.elapsed().as_nanos() as f64 / picked.max(1) as f64);
+
+        let mut b = ThermalBalancer::new();
+        b.set_layout(layout);
+        b.rebuild(0..n, &farm);
+        let mut rng = 0xDEAD_BEEFu64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b.account_external_indexed(((rng >> 33) as usize) % n, 7.6, &index);
+        }
+        best_update = best_update.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    println!(
+        "{label:>5} ({} zones): {best_argmin:.1} ns/argmin, {best_update:.1} ns/update",
+        {
+            let mut b = ThermalBalancer::new();
+            b.set_layout(layout);
+            b.rebuild(0..n, &farm);
+            b.zone_count()
+        }
+    );
+}
 
 fn main() {
     let n: usize = std::env::args()
@@ -62,4 +113,13 @@ fn main() {
         println!("placed {placed} at {ns:.1} ns/place");
     }
     println!("best: {best:.1} ns/place over {n} servers (prefetch={prefetch})");
+
+    // The layout comparison: same leaves, same keys, flat tournament vs
+    // zone-sharded slabs. A serial global argmin hops zones on every
+    // placement, so the zoned layout gets no slab locality and its
+    // replicated mid levels run colder than flat's shared upper levels
+    // — flat wins this micro at every scale tried (hence Auto = flat).
+    println!("tournament primitives at {n} leaves:");
+    layout_micro(n, BalancerLayout::Flat, "flat");
+    layout_micro(n, BalancerLayout::Zoned { span: 4096 }, "zoned");
 }

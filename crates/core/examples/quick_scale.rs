@@ -1,0 +1,49 @@
+//! Quick scaling probe: `cargo run --release -p vmt-core --example
+//! quick_scale [servers] [threads] [hours] [passes]`. Times the
+//! vmt-wa paper scenario exactly like the bench's scaling rows
+//! (run to the horizon, then finish), printing each pass and the best.
+
+use std::time::Instant;
+use vmt_core::{GroupingValue, VmtConfig, VmtWa};
+use vmt_dcsim::{ClusterConfig, Simulation};
+use vmt_units::Hours;
+use vmt_workload::{DiurnalTrace, TraceConfig};
+
+fn arg<T: std::str::FromStr>(i: usize, default: T) -> T {
+    std::env::args()
+        .nth(i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let servers: usize = arg(1, 10_000);
+    let threads: usize = arg(2, 1);
+    let hours: f64 = arg(3, 48.0);
+    let passes: usize = arg(4, 2);
+    let mut cluster = ClusterConfig::paper_default(servers);
+    if servers >= 100_000 {
+        cluster.heatmap_stride = 60;
+    }
+    let mut trace_config = TraceConfig::paper_default();
+    trace_config.horizon = Hours::new(hours);
+    let trace = DiurnalTrace::new(trace_config);
+    let ticks = cluster.ticks_for(trace.horizon()) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let vmt = VmtConfig::new(GroupingValue::new(22.0), &cluster);
+        let scheduler = Box::new(VmtWa::new(vmt));
+        let mut sim =
+            Simulation::new(cluster.clone(), trace.clone(), scheduler).with_threads(threads);
+        let t0 = Instant::now();
+        sim.run_until(ticks);
+        let (result, _) = sim.finish();
+        let elapsed = t0.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        println!(
+            "{servers} x{threads} ({hours} h): {elapsed:.1}s, {} placements",
+            result.placements
+        );
+    }
+    println!("best: {best:.1}s");
+}

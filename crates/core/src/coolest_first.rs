@@ -106,6 +106,45 @@ impl Scheduler for CoolestFirst {
         placed.map(ServerId)
     }
 
+    fn place_batch(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+    ) {
+        if !self.initialized {
+            self.balancer.rebuild(0..farm.len(), farm);
+            self.initialized = true;
+        }
+        // Software-pipelined batch placement: while this job's
+        // bookkeeping commits, the *predicted* next winner's farm row,
+        // index entry, and balancer path are already being pulled in —
+        // the balancer's root winner only changes when a placement
+        // lands, so the prediction is almost always right and a miss
+        // costs one wasted cache fill. Prime the first iteration's
+        // winner before the loop.
+        if let Some(first) = self.balancer.peek() {
+            farm.prefetch_server(first);
+            index.prefetch_server(first);
+            self.balancer.prefetch_member(first);
+        }
+        for job in jobs {
+            let placed = self.balancer.place_indexed(index, job.core_power().get());
+            self.counters.placements += u64::from(placed.is_some());
+            if let Some(idx) = placed {
+                farm.start_job(idx, job);
+                index.record_start(idx);
+            }
+            out.push(placed.map(ServerId));
+            if let Some(next) = self.balancer.peek() {
+                farm.prefetch_server(next);
+                index.prefetch_server(next);
+                self.balancer.prefetch_member(next);
+            }
+        }
+    }
+
     fn counters(&self) -> Option<SchedulerCounters> {
         Some(self.counters)
     }

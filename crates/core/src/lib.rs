@@ -60,7 +60,7 @@ mod vmt_ta;
 mod vmt_wa;
 
 pub use adaptive::AdaptiveGv;
-pub use balance::ThermalBalancer;
+pub use balance::{BalancerLayout, ThermalBalancer};
 pub use coolest_first::CoolestFirst;
 pub use grouping::{GroupingValue, VmtConfig};
 pub use policy::PolicyKind;

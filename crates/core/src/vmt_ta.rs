@@ -194,6 +194,65 @@ impl Scheduler for VmtTa {
         placed.map(|(i, _)| ServerId(i))
     }
 
+    fn place_batch(
+        &mut self,
+        jobs: &[Job],
+        farm: &mut ServerFarm,
+        index: &mut ClusterIndex,
+        out: &mut Vec<Option<ServerId>>,
+    ) {
+        if !self.initialized {
+            self.refresh(farm);
+        }
+        // Software-pipelined batch placement: commit this job's
+        // bookkeeping while the predicted next winner's farm row, index
+        // entry, and balancer path are pulled in. The home balancer's
+        // root only moves when a placement lands there, so the
+        // prediction holds across the batch; spills re-read the other
+        // group's root anyway. Prime both groups' current winners
+        // before the loop.
+        for b in [&self.hot, &self.cold] {
+            if let Some(first) = b.peek() {
+                farm.prefetch_server(first);
+                index.prefetch_server(first);
+                b.prefetch_member(first);
+            }
+        }
+        for job in jobs {
+            let power = job.core_power().get();
+            let home_is_hot = job.kind().vmt_class() == VmtClass::Hot;
+            let placed = if home_is_hot {
+                self.hot
+                    .place_indexed(index, power)
+                    .map(|i| (i, true))
+                    .or_else(|| self.cold.place_indexed(index, power).map(|i| (i, false)))
+            } else {
+                self.cold
+                    .place_indexed(index, power)
+                    .map(|i| (i, false))
+                    .or_else(|| self.hot.place_indexed(index, power).map(|i| (i, true)))
+            };
+            self.count_placement(home_is_hot, placed.map(|(_, in_hot)| in_hot));
+            if let Some((idx, _)) = placed {
+                farm.start_job(idx, job);
+                index.record_start(idx);
+            }
+            out.push(placed.map(|(i, _)| ServerId(i)));
+            // Hint the group that just placed — its root winner is the
+            // one that moved (a spilled job updated the other group).
+            let balancer = match placed {
+                Some((_, true)) => &self.hot,
+                Some((_, false)) => &self.cold,
+                None => continue,
+            };
+            if let Some(next) = balancer.peek() {
+                farm.prefetch_server(next);
+                index.prefetch_server(next);
+                balancer.prefetch_member(next);
+            }
+        }
+    }
+
     fn hot_group_size(&self) -> Option<usize> {
         Some(self.hot_size.max(1))
     }

@@ -61,6 +61,140 @@ const SERVERS_PER_WORKER: usize = 2048;
 /// never spreads a tick's bucket thinner than that.
 const DEPART_JOBS_PER_WORKER: usize = 4096;
 
+/// Slots per page of the pooled job table. Eight 4-byte delta ids fit
+/// in half a cache line, and a server's chain is at most
+/// `cores / JOB_PAGE` pages (four at the paper's 32 cores), so a
+/// departure scan touches a handful of small pages instead of a
+/// 256-byte slab row sized for the fully-loaded worst case.
+const JOB_PAGE: usize = 8;
+
+/// Chain terminator / "no page" sentinel in job-table page links.
+const NO_PAGE: u32 = u32::MAX;
+
+/// One shard's pooled job storage: page-granular parallel arrays plus a
+/// LIFO free list. Pools are per-shard (not farm-wide) so the sharded
+/// departure drain stays lock-free — each drain task owns its shard's
+/// pool outright — and so a shard's live pages cluster in memory.
+#[derive(Debug, Clone, Default)]
+struct JobPool {
+    /// Job ids, stored as u32 deltas against the farm's `id_base`
+    /// ([`JOB_PAGE`] slots per page).
+    ids: Vec<u32>,
+    /// Workload index byte of each slot, parallel to `ids`.
+    kinds: Vec<u8>,
+    /// Next-page link of each page; [`NO_PAGE`] terminates a chain.
+    next: Vec<u32>,
+    /// Recycled page indices, reused LIFO so churn rides hot lines.
+    free: Vec<u32>,
+}
+
+impl JobPool {
+    /// Hands out a page — recycled when possible, freshly grown
+    /// otherwise — with its chain link cleared.
+    fn alloc_page(&mut self) -> u32 {
+        if let Some(page) = self.free.pop() {
+            self.next[page as usize] = NO_PAGE;
+            return page;
+        }
+        let page = self.next.len() as u32;
+        self.ids.resize(self.ids.len() + JOB_PAGE, 0);
+        self.kinds.resize(self.kinds.len() + JOB_PAGE, 0);
+        self.next.push(NO_PAGE);
+        page
+    }
+
+    /// Heap bytes currently reserved by this pool.
+    fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * 4
+            + self.kinds.capacity()
+            + self.next.capacity() * 4
+            + self.free.capacity() * 4
+    }
+}
+
+/// Appends one entry at chain position `len` — the pooled equivalent of
+/// writing slab slot `len`. Counts and power stay with the callers.
+#[inline]
+fn append_job(
+    pool: &mut JobPool,
+    head: &mut u32,
+    tail: &mut u32,
+    len: usize,
+    delta: u32,
+    kind: u8,
+) {
+    if len.is_multiple_of(JOB_PAGE) {
+        let page = pool.alloc_page();
+        if *head == NO_PAGE {
+            *head = page;
+        } else {
+            pool.next[*tail as usize] = page;
+        }
+        *tail = page;
+    }
+    let slot = *tail as usize * JOB_PAGE + len % JOB_PAGE;
+    pool.ids[slot] = delta;
+    pool.kinds[slot] = kind;
+}
+
+/// Removes job `id` from one server's chain — the exact swap-remove
+/// `end_job` has always performed, expressed on the pooled layout: the
+/// chain's last entry moves into the hole, and an emptied tail page
+/// returns to the pool's free list. Shared by [`ServerFarm::end_job`]
+/// and the sharded departure drain.
+fn remove_job(
+    pool: &mut JobPool,
+    id_base: u64,
+    head: &mut u32,
+    tail: &mut u32,
+    count: &mut u32,
+    server: usize,
+    id: JobId,
+) -> WorkloadKind {
+    let len = *count as usize;
+    let delta =
+        id.0.checked_sub(id_base)
+            .filter(|&d| d <= u32::MAX as u64)
+            .unwrap_or_else(|| panic!("{id} not running on {}", ServerId(server))) as u32;
+    // Walk the chain for the job's slot.
+    let mut page = *head;
+    let mut found = None;
+    'walk: for j in (0..len).step_by(JOB_PAGE) {
+        let base_slot = page as usize * JOB_PAGE;
+        for s in 0..JOB_PAGE.min(len - j) {
+            if pool.ids[base_slot + s] == delta {
+                found = Some(base_slot + s);
+                break 'walk;
+            }
+        }
+        page = pool.next[page as usize];
+    }
+    let pos = found.unwrap_or_else(|| panic!("{id} not running on {}", ServerId(server)));
+    let last = *tail as usize * JOB_PAGE + (len - 1) % JOB_PAGE;
+    let kind = WorkloadKind::ALL[pool.kinds[pos] as usize];
+    pool.ids[pos] = pool.ids[last];
+    pool.kinds[pos] = pool.kinds[last];
+    *count = (len - 1) as u32;
+    // Free an emptied tail page, re-terminating the chain at its
+    // predecessor (chains are at most `cores / JOB_PAGE` pages long).
+    if (len - 1).is_multiple_of(JOB_PAGE) {
+        let emptied = *tail;
+        pool.free.push(emptied);
+        if *head == emptied {
+            *head = NO_PAGE;
+            *tail = NO_PAGE;
+        } else {
+            let mut prev = *head;
+            while pool.next[prev as usize] != emptied {
+                prev = pool.next[prev as usize];
+            }
+            pool.next[prev as usize] = NO_PAGE;
+            *tail = prev;
+        }
+    }
+    kind
+}
+
 /// Physical-parallelism ceiling on per-sweep fan-out, resolved once.
 ///
 /// Requesting more workers than the machine has cores cannot make a
@@ -209,7 +343,12 @@ pub struct FarmState {
     pub est_temp_c: Vec<f64>,
     /// Per-server estimator melt-fraction state.
     pub est_fraction: Vec<f64>,
-    /// Flat running-job slab (`num_servers × cores` slots).
+    /// Flat running-job slab (`num_servers × cores` slots). Rows
+    /// written by [`ServerFarm::state`] are dense — the first
+    /// `job_counts[i]` slots of row `i` hold that server's jobs in
+    /// table order, the rest are zero — but a restore only ever reads
+    /// the first `job_counts[i]` slots, so archives from writers that
+    /// left stale bytes past the count keep restoring identically.
     pub job_ids: Vec<u64>,
     /// Workload index byte of each slab slot.
     pub job_kinds: Vec<u8>,
@@ -245,17 +384,25 @@ pub struct ServerFarm {
     est_temp_c: Vec<f64>,
     /// Per-server estimator melt-fraction state.
     est_fraction: Vec<f64>,
-    /// Flat running-job slab: server `i`'s jobs occupy the first
-    /// `job_counts[i]` slots of the row starting at `i * cores`. A flat
-    /// slab beats both a hash map and per-server vecs: `used_cores` is
-    /// one array read, placement writes one slot, and a departure scan
-    /// walks at most `cores` contiguous ids.
-    job_ids: Vec<u64>,
-    /// Workload of each slab slot, stored as [`WorkloadKind::index`]
-    /// bytes parallel to `job_ids`.
-    job_kinds: Vec<u8>,
-    /// Occupied slot count of each server's slab row (= used cores).
+    /// Pooled running-job table, one pool per [`SHARD`] of servers:
+    /// server `i`'s jobs live in `pools[i / SHARD]` as a chain of
+    /// [`JOB_PAGE`]-slot pages from `job_heads[i]` to `job_tails[i]`,
+    /// the first `job_counts[i]` chain slots valid, ids stored as u32
+    /// deltas against `id_base`. Compared to the former
+    /// `num_servers × cores` u64 slab this sizes the table to *live*
+    /// jobs — pages recycle through per-pool free lists — cutting
+    /// ~288 MB of slab at 1M servers to tens of MB of pages.
+    pools: Vec<JobPool>,
+    /// First page of each server's job chain ([`NO_PAGE`] when idle).
+    job_heads: Vec<u32>,
+    /// Last page of each server's job chain ([`NO_PAGE`] when idle).
+    job_tails: Vec<u32>,
+    /// Occupied chain slots of each server (= used cores).
     job_counts: Vec<u32>,
+    /// Base subtracted from absolute job ids before storing them as
+    /// u32 deltas; re-anchored by `rebase_ids` when the engine's
+    /// monotonically increasing ids outrun the 32-bit window.
+    id_base: u64,
     /// Persistent worker pool, created lazily on the first multi-worker
     /// sweep and rebuilt when the thread count changes. Clones of the
     /// farm start poolless and spin up their own on demand.
@@ -283,9 +430,11 @@ impl Clone for ServerFarm {
             enthalpy_j: self.enthalpy_j.clone(),
             est_temp_c: self.est_temp_c.clone(),
             est_fraction: self.est_fraction.clone(),
-            job_ids: self.job_ids.clone(),
-            job_kinds: self.job_kinds.clone(),
+            pools: self.pools.clone(),
+            job_heads: self.job_heads.clone(),
+            job_tails: self.job_tails.clone(),
             job_counts: self.job_counts.clone(),
+            id_base: self.id_base,
             pool: None,
             scratch_air: Vec::new(),
             scratch_melt: Vec::new(),
@@ -301,7 +450,6 @@ impl ServerFarm {
     /// zero melt.
     pub fn from_config(config: &ClusterConfig) -> Self {
         let n = config.num_servers;
-        let stride = config.power.cores() as usize;
         let wax = config.wax.as_ref().map(FarmWax::new);
         let mut farm = Self {
             power_model: config.power,
@@ -316,9 +464,11 @@ impl ServerFarm {
             enthalpy_j: Vec::with_capacity(n),
             est_temp_c: Vec::with_capacity(n),
             est_fraction: vec![0.0; n],
-            job_ids: vec![0; n * stride],
-            job_kinds: vec![0; n * stride],
+            pools: vec![JobPool::default(); n.div_ceil(SHARD)],
+            job_heads: vec![NO_PAGE; n],
+            job_tails: vec![NO_PAGE; n],
             job_counts: vec![0; n],
+            id_base: 0,
             pool: None,
             scratch_air: Vec::new(),
             scratch_melt: Vec::new(),
@@ -368,15 +518,30 @@ impl ServerFarm {
             )
         });
         let n = servers.len();
-        let stride = first.power_model().cores() as usize;
-        let mut job_ids = vec![0u64; n * stride];
-        let mut job_kinds = vec![0u8; n * stride];
+        // Delta-anchor the incoming ids at the smallest live id so
+        // every stored delta fits u32.
+        let id_base = servers
+            .iter()
+            .flat_map(|s| s.jobs_map().keys())
+            .map(|id| id.0)
+            .min()
+            .unwrap_or(0);
+        let mut pools = vec![JobPool::default(); n.div_ceil(SHARD)];
+        let mut job_heads = vec![NO_PAGE; n];
+        let mut job_tails = vec![NO_PAGE; n];
         let mut job_counts = vec![0u32; n];
         for (i, s) in servers.iter().enumerate() {
             for (&id, &kind) in s.jobs_map() {
-                let slot = i * stride + job_counts[i] as usize;
-                job_ids[slot] = id.0;
-                job_kinds[slot] = kind.index() as u8;
+                let delta = id.0 - id_base;
+                assert!(delta <= u32::MAX as u64, "live job-id span exceeds u32");
+                append_job(
+                    &mut pools[i / SHARD],
+                    &mut job_heads[i],
+                    &mut job_tails[i],
+                    job_counts[i] as usize,
+                    delta as u32,
+                    kind.index() as u8,
+                );
                 job_counts[i] += 1;
             }
         }
@@ -396,9 +561,11 @@ impl ServerFarm {
             enthalpy_j: Vec::with_capacity(n),
             est_temp_c: Vec::with_capacity(n),
             est_fraction: Vec::with_capacity(n),
-            job_ids,
-            job_kinds,
+            pools,
+            job_heads,
+            job_tails,
             job_counts,
+            id_base,
             pool: None,
             scratch_air: Vec::new(),
             scratch_melt: Vec::new(),
@@ -460,8 +627,22 @@ impl ServerFarm {
     }
 
     /// Captures every evolving per-server array as a serializable
-    /// [`FarmState`] image.
+    /// [`FarmState`] image. Job rows are emitted dense — the first
+    /// `job_counts[i]` slots of each row hold that server's jobs in
+    /// table order, the rest zero — independent of how the pooled
+    /// table arranges them internally.
     pub fn state(&self) -> FarmState {
+        let n = self.len();
+        let stride = self.cores() as usize;
+        let mut job_ids = vec![0u64; n * stride];
+        let mut job_kinds = vec![0u8; n * stride];
+        for i in 0..n {
+            let row = i * stride;
+            for (j, (id, kind)) in self.job_row(i).enumerate() {
+                job_ids[row + j] = id.0;
+                job_kinds[row + j] = kind.index() as u8;
+            }
+        }
         FarmState {
             inlet_c: self.inlet_c.clone(),
             at_wax_c: self.at_wax_c.clone(),
@@ -469,8 +650,8 @@ impl ServerFarm {
             enthalpy_j: self.enthalpy_j.clone(),
             est_temp_c: self.est_temp_c.clone(),
             est_fraction: self.est_fraction.clone(),
-            job_ids: self.job_ids.clone(),
-            job_kinds: self.job_kinds.clone(),
+            job_ids,
+            job_kinds,
             job_counts: self.job_counts.clone(),
         }
     }
@@ -486,7 +667,8 @@ impl ServerFarm {
     /// [`SnapshotError::Corrupt`]: crate::SnapshotError::Corrupt
     pub fn apply_state(&mut self, state: &FarmState) -> Result<(), crate::snapshot::SnapshotError> {
         let n = self.len();
-        let slab = self.job_ids.len();
+        let stride = self.cores() as usize;
+        let slab = n * stride;
         let per_server_ok = state.inlet_c.len() == n
             && state.at_wax_c.len() == n
             && state.active_power_w.len() == n
@@ -502,15 +684,62 @@ impl ServerFarm {
                 state.job_ids.len(),
             )));
         }
+        if let Some(i) = (0..n).find(|&i| state.job_counts[i] as usize > stride) {
+            return Err(crate::snapshot::SnapshotError::Corrupt(format!(
+                "server {i} claims {} jobs on {stride} cores",
+                state.job_counts[i]
+            )));
+        }
+        // Delta-anchor the incoming ids; only the first `job_counts[i]`
+        // slots of each row are live (older writers left stale bytes
+        // past the count, which a restore must keep ignoring).
+        let mut id_base = u64::MAX;
+        let mut max_id = 0u64;
+        let mut any = false;
+        for i in 0..n {
+            let row = i * stride;
+            for &id in &state.job_ids[row..row + state.job_counts[i] as usize] {
+                id_base = id_base.min(id);
+                max_id = max_id.max(id);
+                any = true;
+            }
+        }
+        let id_base = if any { id_base } else { 0 };
+        if max_id - id_base > u32::MAX as u64 {
+            return Err(crate::snapshot::SnapshotError::Corrupt(format!(
+                "live job-id span {} exceeds u32 range",
+                max_id - id_base
+            )));
+        }
         self.inlet_c.clone_from(&state.inlet_c);
         self.at_wax_c.clone_from(&state.at_wax_c);
         self.active_power_w.clone_from(&state.active_power_w);
         self.enthalpy_j.clone_from(&state.enthalpy_j);
         self.est_temp_c.clone_from(&state.est_temp_c);
         self.est_fraction.clone_from(&state.est_fraction);
-        self.job_ids.clone_from(&state.job_ids);
-        self.job_kinds.clone_from(&state.job_kinds);
         self.job_counts.clone_from(&state.job_counts);
+        self.id_base = id_base;
+        for pool in &mut self.pools {
+            pool.ids.clear();
+            pool.kinds.clear();
+            pool.next.clear();
+            pool.free.clear();
+        }
+        self.job_heads.fill(NO_PAGE);
+        self.job_tails.fill(NO_PAGE);
+        for i in 0..n {
+            let row = i * stride;
+            for j in 0..state.job_counts[i] as usize {
+                append_job(
+                    &mut self.pools[i / SHARD],
+                    &mut self.job_heads[i],
+                    &mut self.job_tails[i],
+                    j,
+                    (state.job_ids[row + j] - id_base) as u32,
+                    state.job_kinds[row + j],
+                );
+            }
+        }
         Ok(())
     }
 
@@ -552,14 +781,24 @@ impl ServerFarm {
         self.job_counts[i]
     }
 
-    /// Server `i`'s running jobs (slab row in storage order).
+    /// Server `i`'s running jobs, in table order — the order departure
+    /// swap-removes and snapshot rows observe.
     fn job_row(&self, i: usize) -> impl Iterator<Item = (JobId, WorkloadKind)> + '_ {
-        let start = i * self.cores() as usize;
-        let end = start + self.job_counts[i] as usize;
-        self.job_ids[start..end]
-            .iter()
-            .zip(&self.job_kinds[start..end])
-            .map(|(&id, &k)| (JobId(id), WorkloadKind::ALL[k as usize]))
+        let pool = &self.pools[i / SHARD];
+        let count = self.job_counts[i] as usize;
+        let id_base = self.id_base;
+        let mut page = self.job_heads[i];
+        (0..count).map(move |j| {
+            let slot = page as usize * JOB_PAGE + j % JOB_PAGE;
+            let entry = (
+                JobId(id_base + pool.ids[slot] as u64),
+                WorkloadKind::ALL[pool.kinds[slot] as usize],
+            );
+            if j % JOB_PAGE == JOB_PAGE - 1 {
+                page = pool.next[page as usize];
+            }
+            entry
+        })
     }
 
     /// Cores of server `i` available for placement.
@@ -662,10 +901,9 @@ impl ServerFarm {
     /// Number of running jobs of each workload on server `i`, indexed by
     /// [`WorkloadKind::index`].
     pub fn kind_counts(&self, i: usize) -> [u32; 5] {
-        let start = i * self.cores() as usize;
         let mut counts = [0u32; 5];
-        for &k in &self.job_kinds[start..start + self.job_counts[i] as usize] {
-            counts[k as usize] += 1;
+        for (_, kind) in self.job_row(i) {
+            counts[kind.index()] += 1;
         }
         counts
     }
@@ -673,11 +911,10 @@ impl ServerFarm {
     /// Number of running jobs of each VMT class `(hot, cold)` on server
     /// `i`.
     pub fn class_counts(&self, i: usize) -> (u32, u32) {
-        let start = i * self.cores() as usize;
         let mut hot = 0;
         let mut cold = 0;
-        for &k in &self.job_kinds[start..start + self.job_counts[i] as usize] {
-            match WorkloadKind::ALL[k as usize].vmt_class() {
+        for (_, kind) in self.job_row(i) {
+            match kind.vmt_class() {
                 VmtClass::Hot => hot += 1,
                 VmtClass::Cold => cold += 1,
             }
@@ -698,52 +935,117 @@ impl ServerFarm {
             "placement on a full {}",
             ServerId(i)
         );
-        let start = i * self.cores() as usize;
-        let len = self.job_counts[i] as usize;
         debug_assert!(
-            self.job_ids[start..start + len]
-                .iter()
-                .all(|&id| id != job.id().0),
+            self.job_row(i).all(|(id, _)| id != job.id()),
             "duplicate {} on {}",
             job.id(),
             ServerId(i)
         );
-        self.job_ids[start + len] = job.id().0;
-        self.job_kinds[start + len] = job.kind().index() as u8;
+        if job.id().0 < self.id_base || job.id().0 - self.id_base > u32::MAX as u64 {
+            self.rebase_ids(job.id().0);
+        }
+        let delta = job.id().0 - self.id_base;
+        assert!(delta <= u32::MAX as u64, "live job-id span exceeds u32");
+        let delta = delta as u32;
+        let len = self.job_counts[i] as usize;
+        append_job(
+            &mut self.pools[i / SHARD],
+            &mut self.job_heads[i],
+            &mut self.job_tails[i],
+            len,
+            delta,
+            job.kind().index() as u8,
+        );
         self.job_counts[i] += 1;
         self.active_power_w[i] += job.core_power().get();
     }
 
-    /// Hints the CPU to pull server `i`'s placement-hot lanes (slab
-    /// row, occupancy count, power lane) toward L1. Architecturally a
-    /// no-op — no result ever depends on whether the hint fired — so
-    /// callers may prefetch a *predicted* placement target while the
-    /// current job's bookkeeping still runs; at 100k servers the slab is
-    /// far out of cache and each placement otherwise eats the full miss
-    /// latency serially.
+    /// Re-anchors the delta-encoded job ids so `incoming` and every
+    /// live id fit the 32-bit window. O(live jobs) and rare: the engine
+    /// issues monotonically increasing ids, so a rebase fires once per
+    /// ~4.3 billion placements, re-anchoring at the oldest id still
+    /// running.
     ///
-    /// The whole slab row is hinted, not just its head: `start_job`
-    /// writes the slot at the current occupancy, and reading the count
-    /// first to target one line would itself stall on the very miss the
-    /// hint exists to hide.
+    /// # Panics
+    ///
+    /// Panics if the live id span itself exceeds `u32::MAX` — no base
+    /// can represent such a table.
+    #[cold]
+    fn rebase_ids(&mut self, incoming: u64) {
+        let mut new_base = incoming;
+        for i in 0..self.len() {
+            for (id, _) in self.job_row(i) {
+                new_base = new_base.min(id.0);
+            }
+        }
+        let old_base = self.id_base;
+        for i in 0..self.len() {
+            let len = self.job_counts[i] as usize;
+            let pool = &mut self.pools[i / SHARD];
+            let mut page = self.job_heads[i];
+            for j in (0..len).step_by(JOB_PAGE) {
+                let base_slot = page as usize * JOB_PAGE;
+                for s in 0..JOB_PAGE.min(len - j) {
+                    let delta = old_base + pool.ids[base_slot + s] as u64 - new_base;
+                    assert!(delta <= u32::MAX as u64, "live job-id span exceeds u32");
+                    pool.ids[base_slot + s] = delta as u32;
+                }
+                page = pool.next[page as usize];
+            }
+        }
+        self.id_base = new_base;
+    }
+
+    /// Heap bytes currently reserved by the pooled job table — pages,
+    /// free lists, and per-server chain anchors. The 1M-tier budget
+    /// divides this by the server count for its recorded
+    /// bytes-per-server figure.
+    pub fn job_table_bytes(&self) -> usize {
+        self.pools.iter().map(JobPool::heap_bytes).sum::<usize>()
+            + self.pools.capacity() * std::mem::size_of::<JobPool>()
+            + self.job_heads.capacity() * 4
+            + self.job_tails.capacity() * 4
+            + self.job_counts.capacity() * 4
+    }
+
+    /// Hints the CPU to pull server `i`'s placement-hot lanes (chain
+    /// anchors, occupancy count, power lane, and the tail page itself)
+    /// toward L1. Architecturally a no-op — no result ever depends on
+    /// whether the hint fired — so callers may prefetch a *predicted*
+    /// placement target while the current job's bookkeeping still runs;
+    /// at 100k+ servers these lanes are far out of cache and each
+    /// placement otherwise eats the full miss latency serially.
+    ///
+    /// The tail page (where `start_job` writes) is hinted through a
+    /// plain read of `job_tails[i]`: the read has no side effects, and
+    /// an out-of-order core issues the dependent prefetch as soon as
+    /// the anchor arrives — still well ahead of the commit that needs
+    /// the page.
     #[inline]
     pub fn prefetch_server(&self, i: usize) {
         #[cfg(target_arch = "x86_64")]
         if i < self.len() {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            let stride = self.cores() as usize;
-            let row = i * stride;
             // SAFETY: `i` is in bounds (checked above), so every
             // pointer is derived in-bounds; prefetch has no other
             // requirements and never faults architecturally.
             unsafe {
-                let ids = self.job_ids.as_ptr().add(row);
-                for line in 0..(stride * 8).div_ceil(64) {
-                    _mm_prefetch::<_MM_HINT_T0>(ids.add(line * 8).cast());
-                }
-                _mm_prefetch::<_MM_HINT_T0>(self.job_kinds.as_ptr().add(row).cast());
+                _mm_prefetch::<_MM_HINT_T0>(self.job_heads.as_ptr().add(i).cast());
+                _mm_prefetch::<_MM_HINT_T0>(self.job_tails.as_ptr().add(i).cast());
                 _mm_prefetch::<_MM_HINT_T0>(self.job_counts.as_ptr().add(i).cast());
                 _mm_prefetch::<_MM_HINT_T0>(self.active_power_w.as_ptr().add(i).cast());
+            }
+            let page = self.job_tails[i];
+            if page != NO_PAGE {
+                let pool = &self.pools[i / SHARD];
+                let slot = page as usize * JOB_PAGE;
+                if slot < pool.ids.len() {
+                    // SAFETY: `slot` is in bounds of both page arrays.
+                    unsafe {
+                        _mm_prefetch::<_MM_HINT_T0>(pool.ids.as_ptr().add(slot).cast());
+                        _mm_prefetch::<_MM_HINT_T0>(pool.kinds.as_ptr().add(slot).cast());
+                    }
+                }
             }
         }
         #[cfg(not(target_arch = "x86_64"))]
@@ -792,7 +1094,6 @@ impl ServerFarm {
         timing: Option<&mut SweepTiming>,
     ) -> u64 {
         let n = self.len();
-        let stride = self.cores() as usize;
         let num_shards = n.div_ceil(SHARD);
         debug_assert_eq!(shard_buckets.len(), num_shards);
         let total_jobs: usize = shard_buckets.iter().map(Vec::len).sum();
@@ -807,9 +1108,11 @@ impl ServerFarm {
         }
         let mut outs = vec![DepartOut::default(); num_shards];
         let mut tasks: Vec<DepartView<'_>> = Vec::with_capacity(num_shards);
+        let id_base = self.id_base;
         {
-            let mut ids = self.job_ids.as_mut_slice();
-            let mut kinds = self.job_kinds.as_mut_slice();
+            let mut pools = self.pools.as_mut_slice();
+            let mut heads = self.job_heads.as_mut_slice();
+            let mut tails = self.job_tails.as_mut_slice();
             let mut counts = self.job_counts.as_mut_slice();
             let mut power = self.active_power_w.as_mut_slice();
             let mut free = index.free_cores_mut();
@@ -819,12 +1122,14 @@ impl ServerFarm {
                 let len = SHARD.min(n - base);
                 let (out, rest) = std::mem::take(&mut outs_rest).split_at_mut(1);
                 outs_rest = rest;
+                let pool = &mut split_front_mut(&mut pools, 1)[0];
                 tasks.push(DepartView {
                     base,
-                    stride,
+                    id_base,
                     entries: bucket,
-                    job_ids: split_front_mut(&mut ids, len * stride),
-                    job_kinds: split_front_mut(&mut kinds, len * stride),
+                    pool,
+                    job_heads: split_front_mut(&mut heads, len),
+                    job_tails: split_front_mut(&mut tails, len),
                     job_counts: split_front_mut(&mut counts, len),
                     active_power_w: split_front_mut(&mut power, len),
                     free_cores: split_front_mut(&mut free, len),
@@ -888,20 +1193,18 @@ impl ServerFarm {
     /// Panics if the job is not running on server `i`.
     #[inline]
     pub fn end_job(&mut self, i: usize, id: JobId) -> WorkloadKind {
-        let start = i * self.cores() as usize;
-        let len = self.job_counts[i] as usize;
-        let pos = self.job_ids[start..start + len]
-            .iter()
-            .position(|&running| running == id.0)
-            .unwrap_or_else(|| panic!("{id} not running on {}", ServerId(i)));
-        let kind = WorkloadKind::ALL[self.job_kinds[start + pos] as usize];
-        // Swap-remove within the slab row.
-        self.job_ids[start + pos] = self.job_ids[start + len - 1];
-        self.job_kinds[start + pos] = self.job_kinds[start + len - 1];
-        self.job_counts[i] = (len - 1) as u32;
+        let kind = remove_job(
+            &mut self.pools[i / SHARD],
+            self.id_base,
+            &mut self.job_heads[i],
+            &mut self.job_tails[i],
+            &mut self.job_counts[i],
+            i,
+            id,
+        );
         self.active_power_w[i] -= kind.core_power().get();
         // Guard against f64 drift accumulating into a negative draw.
-        if len == 1 {
+        if self.job_counts[i] == 0 {
             self.active_power_w[i] = 0.0;
         }
         kind
@@ -1186,17 +1489,19 @@ struct DepartOut {
     kinds: [u32; 5],
 }
 
-/// One shard's mutable window over the job slab, power lane, and
-/// free-core column, plus its slice of the tick's departure bucket.
+/// One shard's mutable window over the pooled job table (the shard's
+/// pool owned outright, plus chain-anchor/count windows), power lane,
+/// and free-core column, plus its slice of the tick's departure bucket.
 struct DepartView<'a> {
     /// Global index of the first server in the shard.
     base: usize,
-    /// Slab row length (cores per server).
-    stride: usize,
+    /// Farm-wide delta base for stored job ids.
+    id_base: u64,
     /// This shard's departures, in original bucket order.
     entries: &'a [(JobId, u32)],
-    job_ids: &'a mut [u64],
-    job_kinds: &'a mut [u8],
+    pool: &'a mut JobPool,
+    job_heads: &'a mut [u32],
+    job_tails: &'a mut [u32],
     job_counts: &'a mut [u32],
     active_power_w: &'a mut [f64],
     free_cores: &'a mut [u32],
@@ -1208,10 +1513,11 @@ struct DepartView<'a> {
 fn run_depart_shard(task: DepartView<'_>) {
     let DepartView {
         base,
-        stride,
+        id_base,
         entries,
-        job_ids,
-        job_kinds,
+        pool,
+        job_heads,
+        job_tails,
         job_counts,
         active_power_w,
         free_cores,
@@ -1219,19 +1525,18 @@ fn run_depart_shard(task: DepartView<'_>) {
     } = task;
     for &(id, server) in entries {
         let local = server as usize - base;
-        let start = local * stride;
-        let len = job_counts[local] as usize;
-        let pos = job_ids[start..start + len]
-            .iter()
-            .position(|&running| running == id.0)
-            .unwrap_or_else(|| panic!("{id} not running on {}", ServerId(server as usize)));
-        let kind = WorkloadKind::ALL[job_kinds[start + pos] as usize];
-        job_ids[start + pos] = job_ids[start + len - 1];
-        job_kinds[start + pos] = job_kinds[start + len - 1];
-        job_counts[local] = (len - 1) as u32;
+        let kind = remove_job(
+            pool,
+            id_base,
+            &mut job_heads[local],
+            &mut job_tails[local],
+            &mut job_counts[local],
+            server as usize,
+            id,
+        );
         active_power_w[local] -= kind.core_power().get();
         // Same drift guard as `end_job`.
-        if len == 1 {
+        if job_counts[local] == 0 {
             active_power_w[local] = 0.0;
         }
         free_cores[local] += 1;
@@ -1470,6 +1775,106 @@ mod tests {
         let a = farm.tick_physics(Seconds::new(60.0));
         let b = round.tick_physics(Seconds::new(60.0));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_table_survives_a_rebase() {
+        // The engine's ids are monotonic: by the time one outruns the
+        // 32-bit delta window, the oldest live id is nearby. Model
+        // that: live ids near u32::MAX (deltas from base 0 barely
+        // fit), then one past the window, forcing a rebase to the
+        // oldest live id; every pre-rebase id must keep resolving.
+        let config = ClusterConfig::paper_default(2);
+        let mut farm = ServerFarm::from_config(&config);
+        let near = u32::MAX as u64 - 5;
+        farm.start_job(0, &job(near, WorkloadKind::VideoEncoding));
+        farm.start_job(1, &job(near + 1, WorkloadKind::WebSearch));
+        let big = near + 1000;
+        farm.start_job(0, &job(big, WorkloadKind::VirusScan));
+        assert_eq!(farm.used_cores(0), 2);
+        assert_eq!(farm.end_job(0, JobId(near)), WorkloadKind::VideoEncoding);
+        assert_eq!(farm.end_job(1, JobId(near + 1)), WorkloadKind::WebSearch);
+        assert_eq!(
+            farm.job_row(0).collect::<Vec<_>>(),
+            vec![(JobId(big), WorkloadKind::VirusScan)]
+        );
+        assert_eq!(farm.end_job(0, JobId(big)), WorkloadKind::VirusScan);
+        // An id below the current base rebases downward again.
+        farm.start_job(1, &job(7, WorkloadKind::WebSearch));
+        assert_eq!(
+            farm.job_row(1).next(),
+            Some((JobId(7), WorkloadKind::WebSearch))
+        );
+        assert_eq!(farm.end_job(1, JobId(7)), WorkloadKind::WebSearch);
+        assert!((0..2).all(|i| farm.used_cores(i) == 0));
+    }
+
+    #[test]
+    fn pooled_table_recycles_pages_under_churn() {
+        let config = ClusterConfig::paper_default(4);
+        let mut farm = ServerFarm::from_config(&config);
+        let fill = |farm: &mut ServerFarm, round: u64| {
+            for i in 0..4 {
+                for core in 0..32u64 {
+                    let id = round * 1000 + i as u64 * 100 + core;
+                    farm.start_job(i, &job(id, WorkloadKind::WebSearch));
+                }
+            }
+        };
+        let drain = |farm: &mut ServerFarm, round: u64| {
+            for i in 0..4 {
+                for core in 0..32u64 {
+                    farm.end_job(i, JobId(round * 1000 + i as u64 * 100 + core));
+                }
+            }
+        };
+        fill(&mut farm, 0);
+        drain(&mut farm, 0);
+        let settled = farm.job_table_bytes();
+        for round in 1..40 {
+            fill(&mut farm, round);
+            drain(&mut farm, round);
+        }
+        // Freed pages are reused, so churn never grows the table.
+        assert_eq!(farm.job_table_bytes(), settled);
+        assert!((0..4).all(|i| farm.used_cores(i) == 0));
+    }
+
+    #[test]
+    fn state_rows_are_dense_and_restore_identically() {
+        let mut farm = loaded_farm(12);
+        // Punch a hole mid-row so the swap-remove order is non-trivial.
+        farm.end_job(5, JobId(502));
+        let state = farm.state();
+        let stride = farm.cores() as usize;
+        for i in 0..farm.len() {
+            let row = &state.job_ids[i * stride..(i + 1) * stride];
+            let count = state.job_counts[i] as usize;
+            let live: Vec<u64> = farm.job_row(i).map(|(id, _)| id.0).collect();
+            assert_eq!(&row[..count], &live[..], "row {i}");
+            assert!(row[count..].iter().all(|&id| id == 0), "row {i} tail");
+        }
+        let mut restored = ServerFarm::from_config(&ClusterConfig::paper_default(12));
+        restored.apply_state(&state).unwrap();
+        for i in 0..farm.len() {
+            assert_eq!(restored.kind_counts(i), farm.kind_counts(i));
+            assert_eq!(restored.used_cores(i), farm.used_cores(i));
+            assert_eq!(
+                restored.job_row(i).collect::<Vec<_>>(),
+                farm.job_row(i).collect::<Vec<_>>()
+            );
+        }
+        // The restored table keeps evolving identically, including the
+        // swap-remove sequence a later departure triggers.
+        assert_eq!(restored.end_job(5, JobId(501)), farm.end_job(5, JobId(501)));
+        assert_eq!(
+            restored.job_row(5).collect::<Vec<_>>(),
+            farm.job_row(5).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            restored.tick_physics(Seconds::new(60.0)),
+            farm.tick_physics(Seconds::new(60.0))
+        );
     }
 
     #[test]

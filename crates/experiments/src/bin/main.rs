@@ -1188,6 +1188,12 @@ struct BenchScaling {
     elapsed_s: f64,
     ticks_per_sec: f64,
     placements: u64,
+    /// Job-table heap bytes per server at the end of the run. Recorded
+    /// by the pooled-table bench; required on the 1M rows (where the
+    /// memory budget is the point) and gated at
+    /// [`MAX_MILLION_BYTES_PER_SERVER`].
+    #[serde(default)]
+    bytes_per_server: Option<f64>,
 }
 
 #[derive(serde::Deserialize)]
@@ -1221,6 +1227,23 @@ const MAX_OBSERVABILITY_OVERHEAD: f64 = 0.05;
 /// and the per-zone `Instant` reads together may add at most 5%.
 const MAX_TRACING_OVERHEAD: f64 = 0.05;
 
+/// Server count of the top scaling tier the artifact must include.
+const MILLION_TIER_SERVERS: usize = 1_000_000;
+
+/// Ceiling on the 1M tier's per-server per-tick cost relative to the
+/// same-thread 100k row — the same flat-scaling contract as the
+/// 100k-vs-10k check, one decade up.
+const MAX_MILLION_COST_FACTOR: f64 = 3.0;
+
+/// Memory budget for the pooled job table at the 1M tier. The dominant
+/// term is pages: at the diurnal peak (~70% of 32 cores busy) a server
+/// chains ⌈22/8⌉ = 3 pages of 44 B each plus 12 B of per-server
+/// anchors, ~150 B/server; 512 leaves headroom for free-list slack and
+/// page-granularity waste without masking a return to the per-slot
+/// slab (which sat at 288 B/server of `u64` ids alone and would blow
+/// straight through this with its `kinds`/capacity overhead).
+const MAX_MILLION_BYTES_PER_SERVER: f64 = 512.0;
+
 /// Validates an engine benchmark artifact
 /// (`vmt-experiments check-bench FILE`, normally `BENCH_engine.json`).
 ///
@@ -1230,11 +1253,14 @@ const MAX_TRACING_OVERHEAD: f64 = 0.05;
 /// must hold at least 0.9x the single-thread throughput, so a scaling
 /// inversion like the pre-pool per-tick `thread::scope` spawn storm
 /// fails the check instead of landing silently in the artifact. It also
-/// requires the headline 10k and 100k vmt-wa groups to be present at
-/// threads {1,2,4,8}, holds the 100k 48 h rows under a wall-clock
-/// regression ceiling, and gates the zoned 10k observability row:
-/// the series + gauges + publisher layer may add at most 5% per-tick
-/// cost over the spans-only instrumented run.
+/// requires the headline 10k and 100k vmt-wa groups at threads
+/// {1,2,4,8} and the 1M tier at threads {1,8} (missing rows are all
+/// listed in one error, with the exact regeneration command), holds the
+/// 100k rows' per-server tick cost to the 10k anchor and the 1M rows'
+/// to the 100k anchor, gates the 1M rows' job-table bytes-per-server
+/// under budget, and gates the zoned 10k observability row: the
+/// series/gauges/publisher layer may add at most 5% per-tick cost over
+/// the spans-only instrumented run.
 fn cmd_check_bench(rest: &[String]) {
     let (path, rest) = positional_path(rest, "usage: vmt-experiments check-bench FILE");
     if !rest.is_empty() {
@@ -1398,19 +1424,43 @@ fn cmd_check_bench(rest: &[String]) {
         }
     }
     // The headline scaling groups must actually be present: 10k and
-    // 100k vmt-wa rows at every recorded thread count. Without this a
-    // bench run that silently skipped the expensive 100k sweep would
-    // still validate.
-    for &servers in &[10_000usize, 100_000] {
-        for &threads in &[1usize, 2, 4, 8] {
+    // 100k vmt-wa rows at every recorded thread count, plus the 1M-tier
+    // rows at the bracketing thread counts. Without this a bench run
+    // that silently skipped the expensive sweeps would still validate.
+    // Missing rows are reported all at once — regenerating the artifact
+    // takes tens of minutes, so one run must surface every gap.
+    let required: &[(usize, &[usize])] = &[
+        (10_000, &[1, 2, 4, 8]),
+        (100_000, &[1, 2, 4, 8]),
+        (MILLION_TIER_SERVERS, &[1, 8]),
+    ];
+    let mut missing = Vec::new();
+    for &(servers, thread_counts) in required {
+        for &threads in thread_counts {
             if !report.scaling.iter().any(|row| {
                 row.scheduler == "vmt-wa" && row.servers == servers && row.threads == threads
             }) {
-                fail_bench(&format!(
-                    "scaling table is missing the vmt-wa@{servers} x{threads} row"
-                ));
+                missing.push((servers, threads));
             }
         }
+    }
+    if !missing.is_empty() {
+        let rows = missing
+            .iter()
+            .map(|&(servers, threads)| format!("vmt-wa@{servers} x{threads}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        // The 1M rows have their own cheap patch mode; everything else
+        // needs the full sweep (which also measures the 1M tier).
+        let command = if missing.iter().all(|&(s, _)| s == MILLION_TIER_SERVERS) {
+            "cargo bench -p vmt-bench --bench engine_baseline -- --million"
+        } else {
+            "cargo bench -p vmt-bench --bench engine_baseline"
+        };
+        fail_bench(&format!(
+            "scaling table is missing {} row(s): {rows}\n  regenerate with: {command}",
+            missing.len()
+        ));
     }
     // Headline-scale cost ceiling. Absolute wall-clock depends entirely
     // on the recording host (the same code measures 2x apart across
@@ -1448,6 +1498,52 @@ fn cmd_check_bench(rest: &[String]) {
             fail_bench(&format!(
                 "vmt-wa@100000 x{}: per-server tick cost is {factor:.2}x the 10k row's \
                  (ceiling {MAX_100K_COST_FACTOR:.1}x) — the tick no longer scales flat",
+                row.threads
+            ));
+        }
+    }
+    // The 1M tier gets the same relative treatment, anchored on the
+    // same-thread 100k row: per-server per-tick cost may grow by at
+    // most the cache-pressure factor across the 10x size jump, and each
+    // row must carry the pooled job table's bytes-per-server under the
+    // memory budget (the compressed table is the reason the tier fits
+    // in RAM at all — a row without the record, or over budget, means
+    // the pooling regressed).
+    for row in &report.scaling {
+        if row.scheduler != "vmt-wa" || row.servers != MILLION_TIER_SERVERS {
+            continue;
+        }
+        let Some(anchor) = report
+            .scaling
+            .iter()
+            .find(|r| r.scheduler == "vmt-wa" && r.servers == 100_000 && r.threads == row.threads)
+        else {
+            fail_bench(&format!(
+                "vmt-wa@{MILLION_TIER_SERVERS} x{} has no same-thread 100k anchor row for \
+                 the cost check",
+                row.threads
+            ));
+        };
+        let factor = per_server_tick_cost(row) / per_server_tick_cost(anchor);
+        if !positive(factor) || factor > MAX_MILLION_COST_FACTOR {
+            fail_bench(&format!(
+                "vmt-wa@{MILLION_TIER_SERVERS} x{}: per-server tick cost is {factor:.2}x \
+                 the 100k row's (ceiling {MAX_MILLION_COST_FACTOR:.1}x) — the tick no \
+                 longer scales flat",
+                row.threads
+            ));
+        }
+        let Some(bytes) = row.bytes_per_server else {
+            fail_bench(&format!(
+                "vmt-wa@{MILLION_TIER_SERVERS} x{} records no bytes_per_server — \
+                 the 1M tier exists to prove the job-table memory budget",
+                row.threads
+            ));
+        };
+        if !positive(bytes) || bytes > MAX_MILLION_BYTES_PER_SERVER {
+            fail_bench(&format!(
+                "vmt-wa@{MILLION_TIER_SERVERS} x{}: job table holds {bytes:.1} B/server \
+                 (budget {MAX_MILLION_BYTES_PER_SERVER:.0} B/server)",
                 row.threads
             ));
         }

@@ -1,0 +1,193 @@
+//! Layout differentials for the zone-sharded tournament balancer.
+//!
+//! The balancer's zoned layout is a pure performance representation: it
+//! must pick the exact `(key, index)` argmin the flat tournament picks,
+//! tie-breaks included, so full simulations are bit-identical under any
+//! `VMT_BALANCER_LAYOUT` override. The fast tests prove that at 1k
+//! servers across forced zone shapes; the `#[ignore]`d tests extend the
+//! contract to the 1M tier — layouts x thread counts land on identical
+//! per-tick digests, and a 1M snapshot restores bit-identically.
+//!
+//! `VMT_BALANCER_LAYOUT` is process-global, so every test that sets it
+//! holds [`ENV_LOCK`] for its whole run (the variable is re-read at
+//! every balancer resize, not just at construction).
+
+use std::sync::{Mutex, MutexGuard};
+
+use vmt::core::{restore_simulation, PolicyKind};
+use vmt::dcsim::{ClusterConfig, Simulation, SimulationResult, Snapshot};
+use vmt::units::Hours;
+use vmt::workload::{DiurnalTrace, TraceConfig};
+
+/// Serializes access to the `VMT_BALANCER_LAYOUT` process environment.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Sets (or clears) the layout override for the guard's lifetime.
+struct LayoutGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl LayoutGuard {
+    fn set(layout: Option<&str>) -> Self {
+        let guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        match layout {
+            Some(v) => std::env::set_var("VMT_BALANCER_LAYOUT", v),
+            None => std::env::remove_var("VMT_BALANCER_LAYOUT"),
+        }
+        Self(guard)
+    }
+}
+
+impl Drop for LayoutGuard {
+    fn drop(&mut self) {
+        std::env::remove_var("VMT_BALANCER_LAYOUT");
+    }
+}
+
+fn build(policy: PolicyKind, servers: usize, hours: f64, threads: usize) -> Simulation {
+    let cluster = ClusterConfig::paper_default(servers);
+    let mut trace = TraceConfig::paper_default();
+    trace.horizon = Hours::new(hours);
+    Simulation::new(
+        cluster.clone(),
+        DiurnalTrace::new(trace),
+        policy.build(&cluster),
+    )
+    .with_threads(threads)
+}
+
+/// Runs a full simulation under a forced balancer layout.
+fn run_layout(
+    layout: Option<&str>,
+    policy: PolicyKind,
+    servers: usize,
+    hours: f64,
+) -> SimulationResult {
+    let _guard = LayoutGuard::set(layout);
+    build(policy, servers, hours, 1).run()
+}
+
+/// Runs under a forced layout and thread count, collecting every
+/// per-tick state digest alongside the final result.
+fn run_layout_digests(
+    layout: Option<&str>,
+    servers: usize,
+    hours: f64,
+    threads: usize,
+) -> (Vec<u64>, SimulationResult) {
+    let _guard = LayoutGuard::set(layout);
+    let mut sim = build(PolicyKind::vmt_wa(22.0), servers, hours, threads);
+    let mut digests = Vec::new();
+    while sim.step() {
+        digests.push(sim.state_digest());
+    }
+    let (result, _) = sim.finish();
+    (digests, result)
+}
+
+/// `Auto` resolves flat (the measured-fastest layout at every scale);
+/// forced zoned spans must still reproduce the flat run bit for bit —
+/// from one giant zone through 125 small ones, including spans that
+/// don't divide the leaf count.
+#[test]
+fn forced_zoned_layouts_match_flat_at_1k() {
+    const SERVERS: usize = 1000;
+    const HOURS: f64 = 6.0;
+    for policy in [PolicyKind::CoolestFirst, PolicyKind::vmt_wa(22.0)] {
+        let flat = run_layout(Some("flat"), policy, SERVERS, HOURS);
+        let auto = run_layout(None, policy, SERVERS, HOURS);
+        assert_eq!(flat, auto, "{policy:?}: auto should resolve flat at 1k");
+        // Valid spans are powers of 8; at 1k leaves these force one
+        // giant zone, 2 zones, 16 zones, and 125 zones respectively.
+        for span in [4096usize, 512, 64, 8] {
+            let zoned = run_layout(Some(&format!("zoned:{span}")), policy, SERVERS, HOURS);
+            assert_eq!(flat, zoned, "{policy:?}: zoned:{span} diverged from flat");
+        }
+    }
+}
+
+/// At a size spanning multiple default-span zones, the explicit
+/// `zoned` spelling (default span) and `flat` must agree with `Auto` —
+/// the layout is invisible in results at any scale.
+#[test]
+fn auto_matches_explicit_layouts_at_5k() {
+    const SERVERS: usize = 5000;
+    const HOURS: f64 = 2.0;
+    let policy = PolicyKind::vmt_wa(22.0);
+    let auto = run_layout(None, policy, SERVERS, HOURS);
+    let zoned = run_layout(Some("zoned"), policy, SERVERS, HOURS);
+    let flat = run_layout(Some("flat"), policy, SERVERS, HOURS);
+    assert_eq!(auto, zoned, "auto and explicit zoned diverged at 5k");
+    assert_eq!(auto, flat, "zoned and flat diverged at 5k");
+}
+
+/// The 1M tier's determinism matrix: layouts {flat (auto), zoned} x
+/// threads {1, 8} all land on the single-thread flat run's per-tick
+/// digest sequence and final result. Short horizon — each run is a
+/// full 1M-server simulation; the 100k suites cover long horizons.
+///
+/// Run with: `cargo test --release million -- --ignored`
+#[test]
+#[ignore = "1M-server runs: minutes of wall clock, run explicitly"]
+fn million_tier_is_identical_across_layouts_and_threads() {
+    const SERVERS: usize = 1_000_000;
+    const HOURS: f64 = 1.0;
+    let (baseline_digests, baseline) = run_layout_digests(None, SERVERS, HOURS, 1);
+    assert!(!baseline_digests.is_empty());
+    for (layout, threads) in [(None, 8), (Some("zoned"), 1), (Some("zoned"), 8)] {
+        let (digests, result) = run_layout_digests(layout, SERVERS, HOURS, threads);
+        let label = format!("layout {layout:?} x{threads}");
+        assert_eq!(digests, baseline_digests, "{label}: digest sequence");
+        assert_eq!(result, baseline, "{label}: final result");
+    }
+}
+
+/// Snapshot/restore at the 1M tier: checkpoint the run midway,
+/// round-trip the container, and hold the restored run's remaining
+/// ticks digest-identical to the continuous one at threads 1 and 8.
+///
+/// Run with: `cargo test --release million -- --ignored`
+#[test]
+#[ignore = "1M-server runs: minutes of wall clock, run explicitly"]
+fn million_tier_snapshot_restores_bit_identically() {
+    const SERVERS: usize = 1_000_000;
+    const HOURS: f64 = 1.0;
+    let _guard = LayoutGuard::set(None);
+    let (digests, result) = {
+        let mut sim = build(PolicyKind::vmt_wa(22.0), SERVERS, HOURS, 1);
+        let mut digests = Vec::new();
+        while sim.step() {
+            digests.push(sim.state_digest());
+        }
+        let (result, _) = sim.finish();
+        (digests, result)
+    };
+    let mid = (digests.len() / 2) as u64;
+    let mut sim = build(PolicyKind::vmt_wa(22.0), SERVERS, HOURS, 1);
+    sim.run_until(mid);
+    let snapshot = sim.snapshot().expect("1M snapshot");
+    let decoded = Snapshot::decode(&snapshot.encode()).expect("container round-trips");
+    assert_eq!(decoded.digest(), snapshot.digest());
+    for threads in [1usize, 8] {
+        let mut restored = restore_simulation(&decoded)
+            .unwrap_or_else(|e| panic!("restore at x{threads} failed: {e}"))
+            .with_threads(threads);
+        assert_eq!(restored.current_tick(), mid);
+        assert_eq!(
+            restored.state_digest(),
+            digests[mid as usize - 1],
+            "x{threads}: state at restore"
+        );
+        let mut t = mid as usize;
+        while restored.step() {
+            assert_eq!(
+                restored.state_digest(),
+                digests[t],
+                "x{threads}: diverged at tick {}",
+                t + 1
+            );
+            t += 1;
+        }
+        assert_eq!(t, digests.len(), "x{threads}: tick count");
+        let (restored_result, _) = restored.finish();
+        assert_eq!(restored_result, result, "x{threads}: final result");
+    }
+}
